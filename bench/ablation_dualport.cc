@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ISA what-if from the paper's §5 discussion: with two destination
+ * register ports, gmx.v and gmx.h merge into one gmx.vh instruction
+ * (halving the per-tile GMX instruction count, like mul/mulh vs a fused
+ * multiply), and gmx.tb could write gmx_lo/gmx_hi to GPRs instead of
+ * CSRs (saving the csrr pair per traceback step). This bench measures
+ * both effects with the functional model and the performance model.
+ */
+
+#include "bench_util.hh"
+#include "gmx/full.hh"
+#include "gmx/isa.hh"
+#include "sequence/generator.hh"
+#include "sim/perf.hh"
+#include "sim/workloads.hh"
+
+int
+main()
+{
+    using namespace gmx;
+
+    gmx::bench::banner(
+        "Ablation: dual-destination-port ISA variant (gmx.vh)",
+        "paper §5: merging gmx.v/gmx.h would improve efficiency and "
+        "throughput on cores with two destination register ports");
+
+    // Functional check: gmx.vh returns exactly what the split pair does.
+    {
+        seq::Generator gen(881);
+        core::GmxUnit unit(32);
+        const auto p = gen.random(32);
+        const auto t = gen.random(32);
+        unit.csrwPattern(p.codes().data(), 32);
+        unit.csrwText(t.codes().data(), 32);
+        const auto dv = core::DeltaVec::ones(32);
+        const auto dh = core::DeltaVec::ones(32);
+        const auto merged = unit.gmxVH(dv, dh);
+        const bool same = merged.dv_out == unit.gmxV(dv, dh) &&
+                          merged.dh_out == unit.gmxH(dv, dh);
+        std::printf("\ngmx.vh == (gmx.v, gmx.h): %s\n",
+                    same ? "yes" : "NO (bug)");
+    }
+
+    // Performance what-if on the gem5-InOrder platform.
+    const auto ds = seq::makeDataset("1kbp-e15%", 1000, 0.15, 2, 888);
+    sim::WorkloadOptions opts;
+    opts.samples = 2;
+    const auto core_cfg = sim::CoreConfig::gem5InOrder();
+    const auto mem = sim::MemSystemConfig::gem5Like();
+
+    auto baseline = sim::profileForDataset(sim::Algo::FullGmx, ds, opts);
+    const double base_aps =
+        sim::evaluate(baseline, core_cfg, mem).alignments_per_second;
+
+    // gmx.vh: half the GMX-AC instruction stream.
+    auto dual = baseline;
+    dual.counts.gmx_ac /= 2;
+    const double dual_aps =
+        sim::evaluate(dual, core_cfg, mem).alignments_per_second;
+
+    // Plus GPR-destination gmx.tb: drop two csrr per traceback step.
+    auto dual_tb = dual;
+    dual_tb.counts.csr -= std::min(dual_tb.counts.csr,
+                                   2 * dual_tb.counts.gmx_tb);
+    const double dual_tb_aps =
+        sim::evaluate(dual_tb, core_cfg, mem).alignments_per_second;
+
+    TextTable table({"ISA variant", "align/s", "vs baseline"});
+    table.addRow({"gmx.v + gmx.h (paper baseline)",
+                  gmx::bench::fmtThroughput(base_aps), "1.00"});
+    table.addRow({"merged gmx.vh",
+                  gmx::bench::fmtThroughput(dual_aps),
+                  TextTable::num(dual_aps / base_aps, 2)});
+    table.addRow({"gmx.vh + GPR-dest gmx.tb",
+                  gmx::bench::fmtThroughput(dual_tb_aps),
+                  TextTable::num(dual_tb_aps / base_aps, 2)});
+    table.print();
+
+    std::printf("\nExpected shape: tile computation is the instruction "
+                "bottleneck of Full(GMX), so halving the gmx.* stream "
+                "buys a significant in-order speedup; the CSR savings "
+                "matter only for traceback-heavy workloads.\n");
+    return 0;
+}

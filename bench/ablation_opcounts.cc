@@ -1,0 +1,98 @@
+/**
+ * @file
+ * §4.2 ablation: operation counts and per-tile memory of the competing
+ * techniques — the paper's analytic comparison (DP 5T^2 integer ops,
+ * Bitap 7T*T^2 bit-ops, BPM 17T^2, GMX-Tile 12T^2; memory per tile: DP
+ * T^2 integers, Bitap T^3 bits, BPM 4T^2 bits, GMX 4T bits) — checked
+ * against the instruction counts measured from this repository's
+ * implementations.
+ */
+
+#include "align/bitap.hh"
+#include "align/bpm.hh"
+#include "align/nw.hh"
+#include "bench_util.hh"
+#include "gmx/full.hh"
+#include "sequence/generator.hh"
+
+int
+main()
+{
+    using namespace gmx;
+    using namespace gmx::align;
+
+    gmx::bench::banner(
+        "Section 4.2 ablation: per-tile operation and memory comparison",
+        "for a TxT tile: DP 5T^2 full-integer ops; Bitap 7T*T^2 bit-ops; "
+        "BPM 17T^2; GMX-Tile 12T^2 (hardware). Memory per tile: DP T^2 "
+        "ints, Bitap T^3 bits, BPM 4T^2 bits, GMX-Tile 4T bits");
+
+    const unsigned T = 32;
+    const double t2 = static_cast<double>(T) * T;
+
+    std::printf("\n-- Analytic (paper formulas, T = %u) --\n", T);
+    TextTable analytic({"technique", "ops per tile", "ops/DP-elem",
+                        "bits stored/tile"});
+    analytic.addRow({"Classical DP", TextTable::num(5 * t2, 0), "5 (int)",
+                     TextTable::num(t2 * 32, 0)});
+    analytic.addRow({"Bitap", TextTable::num(7.0 * T * t2, 0),
+                     TextTable::num(7.0 * T, 0) + " (bit)",
+                     TextTable::num(t2 * T, 0)});
+    analytic.addRow({"BPM", TextTable::num(17 * t2, 0), "17 (bit)",
+                     TextTable::num(4 * t2, 0)});
+    analytic.addRow({"GMX-Tile", TextTable::num(12 * t2, 0), "12 (gate)",
+                     TextTable::num(4.0 * T, 0)});
+    analytic.print();
+
+    // Measured: dynamic scalar instructions per DP-element of each
+    // software implementation on a 1024x~1024 alignment. Word-parallel
+    // implementations amortize their per-word ops over 64 lanes, and the
+    // GMX emulation collapses 2 instructions per tile.
+    std::printf("\n-- Measured (this repository, software) --\n");
+    seq::Generator gen(7777);
+    const auto pair = gen.pair(1024, 0.1);
+    TextTable measured({"implementation", "instr/DP-elem",
+                        "gmx instr/alignment"});
+    {
+        // Full(DP) is analytic: 5 ALU + 3 mem per cell.
+        measured.addRow({"Full(DP)", "8.0 (analytic)", "-"});
+    }
+    {
+        KernelCounts c;
+        bpmDistance(pair.pattern, pair.text, &c);
+        measured.addRow({"Full(BPM)",
+                         TextTable::num(static_cast<double>(
+                                            c.instructions()) /
+                                            static_cast<double>(c.cells),
+                                        3),
+                         "-"});
+    }
+    {
+        KernelCounts c;
+        const i64 d = nwDistance(pair.pattern, pair.text);
+        bitapDistance(pair.pattern, pair.text, d, &c);
+        measured.addRow({"Bitap (k=d)",
+                         TextTable::num(static_cast<double>(
+                                            c.instructions()) /
+                                            static_cast<double>(c.cells),
+                                        3),
+                         "-"});
+    }
+    {
+        KernelCounts c;
+        core::fullGmxDistance(pair.pattern, pair.text, T, &c);
+        measured.addRow({"Full(GMX)",
+                         TextTable::num(static_cast<double>(
+                                            c.instructions()) /
+                                            static_cast<double>(c.cells),
+                                        3),
+                         TextTable::num(
+                             static_cast<long long>(c.gmx_ac))});
+    }
+    measured.print();
+    std::printf("\nExpected shape: GMX needs ~2 instructions per 1024 "
+                "DP-elements (plus CSR/load/store overhead), a quadratic "
+                "reduction over the scalar DP and a large one over the "
+                "word-parallel baselines.\n");
+    return 0;
+}

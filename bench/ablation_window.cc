@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Windowed(GMX) design ablation: sweeping the window/overlap geometry
+ * (W, O) trades re-computation (overlap fraction) against the corridor's
+ * ability to track the optimal path (paper §4.1, Fig. 4.b.3; the DSA
+ * comparison's W=96, O=32 point).
+ */
+
+#include "align/nw.hh"
+#include "bench_util.hh"
+#include "gmx/windowed.hh"
+
+
+namespace {
+
+/**
+ * Structural-variant pair: the pattern deletes one @p sv-length block of
+ * the text and inserts a random block elsewhere, plus light point errors.
+ * Net length is preserved, but the optimal path detours @p sv cells off
+ * the main diagonal between the two events — exactly the regime where a
+ * fixed corridor must either widen or lose the path.
+ */
+gmx::seq::SequencePair
+structuralVariantPair(gmx::seq::Generator &gen, size_t len, size_t sv)
+{
+    using gmx::seq::Sequence;
+    const Sequence text = gen.random(len);
+    const size_t del_pos = len / 4;
+    const size_t ins_pos = 2 * len / 3;
+    std::string p = text.str().substr(0, del_pos) +
+                    text.str().substr(del_pos + sv,
+                                      ins_pos - del_pos - sv) +
+                    gen.random(sv).str() + text.str().substr(ins_pos);
+    return {gen.mutate(Sequence(p), 0.02), text};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace gmx;
+
+    gmx::bench::banner(
+        "Ablation: Windowed(GMX) window/overlap sweep",
+        "small windows minimize state (registers!) but lose noisy paths; "
+        "overlap recovers accuracy at the cost of recomputation");
+
+    // Structural-variant pairs: a 160 bp block deletion plus a 160 bp
+    // block insertion force the optimal path ~160 cells off the diagonal
+    // between the events — the regime where fixed corridors lose paths.
+    seq::Dataset ds;
+    ds.name = "2000bp+160bp-SV";
+    {
+        seq::Generator gen(777);
+        for (int i = 0; i < 4; ++i)
+            ds.pairs.push_back(structuralVariantPair(gen, 2000, 160));
+    }
+    std::vector<i64> exact;
+    for (const auto &pair : ds.pairs)
+        exact.push_back(align::nwDistance(pair.pattern, pair.text));
+
+    struct Geometry
+    {
+        size_t w, o;
+    };
+    const Geometry geoms[] = {
+        {64, 16}, {64, 32}, {96, 32}, {96, 48}, {128, 32}, {192, 64},
+    };
+
+    TextTable table({"W", "O", "cells/alignment", "mean dist error",
+                     "exact fraction"});
+    for (const auto &g : geoms) {
+        align::KernelCounts counts;
+        double err_sum = 0;
+        size_t exact_hits = 0;
+        for (size_t i = 0; i < ds.pairs.size(); ++i) {
+            const auto res = core::windowedGmxAlign(
+                ds.pairs[i].pattern, ds.pairs[i].text, 32, {g.w, g.o},
+                &counts);
+            err_sum += static_cast<double>(res.distance - exact[i]);
+            exact_hits += res.distance == exact[i];
+        }
+        table.addRow(
+            {std::to_string(g.w), std::to_string(g.o),
+             TextTable::num(static_cast<long long>(
+                 counts.cells / ds.pairs.size())),
+             TextTable::num(err_sum / ds.pairs.size(), 2),
+             TextTable::num(
+                 static_cast<double>(exact_hits) / ds.pairs.size(), 2)});
+    }
+    table.print();
+
+    std::printf("\nExpected shape: computed cells grow ~W^2/(W-O); wider "
+                "windows track more of the 160-cell structural detour "
+                "(smaller distance error), but no fixed corridor recovers "
+                "it fully — the accuracy/efficiency trade-off that "
+                "separates Windowed from the exact Full/auto-Banded "
+                "configurations.\n");
+    return 0;
+}

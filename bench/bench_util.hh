@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every binary regenerates one table or figure of the paper; the header
+ * banner states which one and what the paper reports, so the output can
+ * be compared side by side (see EXPERIMENTS.md).
+ */
+
+#ifndef GMX_BENCH_BENCH_UTIL_HH
+#define GMX_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sequence/dataset.hh"
+
+namespace gmx::bench {
+
+/** Print the banner identifying the reproduced experiment. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("Paper reference: %s\n", paper_claim.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Shorthand scientific-ish formatting for throughputs. */
+inline std::string
+fmtThroughput(double alignments_per_second)
+{
+    char buf[64];
+    if (alignments_per_second >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.3gM", alignments_per_second / 1e6);
+    else if (alignments_per_second >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.3gk", alignments_per_second / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3g", alignments_per_second);
+    return buf;
+}
+
+/** The five short-sequence evaluation sets (small pair counts for speed). */
+inline std::vector<seq::Dataset>
+benchShortDatasets(size_t pairs = 3)
+{
+    return seq::shortDatasets(pairs, /*seed=*/2024);
+}
+
+/** Long-sequence sets, optionally capped. */
+inline std::vector<seq::Dataset>
+benchLongDatasets(size_t pairs = 2, size_t max_len = 10000)
+{
+    return seq::longDatasets(pairs, /*seed=*/2025, max_len);
+}
+
+} // namespace gmx::bench
+
+#endif // GMX_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 4 companion: the DP-matrix regions each GMX-accelerated
+ * strategy computes and stores. Fig. 4 is the paper's didactic picture;
+ * this bench prints the measured tile/cell/storage counts behind it for
+ * one concrete alignment, demonstrating the Full / Banded / Windowed
+ * compute-and-memory envelopes of §4.1.
+ */
+
+#include "align/nw.hh"
+#include "bench_util.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+#include "gmx/windowed.hh"
+
+int
+main()
+{
+    using namespace gmx;
+
+    gmx::bench::banner(
+        "Figure 4 companion: computed/stored DP-elements per strategy",
+        "Full computes nm/T^2 tiles storing edges only; Banded computes "
+        "m*B/T^2 tiles; Windowed computes overlapping W x W windows with "
+        "register-resident state");
+
+    const auto ds = seq::makeDataset("4kbp-e10%", 4000, 0.10, 1, 991);
+    const auto &pair = ds.pairs[0];
+    const double n = static_cast<double>(pair.pattern.size());
+    const double m = static_cast<double>(pair.text.size());
+    const i64 exact = align::nwDistance(pair.pattern, pair.text);
+
+    TextTable table({"strategy", "cells computed", "% of matrix",
+                     "DP-elements stored", "distance"});
+    const double matrix = n * m;
+
+    auto add_row = [&](const char *name, const align::KernelCounts &c,
+                       double stored, i64 distance) {
+        table.addRow({name,
+                      TextTable::num(static_cast<long long>(c.cells)),
+                      TextTable::num(100.0 * static_cast<double>(c.cells) /
+                                         matrix,
+                                     1),
+                      TextTable::num(static_cast<long long>(stored)),
+                      TextTable::num(static_cast<long long>(distance))});
+    };
+
+    {
+        // Classical DP stores every element (the paper's reference point).
+        table.addRow({"Full(DP)",
+                      TextTable::num(static_cast<long long>(matrix)),
+                      "100.0",
+                      TextTable::num(static_cast<long long>(matrix)),
+                      TextTable::num(static_cast<long long>(exact))});
+    }
+    {
+        align::KernelCounts c;
+        const auto res = core::fullGmxAlign(pair.pattern, pair.text, 32, &c);
+        // Edge matrix: 2T elements per tile (T right + T bottom).
+        const double tiles = (n / 32) * (m / 32);
+        add_row("Full(GMX)", c, tiles * 64, res.distance);
+    }
+    {
+        align::KernelCounts c;
+        const auto res =
+            core::bandedGmxAuto(pair.pattern, pair.text, true, 64, 32, &c);
+        const double band_tiles =
+            (n / 32) * (2.0 * (static_cast<double>(res.distance) / 32 + 2) +
+                        1);
+        add_row("Banded(GMX, auto-k)", c, band_tiles * 64, res.distance);
+    }
+    {
+        align::KernelCounts c;
+        const auto res = core::windowedGmxAlign(pair.pattern, pair.text, 32,
+                                                {96, 32}, &c);
+        // Windowed keeps one window of edges (registers) + the CIGAR.
+        add_row("Windowed(GMX)", c, 9 * 64, res.distance);
+    }
+    table.print();
+
+    std::printf("\nExpected shape (Fig. 4): Full touches 100%% of the "
+                "matrix but stores T-fold less than DP; Banded computes "
+                "only the diagonal band; Windowed recomputes the overlap "
+                "(cells above the committed corridor) with near-zero "
+                "storage, trading exactness for it.\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Figure 10 reproduction: alignment throughput of the seven software
+ * configurations on the gem5-InOrder platform, for the short-sequence
+ * (100-300 bp @ 5% error) and long-sequence (1-10 kbp @ 15% error)
+ * workloads, followed by the speedup summary the paper quotes.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "sim/perf.hh"
+#include "sim/workloads.hh"
+
+namespace {
+
+using namespace gmx;
+using namespace gmx::sim;
+
+const std::vector<Algo> kAlgos = {
+    Algo::FullDp,        Algo::FullBpm, Algo::BandedEdlib,
+    Algo::WindowedGenasm, Algo::FullGmx, Algo::BandedGmx,
+    Algo::WindowedGmx,
+};
+
+using ThroughputMap = std::map<Algo, std::vector<double>>;
+
+ThroughputMap
+runGroup(const std::vector<seq::Dataset> &group, const CoreConfig &core,
+         const MemSystemConfig &mem, size_t samples)
+{
+    ThroughputMap out;
+    TextTable table([&] {
+        std::vector<std::string> headers = {"dataset"};
+        for (Algo a : kAlgos)
+            headers.push_back(algoName(a));
+        return headers;
+    }());
+
+    for (const auto &ds : group) {
+        std::vector<std::string> row = {ds.name};
+        for (Algo a : kAlgos) {
+            WorkloadOptions opts;
+            opts.samples = samples;
+            const KernelProfile profile = profileForDataset(a, ds, opts);
+            const PerfResult res = evaluate(profile, core, mem);
+            out[a].push_back(res.alignments_per_second);
+            row.push_back(gmx::bench::fmtThroughput(
+                res.alignments_per_second));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    return out;
+}
+
+double
+geomeanRatio(const std::vector<double> &num, const std::vector<double> &den)
+{
+    GeoMean g;
+    for (size_t i = 0; i < num.size(); ++i)
+        g.add(num[i] / den[i]);
+    return g.value();
+}
+
+void
+summary(const ThroughputMap &tp, const char *label, double full_dp,
+        double full_bpm, double banded, double windowed)
+{
+    std::printf("\nSpeedup summary (%s sequences) — geomean, "
+                "[paper's figure]\n",
+                label);
+    TextTable t({"comparison", "measured", "paper"});
+    t.addRow({"Full(GMX) / Full(DP)",
+              TextTable::num(geomeanRatio(tp.at(Algo::FullGmx),
+                                          tp.at(Algo::FullDp)),
+                             0),
+              TextTable::num(full_dp, 0)});
+    t.addRow({"Full(GMX) / Full(BPM)",
+              TextTable::num(geomeanRatio(tp.at(Algo::FullGmx),
+                                          tp.at(Algo::FullBpm)),
+                             0),
+              TextTable::num(full_bpm, 0)});
+    t.addRow({"Banded(GMX) / Banded(Edlib)",
+              TextTable::num(geomeanRatio(tp.at(Algo::BandedGmx),
+                                          tp.at(Algo::BandedEdlib)),
+                             0),
+              TextTable::num(banded, 0)});
+    t.addRow({"Windowed(GMX) / Windowed(GenASM-CPU)",
+              TextTable::num(geomeanRatio(tp.at(Algo::WindowedGmx),
+                                          tp.at(Algo::WindowedGenasm)),
+                             0),
+              TextTable::num(windowed, 0)});
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    gmx::bench::banner(
+        "Figure 10: gem5-InOrder throughput comparison (alignments/s)",
+        "short: Full(GMX) 597x vs Full(DP), 18x vs Full(BPM); "
+        "Banded(GMX) 267x; Windowed(GMX) 3809x. long: 2436x / 42x / "
+        "372x / 13253x");
+
+    const CoreConfig core = CoreConfig::gem5InOrder();
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+
+    std::printf("\n-- Short sequences (100-300 bp, 5%% error) --\n");
+    const auto short_tp =
+        runGroup(gmx::bench::benchShortDatasets(3), core, mem, 2);
+    std::printf("\n-- Long sequences (1-10 kbp, 15%% error) --\n");
+    const auto long_tp =
+        runGroup(gmx::bench::benchLongDatasets(2, 10000), core, mem, 1);
+
+    summary(short_tp, "short", 597, 18, 267, 3809);
+    summary(long_tp, "long", 2436, 42, 372, 13253);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 13 reproduction: area and power breakdown of the GMX-enhanced
+ * RTL SoC in 22nm at 1 GHz, from the gate-level netlist model.
+ */
+
+#include "bench_util.hh"
+#include "hw/asic.hh"
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+
+int
+main()
+{
+    using namespace gmx;
+    using namespace gmx::hw;
+
+    gmx::bench::banner(
+        "Figure 13: area/power breakdown of the GMX SoC (22nm, 1 GHz)",
+        "GMX total 0.0216 mm2 (GMX-AC 0.008, GMX-TB 0.0108), 1.7% of SoC "
+        "area; 8.47 mW, 2.1% of SoC power; AC latency 2 cycles, TB 6");
+
+    const GmxAsicReport gmx_rep = gmxAsicReport(32, 1.0);
+    std::printf("\n-- GMX unit (T=32) --\n");
+    TextTable unit({"block", "gates", "NAND2-eq", "area mm2", "power mW"});
+    const auto ac_stats = GmxAcArray(32).stats();
+    const auto tb_stats = GmxTbArray(32).stats();
+    unit.addRow({"GMX-AC", TextTable::num((long long)ac_stats.gates),
+                 TextTable::num(ac_stats.nand2, 0),
+                 TextTable::num(gmx_rep.ac.area_mm2, 4),
+                 TextTable::num(gmx_rep.ac.power_mw, 2)});
+    unit.addRow({"GMX-TB", TextTable::num((long long)tb_stats.gates),
+                 TextTable::num(tb_stats.nand2, 0),
+                 TextTable::num(gmx_rep.tb.area_mm2, 4),
+                 TextTable::num(gmx_rep.tb.power_mw, 2)});
+    unit.addRow({"GMX-CSRs", "-", "-",
+                 TextTable::num(gmx_rep.csr.area_mm2, 4),
+                 TextTable::num(gmx_rep.csr.power_mw, 2)});
+    unit.addRow({"total", "-", "-",
+                 TextTable::num(gmx_rep.total_area_mm2, 4),
+                 TextTable::num(gmx_rep.total_power_mw, 2)});
+    unit.print();
+    std::printf("paper: AC 0.0080, TB 0.0108, total 0.0216 mm2; 8.47 mW\n");
+    std::printf("latencies after segmentation: GMX-AC %u cycles, GMX-TB %u "
+                "cycles (paper: 2 and 6)\n",
+                gmx_rep.ac_cycles, gmx_rep.tb_cycles);
+
+    std::printf("\n-- SoC context --\n");
+    const SocReport soc = socReport();
+    TextTable soc_table({"block", "area mm2", "power mW"});
+    for (const auto &b : soc.blocks)
+        soc_table.addRow({b.name, TextTable::num(b.area_mm2, 4),
+                          TextTable::num(b.power_mw, 2)});
+    soc_table.addRow({"SoC total", TextTable::num(soc.total_area_mm2, 3),
+                      TextTable::num(soc.total_power_mw, 1)});
+    soc_table.print();
+    std::printf("GMX fraction of SoC: area %.2f%% (paper 1.7%%), power "
+                "%.2f%% (paper 2.1%%)\n",
+                soc.gmx_area_fraction * 100, soc.gmx_power_fraction * 100);
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Native (host wall-clock) microbenchmarks of every aligner and of the
+ * GMX-Tile kernel, via google-benchmark. These are not the paper's
+ * simulated numbers — they anchor the instruction-count ratios the
+ * performance model consumes and catch performance regressions in the
+ * kernels themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/affine.hh"
+#include "align/bitap.hh"
+#include "align/bpm.hh"
+#include "align/bpm_banded.hh"
+#include "align/nw.hh"
+#include "align/windowed.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+#include "gmx/tile.hh"
+#include "gmx/windowed.hh"
+#include "sequence/generator.hh"
+
+namespace {
+
+using namespace gmx;
+
+seq::SequencePair
+pairFor(size_t len, double err)
+{
+    seq::Generator gen(123456 + len);
+    return gen.pair(len, err);
+}
+
+void
+BM_TileCompute(benchmark::State &state)
+{
+    seq::Generator gen(1);
+    const auto p = gen.random(32);
+    const auto t = gen.random(32);
+    core::TileInput in;
+    in.pattern = p.codes().data();
+    in.tp = 32;
+    in.text = t.codes().data();
+    in.tt = 32;
+    in.dv_in = core::DeltaVec::ones(32);
+    in.dh_in = core::DeltaVec::ones(32);
+    for (auto _ : state) {
+        auto out = core::tileCompute(in);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024); // DP-elems
+}
+BENCHMARK(BM_TileCompute);
+
+template <typename Fn>
+void
+alignLoop(benchmark::State &state, size_t len, double err, Fn &&fn)
+{
+    const auto pair = pairFor(len, err);
+    for (auto _ : state) {
+        auto out = fn(pair);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FullDp(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::nwAlign(p.pattern, p.text).distance;
+              });
+}
+BENCHMARK(BM_FullDp)->Arg(150)->Arg(1000);
+
+void
+BM_FullBpm(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::bpmAlign(p.pattern, p.text).distance;
+              });
+}
+BENCHMARK(BM_FullBpm)->Arg(150)->Arg(1000)->Arg(3000);
+
+void
+BM_BandedEdlib(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::edlibAlign(p.pattern, p.text).distance;
+              });
+}
+BENCHMARK(BM_BandedEdlib)->Arg(150)->Arg(1000)->Arg(3000);
+
+void
+BM_WindowedGenasmCpu(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::genasmCpuAlign(p.pattern, p.text, {96, 32})
+                      .distance;
+              });
+}
+BENCHMARK(BM_WindowedGenasmCpu)->Arg(150)->Arg(1000);
+
+void
+BM_FullGmxEmulated(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return core::fullGmxAlign(p.pattern, p.text, 32).distance;
+              });
+}
+BENCHMARK(BM_FullGmxEmulated)->Arg(150)->Arg(1000)->Arg(3000);
+
+void
+BM_BandedGmxEmulated(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return core::bandedGmxAuto(p.pattern, p.text, false)
+                      .distance;
+              });
+}
+BENCHMARK(BM_BandedGmxEmulated)->Arg(150)->Arg(1000)->Arg(3000);
+
+void
+BM_WindowedGmxEmulated(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return core::windowedGmxAlign(p.pattern, p.text, 32,
+                                                {96, 32})
+                      .distance;
+              });
+}
+BENCHMARK(BM_WindowedGmxEmulated)->Arg(150)->Arg(1000)->Arg(3000);
+
+void
+BM_AffineExact(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::affineScore(p.pattern, p.text,
+                                            align::AffinePenalties());
+              });
+}
+BENCHMARK(BM_AffineExact)->Arg(150)->Arg(1000);
+
+void
+BM_Bitap(benchmark::State &state)
+{
+    alignLoop(state, static_cast<size_t>(state.range(0)), 0.05,
+              [](const seq::SequencePair &p) {
+                  return align::bitapAlignAuto(p.pattern, p.text).distance;
+              });
+}
+BENCHMARK(BM_Bitap)->Arg(150);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * gmx-align: a command-line pairwise aligner over the library, in the
+ * spirit of the tools the paper integrates GMX into.
+ *
+ * Usage:
+ *   align_tool [--algo full|banded|windowed|bpm|edlib|nw]
+ *              [--tile T] [--window W] [--overlap O]
+ *              [--score-only] [--generate N LEN ERR] [FILE.seq]
+ *
+ * Input is the WFA-style pair format (">PATTERN\n<TEXT" per task). With
+ * --generate, a synthetic dataset is aligned instead (and no file is
+ * read). Prints one line per pair: distance and (unless --score-only)
+ * the run-length CIGAR.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "align/bpm.hh"
+#include "align/bpm_banded.hh"
+#include "align/nw.hh"
+#include "common/logging.hh"
+#include "common/timer.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+#include "gmx/windowed.hh"
+#include "sequence/fasta.hh"
+
+namespace {
+
+using namespace gmx;
+
+struct Options
+{
+    std::string algo = "full";
+    unsigned tile = 32;
+    size_t window = 96;
+    size_t overlap = 32;
+    bool score_only = false;
+    // --generate
+    size_t gen_count = 0;
+    size_t gen_length = 0;
+    double gen_error = 0;
+    std::string file;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: align_tool [--algo full|banded|windowed|bpm|edlib|nw]\n"
+        "                  [--tile T] [--window W] [--overlap O]\n"
+        "                  [--score-only] [--generate N LEN ERR] "
+        "[FILE.seq]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--algo") {
+            opt.algo = next();
+        } else if (arg == "--tile") {
+            opt.tile = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--window") {
+            opt.window = static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--overlap") {
+            opt.overlap = static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--score-only") {
+            opt.score_only = true;
+        } else if (arg == "--generate") {
+            opt.gen_count = static_cast<size_t>(std::atoll(next()));
+            opt.gen_length = static_cast<size_t>(std::atoll(next()));
+            opt.gen_error = std::atof(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+        } else {
+            opt.file = arg;
+        }
+    }
+    if (opt.file.empty() && opt.gen_count == 0)
+        usage();
+    return opt;
+}
+
+align::AlignResult
+alignPair(const Options &opt, const seq::SequencePair &pair)
+{
+    const bool cigar = !opt.score_only;
+    if (opt.algo == "full") {
+        if (cigar)
+            return core::fullGmxAlign(pair.pattern, pair.text, opt.tile);
+        align::AlignResult res;
+        res.distance =
+            core::fullGmxDistance(pair.pattern, pair.text, opt.tile);
+        return res;
+    }
+    if (opt.algo == "banded") {
+        return core::bandedGmxAuto(pair.pattern, pair.text, cigar, 64,
+                                   opt.tile);
+    }
+    if (opt.algo == "windowed") {
+        return core::windowedGmxAlign(pair.pattern, pair.text, opt.tile,
+                                      {opt.window, opt.overlap});
+    }
+    if (opt.algo == "bpm")
+        return align::bpmAlign(pair.pattern, pair.text);
+    if (opt.algo == "edlib")
+        return align::edlibAlign(pair.pattern, pair.text, cigar);
+    if (opt.algo == "nw")
+        return align::nwAlign(pair.pattern, pair.text);
+    GMX_FATAL("unknown algorithm '%s'", opt.algo.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    std::vector<seq::SequencePair> pairs;
+    try {
+        if (opt.gen_count > 0) {
+            const auto ds = seq::makeDataset("cli", opt.gen_length,
+                                             opt.gen_error, opt.gen_count,
+                                             /*seed=*/12345);
+            pairs = ds.pairs;
+        } else {
+            pairs = seq::readSeqPairsFile(opt.file);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    Timer timer;
+    u64 total_distance = 0;
+    for (size_t idx = 0; idx < pairs.size(); ++idx) {
+        align::AlignResult res;
+        try {
+            res = alignPair(opt, pairs[idx]);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+        total_distance += static_cast<u64>(res.distance);
+        if (opt.score_only || !res.has_cigar) {
+            std::printf("%zu\t%lld\n", idx,
+                        static_cast<long long>(res.distance));
+        } else {
+            std::printf("%zu\t%lld\t%s\n", idx,
+                        static_cast<long long>(res.distance),
+                        res.cigar.compressed().c_str());
+        }
+    }
+    const double secs = timer.seconds();
+    std::fprintf(stderr,
+                 "# %zu pairs with %s in %.3fs (%.1f alignments/s), total "
+                 "distance %llu\n",
+                 pairs.size(), opt.algo.c_str(), secs,
+                 pairs.empty() ? 0.0 : pairs.size() / secs,
+                 static_cast<unsigned long long>(total_distance));
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sequence clustering with an edit-distance pre-filter: the paper's
+ * DNA-data-storage / clustering use case (§2.4, refs [86, 112]).
+ *
+ * A set of "strands" is generated as noisy copies of a few originals.
+ * All pairs are screened with Banded(GMX) at a small edit budget k: pairs
+ * within k are connected, and connected components recover the clusters.
+ * The banded early-reject is what makes the quadratic all-pairs pass
+ * affordable — most comparisons terminate without computing the matrix.
+ */
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "gmx/banded.hh"
+#include "sequence/generator.hh"
+
+namespace {
+
+using namespace gmx;
+
+constexpr size_t kClusters = 12;
+constexpr size_t kCopiesPerCluster = 8;
+constexpr size_t kStrandLength = 200;
+constexpr double kCopyErrorRate = 0.03;
+constexpr i64 kEditBudget = 24; // ~2x expected intra-cluster distance
+
+/** Union-find over strand indices. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), size_t{0});
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(size_t a, size_t b) { parent_[find(a)] = find(b); }
+
+  private:
+    std::vector<size_t> parent_;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("GMX edit-distance clustering example\n");
+    std::printf("%zu clusters x %zu noisy copies of %zu bp strands "
+                "(%.0f%% copy error), edit budget k=%lld\n\n",
+                kClusters, kCopiesPerCluster, kStrandLength,
+                kCopyErrorRate * 100, static_cast<long long>(kEditBudget));
+
+    seq::Generator gen(13);
+    std::vector<seq::Sequence> strands;
+    std::vector<size_t> truth; // generating cluster of each strand
+    for (size_t c = 0; c < kClusters; ++c) {
+        const seq::Sequence original = gen.random(kStrandLength);
+        for (size_t copy = 0; copy < kCopiesPerCluster; ++copy) {
+            strands.push_back(gen.mutate(original, kCopyErrorRate));
+            truth.push_back(c);
+        }
+    }
+
+    UnionFind uf(strands.size());
+    size_t compared = 0, connected = 0;
+    for (size_t a = 0; a < strands.size(); ++a) {
+        for (size_t b = a + 1; b < strands.size(); ++b) {
+            ++compared;
+            const auto res = core::bandedGmxAlign(
+                strands[a], strands[b], kEditBudget, /*want_cigar=*/false);
+            if (res.found()) {
+                uf.unite(a, b);
+                ++connected;
+            }
+        }
+    }
+
+    // Score: strands sharing a component vs sharing a generating cluster.
+    size_t agree = 0, total = 0;
+    for (size_t a = 0; a < strands.size(); ++a) {
+        for (size_t b = a + 1; b < strands.size(); ++b) {
+            ++total;
+            const bool same_comp = uf.find(a) == uf.find(b);
+            const bool same_truth = truth[a] == truth[b];
+            agree += same_comp == same_truth;
+        }
+    }
+
+    std::printf("pairwise filters run : %zu\n", compared);
+    std::printf("pairs within budget  : %zu\n", connected);
+    std::printf("pair agreement with ground truth: %.2f%%\n",
+                100.0 * agree / total);
+    std::printf("\nThe banded filter rejects cross-cluster pairs without "
+                "full alignment: with k << n the band covers only "
+                "O(k/T * n/T) tiles per comparison.\n");
+    return agree == total ? 0 : (100 * agree / total >= 99 ? 0 : 1);
+}

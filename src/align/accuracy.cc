@@ -1,0 +1,48 @@
+#include "align/accuracy.hh"
+
+#include <cmath>
+
+#include "align/affine.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+AccuracyStats
+measureAccuracy(const seq::Dataset &dataset, const CigarFn &aligner,
+                const AffinePenalties &pen)
+{
+    AccuracyStats stats;
+    double dev_sum = 0;
+    double rel_sum = 0;
+    size_t exact = 0;
+
+    for (const auto &pair : dataset.pairs) {
+        const i64 optimal = affineScore(pair.pattern, pair.text, pen);
+        const Cigar cigar = aligner(pair);
+        const auto check = verifyCigar(pair.pattern, pair.text, cigar);
+        if (!check.ok)
+            GMX_FATAL("measureAccuracy: invalid CIGAR: %s",
+                      check.error.c_str());
+        const i64 rescored = affineScoreOfCigar(cigar, pen);
+        GMX_ASSERT(rescored <= optimal,
+                   "a valid alignment cannot beat the optimal score");
+        const double dev = static_cast<double>(optimal - rescored);
+        dev_sum += dev;
+        if (optimal != 0)
+            rel_sum += dev / std::abs(static_cast<double>(optimal));
+        if (rescored == optimal)
+            ++exact;
+        ++stats.pairs;
+    }
+
+    if (stats.pairs > 0) {
+        stats.mean_deviation = dev_sum / static_cast<double>(stats.pairs);
+        stats.mean_rel_deviation = rel_sum / static_cast<double>(stats.pairs);
+        stats.exact_fraction =
+            static_cast<double>(exact) / static_cast<double>(stats.pairs);
+    }
+    return stats;
+}
+
+} // namespace gmx::align

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Accuracy analysis for Figure 3: how far an aligner's result is from the
+ * optimal gap-affine alignment, measured as alignment-score deviation.
+ */
+
+#ifndef GMX_ALIGN_ACCURACY_HH
+#define GMX_ALIGN_ACCURACY_HH
+
+#include <functional>
+#include <string>
+
+#include "align/types.hh"
+#include "sequence/dataset.hh"
+
+namespace gmx::align {
+
+/** Aggregate accuracy of one aligner over one dataset. */
+struct AccuracyStats
+{
+    size_t pairs = 0;
+    double mean_deviation = 0;     //!< mean (optimal - rescored) score gap
+    double mean_rel_deviation = 0; //!< deviation / |optimal|
+    double exact_fraction = 0;     //!< pairs whose rescored score is optimal
+};
+
+/** Produces a full alignment CIGAR for one pair. */
+using CigarFn = std::function<Cigar(const seq::SequencePair &)>;
+
+/**
+ * For each pair: compute the optimal gap-affine score (exact Gotoh), rescore
+ * the candidate aligner's CIGAR under the same penalties, and aggregate the
+ * deviation. This is the paper's Fig. 3 accuracy metric.
+ */
+AccuracyStats measureAccuracy(const seq::Dataset &dataset,
+                              const CigarFn &aligner,
+                              const AffinePenalties &pen);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_ACCURACY_HH

@@ -1,0 +1,425 @@
+#include "align/affine.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+namespace {
+
+/** A safely addable "minus infinity" for score DP. */
+constexpr i64 kNegInf = std::numeric_limits<i64>::min() / 4;
+
+/** Traceback byte layout for the affine DP. */
+enum TbBits : u8
+{
+    kHFromDiag = 0,  // H source: diagonal
+    kHFromE = 1,     // H source: E (deletion, horizontal)
+    kHFromF = 2,     // H source: F (insertion, vertical)
+    kHSrcMask = 3,
+    kEExtend = 1 << 2, // E extended a previous E (stay in the gap)
+    kFExtend = 1 << 3, // F extended a previous F
+    kStop = 1 << 4,    // local alignment: score clamped at zero here
+};
+
+i64
+substScore(const seq::Sequence &p, const seq::Sequence &t, size_t i, size_t j,
+           const AffinePenalties &pen)
+{
+    return p.at(i - 1) == t.at(j - 1) ? static_cast<i64>(pen.match)
+                                      : -static_cast<i64>(pen.mismatch);
+}
+
+/**
+ * Shared traceback walker for the global affine aligners. @p tb_at maps a
+ * (i, j) cell to its traceback byte.
+ */
+template <typename TbAt>
+Cigar
+affineTraceback(const seq::Sequence &pattern, const seq::Sequence &text,
+                i64 start_i, i64 start_j, TbAt &&tb_at)
+{
+    i64 i = start_i, j = start_j;
+    int state = 0; // 0 = H, 1 = E (deletion run), 2 = F (insertion run)
+    std::vector<Op> ops;
+    ops.reserve(static_cast<size_t>(start_i + start_j));
+    while (i > 0 || j > 0) {
+        if (i == 0)
+            state = 1;
+        else if (j == 0)
+            state = 2;
+        const u8 bits = tb_at(i, j);
+        if (state == 0) {
+            switch (bits & kHSrcMask) {
+              case kHFromDiag:
+                ops.push_back(pattern.at(static_cast<size_t>(i - 1)) ==
+                                      text.at(static_cast<size_t>(j - 1))
+                                  ? Op::Match
+                                  : Op::Mismatch);
+                --i;
+                --j;
+                break;
+              case kHFromE:
+                state = 1;
+                break;
+              case kHFromF:
+                state = 2;
+                break;
+              default:
+                GMX_PANIC("corrupt affine traceback byte");
+            }
+        } else if (state == 1) {
+            ops.push_back(Op::Deletion);
+            const bool extend = (bits & kEExtend) != 0 && j > 1;
+            --j;
+            if (!extend)
+                state = 0;
+        } else {
+            ops.push_back(Op::Insertion);
+            const bool extend = (bits & kFExtend) != 0 && i > 1;
+            --i;
+            if (!extend)
+                state = 0;
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    return Cigar(std::move(ops));
+}
+
+} // namespace
+
+i64
+affineScore(const seq::Sequence &pattern, const seq::Sequence &text,
+            const AffinePenalties &pen)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    const i64 open = pen.gap_open + pen.gap_extend;
+    const i64 ext = pen.gap_extend;
+
+    // H is the running row; F (vertical gap) needs the previous row of the
+    // same column, so it is an array; E (horizontal gap) needs the previous
+    // column of the same row, so it is a running scalar.
+    std::vector<i64> H(m + 1), F(m + 1);
+    H[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+        H[j] = -(pen.gap_open + static_cast<i64>(j) * ext);
+        F[j] = kNegInf;
+    }
+
+    for (size_t i = 1; i <= n; ++i) {
+        i64 diag = H[0];
+        H[0] = -(pen.gap_open + static_cast<i64>(i) * ext);
+        i64 E = kNegInf;
+        for (size_t j = 1; j <= m; ++j) {
+            const i64 up = H[j];                        // H[i-1][j]
+            F[j] = std::max(up - open, F[j] - ext);     // vertical gap
+            E = std::max(H[j - 1] - open, E - ext);     // horizontal gap
+            const i64 d = diag + substScore(pattern, text, i, j, pen);
+            H[j] = std::max({d, E, F[j]});
+            diag = up;
+        }
+    }
+    return H[m];
+}
+
+AffineResult
+affineAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+            const AffinePenalties &pen)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    const size_t stride = m + 1;
+    const i64 open = pen.gap_open + pen.gap_extend;
+    const i64 ext = pen.gap_extend;
+
+    std::vector<u8> tb((n + 1) * stride, 0);
+    std::vector<i64> H(m + 1), F(m + 1);
+
+    H[0] = 0;
+    for (size_t j = 1; j <= m; ++j) {
+        H[j] = -(pen.gap_open + static_cast<i64>(j) * ext);
+        F[j] = kNegInf;
+        tb[j] = kHFromE | kEExtend;
+    }
+
+    for (size_t i = 1; i <= n; ++i) {
+        i64 diag = H[0];
+        H[0] = -(pen.gap_open + static_cast<i64>(i) * ext);
+        tb[i * stride] = kHFromF | kFExtend;
+        i64 E = kNegInf;
+        for (size_t j = 1; j <= m; ++j) {
+            u8 bits = 0;
+            const i64 up = H[j];
+
+            const i64 f_open = up - open;
+            const i64 f_ext = F[j] - ext;
+            if (f_ext > f_open)
+                bits |= kFExtend;
+            F[j] = std::max(f_open, f_ext);
+
+            const i64 e_open = H[j - 1] - open;
+            const i64 e_ext = E - ext;
+            if (e_ext > e_open)
+                bits |= kEExtend;
+            E = std::max(e_open, e_ext);
+
+            const i64 d = diag + substScore(pattern, text, i, j, pen);
+            i64 best = d;
+            u8 src = kHFromDiag;
+            if (E > best) {
+                best = E;
+                src = kHFromE;
+            }
+            if (F[j] > best) {
+                best = F[j];
+                src = kHFromF;
+            }
+            H[j] = best;
+            tb[i * stride + j] = bits | src;
+            diag = up;
+        }
+    }
+
+    AffineResult res;
+    res.score = H[m];
+    res.has_cigar = true;
+    res.cigar = affineTraceback(
+        pattern, text, static_cast<i64>(n), static_cast<i64>(m),
+        [&](i64 i, i64 j) {
+            return tb[static_cast<size_t>(i) * stride +
+                      static_cast<size_t>(j)];
+        });
+    return res;
+}
+
+AffineResult
+affineAlignBanded(const seq::Sequence &pattern, const seq::Sequence &text,
+                  const AffinePenalties &pen, i64 band)
+{
+    const i64 n = static_cast<i64>(pattern.size());
+    const i64 m = static_cast<i64>(text.size());
+    AffineResult res;
+    if (band < 0 || std::abs(n - m) > band)
+        return res; // the band cannot reach the (n, m) corner
+
+    const i64 width = 2 * band + 1;
+    const i64 open = pen.gap_open + pen.gap_extend;
+    const i64 ext = pen.gap_extend;
+
+    // Band-relative storage: cell (i, j) lives at band column (j - i + band).
+    // Moving from row i-1 to row i, the same text column j shifts one band
+    // column to the left; hence "up" is column c+1 of the previous row and
+    // "diagonal" is column c of the previous row.
+    const auto W = static_cast<size_t>(width);
+    std::vector<u8> tb(static_cast<size_t>(n + 1) * W, 0);
+    std::vector<i64> Hprev(W, kNegInf), Hcur(W, kNegInf);
+    std::vector<i64> Eprev(W, kNegInf), Ecur(W, kNegInf);
+    std::vector<i64> Fprev(W, kNegInf), Fcur(W, kNegInf);
+
+    auto tb_at = [&](i64 i, i64 j) -> u8 & {
+        return tb[static_cast<size_t>(i) * W +
+                  static_cast<size_t>(j - i + band)];
+    };
+
+    // Row 0: only E-moves along the top edge.
+    for (i64 j = 0; j <= std::min(m, band); ++j) {
+        const size_t c = static_cast<size_t>(j + band);
+        Hprev[c] = j == 0 ? 0 : -(pen.gap_open + j * ext);
+        Eprev[c] = j == 0 ? kNegInf : Hprev[c];
+        if (j > 0)
+            tb_at(0, j) = kHFromE | kEExtend;
+    }
+
+    for (i64 i = 1; i <= n; ++i) {
+        std::fill(Hcur.begin(), Hcur.end(), kNegInf);
+        std::fill(Ecur.begin(), Ecur.end(), kNegInf);
+        std::fill(Fcur.begin(), Fcur.end(), kNegInf);
+
+        const i64 j_lo = std::max<i64>(0, i - band);
+        const i64 j_hi = std::min<i64>(m, i + band);
+        for (i64 j = j_lo; j <= j_hi; ++j) {
+            const size_t c = static_cast<size_t>(j - i + band);
+            if (j == 0) {
+                Hcur[c] = -(pen.gap_open + i * ext);
+                Fcur[c] = Hcur[c];
+                tb_at(i, j) = kHFromF | kFExtend;
+                continue;
+            }
+            u8 bits = 0;
+
+            // F (insertion) from H[i-1][j] / F[i-1][j] = prev row, col c+1.
+            i64 f_open = kNegInf, f_ext = kNegInf;
+            if (c + 1 < W) {
+                if (Hprev[c + 1] > kNegInf / 2)
+                    f_open = Hprev[c + 1] - open;
+                if (Fprev[c + 1] > kNegInf / 2)
+                    f_ext = Fprev[c + 1] - ext;
+            }
+            if (f_ext > f_open)
+                bits |= kFExtend;
+            Fcur[c] = std::max(f_open, f_ext);
+
+            // E (deletion) from H[i][j-1] / E[i][j-1] = this row, col c-1.
+            i64 e_open = kNegInf, e_ext = kNegInf;
+            if (c >= 1) {
+                if (Hcur[c - 1] > kNegInf / 2)
+                    e_open = Hcur[c - 1] - open;
+                if (Ecur[c - 1] > kNegInf / 2)
+                    e_ext = Ecur[c - 1] - ext;
+            }
+            if (e_ext > e_open)
+                bits |= kEExtend;
+            Ecur[c] = std::max(e_open, e_ext);
+
+            // Diagonal from H[i-1][j-1] = prev row, same band column.
+            i64 d = kNegInf;
+            if (Hprev[c] > kNegInf / 2) {
+                d = Hprev[c] + substScore(pattern, text, static_cast<size_t>(i),
+                                          static_cast<size_t>(j), pen);
+            }
+
+            i64 best = d;
+            u8 src = kHFromDiag;
+            if (Ecur[c] > best) {
+                best = Ecur[c];
+                src = kHFromE;
+            }
+            if (Fcur[c] > best) {
+                best = Fcur[c];
+                src = kHFromF;
+            }
+            Hcur[c] = best;
+            tb_at(i, j) = bits | src;
+        }
+        Hprev.swap(Hcur);
+        Eprev.swap(Ecur);
+        Fprev.swap(Fcur);
+    }
+
+    const i64 final_score = Hprev[static_cast<size_t>(m - n + band)];
+    if (final_score <= kNegInf / 2)
+        return res; // the corner was not reachable inside the band
+
+    res.score = final_score;
+    res.has_cigar = true;
+    res.cigar = affineTraceback(pattern, text, n, m,
+                                [&](i64 i, i64 j) { return tb_at(i, j); });
+    return res;
+}
+
+LocalResult
+swAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+        const AffinePenalties &pen)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    const size_t stride = m + 1;
+    const i64 open = pen.gap_open + pen.gap_extend;
+    const i64 ext = pen.gap_extend;
+
+    std::vector<u8> tb((n + 1) * stride, 0);
+    std::vector<i64> H(m + 1, 0), F(m + 1, kNegInf);
+
+    LocalResult best;
+    size_t best_i = 0, best_j = 0;
+
+    for (size_t i = 1; i <= n; ++i) {
+        i64 diag = H[0];
+        i64 E = kNegInf;
+        for (size_t j = 1; j <= m; ++j) {
+            u8 bits = 0;
+            const i64 up = H[j];
+
+            const i64 f_open = up - open;
+            const i64 f_ext = F[j] - ext;
+            if (f_ext > f_open)
+                bits |= kFExtend;
+            F[j] = std::max(f_open, f_ext);
+
+            const i64 e_open = H[j - 1] - open;
+            const i64 e_ext = E - ext;
+            if (e_ext > e_open)
+                bits |= kEExtend;
+            E = std::max(e_open, e_ext);
+
+            const i64 d = diag + substScore(pattern, text, i, j, pen);
+            i64 score = d;
+            u8 src = kHFromDiag;
+            if (E > score) {
+                score = E;
+                src = kHFromE;
+            }
+            if (F[j] > score) {
+                score = F[j];
+                src = kHFromF;
+            }
+            if (score <= 0) {
+                score = 0;
+                bits |= kStop;
+            }
+            H[j] = score;
+            tb[i * stride + j] = bits | src;
+            diag = up;
+
+            if (score > best.score) {
+                best.score = score;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+
+    if (best.score == 0)
+        return best; // empty local alignment
+
+    size_t i = best_i, j = best_j;
+    int state = 0;
+    std::vector<Op> ops;
+    while (i > 0 && j > 0) {
+        const u8 bits = tb[i * stride + j];
+        if (state == 0 && (bits & kStop))
+            break;
+        if (state == 0) {
+            switch (bits & kHSrcMask) {
+              case kHFromDiag:
+                ops.push_back(pattern.at(i - 1) == text.at(j - 1)
+                                  ? Op::Match
+                                  : Op::Mismatch);
+                --i;
+                --j;
+                break;
+              case kHFromE:
+                state = 1;
+                break;
+              case kHFromF:
+                state = 2;
+                break;
+            }
+        } else if (state == 1) {
+            ops.push_back(Op::Deletion);
+            const bool extend = (bits & kEExtend) != 0;
+            --j;
+            if (!extend)
+                state = 0;
+        } else {
+            ops.push_back(Op::Insertion);
+            const bool extend = (bits & kFExtend) != 0;
+            --i;
+            if (!extend)
+                state = 0;
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    best.cigar = Cigar(std::move(ops));
+    best.pattern_begin = i;
+    best.pattern_end = best_i;
+    best.text_begin = j;
+    best.text_end = best_j;
+    return best;
+}
+
+} // namespace gmx::align

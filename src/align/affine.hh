@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gap-affine alignment (Gotoh), exact and banded, plus local Smith-Waterman.
+ *
+ * These are the KSW2/Minimap2-class baselines the paper uses in Figure 3's
+ * speed-vs-accuracy study: an exact global gap-affine aligner, the banded
+ * heuristic variant Minimap2 actually runs, and classic local SW.
+ * Scores are maximized (match bonus, penalties subtracted), following the
+ * KSW2 convention in AffinePenalties.
+ */
+
+#ifndef GMX_ALIGN_AFFINE_HH
+#define GMX_ALIGN_AFFINE_HH
+
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** Exact global gap-affine score only; O(m) memory. */
+i64 affineScore(const seq::Sequence &pattern, const seq::Sequence &text,
+                const AffinePenalties &pen);
+
+/** Exact global gap-affine alignment with traceback; O(nm) memory. */
+AffineResult affineAlign(const seq::Sequence &pattern,
+                         const seq::Sequence &text,
+                         const AffinePenalties &pen);
+
+/**
+ * Banded global gap-affine alignment (the Minimap2-style heuristic): only
+ * cells with |i - j| <= band are computed. Returns has_cigar=false and the
+ * minimum score if the band cannot connect the two corners (band < |n-m|).
+ */
+AffineResult affineAlignBanded(const seq::Sequence &pattern,
+                               const seq::Sequence &text,
+                               const AffinePenalties &pen, i64 band);
+
+/** Result of a local alignment. */
+struct LocalResult
+{
+    i64 score = 0;
+    size_t pattern_begin = 0, pattern_end = 0; //!< [begin, end)
+    size_t text_begin = 0, text_end = 0;       //!< [begin, end)
+    Cigar cigar; //!< alignment of the matched sub-regions
+};
+
+/** Local Smith-Waterman with gap-affine scoring; O(nm) memory. */
+LocalResult swAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                    const AffinePenalties &pen);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_AFFINE_HH

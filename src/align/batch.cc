@@ -1,0 +1,63 @@
+#include "align/batch.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+std::vector<AlignResult>
+batchAlign(const std::vector<seq::SequencePair> &pairs,
+           const PairAligner &aligner, unsigned threads)
+{
+    if (!aligner)
+        GMX_FATAL("batchAlign: empty aligner function");
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<size_t>(pairs.size(), 1)));
+
+    std::vector<AlignResult> results(pairs.size());
+    if (pairs.empty())
+        return results;
+
+    // Work stealing via a shared atomic cursor: pairs have highly
+    // variable cost (length, error), so static partitioning would
+    // straggle — the same reason the paper parallelizes inter-sequence.
+    std::atomic<size_t> cursor{0};
+    std::exception_ptr first_error;
+    std::atomic<bool> failed{false};
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const size_t idx =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= pairs.size())
+                return;
+            try {
+                results[idx] = aligner(pairs[idx]);
+            } catch (...) {
+                bool expected = false;
+                if (failed.compare_exchange_strong(expected, true))
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (failed.load())
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace gmx::align

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Batch alignment with inter-sequence parallelism.
+ *
+ * The paper's multicore strategy (§7.2): each pair aligns independently,
+ * one GMX unit per core. This is the library-level equivalent — a thread
+ * pool mapping an aligner function over a batch of pairs. Aligner
+ * functions must be thread-safe for distinct inputs (all aligners in
+ * this repository are: they share no mutable state).
+ */
+
+#ifndef GMX_ALIGN_BATCH_HH
+#define GMX_ALIGN_BATCH_HH
+
+#include <functional>
+#include <vector>
+
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** Aligns one pair; invoked concurrently from worker threads. */
+using PairAligner = std::function<AlignResult(const seq::SequencePair &)>;
+
+/**
+ * Align every pair of @p pairs with @p aligner on @p threads workers
+ * (0 = one per hardware thread). Results are returned in input order;
+ * exceptions from workers are rethrown on the calling thread.
+ */
+std::vector<AlignResult> batchAlign(
+    const std::vector<seq::SequencePair> &pairs, const PairAligner &aligner,
+    unsigned threads = 0);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_BATCH_HH

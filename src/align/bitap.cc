@@ -1,0 +1,244 @@
+#include "align/bitap.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sequence/alphabet.hh"
+
+namespace gmx::align {
+
+namespace {
+
+/** Multi-word left-shift by one with a shift-in bit. */
+void
+shiftLeft(const u64 *src, u64 *dst, size_t words, bool shift_in)
+{
+    u64 carry = shift_in ? 1 : 0;
+    for (size_t w = 0; w < words; ++w) {
+        const u64 next_carry = src[w] >> 63;
+        dst[w] = (src[w] << 1) | carry;
+        carry = next_carry;
+    }
+}
+
+/** Bitap S-vector history: S[j][d] as contiguous word spans. */
+class StateHistory
+{
+  public:
+    StateHistory(size_t m, size_t kmax, size_t words)
+        : kmax_(kmax), words_(words),
+          data_((m + 1) * (kmax + 1) * words, 0)
+    {}
+
+    u64 *vec(size_t j, size_t d)
+    {
+        return &data_[(j * (kmax_ + 1) + d) * words_];
+    }
+
+    const u64 *vec(size_t j, size_t d) const
+    {
+        return &data_[(j * (kmax_ + 1) + d) * words_];
+    }
+
+    bool
+    bit(size_t j, size_t d, size_t i) const
+    {
+        return (vec(j, d)[i >> 6] >> (i & 63)) & 1;
+    }
+
+  private:
+    size_t kmax_;
+    size_t words_;
+    std::vector<u64> data_;
+};
+
+/**
+ * Run the Bitap recurrence, filling @p hist (if non-null) with all S
+ * vectors. Returns the distance at (n, m) or kNoAlignment if > k.
+ */
+i64
+bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+         StateHistory *hist, KernelCounts *counts)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    const size_t words = (n + 63) / 64;
+    const size_t kk = static_cast<size_t>(k);
+
+    // Per-symbol pattern match masks.
+    std::vector<std::vector<u64>> eq(
+        seq::kDnaSymbols, std::vector<u64>(words, 0));
+    for (size_t i = 0; i < n; ++i)
+        eq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+
+    // S[d] for the current and previous column.
+    std::vector<std::vector<u64>> cur(kk + 1, std::vector<u64>(words, 0));
+    std::vector<std::vector<u64>> prev(kk + 1, std::vector<u64>(words, 0));
+    std::vector<u64> tmp(words);
+
+    // Column 0: bit i set iff i+1 <= d.
+    for (size_t d = 0; d <= kk; ++d) {
+        for (size_t i = 0; i < std::min(d, n); ++i)
+            prev[d][i >> 6] |= u64{1} << (i & 63);
+        if (hist)
+            std::copy(prev[d].begin(), prev[d].end(), hist->vec(0, d));
+    }
+
+    for (size_t j = 1; j <= m; ++j) {
+        const u8 c = text.code(j - 1);
+        const u64 *eqc = eq[c].data();
+        for (size_t d = 0; d <= kk; ++d) {
+            u64 *out = cur[d].data();
+
+            // match: (S_prev[d] << 1 | (j-1 <= d)) & Eq
+            shiftLeft(prev[d].data(), tmp.data(), words,
+                      j - 1 <= d);
+            for (size_t w = 0; w < words; ++w)
+                out[w] = tmp[w] & eqc[w];
+
+            if (d > 0) {
+                // substitution: S_prev[d-1] << 1 | (j-1 <= d-1)
+                shiftLeft(prev[d - 1].data(), tmp.data(), words,
+                          j - 1 <= d - 1);
+                for (size_t w = 0; w < words; ++w)
+                    out[w] |= tmp[w];
+                // deletion (consume text): S_prev[d-1], unshifted
+                const u64 *del = prev[d - 1].data();
+                for (size_t w = 0; w < words; ++w)
+                    out[w] |= del[w];
+                // insertion (consume pattern): S_cur[d-1] << 1 | (j <= d-1)
+                shiftLeft(cur[d - 1].data(), tmp.data(), words,
+                          j <= d - 1);
+                for (size_t w = 0; w < words; ++w)
+                    out[w] |= tmp[w];
+            }
+            if (hist)
+                std::copy(cur[d].begin(), cur[d].end(), hist->vec(j, d));
+        }
+        cur.swap(prev);
+        if (counts) {
+            counts->alu += 7 * (kk + 1) * words;
+            counts->loads += 4 * (kk + 1) * words;
+            counts->stores += (kk + 1) * words * (hist ? 2 : 1);
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(n) * m;
+
+    // Find the smallest d whose final vector has bit n-1 set.
+    for (size_t d = 0; d <= kk; ++d) {
+        if (n == 0)
+            return static_cast<i64>(m) <= static_cast<i64>(d)
+                       ? static_cast<i64>(m)
+                       : kNoAlignment;
+        if ((prev[d][(n - 1) >> 6] >> ((n - 1) & 63)) & 1)
+            return static_cast<i64>(d);
+    }
+    return kNoAlignment;
+}
+
+} // namespace
+
+i64
+bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+              KernelCounts *counts)
+{
+    if (k < 0)
+        GMX_FATAL("bitapDistance: negative error bound");
+    if (pattern.empty())
+        return static_cast<i64>(text.size()) <= k
+                   ? static_cast<i64>(text.size())
+                   : kNoAlignment;
+    return bitapRun(pattern, text, k, nullptr, counts);
+}
+
+AlignResult
+bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+           KernelCounts *counts)
+{
+    AlignResult res;
+    if (k < 0)
+        GMX_FATAL("bitapAlign: negative error bound");
+
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    if (n == 0 || m == 0) {
+        if (static_cast<i64>(n + m) > k)
+            return res;
+        res.distance = static_cast<i64>(n + m);
+        res.cigar.push(Op::Deletion, m);
+        res.cigar.push(Op::Insertion, n);
+        res.has_cigar = true;
+        return res;
+    }
+
+    const size_t words = (n + 63) / 64;
+    StateHistory hist(m, static_cast<size_t>(k), words);
+    const i64 dist = bitapRun(pattern, text, k, &hist, counts);
+    if (dist == kNoAlignment)
+        return res;
+
+    res.distance = dist;
+    res.has_cigar = true;
+
+    // Traceback. State: cell (i, j) known to satisfy D[i][j] <= d, walking
+    // with the priority M, D, I, X. Bit i-1 of S[j][d] encodes D[i][j] <= d
+    // for i >= 1; D[0][j] <= d iff j <= d.
+    auto reachable = [&](size_t i, size_t j, i64 d) {
+        if (d < 0)
+            return false;
+        if (i == 0)
+            return static_cast<i64>(j) <= d;
+        return hist.bit(j, static_cast<size_t>(d), i - 1);
+    };
+
+    std::vector<Op> ops;
+    ops.reserve(n + m);
+    size_t i = n, j = m;
+    i64 d = dist;
+    while (i > 0 || j > 0) {
+        if (i > 0 && j > 0 && pattern.at(i - 1) == text.at(j - 1) &&
+            reachable(i - 1, j - 1, d)) {
+            ops.push_back(Op::Match);
+            --i;
+            --j;
+        } else if (j > 0 && reachable(i, j - 1, d - 1)) {
+            ops.push_back(Op::Deletion);
+            --j;
+            --d;
+        } else if (i > 0 && reachable(i - 1, j, d - 1)) {
+            ops.push_back(Op::Insertion);
+            --i;
+            --d;
+        } else if (i > 0 && j > 0 && reachable(i - 1, j - 1, d - 1)) {
+            ops.push_back(Op::Mismatch);
+            --i;
+            --j;
+            --d;
+        } else {
+            GMX_PANIC("bitap traceback stuck at (%zu, %zu, %lld)", i, j,
+                      static_cast<long long>(d));
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    res.cigar = Cigar(std::move(ops));
+    return res;
+}
+
+AlignResult
+bitapAlignAuto(const seq::Sequence &pattern, const seq::Sequence &text, i64 k0,
+               KernelCounts *counts)
+{
+    const i64 limit =
+        static_cast<i64>(pattern.size() + text.size());
+    i64 k = std::max<i64>(k0, 1);
+    while (true) {
+        AlignResult res = bitapAlign(pattern, text, k, counts);
+        if (res.found())
+            return res;
+        GMX_ASSERT(k < limit);
+        k = std::min(limit, k * 2);
+    }
+}
+
+} // namespace gmx::align

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bitap (shift-and with errors), the algorithm underlying GenASM.
+ *
+ * The state S[d] for a text prefix of length j is a bit vector where bit i
+ * means "the pattern prefix of length i+1 aligns to the text prefix of
+ * length j with at most d edits" — i.e. the classic DP matrix thresholded
+ * at distance d. Each text character updates all k+1 vectors with ~7 bit
+ * operations per vector word (the paper's 7k per-character cost), and the
+ * full S history (m matrices of n x k bits) enables the traceback, exactly
+ * the memory behaviour the paper attributes to Bitap/GenASM.
+ */
+
+#ifndef GMX_ALIGN_BITAP_HH
+#define GMX_ALIGN_BITAP_HH
+
+#include "align/bpm.hh"
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/**
+ * Edit distance via Bitap with at most @p k errors; kNoAlignment when the
+ * distance exceeds k. O(k * n/w) working memory.
+ */
+i64 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                  i64 k, KernelCounts *counts = nullptr);
+
+/**
+ * Full Bitap alignment with traceback tolerating at most @p k errors.
+ * Stores the complete S[d][j] history: (k+1) * m * ceil(n/64) words.
+ */
+AlignResult bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                       i64 k, KernelCounts *counts = nullptr);
+
+/** Doubling driver: grows k until the alignment is found (always succeeds). */
+AlignResult bitapAlignAuto(const seq::Sequence &pattern,
+                           const seq::Sequence &text, i64 k0 = 8,
+                           KernelCounts *counts = nullptr);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_BITAP_HH

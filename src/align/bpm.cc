@@ -1,0 +1,254 @@
+#include "align/bpm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sequence/alphabet.hh"
+
+namespace gmx::align {
+
+namespace {
+
+/** Per-block Myers state: vertical delta words. */
+struct Block
+{
+    u64 pv = ~u64{0}; // +1 vertical deltas (column 0: all +1)
+    u64 mv = 0;       // -1 vertical deltas
+};
+
+/** Build the per-symbol pattern-match masks, one word list per symbol. */
+std::vector<std::vector<u64>>
+buildPeq(const seq::Sequence &pattern, size_t num_blocks)
+{
+    std::vector<std::vector<u64>> peq(
+        seq::kDnaSymbols, std::vector<u64>(num_blocks, 0));
+    for (size_t i = 0; i < pattern.size(); ++i)
+        peq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+    return peq;
+}
+
+/**
+ * One Myers/Hyyrö block step. @p hin is the horizontal delta entering the
+ * block top (-1, 0, +1); returns the horizontal delta leaving the bottom.
+ * This is the classic 17-operation kernel the paper references.
+ */
+int
+blockStep(Block &b, u64 eq, int hin)
+{
+    const u64 pv = b.pv;
+    const u64 mv = b.mv;
+    if (hin < 0)
+        eq |= 1;
+    const u64 xv = eq | mv;
+    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
+
+    u64 ph = mv | ~(xh | pv);
+    u64 mh = pv & xh;
+
+    int hout = 0;
+    if (ph & (u64{1} << 63))
+        hout = 1;
+    else if (mh & (u64{1} << 63))
+        hout = -1;
+
+    ph <<= 1;
+    mh <<= 1;
+    if (hin < 0)
+        mh |= 1;
+    else if (hin > 0)
+        ph |= 1;
+
+    b.pv = mh | ~(xv | ph);
+    b.mv = ph & xv;
+    return hout;
+}
+
+/** ALU cost of one block step (paper: 17 bit-ops per 64 DP-elements). */
+constexpr u64 kBlockAlu = 17;
+
+} // namespace
+
+i64
+bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+            KernelCounts *counts)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    if (n == 0)
+        return static_cast<i64>(m);
+    if (m == 0)
+        return static_cast<i64>(n);
+
+    const size_t num_blocks = (n + 63) / 64;
+    const auto peq = buildPeq(pattern, num_blocks);
+    std::vector<Block> blocks(num_blocks);
+
+    // Score tracked at the bottom cell of the last block. The last block's
+    // top bits beyond the pattern are harmless: their eq masks are zero, so
+    // they behave like extra mismatching rows we never read.
+    const size_t last_row_bit = (n - 1) & 63;
+    i64 score = static_cast<i64>(n);
+
+    for (size_t j = 0; j < m; ++j) {
+        const u8 c = text.code(j);
+        int hin = 1; // Delta h entering row 0 is +1 (top row D[0][j] = j)
+        for (size_t b = 0; b < num_blocks; ++b) {
+            const int hout = blockStep(blocks[b], peq[c][b], hin);
+            // When the pattern fills the last block exactly, hout at the
+            // last block is the horizontal delta of the true last row, so
+            // the score can be tracked incrementally. Otherwise the final
+            // value is reconstructed from the vertical deltas after the
+            // main loop.
+            if (b == num_blocks - 1 && last_row_bit == 63)
+                score += hout;
+            hin = hout;
+        }
+        if (counts) {
+            counts->alu += kBlockAlu * num_blocks + 4;
+            counts->loads += num_blocks * 3; // peq, pv, mv
+            counts->stores += num_blocks * 2;
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(n) * m;
+
+    if (last_row_bit == 63)
+        return score;
+
+    // Pattern length is not a multiple of 64: reconstruct D[n][m] from the
+    // final vertical deltas: D[i][m] = m at i=0 plus the prefix sum.
+    i64 value = static_cast<i64>(m);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t b = i >> 6;
+        const u64 bit = u64{1} << (i & 63);
+        if (blocks[b].pv & bit)
+            ++value;
+        else if (blocks[b].mv & bit)
+            --value;
+    }
+    return value;
+}
+
+AlignResult
+bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+         KernelCounts *counts)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    AlignResult res;
+
+    if (n == 0 || m == 0) {
+        res.distance = static_cast<i64>(n + m);
+        res.cigar.push(Op::Deletion, m);
+        res.cigar.push(Op::Insertion, n);
+        res.has_cigar = true;
+        return res;
+    }
+
+    const size_t num_blocks = (n + 63) / 64;
+    const auto peq = buildPeq(pattern, num_blocks);
+    std::vector<Block> blocks(num_blocks);
+
+    // Column history: Pv/Mv words for every column 1..m.
+    // This is the paper's 4*n*m-bit Full(BPM) footprint.
+    std::vector<u64> hist_pv(num_blocks * m);
+    std::vector<u64> hist_mv(num_blocks * m);
+
+    for (size_t j = 0; j < m; ++j) {
+        const u8 c = text.code(j);
+        int hin = 1;
+        for (size_t b = 0; b < num_blocks; ++b) {
+            hin = blockStep(blocks[b], peq[c][b], hin);
+            hist_pv[j * num_blocks + b] = blocks[b].pv;
+            hist_mv[j * num_blocks + b] = blocks[b].mv;
+        }
+        if (counts) {
+            counts->alu += kBlockAlu * num_blocks + 4;
+            counts->loads += num_blocks * 3;
+            counts->stores += num_blocks * 4; // state + history
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(n) * m;
+
+    // Column value reconstruction: D[0..n][j] by prefix sum of stored
+    // vertical deltas (column j is 1-based here; column 0 is 0..n).
+    auto column_values = [&](size_t j, std::vector<i64> &out) {
+        out.resize(n + 1);
+        out[0] = static_cast<i64>(j);
+        if (j == 0) {
+            for (size_t i = 0; i <= n; ++i)
+                out[i] = static_cast<i64>(i);
+            return;
+        }
+        const u64 *pv = &hist_pv[(j - 1) * num_blocks];
+        const u64 *mv = &hist_mv[(j - 1) * num_blocks];
+        for (size_t i = 1; i <= n; ++i) {
+            const size_t bit = (i - 1) & 63;
+            const size_t b = (i - 1) >> 6;
+            i64 dv = 0;
+            if (pv[b] & (u64{1} << bit))
+                dv = 1;
+            else if (mv[b] & (u64{1} << bit))
+                dv = -1;
+            out[i] = out[i - 1] + dv;
+        }
+    };
+
+    std::vector<i64> col_j, col_prev;
+    column_values(m, col_j);
+    res.distance = col_j[n];
+    res.has_cigar = true;
+
+    // Traceback with the GMX-TB priority (match, deletion, insertion,
+    // mismatch). Visits O(path) columns, each reconstructed in O(n).
+    std::vector<Op> ops;
+    ops.reserve(n + m);
+    size_t i = n, j = m;
+    bool have_prev = false;
+    while (i > 0 || j > 0) {
+        if (j == 0) {
+            ops.push_back(Op::Insertion);
+            --i;
+            continue;
+        }
+        if (i == 0) {
+            ops.push_back(Op::Deletion);
+            --j;
+            continue;
+        }
+        if (!have_prev) {
+            column_values(j - 1, col_prev);
+            have_prev = true;
+        }
+        const bool eq = pattern.at(i - 1) == text.at(j - 1);
+        if (eq && col_j[i] == col_prev[i - 1]) {
+            ops.push_back(Op::Match);
+            --i;
+            --j;
+            col_j.swap(col_prev);
+            have_prev = false;
+        } else if (col_j[i] == col_prev[i] + 1) {
+            ops.push_back(Op::Deletion);
+            --j;
+            col_j.swap(col_prev);
+            have_prev = false;
+        } else if (col_j[i] == col_j[i - 1] + 1) {
+            ops.push_back(Op::Insertion);
+            --i;
+        } else {
+            GMX_ASSERT(col_j[i] == col_prev[i - 1] + 1,
+                       "BPM traceback: inconsistent column values");
+            ops.push_back(Op::Mismatch);
+            --i;
+            --j;
+            col_j.swap(col_prev);
+            have_prev = false;
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    res.cigar = Cigar(std::move(ops));
+    return res;
+}
+
+} // namespace gmx::align

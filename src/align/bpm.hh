@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Full(BPM): Myers' bit-parallel edit-distance algorithm (blocked).
+ *
+ * The pattern is packed along 64-bit words (blocks); each text character
+ * updates the whole column of vertical deltas with O(n/w) word operations
+ * (17 bitwise/arithmetic ops per block, as the paper counts). The full
+ * aligner stores the per-column vertical delta vectors (Pv/Mv) so the
+ * traceback can recompute any column's distances — 4*n*m bits of storage,
+ * matching the paper's Full(BPM) memory analysis.
+ */
+
+#ifndef GMX_ALIGN_BPM_HH
+#define GMX_ALIGN_BPM_HH
+
+#include <vector>
+
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/**
+ * Per-kernel dynamic work counters, filled by aligners that support cost
+ * accounting. Counts are exact loop-trip-derived values, not samples.
+ */
+struct KernelCounts
+{
+    u64 cells = 0;      //!< DP-elements logically computed
+    u64 alu = 0;        //!< scalar ALU/bitwise instructions
+    u64 loads = 0;      //!< 8-byte memory reads
+    u64 stores = 0;     //!< 8-byte memory writes
+    u64 gmx_ac = 0;     //!< gmx.v/gmx.h instructions
+    u64 gmx_tb = 0;     //!< gmx.tb instructions
+    u64 csr = 0;        //!< CSR read/write instructions
+
+    void
+    operator+=(const KernelCounts &o)
+    {
+        cells += o.cells;
+        alu += o.alu;
+        loads += o.loads;
+        stores += o.stores;
+        gmx_ac += o.gmx_ac;
+        gmx_tb += o.gmx_tb;
+        csr += o.csr;
+    }
+
+    /** Total dynamic instruction count. */
+    u64
+    instructions() const
+    {
+        return alu + loads + stores + gmx_ac + gmx_tb + csr;
+    }
+};
+
+/** Distance only; O(n/w) working memory. */
+i64 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                KernelCounts *counts = nullptr);
+
+/**
+ * Full alignment: stores the Pv/Mv column history (4*n*m bits) and walks
+ * it back. The traceback recomputes column value vectors by prefix-summing
+ * the stored deltas, visiting O(path length) columns.
+ */
+AlignResult bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                     KernelCounts *counts = nullptr);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_BPM_HH

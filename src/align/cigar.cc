@@ -1,0 +1,112 @@
+#include "align/cigar.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+char
+opChar(Op op)
+{
+    switch (op) {
+      case Op::Match: return 'M';
+      case Op::Mismatch: return 'X';
+      case Op::Insertion: return 'I';
+      case Op::Deletion: return 'D';
+    }
+    GMX_PANIC("invalid Op value %d", static_cast<int>(op));
+}
+
+Op
+opFromChar(char c)
+{
+    switch (c) {
+      case 'M': return Op::Match;
+      case 'X': return Op::Mismatch;
+      case 'I': return Op::Insertion;
+      case 'D': return Op::Deletion;
+      default:
+        GMX_FATAL("invalid CIGAR op character '%c'", c);
+    }
+}
+
+Cigar
+Cigar::fromString(const std::string &ops)
+{
+    std::vector<Op> v;
+    v.reserve(ops.size());
+    for (char c : ops)
+        v.push_back(opFromChar(c));
+    return Cigar(std::move(v));
+}
+
+void
+Cigar::reverse()
+{
+    std::reverse(ops_.begin(), ops_.end());
+}
+
+void
+Cigar::append(const Cigar &other)
+{
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+}
+
+size_t
+Cigar::patternLength() const
+{
+    size_t n = 0;
+    for (Op op : ops_)
+        if (op != Op::Deletion)
+            ++n;
+    return n;
+}
+
+size_t
+Cigar::textLength() const
+{
+    size_t n = 0;
+    for (Op op : ops_)
+        if (op != Op::Insertion)
+            ++n;
+    return n;
+}
+
+size_t
+Cigar::editDistance() const
+{
+    size_t n = 0;
+    for (Op op : ops_)
+        if (op != Op::Match)
+            ++n;
+    return n;
+}
+
+std::string
+Cigar::str() const
+{
+    std::string s;
+    s.reserve(ops_.size());
+    for (Op op : ops_)
+        s.push_back(opChar(op));
+    return s;
+}
+
+std::string
+Cigar::compressed() const
+{
+    std::ostringstream os;
+    size_t i = 0;
+    while (i < ops_.size()) {
+        size_t j = i;
+        while (j < ops_.size() && ops_[j] == ops_[i])
+            ++j;
+        os << (j - i) << opChar(ops_[i]);
+        i = j;
+    }
+    return os.str();
+}
+
+} // namespace gmx::align

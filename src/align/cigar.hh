@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Alignment operations and CIGAR strings.
+ *
+ * Conventions used across the whole repository (matching the paper's
+ * Figure 1): the pattern indexes the DP-matrix rows (length n), the text
+ * indexes the columns (length m).
+ *
+ *   M — match     (consumes one pattern and one text character)
+ *   X — mismatch  (consumes one pattern and one text character)
+ *   D — deletion  (consumes one text character; horizontal DP move)
+ *   I — insertion (consumes one pattern character; vertical DP move)
+ *
+ * The edit distance of an alignment is the number of X + I + D operations.
+ */
+
+#ifndef GMX_ALIGN_CIGAR_HH
+#define GMX_ALIGN_CIGAR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gmx::align {
+
+/** One alignment operation. */
+enum class Op : u8
+{
+    Match = 0,
+    Mismatch = 1,
+    Insertion = 2,
+    Deletion = 3,
+};
+
+/** Single-character mnemonic for @p op (M, X, I, D). */
+char opChar(Op op);
+
+/** Parse a mnemonic character; throws FatalError for anything else. */
+Op opFromChar(char c);
+
+/**
+ * An uncompressed sequence of alignment operations, ordered from the start
+ * of both sequences to their ends.
+ */
+class Cigar
+{
+  public:
+    Cigar() = default;
+    explicit Cigar(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+    /** Parse from an uncompressed op string like "MMXMDI". */
+    static Cigar fromString(const std::string &ops);
+
+    void push(Op op) { ops_.push_back(op); }
+    void push(Op op, size_t count) { ops_.insert(ops_.end(), count, op); }
+
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    Op at(size_t i) const { return ops_[i]; }
+    const std::vector<Op> &ops() const { return ops_; }
+
+    /** Reverse in place (tracebacks produce ops back-to-front). */
+    void reverse();
+
+    /** Append another cigar. */
+    void append(const Cigar &other);
+
+    /** Number of pattern characters consumed (M + X + I). */
+    size_t patternLength() const;
+
+    /** Number of text characters consumed (M + X + D). */
+    size_t textLength() const;
+
+    /** Edit distance implied by the operations (X + I + D). */
+    size_t editDistance() const;
+
+    /** Uncompressed op string, e.g. "MMXMDI". */
+    std::string str() const;
+
+    /** Run-length-compressed SAM-like string, e.g. "2M1X1M1D1I". */
+    std::string compressed() const;
+
+    bool operator==(const Cigar &o) const { return ops_ == o.ops_; }
+
+  private:
+    std::vector<Op> ops_;
+};
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_CIGAR_HH

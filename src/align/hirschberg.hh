@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Hirschberg's divide-and-conquer alignment: optimal edit-distance
+ * traceback in O(min(n, m)) memory.
+ *
+ * The paper's scalability discussion (§3.1) contrasts quadratic-memory
+ * traceback with GMX's T-fold edge storage; Hirschberg is the classic
+ * software answer to the same problem (linear memory at ~2x the compute)
+ * and completes the baseline picture: Full(DP) quadratic, Full(GMX)
+ * edge-only, Hirschberg linear.
+ */
+
+#ifndef GMX_ALIGN_HIRSCHBERG_HH
+#define GMX_ALIGN_HIRSCHBERG_HH
+
+#include "align/bpm.hh"
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/**
+ * Optimal global alignment with Hirschberg's algorithm. Equivalent in
+ * distance to nwAlign but uses only two DP rows at any time.
+ */
+AlignResult hirschbergAlign(const seq::Sequence &pattern,
+                            const seq::Sequence &text,
+                            KernelCounts *counts = nullptr);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_HIRSCHBERG_HH

@@ -1,0 +1,105 @@
+#include "align/matrix_view.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "align/nw.hh"
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+namespace {
+
+/** Cells (i, j) visited by a global alignment path, start to end. */
+std::vector<std::pair<size_t, size_t>>
+pathCells(const Cigar &cigar)
+{
+    std::vector<std::pair<size_t, size_t>> cells;
+    size_t i = 0, j = 0;
+    cells.emplace_back(0, 0);
+    for (size_t k = 0; k < cigar.size(); ++k) {
+        switch (cigar.at(k)) {
+          case Op::Match:
+          case Op::Mismatch:
+            ++i;
+            ++j;
+            break;
+          case Op::Insertion:
+            ++i;
+            break;
+          case Op::Deletion:
+            ++j;
+            break;
+        }
+        cells.emplace_back(i, j);
+    }
+    return cells;
+}
+
+} // namespace
+
+std::string
+renderDpMatrix(const seq::Sequence &pattern, const seq::Sequence &text,
+               const Cigar *path)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+
+    std::vector<std::vector<bool>> on_path(n + 1,
+                                           std::vector<bool>(m + 1, false));
+    if (path) {
+        for (const auto &[i, j] : pathCells(*path)) {
+            GMX_ASSERT(i <= n && j <= m, "path outside the matrix");
+            on_path[i][j] = true;
+        }
+    }
+
+    std::ostringstream os;
+    os << "      ";
+    for (size_t j = 0; j < m; ++j)
+        os << "   " << text.at(j);
+    os << '\n';
+
+    for (size_t i = 0; i <= n; ++i) {
+        os << (i == 0 ? ' ' : pattern.at(i - 1)) << ' ';
+        const auto row = nwMatrixRow(pattern, text, i);
+        for (size_t j = 0; j <= m; ++j) {
+            char mark = on_path[i][j] ? '*' : ' ';
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "%3lld%c",
+                          static_cast<long long>(row[j]), mark);
+            os << buf;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+renderDeltaMatrix(const seq::Sequence &pattern, const seq::Sequence &text,
+                  bool vertical)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    std::ostringstream os;
+    os << "    ";
+    for (size_t j = 0; j < m; ++j)
+        os << ' ' << text.at(j);
+    os << '\n';
+
+    std::vector<i64> prev = nwMatrixRow(pattern, text, 0);
+    for (size_t i = 1; i <= n; ++i) {
+        const auto row = nwMatrixRow(pattern, text, i);
+        os << pattern.at(i - 1) << "   ";
+        for (size_t j = vertical ? 0 : 1; j <= m; ++j) {
+            const i64 delta =
+                vertical ? row[j] - prev[j] : row[j] - row[j - 1];
+            os << ' ' << (delta > 0 ? '+' : delta < 0 ? '-' : '.');
+        }
+        os << '\n';
+        prev = row;
+    }
+    return os.str();
+}
+
+} // namespace gmx::align

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASCII rendering of small DP matrices and alignment paths — the
+ * debugging companion to the paper's Figures 1, 2, and 6. Used by the
+ * quickstart and invaluable when staring at tile boundaries.
+ */
+
+#ifndef GMX_ALIGN_MATRIX_VIEW_HH
+#define GMX_ALIGN_MATRIX_VIEW_HH
+
+#include <string>
+
+#include "align/cigar.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/**
+ * Render the (n+1) x (m+1) edit-distance matrix of a small pair with the
+ * text across the top and the pattern down the side (paper Fig. 1.a).
+ * When @p path is non-null, cells on the alignment path are marked with
+ * '*' (Fig. 1.b's traceback). Intended for n, m <= ~40.
+ */
+std::string renderDpMatrix(const seq::Sequence &pattern,
+                           const seq::Sequence &text,
+                           const Cigar *path = nullptr);
+
+/**
+ * Render the vertical-delta matrix (paper Fig. 2's encoding): one of
+ * '+', '.', '-' per cell for deltas +1 / 0 / -1.
+ */
+std::string renderDeltaMatrix(const seq::Sequence &pattern,
+                              const seq::Sequence &text, bool vertical);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_MATRIX_VIEW_HH

@@ -1,0 +1,139 @@
+#include "align/myers_search.hh"
+
+#include "common/logging.hh"
+#include "sequence/alphabet.hh"
+
+namespace gmx::align {
+
+namespace {
+
+struct Block
+{
+    u64 pv = ~u64{0};
+    u64 mv = 0;
+};
+
+/** Horizontal deltas leaving one block step. */
+struct StepOut
+{
+    int sampled = 0; //!< delta at the requested row bit
+    int carry = 0;   //!< delta at bit 63 (chained into the next block)
+};
+
+/**
+ * Myers/Hyyrö block step that also reports the horizontal delta at an
+ * arbitrary row bit (needed to track the score at the pattern's true
+ * last row when n is not a multiple of 64).
+ */
+StepOut
+blockStepAt(Block &b, u64 eq, int hin, unsigned out_bit_index)
+{
+    const u64 pv = b.pv;
+    const u64 mv = b.mv;
+    if (hin < 0)
+        eq |= 1;
+    const u64 xv = eq | mv;
+    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
+
+    u64 ph = mv | ~(xh | pv);
+    u64 mh = pv & xh;
+
+    StepOut out;
+    const u64 out_bit = u64{1} << out_bit_index;
+    if (ph & out_bit)
+        out.sampled = 1;
+    else if (mh & out_bit)
+        out.sampled = -1;
+    if (ph & (u64{1} << 63))
+        out.carry = 1;
+    else if (mh & (u64{1} << 63))
+        out.carry = -1;
+
+    ph <<= 1;
+    mh <<= 1;
+    if (hin > 0)
+        ph |= 1;
+    else if (hin < 0)
+        mh |= 1;
+
+    b.pv = mh | ~(xv | ph);
+    b.mv = ph & xv;
+    return out;
+}
+
+} // namespace
+
+std::vector<SearchHit>
+myersSearch(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+            bool best_per_run, KernelCounts *counts)
+{
+    if (k < 0)
+        GMX_FATAL("myersSearch: negative error budget");
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    std::vector<SearchHit> hits;
+    if (n == 0 || m == 0)
+        return hits;
+    if (static_cast<i64>(n) <= k)
+        GMX_FATAL("myersSearch: budget admits empty occurrences");
+
+    const size_t num_blocks = (n + 63) / 64;
+    const unsigned last_bit = static_cast<unsigned>((n - 1) & 63);
+
+    std::vector<std::vector<u64>> peq(
+        seq::kDnaSymbols, std::vector<u64>(num_blocks, 0));
+    for (size_t i = 0; i < n; ++i)
+        peq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+
+    std::vector<Block> blocks(num_blocks);
+    i64 score = static_cast<i64>(n);
+
+    std::vector<i64> bottom(m);
+    for (size_t j = 0; j < m; ++j) {
+        const u8 c = text.code(j);
+        int hin = 0; // semi-global: D[0][j] = 0
+        for (size_t b = 0; b < num_blocks; ++b) {
+            const unsigned sample =
+                b == num_blocks - 1 ? last_bit : 63u;
+            const StepOut out =
+                blockStepAt(blocks[b], peq[c][b], hin, sample);
+            if (b == num_blocks - 1)
+                score += out.sampled;
+            hin = out.carry;
+        }
+        bottom[j] = score;
+        if (counts) {
+            counts->alu += 20 * num_blocks + 4;
+            counts->loads += 3 * num_blocks;
+            counts->stores += 2 * num_blocks;
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(n) * m;
+
+    // Run collection identical to the GMX search's policy.
+    size_t j = 0;
+    while (j < m) {
+        if (bottom[j] > k) {
+            ++j;
+            continue;
+        }
+        size_t best = j;
+        size_t end = j;
+        while (end < m && bottom[end] <= k) {
+            if (bottom[end] < bottom[best])
+                best = end;
+            ++end;
+        }
+        if (best_per_run) {
+            hits.push_back({best + 1, bottom[best]});
+        } else {
+            for (size_t p = j; p < end; ++p)
+                hits.push_back({p + 1, bottom[p]});
+        }
+        j = end;
+    }
+    return hits;
+}
+
+} // namespace gmx::align

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Myers' approximate pattern search (semi-global BPM), the classic
+ * software solution to the problem gmx/search.hh accelerates. Serves as
+ * the differential-test oracle for the GMX search and as another
+ * baseline in the ablations.
+ *
+ * Semi-global semantics: D[0][j] = 0 (an occurrence may start anywhere);
+ * a hit is any text position j with D[n][j] <= k.
+ */
+
+#ifndef GMX_ALIGN_MYERS_SEARCH_HH
+#define GMX_ALIGN_MYERS_SEARCH_HH
+
+#include <vector>
+
+#include "align/bpm.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** One search hit (end position and edit distance). */
+struct SearchHit
+{
+    size_t end = 0;   //!< one past the occurrence's last text character
+    i64 distance = 0; //!< edit distance of the best occurrence ending here
+
+    bool
+    operator==(const SearchHit &o) const
+    {
+        return end == o.end && distance == o.distance;
+    }
+};
+
+/**
+ * All positions where the pattern occurs in the text with at most @p k
+ * edits. With @p best_per_run, each contiguous sub-threshold run reports
+ * only its minimum-distance position (earliest on ties).
+ */
+std::vector<SearchHit> myersSearch(const seq::Sequence &pattern,
+                                   const seq::Sequence &text, i64 k,
+                                   bool best_per_run = true,
+                                   KernelCounts *counts = nullptr);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_MYERS_SEARCH_HH

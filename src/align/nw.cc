@@ -1,0 +1,159 @@
+#include "align/nw.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+i64
+nwDistance(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+
+    // Iterate over the longer sequence, keep a row over the shorter one,
+    // so the working set is O(min(n, m)).
+    const bool swap = n < m;
+    const seq::Sequence &rows = swap ? text : pattern;   // outer loop
+    const seq::Sequence &cols = swap ? pattern : text;   // inner row
+    const size_t width = cols.size();
+
+    std::vector<i64> row(width + 1);
+    for (size_t j = 0; j <= width; ++j)
+        row[j] = static_cast<i64>(j);
+
+    for (size_t i = 1; i <= rows.size(); ++i) {
+        i64 diag = row[0]; // D[i-1][0]
+        row[0] = static_cast<i64>(i);
+        for (size_t j = 1; j <= width; ++j) {
+            const i64 up = row[j];
+            const i64 left = row[j - 1];
+            const i64 eq = rows.at(i - 1) == cols.at(j - 1) ? 0 : 1;
+            row[j] = std::min({up + 1, left + 1, diag + eq});
+            diag = up;
+        }
+    }
+    return row[width];
+}
+
+namespace {
+
+/** Traceback directions packed into one byte per cell. */
+enum Dir : u8
+{
+    kDiag = 0, // match/mismatch
+    kUp = 1,   // insertion (consumes pattern)
+    kLeft = 2, // deletion (consumes text)
+};
+
+} // namespace
+
+AlignResult
+nwAlign(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    const size_t stride = m + 1;
+
+    std::vector<u8> dir((n + 1) * stride);
+    std::vector<i64> row(m + 1);
+
+    for (size_t j = 0; j <= m; ++j) {
+        row[j] = static_cast<i64>(j);
+        dir[j] = kLeft;
+    }
+
+    for (size_t i = 1; i <= n; ++i) {
+        i64 diag = row[0];
+        row[0] = static_cast<i64>(i);
+        dir[i * stride] = kUp;
+        for (size_t j = 1; j <= m; ++j) {
+            const i64 up = row[j];
+            const i64 left = row[j - 1];
+            const i64 eq = pattern.at(i - 1) == text.at(j - 1) ? 0 : 1;
+            const i64 d_diag = diag + eq;
+            const i64 d_up = up + 1;
+            const i64 d_left = left + 1;
+
+            // Preference order mirrors the GMX-TB priority table (Fig. 8):
+            // diagonal first, then deletion (left), then insertion (up).
+            i64 best = d_diag;
+            u8 best_dir = kDiag;
+            if (d_left < best) {
+                best = d_left;
+                best_dir = kLeft;
+            }
+            if (d_up < best) {
+                best = d_up;
+                best_dir = kUp;
+            }
+            row[j] = best;
+            dir[i * stride + j] = best_dir;
+            diag = up;
+        }
+    }
+
+    AlignResult res;
+    res.distance = row[m];
+    res.has_cigar = true;
+
+    // Walk the direction matrix from (n, m) back to (0, 0).
+    size_t i = n;
+    size_t j = m;
+    std::vector<Op> ops;
+    ops.reserve(n + m);
+    while (i > 0 || j > 0) {
+        const u8 d = (i == 0)   ? static_cast<u8>(kLeft)
+                     : (j == 0) ? static_cast<u8>(kUp)
+                                : dir[i * stride + j];
+        switch (d) {
+          case kDiag:
+            ops.push_back(pattern.at(i - 1) == text.at(j - 1)
+                              ? Op::Match
+                              : Op::Mismatch);
+            --i;
+            --j;
+            break;
+          case kUp:
+            ops.push_back(Op::Insertion);
+            --i;
+            break;
+          case kLeft:
+            ops.push_back(Op::Deletion);
+            --j;
+            break;
+          default:
+            GMX_PANIC("corrupt traceback direction %u", d);
+        }
+    }
+    std::reverse(ops.begin(), ops.end());
+    res.cigar = Cigar(std::move(ops));
+    return res;
+}
+
+std::vector<i64>
+nwMatrixRow(const seq::Sequence &pattern, const seq::Sequence &text,
+            size_t target_row)
+{
+    GMX_ASSERT(target_row <= pattern.size());
+    const size_t m = text.size();
+    std::vector<i64> row(m + 1);
+    for (size_t j = 0; j <= m; ++j)
+        row[j] = static_cast<i64>(j);
+    for (size_t i = 1; i <= target_row; ++i) {
+        i64 diag = row[0];
+        row[0] = static_cast<i64>(i);
+        for (size_t j = 1; j <= m; ++j) {
+            const i64 up = row[j];
+            const i64 left = row[j - 1];
+            const i64 eq = pattern.at(i - 1) == text.at(j - 1) ? 0 : 1;
+            row[j] = std::min({up + 1, left + 1, diag + eq});
+            diag = up;
+        }
+    }
+    return row;
+}
+
+} // namespace gmx::align

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Full(DP): classical Needleman-Wunsch-style edit-distance alignment.
+ *
+ * This is the paper's Full(DP) baseline and this repository's trusted
+ * reference: every other aligner is differential-tested against it. The
+ * recurrence is the one in §2.2:
+ *
+ *   D[i][j] = min(D[i-1][j] + 1, D[i][j-1] + 1, D[i-1][j-1] + eq(i,j))
+ *
+ * with eq(i,j) = 0 when pattern[i-1] == text[j-1], else 1.
+ */
+
+#ifndef GMX_ALIGN_NW_HH
+#define GMX_ALIGN_NW_HH
+
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** Edit distance only; O(min(n,m)) memory, O(nm) time. */
+i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text);
+
+/**
+ * Full alignment with traceback; stores an (n+1) x (m+1) direction matrix,
+ * so memory is O(nm) bytes. Intended for moderate lengths (the quadratic
+ * footprint is precisely the scalability limitation the paper describes).
+ */
+AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text);
+
+/**
+ * Compute one full row of the DP-matrix (row @p i of distances, m+1 wide).
+ * Exposed for tests that cross-check the delta-encoded representations.
+ */
+std::vector<i64> nwMatrixRow(const seq::Sequence &pattern,
+                             const seq::Sequence &text, size_t row);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_NW_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared result and scoring types for the aligners.
+ */
+
+#ifndef GMX_ALIGN_TYPES_HH
+#define GMX_ALIGN_TYPES_HH
+
+#include <limits>
+
+#include "align/cigar.hh"
+#include "common/types.hh"
+
+namespace gmx::align {
+
+/** Sentinel distance for "no alignment found within the allowed error". */
+inline constexpr i64 kNoAlignment = std::numeric_limits<i64>::max();
+
+/** Result of an edit-distance alignment. */
+struct AlignResult
+{
+    /** Edit distance, or kNoAlignment if the search failed (banded). */
+    i64 distance = kNoAlignment;
+
+    /** Operation list; empty when only the distance was requested. */
+    Cigar cigar;
+
+    /** True when cigar describes a full traceback. */
+    bool has_cigar = false;
+
+    bool found() const { return distance != kNoAlignment; }
+};
+
+/**
+ * Gap-affine penalties (KSW2/Minimap2 convention): match adds a bonus,
+ * the others subtract. A gap of length L costs gap_open + L * gap_extend.
+ */
+struct AffinePenalties
+{
+    i32 match = 2;      //!< score added per matching base
+    i32 mismatch = 4;   //!< penalty subtracted per mismatching base
+    i32 gap_open = 4;   //!< penalty for opening a gap
+    i32 gap_extend = 2; //!< penalty per gap base
+
+    /** Minimap2's default short-read preset. */
+    static AffinePenalties minimap2() { return {2, 4, 4, 2}; }
+};
+
+/** Result of a gap-affine alignment (score, higher is better). */
+struct AffineResult
+{
+    i64 score = std::numeric_limits<i64>::min();
+    Cigar cigar;
+    bool has_cigar = false;
+};
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_TYPES_HH

@@ -1,0 +1,128 @@
+#include "align/verify.hh"
+
+#include <sstream>
+
+namespace gmx::align {
+
+VerifyResult
+verifyCigar(const seq::Sequence &pattern, const seq::Sequence &text,
+            const Cigar &cigar)
+{
+    VerifyResult res;
+    size_t i = 0; // pattern cursor
+    size_t j = 0; // text cursor
+    i64 distance = 0;
+
+    for (size_t k = 0; k < cigar.size(); ++k) {
+        const Op op = cigar.at(k);
+        switch (op) {
+          case Op::Match:
+          case Op::Mismatch: {
+            if (i >= pattern.size() || j >= text.size()) {
+                res.error = "M/X op runs past a sequence end";
+                return res;
+            }
+            const bool eq = pattern.at(i) == text.at(j);
+            if (eq && op == Op::Mismatch) {
+                res.error = "X op on equal characters at (" +
+                            std::to_string(i) + "," + std::to_string(j) + ")";
+                return res;
+            }
+            if (!eq && op == Op::Match) {
+                res.error = "M op on unequal characters at (" +
+                            std::to_string(i) + "," + std::to_string(j) + ")";
+                return res;
+            }
+            distance += eq ? 0 : 1;
+            ++i;
+            ++j;
+            break;
+          }
+          case Op::Insertion:
+            if (i >= pattern.size()) {
+                res.error = "I op runs past the pattern end";
+                return res;
+            }
+            ++distance;
+            ++i;
+            break;
+          case Op::Deletion:
+            if (j >= text.size()) {
+                res.error = "D op runs past the text end";
+                return res;
+            }
+            ++distance;
+            ++j;
+            break;
+        }
+    }
+
+    if (i != pattern.size() || j != text.size()) {
+        std::ostringstream os;
+        os << "CIGAR consumes (" << i << "," << j << ") of ("
+           << pattern.size() << "," << text.size() << ")";
+        res.error = os.str();
+        return res;
+    }
+
+    res.ok = true;
+    res.edit_distance = distance;
+    return res;
+}
+
+VerifyResult
+verifyResult(const seq::Sequence &pattern, const seq::Sequence &text,
+             const AlignResult &result)
+{
+    if (!result.found()) {
+        VerifyResult res;
+        res.error = "no alignment found";
+        return res;
+    }
+    if (!result.has_cigar) {
+        VerifyResult res;
+        res.error = "result has no CIGAR";
+        return res;
+    }
+    VerifyResult res = verifyCigar(pattern, text, result.cigar);
+    if (res.ok && res.edit_distance != result.distance) {
+        res.ok = false;
+        std::ostringstream os;
+        os << "CIGAR distance " << res.edit_distance
+           << " != reported distance " << result.distance;
+        res.error = os.str();
+    }
+    return res;
+}
+
+i64
+affineScoreOfCigar(const Cigar &cigar, const AffinePenalties &pen)
+{
+    i64 score = 0;
+    bool in_gap = false;
+    Op gap_kind = Op::Match;
+    for (size_t k = 0; k < cigar.size(); ++k) {
+        const Op op = cigar.at(k);
+        switch (op) {
+          case Op::Match:
+            score += pen.match;
+            in_gap = false;
+            break;
+          case Op::Mismatch:
+            score -= pen.mismatch;
+            in_gap = false;
+            break;
+          case Op::Insertion:
+          case Op::Deletion:
+            if (!in_gap || gap_kind != op)
+                score -= pen.gap_open;
+            score -= pen.gap_extend;
+            in_gap = true;
+            gap_kind = op;
+            break;
+        }
+    }
+    return score;
+}
+
+} // namespace gmx::align

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Alignment verification.
+ *
+ * Every traceback path in the repository is funneled through these checks
+ * in the tests: a CIGAR must consume exactly the two sequences, its M/X ops
+ * must agree with the actual characters, and the distance it implies must
+ * match the distance the aligner reported.
+ */
+
+#ifndef GMX_ALIGN_VERIFY_HH
+#define GMX_ALIGN_VERIFY_HH
+
+#include <string>
+
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** Outcome of verifying a CIGAR against its sequences. */
+struct VerifyResult
+{
+    bool ok = false;
+    std::string error;     //!< empty when ok
+    i64 edit_distance = 0; //!< distance implied by the CIGAR when ok
+};
+
+/**
+ * Check that @p cigar is a valid global alignment of @p pattern against
+ * @p text: consumes both fully, and M/X agree with the characters.
+ */
+VerifyResult verifyCigar(const seq::Sequence &pattern,
+                         const seq::Sequence &text, const Cigar &cigar);
+
+/**
+ * Verify a full AlignResult: valid CIGAR whose implied distance equals
+ * result.distance.
+ */
+VerifyResult verifyResult(const seq::Sequence &pattern,
+                          const seq::Sequence &text,
+                          const AlignResult &result);
+
+/**
+ * Score an existing alignment under gap-affine penalties (used by the
+ * Fig. 3 accuracy analysis to rescore edit-distance CIGARs).
+ */
+i64 affineScoreOfCigar(const Cigar &cigar, const AffinePenalties &pen);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_VERIFY_HH

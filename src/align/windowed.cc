@@ -1,0 +1,117 @@
+#include "align/windowed.hh"
+
+#include <algorithm>
+
+#include "align/bitap.hh"
+#include "align/nw.hh"
+#include "common/logging.hh"
+
+namespace gmx::align {
+
+AlignResult
+windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+              const WindowedParams &params, const WindowAligner &window_fn)
+{
+    const size_t W = params.window;
+    const size_t O = params.overlap;
+    if (W == 0 || O >= W)
+        GMX_FATAL("windowedAlign: invalid geometry W=%zu O=%zu", W, O);
+
+    // Remaining (unaligned) prefix lengths of each sequence. Windows are
+    // anchored at the bottom-right of the remaining region.
+    size_t ri = pattern.size();
+    size_t rj = text.size();
+
+    // Ops are collected back-to-front and reversed at the end.
+    std::vector<Op> ops;
+    ops.reserve(pattern.size() + text.size());
+
+    while (ri > 0 || rj > 0) {
+        const size_t wp = std::min(W, ri);
+        const size_t wt = std::min(W, rj);
+        const bool final_window = (wp == ri && wt == rj);
+
+        const seq::Sequence sub_p = pattern.substr(ri - wp, wp);
+        const seq::Sequence sub_t = text.substr(rj - wt, wt);
+        AlignResult win = window_fn(sub_p, sub_t);
+        GMX_ASSERT(win.found() && win.has_cigar,
+                   "window aligner must return a full CIGAR");
+
+        const auto &wops = win.cigar.ops();
+        // Walk the window path from its bottom-right corner.
+        size_t wi = wp; // window-relative pattern rows still ahead
+        size_t wj = wt;
+        size_t accepted = 0;
+        for (size_t k = wops.size(); k-- > 0;) {
+            if (!final_window) {
+                // Stop committing once the path enters the overlap region
+                // (within O of the window's top-left edge on either axis).
+                const bool in_overlap = (wi <= O) || (wj <= O);
+                if (in_overlap && accepted > 0)
+                    break;
+            }
+            const Op op = wops[k];
+            ops.push_back(op);
+            ++accepted;
+            if (op != Op::Deletion)
+                --wi;
+            if (op != Op::Insertion)
+                --wj;
+        }
+        GMX_ASSERT(accepted > 0, "windowed driver made no progress");
+        ri -= (wp - wi);
+        rj -= (wt - wj);
+        if (final_window) {
+            GMX_ASSERT(ri == 0 && rj == 0);
+            break;
+        }
+    }
+
+    std::reverse(ops.begin(), ops.end());
+    AlignResult res;
+    res.cigar = Cigar(std::move(ops));
+    res.distance = static_cast<i64>(res.cigar.editDistance());
+    res.has_cigar = true;
+    return res;
+}
+
+AlignResult
+genasmCpuAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+               const WindowedParams &params, KernelCounts *counts)
+{
+    // Faithful to the GenASM algorithm: the hardware supports (and pays
+    // for) the full error budget of a window, k = max(wp, wt), rather
+    // than adapting k to the data — this O(W) vector count per character
+    // is precisely why the paper calls GenASM-CPU "a hardware-oriented
+    // algorithm not designed to be executed on a CPU".
+    return windowedAlign(
+        pattern, text, params,
+        [counts](const seq::Sequence &p, const seq::Sequence &t) {
+            const i64 k =
+                static_cast<i64>(std::max(p.size(), t.size()));
+            AlignResult res = bitapAlign(p, t, k, counts);
+            GMX_ASSERT(res.found(),
+                       "window distance cannot exceed max(wp, wt)");
+            return res;
+        });
+}
+
+AlignResult
+windowedDpAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                const WindowedParams &params, KernelCounts *counts)
+{
+    return windowedAlign(
+        pattern, text, params,
+        [counts](const seq::Sequence &p, const seq::Sequence &t) {
+            AlignResult res = nwAlign(p, t);
+            if (counts) {
+                counts->cells += (p.size() + 1) * (t.size() + 1);
+                counts->alu += 5 * (p.size() + 1) * (t.size() + 1);
+                counts->loads += 2 * (p.size() + 1) * (t.size() + 1);
+                counts->stores += (p.size() + 1) * (t.size() + 1);
+            }
+            return res;
+        });
+}
+
+} // namespace gmx::align

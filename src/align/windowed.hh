@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generic windowed alignment driver (Darwin GACT / GenASM style).
+ *
+ * The DP-matrix is traversed with overlapping W x W windows starting from
+ * the bottom-right corner. Each window is aligned globally; the traceback
+ * ops outside the O-overlap region are committed and the next window is
+ * anchored where the committed path stopped. The window aligner is a
+ * callback, so the same driver implements Windowed(GenASM-CPU) (Bitap
+ * windows), Windowed(DP) and Windowed(GMX) (tile windows).
+ *
+ * Windowed alignment is a heuristic: the committed path is a valid
+ * alignment, but its cost can exceed the optimal edit distance when the
+ * optimal path leaves the window corridor.
+ */
+
+#ifndef GMX_ALIGN_WINDOWED_HH
+#define GMX_ALIGN_WINDOWED_HH
+
+#include <functional>
+
+#include "align/bpm.hh"
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+
+/** Window geometry. The paper's DSA comparison uses W = 96, O = 32. */
+struct WindowedParams
+{
+    size_t window = 96;  //!< W: window side length
+    size_t overlap = 32; //!< O: overlap between consecutive windows
+};
+
+/**
+ * Aligns a window globally and returns the full window CIGAR.
+ * Inputs are the window's pattern and text chunks.
+ */
+using WindowAligner = std::function<AlignResult(const seq::Sequence &,
+                                                const seq::Sequence &)>;
+
+/**
+ * Run the windowed driver over @p pattern / @p text with @p window_fn
+ * aligning each window. Throws FatalError when overlap >= window.
+ */
+AlignResult windowedAlign(const seq::Sequence &pattern,
+                          const seq::Sequence &text,
+                          const WindowedParams &params,
+                          const WindowAligner &window_fn);
+
+/** Windowed(GenASM-CPU): Bitap-based windows, the paper's CPU baseline. */
+AlignResult genasmCpuAlign(const seq::Sequence &pattern,
+                           const seq::Sequence &text,
+                           const WindowedParams &params = WindowedParams(),
+                           KernelCounts *counts = nullptr);
+
+/** Windowed(DP): scalar NW windows (Darwin GACT's software equivalent). */
+AlignResult windowedDpAlign(const seq::Sequence &pattern,
+                            const seq::Sequence &text,
+                            const WindowedParams &params = WindowedParams(),
+                            KernelCounts *counts = nullptr);
+
+} // namespace gmx::align
+
+#endif // GMX_ALIGN_WINDOWED_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dynamic bit vector with word-granular access.
+ *
+ * The bit-parallel aligners (Myers BPM, Bitap/GenASM) operate on long bit
+ * vectors split into 64-bit words with carry propagation between words.
+ * This class provides the storage plus the handful of word/bit primitives
+ * those kernels need; the kernels themselves implement the shifting and
+ * carry logic explicitly, since that is where the algorithms live.
+ */
+
+#ifndef GMX_COMMON_BITVECTOR_HH
+#define GMX_COMMON_BITVECTOR_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gmx {
+
+/** Fixed-length bit vector backed by 64-bit words. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Create a vector of @p nbits, all clear (or all set). */
+    explicit BitVector(size_t nbits, bool set_all = false)
+        : nbits_(nbits),
+          words_(wordsFor(nbits), set_all ? ~u64{0} : u64{0})
+    {
+        trimTail();
+    }
+
+    /** Number of addressable bits. */
+    size_t size() const { return nbits_; }
+
+    /** Number of backing words. */
+    size_t numWords() const { return words_.size(); }
+
+    /** How many 64-bit words are needed to hold @p nbits bits. */
+    static size_t wordsFor(size_t nbits) { return (nbits + 63) / 64; }
+
+    bool
+    get(size_t i) const
+    {
+        GMX_ASSERT(i < nbits_);
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(size_t i, bool v = true)
+    {
+        GMX_ASSERT(i < nbits_);
+        const u64 mask = u64{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    /** Direct word access for bit-parallel kernels. */
+    u64 word(size_t w) const { return words_[w]; }
+    u64 &word(size_t w) { return words_[w]; }
+    const u64 *data() const { return words_.data(); }
+    u64 *data() { return words_.data(); }
+
+    /** Set every bit. */
+    void
+    fill()
+    {
+        for (auto &w : words_)
+            w = ~u64{0};
+        trimTail();
+    }
+
+    /** Clear every bit. */
+    void
+    clear()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** Population count over the whole vector. */
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (u64 w : words_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    bool
+    operator==(const BitVector &o) const
+    {
+        return nbits_ == o.nbits_ && words_ == o.words_;
+    }
+
+  private:
+    /** Clear any bits beyond nbits_ in the last word. */
+    void
+    trimTail()
+    {
+        const size_t rem = nbits_ & 63;
+        if (rem != 0 && !words_.empty())
+            words_.back() &= (u64{1} << rem) - 1;
+    }
+
+    size_t nbits_ = 0;
+    std::vector<u64> words_;
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_BITVECTOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts the process.
+ * fatal()  — the user supplied an invalid configuration or input; throws
+ *            a FatalError so callers (and tests) can observe it.
+ * warn()   — something is suspicious but execution can continue.
+ */
+
+#ifndef GMX_COMMON_LOGGING_HH
+#define GMX_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace gmx {
+
+/** Exception thrown by fatal() on invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define GMX_PANIC(...) \
+    ::gmx::detail::panicImpl(__FILE__, __LINE__, ::gmx::detail::format(__VA_ARGS__))
+
+#define GMX_FATAL(...) \
+    ::gmx::detail::fatalImpl(::gmx::detail::format(__VA_ARGS__))
+
+#define GMX_WARN(...) \
+    ::gmx::detail::warnImpl(::gmx::detail::format(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define GMX_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            GMX_PANIC("assertion failed: %s", #cond); \
+        } \
+    } while (0)
+
+} // namespace gmx
+
+#endif // GMX_COMMON_LOGGING_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Benchmarks and tests must be reproducible across runs and platforms, so
+ * we avoid std::mt19937 implementation differences and provide a small,
+ * fast, well-understood generator with convenience helpers.
+ */
+
+#ifndef GMX_COMMON_PRNG_HH
+#define GMX_COMMON_PRNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gmx {
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Seeded via splitmix64 so any
+ * 64-bit seed, including 0, produces a well-mixed state.
+ */
+class Prng
+{
+  public:
+    explicit Prng(u64 seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(u64 seed)
+    {
+        u64 x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    u64
+    below(u64 bound)
+    {
+        // Lemire's nearly-divisionless method, simplified: rejection-free
+        // multiply-shift is fine for our non-cryptographic use.
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    u64 state_[4];
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_PRNG_HH

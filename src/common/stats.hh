@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Streaming summary statistics used by the benchmark harnesses.
+ */
+
+#ifndef GMX_COMMON_STATS_HH
+#define GMX_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gmx {
+
+/**
+ * Welford-style running mean/variance plus min/max. Numerically stable and
+ * O(1) per sample, so benchmark loops can feed it directly.
+ */
+class RunningStats
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    size_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric-mean accumulator (throughput ratios are summarized this way). */
+class GeoMean
+{
+  public:
+    void
+    add(double x)
+    {
+        if (x > 0) {
+            log_sum_ += std::log(x);
+            ++n_;
+        }
+    }
+
+    size_t count() const { return n_; }
+    double value() const { return n_ ? std::exp(log_sum_ / n_) : 0.0; }
+
+  private:
+    double log_sum_ = 0.0;
+    size_t n_ = 0;
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_STATS_HH

@@ -1,0 +1,85 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gmx {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GMX_ASSERT(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GMX_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(long long v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (v < 0)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-");
+        os << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace gmx

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width text table printer.
+ *
+ * Every benchmark binary reproduces one of the paper's tables or figures and
+ * prints its rows through this class so the output format is uniform and
+ * easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef GMX_COMMON_TABLE_HH
+#define GMX_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gmx {
+
+/** Column-aligned ASCII table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer with thousands separators. */
+    static std::string num(long long v);
+
+    /** Render the full table (header, rule, rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_TABLE_HH

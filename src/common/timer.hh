@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Simple wall-clock stopwatch for native benchmarks.
+ */
+
+#ifndef GMX_COMMON_TIMER_HH
+#define GMX_COMMON_TIMER_HH
+
+#include <chrono>
+
+namespace gmx {
+
+/** Monotonic stopwatch; starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction/reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_TIMER_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental integer type aliases used across the GMX libraries.
+ */
+
+#ifndef GMX_COMMON_TYPES_HH
+#define GMX_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gmx {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Number of bits in a machine word used by the bit-parallel kernels. */
+inline constexpr unsigned kWordBits = 64;
+
+} // namespace gmx
+
+#endif // GMX_COMMON_TYPES_HH

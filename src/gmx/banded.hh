@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Banded(GMX): the Edlib-style diagonal band heuristic built from GMX
+ * tiles (paper §4.1, Fig. 4.b.2).
+ *
+ * Only the (m*B)/T^2 tiles whose tile-diagonal offset lies within the band
+ * are computed; edges entering the band from outside are taken from the
+ * Ukkonen envelope (all +1 deltas), so the computed distance is exact
+ * whenever the optimal path stays inside the band and an overestimate
+ * otherwise. The k-doubling wrapper turns this into an exact aligner.
+ */
+
+#ifndef GMX_GMX_BANDED_HH
+#define GMX_GMX_BANDED_HH
+
+#include "align/types.hh"
+#include "gmx/full.hh"
+
+namespace gmx::core {
+
+/**
+ * Banded GMX alignment tolerating @p k errors (band of ~2k+|n-m| cells
+ * around the diagonal, rounded up to whole tiles).
+ *
+ * With enforce_bound (the default), returns distance == kNoAlignment when
+ * the banded distance exceeds k — the exact-mode contract used by the
+ * doubling driver. With enforce_bound = false the banded distance is
+ * returned as-is: the fixed-band heuristic regime (distance may exceed
+ * the optimum when the path leaves the band), which is how a fixed band
+ * budget is run at megabase scale.
+ *
+ * With want_cigar=false only one tile-row of edges is kept, so memory is
+ * O(B) — the configuration used for megabase-scale alignment.
+ */
+align::AlignResult bandedGmxAlign(const seq::Sequence &pattern,
+                                  const seq::Sequence &text, i64 k,
+                                  bool want_cigar = true, unsigned tile = 32,
+                                  align::KernelCounts *counts = nullptr,
+                                  bool enforce_bound = true);
+
+/** Doubling driver (exact): grows k from @p k0 until the result is found. */
+align::AlignResult bandedGmxAuto(const seq::Sequence &pattern,
+                                 const seq::Sequence &text,
+                                 bool want_cigar = true, i64 k0 = 64,
+                                 unsigned tile = 32,
+                                 align::KernelCounts *counts = nullptr);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_BANDED_HH

@@ -1,0 +1,31 @@
+#include "gmx/delta.hh"
+
+namespace gmx::core {
+
+u64
+packDelta(const DeltaVec &v, unsigned t)
+{
+    GMX_ASSERT(t <= 32);
+    u64 reg = 0;
+    for (unsigned r = 0; r < t; ++r) {
+        const u64 lane = ((v.p >> r) & 1) | (((v.m >> r) & 1) << 1);
+        reg |= lane << (2 * r);
+    }
+    return reg;
+}
+
+DeltaVec
+unpackDelta(u64 reg, unsigned t)
+{
+    GMX_ASSERT(t <= 32);
+    DeltaVec v;
+    for (unsigned r = 0; r < t; ++r) {
+        const u64 lane = (reg >> (2 * r)) & 3;
+        GMX_ASSERT(lane != 3, "delta lane cannot be both +1 and -1");
+        v.p |= (lane & 1) << r;
+        v.m |= ((lane >> 1) & 1) << r;
+    }
+    return v;
+}
+
+} // namespace gmx::core

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Differential (delta) encoding of DP-matrix elements (paper §4.2).
+ *
+ * BPM's observation: adjacent DP cells differ by at most 1, so a cell is
+ * represented by its vertical delta (dv = D[i][j] - D[i-1][j]) and its
+ * horizontal delta (dh = D[i][j] - D[i][j-1]), each in {-1, 0, +1} and
+ * encoded in 2 bits: bit0 = (delta == +1), bit1 = (delta == -1).
+ *
+ * A vector of T deltas packs the bit0s into a "p" word and the bit1s into
+ * an "m" word — the layout the GMX bit-parallel kernel and the gmx_*
+ * architectural registers use.
+ *
+ * GMXD is the paper's Eq. 2 (the condensed BPM cell recurrence):
+ *
+ *     GMXD(da, db, eq) = min(-eq, da, db) + 1 - db
+ *
+ * with dv_out = GMXD(dv_in, dh_in, eq) and dh_out = GMXD(dh_in, dv_in, eq).
+ * The boolean form below is derived from Eq. 2 and validated by exhaustive
+ * enumeration of all 18 inputs in the tests (the PDF rendering of the
+ * paper's Eq. 3 is typographically corrupted; see DESIGN.md).
+ */
+
+#ifndef GMX_GMX_DELTA_HH
+#define GMX_GMX_DELTA_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gmx::core {
+
+/** Arithmetic GMXD per Eq. 2. @p da, @p db in {-1, 0, +1}. */
+inline int
+gmxDeltaArith(int da, int db, bool eq)
+{
+    const int me = eq ? -1 : 0;
+    int mn = me < da ? me : da;
+    mn = mn < db ? mn : db;
+    return mn + 1 - db;
+}
+
+/**
+ * Boolean GMXD (the hardware form):
+ *   out+ = !(b+ | ((a- | eq) & !b-))
+ *   out- = (a- | eq) & b+
+ * where x+ / x- are the (x == +1) / (x == -1) bits. 6 gate-ops per GMXD,
+ * 12 per DP-element (two GMXD evaluations), matching the paper's count.
+ */
+inline void
+gmxDeltaBits(bool ap, bool am, bool bp, bool bm, bool eq, bool &out_p,
+             bool &out_m)
+{
+    (void)ap; // the +1 bit of the first operand does not influence Eq. 2
+    const bool t = am || eq;
+    out_m = t && bp;
+    out_p = !(bp || (t && !bm));
+}
+
+/**
+ * A vector of up to 64 deltas in split p/m word encoding. Lane r holds the
+ * delta of row (or column) r of a tile edge.
+ */
+struct DeltaVec
+{
+    u64 p = 0; //!< lane r set: delta == +1
+    u64 m = 0; //!< lane r set: delta == -1
+
+    /** All-lanes mask for a vector of @p len lanes. */
+    static u64
+    laneMask(unsigned len)
+    {
+        GMX_ASSERT(len <= 64);
+        return len >= 64 ? ~u64{0} : (u64{1} << len) - 1;
+    }
+
+    /** The DP boundary vector: every delta +1 (matrix row 0 / column 0). */
+    static DeltaVec ones(unsigned len) { return {laneMask(len), 0}; }
+
+    /** All-zero deltas. */
+    static DeltaVec zeros(unsigned) { return {0, 0}; }
+
+    /** Delta at lane @p r as an integer. */
+    int
+    at(unsigned r) const
+    {
+        const u64 bit = u64{1} << r;
+        if (p & bit)
+            return 1;
+        if (m & bit)
+            return -1;
+        return 0;
+    }
+
+    /** Set lane @p r to delta @p v in {-1, 0, +1}. */
+    void
+    set(unsigned r, int v)
+    {
+        const u64 bit = u64{1} << r;
+        p &= ~bit;
+        m &= ~bit;
+        if (v > 0)
+            p |= bit;
+        else if (v < 0)
+            m |= bit;
+    }
+
+    /** Sum of all deltas over the first @p len lanes. */
+    i64
+    sum(unsigned len) const
+    {
+        const u64 msk = laneMask(len);
+        return static_cast<i64>(__builtin_popcountll(p & msk)) -
+               static_cast<i64>(__builtin_popcountll(m & msk));
+    }
+
+    /** Build from a list of integer deltas. */
+    static DeltaVec
+    fromInts(const std::vector<int> &vals)
+    {
+        GMX_ASSERT(vals.size() <= 64);
+        DeltaVec v;
+        for (size_t r = 0; r < vals.size(); ++r)
+            v.set(static_cast<unsigned>(r), vals[r]);
+        return v;
+    }
+
+    /** Expand the first @p len lanes into integers. */
+    std::vector<int>
+    toInts(unsigned len) const
+    {
+        std::vector<int> vals(len);
+        for (unsigned r = 0; r < len; ++r)
+            vals[r] = at(r);
+        return vals;
+    }
+
+    bool operator==(const DeltaVec &o) const { return p == o.p && m == o.m; }
+};
+
+/**
+ * Pack a DeltaVec into the 2T-bit architectural register layout used by
+ * the gmx CSRs and gmx.v/gmx.h operands: lane r occupies bits [2r, 2r+1]
+ * with bit 2r = plus, bit 2r+1 = minus. Valid for T <= 32.
+ */
+u64 packDelta(const DeltaVec &v, unsigned t);
+
+/** Inverse of packDelta. */
+DeltaVec unpackDelta(u64 reg, unsigned t);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_DELTA_HH

@@ -1,0 +1,217 @@
+#include "gmx/full.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gmx::core {
+
+namespace {
+
+using align::AlignResult;
+using align::KernelCounts;
+using align::Op;
+
+/** Tile-grid geometry for an n x m matrix at tile size T. */
+struct Grid
+{
+    unsigned t;
+    size_t rows;
+    size_t cols;
+    size_t n;
+    size_t m;
+
+    Grid(size_t n_, size_t m_, unsigned t_)
+        : t(t_), rows((n_ + t_ - 1) / t_), cols((m_ + t_ - 1) / t_), n(n_),
+          m(m_)
+    {}
+
+    /** Height of tile row @p ti (partial on the last row). */
+    unsigned
+    tileHeight(size_t ti) const
+    {
+        return static_cast<unsigned>(
+            std::min<size_t>(t, n - ti * t));
+    }
+
+    unsigned
+    tileWidth(size_t tj) const
+    {
+        return static_cast<unsigned>(
+            std::min<size_t>(t, m - tj * t));
+    }
+};
+
+/** Driver-side cost bookkeeping for one computed tile (Algorithm 1). */
+void
+chargeTile(KernelCounts *counts, unsigned tp, unsigned tt)
+{
+    if (!counts)
+        return;
+    counts->cells += static_cast<u64>(tp) * tt;
+    counts->loads += 2;  // dv_in, dh_in from the edge matrix
+    counts->stores += 2; // dv_out, dh_out into the edge matrix
+    counts->alu += 4;    // tight inner loop: control + addressing
+}
+
+/** Fold the GmxUnit's census into KernelCounts. */
+void
+foldUnitCounts(KernelCounts *counts, const GmxInstrCounts &unit)
+{
+    if (!counts)
+        return;
+    counts->gmx_ac += unit.gmx_v + unit.gmx_h;
+    counts->gmx_tb += unit.gmx_tb;
+    counts->csr += unit.csr_read + unit.csr_write;
+}
+
+AlignResult
+trivialEmptyAlign(size_t n, size_t m, bool want_cigar)
+{
+    AlignResult res;
+    res.distance = static_cast<i64>(n + m);
+    if (want_cigar) {
+        res.cigar.push(Op::Deletion, m);
+        res.cigar.push(Op::Insertion, n);
+        res.has_cigar = true;
+    }
+    return res;
+}
+
+} // namespace
+
+i64
+fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                unsigned tile, KernelCounts *counts)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    if (n == 0 || m == 0)
+        return static_cast<i64>(n + m);
+
+    GmxUnit unit(tile);
+    const Grid g(n, m, tile);
+
+    // Rolling storage: right edges of the previous tile column (one per
+    // tile row) and the bottom edge chain of the current tile column.
+    std::vector<DeltaVec> right(g.rows);
+
+    i64 distance = static_cast<i64>(n); // D[n][0]
+    for (size_t tj = 0; tj < g.cols; ++tj) {
+        const unsigned tt = g.tileWidth(tj);
+        unit.csrwText(text.codes().data() + tj * g.t, tt);
+        DeltaVec dh = DeltaVec::ones(tt); // top boundary of this column
+        for (size_t ti = 0; ti < g.rows; ++ti) {
+            const unsigned tp = g.tileHeight(ti);
+            unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
+            const DeltaVec dv_in =
+                tj == 0 ? DeltaVec::ones(tp) : right[ti];
+            right[ti] = unit.gmxV(dv_in, dh);
+            dh = unit.gmxH(dv_in, dh);
+            chargeTile(counts, tp, tt);
+        }
+        distance += dh.sum(tt); // bottom-row horizontal deltas
+    }
+    foldUnitCounts(counts, unit.counts());
+    return distance;
+}
+
+align::AlignResult
+fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+             unsigned tile, KernelCounts *counts)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    if (n == 0 || m == 0)
+        return trivialEmptyAlign(n, m, true);
+
+    GmxUnit unit(tile);
+    const Grid g(n, m, tile);
+
+    // The edge matrix M (Algorithm 1): per-tile output edge vectors.
+    std::vector<TileEdges> edges(g.rows * g.cols);
+    auto at = [&](size_t ti, size_t tj) -> TileEdges & {
+        return edges[ti * g.cols + tj];
+    };
+
+    i64 distance = static_cast<i64>(n);
+    for (size_t tj = 0; tj < g.cols; ++tj) {
+        const unsigned tt = g.tileWidth(tj);
+        unit.csrwText(text.codes().data() + tj * g.t, tt);
+        for (size_t ti = 0; ti < g.rows; ++ti) {
+            const unsigned tp = g.tileHeight(ti);
+            unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
+            const DeltaVec dv_in =
+                tj == 0 ? DeltaVec::ones(tp) : at(ti, tj - 1).v;
+            const DeltaVec dh_in =
+                ti == 0 ? DeltaVec::ones(tt) : at(ti - 1, tj).h;
+            at(ti, tj).v = unit.gmxV(dv_in, dh_in);
+            at(ti, tj).h = unit.gmxH(dv_in, dh_in);
+            chargeTile(counts, tp, tt);
+        }
+        distance += at(g.rows - 1, tj).h.sum(tt);
+    }
+
+    // ---- Tile-wise traceback (Algorithm 2) ----
+    AlignResult res;
+    res.distance = distance;
+    res.has_cigar = true;
+
+    std::vector<Op> ops; // collected backwards (from (n, m) to origin)
+    ops.reserve(n + m);
+    size_t ai = n, aj = m; // absolute DP cell still to be reached
+    size_t ti = g.rows - 1, tj = g.cols - 1;
+    unit.csrwPos({TracebackPos::Edge::Bottom, g.tileWidth(tj) - 1});
+
+    while (ai > 0 && aj > 0) {
+        const unsigned tp = g.tileHeight(ti);
+        const unsigned tt = g.tileWidth(tj);
+        unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
+        unit.csrwText(text.codes().data() + tj * g.t, tt);
+        const DeltaVec dv_in =
+            tj == 0 ? DeltaVec::ones(tp) : at(ti, tj - 1).v;
+        const DeltaVec dh_in =
+            ti == 0 ? DeltaVec::ones(tt) : at(ti - 1, tj).h;
+        const TracebackStep step = unit.gmxTb(dv_in, dh_in);
+        if (counts) {
+            counts->loads += 2;
+            counts->stores += 2; // gmx_lo/gmx_hi spilled to the output
+            counts->alu += 8;
+        }
+        for (Op op : step.ops) {
+            ops.push_back(op);
+            if (op != Op::Deletion)
+                --ai;
+            if (op != Op::Insertion)
+                --aj;
+            if (ai == 0 || aj == 0)
+                break;
+        }
+        if (ai == 0 || aj == 0)
+            break;
+        switch (step.next) {
+          case NextTile::Diag:
+            --ti;
+            --tj;
+            break;
+          case NextTile::Up:
+            --ti;
+            break;
+          case NextTile::Left:
+            --tj;
+            break;
+        }
+    }
+    // Finish along the matrix boundary.
+    for (; aj > 0; --aj)
+        ops.push_back(Op::Deletion);
+    for (; ai > 0; --ai)
+        ops.push_back(Op::Insertion);
+
+    std::reverse(ops.begin(), ops.end());
+    res.cigar = align::Cigar(std::move(ops));
+    foldUnitCounts(counts, unit.counts());
+    return res;
+}
+
+} // namespace gmx::core

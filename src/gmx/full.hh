@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Full(GMX): tile-wise computation of the whole DP-matrix using the GMX
+ * instructions (paper Algorithm 1) and tile-wise traceback (Algorithm 2).
+ *
+ * Only the delta vectors at tile edges are stored — (n*m)/T tile-edge
+ * DP-elements instead of n*m, the T-fold footprint reduction of §4.
+ * Matrix sides that are not multiples of T produce partial edge tiles,
+ * handled natively by the tile kernel.
+ */
+
+#ifndef GMX_GMX_FULL_HH
+#define GMX_GMX_FULL_HH
+
+#include "align/bpm.hh"
+#include "align/types.hh"
+#include "gmx/isa.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::core {
+
+/** Stored edges of one computed tile. */
+struct TileEdges
+{
+    DeltaVec v; //!< right-edge vertical deltas (dv_out)
+    DeltaVec h; //!< bottom-edge horizontal deltas (dh_out)
+};
+
+/** Edit distance via Full(GMX); stores one tile-row of edges only. */
+i64 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                    unsigned tile = 32,
+                    align::KernelCounts *counts = nullptr);
+
+/** Full alignment with tile-wise traceback (Algorithms 1 + 2). */
+align::AlignResult fullGmxAlign(const seq::Sequence &pattern,
+                                const seq::Sequence &text, unsigned tile = 32,
+                                align::KernelCounts *counts = nullptr);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_FULL_HH

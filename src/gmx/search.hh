@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Semi-global approximate pattern search built on GMX tiles.
+ *
+ * The paper positions GMX as useful beyond genomics ("pattern matching,
+ * natural language processing, and others", §1) and notes that the
+ * gmx_pattern/gmx_text registers admit arbitrary alphabets (§5). This
+ * module demonstrates both: the DP top boundary is initialized with zero
+ * horizontal deltas (D[0][j] = 0, "the occurrence may start anywhere"),
+ * the tile grid is swept exactly as in Full(GMX), and every text position
+ * whose bottom-row value is within the error budget is an occurrence
+ * end. Occurrences can be traced back with the banded aligner to recover
+ * start positions and CIGARs.
+ *
+ * Two front ends share the kernel: DNA sequences (2-bit codes) and raw
+ * byte strings (full 8-bit alphabet).
+ */
+
+#ifndef GMX_GMX_SEARCH_HH
+#define GMX_GMX_SEARCH_HH
+
+#include <string_view>
+#include <vector>
+
+#include "align/bpm.hh"
+#include "align/types.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::core {
+
+/** One approximate occurrence of the pattern in the text. */
+struct Occurrence
+{
+    size_t end = 0;      //!< text position one past the occurrence
+    size_t begin = 0;    //!< start position (filled by traceback)
+    i64 distance = 0;    //!< edit distance of the occurrence
+    align::Cigar cigar;  //!< alignment (filled when requested)
+};
+
+/** Search options. */
+struct SearchOptions
+{
+    i64 max_distance = 0;     //!< error budget k
+    bool with_alignment = true; //!< recover begin/CIGAR per occurrence
+    unsigned tile = 32;       //!< GMX tile size
+    /**
+     * Keep only local minima: suppress occurrences whose neighbour within
+     * the same error run scores no worse (standard practice to avoid one
+     * hit per position around a match).
+     */
+    bool best_per_run = true;
+};
+
+/** Search a DNA pattern in a DNA text. */
+std::vector<Occurrence> searchGmx(const seq::Sequence &pattern,
+                                  const seq::Sequence &text,
+                                  const SearchOptions &opts,
+                                  align::KernelCounts *counts = nullptr);
+
+/**
+ * Search raw bytes (any alphabet — ASCII text, protein sequences, ...).
+ * The emulation compares bytes directly, mirroring the hardware's
+ * per-cell character comparators; no eq-vector preprocessing exists in
+ * either.
+ */
+std::vector<Occurrence> searchGmxBytes(std::string_view pattern,
+                                       std::string_view text,
+                                       const SearchOptions &opts,
+                                       align::KernelCounts *counts = nullptr);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_SEARCH_HH

@@ -1,0 +1,123 @@
+#include "gmx/tile.hh"
+
+#include "sequence/alphabet.hh"
+
+namespace gmx::core {
+
+namespace {
+
+void
+checkInput(const TileInput &in)
+{
+    GMX_ASSERT(in.tp >= 1 && in.tp <= kMaxTile);
+    GMX_ASSERT(in.tt >= 1 && in.tt <= kMaxTile);
+    GMX_ASSERT(in.pattern != nullptr && in.text != nullptr);
+}
+
+} // namespace
+
+TileOutput
+tileCompute(const TileInput &in)
+{
+    checkInput(in);
+    const unsigned tp = in.tp;
+    const unsigned tt = in.tt;
+    const u64 row_mask = DeltaVec::laneMask(tp);
+
+    // Per-symbol pattern masks. The hardware compares characters directly
+    // in each compute cell; this table is only the software emulation's
+    // O(1)-per-column equivalent of those parallel comparators.
+    u64 eq_mask[seq::kDnaSymbols] = {0, 0, 0, 0};
+    for (unsigned r = 0; r < tp; ++r)
+        eq_mask[in.pattern[r] & 3] |= u64{1} << r;
+
+    u64 pv = in.dv_in.p & row_mask;
+    u64 mv = in.dv_in.m & row_mask;
+    DeltaVec dh_out;
+
+    for (unsigned c = 0; c < tt; ++c) {
+        u64 eq = eq_mask[in.text[c] & 3];
+        const int hin = in.dh_in.at(c);
+
+        // Myers/Hyyrö column step restricted to tp lanes; this evaluates
+        // the same recurrence as the GMXD cell network.
+        if (hin < 0)
+            eq |= 1;
+        const u64 xv = eq | mv;
+        const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
+
+        u64 ph = mv | ~(xh | pv);
+        u64 mh = pv & xh;
+
+        // Horizontal delta leaving the tile at the bottom row (lane tp-1),
+        // read before the shift realigns ph/mh to "delta entering row r".
+        const u64 out_bit = u64{1} << (tp - 1);
+        if (ph & out_bit)
+            dh_out.p |= u64{1} << c;
+        else if (mh & out_bit)
+            dh_out.m |= u64{1} << c;
+
+        ph <<= 1;
+        mh <<= 1;
+        if (hin > 0)
+            ph |= 1;
+        else if (hin < 0)
+            mh |= 1;
+
+        pv = (mh | ~(xv | ph)) & row_mask;
+        mv = (ph & xv) & row_mask;
+    }
+
+    TileOutput out;
+    out.dv_out.p = pv;
+    out.dv_out.m = mv;
+    out.dh_out = dh_out;
+    return out;
+}
+
+TileOutput
+tileComputeScalar(const TileInput &in)
+{
+    const TileInterior interior = tileInterior(in);
+    TileOutput out;
+    for (unsigned r = 0; r < in.tp; ++r)
+        out.dv_out.set(r, interior.dvAt(r, in.tt - 1));
+    for (unsigned c = 0; c < in.tt; ++c)
+        out.dh_out.set(c, interior.dhAt(in.tp - 1, c));
+    return out;
+}
+
+TileInterior
+tileInterior(const TileInput &in)
+{
+    checkInput(in);
+    TileInterior interior;
+    interior.tp = in.tp;
+    interior.tt = in.tt;
+    interior.dv.resize(static_cast<size_t>(in.tp) * in.tt);
+    interior.dh.resize(static_cast<size_t>(in.tp) * in.tt);
+
+    for (unsigned r = 0; r < in.tp; ++r) {
+        for (unsigned c = 0; c < in.tt; ++c) {
+            const int dv_left =
+                c == 0 ? in.dv_in.at(r) : interior.dvAt(r, c - 1);
+            const int dh_up =
+                r == 0 ? in.dh_in.at(c) : interior.dhAt(r - 1, c);
+            const bool eq = (in.pattern[r] & 3) == (in.text[c] & 3);
+
+            bool out_p = false, out_m = false;
+            gmxDeltaBits(dv_left > 0, dv_left < 0, dh_up > 0, dh_up < 0, eq,
+                         out_p, out_m);
+            interior.dv[r * in.tt + c] =
+                static_cast<i8>(out_p ? 1 : out_m ? -1 : 0);
+
+            gmxDeltaBits(dh_up > 0, dh_up < 0, dv_left > 0, dv_left < 0, eq,
+                         out_p, out_m);
+            interior.dh[r * in.tt + c] =
+                static_cast<i8>(out_p ? 1 : out_m ? -1 : 0);
+        }
+    }
+    return interior;
+}
+
+} // namespace gmx::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GMX-Tile: bit-parallel computation of one (T x T) DP-matrix tile
+ * (paper §4.2).
+ *
+ * A tile is defined by its pattern chunk (rows), text chunk (columns), and
+ * the delta vectors on its input edges: dv_in along the left edge and
+ * dh_in along the top edge. Computing the tile yields dv_out (right edge)
+ * and dh_out (bottom edge); interior DP-elements are produced on the fly
+ * and never stored — the memory saving at the heart of GMX.
+ *
+ * Two implementations are provided and cross-checked in the tests:
+ *  - tileComputeScalar: cell-by-cell GMXD evaluation, the direct software
+ *    analogue of the GMX-AC hardware array;
+ *  - tileCompute: the bit-parallel word kernel used by the functional
+ *    GmxUnit model (one Myers-style column step per text character).
+ *
+ * tileInterior() additionally materializes every interior delta; this is
+ * what the GMX-TB traceback hardware recomputes from the stored edges.
+ */
+
+#ifndef GMX_GMX_TILE_HH
+#define GMX_GMX_TILE_HH
+
+#include <vector>
+
+#include "gmx/delta.hh"
+
+namespace gmx::core {
+
+/** Maximum supported tile size (lanes of one machine word). */
+inline constexpr unsigned kMaxTile = 64;
+
+/** Inputs of one tile computation. Chunks are 2-bit DNA codes. */
+struct TileInput
+{
+    const u8 *pattern = nullptr; //!< tp codes, tile rows top to bottom
+    unsigned tp = 0;             //!< tile height (1..kMaxTile)
+    const u8 *text = nullptr;    //!< tt codes, tile columns left to right
+    unsigned tt = 0;             //!< tile width (1..kMaxTile)
+    DeltaVec dv_in;              //!< left-edge vertical deltas (tp lanes)
+    DeltaVec dh_in;              //!< top-edge horizontal deltas (tt lanes)
+};
+
+/** Outputs of one tile computation. */
+struct TileOutput
+{
+    DeltaVec dv_out; //!< right-edge vertical deltas (tp lanes)
+    DeltaVec dh_out; //!< bottom-edge horizontal deltas (tt lanes)
+};
+
+/** Bit-parallel tile computation (the gmx.v/gmx.h functional kernel). */
+TileOutput tileCompute(const TileInput &in);
+
+/** Scalar reference: evaluates GMXD per cell in dependency order. */
+TileOutput tileComputeScalar(const TileInput &in);
+
+/** Every interior delta of a tile, for traceback and verification. */
+struct TileInterior
+{
+    unsigned tp = 0;
+    unsigned tt = 0;
+    std::vector<i8> dv; //!< dv of cell (r, c) at index r * tt + c
+    std::vector<i8> dh; //!< dh of cell (r, c)
+
+    int dvAt(unsigned r, unsigned c) const { return dv[r * tt + c]; }
+    int dhAt(unsigned r, unsigned c) const { return dh[r * tt + c]; }
+};
+
+/** Recompute all interior deltas of a tile from its input edges. */
+TileInterior tileInterior(const TileInput &in);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_TILE_HH

@@ -1,0 +1,17 @@
+#include "gmx/windowed.hh"
+
+namespace gmx::core {
+
+align::AlignResult
+windowedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                 unsigned tile, const align::WindowedParams &params,
+                 align::KernelCounts *counts)
+{
+    return align::windowedAlign(
+        pattern, text, params,
+        [tile, counts](const seq::Sequence &p, const seq::Sequence &t) {
+            return fullGmxAlign(p, t, tile, counts);
+        });
+}
+
+} // namespace gmx::core

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Windowed(GMX): the Darwin/GenASM overlapping-window heuristic with GMX
+ * tiles computing each window (paper §4.1, Fig. 4.b.3).
+ *
+ * The default geometry follows the paper: W = 3T and O = T, i.e. each
+ * window is a 3x3 block of tiles and successive windows overlap by one
+ * tile. The DSA comparison of §7.4 uses W = 96, O = 32 with T = 32.
+ */
+
+#ifndef GMX_GMX_WINDOWED_HH
+#define GMX_GMX_WINDOWED_HH
+
+#include "align/windowed.hh"
+#include "gmx/full.hh"
+
+namespace gmx::core {
+
+/**
+ * Windowed alignment with GMX-tile windows. @p params defaults to the
+ * paper's W = 3T, O = T geometry for the given tile size.
+ */
+align::AlignResult windowedGmxAlign(
+    const seq::Sequence &pattern, const seq::Sequence &text,
+    unsigned tile = 32,
+    const align::WindowedParams &params = {96, 32},
+    align::KernelCounts *counts = nullptr);
+
+} // namespace gmx::core
+
+#endif // GMX_GMX_WINDOWED_HH

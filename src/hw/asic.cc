@@ -1,0 +1,101 @@
+#include "hw/asic.hh"
+
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+
+namespace gmx::hw {
+
+namespace {
+
+/** Area of @p nand2 equivalents plus @p flops, in mm^2. */
+double
+blockArea(double nand2, double flops, const TechConfig &tech)
+{
+    const double total_nand2 = nand2 + flops * tech.flop_nand2;
+    return total_nand2 * tech.nand2_area_um2 * 1e-6;
+}
+
+/** Dynamic + leakage power of a block, mW. */
+double
+blockPower(double nand2, double flops, double ghz, const TechConfig &tech)
+{
+    const double total_nand2 = nand2 + flops * tech.flop_nand2;
+    const double dynamic_mw = total_nand2 * tech.activity *
+                              tech.nand2_energy_fj * ghz * 1e-3;
+    const double leakage_mw = total_nand2 * tech.nand2_leakage_nw * 1e-6;
+    return dynamic_mw + leakage_mw;
+}
+
+} // namespace
+
+GmxAsicReport
+gmxAsicReport(unsigned t, double ghz, const TechConfig &tech,
+              const TimingConfig &timing)
+{
+    GmxAsicReport rep;
+
+    const ModuleStats ac = GmxAcArray(t).stats();
+    const ModuleStats tb = GmxTbArray(t).stats();
+    const SegmentationPlan ac_seg = segmentGmxAc(t, ghz, timing);
+    const SegmentationPlan tb_seg = segmentGmxTb(t, ghz, timing);
+    rep.ac_cycles = ac_seg.stages;
+    rep.tb_cycles = tb_seg.stages;
+
+    rep.ac.name = "GMX-AC";
+    rep.ac.area_mm2 = blockArea(
+        ac.nand2, static_cast<double>(ac_seg.seg_register_bits), tech);
+    rep.ac.power_mw = blockPower(
+        ac.nand2, static_cast<double>(ac_seg.seg_register_bits), ghz, tech);
+
+    rep.tb.name = "GMX-TB";
+    rep.tb.area_mm2 = blockArea(
+        tb.nand2, static_cast<double>(tb_seg.seg_register_bits), tech);
+    rep.tb.power_mw = blockPower(
+        tb.nand2, static_cast<double>(tb_seg.seg_register_bits), ghz, tech);
+
+    // Architectural state: gmx_pattern/text/pos/lo/hi of 2T bits each,
+    // plus decode/control logic (~300 NAND2).
+    const double csr_flops = 5.0 * 2 * t;
+    const double csr_logic = 300.0;
+    rep.csr.name = "GMX-CSRs";
+    rep.csr.area_mm2 = blockArea(csr_logic, csr_flops, tech);
+    rep.csr.power_mw = blockPower(csr_logic, csr_flops, ghz, tech);
+
+    rep.total_area_mm2 =
+        rep.ac.area_mm2 + rep.tb.area_mm2 + rep.csr.area_mm2;
+    rep.total_power_mw =
+        rep.ac.power_mw + rep.tb.power_mw + rep.csr.power_mw;
+    return rep;
+}
+
+SocReport
+socReport(unsigned t, double ghz, const TechConfig &tech)
+{
+    // Sargantana-class SoC blocks in GF 22FDX (constants modeled from the
+    // paper's floorplan: GMX is 1.7% of a ~1.27 mm2 SoC whose area is
+    // dominated by the 512 KB L2).
+    SocReport rep;
+    const GmxAsicReport gmx = gmxAsicReport(t, ghz, tech);
+
+    // mW figures scale the paper's 2.1%-of-power split (~403 mW total).
+    rep.blocks.push_back({"core (7-stage RV64G)", 0.205, 96.0});
+    rep.blocks.push_back({"L1d (32 KB)", 0.091, 38.0});
+    rep.blocks.push_back({"L1i (16 KB)", 0.052, 22.0});
+    rep.blocks.push_back({"L2 (512 KB)", 0.788, 188.0});
+    rep.blocks.push_back({"uncore/NoC/IO", 0.112, 50.0});
+    rep.blocks.push_back({gmx.ac.name, gmx.ac.area_mm2, gmx.ac.power_mw});
+    rep.blocks.push_back({gmx.tb.name, gmx.tb.area_mm2, gmx.tb.power_mw});
+    rep.blocks.push_back({gmx.csr.name, gmx.csr.area_mm2, gmx.csr.power_mw});
+
+    double gmx_area = gmx.total_area_mm2;
+    double gmx_power = gmx.total_power_mw;
+    for (const auto &b : rep.blocks) {
+        rep.total_area_mm2 += b.area_mm2;
+        rep.total_power_mw += b.power_mw;
+    }
+    rep.gmx_area_fraction = gmx_area / rep.total_area_mm2;
+    rep.gmx_power_fraction = gmx_power / rep.total_power_mw;
+    return rep;
+}
+
+} // namespace gmx::hw

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analytic area/power model of the GMX extensions in the 22nm SoC
+ * (paper §7.3, Fig. 13).
+ *
+ * Gate counts come from the real netlists in gmx_ac/gmx_tb; the only
+ * fitted inputs are the technology constants (effective area per NAND2
+ * equivalent including placement/routing overhead, per-flop area, and
+ * per-gate switching energy), calibrated so the T=32 @ 1 GHz design point
+ * reproduces the paper's sign-off numbers (GMX-AC 0.008 mm2, GMX-TB
+ * 0.0108 mm2, total 0.0216 mm2 at 1.7% of the SoC, 8.47 mW at 2.1% of
+ * SoC power). See EXPERIMENTS.md for the calibration discussion.
+ */
+
+#ifndef GMX_HW_ASIC_HH
+#define GMX_HW_ASIC_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/segmentation.hh"
+
+namespace gmx::hw {
+
+/** 22FDX-class technology constants. */
+struct TechConfig
+{
+    /** Effective silicon area per NAND2 equivalent, um^2 (incl. routing). */
+    double nand2_area_um2 = 0.36;
+    /** Flop area in NAND2 equivalents. */
+    double flop_nand2 = 6.0;
+    /** Dynamic energy per NAND2-equivalent toggle, fJ (at nominal VDD). */
+    double nand2_energy_fj = 0.56;
+    /** Average switching activity factor of the datapath. */
+    double activity = 0.25;
+    /** Leakage power per NAND2 equivalent, nW. */
+    double nand2_leakage_nw = 1.2;
+};
+
+/** Area/power of one named block. */
+struct BlockReport
+{
+    std::string name;
+    double area_mm2 = 0;
+    double power_mw = 0;
+};
+
+/** Full report for a GMX unit instance. */
+struct GmxAsicReport
+{
+    BlockReport ac;        //!< GMX-AC array + its pipeline registers
+    BlockReport tb;        //!< GMX-TB array + its pipeline registers
+    BlockReport csr;       //!< the five architectural registers + decode
+    double total_area_mm2 = 0;
+    double total_power_mw = 0;
+    unsigned ac_cycles = 0; //!< AC latency after segmentation
+    unsigned tb_cycles = 0; //!< TB latency after segmentation
+};
+
+/** Model the GMX unit at tile size @p t and clock @p ghz. */
+GmxAsicReport gmxAsicReport(unsigned t, double ghz,
+                            const TechConfig &tech = TechConfig(),
+                            const TimingConfig &timing = TimingConfig());
+
+/**
+ * SoC context for Fig. 13: the RTL-InOrder SoC blocks (core, caches, L2)
+ * with the GMX unit attached. Non-GMX block sizes are constants taken
+ * from the Sargantana-class SoC floorplan; the GMX entries come from the
+ * gate-level model.
+ */
+struct SocReport
+{
+    std::vector<BlockReport> blocks;
+    double total_area_mm2 = 0;
+    double total_power_mw = 0;
+    double gmx_area_fraction = 0; //!< paper: 0.017
+    double gmx_power_fraction = 0; //!< paper: 0.021
+};
+
+SocReport socReport(unsigned t = 32, double ghz = 1.0,
+                    const TechConfig &tech = TechConfig());
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_ASIC_HH

@@ -1,0 +1,88 @@
+#include "hw/dsa.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gmx::hw {
+
+DsaPe
+genasmVault(size_t window)
+{
+    DsaPe pe;
+    pe.name = "GenASM vault";
+    pe.clock_ghz = 1.0;
+    pe.area_mm2 = 0.334; // per-vault share reported by GenASM (28nm)
+    const double w = static_cast<double>(window);
+    pe.cycles_per_window = w /* pipeline fill (k = W rows) */ +
+                           w /* text streaming */ +
+                           2 * w /* serial traceback: SRAM read + decode
+                                    per op */;
+    return pe;
+}
+
+DsaPe
+darwinGact(size_t window)
+{
+    DsaPe pe;
+    pe.name = "Darwin GACT";
+    pe.clock_ghz = 0.847;
+    // GACT logic area as used in the paper's extra-area comparison
+    // (26.29x the 0.0216 mm2 GMX unit); Table 2 lists the full 1.34 mm2
+    // array including its traceback SRAMs.
+    pe.area_mm2 = 0.568;
+    const double w = static_cast<double>(window);
+    pe.cycles_per_window =
+        3.0 * w * w / 64.0 /* 3 gap-affine matrices */ +
+        2.0 * (64.0 + w) /* systolic fill/drain per pass */ +
+        2.0 * w /* serial traceback from SRAM */ +
+        800.0 /* host-managed window orchestration (GACT is a
+                 loosely-coupled co-processor) */;
+    return pe;
+}
+
+double
+windowsPerAlignment(size_t seq_len, size_t window, size_t overlap)
+{
+    GMX_ASSERT(window > overlap);
+    if (seq_len <= window)
+        return 1.0;
+    // Each non-final window commits ~(W - O) along the diagonal.
+    return 1.0 + std::ceil(static_cast<double>(seq_len - window) /
+                           static_cast<double>(window - overlap));
+}
+
+double
+alignmentsPerSecond(const DsaPe &pe, size_t seq_len, size_t window,
+                    size_t overlap)
+{
+    const double windows = windowsPerAlignment(seq_len, window, overlap);
+    const double cycles = windows * pe.cycles_per_window;
+    return pe.clock_ghz * 1e9 / cycles;
+}
+
+std::vector<SurveyRow>
+table2SurveyRows()
+{
+    // Constants reported by the cited studies (paper Table 2).
+    return {
+        {"GenASM [17]", "ASIC", "32 PE", "0.33mm2", 64.0, false},
+        {"ABSW [66]", "ASIC", "1 PE", "5.51mm2", 61.4, false},
+        {"GenAx [37]", "ASIC", "4 PE", "1.34mm2", 112.0, false},
+        {"Darwin [104]", "ASIC", "64 PE", "1.34mm2", 54.2, true},
+        {"ASAP [12]", "FPGA", "1 PE", "277K LUTs", 51.2, false},
+        {"FPGASW [34]", "FPGA", "1 PE", "58K LUTs", 105.9, true},
+        {"DPX", "GPU", "132 SM", "-", 42.4, true},
+        {"GASAL2 [3]", "GPU", "28 SM", "-", 2.3, true},
+        {"BPM-GPU [20]", "GPU", "8 SM", "-", 287.5, false},
+        {"NVBio", "GPU", "15 SM", "-", 66.6, false},
+    };
+}
+
+double
+gmxPeakGcups(unsigned t, double ghz)
+{
+    return static_cast<double>(t) * t * ghz;
+}
+
+} // namespace gmx::hw

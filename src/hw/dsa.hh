@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Throughput models of the domain-specific accelerators GMX is compared
+ * against (paper §7.4): a GenASM vault and a Darwin GACT array, plus the
+ * Table 2 accelerator survey data.
+ *
+ * Both DSAs execute the same Windowed(W, O) algorithm as Windowed(GMX).
+ * Their per-window cycle counts are modeled from the microarchitectures
+ * described in the respective papers; clock and area figures are the
+ * published ones. We cannot rerun the authors' RTL, so these models are
+ * the documented substitution for the real accelerators (see DESIGN.md).
+ */
+
+#ifndef GMX_HW_DSA_HH
+#define GMX_HW_DSA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gmx::hw {
+
+/** A processing element model. */
+struct DsaPe
+{
+    std::string name;
+    double clock_ghz = 1.0;
+    double area_mm2 = 0;
+
+    /** Cycles one PE spends on one W x W window (compute + traceback). */
+    double cycles_per_window = 0;
+};
+
+/**
+ * GenASM vault (Bitap-based, MICRO'20): processes one text character per
+ * cycle across all error levels once the k-deep systolic pipeline is
+ * full, then walks the traceback at one operation per cycle.
+ *   cycles/window = W (fill) + W (stream) + W (traceback)
+ * 28nm, 1 GHz, 0.334 mm2 per vault.
+ */
+DsaPe genasmVault(size_t window);
+
+/**
+ * Darwin GACT (ASPLOS'18): a 64-cell systolic array computing gap-affine
+ * DP one antidiagonal slice per cycle, plus array fill/drain and a serial
+ * traceback. Gap-affine tracks three DP matrices, tripling the per-cell
+ * work relative to edit distance.
+ *   cycles/window = 3 * W^2 / 64 + (64 + W) (fill/drain) + W (traceback)
+ * 28nm-class, 0.847 GHz, 1.34 mm2 per GACT array.
+ */
+DsaPe darwinGact(size_t window);
+
+/**
+ * Throughput of one PE running the windowed algorithm over a sequence of
+ * length @p seq_len: alignments/s = clock / (windows * cycles/window).
+ */
+double alignmentsPerSecond(const DsaPe &pe, size_t seq_len, size_t window,
+                           size_t overlap);
+
+/** Number of W x W windows the windowed driver visits for @p seq_len. */
+double windowsPerAlignment(size_t seq_len, size_t window, size_t overlap);
+
+/** One row of the Table 2 accelerator survey. */
+struct SurveyRow
+{
+    std::string study;
+    std::string device;
+    std::string pe_config;
+    std::string area_per_pe; //!< textual: mm2 or LUTs or "-"
+    double pgcups_per_pe = 0;
+    bool gap_affine = false;
+};
+
+/** The published rows of Table 2 (constants from the cited studies). */
+std::vector<SurveyRow> table2SurveyRows();
+
+/** Peak GCUPS of a GMX unit: T^2 DP-elements per cycle. */
+double gmxPeakGcups(unsigned t, double ghz);
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_DSA_HH

@@ -1,0 +1,39 @@
+#include "hw/genasm_model.hh"
+
+#include "align/bitap.hh"
+#include "common/logging.hh"
+
+namespace gmx::hw {
+
+GenasmRunResult
+GenasmVaultModel::align(const seq::Sequence &pattern,
+                        const seq::Sequence &text) const
+{
+    GenasmRunResult run;
+
+    // The window aligner is the hardware Bitap with the full per-window
+    // error budget (k = max(wp, wt)), exactly like the ASIC: the DC array
+    // has one row per error level and always runs all of them.
+    const auto window_fn = [&run](const seq::Sequence &p,
+                                  const seq::Sequence &t) {
+        const i64 k = static_cast<i64>(std::max(p.size(), t.size()));
+        align::AlignResult res = align::bitapAlign(p, t, k);
+        GMX_ASSERT(res.found());
+
+        ++run.windows;
+        // GenASM-DC: k-deep systolic fill, then one text character per
+        // cycle across all k+1 vectors.
+        run.dc_cycles += static_cast<u64>(k) + t.size();
+        // GenASM-TB: each emitted operation costs an SRAM read + decode
+        // (2 cycles per op over the window's traceback length).
+        run.tb_cycles += 2 * res.cigar.size();
+        return res;
+    };
+
+    run.result =
+        align::windowedAlign(pattern, text, params_, window_fn);
+    run.cycles = run.dc_cycles + run.tb_cycles;
+    return run;
+}
+
+} // namespace gmx::hw

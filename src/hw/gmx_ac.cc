@@ -1,0 +1,189 @@
+#include "hw/gmx_ac.hh"
+
+#include <array>
+
+namespace gmx::hw {
+
+namespace {
+
+/** Wires of one 2-bit-encoded delta. */
+struct DeltaWires
+{
+    Wire plus;
+    Wire minus;
+};
+
+/**
+ * Instantiate one GMXD module into @p nl:
+ *   t    = a- | eq
+ *   out- = t & b+
+ *   out+ = !(b+ | (t & !b-))
+ * 6 physical gates, 3 logic levels.
+ */
+DeltaWires
+emitGmxDelta(Netlist &nl, Wire a_minus, DeltaWires b, Wire eq)
+{
+    const Wire t = nl.addGate(GateOp::Or, a_minus, eq);
+    const Wire out_minus = nl.addGate(GateOp::And, t, b.plus);
+    const Wire nb_minus = nl.addNot(b.minus);
+    const Wire u = nl.addGate(GateOp::And, t, nb_minus);
+    const Wire v = nl.addGate(GateOp::Or, b.plus, u);
+    const Wire out_plus = nl.addNot(v);
+    return {out_plus, out_minus};
+}
+
+/** 2-bit character equality comparator: 2 XNOR + 1 AND. */
+Wire
+emitCharCompare(Netlist &nl, Wire p0, Wire p1, Wire t0, Wire t1)
+{
+    const Wire x0 = nl.addGate(GateOp::Xnor, p0, t0);
+    const Wire x1 = nl.addGate(GateOp::Xnor, p1, t1);
+    return nl.addGate(GateOp::And, x0, x1);
+}
+
+/** Instantiate one CCAC (two GMXD modules + comparator). */
+void
+emitCcac(Netlist &nl, Wire eq, DeltaWires dv_in, DeltaWires dh_in,
+         DeltaWires &dv_out, DeltaWires &dh_out)
+{
+    dv_out = emitGmxDelta(nl, dv_in.minus, dh_in, eq);
+    dh_out = emitGmxDelta(nl, dh_in.minus, dv_in, eq);
+}
+
+} // namespace
+
+Netlist
+buildGmxDeltaNetlist()
+{
+    Netlist nl;
+    nl.addInput("a_plus"); // part of the encoding; not used by the logic
+    const Wire a_minus = nl.addInput("a_minus");
+    const Wire b_plus = nl.addInput("b_plus");
+    const Wire b_minus = nl.addInput("b_minus");
+    const Wire eq = nl.addInput("eq");
+    const DeltaWires out =
+        emitGmxDelta(nl, a_minus, {b_plus, b_minus}, eq);
+    nl.markOutput(out.plus, "out_plus");
+    nl.markOutput(out.minus, "out_minus");
+    return nl;
+}
+
+Netlist
+buildCcacNetlist()
+{
+    Netlist nl;
+    const Wire p0 = nl.addInput("p0");
+    const Wire p1 = nl.addInput("p1");
+    const Wire t0 = nl.addInput("t0");
+    const Wire t1 = nl.addInput("t1");
+    const Wire dvp = nl.addInput("dv_plus");
+    const Wire dvm = nl.addInput("dv_minus");
+    const Wire dhp = nl.addInput("dh_plus");
+    const Wire dhm = nl.addInput("dh_minus");
+
+    const Wire eq = emitCharCompare(nl, p0, p1, t0, t1);
+    DeltaWires dv_out{}, dh_out{};
+    emitCcac(nl, eq, {dvp, dvm}, {dhp, dhm}, dv_out, dh_out);
+    nl.markOutput(dv_out.plus, "dv_out_plus");
+    nl.markOutput(dv_out.minus, "dv_out_minus");
+    nl.markOutput(dh_out.plus, "dh_out_plus");
+    nl.markOutput(dh_out.minus, "dh_out_minus");
+    return nl;
+}
+
+ModuleStats
+measure(const Netlist &nl)
+{
+    return {nl.gateCount(), nl.nand2Equivalents(), nl.depth()};
+}
+
+GmxAcArray::GmxAcArray(unsigned t)
+    : t_(t)
+{
+    GMX_ASSERT(t_ >= 2 && t_ <= core::kMaxTile);
+
+    std::vector<std::array<Wire, 2>> pattern_bits(t_);
+    std::vector<std::array<Wire, 2>> text_bits(t_);
+    std::vector<DeltaWires> dv_in(t_), dh_in(t_);
+
+    for (unsigned r = 0; r < t_; ++r) {
+        pattern_bits[r][0] = nl_.addInput("p" + std::to_string(r) + "_0");
+        pattern_bits[r][1] = nl_.addInput("p" + std::to_string(r) + "_1");
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        text_bits[c][0] = nl_.addInput("t" + std::to_string(c) + "_0");
+        text_bits[c][1] = nl_.addInput("t" + std::to_string(c) + "_1");
+    }
+    for (unsigned r = 0; r < t_; ++r) {
+        dv_in[r].plus = nl_.addInput("dvp" + std::to_string(r));
+        dv_in[r].minus = nl_.addInput("dvm" + std::to_string(r));
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        dh_in[c].plus = nl_.addInput("dhp" + std::to_string(c));
+        dh_in[c].minus = nl_.addInput("dhm" + std::to_string(c));
+    }
+
+    // Grid of cells: dv flows left-to-right, dh top-to-bottom.
+    std::vector<DeltaWires> dv_col = dv_in; // dv entering column c per row
+    std::vector<DeltaWires> dh_row = dh_in; // dh entering row r per column
+    for (unsigned c = 0; c < t_; ++c) {
+        for (unsigned r = 0; r < t_; ++r) {
+            const Wire eq = emitCharCompare(
+                nl_, pattern_bits[r][0], pattern_bits[r][1],
+                text_bits[c][0], text_bits[c][1]);
+            DeltaWires dv_out{}, dh_out{};
+            emitCcac(nl_, eq, dv_col[r], dh_row[c], dv_out, dh_out);
+            dv_col[r] = dv_out;
+            dh_row[c] = dh_out;
+        }
+    }
+    for (unsigned r = 0; r < t_; ++r) {
+        nl_.markOutput(dv_col[r].plus, "dv_out_p" + std::to_string(r));
+        nl_.markOutput(dv_col[r].minus, "dv_out_m" + std::to_string(r));
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        nl_.markOutput(dh_row[c].plus, "dh_out_p" + std::to_string(c));
+        nl_.markOutput(dh_row[c].minus, "dh_out_m" + std::to_string(c));
+    }
+}
+
+core::TileOutput
+GmxAcArray::run(const core::TileInput &in) const
+{
+    GMX_ASSERT(in.tp == t_ && in.tt == t_,
+               "the array netlist is fixed at full T x T tiles");
+    std::vector<bool> inputs;
+    inputs.reserve(8 * t_);
+    for (unsigned r = 0; r < t_; ++r) {
+        inputs.push_back(in.pattern[r] & 1);
+        inputs.push_back((in.pattern[r] >> 1) & 1);
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        inputs.push_back(in.text[c] & 1);
+        inputs.push_back((in.text[c] >> 1) & 1);
+    }
+    for (unsigned r = 0; r < t_; ++r) {
+        inputs.push_back(in.dv_in.at(r) > 0);
+        inputs.push_back(in.dv_in.at(r) < 0);
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        inputs.push_back(in.dh_in.at(c) > 0);
+        inputs.push_back(in.dh_in.at(c) < 0);
+    }
+
+    const std::vector<bool> out = nl_.eval(inputs);
+    core::TileOutput result;
+    for (unsigned r = 0; r < t_; ++r) {
+        const bool plus = out[2 * r];
+        const bool minus = out[2 * r + 1];
+        result.dv_out.set(r, plus ? 1 : minus ? -1 : 0);
+    }
+    for (unsigned c = 0; c < t_; ++c) {
+        const bool plus = out[2 * t_ + 2 * c];
+        const bool minus = out[2 * t_ + 2 * c + 1];
+        result.dh_out.set(c, plus ? 1 : minus ? -1 : 0);
+    }
+    return result;
+}
+
+} // namespace gmx::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Gate-level model of the GMX-AC alignment microarchitecture (paper §6.1).
+ *
+ * GMX-AC is a (T x T) matrix of compute cells (CCAC). Each CCAC compares
+ * one pattern character with one text character (2-bit DNA comparator)
+ * and evaluates two GMXD modules to produce the cell's dv/dh outputs.
+ * Data flows from the top-left to the bottom-right; the critical path
+ * crosses 2T-1 cells (paper §6.3).
+ *
+ * The model builds the actual netlist, which is (a) simulated against the
+ * algorithmic tile kernel for functional equivalence, and (b) measured
+ * (gate count, NAND2 equivalents, logic depth) to drive the segmentation
+ * and area/power analyses.
+ */
+
+#ifndef GMX_HW_GMX_AC_HH
+#define GMX_HW_GMX_AC_HH
+
+#include <memory>
+
+#include "gmx/tile.hh"
+#include "hw/netlist.hh"
+
+namespace gmx::hw {
+
+/** Build a standalone GMXD netlist: inputs a+,a-,b+,b-,eq; outputs o+,o-. */
+Netlist buildGmxDeltaNetlist();
+
+/**
+ * Build a standalone CCAC netlist: one DP cell. Inputs: pattern char (2b),
+ * text char (2b), dv_in (2b), dh_in (2b); outputs dv_out (2b), dh_out (2b).
+ */
+Netlist buildCcacNetlist();
+
+/** Static complexity figures of one module. */
+struct ModuleStats
+{
+    size_t gates = 0;       //!< physical gate count
+    double nand2 = 0;       //!< NAND2 equivalents
+    size_t depth = 0;       //!< logic depth in gate levels
+};
+
+/** Measure a netlist. */
+ModuleStats measure(const Netlist &nl);
+
+/**
+ * The full (T x T) GMX-AC array as a single flat netlist with marshaling
+ * helpers to run TileInput/TileOutput through it.
+ */
+class GmxAcArray
+{
+  public:
+    explicit GmxAcArray(unsigned t);
+
+    unsigned tileSize() const { return t_; }
+    const Netlist &netlist() const { return nl_; }
+    ModuleStats stats() const { return measure(nl_); }
+
+    /**
+     * Critical path length in CCAC cells: 2T-1 (paper §6.3). Exposed for
+     * the segmentation analysis.
+     */
+    unsigned criticalPathCells() const { return 2 * t_ - 1; }
+
+    /** Evaluate the netlist on a tile (full T x T tiles only). */
+    core::TileOutput run(const core::TileInput &in) const;
+
+  private:
+    unsigned t_;
+    Netlist nl_;
+    // Input wire order: pattern (2T bits, LSB first per char), text (2T),
+    // dv_in (+ then - per lane), dh_in (+ then - per lane).
+};
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_GMX_AC_HH

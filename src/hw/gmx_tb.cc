@@ -1,0 +1,222 @@
+#include "hw/gmx_tb.hh"
+
+namespace gmx::hw {
+
+namespace {
+
+/** Outputs of one instantiated CCTB. */
+struct CctbWires
+{
+    Wire op0; // gated op bit 0
+    Wire op1; // gated op bit 1
+    Wire en_diag;
+    Wire en_left;
+    Wire en_up;
+};
+
+/**
+ * CCTB priority logic (Fig. 8): M if eq; else D if dh == +1; else I if
+ * dv == +1; else X. Op encoding follows align::Op: M=00, X=01, I=10, D=11.
+ */
+CctbWires
+emitCctb(Netlist &nl, Wire eq, Wire dvp, Wire dhp, Wire en)
+{
+    const Wire neq = nl.addNot(eq);
+    const Wire sel_d = nl.addGate(GateOp::And, neq, dhp);
+    const Wire ndhp = nl.addNot(dhp);
+    const Wire t0 = nl.addGate(GateOp::And, neq, ndhp);
+    const Wire sel_i = nl.addGate(GateOp::And, t0, dvp);
+    const Wire ndvp = nl.addNot(dvp);
+    const Wire sel_x = nl.addGate(GateOp::And, t0, ndvp);
+
+    CctbWires w{};
+    const Wire op0_raw = nl.addGate(GateOp::Or, sel_x, sel_d);
+    const Wire op1_raw = nl.addGate(GateOp::Or, sel_i, sel_d);
+    w.op0 = nl.addGate(GateOp::And, op0_raw, en);
+    w.op1 = nl.addGate(GateOp::And, op1_raw, en);
+    const Wire diag_sel = nl.addGate(GateOp::Or, eq, sel_x);
+    w.en_diag = nl.addGate(GateOp::And, diag_sel, en);
+    w.en_left = nl.addGate(GateOp::And, sel_d, en);
+    w.en_up = nl.addGate(GateOp::And, sel_i, en);
+    return w;
+}
+
+} // namespace
+
+Netlist
+buildCctbNetlist()
+{
+    Netlist nl;
+    const Wire eq = nl.addInput("eq");
+    const Wire dvp = nl.addInput("dv_plus");
+    const Wire dhp = nl.addInput("dh_plus");
+    const Wire en = nl.addInput("enable");
+    const CctbWires w = emitCctb(nl, eq, dvp, dhp, en);
+    nl.markOutput(w.op0, "op0");
+    nl.markOutput(w.op1, "op1");
+    nl.markOutput(w.en_diag, "en_diag");
+    nl.markOutput(w.en_left, "en_left");
+    nl.markOutput(w.en_up, "en_up");
+    return nl;
+}
+
+GmxTbArray::GmxTbArray(unsigned t)
+    : t_(t)
+{
+    GMX_ASSERT(t_ >= 2 && t_ <= core::kMaxTile);
+    const unsigned T = t_;
+
+    // Per-cell delta/eq inputs, row-major.
+    std::vector<Wire> eq(T * T), dvp(T * T), dhp(T * T);
+    for (unsigned r = 0; r < T; ++r) {
+        for (unsigned c = 0; c < T; ++c) {
+            const std::string s =
+                std::to_string(r) + "_" + std::to_string(c);
+            eq[r * T + c] = nl_.addInput("eq" + s);
+            dvp[r * T + c] = nl_.addInput("dvp" + s);
+            dhp[r * T + c] = nl_.addInput("dhp" + s);
+        }
+    }
+    // One-hot start: bits 0..T-1 bottom row columns, T..2T-1 right rows.
+    std::vector<Wire> start(2 * T);
+    for (unsigned i = 0; i < 2 * T; ++i)
+        start[i] = nl_.addInput("pos" + std::to_string(i));
+
+    // Emit cells bottom-right to top-left so neighbour enables exist.
+    std::vector<CctbWires> cells(T * T);
+    for (int r = static_cast<int>(T) - 1; r >= 0; --r) {
+        for (int c = static_cast<int>(T) - 1; c >= 0; --c) {
+            const unsigned idx = static_cast<unsigned>(r) * T +
+                                 static_cast<unsigned>(c);
+            Wire en = nl_.const0();
+            // Start-position injection.
+            if (r == static_cast<int>(T) - 1)
+                en = nl_.addGate(GateOp::Or, en, start[c]);
+            if (c == static_cast<int>(T) - 1)
+                en = nl_.addGate(GateOp::Or, en, start[T + r]);
+            // Enables from the three downstream neighbours.
+            if (r + 1 < static_cast<int>(T) && c + 1 < static_cast<int>(T))
+                en = nl_.addGate(GateOp::Or, en,
+                                 cells[(r + 1) * T + (c + 1)].en_diag);
+            if (c + 1 < static_cast<int>(T))
+                en = nl_.addGate(GateOp::Or, en,
+                                 cells[r * T + (c + 1)].en_left);
+            if (r + 1 < static_cast<int>(T))
+                en = nl_.addGate(GateOp::Or, en,
+                                 cells[(r + 1) * T + c].en_up);
+            cells[idx] = emitCctb(nl_, eq[idx], dvp[idx], dhp[idx], en);
+        }
+    }
+
+    // Antidiagonal op collection: 2T-1 slots, one op per antidiagonal.
+    for (unsigned a = 0; a < 2 * T - 1; ++a) {
+        Wire active = nl_.const0();
+        Wire op0 = nl_.const0();
+        Wire op1 = nl_.const0();
+        for (unsigned r = 0; r < T; ++r) {
+            if (a < r || a - r >= T)
+                continue;
+            const unsigned c = a - r;
+            const CctbWires &cell = cells[r * T + c];
+            // A cell is on the path iff any of its enables fired (it
+            // always forwards exactly one).
+            Wire on = nl_.addGate(GateOp::Or, cell.en_diag, cell.en_left);
+            on = nl_.addGate(GateOp::Or, on, cell.en_up);
+            active = nl_.addGate(GateOp::Or, active, on);
+            op0 = nl_.addGate(GateOp::Or, op0, cell.op0);
+            op1 = nl_.addGate(GateOp::Or, op1, cell.op1);
+        }
+        nl_.markOutput(active, "active" + std::to_string(a));
+        nl_.markOutput(op0, "op0_" + std::to_string(a));
+        nl_.markOutput(op1, "op1_" + std::to_string(a));
+    }
+
+    // Exit position: Up exits per column, Left exits per row, Diag corner.
+    for (unsigned c = 0; c < T; ++c) {
+        Wire up = cells[c].en_up; // row 0, column c
+        if (c + 1 < T)
+            up = nl_.addGate(GateOp::Or, up, cells[c + 1].en_diag);
+        nl_.markOutput(up, "exit_up" + std::to_string(c));
+    }
+    for (unsigned r = 0; r < T; ++r) {
+        Wire left = cells[r * T].en_left; // column 0, row r
+        if (r + 1 < T)
+            left = nl_.addGate(GateOp::Or, left,
+                               cells[(r + 1) * T].en_diag);
+        nl_.markOutput(left, "exit_left" + std::to_string(r));
+    }
+    nl_.markOutput(cells[0].en_diag, "exit_diag");
+}
+
+core::TracebackStep
+GmxTbArray::run(const core::TileInput &in,
+                const core::TracebackPos &start) const
+{
+    GMX_ASSERT(in.tp == t_ && in.tt == t_,
+               "the array netlist is fixed at full T x T tiles");
+    const unsigned T = t_;
+    const core::TileInterior interior = core::tileInterior(in);
+
+    std::vector<bool> inputs;
+    inputs.reserve(3 * T * T + 2 * T);
+    for (unsigned r = 0; r < T; ++r) {
+        for (unsigned c = 0; c < T; ++c) {
+            inputs.push_back(in.pattern[r] == in.text[c]);
+            inputs.push_back(interior.dvAt(r, c) == 1);
+            inputs.push_back(interior.dhAt(r, c) == 1);
+        }
+    }
+    for (unsigned i = 0; i < 2 * T; ++i) {
+        const bool bottom_hit =
+            start.edge == core::TracebackPos::Edge::Bottom && i == start.index;
+        const bool right_hit =
+            start.edge == core::TracebackPos::Edge::Right &&
+            i == T + start.index;
+        inputs.push_back(bottom_hit || right_hit);
+    }
+
+    const std::vector<bool> out = nl_.eval(inputs);
+    // Output layout: per antidiagonal (active, op0, op1) x (2T-1), then
+    // exit_up (T), exit_left (T), exit_diag.
+    auto active = [&](unsigned a) { return out[3 * a]; };
+    auto op_at = [&](unsigned a) {
+        const int code = (out[3 * a + 1] ? 1 : 0) | (out[3 * a + 2] ? 2 : 0);
+        return static_cast<align::Op>(code);
+    };
+    const size_t exit_base = 3 * (2 * T - 1);
+
+    core::TracebackStep step;
+    const unsigned a0 = start.edge == core::TracebackPos::Edge::Bottom
+                            ? (T - 1) + start.index
+                            : start.index + (T - 1);
+    // Walk the antidiagonals downward; M/X ops skip one antidiagonal.
+    int a = static_cast<int>(a0);
+    while (a >= 0 && active(static_cast<unsigned>(a))) {
+        const align::Op op = op_at(static_cast<unsigned>(a));
+        step.ops.push_back(op);
+        a -= (op == align::Op::Match || op == align::Op::Mismatch) ? 2 : 1;
+    }
+
+    if (out[exit_base + 2 * T]) {
+        step.next = core::NextTile::Diag;
+        step.next_pos = {core::TracebackPos::Edge::Bottom, T - 1};
+        return step;
+    }
+    for (unsigned c = 0; c < T; ++c) {
+        if (out[exit_base + c]) {
+            step.next = core::NextTile::Up;
+            step.next_pos = {core::TracebackPos::Edge::Bottom, c};
+            return step;
+        }
+    }
+    for (unsigned r = 0; r < T; ++r) {
+        if (out[exit_base + T + r]) {
+            step.next = core::NextTile::Left;
+            step.next_pos = {core::TracebackPos::Edge::Right, r};
+            return step;
+        }
+    }
+    GMX_PANIC("GMX-TB array produced no exit");
+}
+
+} // namespace gmx::hw

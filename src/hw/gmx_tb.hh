@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gate-level model of the GMX-TB traceback microarchitecture (paper §6.2).
+ *
+ * GMX-TB is a (T x T) matrix of traceback cells (CCTB). The cell at the
+ * traceback's current position selects the next move with the priority
+ * table of Fig. 8 (eq -> M, dh == +1 -> D, dv == +1 -> I, else X) and
+ * propagates an enable to the chosen neighbour (up-left, left, or up).
+ * Because the path crosses each antidiagonal at most once, the 2T-1 ops
+ * are collected one per antidiagonal.
+ *
+ * The array model takes the recomputed interior deltas (produced by the
+ * GMX-AC array in hardware, Fig. 9.b) plus the one-hot start position and
+ * produces the op list and the exit position, and is verified against the
+ * GmxUnit's behavioural gmx.tb.
+ */
+
+#ifndef GMX_HW_GMX_TB_HH
+#define GMX_HW_GMX_TB_HH
+
+#include "gmx/isa.hh"
+#include "hw/gmx_ac.hh"
+
+namespace gmx::hw {
+
+/**
+ * Build a standalone CCTB netlist. Inputs: eq, dv+ , dh+ , enable.
+ * Outputs: op0, op1 (2-bit op, gated by enable), en_diag, en_left, en_up.
+ */
+Netlist buildCctbNetlist();
+
+/**
+ * The full (T x T) GMX-TB array as a flat netlist: per-cell eq/dv+/dh+
+ * inputs, a 2T-bit one-hot start position, and per-antidiagonal op
+ * outputs plus the exit one-hot.
+ */
+class GmxTbArray
+{
+  public:
+    explicit GmxTbArray(unsigned t);
+
+    unsigned tileSize() const { return t_; }
+    const Netlist &netlist() const { return nl_; }
+    ModuleStats stats() const { return measure(nl_); }
+    unsigned criticalPathCells() const { return 2 * t_ - 1; }
+
+    /**
+     * Evaluate the traceback network for a full T x T tile. @p start
+     * mirrors the gmx_pos CSR. Returns the decoded step, identical in
+     * contract to GmxUnit::gmxTb.
+     */
+    core::TracebackStep run(const core::TileInput &in,
+                            const core::TracebackPos &start) const;
+
+  private:
+    unsigned t_;
+    Netlist nl_;
+};
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_GMX_TB_HH

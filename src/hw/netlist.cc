@@ -1,0 +1,180 @@
+#include "hw/netlist.hh"
+
+#include <algorithm>
+
+namespace gmx::hw {
+
+bool
+isPhysical(GateOp op)
+{
+    switch (op) {
+      case GateOp::Input:
+      case GateOp::Const0:
+      case GateOp::Const1:
+        return false;
+      default:
+        return true;
+    }
+}
+
+double
+gateEquivalents(GateOp op)
+{
+    // Conventional NAND2-equivalent weights for standard-cell sizing.
+    switch (op) {
+      case GateOp::Input:
+      case GateOp::Const0:
+      case GateOp::Const1:
+        return 0.0;
+      case GateOp::Not:
+        return 0.5;
+      case GateOp::Nand:
+      case GateOp::Nor:
+        return 1.0;
+      case GateOp::And:
+      case GateOp::Or:
+        return 1.5;
+      case GateOp::Xor:
+      case GateOp::Xnor:
+        return 2.5;
+    }
+    GMX_PANIC("invalid GateOp");
+}
+
+Wire
+Netlist::addInput(const std::string &name)
+{
+    (void)name;
+    nodes_.push_back({GateOp::Input, 0, 0});
+    const Wire w = static_cast<Wire>(nodes_.size() - 1);
+    inputs_.push_back(w);
+    return w;
+}
+
+Wire
+Netlist::const0()
+{
+    if (const0_ == UINT32_MAX) {
+        nodes_.push_back({GateOp::Const0, 0, 0});
+        const0_ = static_cast<Wire>(nodes_.size() - 1);
+    }
+    return const0_;
+}
+
+Wire
+Netlist::const1()
+{
+    if (const1_ == UINT32_MAX) {
+        nodes_.push_back({GateOp::Const1, 0, 0});
+        const1_ = static_cast<Wire>(nodes_.size() - 1);
+    }
+    return const1_;
+}
+
+Wire
+Netlist::addNot(Wire a)
+{
+    GMX_ASSERT(a < nodes_.size());
+    nodes_.push_back({GateOp::Not, a, a});
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+Wire
+Netlist::addGate(GateOp op, Wire a, Wire b)
+{
+    GMX_ASSERT(a < nodes_.size() && b < nodes_.size());
+    GMX_ASSERT(op != GateOp::Input && op != GateOp::Not);
+    nodes_.push_back({op, a, b});
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+void
+Netlist::markOutput(Wire w, const std::string &name)
+{
+    GMX_ASSERT(w < nodes_.size());
+    outputs_.push_back({w, name});
+}
+
+size_t
+Netlist::gateCount() const
+{
+    size_t count = 0;
+    for (const auto &node : nodes_)
+        count += isPhysical(node.op);
+    return count;
+}
+
+double
+Netlist::nand2Equivalents() const
+{
+    double total = 0;
+    for (const auto &node : nodes_)
+        total += gateEquivalents(node.op);
+    return total;
+}
+
+size_t
+Netlist::depth() const
+{
+    std::vector<size_t> level(nodes_.size(), 0);
+    size_t max_level = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        if (!isPhysical(node.op))
+            continue;
+        const size_t in_level = std::max(level[node.a], level[node.b]);
+        level[i] = in_level + 1;
+        max_level = std::max(max_level, level[i]);
+    }
+    return max_level;
+}
+
+std::vector<bool>
+Netlist::eval(const std::vector<bool> &input_values) const
+{
+    GMX_ASSERT(input_values.size() == inputs_.size(),
+               "input arity mismatch");
+    std::vector<char> value(nodes_.size(), 0);
+    size_t next_input = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        switch (node.op) {
+          case GateOp::Input:
+            value[i] = input_values[next_input++];
+            break;
+          case GateOp::Const0:
+            value[i] = 0;
+            break;
+          case GateOp::Const1:
+            value[i] = 1;
+            break;
+          case GateOp::Not:
+            value[i] = !value[node.a];
+            break;
+          case GateOp::And:
+            value[i] = value[node.a] && value[node.b];
+            break;
+          case GateOp::Or:
+            value[i] = value[node.a] || value[node.b];
+            break;
+          case GateOp::Xor:
+            value[i] = value[node.a] != value[node.b];
+            break;
+          case GateOp::Nand:
+            value[i] = !(value[node.a] && value[node.b]);
+            break;
+          case GateOp::Nor:
+            value[i] = !(value[node.a] || value[node.b]);
+            break;
+          case GateOp::Xnor:
+            value[i] = value[node.a] == value[node.b];
+            break;
+        }
+    }
+    std::vector<bool> out(outputs_.size());
+    for (size_t i = 0; i < outputs_.size(); ++i)
+        out[i] = value[outputs_[i].wire];
+    return out;
+}
+
+} // namespace gmx::hw

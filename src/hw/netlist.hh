@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A small combinational netlist framework.
+ *
+ * The GMX-AC and GMX-TB microarchitecture models (paper §6) are expressed
+ * as real gate netlists: the GMXD equation, the compute cells, and the
+ * full T x T arrays are built gate by gate, then (a) simulated to prove
+ * functional equivalence with the algorithmic kernels and (b) analyzed
+ * for gate count and logic depth, feeding the segmentation and the
+ * area/power models.
+ */
+
+#ifndef GMX_HW_NETLIST_HH
+#define GMX_HW_NETLIST_HH
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gmx::hw {
+
+/** Gate kinds. CONST0/CONST1 and INPUT are zero-area pseudo-nodes. */
+enum class GateOp : u8
+{
+    Input,
+    Const0,
+    Const1,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+    Xnor,
+};
+
+/** True for nodes that occupy silicon (everything but inputs/constants). */
+bool isPhysical(GateOp op);
+
+/** NAND2-equivalent complexity of a gate, for area accounting. */
+double gateEquivalents(GateOp op);
+
+/** A node index inside a Netlist. */
+using Wire = u32;
+
+/**
+ * A directed acyclic netlist of 1- and 2-input gates. Nodes are created
+ * in topological order (operands must already exist), so evaluation and
+ * depth analysis are single passes.
+ */
+class Netlist
+{
+  public:
+    /** Add a primary input; returns its wire. */
+    Wire addInput(const std::string &name);
+
+    /** Constant wires. */
+    Wire const0();
+    Wire const1();
+
+    /** Add a unary gate. */
+    Wire addNot(Wire a);
+
+    /** Add a binary gate. */
+    Wire addGate(GateOp op, Wire a, Wire b);
+
+    /** Mark a wire as a primary output. */
+    void markOutput(Wire w, const std::string &name);
+
+    size_t numInputs() const { return inputs_.size(); }
+    size_t numOutputs() const { return outputs_.size(); }
+    size_t numNodes() const { return nodes_.size(); }
+
+    /** Physical gate count (excludes inputs and constants). */
+    size_t gateCount() const;
+
+    /** Total NAND2-equivalents, the area accounting unit. */
+    double nand2Equivalents() const;
+
+    /**
+     * Logic depth in gate levels: the longest input-to-output path
+     * counting physical gates (inverters count as one level).
+     */
+    size_t depth() const;
+
+    /** Evaluate: @p input_values must match numInputs(). */
+    std::vector<bool> eval(const std::vector<bool> &input_values) const;
+
+    /** Output name (for diagnostics). */
+    const std::string &outputName(size_t i) const { return outputs_[i].name; }
+
+  private:
+    struct Node
+    {
+        GateOp op;
+        Wire a = 0;
+        Wire b = 0;
+    };
+    struct Output
+    {
+        Wire wire;
+        std::string name;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<Wire> inputs_;
+    std::vector<Output> outputs_;
+    Wire const0_ = UINT32_MAX;
+    Wire const1_ = UINT32_MAX;
+};
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_NETLIST_HH

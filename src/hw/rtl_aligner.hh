@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gate-level end-to-end aligner: Full(GMX) where every tile computation
+ * and every traceback step is evaluated on the GMX-AC / GMX-TB netlists
+ * instead of the algorithmic kernels.
+ *
+ * This is the repository's RTL-style integration proof: if the netlists
+ * mis-implemented a single gate of Eq. 3, the CCTB priority logic, the
+ * one-hot position protocol, or the antidiagonal op encoding, whole-
+ * matrix alignments would diverge from the NW reference. It is meant for
+ * verification, not speed — netlist evaluation is thousands of times
+ * slower than the word kernel.
+ *
+ * Limitation: the arrays are fixed at full T x T tiles, so sequence
+ * lengths must be multiples of T (the hardware pads its registers; this
+ * model asserts instead to keep the check strict).
+ */
+
+#ifndef GMX_HW_RTL_ALIGNER_HH
+#define GMX_HW_RTL_ALIGNER_HH
+
+#include "align/types.hh"
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::hw {
+
+/** Full(GMX) on the netlists. Lengths must be positive multiples of T. */
+class RtlAligner
+{
+  public:
+    explicit RtlAligner(unsigned t = 8) : t_(t), ac_(t), tb_(t) {}
+
+    unsigned tileSize() const { return t_; }
+
+    /** Edit distance only. */
+    i64 distance(const seq::Sequence &pattern, const seq::Sequence &text);
+
+    /** Full alignment with gate-level tile tracebacks. */
+    align::AlignResult align(const seq::Sequence &pattern,
+                             const seq::Sequence &text);
+
+  private:
+    unsigned t_;
+    GmxAcArray ac_;
+    GmxTbArray tb_;
+};
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_RTL_ALIGNER_HH

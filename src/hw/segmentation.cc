@@ -1,0 +1,111 @@
+#include "hw/segmentation.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+
+namespace gmx::hw {
+
+namespace {
+
+/** Cache of measured array stats (netlist construction is not free). */
+const ModuleStats &
+acStats(unsigned t)
+{
+    static std::map<unsigned, ModuleStats> cache;
+    auto it = cache.find(t);
+    if (it == cache.end())
+        it = cache.emplace(t, GmxAcArray(t).stats()).first;
+    return it->second;
+}
+
+const ModuleStats &
+tbStats(unsigned t)
+{
+    static std::map<unsigned, ModuleStats> cache;
+    auto it = cache.find(t);
+    if (it == cache.end())
+        it = cache.emplace(t, GmxTbArray(t).stats()).first;
+    return it->second;
+}
+
+SegmentationPlan
+plan(double path_ns, double target_ghz, unsigned t, unsigned extra_state,
+     const TimingConfig &cfg)
+{
+    GMX_ASSERT(target_ghz > 0);
+    SegmentationPlan p;
+    p.critical_path_ns = path_ns;
+    const double usable = 1.0 / target_ghz - cfg.stage_overhead_ns;
+    GMX_ASSERT(usable > 0, "stage overhead exceeds the clock period");
+    p.stages = static_cast<unsigned>(std::ceil(path_ns / usable));
+    if (p.stages < 1)
+        p.stages = 1;
+    p.stage_delay_ns = path_ns / p.stages;
+    p.max_frequency_ghz = 1.0 / (p.stage_delay_ns + cfg.stage_overhead_ns);
+    // Each antidiagonal cut stores up to T dv and T dh elements (2 bits
+    // each) plus control state.
+    p.seg_register_bits =
+        static_cast<u64>(p.stages - 1) * (4ull * t + extra_state);
+    return p;
+}
+
+} // namespace
+
+double
+ccacDelayNs(const TimingConfig &cfg)
+{
+    static const size_t depth = buildCcacNetlist().depth();
+    return static_cast<double>(depth) * cfg.gate_delay_ns;
+}
+
+double
+cctbDelayNs(const TimingConfig &cfg)
+{
+    static const size_t depth = buildCctbNetlist().depth();
+    return static_cast<double>(depth) * cfg.gate_delay_ns;
+}
+
+SegmentationPlan
+segmentGmxAc(unsigned t, double target_ghz, const TimingConfig &cfg)
+{
+    const double path_ns =
+        static_cast<double>(acStats(t).depth) * cfg.gate_delay_ns;
+    return plan(path_ns, target_ghz, t, 16, cfg);
+}
+
+SegmentationPlan
+segmentGmxTb(unsigned t, double target_ghz, const TimingConfig &cfg)
+{
+    // Fig. 9.b operation: first the interior differences are recomputed
+    // and latched into all segmentation registers (ac_stages cycles), then
+    // each antidiagonal segment takes two cycles — differences top-to-
+    // bottom, then the backtrace bottom-to-top. The per-cycle delay of a
+    // segment is the longer of its AC chain and its TB enable chain, so
+    // the segment count is set by the slower of the two arrays.
+    const double ac_path =
+        static_cast<double>(acStats(t).depth) * cfg.gate_delay_ns;
+    const double tb_path =
+        static_cast<double>(tbStats(t).depth) * cfg.gate_delay_ns;
+    const double usable = 1.0 / target_ghz - cfg.stage_overhead_ns;
+    GMX_ASSERT(usable > 0, "stage overhead exceeds the clock period");
+    const unsigned fill = segmentGmxAc(t, target_ghz, cfg).stages;
+    const unsigned segments = static_cast<unsigned>(
+        std::ceil(std::max(ac_path, tb_path) / usable));
+
+    SegmentationPlan p;
+    p.critical_path_ns = ac_path + tb_path;
+    p.stages = fill + 2 * std::max(segments, 1u);
+    p.stage_delay_ns = std::max(ac_path, tb_path) / std::max(segments, 1u);
+    p.max_frequency_ghz = 1.0 / (p.stage_delay_ns + cfg.stage_overhead_ns);
+    // TB cuts latch the deltas plus the walk state (position one-hot and
+    // the collected ops).
+    p.seg_register_bits =
+        static_cast<u64>(std::max(segments, 1u)) * (6ull * t + 16);
+    return p;
+}
+
+} // namespace gmx::hw

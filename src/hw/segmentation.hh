@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Segmentation and frequency analysis of the GMX modules (paper §6.3,
+ * Fig. 9).
+ *
+ * The GMX-AC critical path crosses 2T-1 compute cells of delay Cd each;
+ * GMX-TB additionally pays the traceback cell delay Pd on the way back,
+ * (2T-1)(Cd + Pd) in total. To reach the core's frequency the arrays are
+ * cut along antidiagonals into pipeline stages holding up to T elements
+ * each. The delay constants are derived from the gate-level netlists
+ * (logic depth x per-gate delay in 22FDX-class technology) and calibrated
+ * so the paper's design point (T=32 @ 1 GHz -> 2-cycle AC, 6-cycle TB)
+ * is reproduced.
+ */
+
+#ifndef GMX_HW_SEGMENTATION_HH
+#define GMX_HW_SEGMENTATION_HH
+
+#include "common/types.hh"
+
+namespace gmx::hw {
+
+/** Technology timing constants (22nm FD-SOI class). */
+struct TimingConfig
+{
+    /** Average per-gate-level delay including local wires, ns. */
+    double gate_delay_ns = 0.008;
+    /** Sequencing overhead per pipeline stage (setup + clk->q), ns. */
+    double stage_overhead_ns = 0.045;
+};
+
+/** Segmentation result for one module. */
+struct SegmentationPlan
+{
+    unsigned stages = 1;          //!< pipeline stages (= cycles latency)
+    double critical_path_ns = 0;  //!< unsegmented combinational delay
+    double stage_delay_ns = 0;    //!< per-stage delay after cutting
+    double max_frequency_ghz = 0; //!< 1 / (stage delay + overhead)
+    u64 seg_register_bits = 0;    //!< pipeline register state added
+};
+
+/**
+ * Analysis of the GMX-AC array: cell delay Cd = (cell logic depth) x
+ * (gate delay); critical path (2T-1) * Cd.
+ */
+SegmentationPlan segmentGmxAc(unsigned t, double target_ghz,
+                              const TimingConfig &cfg = TimingConfig());
+
+/**
+ * Analysis of the GMX-TB array: total traceback delay (2T-1) * (Cd + Pd).
+ * TB segments more finely than AC because each stage both recomputes
+ * deltas (down) and walks the path (up), per Fig. 9.b.
+ */
+SegmentationPlan segmentGmxTb(unsigned t, double target_ghz,
+                              const TimingConfig &cfg = TimingConfig());
+
+/** Per-cell combinational delays used by the plans (for reporting). */
+double ccacDelayNs(const TimingConfig &cfg = TimingConfig());
+double cctbDelayNs(const TimingConfig &cfg = TimingConfig());
+
+} // namespace gmx::hw
+
+#endif // GMX_HW_SEGMENTATION_HH

@@ -1,0 +1,317 @@
+#include "isa_sim/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gmx::isa_sim {
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Addi: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Andi: return "andi";
+      case Opcode::Or: return "or";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xor: return "xor";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Slt: return "slt";
+      case Opcode::Cpop: return "cpop";
+      case Opcode::Ld: return "ld";
+      case Opcode::Sd: return "sd";
+      case Opcode::Lbu: return "lbu";
+      case Opcode::Sb: return "sb";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Csrw: return "csrw";
+      case Opcode::Csrr: return "csrr";
+      case Opcode::GmxV: return "gmx.v";
+      case Opcode::GmxH: return "gmx.h";
+      case Opcode::GmxTb: return "gmx.tb";
+      case Opcode::Halt: return "halt";
+    }
+    GMX_PANIC("invalid opcode");
+}
+
+u8
+parseRegister(const std::string &name)
+{
+    static const std::map<std::string, u8> kAbi = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},   {"gp", 3},   {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},   {"s0", 8},   {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11},  {"a2", 12},  {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16},  {"a7", 17},  {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21},  {"s6", 22},  {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    const auto it = kAbi.find(name);
+    if (it != kAbi.end())
+        return it->second;
+    if (name.size() >= 2 && name[0] == 'x') {
+        const int idx = std::atoi(name.c_str() + 1);
+        if (idx >= 0 && idx < 32)
+            return static_cast<u8>(idx);
+    }
+    GMX_FATAL("unknown register '%s'", name.c_str());
+}
+
+namespace {
+
+u16
+parseCsr(const std::string &name, u32 line)
+{
+    static const std::map<std::string, u16> kCsrs = {
+        {"gmx_pattern", kCsrGmxPattern}, {"gmx_text", kCsrGmxText},
+        {"gmx_pos", kCsrGmxPos},         {"gmx_lo", kCsrGmxLo},
+        {"gmx_hi", kCsrGmxHi},
+    };
+    const auto it = kCsrs.find(name);
+    if (it == kCsrs.end())
+        GMX_FATAL("line %u: unknown CSR '%s'", line, name.c_str());
+    return it->second;
+}
+
+/** Tokenized source line: mnemonic + comma-separated operands. */
+struct Line
+{
+    u32 number = 0;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+i64
+parseImmediate(const std::string &tok, u32 line)
+{
+    if (tok.empty())
+        GMX_FATAL("line %u: empty immediate", line);
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0')
+        GMX_FATAL("line %u: bad immediate '%s'", line, tok.c_str());
+    return static_cast<i64>(v);
+}
+
+/** Split "imm(reg)" into its parts. */
+void
+parseAddress(const std::string &tok, u32 line, i64 &imm, u8 &base)
+{
+    const size_t open = tok.find('(');
+    const size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        GMX_FATAL("line %u: expected imm(reg), got '%s'", line,
+                  tok.c_str());
+    const std::string imm_part = trim(tok.substr(0, open));
+    imm = imm_part.empty() ? 0 : parseImmediate(imm_part, line);
+    base = parseRegister(trim(tok.substr(open + 1, close - open - 1)));
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    // Pass 1: tokenize and collect label addresses.
+    std::vector<Line> lines;
+    std::map<std::string, size_t> labels;
+    {
+        std::istringstream in(source);
+        std::string raw;
+        u32 number = 0;
+        while (std::getline(in, raw)) {
+            ++number;
+            const size_t hash = raw.find('#');
+            if (hash != std::string::npos)
+                raw = raw.substr(0, hash);
+            std::string text = trim(raw);
+            while (!text.empty()) {
+                const size_t colon = text.find(':');
+                const size_t space = text.find_first_of(" \t");
+                if (colon != std::string::npos &&
+                    (space == std::string::npos || colon < space)) {
+                    const std::string label = trim(text.substr(0, colon));
+                    if (label.empty())
+                        GMX_FATAL("line %u: empty label", number);
+                    if (labels.count(label))
+                        GMX_FATAL("line %u: duplicate label '%s'", number,
+                                  label.c_str());
+                    labels[label] = lines.size();
+                    text = trim(text.substr(colon + 1));
+                    continue;
+                }
+                break;
+            }
+            if (text.empty())
+                continue;
+            Line parsed;
+            parsed.number = number;
+            const size_t sp = text.find_first_of(" \t");
+            parsed.mnemonic = text.substr(0, sp);
+            std::transform(parsed.mnemonic.begin(), parsed.mnemonic.end(),
+                           parsed.mnemonic.begin(), ::tolower);
+            if (sp != std::string::npos) {
+                std::string rest = text.substr(sp + 1);
+                std::string tok;
+                std::istringstream ts(rest);
+                while (std::getline(ts, tok, ','))
+                    parsed.operands.push_back(trim(tok));
+            }
+            lines.push_back(std::move(parsed));
+        }
+    }
+
+    auto target = [&](const std::string &label, u32 line) -> i64 {
+        const auto it = labels.find(label);
+        if (it == labels.end())
+            GMX_FATAL("line %u: unknown label '%s'", line, label.c_str());
+        return static_cast<i64>(it->second);
+    };
+
+    // Pass 2: encode.
+    Program prog;
+    for (const Line &l : lines) {
+        Instruction ins;
+        ins.line = l.number;
+        const auto &ops = l.operands;
+        auto need = [&](size_t n) {
+            if (ops.size() != n)
+                GMX_FATAL("line %u: %s expects %zu operands, got %zu",
+                          l.number, l.mnemonic.c_str(), n, ops.size());
+        };
+        auto rrr = [&](Opcode op) {
+            need(3);
+            ins.op = op;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = parseRegister(ops[1]);
+            ins.rs2 = parseRegister(ops[2]);
+        };
+        auto rri = [&](Opcode op) {
+            need(3);
+            ins.op = op;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = parseRegister(ops[1]);
+            ins.imm = parseImmediate(ops[2], l.number);
+        };
+        auto branch = [&](Opcode op) {
+            need(3);
+            ins.op = op;
+            ins.rs1 = parseRegister(ops[0]);
+            ins.rs2 = parseRegister(ops[1]);
+            ins.imm = target(ops[2], l.number);
+        };
+
+        const std::string &m = l.mnemonic;
+        if (m == "add") rrr(Opcode::Add);
+        else if (m == "sub") rrr(Opcode::Sub);
+        else if (m == "and") rrr(Opcode::And);
+        else if (m == "or") rrr(Opcode::Or);
+        else if (m == "xor") rrr(Opcode::Xor);
+        else if (m == "slt") rrr(Opcode::Slt);
+        else if (m == "addi") rri(Opcode::Addi);
+        else if (m == "andi") rri(Opcode::Andi);
+        else if (m == "ori") rri(Opcode::Ori);
+        else if (m == "xori") rri(Opcode::Xori);
+        else if (m == "slli") rri(Opcode::Slli);
+        else if (m == "srli") rri(Opcode::Srli);
+        else if (m == "cpop") {
+            need(2);
+            ins.op = Opcode::Cpop;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = parseRegister(ops[1]);
+        } else if (m == "li") {
+            need(2);
+            ins.op = Opcode::Addi;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = 0;
+            ins.imm = parseImmediate(ops[1], l.number);
+        } else if (m == "mv") {
+            need(2);
+            ins.op = Opcode::Addi;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = parseRegister(ops[1]);
+            ins.imm = 0;
+        } else if (m == "ld" || m == "lbu") {
+            need(2);
+            ins.op = m == "ld" ? Opcode::Ld : Opcode::Lbu;
+            ins.rd = parseRegister(ops[0]);
+            parseAddress(ops[1], l.number, ins.imm, ins.rs1);
+        } else if (m == "sd" || m == "sb") {
+            need(2);
+            ins.op = m == "sd" ? Opcode::Sd : Opcode::Sb;
+            ins.rs2 = parseRegister(ops[0]);
+            parseAddress(ops[1], l.number, ins.imm, ins.rs1);
+        } else if (m == "beq") branch(Opcode::Beq);
+        else if (m == "bne") branch(Opcode::Bne);
+        else if (m == "blt") branch(Opcode::Blt);
+        else if (m == "bge") branch(Opcode::Bge);
+        else if (m == "jal") {
+            need(2);
+            ins.op = Opcode::Jal;
+            ins.rd = parseRegister(ops[0]);
+            ins.imm = target(ops[1], l.number);
+        } else if (m == "j") {
+            need(1);
+            ins.op = Opcode::Jal;
+            ins.rd = 0;
+            ins.imm = target(ops[0], l.number);
+        } else if (m == "jalr") {
+            need(2);
+            ins.op = Opcode::Jalr;
+            ins.rd = parseRegister(ops[0]);
+            ins.rs1 = parseRegister(ops[1]);
+        } else if (m == "csrw") {
+            need(2);
+            ins.op = Opcode::Csrw;
+            ins.csr = parseCsr(ops[0], l.number);
+            ins.rs1 = parseRegister(ops[1]);
+        } else if (m == "csrr") {
+            need(2);
+            ins.op = Opcode::Csrr;
+            ins.rd = parseRegister(ops[0]);
+            ins.csr = parseCsr(ops[1], l.number);
+        } else if (m == "gmx.v") rrr(Opcode::GmxV);
+        else if (m == "gmx.h") rrr(Opcode::GmxH);
+        else if (m == "gmx.tb") {
+            need(2);
+            ins.op = Opcode::GmxTb;
+            ins.rs1 = parseRegister(ops[0]);
+            ins.rs2 = parseRegister(ops[1]);
+        } else if (m == "halt") {
+            need(0);
+            ins.op = Opcode::Halt;
+        } else {
+            GMX_FATAL("line %u: unknown mnemonic '%s'", l.number,
+                      m.c_str());
+        }
+        prog.code.push_back(ins);
+    }
+    return prog;
+}
+
+} // namespace gmx::isa_sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A two-pass assembler for the simulator's RV64-like subset.
+ *
+ * Syntax (one instruction or label per line; '#' starts a comment):
+ *
+ *   label:
+ *   add   rd, rs1, rs2        addi rd, rs1, imm
+ *   ld    rd, imm(rs1)        sd   rs2, imm(rs1)
+ *   beq   rs1, rs2, label     jal  rd, label
+ *   li    rd, imm             mv   rd, rs       (pseudo-instructions)
+ *   csrw  csrname, rs         csrr rd, csrname
+ *   gmx.v rd, rs1, rs2        gmx.h rd, rs1, rs2     gmx.tb rs1, rs2
+ *   halt
+ *
+ * Registers: x0..x31 or the ABI names (zero, ra, sp, gp, tp, t0-t6,
+ * s0-s11, a0-a7). CSR names: gmx_pattern, gmx_text, gmx_pos, gmx_lo,
+ * gmx_hi. Immediates accept decimal and 0x hex. Errors throw FatalError
+ * with the offending line number.
+ */
+
+#ifndef GMX_ISA_SIM_ASSEMBLER_HH
+#define GMX_ISA_SIM_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa_sim/isa.hh"
+
+namespace gmx::isa_sim {
+
+/** An assembled program (instruction index space, no encoding step). */
+struct Program
+{
+    std::vector<Instruction> code;
+};
+
+/** Assemble @p source. Throws FatalError on any syntax error. */
+Program assemble(const std::string &source);
+
+/** Parse a register name; throws FatalError if unknown. */
+u8 parseRegister(const std::string &name);
+
+} // namespace gmx::isa_sim
+
+#endif // GMX_ISA_SIM_ASSEMBLER_HH

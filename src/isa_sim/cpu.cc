@@ -1,0 +1,257 @@
+#include "isa_sim/cpu.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace gmx::isa_sim {
+
+Cpu::Cpu(size_t mem_bytes, unsigned tile, const CpuConfig &cfg)
+    : memory_(mem_bytes, 0), gmx_(tile), cfg_(cfg)
+{
+}
+
+void
+Cpu::loadProgram(Program program)
+{
+    program_ = std::move(program);
+    pc_ = 0;
+    halted_ = false;
+    stats_ = CpuStats();
+}
+
+u64
+Cpu::reg(unsigned index) const
+{
+    GMX_ASSERT(index < 32);
+    return index == 0 ? 0 : regs_[index];
+}
+
+void
+Cpu::setReg(unsigned index, u64 value)
+{
+    GMX_ASSERT(index < 32);
+    if (index != 0)
+        regs_[index] = value;
+}
+
+u64
+Cpu::loadWord(u64 addr) const
+{
+    if (addr + 8 > memory_.size() || addr % 8 != 0)
+        GMX_FATAL("ld fault at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    u64 value;
+    std::memcpy(&value, memory_.data() + addr, 8);
+    return value;
+}
+
+void
+Cpu::storeWord(u64 addr, u64 value)
+{
+    if (addr + 8 > memory_.size() || addr % 8 != 0)
+        GMX_FATAL("sd fault at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    std::memcpy(memory_.data() + addr, &value, 8);
+}
+
+u8
+Cpu::loadByte(u64 addr) const
+{
+    if (addr >= memory_.size())
+        GMX_FATAL("lbu fault at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return memory_[addr];
+}
+
+void
+Cpu::storeByte(u64 addr, u8 value)
+{
+    if (addr >= memory_.size())
+        GMX_FATAL("sb fault at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    memory_[addr] = value;
+}
+
+void
+Cpu::writeBlock(u64 addr, const void *data, size_t size)
+{
+    if (addr + size > memory_.size())
+        GMX_FATAL("writeBlock beyond memory");
+    std::memcpy(memory_.data() + addr, data, size);
+}
+
+bool
+Cpu::run()
+{
+    while (!halted_) {
+        if (stats_.instructions >= cfg_.max_instructions)
+            return false;
+        step();
+    }
+    return true;
+}
+
+void
+Cpu::step()
+{
+    if (pc_ >= program_.code.size())
+        GMX_FATAL("PC 0x%llx outside the program",
+                  static_cast<unsigned long long>(pc_));
+    const Instruction &ins = program_.code[pc_];
+    ++stats_.instructions;
+    ++stats_.cycles;
+    u64 next_pc = pc_ + 1;
+
+    auto s1 = [&] { return reg(ins.rs1); };
+    auto s2 = [&] { return reg(ins.rs2); };
+
+    switch (ins.op) {
+      case Opcode::Add:
+        setReg(ins.rd, s1() + s2());
+        break;
+      case Opcode::Addi:
+        setReg(ins.rd, s1() + static_cast<u64>(ins.imm));
+        break;
+      case Opcode::Sub:
+        setReg(ins.rd, s1() - s2());
+        break;
+      case Opcode::And:
+        setReg(ins.rd, s1() & s2());
+        break;
+      case Opcode::Andi:
+        setReg(ins.rd, s1() & static_cast<u64>(ins.imm));
+        break;
+      case Opcode::Or:
+        setReg(ins.rd, s1() | s2());
+        break;
+      case Opcode::Ori:
+        setReg(ins.rd, s1() | static_cast<u64>(ins.imm));
+        break;
+      case Opcode::Xor:
+        setReg(ins.rd, s1() ^ s2());
+        break;
+      case Opcode::Xori:
+        setReg(ins.rd, s1() ^ static_cast<u64>(ins.imm));
+        break;
+      case Opcode::Slli:
+        setReg(ins.rd, s1() << (ins.imm & 63));
+        break;
+      case Opcode::Srli:
+        setReg(ins.rd, s1() >> (ins.imm & 63));
+        break;
+      case Opcode::Slt:
+        setReg(ins.rd, static_cast<i64>(s1()) < static_cast<i64>(s2()));
+        break;
+      case Opcode::Cpop:
+        setReg(ins.rd, static_cast<u64>(__builtin_popcountll(s1())));
+        break;
+      case Opcode::Ld:
+        setReg(ins.rd, loadWord(s1() + static_cast<u64>(ins.imm)));
+        ++stats_.loads;
+        stats_.cycles += cfg_.load_use_penalty;
+        break;
+      case Opcode::Lbu:
+        setReg(ins.rd, loadByte(s1() + static_cast<u64>(ins.imm)));
+        ++stats_.loads;
+        stats_.cycles += cfg_.load_use_penalty;
+        break;
+      case Opcode::Sd:
+        storeWord(s1() + static_cast<u64>(ins.imm), s2());
+        ++stats_.stores;
+        break;
+      case Opcode::Sb:
+        storeByte(s1() + static_cast<u64>(ins.imm),
+                  static_cast<u8>(s2()));
+        ++stats_.stores;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge: {
+        ++stats_.branches;
+        bool taken = false;
+        switch (ins.op) {
+          case Opcode::Beq: taken = s1() == s2(); break;
+          case Opcode::Bne: taken = s1() != s2(); break;
+          case Opcode::Blt:
+            taken = static_cast<i64>(s1()) < static_cast<i64>(s2());
+            break;
+          default:
+            taken = static_cast<i64>(s1()) >= static_cast<i64>(s2());
+            break;
+        }
+        if (taken) {
+            next_pc = static_cast<u64>(ins.imm);
+            stats_.cycles += cfg_.branch_taken_penalty;
+        }
+        break;
+      }
+      case Opcode::Jal:
+        setReg(ins.rd, pc_ + 1);
+        next_pc = static_cast<u64>(ins.imm);
+        stats_.cycles += cfg_.branch_taken_penalty;
+        break;
+      case Opcode::Jalr:
+        setReg(ins.rd, pc_ + 1);
+        next_pc = s1();
+        stats_.cycles += cfg_.branch_taken_penalty;
+        break;
+      case Opcode::Csrw:
+        ++stats_.csr_ops;
+        switch (ins.csr) {
+          case kCsrGmxPattern:
+            gmx_.csrwPatternPacked(s1());
+            break;
+          case kCsrGmxText:
+            gmx_.csrwTextPacked(s1());
+            break;
+          case kCsrGmxPos:
+            gmx_.csrwPosPacked(s1());
+            break;
+          default:
+            GMX_FATAL("line %u: csrw to read-only CSR 0x%x", ins.line,
+                      ins.csr);
+        }
+        break;
+      case Opcode::Csrr:
+        ++stats_.csr_ops;
+        switch (ins.csr) {
+          case kCsrGmxPos:
+            setReg(ins.rd, gmx_.csrrPosPacked());
+            break;
+          case kCsrGmxLo:
+            setReg(ins.rd, gmx_.csrrLo());
+            break;
+          case kCsrGmxHi:
+            setReg(ins.rd, gmx_.csrrHi());
+            break;
+          default:
+            GMX_FATAL("line %u: csrr from write-only CSR 0x%x", ins.line,
+                      ins.csr);
+        }
+        break;
+      case Opcode::GmxV:
+        ++stats_.gmx_ops;
+        stats_.cycles += cfg_.gmx_ac_latency - 1;
+        setReg(ins.rd, gmx_.gmxVPacked(s1(), s2()));
+        break;
+      case Opcode::GmxH:
+        ++stats_.gmx_ops;
+        stats_.cycles += cfg_.gmx_ac_latency - 1;
+        setReg(ins.rd, gmx_.gmxHPacked(s1(), s2()));
+        break;
+      case Opcode::GmxTb:
+        ++stats_.gmx_ops;
+        stats_.cycles += cfg_.gmx_tb_latency - 1;
+        gmx_.gmxTb(core::unpackDelta(s1(), gmx_.tileSize()),
+                   core::unpackDelta(s2(), gmx_.tileSize()));
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        break;
+    }
+    pc_ = next_pc;
+}
+
+} // namespace gmx::isa_sim

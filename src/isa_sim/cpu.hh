@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Functional + timing simulator for the RV64-like subset with the GMX
+ * extension attached (the repository's instruction-level integration
+ * model — a GMX-enhanced core executing real programs).
+ *
+ * Timing follows the RTL-InOrder design point: single issue, one cycle
+ * per instruction, gmx.v/gmx.h occupy the GMX unit for its 2-cycle
+ * latency, gmx.tb for 6 cycles, and loads pay a configurable load-to-use
+ * penalty. (Cache effects are the business of sim/perf.hh; this model
+ * times the instruction stream itself.)
+ */
+
+#ifndef GMX_ISA_SIM_CPU_HH
+#define GMX_ISA_SIM_CPU_HH
+
+#include <vector>
+
+#include "gmx/isa.hh"
+#include "isa_sim/assembler.hh"
+
+namespace gmx::isa_sim {
+
+/** Execution statistics. */
+struct CpuStats
+{
+    u64 instructions = 0;
+    u64 cycles = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 branches = 0;
+    u64 gmx_ops = 0;
+    u64 csr_ops = 0;
+};
+
+/** Timing knobs (defaults: the paper's RTL-InOrder @ 1 GHz). */
+struct CpuConfig
+{
+    unsigned gmx_ac_latency = 2;
+    unsigned gmx_tb_latency = 6;
+    unsigned load_use_penalty = 1;
+    unsigned branch_taken_penalty = 1;
+    u64 max_instructions = 1ull << 32; //!< runaway guard
+};
+
+/** The simulated core. */
+class Cpu
+{
+  public:
+    explicit Cpu(size_t mem_bytes, unsigned tile = 32,
+                 const CpuConfig &cfg = CpuConfig());
+
+    /** Load a program (replaces any previous one, resets the PC). */
+    void loadProgram(Program program);
+
+    /** Register access (x0 is hardwired to zero). */
+    u64 reg(unsigned index) const;
+    void setReg(unsigned index, u64 value);
+
+    /** Byte-addressed little-endian memory access. */
+    u64 loadWord(u64 addr) const;
+    void storeWord(u64 addr, u64 value);
+    u8 loadByte(u64 addr) const;
+    void storeByte(u64 addr, u8 value);
+
+    /** Copy a buffer into simulated memory. */
+    void writeBlock(u64 addr, const void *data, size_t size);
+
+    /**
+     * Run until halt (returns true) or until the instruction guard trips
+     * (returns false). Execution faults (bad PC, bad memory) throw
+     * FatalError.
+     */
+    bool run();
+
+    const CpuStats &stats() const { return stats_; }
+    const core::GmxUnit &gmxUnit() const { return gmx_; }
+
+  private:
+    void step();
+
+    Program program_;
+    std::vector<u8> memory_;
+    u64 regs_[32] = {};
+    u64 pc_ = 0;
+    bool halted_ = false;
+    core::GmxUnit gmx_;
+    CpuConfig cfg_;
+    CpuStats stats_;
+};
+
+} // namespace gmx::isa_sim
+
+#endif // GMX_ISA_SIM_CPU_HH

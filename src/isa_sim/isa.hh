@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The instruction set of the RISC-V-style functional simulator.
+ *
+ * The paper integrates GMX into a RV64 core via standard R-type custom
+ * opcodes and csrr/csrw (§5). This simulator executes a small RV64-like
+ * subset — enough to write the paper's Algorithms 1 and 2 as real
+ * programs — plus the three GMX instructions:
+ *
+ *   gmx.v  rd, rs1, rs2   rd  = dv_out(tile; rs1 = dv_in, rs2 = dh_in)
+ *   gmx.h  rd, rs1, rs2   rd  = dh_out(tile; rs1 = dv_in, rs2 = dh_in)
+ *   gmx.tb rs1, rs2       CSR-side traceback step (updates pos/lo/hi)
+ *
+ * Delta operands use the packed 2-bit-per-lane register layout of
+ * core::packDelta; gmx_pattern/gmx_text CSRs take 32 packed 2-bit
+ * characters per 64-bit register.
+ */
+
+#ifndef GMX_ISA_SIM_ISA_HH
+#define GMX_ISA_SIM_ISA_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace gmx::isa_sim {
+
+/** Supported opcodes (RV64I subset + Zbb cpop + Zicsr + GMX). */
+enum class Opcode : u8
+{
+    // Arithmetic / logic (register and immediate forms).
+    Add,
+    Addi,
+    Sub,
+    And,
+    Andi,
+    Or,
+    Ori,
+    Xor,
+    Xori,
+    Slli,
+    Srli,
+    Slt,
+    Cpop, // Zbb population count (used to sum packed delta lanes)
+    // Memory (64-bit and byte).
+    Ld,
+    Sd,
+    Lbu,
+    Sb,
+    // Control flow.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Jal,
+    Jalr,
+    // CSR access (Zicsr).
+    Csrw,
+    Csrr,
+    // GMX extension.
+    GmxV,
+    GmxH,
+    GmxTb,
+    // Simulation control.
+    Halt,
+};
+
+/** CSR addresses of the GMX architectural state (custom range). */
+enum GmxCsr : u16
+{
+    kCsrGmxPattern = 0x7c0,
+    kCsrGmxText = 0x7c1,
+    kCsrGmxPos = 0x7c2,
+    kCsrGmxLo = 0x7c3,
+    kCsrGmxHi = 0x7c4,
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    u8 rd = 0;
+    u8 rs1 = 0;
+    u8 rs2 = 0;
+    i64 imm = 0;  //!< immediate / branch target (instruction index)
+    u16 csr = 0;  //!< CSR address for Csrw/Csrr
+    u32 line = 0; //!< source line (diagnostics)
+};
+
+/** Mnemonic of @p op (for diagnostics). */
+std::string opcodeName(Opcode op);
+
+} // namespace gmx::isa_sim
+
+#endif // GMX_ISA_SIM_ISA_HH

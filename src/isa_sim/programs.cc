@@ -1,0 +1,341 @@
+#include "isa_sim/programs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gmx::isa_sim {
+
+std::string
+fullGmxDistanceSource()
+{
+    return R"(
+# Full(GMX) edit distance — paper Algorithm 1, tile-column-major.
+# a0=pattern base, a1=gr, a2=text base, a3=gc, a4=right[] scratch.
+# s0 = all-lanes-(+1) delta constant (0b01 per 2-bit lane)
+# s1 = running distance, t4 = dh chain, right[ti] = dv chain.
+        li   s0, 0x5555555555555555
+        slli t2, a1, 5            # n = gr * 32
+        mv   s1, t2               # dist = D[n][0] = n
+        li   t1, 0                # ti = 0: right[] = boundary (+1) deltas
+        mv   t2, a4
+init_loop:
+        bge  t1, a1, init_done
+        sd   s0, 0(t2)
+        addi t2, t2, 8
+        addi t1, t1, 1
+        j    init_loop
+init_done:
+        li   t0, 0                # tj = 0
+outer:
+        bge  t0, a3, done
+        slli t2, t0, 3            # csrw gmx_text, text[tj]
+        add  t2, a2, t2
+        ld   t3, 0(t2)
+        csrw gmx_text, t3
+        mv   t4, s0               # dh = top boundary (+1) deltas
+        li   t1, 0                # ti = 0
+inner:
+        bge  t1, a1, inner_done
+        slli t2, t1, 3            # csrw gmx_pattern, pattern[ti]
+        add  t2, a0, t2
+        ld   t3, 0(t2)
+        csrw gmx_pattern, t3
+        slli t2, t1, 3            # t5 = dv_in = right[ti]
+        add  t2, a4, t2
+        ld   t5, 0(t2)
+        gmx.v t6, t5, t4          # right-edge deltas of this tile
+        gmx.h t4, t5, t4          # bottom-edge deltas -> dh chain
+        sd   t6, 0(t2)            # right[ti] = dv_out
+        addi t1, t1, 1
+        j    inner
+inner_done:
+        and  t2, t4, s0           # dist += (+1 lanes) - (-1 lanes)
+        cpop t2, t2
+        add  s1, s1, t2
+        slli t3, s0, 1            # -1 lanes live at the odd bits
+        and  t2, t4, t3
+        cpop t2, t2
+        sub  s1, s1, t2
+        addi t0, t0, 1
+        j    outer
+done:
+        mv   a0, s1
+        halt
+)";
+}
+
+std::string
+tileTracebackSource()
+{
+    return R"(
+# One gmx.tb step: CSR setup, traceback, CSR readback.
+        csrw gmx_pattern, a0
+        csrw gmx_text, a1
+        csrw gmx_pos, a4
+        gmx.tb a2, a3
+        csrr a0, gmx_lo
+        csrr a1, gmx_hi
+        csrr a2, gmx_pos
+        halt
+)";
+}
+
+std::string
+fullGmxAlignSource()
+{
+    return R"(
+# Full(GMX) alignment — paper Algorithms 1 + 2.
+# a0=pattern, a1=gr, a2=text, a3=gc, a4=M (16B/tile), a5=tb out (24B/step)
+# s0 = (+1)-lanes constant, s1 = distance, s3 = M row stride (gc*16).
+        li   s0, 0x5555555555555555
+        slli s3, a3, 4
+        slli t2, a1, 5
+        mv   s1, t2               # dist = n
+# ---- Phase 1: compute the edge matrix M column by column ----
+        li   t0, 0                # tj
+p1_outer:
+        bge  t0, a3, p1_done
+        slli t2, t0, 3
+        add  t2, a2, t2
+        ld   t3, 0(t2)
+        csrw gmx_text, t3
+        mv   t4, s0               # dh chain = top boundary
+        li   t1, 0                # ti
+        slli s2, t0, 4
+        add  s2, a4, s2           # &M[0][tj]
+p1_inner:
+        bge  t1, a1, p1_col_done
+        slli t2, t1, 3
+        add  t2, a0, t2
+        ld   t3, 0(t2)
+        csrw gmx_pattern, t3
+        mv   t5, s0               # dv_in = left boundary...
+        beq  t0, zero, p1_have_dv
+        ld   t5, -16(s2)          # ...or M[ti][tj-1].v
+p1_have_dv:
+        gmx.v t6, t5, t4
+        gmx.h t4, t5, t4
+        sd   t6, 0(s2)            # M[ti][tj].v
+        sd   t4, 8(s2)            # M[ti][tj].h
+        add  s2, s2, s3
+        addi t1, t1, 1
+        j    p1_inner
+p1_col_done:
+        and  t2, t4, s0           # distance accumulation (bottom row)
+        cpop t2, t2
+        add  s1, s1, t2
+        slli t3, s0, 1
+        and  t2, t4, t3
+        cpop t2, t2
+        sub  s1, s1, t2
+        addi t0, t0, 1
+        j    p1_outer
+p1_done:
+# ---- Phase 2: tile-wise traceback from the bottom-right corner ----
+        addi s4, a1, -1           # ti
+        addi s5, a3, -1           # tj
+        li   t2, 0x80000000       # one-hot: bottom row, column T-1
+        csrw gmx_pos, t2
+        mv   s6, a5               # output cursor
+        li   s7, 0                # step count
+        # s8 = &M[gr-1][gc-1] (built incrementally; no mul needed)
+        mv   s8, a4
+        li   t1, 0
+p2_ptr_loop:
+        bge  t1, s4, p2_ptr_done
+        add  s8, s8, s3
+        addi t1, t1, 1
+        j    p2_ptr_loop
+p2_ptr_done:
+        slli t2, s5, 4
+        add  s8, s8, t2
+p2_loop:
+        blt  s4, zero, p2_done
+        blt  s5, zero, p2_done
+        slli t2, s4, 3            # csrw gmx_pattern, pattern[s4]
+        add  t2, a0, t2
+        ld   t3, 0(t2)
+        csrw gmx_pattern, t3
+        slli t2, s5, 3            # csrw gmx_text, text[s5]
+        add  t2, a2, t2
+        ld   t3, 0(t2)
+        csrw gmx_text, t3
+        mv   t5, s0               # dv_in
+        beq  s5, zero, p2_have_dv
+        ld   t5, -16(s8)
+p2_have_dv:
+        mv   t4, s0               # dh_in
+        beq  s4, zero, p2_have_dh
+        sub  t2, s8, s3
+        ld   t4, 8(t2)
+p2_have_dh:
+        gmx.tb t5, t4
+        csrr t2, gmx_lo
+        sd   t2, 0(s6)
+        csrr t2, gmx_hi
+        sd   t2, 8(s6)
+        csrr t3, gmx_pos
+        sd   t3, 16(s6)
+        addi s6, s6, 24
+        addi s7, s7, 1
+        srli t2, t2, 62           # next-tile field of gmx_hi
+        beq  t2, zero, p2_diag
+        li   t3, 1
+        beq  t2, t3, p2_up
+        addi s5, s5, -1           # Left
+        addi s8, s8, -16
+        j    p2_loop
+p2_up:
+        addi s4, s4, -1
+        sub  s8, s8, s3
+        j    p2_loop
+p2_diag:
+        addi s4, s4, -1
+        addi s5, s5, -1
+        sub  s8, s8, s3
+        addi s8, s8, -16
+        j    p2_loop
+p2_done:
+        mv   a0, s1
+        mv   a1, s7
+        halt
+)";
+}
+
+std::vector<u64>
+packSequenceWords(const seq::Sequence &s)
+{
+    std::vector<u64> words((s.size() + 31) / 32, 0);
+    for (size_t i = 0; i < s.size(); ++i)
+        words[i / 32] |= static_cast<u64>(s.code(i) & 3) << (2 * (i % 32));
+    return words;
+}
+
+ProgramRunResult
+runFullGmxDistanceProgram(const seq::Sequence &pattern,
+                          const seq::Sequence &text)
+{
+    if (pattern.empty() || text.empty() || pattern.size() % 32 != 0 ||
+        text.size() % 32 != 0) {
+        GMX_FATAL("distance program: lengths (%zu, %zu) must be positive "
+                  "multiples of 32",
+                  pattern.size(), text.size());
+    }
+    const auto p_words = packSequenceWords(pattern);
+    const auto t_words = packSequenceWords(text);
+
+    // Memory map: pattern at 0x1000, text after it, scratch after that.
+    const u64 p_base = 0x1000;
+    const u64 t_base = p_base + p_words.size() * 8;
+    const u64 scratch = t_base + t_words.size() * 8;
+    const size_t mem_size =
+        static_cast<size_t>(scratch + p_words.size() * 8 + 0x1000);
+
+    Cpu cpu(mem_size, 32);
+    cpu.loadProgram(assemble(fullGmxDistanceSource()));
+    cpu.writeBlock(p_base, p_words.data(), p_words.size() * 8);
+    cpu.writeBlock(t_base, t_words.data(), t_words.size() * 8);
+    cpu.setReg(10, p_base);                // a0
+    cpu.setReg(11, p_words.size());        // a1 = gr
+    cpu.setReg(12, t_base);                // a2
+    cpu.setReg(13, t_words.size());        // a3 = gc
+    cpu.setReg(14, scratch);               // a4
+
+    if (!cpu.run())
+        GMX_FATAL("distance program did not halt");
+
+    ProgramRunResult res;
+    res.distance = static_cast<i64>(cpu.reg(10));
+    res.stats = cpu.stats();
+    return res;
+}
+
+ProgramAlignResult
+runFullGmxAlignProgram(const seq::Sequence &pattern,
+                       const seq::Sequence &text)
+{
+    if (pattern.empty() || text.empty() || pattern.size() % 32 != 0 ||
+        text.size() % 32 != 0) {
+        GMX_FATAL("align program: lengths (%zu, %zu) must be positive "
+                  "multiples of 32",
+                  pattern.size(), text.size());
+    }
+    const auto p_words = packSequenceWords(pattern);
+    const auto t_words = packSequenceWords(text);
+    const size_t gr = p_words.size();
+    const size_t gc = t_words.size();
+
+    const u64 p_base = 0x1000;
+    const u64 t_base = p_base + gr * 8;
+    const u64 m_base = (t_base + gc * 8 + 63) & ~u64{63};
+    const u64 tb_base = m_base + gr * gc * 16;
+    const size_t max_steps = gr + gc + 2;
+    const size_t mem_size =
+        static_cast<size_t>(tb_base + max_steps * 24 + 0x1000);
+
+    Cpu cpu(mem_size, 32);
+    cpu.loadProgram(assemble(fullGmxAlignSource()));
+    cpu.writeBlock(p_base, p_words.data(), gr * 8);
+    cpu.writeBlock(t_base, t_words.data(), gc * 8);
+    cpu.setReg(10, p_base);
+    cpu.setReg(11, gr);
+    cpu.setReg(12, t_base);
+    cpu.setReg(13, gc);
+    cpu.setReg(14, m_base);
+    cpu.setReg(15, tb_base);
+    if (!cpu.run())
+        GMX_FATAL("align program did not halt");
+
+    ProgramAlignResult out;
+    out.stats = cpu.stats();
+    out.tb_steps = cpu.reg(11);
+    out.result.distance = static_cast<i64>(cpu.reg(10));
+    out.result.has_cigar = true;
+    GMX_ASSERT(out.tb_steps <= max_steps, "traceback overran its buffer");
+
+    // Decode the dumped (gmx_lo, gmx_hi, gmx_pos) records exactly like
+    // the software driver: per-op walk with in-tile coordinates, stopping
+    // at matrix boundaries, then boundary completion.
+    std::vector<align::Op> ops;
+    size_t ai = pattern.size(), aj = text.size();
+    int r = 31, c = 31; // entry cell of the first tile (one-hot bit 31)
+    for (u64 step = 0; step < out.tb_steps && ai > 0 && aj > 0; ++step) {
+        const u64 lo = cpu.loadWord(tb_base + step * 24);
+        const u64 hi = cpu.loadWord(tb_base + step * 24 + 8);
+        size_t k = 0;
+        while (r >= 0 && c >= 0 && ai > 0 && aj > 0) {
+            const u64 code =
+                k < 32 ? (lo >> (2 * k)) & 3 : (hi >> (2 * (k - 32))) & 3;
+            ++k;
+            const auto op = static_cast<align::Op>(code);
+            ops.push_back(op);
+            if (op != align::Op::Deletion) {
+                --r;
+                --ai;
+            }
+            if (op != align::Op::Insertion) {
+                --c;
+                --aj;
+            }
+        }
+        // Entry cell of the next tile from the exit classification.
+        if (r < 0 && c < 0) {
+            r = 31;
+            c = 31;
+        } else if (r < 0) {
+            r = 31;
+        } else {
+            c = 31;
+        }
+    }
+    for (; aj > 0; --aj)
+        ops.push_back(align::Op::Deletion);
+    for (; ai > 0; --ai)
+        ops.push_back(align::Op::Insertion);
+    std::reverse(ops.begin(), ops.end());
+    out.result.cigar = align::Cigar(std::move(ops));
+    return out;
+}
+
+} // namespace gmx::isa_sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * GMX assembly programs: the paper's Algorithm 1 written for the
+ * simulated core, plus helpers to marshal sequences into the packed
+ * 2-bit memory layout and run the programs.
+ *
+ * This closes the loop the paper describes in §5: a RISC-V-style binary
+ * drives the GMX unit purely through registers, loads/stores, and
+ * csrw/csrr — no C++ kernel in sight.
+ */
+
+#ifndef GMX_ISA_SIM_PROGRAMS_HH
+#define GMX_ISA_SIM_PROGRAMS_HH
+
+#include <string>
+#include <vector>
+
+#include "align/types.hh"
+#include "isa_sim/cpu.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::isa_sim {
+
+/**
+ * Assembly source of the Full(GMX) distance kernel (Algorithm 1,
+ * tile-column-major sweep with rolling right-edge storage).
+ *
+ * Calling convention:
+ *   a0 = base of the packed pattern (gr 64-bit words)
+ *   a1 = gr (pattern length / 32)
+ *   a2 = base of the packed text (gc words)
+ *   a3 = gc (text length / 32)
+ *   a4 = base of a gr-word scratch buffer (right-edge deltas)
+ * Returns the edit distance in a0.
+ */
+std::string fullGmxDistanceSource();
+
+/**
+ * Assembly source of a single-tile traceback step:
+ *   a0 = packed pattern word, a1 = packed text word,
+ *   a2 = packed dv_in, a3 = packed dh_in, a4 = gmx_pos one-hot.
+ * Returns gmx_lo in a0, gmx_hi in a1, the updated gmx_pos in a2.
+ */
+std::string tileTracebackSource();
+
+/** Pack a DNA sequence into 2-bit lanes, 32 characters per word. */
+std::vector<u64> packSequenceWords(const seq::Sequence &s);
+
+/** Result of running the distance program. */
+struct ProgramRunResult
+{
+    i64 distance = 0;
+    CpuStats stats;
+};
+
+/**
+ * Assemble and execute fullGmxDistanceSource() on @p cpu-sized fresh
+ * machine for one pair. Lengths must be positive multiples of 32.
+ */
+ProgramRunResult runFullGmxDistanceProgram(const seq::Sequence &pattern,
+                                           const seq::Sequence &text);
+
+/**
+ * Assembly source of the full Algorithm 1 + Algorithm 2 kernel: phase 1
+ * computes the complete tile-edge matrix M (both dv and dh per tile) and
+ * the distance; phase 2 walks the traceback tile by tile with gmx.tb,
+ * dumping one (gmx_lo, gmx_hi, gmx_pos) record per step.
+ *
+ * Calling convention:
+ *   a0 = packed pattern base, a1 = gr, a2 = packed text base, a3 = gc,
+ *   a4 = M base (gr*gc records of 16 bytes: .v word then .h word),
+ *   a5 = traceback output base (24 bytes per step).
+ * Returns: a0 = distance, a1 = number of traceback steps.
+ */
+std::string fullGmxAlignSource();
+
+/** A full-alignment program run, decoded back into an AlignResult. */
+struct ProgramAlignResult
+{
+    align::AlignResult result;
+    CpuStats stats;
+    u64 tb_steps = 0;
+};
+
+/**
+ * Assemble and execute fullGmxAlignSource(), then decode the dumped
+ * gmx_lo/gmx_hi records into the CIGAR exactly as the software driver
+ * does (per-op walk with boundary completion).
+ */
+ProgramAlignResult runFullGmxAlignProgram(const seq::Sequence &pattern,
+                                          const seq::Sequence &text);
+
+} // namespace gmx::isa_sim
+
+#endif // GMX_ISA_SIM_PROGRAMS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DNA alphabet encoding.
+ *
+ * GMX hardware compares raw characters (any alphabet; the paper notes the
+ * gmx_text/gmx_pattern registers can be widened to ASCII or CCCII), but the
+ * software pipeline works with the 4-letter DNA alphabet encoded in 2 bits,
+ * which is also what the Bitap/BPM baselines' eq-vector preprocessing uses.
+ */
+
+#ifndef GMX_SEQUENCE_ALPHABET_HH
+#define GMX_SEQUENCE_ALPHABET_HH
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace gmx::seq {
+
+/** Number of symbols in the DNA alphabet. */
+inline constexpr unsigned kDnaSymbols = 4;
+
+/** Encode an ASCII base (ACGTacgt) to a 2-bit code; other bytes map to A. */
+inline u8
+encodeBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return 0;
+      case 'C': case 'c': return 1;
+      case 'G': case 'g': return 2;
+      case 'T': case 't': return 3;
+      default: return 0;
+    }
+}
+
+/** Decode a 2-bit code back to an uppercase ASCII base. */
+inline char
+decodeBase(u8 code)
+{
+    constexpr std::array<char, 4> bases = {'A', 'C', 'G', 'T'};
+    return bases[code & 3];
+}
+
+/** True if @p c is a canonical DNA character. */
+inline bool
+isDnaChar(char c)
+{
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c':
+      case 'G': case 'g': case 'T': case 't':
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Watson-Crick complement of a 2-bit code. */
+inline u8 complementCode(u8 code) { return code ^ 3; }
+
+} // namespace gmx::seq
+
+#endif // GMX_SEQUENCE_ALPHABET_HH

@@ -1,0 +1,100 @@
+#include "sequence/dataset.hh"
+
+#include <cstdio>
+
+namespace gmx::seq {
+
+size_t
+Dataset::totalPatternBases() const
+{
+    size_t total = 0;
+    for (const auto &p : pairs)
+        total += p.pattern.size();
+    return total;
+}
+
+size_t
+Dataset::totalTextBases() const
+{
+    size_t total = 0;
+    for (const auto &p : pairs)
+        total += p.text.size();
+    return total;
+}
+
+Dataset
+makeDataset(const std::string &name, size_t length, double error_rate,
+            size_t count, u64 seed)
+{
+    Dataset ds;
+    ds.name = name;
+    ds.length = length;
+    ds.error_rate = error_rate;
+    Generator gen(seed);
+    ds.pairs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        ds.pairs.push_back(gen.pair(length, error_rate));
+    return ds;
+}
+
+namespace {
+
+std::string
+datasetName(size_t length, double error_rate)
+{
+    char buf[64];
+    if (length >= 1000000)
+        std::snprintf(buf, sizeof(buf), "%zuMbp-e%.0f%%", length / 1000000,
+                      error_rate * 100);
+    else if (length >= 1000)
+        std::snprintf(buf, sizeof(buf), "%zukbp-e%.0f%%", length / 1000,
+                      error_rate * 100);
+    else
+        std::snprintf(buf, sizeof(buf), "%zubp-e%.0f%%", length,
+                      error_rate * 100);
+    return buf;
+}
+
+} // namespace
+
+std::vector<Dataset>
+shortDatasets(size_t pairs_per_set, u64 seed)
+{
+    std::vector<Dataset> sets;
+    for (size_t len : {100u, 150u, 200u, 250u, 300u}) {
+        sets.push_back(makeDataset(datasetName(len, 0.05), len, 0.05,
+                                   pairs_per_set, seed + len));
+    }
+    return sets;
+}
+
+std::vector<Dataset>
+longDatasets(size_t pairs_per_set, u64 seed, size_t max_length)
+{
+    std::vector<Dataset> sets;
+    for (size_t len = 1000; len <= max_length; len += 1000) {
+        sets.push_back(makeDataset(datasetName(len, 0.15), len, 0.15,
+                                   pairs_per_set, seed + len));
+    }
+    return sets;
+}
+
+Dataset
+illuminaLikeDataset(size_t pairs, u64 seed)
+{
+    return makeDataset("illumina-like-150bp-e0.5%", 150, 0.005, pairs, seed);
+}
+
+Dataset
+hifiLikeDataset(size_t pairs, u64 seed)
+{
+    return makeDataset("hifi-like-10kbp-e1%", 10000, 0.01, pairs, seed);
+}
+
+Dataset
+megabaseDataset(size_t pairs, u64 seed)
+{
+    return makeDataset(datasetName(1000000, 0.15), 1000000, 0.15, pairs, seed);
+}
+
+} // namespace gmx::seq

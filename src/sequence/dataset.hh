@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Evaluation datasets following the paper's §7.1 methodology.
+ *
+ * Short-sequence datasets: lengths {100, 150, 200, 250, 300} bp at 5% error.
+ * Long-sequence datasets: lengths 1k..10k bp (1k steps) at 15% error.
+ * Scalability dataset: 1 Mbp at 15% error.
+ * Figure-3 datasets: Illumina-like (150bp @0.5%) and HiFi-like (10kbp @1%).
+ */
+
+#ifndef GMX_SEQUENCE_DATASET_HH
+#define GMX_SEQUENCE_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "sequence/generator.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::seq {
+
+/** A named collection of pattern/text pairs with uniform length/error. */
+struct Dataset
+{
+    std::string name;      //!< e.g. "short-150bp-5%"
+    size_t length = 0;     //!< nominal text length in bases
+    double error_rate = 0; //!< injected error rate
+    std::vector<SequencePair> pairs;
+
+    /** Total number of pattern bases (used for GCUPS-style metrics). */
+    size_t totalPatternBases() const;
+
+    /** Total number of text bases. */
+    size_t totalTextBases() const;
+};
+
+/** Build one dataset of @p count pairs. Deterministic in @p seed. */
+Dataset makeDataset(const std::string &name, size_t length, double error_rate,
+                    size_t count, u64 seed);
+
+/** The five short-sequence datasets (100-300bp, 5% error). */
+std::vector<Dataset> shortDatasets(size_t pairs_per_set, u64 seed = 42);
+
+/**
+ * Long-sequence datasets (1k-10k bp in 1k steps, 15% error). @p max_length
+ * lets callers cap the sweep to bound simulation time.
+ */
+std::vector<Dataset> longDatasets(size_t pairs_per_set, u64 seed = 43,
+                                  size_t max_length = 10000);
+
+/** Illumina-like high-quality short reads (Fig. 3): 150bp @ 0.5% error. */
+Dataset illuminaLikeDataset(size_t pairs, u64 seed = 44);
+
+/** PacBio-HiFi-like high-quality long reads (Fig. 3): 10kbp @ 1% error. */
+Dataset hifiLikeDataset(size_t pairs, u64 seed = 45);
+
+/** 1 Mbp noisy long-sequence scalability dataset (§7.4): 15% error. */
+Dataset megabaseDataset(size_t pairs, u64 seed = 46);
+
+} // namespace gmx::seq
+
+#endif // GMX_SEQUENCE_DATASET_HH

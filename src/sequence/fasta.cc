@@ -1,0 +1,193 @@
+#include "sequence/fasta.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace gmx::seq {
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    std::string name;
+    std::string bases;
+    bool have_record = false;
+
+    auto flush = [&]() {
+        if (have_record) {
+            records.push_back({name, Sequence(bases)});
+            bases.clear();
+        }
+    };
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            name = line.substr(1);
+            have_record = true;
+        } else {
+            if (!have_record)
+                GMX_FATAL("FASTA: sequence data before any '>' header");
+            bases += line;
+        }
+    }
+    flush();
+    return records;
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GMX_FATAL("cannot open FASTA file: %s", path.c_str());
+    return readFasta(in);
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records)
+{
+    constexpr size_t kWrap = 60;
+    for (const auto &rec : records) {
+        out << '>' << rec.name << '\n';
+        const std::string &s = rec.sequence.str();
+        for (size_t pos = 0; pos < s.size(); pos += kWrap)
+            out << s.substr(pos, kWrap) << '\n';
+    }
+}
+
+std::vector<SequencePair>
+readSeqPairs(std::istream &in)
+{
+    std::vector<SequencePair> pairs;
+    std::string line;
+    std::string pattern;
+    bool expect_text = false;
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            if (expect_text)
+                GMX_FATAL("seq-pair file: two '>' lines in a row");
+            pattern = line.substr(1);
+            expect_text = true;
+        } else if (line[0] == '<') {
+            if (!expect_text)
+                GMX_FATAL("seq-pair file: '<' line without preceding '>'");
+            pairs.push_back(
+                {Sequence(pattern), Sequence(line.substr(1))});
+            expect_text = false;
+        } else {
+            GMX_FATAL("seq-pair file: line must start with '>' or '<'");
+        }
+    }
+    if (expect_text)
+        GMX_FATAL("seq-pair file: trailing pattern without text");
+    return pairs;
+}
+
+std::vector<SequencePair>
+readSeqPairsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GMX_FATAL("cannot open seq-pair file: %s", path.c_str());
+    return readSeqPairs(in);
+}
+
+void
+writeSeqPairs(std::ostream &out, const std::vector<SequencePair> &pairs)
+{
+    for (const auto &p : pairs) {
+        out << '>' << p.pattern.str() << '\n';
+        out << '<' << p.text.str() << '\n';
+    }
+}
+
+void
+writeSeqPairsFile(const std::string &path, const Dataset &dataset)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMX_FATAL("cannot open output file: %s", path.c_str());
+    writeSeqPairs(out, dataset.pairs);
+}
+
+double
+FastqRecord::meanPhred() const
+{
+    if (quality.empty())
+        return 0.0;
+    double sum = 0;
+    for (char q : quality)
+        sum += q - 33;
+    return sum / static_cast<double>(quality.size());
+}
+
+std::vector<FastqRecord>
+readFastq(std::istream &in)
+{
+    std::vector<FastqRecord> records;
+    std::string header, bases, plus, quality;
+    while (std::getline(in, header)) {
+        if (!header.empty() && header.back() == '\r')
+            header.pop_back();
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            GMX_FATAL("FASTQ: expected '@' header, got '%s'",
+                      header.c_str());
+        if (!std::getline(in, bases) || !std::getline(in, plus) ||
+            !std::getline(in, quality))
+            GMX_FATAL("FASTQ: truncated record '%s'", header.c_str());
+        for (std::string *line : {&bases, &plus, &quality}) {
+            if (!line->empty() && line->back() == '\r')
+                line->pop_back();
+        }
+        if (plus.empty() || plus[0] != '+')
+            GMX_FATAL("FASTQ: expected '+' separator in record '%s'",
+                      header.c_str());
+        if (bases.size() != quality.size())
+            GMX_FATAL("FASTQ: %zu bases but %zu quality values in '%s'",
+                      bases.size(), quality.size(), header.c_str());
+        records.push_back(
+            {header.substr(1), Sequence(bases), quality});
+    }
+    return records;
+}
+
+std::vector<FastqRecord>
+readFastqFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GMX_FATAL("cannot open FASTQ file: %s", path.c_str());
+    return readFastq(in);
+}
+
+void
+writeFastq(std::ostream &out, const std::vector<FastqRecord> &records)
+{
+    for (const auto &rec : records) {
+        GMX_ASSERT(rec.quality.size() == rec.sequence.size(),
+                   "FASTQ record quality/sequence length mismatch");
+        out << '@' << rec.name << '\n'
+            << rec.sequence.str() << '\n'
+            << "+\n"
+            << rec.quality << '\n';
+    }
+}
+
+} // namespace gmx::seq

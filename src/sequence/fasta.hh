@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FASTA and ".seq" pair-file I/O.
+ *
+ * The paper open-sources its datasets in the WFA tools' ".seq" format:
+ * each alignment task is two consecutive lines, ">PATTERN" and "<TEXT".
+ * We support that format plus plain FASTA for single-sequence files so the
+ * examples can consume externally produced data.
+ */
+
+#ifndef GMX_SEQUENCE_FASTA_HH
+#define GMX_SEQUENCE_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sequence/dataset.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::seq {
+
+/** One FASTA record. */
+struct FastaRecord
+{
+    std::string name;
+    Sequence sequence;
+};
+
+/** Parse FASTA records from a stream. Throws FatalError on malformed input. */
+std::vector<FastaRecord> readFasta(std::istream &in);
+
+/** Read FASTA records from a file. */
+std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+/** Write FASTA records (60-column wrapped). */
+void writeFasta(std::ostream &out, const std::vector<FastaRecord> &records);
+
+/** Parse WFA-style ">pattern\n<text" pair files from a stream. */
+std::vector<SequencePair> readSeqPairs(std::istream &in);
+
+/** Read pair file from disk. */
+std::vector<SequencePair> readSeqPairsFile(const std::string &path);
+
+/** Write pairs in the ">pattern\n<text" format. */
+void writeSeqPairs(std::ostream &out, const std::vector<SequencePair> &pairs);
+
+/** Write a dataset's pairs to a file. */
+void writeSeqPairsFile(const std::string &path, const Dataset &dataset);
+
+/** One FASTQ record (sequence + per-base Phred+33 qualities). */
+struct FastqRecord
+{
+    std::string name;
+    Sequence sequence;
+    std::string quality; //!< same length as the sequence
+
+    /** Mean Phred quality score of the record. */
+    double meanPhred() const;
+};
+
+/**
+ * Parse FASTQ records (4-line form: @name / bases / + / qualities).
+ * Throws FatalError on malformed input, including quality/sequence
+ * length mismatches.
+ */
+std::vector<FastqRecord> readFastq(std::istream &in);
+
+/** Read FASTQ records from a file. */
+std::vector<FastqRecord> readFastqFile(const std::string &path);
+
+/** Write FASTQ records. */
+void writeFastq(std::ostream &out, const std::vector<FastqRecord> &records);
+
+} // namespace gmx::seq
+
+#endif // GMX_SEQUENCE_FASTA_HH

@@ -1,0 +1,60 @@
+#include "sequence/generator.hh"
+
+#include "common/logging.hh"
+
+namespace gmx::seq {
+
+Sequence
+Generator::random(size_t length)
+{
+    std::vector<u8> codes(length);
+    for (auto &c : codes)
+        c = static_cast<u8>(prng_.below(kDnaSymbols));
+    return Sequence(codes);
+}
+
+Sequence
+Generator::mutate(const Sequence &original, double error_rate,
+                  const ErrorProfile &profile)
+{
+    GMX_ASSERT(error_rate >= 0.0 && error_rate <= 1.0);
+    const double total =
+        profile.substitution + profile.insertion + profile.deletion;
+    GMX_ASSERT(total > 0.0);
+    const double p_sub = profile.substitution / total;
+    const double p_ins = profile.insertion / total;
+
+    std::vector<u8> out;
+    out.reserve(original.size() + original.size() / 8 + 16);
+    for (size_t i = 0; i < original.size(); ++i) {
+        const u8 base = original.code(i);
+        if (!prng_.chance(error_rate)) {
+            out.push_back(base);
+            continue;
+        }
+        const double kind = prng_.uniform();
+        if (kind < p_sub) {
+            // substitution: pick one of the three other bases
+            const u8 shift = static_cast<u8>(1 + prng_.below(3));
+            out.push_back(static_cast<u8>((base + shift) & 3));
+        } else if (kind < p_sub + p_ins) {
+            // insertion: emit a random base, then the original
+            out.push_back(static_cast<u8>(prng_.below(kDnaSymbols)));
+            out.push_back(base);
+        } else {
+            // deletion: drop the original base
+        }
+    }
+    return Sequence(out);
+}
+
+SequencePair
+Generator::pair(size_t length, double error_rate, const ErrorProfile &profile)
+{
+    SequencePair p;
+    p.text = random(length);
+    p.pattern = mutate(p.text, error_rate, profile);
+    return p;
+}
+
+} // namespace gmx::seq

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Random sequence generation and error injection.
+ *
+ * The paper's evaluation workloads (§7.1) are synthetic, generated with the
+ * methodology of the WFA paper [73]: draw a random text, then derive the
+ * pattern by applying substitutions, insertions, and deletions at a target
+ * error rate. We reproduce that methodology here.
+ */
+
+#ifndef GMX_SEQUENCE_GENERATOR_HH
+#define GMX_SEQUENCE_GENERATOR_HH
+
+#include "common/prng.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::seq {
+
+/** Relative frequency of each error class when mutating a sequence. */
+struct ErrorProfile
+{
+    double substitution = 1.0 / 3.0;
+    double insertion = 1.0 / 3.0;
+    double deletion = 1.0 / 3.0;
+};
+
+/** Generator of random sequences and mutated pairs. */
+class Generator
+{
+  public:
+    explicit Generator(u64 seed) : prng_(seed) {}
+
+    /** Uniform random DNA sequence of @p length bases. */
+    Sequence random(size_t length);
+
+    /**
+     * Mutate @p original at @p error_rate: each position independently
+     * suffers an error with probability error_rate, split between
+     * substitution/insertion/deletion per @p profile. Substitutions always
+     * change the base (never silently resample the same one).
+     */
+    Sequence mutate(const Sequence &original, double error_rate,
+                    const ErrorProfile &profile = ErrorProfile());
+
+    /**
+     * A pattern/text pair: text is random of @p length, pattern is the
+     * mutated copy (so the expected edit distance is ~error_rate * length).
+     */
+    SequencePair pair(size_t length, double error_rate,
+                      const ErrorProfile &profile = ErrorProfile());
+
+    Prng &prng() { return prng_; }
+
+  private:
+    Prng prng_;
+};
+
+} // namespace gmx::seq
+
+#endif // GMX_SEQUENCE_GENERATOR_HH

@@ -1,0 +1,45 @@
+#include "sequence/sequence.hh"
+
+#include <algorithm>
+
+namespace gmx::seq {
+
+Sequence::Sequence(std::string ascii)
+    : ascii_(std::move(ascii))
+{
+    codes_.reserve(ascii_.size());
+    for (auto &c : ascii_) {
+        const u8 code = encodeBase(c);
+        c = decodeBase(code); // normalize case and non-ACGT bytes
+        codes_.push_back(code);
+    }
+}
+
+Sequence::Sequence(const std::vector<u8> &codes)
+{
+    ascii_.reserve(codes.size());
+    codes_.reserve(codes.size());
+    for (u8 code : codes) {
+        ascii_.push_back(decodeBase(code));
+        codes_.push_back(static_cast<u8>(code & 3));
+    }
+}
+
+Sequence
+Sequence::substr(size_t pos, size_t len) const
+{
+    if (pos >= ascii_.size())
+        return Sequence();
+    return Sequence(ascii_.substr(pos, len));
+}
+
+Sequence
+Sequence::reverseComplement() const
+{
+    std::vector<u8> rc(codes_.size());
+    for (size_t i = 0; i < codes_.size(); ++i)
+        rc[codes_.size() - 1 - i] = complementCode(codes_[i]);
+    return Sequence(rc);
+}
+
+} // namespace gmx::seq

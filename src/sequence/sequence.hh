@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DNA sequence container.
+ *
+ * Stores the sequence both as ASCII (for character-compare kernels like
+ * GMX-Tile, which needs no preprocessing) and as 2-bit codes (for kernels
+ * that build eq-vectors, like BPM and Bitap). The duplication is deliberate:
+ * it mirrors the paper's point that GMX removes the preprocessing step the
+ * other algorithms require.
+ */
+
+#ifndef GMX_SEQUENCE_SEQUENCE_HH
+#define GMX_SEQUENCE_SEQUENCE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+#include "sequence/alphabet.hh"
+
+namespace gmx::seq {
+
+/** Immutable DNA sequence with ASCII and 2-bit-coded views. */
+class Sequence
+{
+  public:
+    Sequence() = default;
+
+    /** Build from ASCII; non-ACGT characters are normalized to 'A'. */
+    explicit Sequence(std::string ascii);
+
+    /** Build from 2-bit codes. */
+    explicit Sequence(const std::vector<u8> &codes);
+
+    size_t size() const { return ascii_.size(); }
+    bool empty() const { return ascii_.empty(); }
+
+    /** ASCII view (uppercase ACGT). */
+    const std::string &str() const { return ascii_; }
+    char at(size_t i) const { return ascii_[i]; }
+
+    /** 2-bit code view. */
+    const std::vector<u8> &codes() const { return codes_; }
+    u8 code(size_t i) const { return codes_[i]; }
+
+    /** Substring [pos, pos+len), clamped to the sequence end. */
+    Sequence substr(size_t pos, size_t len) const;
+
+    /** Reverse complement. */
+    Sequence reverseComplement() const;
+
+    bool operator==(const Sequence &o) const { return ascii_ == o.ascii_; }
+
+  private:
+    std::string ascii_;
+    std::vector<u8> codes_;
+};
+
+/** A pattern/text pair to align, as produced by the dataset generators. */
+struct SequencePair
+{
+    Sequence pattern; //!< query (rows of the DP-matrix, length n)
+    Sequence text;    //!< target (columns of the DP-matrix, length m)
+};
+
+} // namespace gmx::seq
+
+#endif // GMX_SEQUENCE_SEQUENCE_HH

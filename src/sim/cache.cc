@@ -1,0 +1,128 @@
+#include "sim/cache.hh"
+
+namespace gmx::sim {
+
+namespace {
+
+bool
+isPow2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(size_t size_bytes, unsigned assoc, unsigned line_bytes)
+    : assoc_(assoc), line_(line_bytes)
+{
+    if (size_bytes == 0 || assoc == 0 || line_bytes == 0)
+        GMX_FATAL("cache: zero size/assoc/line");
+    if (size_bytes % (static_cast<size_t>(assoc) * line_bytes) != 0)
+        GMX_FATAL("cache: size must be a multiple of assoc * line");
+    sets_ = size_bytes / (static_cast<size_t>(assoc) * line_bytes);
+    if (!isPow2(sets_) || !isPow2(line_bytes))
+        GMX_FATAL("cache: sets and line size must be powers of two");
+    lines_.resize(sets_ * assoc_);
+}
+
+bool
+Cache::access(u64 addr, bool write)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const u64 line_addr = addr / line_;
+    const size_t set = static_cast<size_t>(line_addr) & (sets_ - 1);
+    const u64 tag = line_addr / sets_;
+    Line *ways = &lines_[set * assoc_];
+
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ++stats_.hits;
+            ways[w].lru = tick_;
+            ways[w].dirty = ways[w].dirty || write;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    // Victim: invalid way first, else LRU.
+    unsigned victim = 0;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!ways[w].valid) {
+            victim = w;
+            break;
+        }
+        if (ways[w].lru < ways[victim].lru)
+            victim = w;
+    }
+    if (ways[victim].valid && ways[victim].dirty)
+        ++stats_.writebacks;
+    ways[victim] = {tag, true, write, tick_};
+    return false;
+}
+
+bool
+Cache::probe(u64 addr) const
+{
+    const u64 line_addr = addr / line_;
+    const size_t set = static_cast<size_t>(line_addr) & (sets_ - 1);
+    const u64 tag = line_addr / sets_;
+    const Line *ways = &lines_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line();
+    stats_ = CacheStats();
+    tick_ = 0;
+}
+
+MemHierarchy::MemHierarchy(const MemSystemConfig &cfg)
+    : cfg_(cfg),
+      l1_(cfg.l1.size_bytes, cfg.l1.assoc, cfg.line_bytes),
+      has_l2_(cfg.l2.size_bytes > 0),
+      l2_(has_l2_ ? cfg.l2.size_bytes : cfg.line_bytes * 16,
+          has_l2_ ? cfg.l2.assoc : 1, cfg.line_bytes),
+      llc_(cfg.llc.size_bytes, cfg.llc.assoc, cfg.line_bytes)
+{
+}
+
+unsigned
+MemHierarchy::access(u64 addr, unsigned size, bool write)
+{
+    unsigned worst = 0;
+    const u64 first_line = addr / cfg_.line_bytes;
+    const u64 last_line = (addr + (size ? size - 1 : 0)) / cfg_.line_bytes;
+    for (u64 line = first_line; line <= last_line; ++line) {
+        const u64 a = line * cfg_.line_bytes;
+        unsigned latency = cfg_.l1.latency_cycles;
+        if (!l1_.access(a, write)) {
+            if (has_l2_) {
+                latency = cfg_.l2.latency_cycles;
+                if (!l2_.access(a, write)) {
+                    latency = cfg_.llc.latency_cycles;
+                    if (!llc_.access(a, write)) {
+                        latency = cfg_.dram_latency_cycles;
+                        dram_bytes_ += cfg_.line_bytes;
+                    }
+                }
+            } else {
+                latency = cfg_.llc.latency_cycles;
+                if (!llc_.access(a, write)) {
+                    latency = cfg_.dram_latency_cycles;
+                    dram_bytes_ += cfg_.line_bytes;
+                }
+            }
+        }
+        worst = std::max(worst, latency);
+    }
+    return worst;
+}
+
+} // namespace gmx::sim

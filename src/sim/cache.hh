@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative cache simulator.
+ *
+ * This is the trace-driven half of the memory substrate: a real LRU
+ * write-back cache and a composable hierarchy. It is used by the tests
+ * to validate the analytic classification in memmodel.hh on concrete
+ * address streams, and is available to drive small instrumented kernels
+ * directly.
+ */
+
+#ifndef GMX_SIM_CACHE_HH
+#define GMX_SIM_CACHE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/config.hh"
+
+namespace gmx::sim {
+
+/** Hit/miss statistics of one cache. */
+struct CacheStats
+{
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** One set-associative LRU write-back cache. */
+class Cache
+{
+  public:
+    Cache(size_t size_bytes, unsigned assoc, unsigned line_bytes);
+
+    /**
+     * Access one line. Returns true on hit. On miss the line is filled
+     * (allocate-on-miss for both reads and writes); an evicted dirty
+     * line increments writebacks.
+     */
+    bool access(u64 addr, bool write);
+
+    /** True if the line is currently resident (no state change). */
+    bool probe(u64 addr) const;
+
+    void reset();
+
+    const CacheStats &stats() const { return stats_; }
+    size_t sizeBytes() const { return sets_ * assoc_ * line_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lru = 0; //!< last-use timestamp
+    };
+
+    size_t sets_;
+    unsigned assoc_;
+    unsigned line_;
+    u64 tick_ = 0;
+    std::vector<Line> lines_; // sets_ * assoc_
+    CacheStats stats_;
+};
+
+/**
+ * A hierarchy of up to three cache levels over DRAM, following a
+ * MemSystemConfig. access() walks the levels and returns the latency in
+ * cycles; DRAM traffic is accumulated in bytes for bandwidth analysis.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemSystemConfig &cfg);
+
+    /** Access @p size bytes starting at @p addr; returns load-to-use
+     * latency in cycles (stores return the same cost model). */
+    unsigned access(u64 addr, unsigned size, bool write);
+
+    const CacheStats &l1Stats() const { return l1_.stats(); }
+    const CacheStats *l2Stats() const
+    {
+        return has_l2_ ? &l2_.stats() : nullptr;
+    }
+    const CacheStats &llcStats() const { return llc_.stats(); }
+    u64 dramBytes() const { return dram_bytes_; }
+    const MemSystemConfig &config() const { return cfg_; }
+
+  private:
+    MemSystemConfig cfg_;
+    Cache l1_;
+    bool has_l2_;
+    Cache l2_;
+    Cache llc_;
+    u64 dram_bytes_ = 0;
+};
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_CACHE_HH

@@ -1,0 +1,73 @@
+#include "sim/config.hh"
+
+namespace gmx::sim {
+
+MemSystemConfig
+MemSystemConfig::gem5Like()
+{
+    MemSystemConfig cfg;
+    cfg.name = "gem5-like";
+    cfg.l1 = {64 * 1024, 8, 3};
+    cfg.l2 = {1024 * 1024, 8, 14};
+    cfg.llc = {1024 * 1024, 16, 38};
+    cfg.dram_latency_cycles = 160;
+    cfg.dram_bw_gbps = 47.8;
+    return cfg;
+}
+
+MemSystemConfig
+MemSystemConfig::rtlLike()
+{
+    MemSystemConfig cfg;
+    cfg.name = "rtl-inorder-soc";
+    cfg.l1 = {32 * 1024, 4, 3};
+    cfg.l2 = {0, 0, 0}; // no private L2 on the edge SoC
+    cfg.llc = {512 * 1024, 8, 18};
+    cfg.dram_latency_cycles = 180;
+    // Single narrow low-power LPDDR channel on the 1 GB edge SoC.
+    cfg.dram_bw_gbps = 4.0;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::gem5InOrder()
+{
+    CoreConfig cfg;
+    cfg.name = "gem5-InOrder";
+    cfg.clock_ghz = 2.0;
+    cfg.issue_width = 1.0;
+    cfg.mem_overlap = 1.5; // a handful of MSHRs hide some miss latency
+    cfg.stream_overlap = 4.0;
+    cfg.load_use_penalty = 1.0; // single-issue pipeline exposes load-use
+    cfg.in_order = true;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::gem5OutOfOrder()
+{
+    CoreConfig cfg;
+    cfg.name = "gem5-OoO";
+    cfg.clock_ghz = 2.0;
+    cfg.issue_width = 5.0; // sustained IPC of an 8-wide V1-class core
+    cfg.mem_overlap = 8.0;
+    cfg.stream_overlap = 24.0; // deep MSHRs + stride prefetchers
+    cfg.in_order = false;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::rtlInOrder()
+{
+    CoreConfig cfg;
+    cfg.name = "RTL-InOrder";
+    cfg.clock_ghz = 1.0;
+    cfg.issue_width = 1.0;
+    cfg.mem_overlap = 1.3;
+    cfg.stream_overlap = 3.0; // 16 misses in flight (Table 1), no prefetch
+    cfg.load_use_penalty = 1.0;
+    cfg.in_order = true;
+    return cfg;
+}
+
+} // namespace gmx::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * System configurations for the cycle-level performance model, mirroring
+ * the paper's two evaluation platforms (§7.1):
+ *
+ *  - gem5-like: private 64 KB L1 + 1 MB L2, 1 MB LLC per core, DDR4 at
+ *    47.8 GB/s (two controllers), used by Figs. 10-12;
+ *  - RTL-like:  the Sargantana SoC of Table 1 (32 KB L1d, 512 KB LLC),
+ *    used by Figs. 14-15.
+ */
+
+#ifndef GMX_SIM_CONFIG_HH
+#define GMX_SIM_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace gmx::sim {
+
+/** One cache level. */
+struct CacheLevelConfig
+{
+    size_t size_bytes = 0;
+    unsigned assoc = 8;
+    unsigned latency_cycles = 3; //!< load-to-use on a hit at this level
+};
+
+/** Memory-system configuration. */
+struct MemSystemConfig
+{
+    std::string name;
+    unsigned line_bytes = 64;
+    CacheLevelConfig l1;
+    CacheLevelConfig l2;  //!< size 0 disables the level
+    CacheLevelConfig llc;
+    unsigned dram_latency_cycles = 160;
+    double dram_bw_gbps = 47.8; //!< peak DDR4 bandwidth (paper §7.1)
+
+    /** gem5 evaluation platform (Figs. 10-12). */
+    static MemSystemConfig gem5Like();
+
+    /** Table 1 RTL SoC (Figs. 14-15). */
+    static MemSystemConfig rtlLike();
+};
+
+/** Core timing configuration. */
+struct CoreConfig
+{
+    std::string name;
+    double clock_ghz = 1.0;
+    double issue_width = 1.0;     //!< sustained non-memory IPC ceiling
+    double mem_overlap = 1.2;     //!< concurrent outstanding misses (MLP)
+    double stream_overlap = 4.0;  //!< MLP on sequential (prefetchable) DRAM
+                                  //!< streams
+    double load_use_penalty = 0;  //!< exposed L1 load-to-use cycles per
+                                  //!< load (in-order pipelines)
+    unsigned gmx_ac_latency = 2;  //!< gmx.v / gmx.h latency (paper §7)
+    unsigned gmx_tb_latency = 6;  //!< gmx.tb latency
+    bool in_order = true;
+
+    /** gem5-InOrder: single-issue, few MSHRs. */
+    static CoreConfig gem5InOrder();
+
+    /** gem5-OoO: 8-wide Neoverse-V1-like with deep MLP. */
+    static CoreConfig gem5OutOfOrder();
+
+    /** RTL-InOrder: the Sargantana core of Table 1. */
+    static CoreConfig rtlInOrder();
+};
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_CONFIG_HH

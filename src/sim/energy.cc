@@ -1,0 +1,34 @@
+#include "sim/energy.hh"
+
+namespace gmx::sim {
+
+EnergyResult
+energyPerAlignment(const KernelProfile &profile, const MemSystemConfig &mem,
+                   const EnergyConfig &cfg)
+{
+    EnergyResult r;
+    const auto &c = profile.counts;
+
+    const double scalar =
+        static_cast<double>(c.alu + c.loads + c.stores + c.csr);
+    const double mem_ops = static_cast<double>(c.loads + c.stores);
+    r.core_nj =
+        (scalar * cfg.scalar_instr_pj + mem_ops * cfg.load_store_extra_pj) *
+        1e-3;
+
+    r.gmx_nj = (static_cast<double>(c.gmx_ac) * cfg.gmx_ac_pj +
+                static_cast<double>(c.gmx_tb) * cfg.gmx_tb_pj) *
+               1e-3;
+
+    const MemBreakdown bd = classifyTraffic(profile, mem);
+    const double line = mem.line_bytes;
+    r.memory_nj = (bd.l2_lines * line * cfg.l2_byte_pj +
+                   bd.llc_lines * line * cfg.llc_byte_pj +
+                   bd.dram_bytes * cfg.dram_byte_pj) *
+                  1e-3;
+
+    r.total_nj = r.core_nj + r.gmx_nj + r.memory_nj;
+    return r;
+}
+
+} // namespace gmx::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Energy model for alignment kernels.
+ *
+ * The paper's efficiency argument (§3.1, §7.3) is that GMX spends its
+ * energy in a tiny dedicated datapath instead of general-purpose
+ * instruction processing and DRAM traffic. This model prices a
+ * KernelProfile in nanojoules: per-instruction core energy (fetch +
+ * decode + execute of a RISC-V-class in-order core in 22nm), per-op GMX
+ * unit energy (from the asic power model: power / throughput), and
+ * per-byte memory energy at each hierarchy level.
+ */
+
+#ifndef GMX_SIM_ENERGY_HH
+#define GMX_SIM_ENERGY_HH
+
+#include "sim/perf.hh"
+
+namespace gmx::sim {
+
+/** 22nm-class energy constants (picojoules). */
+struct EnergyConfig
+{
+    double scalar_instr_pj = 18.0; //!< fetch+decode+execute, in-order core
+    double load_store_extra_pj = 7.0; //!< L1 access on top of the base
+    double gmx_ac_pj = 8.0;  //!< one gmx.v/gmx.h (GMX-AC active energy)
+    double gmx_tb_pj = 25.0; //!< one gmx.tb (recompute + walk)
+    double l2_byte_pj = 0.4;
+    double llc_byte_pj = 0.9;
+    double dram_byte_pj = 20.0;
+};
+
+/** Energy breakdown of one alignment. */
+struct EnergyResult
+{
+    double core_nj = 0;   //!< scalar instruction processing
+    double gmx_nj = 0;    //!< GMX unit activity
+    double memory_nj = 0; //!< on-chip + DRAM traffic beyond L1
+    double total_nj = 0;
+};
+
+/** Price @p profile under @p mem classification and @p cfg constants. */
+EnergyResult energyPerAlignment(const KernelProfile &profile,
+                                const MemSystemConfig &mem,
+                                const EnergyConfig &cfg = EnergyConfig());
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_ENERGY_HH

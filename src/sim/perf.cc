@@ -1,0 +1,119 @@
+#include "sim/perf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gmx::sim {
+
+MemBreakdown
+classifyTraffic(const KernelProfile &profile, const MemSystemConfig &mem)
+{
+    MemBreakdown bd;
+    const double line = static_cast<double>(mem.line_bytes);
+    for (const auto &s : profile.structures) {
+        if (s.sweeps <= 0 || s.bytes <= 0)
+            continue;
+        const double lines_per_sweep = std::ceil(s.bytes / line);
+        const double fetches = lines_per_sweep * s.sweeps;
+        if (s.bytes <= static_cast<double>(mem.l1.size_bytes)) {
+            // L1-resident: only cold misses, negligible for the model.
+            continue;
+        }
+        if (mem.l2.size_bytes > 0 &&
+            s.bytes <= static_cast<double>(mem.l2.size_bytes)) {
+            bd.l2_lines += fetches;
+        } else if (s.bytes <= static_cast<double>(mem.llc.size_bytes)) {
+            bd.llc_lines += fetches;
+        } else {
+            bd.dram_lines += fetches;
+            // Reads plus dirty writebacks of written structures.
+            bd.dram_bytes += fetches * line * (s.written ? 2.0 : 1.0);
+        }
+    }
+    return bd;
+}
+
+PerfResult
+evaluate(const KernelProfile &profile, const CoreConfig &core,
+         const MemSystemConfig &mem)
+{
+    PerfResult r;
+    const auto &c = profile.counts;
+    const double scalar = static_cast<double>(c.alu + c.loads + c.stores +
+                                              c.csr);
+    const double ac = static_cast<double>(c.gmx_ac);
+    const double tb = static_cast<double>(c.gmx_tb);
+
+    if (core.in_order) {
+        r.compute_cycles = scalar +
+                           static_cast<double>(c.loads) *
+                               core.load_use_penalty +
+                           ac * core.gmx_ac_latency +
+                           tb * core.gmx_tb_latency;
+    } else {
+        // Scalar work retires at issue_width; the GMX unit is pipelined
+        // at II=1 and overlaps with scalar work; serial gmx.tb chains
+        // remain exposed.
+        r.compute_cycles = std::max(scalar / core.issue_width, ac) +
+                           tb * core.gmx_tb_latency;
+    }
+
+    r.mem = classifyTraffic(profile, mem);
+    const double l2_lat = mem.l2.size_bytes ? mem.l2.latency_cycles
+                                            : mem.llc.latency_cycles;
+    // On-chip misses overlap per the core's MLP; DRAM traffic from the
+    // profiles' structures is sequential (sweeps), so it additionally
+    // benefits from prefetch-style streaming overlap.
+    r.stall_cycles = (r.mem.l2_lines * l2_lat +
+                      r.mem.llc_lines * mem.llc.latency_cycles) /
+                         core.mem_overlap +
+                     r.mem.dram_lines * mem.dram_latency_cycles /
+                         std::max(core.mem_overlap, core.stream_overlap);
+
+    r.cycles = r.compute_cycles + r.stall_cycles;
+    const double hz = core.clock_ghz * 1e9;
+    r.seconds = r.cycles / hz;
+
+    // Bandwidth lower bound for DRAM-resident streaming.
+    if (r.mem.dram_bytes > 0) {
+        const double bw_seconds =
+            r.mem.dram_bytes / (mem.dram_bw_gbps * 1e9);
+        r.seconds = std::max(r.seconds, bw_seconds);
+    }
+    r.alignments_per_second = 1.0 / r.seconds;
+    r.dram_gbps = r.mem.dram_bytes / r.seconds / 1e9;
+    return r;
+}
+
+MulticoreResult
+evaluateMulticore(const KernelProfile &profile, const CoreConfig &core,
+                  const MemSystemConfig &mem,
+                  const std::vector<unsigned> &nthreads)
+{
+    MulticoreResult res;
+    const PerfResult single = evaluate(profile, core, mem);
+    for (unsigned n : nthreads) {
+        GMX_ASSERT(n >= 1);
+        const double demand = single.dram_gbps * n;
+        // Time dilation when the aggregate demand exceeds the peak, plus
+        // a small queueing penalty as the controllers saturate.
+        const double util = demand / mem.dram_bw_gbps;
+        double dilation = 1.0;
+        if (util > 1.0)
+            dilation = util + 0.25; // saturated: demand-proportional
+        else if (util > 0.5)
+            dilation = 1.0 + 0.25 * (2.0 * (util - 0.5)) * (2.0 * (util - 0.5));
+        const double per_thread_time = single.seconds * dilation;
+        const double throughput = static_cast<double>(n) / per_thread_time;
+        res.threads.push_back(n);
+        res.alignments_per_second.push_back(throughput);
+        res.aggregate_gbps.push_back(
+            std::min(demand, mem.dram_bw_gbps));
+        res.speedup.push_back(throughput * single.seconds);
+    }
+    return res;
+}
+
+} // namespace gmx::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The performance evaluator: turns a KernelProfile into cycles, seconds,
+ * and memory traffic under a core + memory-system configuration, and
+ * models multicore scaling under shared-DRAM bandwidth contention
+ * (paper Figs. 10-12, 14).
+ *
+ * Model summary (first-order, documented in DESIGN.md §4):
+ *  - compute cycles: in-order cores retire one scalar instruction per
+ *    cycle and expose the full gmx.v/gmx.h/gmx.tb latency (dependent tile
+ *    chains); OoO cores sustain issue_width scalar IPC and pipeline the
+ *    GMX unit at II=1, leaving only gmx.tb's serial latency exposed;
+ *  - memory stalls: each data structure is classified by footprint into
+ *    its smallest containing level; every sweep refetches it from that
+ *    level, and the per-line latencies (divided by the core's memory
+ *    overlap factor) accumulate as stall cycles;
+ *  - bandwidth: DRAM-resident traffic (reads + dirty writebacks) imposes
+ *    a lower bound of bytes / peak-bandwidth on execution time; on a
+ *    multicore, aggregate demand beyond the peak dilates execution time
+ *    proportionally.
+ */
+
+#ifndef GMX_SIM_PERF_HH
+#define GMX_SIM_PERF_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/profile.hh"
+
+namespace gmx::sim {
+
+/** Per-level classification of a profile's memory traffic. */
+struct MemBreakdown
+{
+    double l2_lines = 0;   //!< line fetches served by L2
+    double llc_lines = 0;  //!< line fetches served by LLC
+    double dram_lines = 0; //!< line fetches served by DRAM
+    double dram_bytes = 0; //!< DRAM read + writeback traffic in bytes
+};
+
+/** Classify the profile's structures against a memory system. */
+MemBreakdown classifyTraffic(const KernelProfile &profile,
+                             const MemSystemConfig &mem);
+
+/** Single-core evaluation result (per alignment). */
+struct PerfResult
+{
+    double compute_cycles = 0;
+    double stall_cycles = 0;
+    double cycles = 0;       //!< compute + stalls
+    double seconds = 0;      //!< after the bandwidth lower bound
+    double alignments_per_second = 0;
+    double dram_gbps = 0;    //!< DRAM bandwidth this kernel demands
+    MemBreakdown mem;
+};
+
+/** Evaluate one alignment profile on one core. */
+PerfResult evaluate(const KernelProfile &profile, const CoreConfig &core,
+                    const MemSystemConfig &mem);
+
+/** Multicore (inter-sequence parallelism) scaling result. */
+struct MulticoreResult
+{
+    std::vector<unsigned> threads;
+    std::vector<double> speedup;           //!< vs single thread
+    std::vector<double> aggregate_gbps;    //!< DRAM demand (capped at peak)
+    std::vector<double> alignments_per_second;
+};
+
+/**
+ * Evaluate @p profile on @p nthreads cores sharing the DRAM controllers.
+ * Each thread aligns independent pairs (the paper's inter-sequence
+ * strategy).
+ */
+MulticoreResult evaluateMulticore(const KernelProfile &profile,
+                                  const CoreConfig &core,
+                                  const MemSystemConfig &mem,
+                                  const std::vector<unsigned> &nthreads);
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_PERF_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Kernel profiles: the bridge between the aligners and the performance
+ * model.
+ *
+ * A KernelProfile describes one alignment execution: its exact dynamic
+ * instruction counts (measured by running the instrumented aligner) and
+ * its memory data structures (name, footprint, sequential sweeps, and
+ * whether they are written). The per-algorithm builders encode the data
+ * structures each implementation actually allocates — e.g. Full(BPM)'s
+ * 4*n*m-bit column history or Full(GMX)'s (n*m)/T tile-edge matrix — and
+ * are the model's account of the paper's §3.1/§4.2 footprint analysis.
+ */
+
+#ifndef GMX_SIM_PROFILE_HH
+#define GMX_SIM_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "align/bpm.hh"
+
+namespace gmx::sim {
+
+/** One memory data structure of a kernel. */
+struct DataStructure
+{
+    std::string name;
+    double bytes = 0;   //!< resident footprint
+    double sweeps = 1;  //!< full sequential passes over the structure
+    bool written = true; //!< dirty data writes back on eviction
+};
+
+/** A complete profile of one alignment execution. */
+struct KernelProfile
+{
+    std::string name;
+    align::KernelCounts counts; //!< measured dynamic instruction counts
+    std::vector<DataStructure> structures;
+
+    /** Total resident footprint in bytes. */
+    double footprintBytes() const;
+};
+
+/** Full(DP): analytic counts (5 ops/cell) + byte direction matrix. */
+KernelProfile fullDpProfile(size_t n, size_t m);
+
+/** Windowed(DP): NW windows, O(W^2) working set. */
+KernelProfile windowedDpProfile(size_t n, size_t m, size_t window,
+                                size_t overlap,
+                                const align::KernelCounts &measured);
+
+/** Full(BPM): measured counts + the 4*n*m-bit Pv/Mv column history. */
+KernelProfile fullBpmProfile(size_t n, size_t m,
+                             const align::KernelCounts &measured);
+
+/** Banded(Edlib): measured counts + the m x B band history. */
+KernelProfile bandedEdlibProfile(size_t n, size_t m, i64 k,
+                                 const align::KernelCounts &measured);
+
+/** Windowed(GenASM-CPU): measured counts + per-window Bitap state. */
+KernelProfile windowedGenasmProfile(size_t n, size_t m, size_t window,
+                                    i64 k_window,
+                                    const align::KernelCounts &measured);
+
+/** Full(GMX): measured counts + the tile-edge matrix (paper §4). */
+KernelProfile fullGmxProfile(size_t n, size_t m, unsigned t,
+                             const align::KernelCounts &measured);
+
+/** Banded(GMX): measured counts + the banded tile-edge storage. */
+KernelProfile bandedGmxProfile(size_t n, size_t m, i64 k, unsigned t,
+                               const align::KernelCounts &measured);
+
+/** Windowed(GMX): measured counts + register-resident window state. */
+KernelProfile windowedGmxProfile(size_t n, size_t m, size_t window,
+                                 unsigned t,
+                                 const align::KernelCounts &measured);
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_PROFILE_HH

@@ -1,0 +1,74 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gmx::sim {
+
+TraceReplayResult
+replayProfile(const KernelProfile &profile, const MemSystemConfig &mem)
+{
+    MemHierarchy hier(mem);
+    const u64 line = mem.line_bytes;
+
+    // Assign each structure a disjoint, line-aligned region.
+    struct Stream
+    {
+        u64 base = 0;
+        u64 lines = 0;       //!< lines per sweep
+        double sweeps = 0;
+        bool written = false;
+        u64 total_lines = 0; //!< lines * sweeps (rounded)
+        u64 issued = 0;      //!< lines already replayed
+    };
+    std::vector<Stream> streams;
+    u64 next_base = 1ull << 20; // leave page zero unused
+    for (const auto &s : profile.structures) {
+        if (s.bytes <= 0)
+            continue;
+        Stream st;
+        st.base = next_base;
+        st.lines = static_cast<u64>(std::ceil(s.bytes / line));
+        st.sweeps = std::max(s.sweeps, 1.0); // zero-sweep: touch once
+        st.written = s.written;
+        st.total_lines = static_cast<u64>(
+            std::ceil(static_cast<double>(st.lines) * st.sweeps));
+        next_base += (st.lines + 16) * line;
+        streams.push_back(st);
+    }
+
+    // Proportional interleave: each round issues a slice of every stream
+    // sized by its share of the total traffic, approximating concurrent
+    // sweeps of unequal-length structures.
+    u64 max_total = 0;
+    for (const auto &st : streams)
+        max_total = std::max(max_total, st.total_lines);
+    const u64 rounds = std::max<u64>(1, max_total / 256);
+
+    for (u64 round = 0; round < rounds; ++round) {
+        for (auto &st : streams) {
+            const u64 goal = static_cast<u64>(
+                static_cast<double>(st.total_lines) * (round + 1) /
+                rounds);
+            while (st.issued < goal) {
+                const u64 line_index = st.issued % st.lines;
+                hier.access(st.base + line_index * line, 8, st.written);
+                ++st.issued;
+            }
+        }
+    }
+
+    TraceReplayResult res;
+    res.l1 = hier.l1Stats();
+    if (hier.l2Stats()) {
+        res.l2 = *hier.l2Stats();
+        res.has_l2 = true;
+    }
+    res.llc = hier.llcStats();
+    res.dram_bytes = hier.dramBytes();
+    return res;
+}
+
+} // namespace gmx::sim

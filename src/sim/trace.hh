@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace replay: validate the analytic traffic classifier against the
+ * real cache simulator.
+ *
+ * Each data structure of a KernelProfile is assigned a disjoint address
+ * region and swept sequentially (sweeps times, proportionally
+ * interleaved with the other structures, approximating the kernels'
+ * concurrent access). The stream runs through the MemHierarchy, and the
+ * resulting per-level traffic is compared with classifyTraffic's
+ * prediction — the validation the DESIGN.md model section promises.
+ */
+
+#ifndef GMX_SIM_TRACE_HH
+#define GMX_SIM_TRACE_HH
+
+#include "sim/cache.hh"
+#include "sim/perf.hh"
+
+namespace gmx::sim {
+
+/** Aggregate traffic observed by replaying a profile. */
+struct TraceReplayResult
+{
+    CacheStats l1;
+    CacheStats l2;      //!< zeroed when the configuration has no L2
+    bool has_l2 = false;
+    CacheStats llc;
+    u64 dram_bytes = 0; //!< line fills from DRAM (no writebacks)
+
+    /** Misses that had to be served by DRAM. */
+    u64 dramLines(const MemSystemConfig &cfg) const
+    {
+        return dram_bytes / cfg.line_bytes;
+    }
+};
+
+/**
+ * Replay @p profile's structures through a fresh hierarchy configured by
+ * @p mem. Structures with zero sweeps are touched once (warm residency)
+ * but not re-swept. Address streams are line-granular.
+ */
+TraceReplayResult replayProfile(const KernelProfile &profile,
+                                const MemSystemConfig &mem);
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_TRACE_HH

@@ -1,0 +1,161 @@
+#include "sim/workloads.hh"
+
+#include <algorithm>
+
+#include "align/bitap.hh"
+#include "align/bpm.hh"
+#include "align/bpm_banded.hh"
+#include "align/nw.hh"
+#include "align/windowed.hh"
+#include "common/logging.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+#include "gmx/windowed.hh"
+
+namespace gmx::sim {
+
+std::string
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::FullDp: return "Full(DP)";
+      case Algo::FullBpm: return "Full(BPM)";
+      case Algo::BandedEdlib: return "Banded(Edlib)";
+      case Algo::WindowedGenasm: return "Windowed(GenASM-CPU)";
+      case Algo::FullGmx: return "Full(GMX)";
+      case Algo::BandedGmx: return "Banded(GMX)";
+      case Algo::WindowedGmx: return "Windowed(GMX)";
+    }
+    GMX_PANIC("invalid Algo");
+}
+
+bool
+isGmxAlgo(Algo algo)
+{
+    return algo == Algo::FullGmx || algo == Algo::BandedGmx ||
+           algo == Algo::WindowedGmx;
+}
+
+namespace {
+
+/** Scale every count by 1/samples to produce a per-alignment average. */
+align::KernelCounts
+averageCounts(const align::KernelCounts &total, size_t samples)
+{
+    align::KernelCounts avg;
+    avg.cells = total.cells / samples;
+    avg.alu = total.alu / samples;
+    avg.loads = total.loads / samples;
+    avg.stores = total.stores / samples;
+    avg.gmx_ac = total.gmx_ac / samples;
+    avg.gmx_tb = total.gmx_tb / samples;
+    avg.csr = total.csr / samples;
+    return avg;
+}
+
+} // namespace
+
+KernelProfile
+profileForDataset(Algo algo, const seq::Dataset &dataset,
+                  const WorkloadOptions &opts)
+{
+    GMX_ASSERT(!dataset.pairs.empty());
+    const size_t samples = std::min(opts.samples, dataset.pairs.size());
+    const size_t n = dataset.pairs[0].pattern.size();
+    const size_t m = dataset.pairs[0].text.size();
+
+    if (algo == Algo::FullDp) {
+        // Analytic: the classical kernel's counts are loop constants.
+        return fullDpProfile(n, m);
+    }
+
+    align::KernelCounts total;
+    i64 distance_sum = 0;
+    for (size_t s = 0; s < samples; ++s) {
+        const auto &pair = dataset.pairs[s];
+        switch (algo) {
+          case Algo::FullBpm: {
+            const auto res = opts.traceback
+                                 ? align::bpmAlign(pair.pattern, pair.text,
+                                                   &total)
+                                 : align::AlignResult{};
+            if (!opts.traceback)
+                distance_sum +=
+                    align::bpmDistance(pair.pattern, pair.text, &total);
+            else
+                distance_sum += res.distance;
+            break;
+          }
+          case Algo::BandedEdlib: {
+            const auto res = align::edlibAlign(pair.pattern, pair.text,
+                                               opts.traceback, 64, &total);
+            distance_sum += res.distance;
+            break;
+          }
+          case Algo::WindowedGenasm: {
+            const auto res = align::genasmCpuAlign(
+                pair.pattern, pair.text, {opts.window, opts.overlap},
+                &total);
+            distance_sum += res.distance;
+            break;
+          }
+          case Algo::FullGmx: {
+            if (opts.traceback) {
+                const auto res = core::fullGmxAlign(pair.pattern, pair.text,
+                                                    opts.tile, &total);
+                distance_sum += res.distance;
+            } else {
+                distance_sum += core::fullGmxDistance(
+                    pair.pattern, pair.text, opts.tile, &total);
+            }
+            break;
+          }
+          case Algo::BandedGmx: {
+            const auto res =
+                core::bandedGmxAuto(pair.pattern, pair.text, opts.traceback,
+                                    64, opts.tile, &total);
+            distance_sum += res.distance;
+            break;
+          }
+          case Algo::WindowedGmx: {
+            const auto res = core::windowedGmxAlign(
+                pair.pattern, pair.text, opts.tile,
+                {opts.window, opts.overlap}, &total);
+            distance_sum += res.distance;
+            break;
+          }
+          case Algo::FullDp:
+            GMX_PANIC("handled above");
+        }
+    }
+    const align::KernelCounts avg = averageCounts(total, samples);
+    const i64 avg_distance =
+        distance_sum / static_cast<i64>(samples);
+
+    switch (algo) {
+      case Algo::FullBpm:
+        return fullBpmProfile(n, m, avg);
+      case Algo::BandedEdlib:
+        return bandedEdlibProfile(n, m, std::max<i64>(avg_distance, 64),
+                                  avg);
+      case Algo::WindowedGenasm: {
+        const i64 k_window = std::min<i64>(
+            static_cast<i64>(opts.window) - 1,
+            std::max<i64>(8, static_cast<i64>(2.0 * dataset.error_rate *
+                                              opts.window)));
+        return windowedGenasmProfile(n, m, opts.window, k_window, avg);
+      }
+      case Algo::FullGmx:
+        return fullGmxProfile(n, m, opts.tile, avg);
+      case Algo::BandedGmx:
+        return bandedGmxProfile(n, m, std::max<i64>(avg_distance, 64),
+                                opts.tile, avg);
+      case Algo::WindowedGmx:
+        return windowedGmxProfile(n, m, opts.window, opts.tile, avg);
+      case Algo::FullDp:
+        break;
+    }
+    GMX_PANIC("unreachable");
+}
+
+} // namespace gmx::sim

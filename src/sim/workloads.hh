@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload runner: executes an aligner configuration over sample pairs of
+ * a dataset, collects its measured instruction counts, and builds the
+ * KernelProfile the performance model consumes. This is the glue used by
+ * every simulation-driven benchmark (Figs. 10-12, 14, 15).
+ */
+
+#ifndef GMX_SIM_WORKLOADS_HH
+#define GMX_SIM_WORKLOADS_HH
+
+#include <string>
+
+#include "sequence/dataset.hh"
+#include "sim/profile.hh"
+
+namespace gmx::sim {
+
+/** The software configurations evaluated in the paper's Figs. 10/11/14. */
+enum class Algo
+{
+    FullDp,
+    FullBpm,
+    BandedEdlib,
+    WindowedGenasm,
+    FullGmx,
+    BandedGmx,
+    WindowedGmx,
+};
+
+/** Display name matching the paper's nomenclature. */
+std::string algoName(Algo algo);
+
+/** True for the GMX-accelerated configurations. */
+bool isGmxAlgo(Algo algo);
+
+/** Options controlling the profiled runs. */
+struct WorkloadOptions
+{
+    size_t samples = 2;    //!< pairs of the dataset to actually execute
+    unsigned tile = 32;    //!< GMX tile size
+    size_t window = 96;    //!< windowed W
+    size_t overlap = 32;   //!< windowed O
+    bool traceback = true; //!< full alignment (distance+CIGAR) profiled
+};
+
+/**
+ * Execute @p algo over sample pairs of @p dataset and return the profile
+ * of one average alignment (counts averaged over the samples). The
+ * aligners themselves are differential-tested against the NW reference
+ * in the test suite; profiling runs them as-is for speed.
+ */
+KernelProfile profileForDataset(Algo algo, const seq::Dataset &dataset,
+                                const WorkloadOptions &opts =
+                                    WorkloadOptions());
+
+} // namespace gmx::sim
+
+#endif // GMX_SIM_WORKLOADS_HH

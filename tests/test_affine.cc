@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the gap-affine aligners (exact Gotoh, banded, local SW).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/affine.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+const AffinePenalties kPen = AffinePenalties::minimap2();
+
+TEST(AffineScore, HandComputedCases)
+{
+    EXPECT_EQ(affineScore(Sequence("ACGT"), Sequence("ACGT"), kPen), 8);
+    EXPECT_EQ(affineScore(Sequence("ACGT"), Sequence("AGGT"), kPen),
+              6 - 4); // 3 matches, 1 mismatch
+    // Single deletion: 4 matches minus one gap of length 1.
+    EXPECT_EQ(affineScore(Sequence("ACGT"), Sequence("ACGGT"), kPen),
+              8 - 6);
+    // Empty vs empty.
+    EXPECT_EQ(affineScore(Sequence(""), Sequence(""), kPen), 0);
+    // Pure gap: -(open + len*extend).
+    EXPECT_EQ(affineScore(Sequence(""), Sequence("ACG"), kPen), -(4 + 3 * 2));
+}
+
+TEST(AffineScore, PrefersOneLongGapOverTwoShort)
+{
+    // Affine scoring must merge gaps: aligning AAAA vs AATTAA.
+    // One 2-gap costs open+2*ext = 8; two 1-gaps would cost 12.
+    const i64 s = affineScore(Sequence("AAAA"), Sequence("AATTAA"), kPen);
+    EXPECT_EQ(s, 4 * 2 - (4 + 2 * 2));
+}
+
+TEST(AffineAlign, ScoreMatchesScoreOnly)
+{
+    for (const auto &params : test::standardGrid()) {
+        if (params.length > 300)
+            continue; // keep the O(nm) traceback matrix small
+        const auto pair = test::makePair(params);
+        const auto res = affineAlign(pair.pattern, pair.text, kPen);
+        EXPECT_EQ(res.score, affineScore(pair.pattern, pair.text, kPen))
+            << test::paramName(params);
+    }
+}
+
+TEST(AffineAlign, CigarConsistentAndRescoresToReportedScore)
+{
+    for (const auto &params : test::standardGrid()) {
+        if (params.length > 300)
+            continue;
+        const auto pair = test::makePair(params);
+        const auto res = affineAlign(pair.pattern, pair.text, kPen);
+        const auto check = verifyCigar(pair.pattern, pair.text, res.cigar);
+        ASSERT_TRUE(check.ok)
+            << test::paramName(params) << ": " << check.error;
+        EXPECT_EQ(affineScoreOfCigar(res.cigar, kPen), res.score)
+            << test::paramName(params);
+    }
+}
+
+TEST(AffineBanded, WideBandMatchesExact)
+{
+    for (const auto &params : test::standardGrid()) {
+        if (params.length > 300)
+            continue;
+        const auto pair = test::makePair(params);
+        const i64 band = static_cast<i64>(
+            std::max(pair.pattern.size(), pair.text.size()));
+        const auto banded =
+            affineAlignBanded(pair.pattern, pair.text, kPen, band);
+        const i64 exact = affineScore(pair.pattern, pair.text, kPen);
+        ASSERT_TRUE(banded.has_cigar) << test::paramName(params);
+        EXPECT_EQ(banded.score, exact) << test::paramName(params);
+        EXPECT_TRUE(verifyCigar(pair.pattern, pair.text, banded.cigar).ok);
+    }
+}
+
+TEST(AffineBanded, NarrowBandNeverBeatsExact)
+{
+    seq::Generator gen(31);
+    for (int rep = 0; rep < 8; ++rep) {
+        const auto pair = gen.pair(200, 0.1);
+        const auto banded =
+            affineAlignBanded(pair.pattern, pair.text, kPen, 8);
+        if (!banded.has_cigar)
+            continue; // band could not connect the corners
+        const i64 exact = affineScore(pair.pattern, pair.text, kPen);
+        EXPECT_LE(banded.score, exact);
+        EXPECT_TRUE(verifyCigar(pair.pattern, pair.text, banded.cigar).ok);
+        EXPECT_EQ(affineScoreOfCigar(banded.cigar, kPen), banded.score);
+    }
+}
+
+TEST(AffineBanded, BandTooNarrowForLengthDifference)
+{
+    const auto res = affineAlignBanded(Sequence("AAAAAAAAAA"), Sequence("AA"),
+                                       kPen, 3);
+    EXPECT_FALSE(res.has_cigar); // |n - m| = 8 > band
+}
+
+TEST(Sw, FindsEmbeddedLocalMatch)
+{
+    seq::Generator gen(37);
+    const auto core = gen.random(60);
+    // Embed the core inside unrelated flanks of text; pattern is the core
+    // plus small flanks of its own.
+    const auto t_left = gen.random(100);
+    const auto t_right = gen.random(80);
+    const Sequence text(t_left.str() + core.str() + t_right.str());
+    const Sequence pattern(core.str());
+
+    const auto res = swAlign(pattern, text, kPen);
+    EXPECT_GE(res.score, 2 * 50); // most of the core matches
+    // The located window must overlap the embedded region.
+    EXPECT_LT(res.text_begin, t_left.size() + core.size());
+    EXPECT_GT(res.text_end, t_left.size());
+    // Local cigar aligns the sub-regions.
+    const auto sub_p =
+        pattern.substr(res.pattern_begin, res.pattern_end - res.pattern_begin);
+    const auto sub_t =
+        text.substr(res.text_begin, res.text_end - res.text_begin);
+    EXPECT_TRUE(verifyCigar(sub_p, sub_t, res.cigar).ok);
+}
+
+TEST(Sw, ScoreIsNonNegativeAndZeroForDisjointAlphabets)
+{
+    // Pattern all-A vs text all-T: no positive-scoring local alignment.
+    const auto res = swAlign(Sequence(std::string(50, 'A')),
+                             Sequence(std::string(50, 'T')), kPen);
+    EXPECT_EQ(res.score, 0);
+    EXPECT_TRUE(res.cigar.empty());
+}
+
+TEST(Sw, LocalScoreAtLeastGlobalScore)
+{
+    seq::Generator gen(41);
+    for (int rep = 0; rep < 6; ++rep) {
+        const auto pair = gen.pair(120, 0.1);
+        const auto local = swAlign(pair.pattern, pair.text, kPen);
+        const i64 global = affineScore(pair.pattern, pair.text, kPen);
+        EXPECT_GE(local.score, std::max<i64>(global, 0));
+    }
+}
+
+} // namespace
+} // namespace gmx::align

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the segmentation, area/power, and DSA models: the paper's
+ * 22nm design point must be reproduced, and the scaling laws of §6.3
+ * must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/asic.hh"
+#include "hw/dsa.hh"
+#include "hw/segmentation.hh"
+
+namespace gmx::hw {
+namespace {
+
+TEST(Segmentation, PaperDesignPointT32At1GHz)
+{
+    // Paper §7: T=32 at 1 GHz -> GMX-AC 2 cycles, GMX-TB 6 cycles.
+    const auto ac = segmentGmxAc(32, 1.0);
+    const auto tb = segmentGmxTb(32, 1.0);
+    EXPECT_EQ(ac.stages, 2u);
+    EXPECT_EQ(tb.stages, 6u);
+    EXPECT_GE(ac.max_frequency_ghz, 1.0);
+    EXPECT_GE(tb.max_frequency_ghz, 1.0);
+}
+
+TEST(Segmentation, SingleStageBelowCriticalFrequency)
+{
+    // At a low enough clock the array needs no segmentation at all.
+    const auto ac = segmentGmxAc(32, 0.2);
+    EXPECT_EQ(ac.stages, 1u);
+    EXPECT_EQ(ac.seg_register_bits, 0u);
+}
+
+TEST(Segmentation, LatencyScalesLinearlyWithT)
+{
+    // Critical path ~ (2T-1) * Cd (paper §6.3).
+    const auto t16 = segmentGmxAc(16, 1.0);
+    const auto t64 = segmentGmxAc(64, 1.0);
+    EXPECT_NEAR(t64.critical_path_ns / t16.critical_path_ns, 4.0, 0.6);
+    EXPECT_GT(t64.stages, t16.stages);
+}
+
+TEST(Segmentation, CellDelaysAreSubNanosecond)
+{
+    EXPECT_GT(ccacDelayNs(), 0.0);
+    EXPECT_LT(ccacDelayNs(), 0.2);
+    EXPECT_GT(cctbDelayNs(), 0.0);
+}
+
+TEST(Asic, PaperAreaAndPower)
+{
+    // Paper Fig. 13: GMX-AC 0.008 mm2, GMX-TB 0.0108 mm2, total
+    // 0.0216 mm2, 8.47 mW. The model must land within ~20%.
+    const auto rep = gmxAsicReport(32, 1.0);
+    EXPECT_NEAR(rep.ac.area_mm2, 0.008, 0.0016);
+    EXPECT_NEAR(rep.tb.area_mm2, 0.0108, 0.0022);
+    EXPECT_NEAR(rep.total_area_mm2, 0.0216, 0.004);
+    EXPECT_NEAR(rep.total_power_mw, 8.47, 1.7);
+    EXPECT_EQ(rep.ac_cycles, 2u);
+    EXPECT_EQ(rep.tb_cycles, 6u);
+}
+
+TEST(Asic, AreaScalesQuadraticallyWithT)
+{
+    const auto t16 = gmxAsicReport(16, 1.0);
+    const auto t32 = gmxAsicReport(32, 1.0);
+    EXPECT_NEAR(t32.ac.area_mm2 / t16.ac.area_mm2, 4.0, 0.8);
+}
+
+TEST(Asic, SocFractionsMatchPaper)
+{
+    // GMX is 1.7% of SoC area and 2.1% of SoC power.
+    const auto soc = socReport();
+    EXPECT_NEAR(soc.gmx_area_fraction, 0.017, 0.005);
+    EXPECT_NEAR(soc.gmx_power_fraction, 0.021, 0.007);
+    EXPECT_NEAR(soc.total_area_mm2, 1.27, 0.15);
+}
+
+TEST(Dsa, GmxPeakGcupsMatchesTable2)
+{
+    // T=32 at 1 GHz computes 1024 DP-elements per cycle -> 1024 GCUPS.
+    EXPECT_DOUBLE_EQ(gmxPeakGcups(32, 1.0), 1024.0);
+    EXPECT_DOUBLE_EQ(gmxPeakGcups(16, 2.0), 512.0);
+}
+
+TEST(Dsa, WindowCountsMatchDriverGeometry)
+{
+    EXPECT_DOUBLE_EQ(windowsPerAlignment(96, 96, 32), 1.0);
+    EXPECT_DOUBLE_EQ(windowsPerAlignment(96 + 64, 96, 32), 2.0);
+    EXPECT_DOUBLE_EQ(windowsPerAlignment(10000, 96, 32), 1.0 + 155.0);
+}
+
+TEST(Dsa, GenasmFasterThanDarwinPerPe)
+{
+    // Fig. 15's ordering: GenASM vault beats Darwin GACT per PE on the
+    // windowed edit-distance workload.
+    const auto genasm = genasmVault(96);
+    const auto darwin = darwinGact(96);
+    const double g = alignmentsPerSecond(genasm, 10000, 96, 32);
+    const double d = alignmentsPerSecond(darwin, 10000, 96, 32);
+    EXPECT_GT(g, d);
+    EXPECT_GT(g / d, 2.0);
+}
+
+TEST(Dsa, SurveyRowsArePresent)
+{
+    const auto rows = table2SurveyRows();
+    EXPECT_GE(rows.size(), 10u);
+    bool found_genasm = false;
+    for (const auto &r : rows) {
+        if (r.study.find("GenASM") != std::string::npos) {
+            found_genasm = true;
+            EXPECT_DOUBLE_EQ(r.pgcups_per_pe, 64.0);
+        }
+    }
+    EXPECT_TRUE(found_genasm);
+}
+
+} // namespace
+} // namespace gmx::hw

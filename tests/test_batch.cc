@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the batch alignment API and the matrix view helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/batch.hh"
+#include "align/matrix_view.hh"
+#include "align/nw.hh"
+#include "common/logging.hh"
+#include "gmx/full.hh"
+#include "sequence/dataset.hh"
+
+namespace gmx::align {
+namespace {
+
+TEST(Batch, MatchesSequentialResultsInOrder)
+{
+    const auto ds = seq::makeDataset("b", 300, 0.08, 20, 1301);
+    const PairAligner aligner = [](const seq::SequencePair &p) {
+        return core::fullGmxAlign(p.pattern, p.text);
+    };
+    const auto parallel = batchAlign(ds.pairs, aligner, 4);
+    ASSERT_EQ(parallel.size(), ds.pairs.size());
+    for (size_t i = 0; i < ds.pairs.size(); ++i) {
+        EXPECT_EQ(parallel[i].distance,
+                  nwDistance(ds.pairs[i].pattern, ds.pairs[i].text))
+            << i;
+        EXPECT_EQ(parallel[i].cigar,
+                  aligner(ds.pairs[i]).cigar)
+            << i;
+    }
+}
+
+TEST(Batch, EmptyBatchAndSingleThread)
+{
+    const PairAligner aligner = [](const seq::SequencePair &p) {
+        return core::fullGmxAlign(p.pattern, p.text);
+    };
+    EXPECT_TRUE(batchAlign({}, aligner, 4).empty());
+    const auto ds = seq::makeDataset("b1", 100, 0.05, 3, 1303);
+    const auto one = batchAlign(ds.pairs, aligner, 1);
+    EXPECT_EQ(one.size(), 3u);
+}
+
+TEST(Batch, PropagatesWorkerExceptions)
+{
+    const auto ds = seq::makeDataset("b2", 50, 0.05, 8, 1307);
+    const PairAligner bomb = [](const seq::SequencePair &) -> AlignResult {
+        GMX_FATAL("boom");
+    };
+    EXPECT_THROW(batchAlign(ds.pairs, bomb, 3), FatalError);
+    EXPECT_THROW(batchAlign(ds.pairs, PairAligner(), 3), FatalError);
+}
+
+TEST(MatrixView, RendersPaperFigure1)
+{
+    const seq::Sequence p("GATT"), t("GCAT");
+    const auto res = nwAlign(p, t);
+    const std::string view = renderDpMatrix(p, t, &res.cigar);
+    // The matrix contains the known corner value and path markers.
+    EXPECT_NE(view.find("2*"), std::string::npos);
+    EXPECT_NE(view.find("G"), std::string::npos);
+    // 5 rows of cells + header.
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(view.begin(), view.end(), '\n')),
+              6u);
+}
+
+TEST(MatrixView, DeltaMatrixUsesBpmAlphabet)
+{
+    const seq::Sequence p("GATT"), t("GCAT");
+    const std::string dv = renderDeltaMatrix(p, t, true);
+    const std::string dh = renderDeltaMatrix(p, t, false);
+    for (char c : {'+', '-'}) {
+        EXPECT_NE(dv.find(c), std::string::npos);
+        EXPECT_NE(dh.find(c), std::string::npos);
+    }
+    // Column 0 of dv is always '+' (D[i][0] = i).
+    EXPECT_NE(dv.find("G    +"), std::string::npos);
+}
+
+} // namespace
+} // namespace gmx::align

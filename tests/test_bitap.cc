@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Bitap aligner (GenASM's underlying algorithm).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/bitap.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+TEST(BitapDistance, HandComputedCases)
+{
+    EXPECT_EQ(bitapDistance(Sequence("GATT"), Sequence("GCAT"), 4), 2);
+    EXPECT_EQ(bitapDistance(Sequence("ACGT"), Sequence("ACGT"), 0), 0);
+    EXPECT_EQ(bitapDistance(Sequence("ACGT"), Sequence("ACGA"), 0),
+              kNoAlignment);
+    EXPECT_EQ(bitapDistance(Sequence("ACGT"), Sequence("ACGA"), 1), 1);
+}
+
+class BitapGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(BitapGridTest, DistanceMatchesNwWithSufficientK)
+{
+    const auto &params = GetParam();
+    if (params.length > 300)
+        return; // Bitap is O(nmk); keep the suite fast
+    const auto pair = test::makePair(params);
+    const i64 true_dist = nwDistance(pair.pattern, pair.text);
+    EXPECT_EQ(bitapDistance(pair.pattern, pair.text, true_dist + 3),
+              true_dist);
+}
+
+TEST_P(BitapGridTest, AutoAlignVerifies)
+{
+    const auto &params = GetParam();
+    if (params.length > 300)
+        return;
+    const auto pair = test::makePair(params);
+    const auto res = bitapAlignAuto(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BitapGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(Bitap, KSensitivity)
+{
+    // The paper stresses that Bitap's cost is sensitive to k: the distance
+    // query must fail for k below the true distance and succeed at it.
+    seq::Generator gen(91);
+    const auto pair = gen.pair(120, 0.1);
+    const i64 true_dist = nwDistance(pair.pattern, pair.text);
+    ASSERT_GT(true_dist, 0);
+    EXPECT_EQ(bitapDistance(pair.pattern, pair.text, true_dist - 1),
+              kNoAlignment);
+    EXPECT_EQ(bitapDistance(pair.pattern, pair.text, true_dist), true_dist);
+}
+
+TEST(Bitap, MultiWordPatterns)
+{
+    // Patterns longer than 64 need multi-word shifts with carry.
+    seq::Generator gen(93);
+    for (size_t n : {64u, 65u, 100u, 127u, 128u, 130u}) {
+        const auto p = gen.random(n);
+        const auto t = gen.mutate(p, 0.05);
+        const i64 true_dist = nwDistance(p, t);
+        EXPECT_EQ(bitapDistance(p, t, true_dist + 2), true_dist)
+            << "n=" << n;
+    }
+}
+
+TEST(Bitap, EmptySequences)
+{
+    EXPECT_EQ(bitapDistance(Sequence(""), Sequence("AC"), 3), 2);
+    EXPECT_EQ(bitapDistance(Sequence(""), Sequence("AC"), 1), kNoAlignment);
+    EXPECT_EQ(bitapDistance(Sequence("AC"), Sequence(""), 2), 2);
+    const auto res = bitapAlign(Sequence("AC"), Sequence(""), 2);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.cigar.str(), "II");
+}
+
+TEST(Bitap, RejectsNegativeK)
+{
+    EXPECT_THROW(bitapDistance(Sequence("A"), Sequence("A"), -1), FatalError);
+    EXPECT_THROW(bitapAlign(Sequence("A"), Sequence("A"), -2), FatalError);
+}
+
+TEST(Bitap, CountsScaleWithK)
+{
+    // The 7k-per-character cost model from the paper: doubling k roughly
+    // doubles the ALU work.
+    seq::Generator gen(97);
+    const auto pair = gen.pair(60, 0.05);
+    KernelCounts k8, k16;
+    bitapDistance(pair.pattern, pair.text, 8, &k8);
+    bitapDistance(pair.pattern, pair.text, 16, &k16);
+    EXPECT_GT(k16.alu, k8.alu * 3 / 2);
+}
+
+} // namespace
+} // namespace gmx::align

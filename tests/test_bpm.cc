@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for Full(BPM): Myers' blocked bit-parallel aligner, differential
+ * against the NW reference across the parameter grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/bpm.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+TEST(BpmDistance, HandComputedCases)
+{
+    EXPECT_EQ(bpmDistance(Sequence("GATT"), Sequence("GCAT")), 2);
+    EXPECT_EQ(bpmDistance(Sequence("ACGT"), Sequence("ACGT")), 0);
+    EXPECT_EQ(bpmDistance(Sequence("A"), Sequence("T")), 1);
+    EXPECT_EQ(bpmDistance(Sequence(""), Sequence("ACGT")), 4);
+    EXPECT_EQ(bpmDistance(Sequence("ACGT"), Sequence("")), 4);
+}
+
+class BpmGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(BpmGridTest, DistanceMatchesNw)
+{
+    const auto pair = test::makePair(GetParam());
+    EXPECT_EQ(bpmDistance(pair.pattern, pair.text),
+              nwDistance(pair.pattern, pair.text));
+}
+
+TEST_P(BpmGridTest, AlignMatchesNwAndVerifies)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = bpmAlign(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BpmGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(Bpm, ExactBlockBoundaryPatterns)
+{
+    // Pattern lengths straddling the 64-bit block boundary are the classic
+    // failure mode of blocked Myers implementations.
+    seq::Generator gen(51);
+    for (size_t n : {63u, 64u, 65u, 127u, 128u, 129u, 191u, 192u, 193u}) {
+        const auto p = gen.random(n);
+        const auto t = gen.mutate(p, 0.1);
+        EXPECT_EQ(bpmDistance(p, t), nwDistance(p, t)) << "n=" << n;
+        const auto res = bpmAlign(p, t);
+        EXPECT_EQ(res.distance, nwDistance(p, t)) << "n=" << n;
+        EXPECT_TRUE(verifyResult(p, t, res).ok) << "n=" << n;
+    }
+}
+
+TEST(Bpm, HighErrorRate)
+{
+    // BPM is error-agnostic (unlike Bitap): random unrelated sequences.
+    seq::Generator gen(53);
+    const auto p = gen.random(500);
+    const auto t = gen.random(480);
+    EXPECT_EQ(bpmDistance(p, t), nwDistance(p, t));
+}
+
+TEST(Bpm, AsymmetricLengths)
+{
+    seq::Generator gen(57);
+    const auto p = gen.random(40);
+    const auto t = gen.random(700);
+    EXPECT_EQ(bpmDistance(p, t), nwDistance(p, t));
+    const auto res = bpmAlign(p, t);
+    EXPECT_TRUE(verifyResult(p, t, res).ok);
+}
+
+TEST(Bpm, CountsAreAccumulated)
+{
+    seq::Generator gen(59);
+    const auto pair = gen.pair(200, 0.05);
+    KernelCounts counts;
+    bpmDistance(pair.pattern, pair.text, &counts);
+    // 200x~200 cells; block count = ceil(n/64), ~17 ALU ops per block/char.
+    EXPECT_GT(counts.cells, 30000u);
+    EXPECT_GT(counts.alu, counts.cells / 64 * 17 / 2);
+    EXPECT_GT(counts.loads, 0u);
+    EXPECT_GT(counts.stores, 0u);
+    EXPECT_EQ(counts.gmx_ac, 0u);
+
+    KernelCounts align_counts;
+    bpmAlign(pair.pattern, pair.text, &align_counts);
+    // The traceback variant writes the column history: more stores.
+    EXPECT_GT(align_counts.stores, counts.stores);
+}
+
+} // namespace
+} // namespace gmx::align

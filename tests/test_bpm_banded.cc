@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for Banded(Edlib): block-banded Myers with the k-doubling driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/bpm_banded.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+class BandedGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(BandedGridTest, EdlibDistanceMatchesNw)
+{
+    const auto pair = test::makePair(GetParam());
+    EXPECT_EQ(edlibDistance(pair.pattern, pair.text),
+              nwDistance(pair.pattern, pair.text));
+}
+
+TEST_P(BandedGridTest, EdlibAlignVerifies)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = edlibAlign(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BandedGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(BpmBanded, SufficientKIsExact)
+{
+    seq::Generator gen(61);
+    for (int rep = 0; rep < 8; ++rep) {
+        const auto pair = gen.pair(400, 0.1);
+        const i64 true_dist = nwDistance(pair.pattern, pair.text);
+        const auto res =
+            bpmBandedAlign(pair.pattern, pair.text, true_dist + 1);
+        ASSERT_TRUE(res.found());
+        EXPECT_EQ(res.distance, true_dist);
+        EXPECT_TRUE(verifyResult(pair.pattern, pair.text, res).ok);
+    }
+}
+
+TEST(BpmBanded, ExactAtKEqualToDistance)
+{
+    seq::Generator gen(67);
+    const auto pair = gen.pair(300, 0.08);
+    const i64 true_dist = nwDistance(pair.pattern, pair.text);
+    const auto res = bpmBandedAlign(pair.pattern, pair.text, true_dist);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.distance, true_dist);
+}
+
+TEST(BpmBanded, TooSmallKReturnsNotFound)
+{
+    seq::Generator gen(71);
+    const auto pair = gen.pair(300, 0.15);
+    const i64 true_dist = nwDistance(pair.pattern, pair.text);
+    ASSERT_GT(true_dist, 2);
+    const auto res = bpmBandedAlign(pair.pattern, pair.text, 1);
+    EXPECT_FALSE(res.found());
+}
+
+TEST(BpmBanded, LengthDifferenceExceedsK)
+{
+    const auto res = bpmBandedAlign(Sequence("AAAAAAAAAA"), Sequence("AA"), 3);
+    EXPECT_FALSE(res.found());
+}
+
+TEST(BpmBanded, RejectsNegativeK)
+{
+    EXPECT_THROW(bpmBandedAlign(Sequence("A"), Sequence("A"), -1),
+                 FatalError);
+}
+
+TEST(BpmBanded, EmptySequences)
+{
+    const auto res = bpmBandedAlign(Sequence(""), Sequence("ACG"), 5);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.distance, 3);
+    EXPECT_EQ(res.cigar.str(), "DDD");
+}
+
+TEST(BpmBanded, DistanceOnlySkipsHistory)
+{
+    seq::Generator gen(73);
+    const auto pair = gen.pair(500, 0.1);
+    KernelCounts with_tb, without_tb;
+    bpmBandedAlign(pair.pattern, pair.text, 200, true, &with_tb);
+    const auto res =
+        bpmBandedAlign(pair.pattern, pair.text, 200, false, &without_tb);
+    ASSERT_TRUE(res.found());
+    EXPECT_FALSE(res.has_cigar);
+    EXPECT_LT(without_tb.stores, with_tb.stores);
+}
+
+TEST(BpmBanded, LongNoisySequences)
+{
+    // The paper's long-sequence configuration: 15% error.
+    seq::Generator gen(79);
+    const auto pair = gen.pair(3000, 0.15);
+    const auto res = edlibAlign(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    EXPECT_TRUE(verifyResult(pair.pattern, pair.text, res).ok);
+}
+
+TEST(BpmBanded, BandNarrowerThanMatrixStillExact)
+{
+    // Large n with small k: the band is a small fraction of the matrix,
+    // exercising block drops along the diagonal.
+    seq::Generator gen(83);
+    const auto text = gen.random(2000);
+    const auto pattern = gen.mutate(text, 0.01);
+    const i64 true_dist = nwDistance(pattern, text);
+    const auto res = bpmBandedAlign(pattern, text, 64);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.distance, true_dist);
+    EXPECT_TRUE(verifyResult(pattern, text, res).ok);
+}
+
+} // namespace
+} // namespace gmx::align

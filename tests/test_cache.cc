@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the set-associative cache simulator and the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/cache.hh"
+
+namespace gmx::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x103f, false)); // same line
+    EXPECT_FALSE(c.access(0x1040, false)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 2 sets, 64B lines: lines mapping to set 0 are multiples of
+    // 128.
+    Cache c(256, 2, 64);
+    EXPECT_FALSE(c.access(0, false));
+    EXPECT_FALSE(c.access(128, false));
+    EXPECT_TRUE(c.access(0, false)); // touch 0: now 128 is LRU
+    EXPECT_FALSE(c.access(256, false)); // evicts 128
+    EXPECT_TRUE(c.access(0, false));
+    EXPECT_FALSE(c.access(128, false)); // was evicted
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(256, 2, 64);
+    c.access(0, true); // dirty
+    c.access(128, false);
+    c.access(256, false); // evicts 0 (dirty) -> writeback
+    c.access(384, false); // evicts 128 (clean) -> no writeback
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ProbeDoesNotMutate)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.probe(0x40));
+    c.access(0x40, false);
+    const u64 misses = c.stats().misses;
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_EQ(c.stats().misses, misses);
+    EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(0, 2, 64), FatalError);
+    EXPECT_THROW(Cache(1000, 3, 64), FatalError); // non-pow2 sets
+    EXPECT_THROW(Cache(1024, 2, 48), FatalError); // non-pow2 line
+}
+
+TEST(Cache, StreamingWorkingSetLargerThanCacheAlwaysMisses)
+{
+    Cache c(4096, 4, 64);
+    // Two sequential sweeps over 64 KB: every line misses every sweep.
+    for (int sweep = 0; sweep < 2; ++sweep)
+        for (u64 a = 0; a < 65536; a += 64)
+            c.access(a, false);
+    EXPECT_EQ(c.stats().misses, 2048u);
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, ResidentWorkingSetHitsAfterWarmup)
+{
+    Cache c(65536, 8, 64);
+    for (int sweep = 0; sweep < 3; ++sweep)
+        for (u64 a = 0; a < 32768; a += 64)
+            c.access(a, false);
+    EXPECT_EQ(c.stats().misses, 512u); // cold only
+    EXPECT_EQ(c.stats().hits, 1024u);
+}
+
+TEST(MemHierarchy, LatenciesFollowLevels)
+{
+    const MemSystemConfig cfg = MemSystemConfig::gem5Like();
+    MemHierarchy mh(cfg);
+    // Cold: DRAM latency.
+    EXPECT_EQ(mh.access(0x10000, 8, false), cfg.dram_latency_cycles);
+    // Warm: L1 hit.
+    EXPECT_EQ(mh.access(0x10000, 8, false), cfg.l1.latency_cycles);
+    EXPECT_EQ(mh.dramBytes(), 64u);
+}
+
+TEST(MemHierarchy, RtlConfigSkipsL2)
+{
+    const MemSystemConfig cfg = MemSystemConfig::rtlLike();
+    MemHierarchy mh(cfg);
+    EXPECT_EQ(mh.access(0x0, 8, false), cfg.dram_latency_cycles);
+    EXPECT_EQ(mh.access(0x0, 8, false), cfg.l1.latency_cycles);
+    EXPECT_EQ(mh.l2Stats(), nullptr);
+}
+
+TEST(MemHierarchy, MultiLineAccessTouchesEachLine)
+{
+    const MemSystemConfig cfg = MemSystemConfig::gem5Like();
+    MemHierarchy mh(cfg);
+    mh.access(0x100, 128, false); // two lines
+    EXPECT_EQ(mh.l1Stats().accesses, 2u);
+}
+
+TEST(MemHierarchy, EvictedFromL1HitsInL2)
+{
+    const MemSystemConfig cfg = MemSystemConfig::gem5Like();
+    MemHierarchy mh(cfg);
+    // Stream 256 KB (4x L1, inside L2), then revisit the start: L2 hit.
+    for (u64 a = 0; a < 256 * 1024; a += 64)
+        mh.access(a, 8, false);
+    const unsigned lat = mh.access(0, 8, false);
+    EXPECT_EQ(lat, cfg.l2.latency_cycles);
+}
+
+} // namespace
+} // namespace gmx::sim

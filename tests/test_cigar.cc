@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for CIGAR handling and alignment verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/cigar.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+TEST(Cigar, OpCharRoundTrip)
+{
+    for (Op op : {Op::Match, Op::Mismatch, Op::Insertion, Op::Deletion})
+        EXPECT_EQ(opFromChar(opChar(op)), op);
+    EXPECT_THROW(opFromChar('Z'), FatalError);
+}
+
+TEST(Cigar, FromStringAndBack)
+{
+    const Cigar c = Cigar::fromString("MMXIDM");
+    EXPECT_EQ(c.size(), 6u);
+    EXPECT_EQ(c.str(), "MMXIDM");
+    EXPECT_EQ(c.compressed(), "2M1X1I1D1M");
+}
+
+TEST(Cigar, LengthAccounting)
+{
+    // Paper Figure 1 example: pattern GATT vs text GCAT, alignment MDMMI.
+    const Cigar c = Cigar::fromString("MDMMI");
+    EXPECT_EQ(c.patternLength(), 4u); // G A T T
+    EXPECT_EQ(c.textLength(), 4u);    // G C A T
+    EXPECT_EQ(c.editDistance(), 2u);  // one D + one I
+}
+
+TEST(Cigar, PushRunsAndAppend)
+{
+    Cigar c;
+    c.push(Op::Match, 3);
+    c.push(Op::Deletion);
+    Cigar d = Cigar::fromString("II");
+    c.append(d);
+    EXPECT_EQ(c.str(), "MMMDII");
+    c.reverse();
+    EXPECT_EQ(c.str(), "IIDMMM");
+}
+
+TEST(Verify, AcceptsPaperFigure1Alignment)
+{
+    const Sequence pattern("GATT");
+    const Sequence text("GCAT");
+    const auto res = verifyCigar(pattern, text, Cigar::fromString("MDMMI"));
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.edit_distance, 2);
+}
+
+TEST(Verify, RejectsWrongMatchFlag)
+{
+    const Sequence pattern("GATT");
+    const Sequence text("GCAT");
+    // Second op claims a match where pattern A != text C.
+    const auto res = verifyCigar(pattern, text, Cigar::fromString("MMMMI"));
+    EXPECT_FALSE(res.ok);
+    // And an X on equal characters is also rejected.
+    const auto res2 = verifyCigar(pattern, text, Cigar::fromString("XDMMI"));
+    EXPECT_FALSE(res2.ok);
+}
+
+TEST(Verify, RejectsIncompleteConsumption)
+{
+    const Sequence pattern("GATT");
+    const Sequence text("GCAT");
+    EXPECT_FALSE(verifyCigar(pattern, text, Cigar::fromString("MDMM")).ok);
+    EXPECT_FALSE(verifyCigar(pattern, text, Cigar::fromString("MDMMII")).ok);
+}
+
+TEST(Verify, RejectsOverrun)
+{
+    const Sequence pattern("GA");
+    const Sequence text("G");
+    EXPECT_FALSE(verifyCigar(pattern, text, Cigar::fromString("MMD")).ok);
+}
+
+TEST(Verify, ResultDistanceMustMatchCigar)
+{
+    const Sequence pattern("GATT");
+    const Sequence text("GCAT");
+    AlignResult r;
+    r.distance = 3; // wrong: cigar implies 2
+    r.cigar = Cigar::fromString("MDMMI");
+    r.has_cigar = true;
+    EXPECT_FALSE(verifyResult(pattern, text, r).ok);
+    r.distance = 2;
+    EXPECT_TRUE(verifyResult(pattern, text, r).ok);
+}
+
+TEST(Verify, EmptySequences)
+{
+    const auto res = verifyCigar(Sequence(""), Sequence(""), Cigar());
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.edit_distance, 0);
+}
+
+TEST(AffineRescore, MatchesHandComputedScores)
+{
+    AffinePenalties pen{2, 4, 4, 2};
+    // 3 matches: +6.
+    EXPECT_EQ(affineScoreOfCigar(Cigar::fromString("MMM"), pen), 6);
+    // 2 matches + mismatch: +4 - 4 = 0.
+    EXPECT_EQ(affineScoreOfCigar(Cigar::fromString("MXM"), pen), 0);
+    // Gap of length 2: -(4 + 2*2) = -8, plus 2 matches.
+    EXPECT_EQ(affineScoreOfCigar(Cigar::fromString("MDDM"), pen), 4 - 8);
+    // Two separate gaps pay gap_open twice; I and D runs are distinct gaps.
+    EXPECT_EQ(affineScoreOfCigar(Cigar::fromString("MDIM"), pen),
+              4 - 6 - 6);
+}
+
+} // namespace
+} // namespace gmx::align

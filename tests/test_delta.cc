@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the delta encoding and the GMXD function: the boolean form is
+ * exhaustively checked against the arithmetic Eq. 2, mirroring the paper's
+ * own brute-force verification of its 18 input combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "gmx/delta.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::core {
+namespace {
+
+TEST(GmxDelta, BooleanFormMatchesEq2OnAll18Inputs)
+{
+    for (int a : {-1, 0, 1}) {
+        for (int b : {-1, 0, 1}) {
+            for (bool eq : {false, true}) {
+                const int expected = gmxDeltaArith(a, b, eq);
+                bool out_p = false, out_m = false;
+                gmxDeltaBits(a > 0, a < 0, b > 0, b < 0, eq, out_p, out_m);
+                const int got = out_p ? 1 : out_m ? -1 : 0;
+                EXPECT_EQ(got, expected)
+                    << "a=" << a << " b=" << b << " eq=" << eq;
+                EXPECT_FALSE(out_p && out_m);
+            }
+        }
+    }
+}
+
+TEST(GmxDelta, Eq2MatchesDirectDpRecurrence)
+{
+    // GMXD must reproduce the delta transformation of the scalar DP: for
+    // random cell neighbourhoods, compare against recomputed distances.
+    for (int dv_in : {-1, 0, 1}) {
+        for (int dh_in : {-1, 0, 1}) {
+            for (int eq : {0, 1}) {
+                // Build explicit cell values around (i, j):
+                //   D[i-1][j-1] = x; D[i][j-1] = x + dv_in;
+                //   D[i-1][j] = x + dh_in.
+                const int x = 10;
+                const int left = x + dv_in;
+                const int up = x + dh_in;
+                const int here = std::min({up + 1, left + 1, x + (1 - eq)});
+                const int dv_expect = here - up;
+                const int dh_expect = here - left;
+                EXPECT_EQ(gmxDeltaArith(dv_in, dh_in, eq == 1), dv_expect);
+                EXPECT_EQ(gmxDeltaArith(dh_in, dv_in, eq == 1), dh_expect);
+            }
+        }
+    }
+}
+
+TEST(DeltaVec, SetAtRoundTrip)
+{
+    DeltaVec v;
+    v.set(0, 1);
+    v.set(1, -1);
+    v.set(2, 0);
+    v.set(63, 1);
+    EXPECT_EQ(v.at(0), 1);
+    EXPECT_EQ(v.at(1), -1);
+    EXPECT_EQ(v.at(2), 0);
+    EXPECT_EQ(v.at(63), 1);
+    v.set(0, -1); // overwrite
+    EXPECT_EQ(v.at(0), -1);
+}
+
+TEST(DeltaVec, OnesAndSum)
+{
+    const DeltaVec v = DeltaVec::ones(32);
+    EXPECT_EQ(v.sum(32), 32);
+    EXPECT_EQ(v.sum(10), 10);
+    DeltaVec w;
+    w.set(0, 1);
+    w.set(1, -1);
+    w.set(5, -1);
+    EXPECT_EQ(w.sum(32), -1);
+}
+
+TEST(DeltaVec, FromToInts)
+{
+    const std::vector<int> vals = {1, -1, 0, 0, 1, -1, 1};
+    const DeltaVec v = DeltaVec::fromInts(vals);
+    EXPECT_EQ(v.toInts(7), vals);
+}
+
+TEST(DeltaVec, LaneMask)
+{
+    EXPECT_EQ(DeltaVec::laneMask(1), 1u);
+    EXPECT_EQ(DeltaVec::laneMask(32), 0xffffffffull);
+    EXPECT_EQ(DeltaVec::laneMask(64), ~u64{0});
+}
+
+TEST(PackDelta, RoundTripAllLaneValues)
+{
+    seq::Generator gen(1);
+    for (int rep = 0; rep < 50; ++rep) {
+        DeltaVec v;
+        for (unsigned r = 0; r < 32; ++r)
+            v.set(r, static_cast<int>(gen.prng().below(3)) - 1);
+        EXPECT_EQ(unpackDelta(packDelta(v, 32), 32), v);
+    }
+}
+
+TEST(PackDelta, LayoutMatchesSpec)
+{
+    // Lane r occupies bits [2r, 2r+1]: plus in the low bit.
+    DeltaVec v;
+    v.set(0, 1);
+    v.set(1, -1);
+    v.set(3, 1);
+    const u64 reg = packDelta(v, 4);
+    EXPECT_EQ(reg, (u64{1} << 0) | (u64{2} << 2) | (u64{1} << 6));
+}
+
+TEST(DeltaEncoding, MatchesNwMatrixDeltas)
+{
+    // Encode the vertical deltas of a real DP column and check the
+    // round-trip against the NW matrix (paper Fig. 2's encoding).
+    seq::Generator gen(2);
+    const auto p = gen.random(40);
+    const auto t = gen.random(40);
+    std::vector<i64> prev = align::nwMatrixRow(p, t, 0);
+    for (size_t i = 1; i <= p.size(); ++i) {
+        const auto row = align::nwMatrixRow(p, t, i);
+        DeltaVec dv;
+        for (size_t j = 0; j < row.size() && j < 64; ++j)
+            dv.set(static_cast<unsigned>(j),
+                   static_cast<int>(row[j] - prev[j]));
+        for (size_t j = 0; j < row.size() && j < 64; ++j)
+            EXPECT_EQ(dv.at(static_cast<unsigned>(j)), row[j] - prev[j]);
+        prev = row;
+    }
+}
+
+} // namespace
+} // namespace gmx::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the energy model: component accounting and the qualitative
+ * ordering the paper's efficiency argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sequence/dataset.hh"
+#include "sim/energy.hh"
+#include "sim/workloads.hh"
+
+namespace gmx::sim {
+namespace {
+
+TEST(Energy, ComponentsAddUp)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p;
+    p.counts.alu = 1000;
+    p.counts.loads = 100;
+    p.counts.gmx_ac = 10;
+    p.structures.push_back({"big", 4.0 * 1024 * 1024, 1, false});
+    const EnergyResult e = energyPerAlignment(p, mem);
+    EXPECT_GT(e.core_nj, 0);
+    EXPECT_GT(e.gmx_nj, 0);
+    EXPECT_GT(e.memory_nj, 0);
+    EXPECT_DOUBLE_EQ(e.total_nj, e.core_nj + e.gmx_nj + e.memory_nj);
+}
+
+TEST(Energy, ScalesLinearlyWithWork)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p1, p2;
+    p1.counts.alu = 1000;
+    p2.counts.alu = 2000;
+    EXPECT_NEAR(energyPerAlignment(p2, mem).total_nj,
+                2 * energyPerAlignment(p1, mem).total_nj, 1e-9);
+}
+
+TEST(Energy, GmxUsesLessEnergyThanBaselines)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    const auto ds = seq::makeDataset("e", 1000, 0.15, 2, 41);
+    WorkloadOptions opts;
+    opts.samples = 1;
+    const double gmx =
+        energyPerAlignment(profileForDataset(Algo::FullGmx, ds, opts), mem)
+            .total_nj;
+    for (Algo a : {Algo::FullDp, Algo::FullBpm, Algo::BandedEdlib}) {
+        const double base =
+            energyPerAlignment(profileForDataset(a, ds, opts), mem)
+                .total_nj;
+        EXPECT_GT(base, 3 * gmx) << algoName(a);
+    }
+}
+
+TEST(Energy, DramDominatedKernel)
+{
+    // A kernel that only streams memory: DRAM energy dominates.
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p;
+    p.counts.alu = 10;
+    p.structures.push_back({"huge", 64.0 * 1024 * 1024, 1, false});
+    const EnergyResult e = energyPerAlignment(p, mem);
+    EXPECT_GT(e.memory_nj, 100 * e.core_nj);
+}
+
+} // namespace
+} // namespace gmx::sim

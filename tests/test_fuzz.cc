@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Randomized stress tests: hundreds of random (length, error, tile,
+ * algorithm) configurations, every result differential-checked against
+ * the NW reference and every CIGAR verified. The goal is breadth — odd
+ * lengths, extreme error rates, degenerate alphabets — beyond the
+ * curated grids of the per-module suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/bitap.hh"
+#include "align/bpm.hh"
+#include "align/bpm_banded.hh"
+#include "align/hirschberg.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+#include "gmx/windowed.hh"
+#include "sequence/generator.hh"
+
+namespace gmx {
+namespace {
+
+using align::AlignResult;
+using seq::Sequence;
+
+/** Draw a random pair with occasionally-degenerate characteristics. */
+seq::SequencePair
+randomPair(seq::Generator &gen)
+{
+    const u64 kind = gen.prng().below(10);
+    const size_t len = 1 + gen.prng().below(kind < 2 ? 12 : 400);
+    seq::SequencePair pair;
+    if (kind == 9) {
+        // Unrelated sequences of independent lengths.
+        pair.pattern = gen.random(1 + gen.prng().below(300));
+        pair.text = gen.random(len);
+    } else if (kind == 8) {
+        // Low-complexity: runs of a single base with sprinkled noise.
+        std::string a(len, 'A');
+        pair.text = Sequence(a);
+        pair.pattern = gen.mutate(pair.text, 0.1);
+    } else {
+        const double err = gen.prng().uniform() * 0.4;
+        pair = gen.pair(len, err);
+        if (pair.pattern.empty())
+            pair.pattern = gen.random(1);
+    }
+    return pair;
+}
+
+TEST(Fuzz, AllExactAlignersAgreeWithNw)
+{
+    seq::Generator gen(0xF00D);
+    for (int rep = 0; rep < 150; ++rep) {
+        const auto pair = randomPair(gen);
+        const i64 expect = align::nwDistance(pair.pattern, pair.text);
+        const unsigned tile =
+            static_cast<unsigned>(2 + gen.prng().below(63));
+
+        const AlignResult results[] = {
+            core::fullGmxAlign(pair.pattern, pair.text, tile),
+            core::bandedGmxAuto(pair.pattern, pair.text, true, 8, tile),
+            align::bpmAlign(pair.pattern, pair.text),
+            align::edlibAlign(pair.pattern, pair.text, true, 8),
+            align::hirschbergAlign(pair.pattern, pair.text),
+        };
+        for (const auto &res : results) {
+            ASSERT_EQ(res.distance, expect)
+                << "rep=" << rep << " tile=" << tile << " n="
+                << pair.pattern.size() << " m=" << pair.text.size();
+            const auto check =
+                align::verifyResult(pair.pattern, pair.text, res);
+            ASSERT_TRUE(check.ok) << "rep=" << rep << ": " << check.error;
+        }
+    }
+}
+
+TEST(Fuzz, HeuristicsNeverBeatOptimalAndAlwaysVerify)
+{
+    seq::Generator gen(0xBEEF);
+    for (int rep = 0; rep < 60; ++rep) {
+        const auto pair = randomPair(gen);
+        const i64 expect = align::nwDistance(pair.pattern, pair.text);
+
+        const auto windowed = core::windowedGmxAlign(
+            pair.pattern, pair.text, 16,
+            {48, static_cast<size_t>(8 + gen.prng().below(24))});
+        ASSERT_GE(windowed.distance, expect) << rep;
+        ASSERT_TRUE(
+            align::verifyResult(pair.pattern, pair.text, windowed).ok)
+            << rep;
+
+        const auto genasm =
+            align::genasmCpuAlign(pair.pattern, pair.text, {48, 16});
+        ASSERT_GE(genasm.distance, expect) << rep;
+        ASSERT_TRUE(
+            align::verifyResult(pair.pattern, pair.text, genasm).ok)
+            << rep;
+    }
+}
+
+TEST(Fuzz, BandedVerdictsAreConsistent)
+{
+    // For random k: found => distance == optimal and distance <= k;
+    // not-found => optimal > k (banded never falsely rejects).
+    seq::Generator gen(0xCAFE);
+    for (int rep = 0; rep < 80; ++rep) {
+        const auto pair = randomPair(gen);
+        const i64 expect = align::nwDistance(pair.pattern, pair.text);
+        const i64 k = static_cast<i64>(gen.prng().below(80));
+        const auto gmx_res =
+            core::bandedGmxAlign(pair.pattern, pair.text, k, false);
+        const auto bpm_res =
+            align::bpmBandedAlign(pair.pattern, pair.text, k, false);
+        for (const auto &res : {gmx_res, bpm_res}) {
+            if (res.found()) {
+                ASSERT_EQ(res.distance, expect) << rep << " k=" << k;
+                ASSERT_LE(res.distance, k);
+            } else {
+                ASSERT_GT(expect, k) << rep << " k=" << k;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace gmx

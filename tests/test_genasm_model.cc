@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the behavioural GenASM vault model: functional correctness
+ * (real verified alignments) and agreement with the analytic per-window
+ * cycle estimate of hw/dsa.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "hw/dsa.hh"
+#include "hw/genasm_model.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::hw {
+namespace {
+
+TEST(GenasmModel, ProducesValidNearOptimalAlignments)
+{
+    seq::Generator gen(1401);
+    const GenasmVaultModel vault({96, 32});
+    for (int rep = 0; rep < 4; ++rep) {
+        const auto pair = gen.pair(800, 0.1);
+        const auto run = vault.align(pair.pattern, pair.text);
+        const auto check =
+            align::verifyResult(pair.pattern, pair.text, run.result);
+        ASSERT_TRUE(check.ok) << check.error;
+        const i64 exact = align::nwDistance(pair.pattern, pair.text);
+        EXPECT_GE(run.result.distance, exact);
+        EXPECT_LE(run.result.distance, exact + exact / 2 + 8);
+        EXPECT_GT(run.windows, 5u);
+        EXPECT_GT(run.cycles, 0u);
+    }
+}
+
+TEST(GenasmModel, CycleCountTracksAnalyticEstimate)
+{
+    // The measured behavioural cycles must land near dsa.cc's closed-form
+    // 4W-per-window estimate (within ~40%, both directions).
+    seq::Generator gen(1403);
+    const auto pair = gen.pair(5000, 0.12);
+    const GenasmVaultModel vault({96, 32});
+    const auto run = vault.align(pair.pattern, pair.text);
+
+    const auto pe = genasmVault(96);
+    const double analytic_cycles =
+        windowsPerAlignment(5000, 96, 32) * pe.cycles_per_window;
+    EXPECT_GT(static_cast<double>(run.cycles), 0.6 * analytic_cycles);
+    EXPECT_LT(static_cast<double>(run.cycles), 1.4 * analytic_cycles);
+}
+
+TEST(GenasmModel, CyclesScaleLinearlyWithLength)
+{
+    seq::Generator gen(1407);
+    const GenasmVaultModel vault({96, 32});
+    const auto small = vault.align(gen.pair(1000, 0.1).pattern,
+                                   gen.pair(1000, 0.1).text);
+    const auto large_pair = gen.pair(4000, 0.1);
+    const auto large = vault.align(large_pair.pattern, large_pair.text);
+    // Unrelated sequences in `small` make it a worst case; just check
+    // the ~4x window-count ratio carries to cycles within slack.
+    const double ratio = static_cast<double>(large.cycles) /
+                         static_cast<double>(small.cycles);
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(GenasmModel, SingleWindowPair)
+{
+    seq::Generator gen(1409);
+    const auto pair = gen.pair(80, 0.05);
+    const GenasmVaultModel vault({96, 32});
+    const auto run = vault.align(pair.pattern, pair.text);
+    EXPECT_EQ(run.windows, 1u);
+    EXPECT_EQ(run.result.distance,
+              align::nwDistance(pair.pattern, pair.text));
+}
+
+} // namespace
+} // namespace gmx::hw

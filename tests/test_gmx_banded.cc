@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for Banded(GMX).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "gmx/banded.hh"
+#include "test_util.hh"
+
+namespace gmx::core {
+namespace {
+
+using seq::Sequence;
+
+class BandedGmxGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(BandedGmxGridTest, AutoDistanceMatchesNw)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = bandedGmxAuto(pair.pattern, pair.text, false);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+}
+
+TEST_P(BandedGmxGridTest, AutoAlignVerifies)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = bandedGmxAuto(pair.pattern, pair.text, true);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+    const auto check = align::verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BandedGmxGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(BandedGmx, SufficientKIsExact)
+{
+    seq::Generator gen(301);
+    for (int rep = 0; rep < 6; ++rep) {
+        const auto pair = gen.pair(500, 0.1);
+        const i64 true_dist = align::nwDistance(pair.pattern, pair.text);
+        const auto res =
+            bandedGmxAlign(pair.pattern, pair.text, true_dist + 1);
+        ASSERT_TRUE(res.found());
+        EXPECT_EQ(res.distance, true_dist);
+        EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok);
+    }
+}
+
+TEST(BandedGmx, TooSmallKReturnsNotFound)
+{
+    seq::Generator gen(303);
+    const auto pair = gen.pair(400, 0.15);
+    const i64 true_dist = align::nwDistance(pair.pattern, pair.text);
+    ASSERT_GT(true_dist, 4);
+    EXPECT_FALSE(bandedGmxAlign(pair.pattern, pair.text, 2).found());
+}
+
+TEST(BandedGmx, LengthDifferenceExceedsK)
+{
+    EXPECT_FALSE(
+        bandedGmxAlign(Sequence("AAAAAAAAAA"), Sequence("AA"), 3).found());
+}
+
+TEST(BandedGmx, RejectsNegativeK)
+{
+    EXPECT_THROW(bandedGmxAlign(Sequence("A"), Sequence("A"), -1),
+                 FatalError);
+}
+
+TEST(BandedGmx, EmptySequences)
+{
+    const auto res = bandedGmxAlign(Sequence(""), Sequence("ACG"), 5);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.distance, 3);
+    EXPECT_EQ(res.cigar.str(), "DDD");
+}
+
+TEST(BandedGmx, DistanceOnlyUsesRollingStorage)
+{
+    // want_cigar=false must produce the same distance (the megabase
+    // configuration) and report no CIGAR.
+    seq::Generator gen(307);
+    const auto pair = gen.pair(1500, 0.1);
+    const auto with = bandedGmxAlign(pair.pattern, pair.text, 400, true);
+    const auto without = bandedGmxAlign(pair.pattern, pair.text, 400, false);
+    ASSERT_TRUE(with.found());
+    ASSERT_TRUE(without.found());
+    EXPECT_EQ(with.distance, without.distance);
+    EXPECT_FALSE(without.has_cigar);
+}
+
+TEST(BandedGmx, NarrowBandComputesFarFewerCells)
+{
+    // The band's purpose: m*B/T^2 tiles instead of n*m/T^2.
+    seq::Generator gen(309);
+    const auto text = gen.random(4000);
+    const auto pattern = gen.mutate(text, 0.01);
+    align::KernelCounts banded_counts, full_like;
+    const auto res = bandedGmxAlign(pattern, text, 128, false, 32,
+                                    &banded_counts);
+    ASSERT_TRUE(res.found());
+    EXPECT_EQ(res.distance, align::nwDistance(pattern, text));
+    const auto wide = bandedGmxAlign(pattern, text, 4000, false, 32,
+                                     &full_like);
+    ASSERT_TRUE(wide.found());
+    EXPECT_LT(banded_counts.cells * 5, full_like.cells);
+}
+
+TEST(BandedGmx, FixedBandHeuristicNeverBeatsOptimal)
+{
+    // enforce_bound = false: the fixed-band regime returns the envelope
+    // distance even when it exceeds k (an overestimate by construction).
+    seq::Generator gen(317);
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto pair = gen.pair(600, 0.15);
+        const i64 exact = align::nwDistance(pair.pattern, pair.text);
+        const auto res = bandedGmxAlign(pair.pattern, pair.text, 16, false,
+                                        32, nullptr,
+                                        /*enforce_bound=*/false);
+        ASSERT_TRUE(res.found());
+        EXPECT_GE(res.distance, exact);
+    }
+    // With a generous band the heuristic is exact.
+    const auto pair = gen.pair(400, 0.05);
+    const auto res = bandedGmxAlign(pair.pattern, pair.text, 400, false, 32,
+                                    nullptr, /*enforce_bound=*/false);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+}
+
+TEST(BandedGmx, TileSizeSweep)
+{
+    seq::Generator gen(311);
+    const auto pair = gen.pair(300, 0.1);
+    const i64 expect = align::nwDistance(pair.pattern, pair.text);
+    for (unsigned tile : {4u, 8u, 16u, 32u, 64u}) {
+        const auto res = bandedGmxAuto(pair.pattern, pair.text, true, 64,
+                                       tile);
+        EXPECT_EQ(res.distance, expect) << "T=" << tile;
+        EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok)
+            << "T=" << tile;
+    }
+}
+
+TEST(BandedGmx, HighErrorLongSequence)
+{
+    seq::Generator gen(313);
+    const auto pair = gen.pair(3000, 0.15);
+    const auto res = bandedGmxAuto(pair.pattern, pair.text, true);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+    EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok);
+}
+
+} // namespace
+} // namespace gmx::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for Full(GMX): differential against NW across the grid and across
+ * tile sizes, CIGAR verification, memory/instruction accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "gmx/full.hh"
+#include "test_util.hh"
+
+namespace gmx::core {
+namespace {
+
+using seq::Sequence;
+
+TEST(FullGmx, PaperFigure6EndToEnd)
+{
+    const Sequence p("GATT"), t("GCAT");
+    for (unsigned tile : {2u, 4u}) {
+        EXPECT_EQ(fullGmxDistance(p, t, tile), 2) << "T=" << tile;
+        const auto res = fullGmxAlign(p, t, tile);
+        EXPECT_EQ(res.distance, 2);
+        const auto check = align::verifyResult(p, t, res);
+        EXPECT_TRUE(check.ok) << check.error;
+    }
+    // With T=2 the traceback crosses tiles exactly as Fig. 6 steps 4-6.
+    const auto res = fullGmxAlign(p, t, 2);
+    EXPECT_EQ(res.cigar.str(), "MDMIM");
+}
+
+class FullGmxGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(FullGmxGridTest, DistanceMatchesNwAtT32)
+{
+    const auto pair = test::makePair(GetParam());
+    EXPECT_EQ(fullGmxDistance(pair.pattern, pair.text, 32),
+              align::nwDistance(pair.pattern, pair.text));
+}
+
+TEST_P(FullGmxGridTest, AlignMatchesNwAndVerifiesAtT32)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = fullGmxAlign(pair.pattern, pair.text, 32);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+    const auto check = align::verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FullGmxGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(FullGmx, AllTileSizesAgree)
+{
+    // Tile size must not change results — including odd sizes and T=64.
+    seq::Generator gen(201);
+    for (int rep = 0; rep < 4; ++rep) {
+        const auto pair = gen.pair(150, 0.1);
+        const i64 expect = align::nwDistance(pair.pattern, pair.text);
+        for (unsigned tile : {2u, 3u, 5u, 8u, 16u, 31u, 32u, 64u}) {
+            EXPECT_EQ(fullGmxDistance(pair.pattern, pair.text, tile), expect)
+                << "T=" << tile;
+            const auto res = fullGmxAlign(pair.pattern, pair.text, tile);
+            EXPECT_EQ(res.distance, expect) << "T=" << tile;
+            EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok)
+                << "T=" << tile;
+        }
+    }
+}
+
+TEST(FullGmx, NonMultipleLengthsExercisePartialTiles)
+{
+    seq::Generator gen(203);
+    for (size_t n : {31u, 33u, 63u, 65u, 95u, 97u}) {
+        const auto p = gen.random(n);
+        const auto t = gen.mutate(p, 0.1);
+        const i64 expect = align::nwDistance(p, t);
+        EXPECT_EQ(fullGmxDistance(p, t, 32), expect) << n;
+        const auto res = fullGmxAlign(p, t, 32);
+        EXPECT_EQ(res.distance, expect) << n;
+        EXPECT_TRUE(align::verifyResult(p, t, res).ok) << n;
+    }
+}
+
+TEST(FullGmx, EmptySequences)
+{
+    EXPECT_EQ(fullGmxDistance(Sequence(""), Sequence("ACG")), 3);
+    EXPECT_EQ(fullGmxDistance(Sequence("ACG"), Sequence("")), 3);
+    const auto res = fullGmxAlign(Sequence("ACG"), Sequence(""));
+    EXPECT_EQ(res.cigar.str(), "III");
+}
+
+TEST(FullGmx, InstructionCountsMatchAlgorithm1)
+{
+    // For an n x m matrix with full tiles: n/T * m/T tiles, two gmx.*
+    // instructions each — the quadratic instruction reduction of §4.
+    seq::Generator gen(207);
+    const auto p = gen.random(320);
+    const auto t = gen.random(320);
+    align::KernelCounts counts;
+    fullGmxDistance(p, t, 32, &counts);
+    const u64 tiles = 10 * 10;
+    EXPECT_EQ(counts.gmx_ac, 2 * tiles);
+    EXPECT_EQ(counts.cells, 320u * 320u);
+    // One gmx_text csrw per tile column + one gmx_pattern per tile.
+    EXPECT_EQ(counts.csr, 10u + tiles);
+    EXPECT_EQ(counts.gmx_tb, 0u);
+
+    align::KernelCounts tb_counts;
+    fullGmxAlign(p, t, 32, &tb_counts);
+    EXPECT_GT(tb_counts.gmx_tb, 0u);
+    // Tile-wise traceback touches at most the tiles on the path.
+    EXPECT_LE(tb_counts.gmx_tb, 2 * 10u + 1);
+}
+
+TEST(FullGmx, LongNoisySequences)
+{
+    // The paper's long-sequence regime (15% error).
+    seq::Generator gen(209);
+    const auto pair = gen.pair(2000, 0.15);
+    const i64 expect = align::nwDistance(pair.pattern, pair.text);
+    EXPECT_EQ(fullGmxDistance(pair.pattern, pair.text, 32), expect);
+    const auto res = fullGmxAlign(pair.pattern, pair.text, 32);
+    EXPECT_EQ(res.distance, expect);
+    EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok);
+}
+
+TEST(FullGmx, CigarFollowsCctbPriority)
+{
+    // The GMX-TB priority (M, D, I, X) is deterministic: identical inputs
+    // must give identical CIGARs across tile sizes whenever the tile walk
+    // makes the same local decisions. We check determinism per tile size.
+    seq::Generator gen(211);
+    const auto pair = gen.pair(200, 0.1);
+    const auto a = fullGmxAlign(pair.pattern, pair.text, 32);
+    const auto b = fullGmxAlign(pair.pattern, pair.text, 32);
+    EXPECT_EQ(a.cigar, b.cigar);
+}
+
+} // namespace
+} // namespace gmx::core

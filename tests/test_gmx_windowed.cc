@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for Windowed(GMX).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "gmx/windowed.hh"
+#include "test_util.hh"
+
+namespace gmx::core {
+namespace {
+
+class WindowedGmxGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(WindowedGmxGridTest, ProducesValidNearOptimalAlignments)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32});
+    const auto check = align::verifyResult(pair.pattern, pair.text, res);
+    ASSERT_TRUE(check.ok) << check.error;
+    const i64 exact = align::nwDistance(pair.pattern, pair.text);
+    EXPECT_GE(res.distance, exact);
+    EXPECT_LE(res.distance, exact + std::max<i64>(8, exact / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowedGmxGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(WindowedGmx, MatchesWindowedDpExactly)
+{
+    // With identical window geometry and an exact window aligner on both
+    // sides, Windowed(GMX) and Windowed(DP) commit identical distances as
+    // long as in-window tracebacks pick paths of the same cost (any valid
+    // optimal path gives the same cost; the committed prefixes may differ,
+    // so compare the final distances only).
+    seq::Generator gen(401);
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto pair = gen.pair(600, 0.08);
+        const auto gmx_res =
+            windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32});
+        const auto dp_res =
+            align::windowedDpAlign(pair.pattern, pair.text, {96, 32});
+        EXPECT_TRUE(align::verifyResult(pair.pattern, pair.text, gmx_res).ok);
+        // Both are corridor heuristics with the same geometry; their
+        // distances should be very close (paths may differ at ties).
+        EXPECT_NEAR(static_cast<double>(gmx_res.distance),
+                    static_cast<double>(dp_res.distance),
+                    static_cast<double>(dp_res.distance) * 0.1 + 3.0);
+    }
+}
+
+TEST(WindowedGmx, PaperGeometryOnLongNoisyReads)
+{
+    // W = 3T, O = T with T = 32 on the 15%-error long-read workload.
+    seq::Generator gen(403);
+    const auto pair = gen.pair(2000, 0.15);
+    const auto res = windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32});
+    ASSERT_TRUE(align::verifyResult(pair.pattern, pair.text, res).ok);
+    const i64 exact = align::nwDistance(pair.pattern, pair.text);
+    EXPECT_GE(res.distance, exact);
+    // 15% error strains the corridor; it must stay within a reasonable
+    // factor of optimal on mutated (structurally similar) pairs.
+    EXPECT_LE(res.distance, exact * 2);
+}
+
+TEST(WindowedGmx, SingleWindowIsExact)
+{
+    seq::Generator gen(407);
+    const auto pair = gen.pair(90, 0.1);
+    const auto res = windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32});
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+}
+
+TEST(WindowedGmx, CountsAccumulateGmxInstructions)
+{
+    seq::Generator gen(409);
+    const auto pair = gen.pair(500, 0.05);
+    align::KernelCounts counts;
+    const auto res =
+        windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32}, &counts);
+    ASSERT_TRUE(res.found());
+    EXPECT_GT(counts.gmx_ac, 0u);
+    EXPECT_GT(counts.gmx_tb, 0u);
+    EXPECT_GT(counts.cells, 0u);
+}
+
+} // namespace
+} // namespace gmx::core

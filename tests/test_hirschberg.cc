@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for Hirschberg's linear-space aligner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/hirschberg.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+class HirschbergGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(HirschbergGridTest, DistanceMatchesNwAndVerifies)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = hirschbergAlign(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    EXPECT_TRUE(check.ok) << check.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HirschbergGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(Hirschberg, EmptyAndDegenerateInputs)
+{
+    EXPECT_EQ(hirschbergAlign(Sequence(""), Sequence("")).distance, 0);
+    const auto del = hirschbergAlign(Sequence(""), Sequence("ACGT"));
+    EXPECT_EQ(del.cigar.str(), "DDDD");
+    const auto ins = hirschbergAlign(Sequence("ACGT"), Sequence(""));
+    EXPECT_EQ(ins.cigar.str(), "IIII");
+    const auto one = hirschbergAlign(Sequence("A"), Sequence("ACGT"));
+    EXPECT_EQ(one.distance, 3);
+    EXPECT_TRUE(verifyResult(Sequence("A"), Sequence("ACGT"), one).ok);
+}
+
+TEST(Hirschberg, LongNoisyPair)
+{
+    seq::Generator gen(1201);
+    const auto pair = gen.pair(3000, 0.15);
+    const auto res = hirschbergAlign(pair.pattern, pair.text);
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    EXPECT_TRUE(verifyResult(pair.pattern, pair.text, res).ok);
+}
+
+TEST(Hirschberg, ComputeIsRoughlyTwiceTheMatrix)
+{
+    // Linear memory costs ~2x the cell computations (the classic trade).
+    seq::Generator gen(1203);
+    const auto pair = gen.pair(800, 0.1);
+    KernelCounts counts;
+    hirschbergAlign(pair.pattern, pair.text, &counts);
+    const double cells = static_cast<double>(pair.pattern.size()) *
+                         static_cast<double>(pair.text.size());
+    EXPECT_GT(static_cast<double>(counts.cells), 1.5 * cells);
+    EXPECT_LT(static_cast<double>(counts.cells), 2.6 * cells);
+}
+
+} // namespace
+} // namespace gmx::align

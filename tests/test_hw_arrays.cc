@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Differential tests of the gate-level GMX-AC / GMX-TB arrays against the
+ * algorithmic kernels (tileCompute and GmxUnit::gmxTb).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gmx/isa.hh"
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::hw {
+namespace {
+
+core::TileInput
+randomTile(seq::Generator &gen, const seq::Sequence &p,
+           const seq::Sequence &t, unsigned ts)
+{
+    core::TileInput in;
+    in.pattern = p.codes().data();
+    in.tp = ts;
+    in.text = t.codes().data();
+    in.tt = ts;
+    for (unsigned r = 0; r < ts; ++r) {
+        in.dv_in.set(r, static_cast<int>(gen.prng().below(3)) - 1);
+        in.dh_in.set(r, static_cast<int>(gen.prng().below(3)) - 1);
+    }
+    return in;
+}
+
+TEST(GmxAcArrayTest, MatchesTileKernel)
+{
+    seq::Generator gen(501);
+    for (unsigned ts : {2u, 4u, 8u, 16u}) {
+        const GmxAcArray array(ts);
+        for (int rep = 0; rep < 20; ++rep) {
+            const auto p = gen.random(ts);
+            const auto t = gen.random(ts);
+            const auto in = randomTile(gen, p, t, ts);
+            const auto hw_out = array.run(in);
+            const auto sw_out = core::tileCompute(in);
+            EXPECT_EQ(hw_out.dv_out, sw_out.dv_out)
+                << "T=" << ts << " rep=" << rep;
+            EXPECT_EQ(hw_out.dh_out, sw_out.dh_out)
+                << "T=" << ts << " rep=" << rep;
+        }
+    }
+}
+
+TEST(GmxAcArrayTest, T32DesignPoint)
+{
+    const GmxAcArray array(32);
+    seq::Generator gen(503);
+    const auto p = gen.random(32);
+    const auto t = gen.mutate(p, 0.2);
+    if (t.size() < 32)
+        return;
+    core::TileInput in;
+    in.pattern = p.codes().data();
+    in.tp = 32;
+    in.text = t.codes().data();
+    in.tt = 32;
+    in.dv_in = core::DeltaVec::ones(32);
+    in.dh_in = core::DeltaVec::ones(32);
+    const auto hw_out = array.run(in);
+    const auto sw_out = core::tileCompute(in);
+    EXPECT_EQ(hw_out.dv_out, sw_out.dv_out);
+    EXPECT_EQ(hw_out.dh_out, sw_out.dh_out);
+    EXPECT_EQ(array.criticalPathCells(), 63u); // 2T-1
+}
+
+TEST(GmxTbArrayTest, MatchesBehaviouralGmxTb)
+{
+    seq::Generator gen(507);
+    for (unsigned ts : {2u, 4u, 8u}) {
+        const GmxTbArray array(ts);
+        for (int rep = 0; rep < 25; ++rep) {
+            const auto p = gen.random(ts);
+            const auto t = gen.random(ts);
+            const auto in = randomTile(gen, p, t, ts);
+
+            // Random start on the bottom or right edge.
+            core::TracebackPos start;
+            if (gen.prng().below(2) == 0) {
+                start = {core::TracebackPos::Edge::Bottom,
+                         static_cast<unsigned>(gen.prng().below(ts))};
+            } else {
+                start = {core::TracebackPos::Edge::Right,
+                         static_cast<unsigned>(gen.prng().below(ts))};
+            }
+
+            core::GmxUnit unit(ts);
+            unit.csrwPattern(in.pattern, ts);
+            unit.csrwText(in.text, ts);
+            unit.csrwPos(start);
+            const auto behav = unit.gmxTb(in.dv_in, in.dh_in);
+            const auto gate = array.run(in, start);
+
+            ASSERT_EQ(gate.ops.size(), behav.ops.size())
+                << "T=" << ts << " rep=" << rep;
+            for (size_t i = 0; i < gate.ops.size(); ++i)
+                EXPECT_EQ(gate.ops[i], behav.ops[i]) << i;
+            EXPECT_EQ(gate.next, behav.next);
+            EXPECT_EQ(gate.next_pos, behav.next_pos);
+        }
+    }
+}
+
+TEST(GmxTbArrayTest, T16RandomDeltas)
+{
+    const GmxTbArray array(16);
+    seq::Generator gen(509);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto p = gen.random(16);
+        const auto t = gen.random(16);
+        const auto in = randomTile(gen, p, t, 16);
+        core::GmxUnit unit(16);
+        unit.csrwPattern(in.pattern, 16);
+        unit.csrwText(in.text, 16);
+        unit.csrwPos({core::TracebackPos::Edge::Bottom, 15});
+        const auto behav = unit.gmxTb(in.dv_in, in.dh_in);
+        const auto gate =
+            array.run(in, {core::TracebackPos::Edge::Bottom, 15});
+        EXPECT_EQ(gate.ops.size(), behav.ops.size());
+        EXPECT_EQ(gate.next, behav.next);
+        EXPECT_EQ(gate.next_pos, behav.next_pos);
+    }
+}
+
+} // namespace
+} // namespace gmx::hw

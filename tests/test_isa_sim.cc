@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the RV64-like simulator with the GMX extension: assembler,
+ * core semantics, the packed CSR protocol, and the Algorithm-1 program
+ * end to end against the NW reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "gmx/full.hh"
+#include "isa_sim/programs.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::isa_sim {
+namespace {
+
+Cpu
+runSource(const std::string &src, size_t mem = 0x10000)
+{
+    Cpu cpu(mem);
+    cpu.loadProgram(assemble(src));
+    EXPECT_TRUE(cpu.run());
+    return cpu;
+}
+
+TEST(Assembler, ParsesRegistersAndAbiNames)
+{
+    EXPECT_EQ(parseRegister("zero"), 0);
+    EXPECT_EQ(parseRegister("x0"), 0);
+    EXPECT_EQ(parseRegister("a0"), 10);
+    EXPECT_EQ(parseRegister("t6"), 31);
+    EXPECT_EQ(parseRegister("s11"), 27);
+    EXPECT_THROW(parseRegister("q7"), FatalError);
+    EXPECT_THROW(parseRegister("x32"), FatalError);
+}
+
+TEST(Assembler, RejectsMalformedLines)
+{
+    EXPECT_THROW(assemble("frobnicate a0, a1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("add a0, a1\nhalt\n"), FatalError); // arity
+    EXPECT_THROW(assemble("beq a0, a1, nowhere\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("ld a0, a1\nhalt\n"), FatalError); // not imm(reg)
+    EXPECT_THROW(assemble("csrw bogus_csr, a0\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("x: addi a0, a0, 1\nx: halt\n"), FatalError);
+}
+
+TEST(Assembler, LabelsAndComments)
+{
+    const Program p = assemble(R"(
+# leading comment
+start:  li a0, 5     # load
+loop:   addi a0, a0, -1
+        bne a0, zero, loop
+        halt
+)");
+    EXPECT_EQ(p.code.size(), 4u);
+    EXPECT_EQ(p.code[2].imm, 1); // loop label resolves to index 1
+}
+
+TEST(Cpu, ArithmeticAndLogic)
+{
+    const Cpu cpu = runSource(R"(
+        li   a0, 21
+        slli a1, a0, 1      # 42
+        srli a2, a1, 3      # 5
+        add  a3, a1, a2     # 47
+        sub  a4, a3, a0     # 26
+        xori a5, a4, 3      # 25
+        andi a6, a5, 0x18   # 24
+        ori  a7, a6, 1      # 25
+        li   t0, 0xff
+        cpop t1, t0         # 8
+        halt
+)");
+    EXPECT_EQ(cpu.reg(11), 42u);
+    EXPECT_EQ(cpu.reg(12), 5u);
+    EXPECT_EQ(cpu.reg(13), 47u);
+    EXPECT_EQ(cpu.reg(14), 26u);
+    EXPECT_EQ(cpu.reg(15), 25u);
+    EXPECT_EQ(cpu.reg(16), 24u);
+    EXPECT_EQ(cpu.reg(17), 25u);
+    EXPECT_EQ(cpu.reg(6), 8u);
+}
+
+TEST(Cpu, ZeroRegisterIsHardwired)
+{
+    const Cpu cpu = runSource(R"(
+        li   zero, 99
+        mv   a0, zero
+        halt
+)");
+    EXPECT_EQ(cpu.reg(10), 0u);
+}
+
+TEST(Cpu, LoadsAndStores)
+{
+    const Cpu cpu = runSource(R"(
+        li  a0, 0x100
+        li  a1, 0x1122334455667788
+        sd  a1, 0(a0)
+        ld  a2, 0(a0)
+        lbu a3, 1(a0)      # little-endian second byte
+        li  a4, 0x7f
+        sb  a4, 8(a0)
+        lbu a5, 8(a0)
+        halt
+)");
+    EXPECT_EQ(cpu.reg(12), 0x1122334455667788ull);
+    EXPECT_EQ(cpu.reg(13), 0x77u);
+    EXPECT_EQ(cpu.reg(15), 0x7fu);
+}
+
+TEST(Cpu, BranchesAndLoops)
+{
+    // Sum 1..10 with a loop.
+    const Cpu cpu = runSource(R"(
+        li a0, 0
+        li a1, 1
+        li a2, 11
+loop:   bge a1, a2, out
+        add a0, a0, a1
+        addi a1, a1, 1
+        j loop
+out:    halt
+)");
+    EXPECT_EQ(cpu.reg(10), 55u);
+    EXPECT_GT(cpu.stats().branches, 10u);
+}
+
+TEST(Cpu, FaultsAreReported)
+{
+    {
+        Cpu cpu(0x100);
+        cpu.loadProgram(assemble("ld a0, 0x200(zero)\nhalt\n"));
+        EXPECT_THROW(cpu.run(), FatalError);
+    }
+    {
+        Cpu cpu(0x1000);
+        cpu.loadProgram(assemble("ld a0, 3(zero)\nhalt\n")); // misaligned
+        EXPECT_THROW(cpu.run(), FatalError);
+    }
+    {
+        // Run off the end of the program.
+        Cpu cpu(0x1000);
+        cpu.loadProgram(assemble("addi a0, a0, 1\n"));
+        EXPECT_THROW(cpu.run(), FatalError);
+    }
+}
+
+TEST(Cpu, RunawayGuardStopsInfiniteLoops)
+{
+    CpuConfig cfg;
+    cfg.max_instructions = 1000;
+    Cpu cpu(0x1000, 32, cfg);
+    cpu.loadProgram(assemble("loop: j loop\n"));
+    EXPECT_FALSE(cpu.run());
+}
+
+TEST(Cpu, GmxInstructionTiming)
+{
+    // gmx.v/gmx.h cost the 2-cycle AC latency; csrw is 1 cycle.
+    seq::Generator gen(801);
+    const auto p = gen.random(32);
+    const auto t = gen.random(32);
+    const auto pw = packSequenceWords(p);
+    const auto tw = packSequenceWords(t);
+    Cpu cpu(0x1000);
+    cpu.loadProgram(assemble(R"(
+        csrw gmx_pattern, a0
+        csrw gmx_text, a1
+        gmx.v a2, a3, a4
+        gmx.h a5, a3, a4
+        halt
+)"));
+    cpu.setReg(10, pw[0]);
+    cpu.setReg(11, tw[0]);
+    cpu.setReg(13, 0x5555555555555555ull); // +1 deltas
+    cpu.setReg(14, 0x5555555555555555ull);
+    ASSERT_TRUE(cpu.run());
+    EXPECT_EQ(cpu.stats().gmx_ops, 2u);
+    EXPECT_EQ(cpu.stats().cycles, 5u + 2u); // 5 instr + 2 extra latency
+}
+
+class ProgramGridTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(ProgramGridTest, Algorithm1ProgramMatchesNw)
+{
+    const auto [n, m] = GetParam();
+    seq::Generator gen(900 + n + m);
+    const auto text = gen.random(m);
+    seq::Generator gen2(901 + n);
+    const auto pattern = n == m ? gen.mutate(text, 0.1) : gen2.random(n);
+    // Clamp the mutated pattern to exactly n (multiples of 32 required).
+    std::string ps = pattern.str();
+    ps.resize(n, 'A');
+    const seq::Sequence p_fixed(ps);
+
+    const auto res = runFullGmxDistanceProgram(p_fixed, text);
+    EXPECT_EQ(res.distance, align::nwDistance(p_fixed, text));
+    EXPECT_GT(res.stats.gmx_ops, 0u);
+    EXPECT_GT(res.stats.cycles, res.stats.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ProgramGridTest,
+    ::testing::Values(std::make_pair(32u, 32u), std::make_pair(32u, 96u),
+                      std::make_pair(96u, 32u), std::make_pair(128u, 128u),
+                      std::make_pair(256u, 224u)),
+    [](const auto &info) {
+        return "n" + std::to_string(info.param.first) + "_m" +
+               std::to_string(info.param.second);
+    });
+
+TEST(Programs, InstructionCountTracksAlgorithm1)
+{
+    // Per tile: 2 gmx + 2 csrw + 3 ld + 1 sd + loop overhead; the total
+    // must scale with gr * gc.
+    seq::Generator gen(907);
+    const auto a = gen.random(128);
+    const auto b = gen.random(128);
+    const auto res = runFullGmxDistanceProgram(a, b);
+    const u64 tiles = 4 * 4;
+    EXPECT_EQ(res.stats.gmx_ops, 2 * tiles);
+    EXPECT_LT(res.stats.instructions, 40 * tiles + 200);
+}
+
+class AlignProgramTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(AlignProgramTest, Algorithm2ProgramProducesVerifiedAlignments)
+{
+    const auto [n, m] = GetParam();
+    seq::Generator gen(950 + n + m);
+    const auto text = gen.random(m);
+    std::string ps = gen.mutate(text, 0.12).str();
+    ps.resize(n, 'C');
+    const seq::Sequence pattern(ps);
+
+    const auto run = runFullGmxAlignProgram(pattern, text);
+    const i64 expect = align::nwDistance(pattern, text);
+    EXPECT_EQ(run.result.distance, expect);
+    const auto check =
+        gmx::align::verifyResult(pattern, text, run.result);
+    EXPECT_TRUE(check.ok) << check.error;
+    // The program's CIGAR equals the C++ driver's (same priorities all
+    // the way down).
+    const auto sw = core::fullGmxAlign(pattern, text, 32);
+    EXPECT_EQ(run.result.cigar, sw.cigar);
+    EXPECT_GT(run.tb_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AlignProgramTest,
+    ::testing::Values(std::make_pair(32u, 32u), std::make_pair(64u, 96u),
+                      std::make_pair(160u, 128u),
+                      std::make_pair(256u, 256u)),
+    [](const auto &info) {
+        return "n" + std::to_string(info.param.first) + "_m" +
+               std::to_string(info.param.second);
+    });
+
+TEST(Programs, AlignProgramRejectsBadLengths)
+{
+    seq::Generator gen(961);
+    EXPECT_THROW(runFullGmxAlignProgram(gen.random(33), gen.random(64)),
+                 FatalError);
+    EXPECT_THROW(runFullGmxAlignProgram(seq::Sequence(""), gen.random(64)),
+                 FatalError);
+}
+
+TEST(Programs, TracebackProgramDecodesOps)
+{
+    // One-tile traceback through the CSR protocol, cross-checked against
+    // the GmxUnit's decoded step.
+    seq::Generator gen(911);
+    const auto p = gen.random(32);
+    const auto t = gen.mutate(p, 0.1);
+    if (t.size() < 32)
+        return;
+    const auto pw = packSequenceWords(p);
+    const auto tw = packSequenceWords(seq::Sequence(t.str().substr(0, 32)));
+
+    Cpu cpu(0x1000);
+    cpu.loadProgram(assemble(tileTracebackSource()));
+    const u64 ones = 0x5555555555555555ull;
+    cpu.setReg(10, pw[0]);
+    cpu.setReg(11, tw[0]);
+    cpu.setReg(12, ones);
+    cpu.setReg(13, ones);
+    cpu.setReg(14, u64{1} << 31); // bottom-right corner
+    ASSERT_TRUE(cpu.run());
+
+    core::GmxUnit unit(32);
+    unit.csrwPatternPacked(pw[0]);
+    unit.csrwTextPacked(tw[0]);
+    unit.csrwPosPacked(u64{1} << 31);
+    const auto step = unit.gmxTb(core::unpackDelta(ones, 32),
+                                 core::unpackDelta(ones, 32));
+    EXPECT_EQ(cpu.reg(10), unit.csrrLo());
+    EXPECT_EQ(cpu.reg(11), unit.csrrHi());
+    // The returned position matches the decoded next_pos.
+    core::GmxUnit probe(32);
+    probe.csrwPos(step.next_pos);
+    EXPECT_EQ(cpu.reg(12), probe.csrrPosPacked());
+}
+
+} // namespace
+} // namespace gmx::isa_sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the netlist framework and the GMXD/CCAC/CCTB netlists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gmx/delta.hh"
+#include "hw/gmx_ac.hh"
+#include "hw/gmx_tb.hh"
+#include "hw/netlist.hh"
+
+namespace gmx::hw {
+namespace {
+
+TEST(Netlist, BasicGatesEvaluate)
+{
+    Netlist nl;
+    const Wire a = nl.addInput("a");
+    const Wire b = nl.addInput("b");
+    nl.markOutput(nl.addGate(GateOp::And, a, b), "and");
+    nl.markOutput(nl.addGate(GateOp::Or, a, b), "or");
+    nl.markOutput(nl.addGate(GateOp::Xor, a, b), "xor");
+    nl.markOutput(nl.addNot(a), "not_a");
+    nl.markOutput(nl.addGate(GateOp::Nand, a, b), "nand");
+    nl.markOutput(nl.addGate(GateOp::Nor, a, b), "nor");
+    nl.markOutput(nl.addGate(GateOp::Xnor, a, b), "xnor");
+
+    for (bool va : {false, true}) {
+        for (bool vb : {false, true}) {
+            const auto out = nl.eval({va, vb});
+            EXPECT_EQ(out[0], va && vb);
+            EXPECT_EQ(out[1], va || vb);
+            EXPECT_EQ(out[2], va != vb);
+            EXPECT_EQ(out[3], !va);
+            EXPECT_EQ(out[4], !(va && vb));
+            EXPECT_EQ(out[5], !(va || vb));
+            EXPECT_EQ(out[6], va == vb);
+        }
+    }
+}
+
+TEST(Netlist, ConstantsAndCounts)
+{
+    Netlist nl;
+    const Wire a = nl.addInput("a");
+    const Wire c1 = nl.const1();
+    const Wire g = nl.addGate(GateOp::And, a, c1);
+    nl.markOutput(g, "out");
+    nl.markOutput(nl.const0(), "zero");
+    EXPECT_EQ(nl.gateCount(), 1u); // inputs/constants are not physical
+    EXPECT_EQ(nl.eval({true})[0], true);
+    EXPECT_EQ(nl.eval({true})[1], false);
+}
+
+TEST(Netlist, DepthCountsLevels)
+{
+    Netlist nl;
+    const Wire a = nl.addInput("a");
+    Wire w = a;
+    for (int i = 0; i < 5; ++i)
+        w = nl.addNot(w);
+    nl.markOutput(w, "out");
+    EXPECT_EQ(nl.depth(), 5u);
+}
+
+TEST(GmxDeltaNetlist, MatchesFunctionOnAllInputs)
+{
+    const Netlist nl = buildGmxDeltaNetlist();
+    EXPECT_EQ(nl.gateCount(), 6u); // the paper's small-gate-count claim
+    for (int a : {-1, 0, 1}) {
+        for (int b : {-1, 0, 1}) {
+            for (bool eq : {false, true}) {
+                const auto out =
+                    nl.eval({a > 0, a < 0, b > 0, b < 0, eq});
+                bool ep = false, em = false;
+                core::gmxDeltaBits(a > 0, a < 0, b > 0, b < 0, eq, ep, em);
+                EXPECT_EQ(out[0], ep) << a << " " << b << " " << eq;
+                EXPECT_EQ(out[1], em) << a << " " << b << " " << eq;
+            }
+        }
+    }
+}
+
+TEST(CcacNetlist, ComputesBothDeltas)
+{
+    const Netlist nl = buildCcacNetlist();
+    // All 4x4 char pairs x 9 delta combinations.
+    for (int p = 0; p < 4; ++p) {
+        for (int t = 0; t < 4; ++t) {
+            for (int dv : {-1, 0, 1}) {
+                for (int dh : {-1, 0, 1}) {
+                    const auto out = nl.eval(
+                        {static_cast<bool>(p & 1),
+                         static_cast<bool>((p >> 1) & 1),
+                         static_cast<bool>(t & 1),
+                         static_cast<bool>((t >> 1) & 1), dv > 0, dv < 0,
+                         dh > 0, dh < 0});
+                    const bool eq = p == t;
+                    const int dv_exp = core::gmxDeltaArith(dv, dh, eq);
+                    const int dh_exp = core::gmxDeltaArith(dh, dv, eq);
+                    EXPECT_EQ(out[0], dv_exp > 0);
+                    EXPECT_EQ(out[1], dv_exp < 0);
+                    EXPECT_EQ(out[2], dh_exp > 0);
+                    EXPECT_EQ(out[3], dh_exp < 0);
+                }
+            }
+        }
+    }
+}
+
+TEST(CctbNetlist, PriorityTable)
+{
+    const Netlist nl = buildCctbNetlist();
+    // inputs: eq, dv+, dh+, enable. Outputs: op0, op1, diag, left, up.
+    struct Case
+    {
+        bool eq, dvp, dhp;
+        align::Op op;
+    };
+    const Case cases[] = {
+        {true, true, true, align::Op::Match},     // eq wins over all
+        {false, false, true, align::Op::Deletion},
+        {false, true, true, align::Op::Deletion}, // D beats I
+        {false, true, false, align::Op::Insertion},
+        {false, false, false, align::Op::Mismatch},
+    };
+    for (const auto &c : cases) {
+        const auto out = nl.eval({c.eq, c.dvp, c.dhp, true});
+        const int code = (out[0] ? 1 : 0) | (out[1] ? 2 : 0);
+        EXPECT_EQ(static_cast<align::Op>(code), c.op);
+        // Exactly one enable fires.
+        EXPECT_EQ(static_cast<int>(out[2]) + out[3] + out[4], 1);
+    }
+    // Disabled cell: everything quiet.
+    const auto out = nl.eval({true, true, true, false});
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_FALSE(out[i]);
+}
+
+TEST(ModuleStats, CellCountsScaleQuadratically)
+{
+    const auto s8 = GmxAcArray(8).stats();
+    const auto s16 = GmxAcArray(16).stats();
+    // Area ~ T^2 (paper §6.3), depth ~ 2T-1.
+    EXPECT_NEAR(static_cast<double>(s16.gates) / s8.gates, 4.0, 0.2);
+    EXPECT_NEAR(static_cast<double>(s16.depth) / s8.depth, 2.0, 0.3);
+}
+
+} // namespace
+} // namespace gmx::hw

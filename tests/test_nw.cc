@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the Needleman-Wunsch reference aligner. Everything else is
+ * differential-tested against this module, so it gets direct scrutiny:
+ * hand-computed cases, recurrence invariants, and CIGAR verification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+TEST(NwDistance, HandComputedCases)
+{
+    EXPECT_EQ(nwDistance(Sequence(""), Sequence("")), 0);
+    EXPECT_EQ(nwDistance(Sequence("ACGT"), Sequence("ACGT")), 0);
+    EXPECT_EQ(nwDistance(Sequence("ACGT"), Sequence("")), 4);
+    EXPECT_EQ(nwDistance(Sequence(""), Sequence("ACGT")), 4);
+    EXPECT_EQ(nwDistance(Sequence("A"), Sequence("C")), 1);
+    // Paper Figure 1: GATT vs GCAT -> 2.
+    EXPECT_EQ(nwDistance(Sequence("GATT"), Sequence("GCAT")), 2);
+    // Classic: kitten-like DNA analogue.
+    EXPECT_EQ(nwDistance(Sequence("ACGTACGT"), Sequence("AGTACGGT")), 2);
+}
+
+TEST(NwDistance, Symmetry)
+{
+    seq::Generator gen(11);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto a = gen.random(80);
+        const auto b = gen.random(90);
+        EXPECT_EQ(nwDistance(a, b), nwDistance(b, a));
+    }
+}
+
+TEST(NwDistance, TriangleInequality)
+{
+    seq::Generator gen(13);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto a = gen.random(50);
+        const auto b = gen.mutate(a, 0.2);
+        const auto c = gen.mutate(b, 0.2);
+        EXPECT_LE(nwDistance(a, c),
+                  nwDistance(a, b) + nwDistance(b, c));
+    }
+}
+
+TEST(NwDistance, BoundedByLengths)
+{
+    seq::Generator gen(17);
+    for (int rep = 0; rep < 10; ++rep) {
+        const auto p = gen.random(60);
+        const auto t = gen.random(100);
+        const i64 d = nwDistance(p, t);
+        EXPECT_GE(d, 40); // at least the length difference
+        EXPECT_LE(d, 100); // at most the longer length
+    }
+}
+
+TEST(NwDistance, ErrorRateTracksInjectedErrors)
+{
+    seq::Generator gen(19);
+    const auto text = gen.random(2000);
+    const auto pattern = gen.mutate(text, 0.05);
+    const i64 d = nwDistance(pattern, text);
+    // Edit distance <= injected errors; close to it for low error rates.
+    EXPECT_GT(d, 50);
+    EXPECT_LT(d, 140);
+}
+
+TEST(NwAlign, DistanceMatchesScoreOnlyVariant)
+{
+    for (const auto &params : test::standardGrid()) {
+        const auto pair = test::makePair(params);
+        const auto res = nwAlign(pair.pattern, pair.text);
+        EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text))
+            << test::paramName(params);
+    }
+}
+
+TEST(NwAlign, CigarVerifiesOnGrid)
+{
+    for (const auto &params : test::standardGrid()) {
+        const auto pair = test::makePair(params);
+        const auto res = nwAlign(pair.pattern, pair.text);
+        const auto check = verifyResult(pair.pattern, pair.text, res);
+        EXPECT_TRUE(check.ok)
+            << test::paramName(params) << ": " << check.error;
+    }
+}
+
+TEST(NwAlign, EmptyInputs)
+{
+    const auto res1 = nwAlign(Sequence(""), Sequence("ACG"));
+    EXPECT_EQ(res1.distance, 3);
+    EXPECT_EQ(res1.cigar.str(), "DDD");
+    const auto res2 = nwAlign(Sequence("ACG"), Sequence(""));
+    EXPECT_EQ(res2.distance, 3);
+    EXPECT_EQ(res2.cigar.str(), "III");
+    const auto res3 = nwAlign(Sequence(""), Sequence(""));
+    EXPECT_EQ(res3.distance, 0);
+    EXPECT_TRUE(res3.cigar.empty());
+}
+
+TEST(NwMatrixRow, MatchesKnownValues)
+{
+    // Row 0 is 0..m.
+    const Sequence p("GATT"), t("GCAT");
+    const auto row0 = nwMatrixRow(p, t, 0);
+    ASSERT_EQ(row0.size(), 5u);
+    for (size_t j = 0; j < row0.size(); ++j)
+        EXPECT_EQ(row0[j], static_cast<i64>(j));
+    // Bottom row's last element is the distance.
+    const auto row4 = nwMatrixRow(p, t, 4);
+    EXPECT_EQ(row4.back(), 2);
+    // Paper Figure 1 score matrix row 2 (pattern prefix "GA"): 2 1 1 1 2.
+    const auto row2 = nwMatrixRow(p, t, 2);
+    const i64 expect[] = {2, 1, 1, 1, 2};
+    for (size_t j = 0; j < 5; ++j)
+        EXPECT_EQ(row2[j], expect[j]) << "col " << j;
+}
+
+TEST(NwMatrixRow, AdjacentCellPropertiesHold)
+{
+    // BPM's foundational property: adjacent row/column cells differ by at
+    // most 1 (§2.3). Verify on a random instance.
+    seq::Generator gen(23);
+    const auto p = gen.random(40);
+    const auto t = gen.random(45);
+    std::vector<i64> prev = nwMatrixRow(p, t, 0);
+    for (size_t i = 1; i <= p.size(); ++i) {
+        const auto row = nwMatrixRow(p, t, i);
+        for (size_t j = 0; j < row.size(); ++j) {
+            EXPECT_LE(std::abs(row[j] - prev[j]), 1); // vertical delta
+            if (j > 0) {
+                EXPECT_LE(std::abs(row[j] - row[j - 1]), 1); // horizontal
+            }
+        }
+        prev = row;
+    }
+}
+
+} // namespace
+} // namespace gmx::align

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the performance model: traffic classification, the evaluator,
+ * multicore scaling, and the qualitative relationships the paper's
+ * evaluation depends on (GMX >> software baselines, OoO > in-order,
+ * Full(BPM) bandwidth-bound at long lengths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sequence/dataset.hh"
+#include "sim/perf.hh"
+#include "sim/workloads.hh"
+
+namespace gmx::sim {
+namespace {
+
+TEST(Classify, StructuresLandInTheRightLevels)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p;
+    p.structures.push_back({"tiny", 1024, 4, true});          // L1
+    p.structures.push_back({"medium", 512 * 1024, 2, true});  // L2
+    p.structures.push_back({"large", 8 * 1024 * 1024, 1, true}); // DRAM
+    const MemBreakdown bd = classifyTraffic(p, mem);
+    EXPECT_EQ(bd.l2_lines, 2.0 * 512 * 1024 / 64);
+    EXPECT_EQ(bd.llc_lines, 0);
+    EXPECT_EQ(bd.dram_lines, 8.0 * 1024 * 1024 / 64);
+    // Written structures count read + writeback traffic.
+    EXPECT_EQ(bd.dram_bytes, 2.0 * 8 * 1024 * 1024);
+}
+
+TEST(Classify, ReadOnlyStructuresPayNoWriteback)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p;
+    p.structures.push_back({"ro", 8.0 * 1024 * 1024, 1, false});
+    const MemBreakdown bd = classifyTraffic(p, mem);
+    EXPECT_EQ(bd.dram_bytes, 8.0 * 1024 * 1024);
+}
+
+TEST(Evaluate, ComputeBoundKernel)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    const CoreConfig core = CoreConfig::gem5InOrder();
+    KernelProfile p;
+    p.counts.alu = 1000000;
+    const PerfResult r = evaluate(p, core, mem);
+    EXPECT_DOUBLE_EQ(r.compute_cycles, 1e6);
+    EXPECT_DOUBLE_EQ(r.stall_cycles, 0);
+    EXPECT_NEAR(r.seconds, 1e6 / (core.clock_ghz * 1e9), 1e-12);
+}
+
+TEST(Evaluate, GmxLatencyChargedOnInOrderOnly)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    KernelProfile p;
+    p.counts.gmx_ac = 1000;
+    const PerfResult in_order =
+        evaluate(p, CoreConfig::gem5InOrder(), mem);
+    const PerfResult ooo =
+        evaluate(p, CoreConfig::gem5OutOfOrder(), mem);
+    EXPECT_DOUBLE_EQ(in_order.compute_cycles, 2000.0); // latency 2 each
+    EXPECT_DOUBLE_EQ(ooo.compute_cycles, 1000.0);      // pipelined II=1
+}
+
+TEST(Evaluate, BandwidthBoundKernel)
+{
+    const MemSystemConfig mem = MemSystemConfig::gem5Like();
+    const CoreConfig core = CoreConfig::gem5OutOfOrder();
+    KernelProfile p;
+    p.counts.alu = 1000; // negligible compute
+    p.structures.push_back({"huge", 4.0 * 1024 * 1024 * 1024, 1, false});
+    const PerfResult r = evaluate(p, core, mem);
+    // 4 GB of sequential DRAM traffic: a single OoO core with streaming
+    // MLP sustains a large fraction of the DDR4 peak, and never less
+    // than the bandwidth lower bound.
+    EXPECT_GE(r.seconds, 4.0 * 1024 * 1024 * 1024 / 47.8e9);
+    EXPECT_LT(r.seconds, 0.35);
+    EXPECT_GT(r.dram_gbps, 12.0);
+}
+
+class DatasetModelTest : public ::testing::Test
+{
+  protected:
+    seq::Dataset short_ds = seq::makeDataset("s", 150, 0.05, 2, 7);
+    seq::Dataset long_ds = seq::makeDataset("l", 3000, 0.15, 2, 9);
+    MemSystemConfig mem = MemSystemConfig::gem5Like();
+    CoreConfig in_order = CoreConfig::gem5InOrder();
+    CoreConfig ooo = CoreConfig::gem5OutOfOrder();
+};
+
+TEST_F(DatasetModelTest, GmxOutperformsItsSoftwareCounterparts)
+{
+    // The core claim of Fig. 10, per family.
+    WorkloadOptions opts;
+    const struct
+    {
+        Algo baseline;
+        Algo gmx;
+    } families[] = {
+        {Algo::FullDp, Algo::FullGmx},
+        {Algo::FullBpm, Algo::FullGmx},
+        {Algo::BandedEdlib, Algo::BandedGmx},
+        {Algo::WindowedGenasm, Algo::WindowedGmx},
+    };
+    for (const auto &f : families) {
+        const auto base_profile =
+            profileForDataset(f.baseline, short_ds, opts);
+        const auto gmx_profile = profileForDataset(f.gmx, short_ds, opts);
+        const double base =
+            evaluate(base_profile, in_order, mem).alignments_per_second;
+        const double gmx =
+            evaluate(gmx_profile, in_order, mem).alignments_per_second;
+        EXPECT_GT(gmx, base * 5)
+            << algoName(f.gmx) << " vs " << algoName(f.baseline);
+    }
+}
+
+TEST_F(DatasetModelTest, OooSpeedupInPaperRange)
+{
+    // Fig. 11: 2.4x - 6.4x between gem5-InOrder and gem5-OoO.
+    for (Algo algo : {Algo::FullBpm, Algo::BandedEdlib, Algo::FullGmx,
+                      Algo::BandedGmx, Algo::WindowedGmx}) {
+        const auto profile = profileForDataset(algo, short_ds);
+        const double slow =
+            evaluate(profile, in_order, mem).alignments_per_second;
+        const double fast =
+            evaluate(profile, ooo, mem).alignments_per_second;
+        EXPECT_GT(fast / slow, 1.4) << algoName(algo);
+        EXPECT_LT(fast / slow, 8.0) << algoName(algo);
+    }
+}
+
+TEST_F(DatasetModelTest, InstructionReductionIsQuadraticInTileSize)
+{
+    // §4: instructions drop ~quadratically with T.
+    WorkloadOptions t8;
+    t8.tile = 8;
+    WorkloadOptions t32;
+    t32.tile = 32;
+    const auto p8 = profileForDataset(Algo::FullGmx, short_ds, t8);
+    const auto p32 = profileForDataset(Algo::FullGmx, short_ds, t32);
+    const double ratio = static_cast<double>(p8.counts.gmx_ac) /
+                         static_cast<double>(p32.counts.gmx_ac);
+    EXPECT_NEAR(ratio, 16.0, 6.0);
+}
+
+TEST_F(DatasetModelTest, MulticoreLinearWhenComputeBound)
+{
+    // Fig. 12: GMX configurations scale near-linearly to 16 threads.
+    const auto profile = profileForDataset(Algo::FullGmx, short_ds);
+    const auto mc = evaluateMulticore(profile, ooo, mem, {1, 2, 4, 8, 16});
+    EXPECT_NEAR(mc.speedup.back(), 16.0, 2.5);
+}
+
+TEST_F(DatasetModelTest, FullBpmSaturatesBandwidthOnLongSequences)
+{
+    // Fig. 12 bottom: Full(BPM) saturates DDR4 on long sequences while
+    // Full(GMX) does not.
+    const auto bpm = profileForDataset(Algo::FullBpm, long_ds);
+    const auto gmx = profileForDataset(Algo::FullGmx, long_ds);
+    const auto mc_bpm = evaluateMulticore(bpm, ooo, mem, {16});
+    const auto mc_gmx = evaluateMulticore(gmx, ooo, mem, {16});
+    EXPECT_GT(mc_bpm.aggregate_gbps[0], 0.5 * mem.dram_bw_gbps);
+    EXPECT_LT(mc_gmx.aggregate_gbps[0], mc_bpm.aggregate_gbps[0]);
+    // And its 16-thread speedup falls short of linear.
+    const auto sp_bpm = evaluateMulticore(bpm, ooo, mem, {1, 16});
+    EXPECT_LT(sp_bpm.speedup.back(), 13.0);
+}
+
+TEST_F(DatasetModelTest, MemoryFootprintReduction)
+{
+    // §4: Full(GMX) stores ~T-fold less than Full(BPM)'s 4nm bits.
+    const auto bpm = profileForDataset(Algo::FullBpm, long_ds);
+    const auto gmx = profileForDataset(Algo::FullGmx, long_ds);
+    EXPECT_GT(bpm.footprintBytes(), 8 * gmx.footprintBytes());
+}
+
+TEST(Multicore, SpeedupDefinitionIsConsistent)
+{
+    KernelProfile p;
+    p.counts.alu = 1000000;
+    const auto mc =
+        evaluateMulticore(p, CoreConfig::gem5OutOfOrder(),
+                          MemSystemConfig::gem5Like(), {1, 2, 4});
+    EXPECT_DOUBLE_EQ(mc.speedup[0], 1.0);
+    EXPECT_NEAR(mc.speedup[1], 2.0, 1e-9);
+    EXPECT_NEAR(mc.speedup[2], 4.0, 1e-9);
+}
+
+} // namespace
+} // namespace gmx::sim

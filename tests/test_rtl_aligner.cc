@@ -1,0 +1,87 @@
+/**
+ * @file
+ * End-to-end gate-level integration: whole alignments computed purely on
+ * the GMX-AC/GMX-TB netlists must match the NW reference — the closest
+ * software analogue of running the RTL through its verification suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "gmx/full.hh"
+#include "hw/rtl_aligner.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::hw {
+namespace {
+
+TEST(RtlAligner, DistanceMatchesNw)
+{
+    seq::Generator gen(701);
+    RtlAligner rtl(8);
+    for (int rep = 0; rep < 6; ++rep) {
+        const auto text = gen.random(64);
+        auto pattern = gen.mutate(text, 0.15);
+        // Pad/trim the mutated pattern to a multiple of T.
+        while (pattern.size() % 8 != 0)
+            pattern = seq::Sequence(pattern.str() + "A");
+        EXPECT_EQ(rtl.distance(pattern, text),
+                  align::nwDistance(pattern, text))
+            << "rep=" << rep;
+    }
+}
+
+TEST(RtlAligner, FullAlignmentsVerify)
+{
+    seq::Generator gen(703);
+    RtlAligner rtl(8);
+    for (int rep = 0; rep < 5; ++rep) {
+        const auto pattern = gen.random(48);
+        const auto text = gen.random(56);
+        const auto res = rtl.align(pattern, text);
+        EXPECT_EQ(res.distance, align::nwDistance(pattern, text));
+        const auto check = align::verifyResult(pattern, text, res);
+        EXPECT_TRUE(check.ok) << check.error;
+    }
+}
+
+TEST(RtlAligner, MatchesSoftwareFullGmxCigar)
+{
+    // Same priority rules end to end: the netlist traceback must produce
+    // the identical CIGAR to the functional GmxUnit path.
+    seq::Generator gen(707);
+    RtlAligner rtl(8);
+    const auto pattern = gen.random(40);
+    const auto text = gen.random(40);
+    const auto hw_res = rtl.align(pattern, text);
+    const auto sw_res = gmx::core::fullGmxAlign(pattern, text, 8);
+    EXPECT_EQ(hw_res.distance, sw_res.distance);
+    EXPECT_EQ(hw_res.cigar, sw_res.cigar);
+}
+
+TEST(RtlAligner, LargerTileSize)
+{
+    seq::Generator gen(709);
+    RtlAligner rtl(16);
+    const auto text = gen.random(48);
+    const auto pattern = gen.random(32);
+    const auto res = rtl.align(pattern, text);
+    EXPECT_EQ(res.distance, align::nwDistance(pattern, text));
+    EXPECT_TRUE(align::verifyResult(pattern, text, res).ok);
+}
+
+TEST(RtlAligner, RejectsNonMultipleLengths)
+{
+    RtlAligner rtl(8);
+    seq::Generator gen(711);
+    const auto ok = gen.random(16);
+    const auto bad = gen.random(13);
+    EXPECT_THROW(rtl.distance(bad, ok), FatalError);
+    EXPECT_THROW(rtl.distance(ok, bad), FatalError);
+    EXPECT_THROW(rtl.align(seq::Sequence(""), ok), FatalError);
+}
+
+} // namespace
+} // namespace gmx::hw

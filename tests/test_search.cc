@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for approximate pattern search: the GMX semi-global search is
+ * differential-tested against the Myers search oracle, and the oracle
+ * itself against a scalar semi-global DP.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "align/myers_search.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "gmx/search.hh"
+#include "sequence/generator.hh"
+
+namespace gmx {
+namespace {
+
+using align::SearchHit;
+using core::SearchOptions;
+using seq::Sequence;
+
+/** Scalar semi-global DP oracle: D[n][j] for every text position. */
+std::vector<i64>
+scalarBottomRow(const Sequence &pattern, const Sequence &text)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    std::vector<i64> col(n + 1);
+    std::vector<i64> bottom(m);
+    for (size_t i = 0; i <= n; ++i)
+        col[i] = static_cast<i64>(i);
+    for (size_t j = 1; j <= m; ++j) {
+        i64 diag = col[0];
+        col[0] = 0; // semi-global top boundary
+        for (size_t i = 1; i <= n; ++i) {
+            const i64 up = col[i];
+            const i64 eq =
+                pattern.at(i - 1) == text.at(j - 1) ? 0 : 1;
+            col[i] = std::min({up + 1, col[i - 1] + 1, diag + eq});
+            diag = up;
+        }
+        bottom[j - 1] = col[n];
+    }
+    return bottom;
+}
+
+std::vector<SearchHit>
+scalarHits(const Sequence &pattern, const Sequence &text, i64 k)
+{
+    const auto bottom = scalarBottomRow(pattern, text);
+    std::vector<SearchHit> hits;
+    size_t j = 0;
+    while (j < bottom.size()) {
+        if (bottom[j] > k) {
+            ++j;
+            continue;
+        }
+        size_t best = j, end = j;
+        while (end < bottom.size() && bottom[end] <= k) {
+            if (bottom[end] < bottom[best])
+                best = end;
+            ++end;
+        }
+        hits.push_back({best + 1, bottom[best]});
+        j = end;
+    }
+    return hits;
+}
+
+TEST(MyersSearch, MatchesScalarOracle)
+{
+    seq::Generator gen(601);
+    for (size_t n : {5u, 20u, 64u, 65u, 130u}) {
+        const auto pattern = gen.random(n);
+        // Build a text with two planted occurrences.
+        const auto left = gen.random(150);
+        const auto mid = gen.random(100);
+        const auto occ1 = gen.mutate(pattern, 0.05);
+        const auto occ2 = gen.mutate(pattern, 0.10);
+        const Sequence text(left.str() + occ1.str() + mid.str() +
+                            occ2.str());
+        const i64 k = std::max<i64>(2, static_cast<i64>(n) / 4);
+        EXPECT_EQ(align::myersSearch(pattern, text, k),
+                  scalarHits(pattern, text, k))
+            << "n=" << n;
+    }
+}
+
+TEST(GmxSearch, MatchesMyersSearch)
+{
+    seq::Generator gen(603);
+    for (size_t n : {8u, 33u, 64u, 100u, 200u}) {
+        const auto pattern = gen.random(n);
+        const auto noise1 = gen.random(300);
+        const auto noise2 = gen.random(200);
+        const auto occ = gen.mutate(pattern, 0.08);
+        const Sequence text(noise1.str() + occ.str() + noise2.str());
+        const i64 k = std::max<i64>(2, static_cast<i64>(n) / 5);
+
+        SearchOptions opts;
+        opts.max_distance = k;
+        opts.with_alignment = false;
+        const auto gmx_hits = core::searchGmx(pattern, text, opts);
+        const auto oracle = align::myersSearch(pattern, text, k);
+        ASSERT_EQ(gmx_hits.size(), oracle.size()) << "n=" << n;
+        for (size_t i = 0; i < oracle.size(); ++i) {
+            EXPECT_EQ(gmx_hits[i].end, oracle[i].end);
+            EXPECT_EQ(gmx_hits[i].distance, oracle[i].distance);
+        }
+    }
+}
+
+TEST(GmxSearch, FindsPlantedOccurrencesWithAlignment)
+{
+    seq::Generator gen(605);
+    const auto pattern = gen.random(80);
+    const auto occ = gen.mutate(pattern, 0.05);
+    const auto left = gen.random(500);
+    const auto right = gen.random(400);
+    const Sequence text(left.str() + occ.str() + right.str());
+
+    SearchOptions opts;
+    opts.max_distance = 12;
+    const auto hits = core::searchGmx(pattern, text, opts);
+    ASSERT_GE(hits.size(), 1u);
+
+    bool found_planted = false;
+    for (const auto &h : hits) {
+        // Every reported occurrence must verify: the window's global edit
+        // distance equals the reported distance and the CIGAR is valid.
+        const Sequence window =
+            text.substr(h.begin, h.end - h.begin);
+        EXPECT_EQ(align::nwDistance(pattern, window), h.distance);
+        const auto check = align::verifyCigar(pattern, window, h.cigar);
+        EXPECT_TRUE(check.ok) << check.error;
+        EXPECT_EQ(check.edit_distance, h.distance);
+        if (h.begin >= left.size() - 12 && h.begin <= left.size() + 12)
+            found_planted = true;
+    }
+    EXPECT_TRUE(found_planted);
+}
+
+TEST(GmxSearch, ExactMatchHasZeroDistance)
+{
+    seq::Generator gen(607);
+    const auto pattern = gen.random(40);
+    const auto pad = gen.random(200);
+    const Sequence text(pad.str() + pattern.str() + pad.str());
+    SearchOptions opts;
+    opts.max_distance = 0;
+    const auto hits = core::searchGmx(pattern, text, opts);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].distance, 0);
+    EXPECT_EQ(hits[0].begin, pad.size());
+    EXPECT_EQ(hits[0].end, pad.size() + pattern.size());
+    EXPECT_EQ(hits[0].cigar.editDistance(), 0u);
+}
+
+TEST(GmxSearch, NoSpuriousHitsInRandomText)
+{
+    // A 60 bp pattern at k=3 in unrelated random text: hits are
+    // overwhelmingly unlikely.
+    seq::Generator gen(609);
+    const auto pattern = gen.random(60);
+    const auto text = gen.random(5000);
+    SearchOptions opts;
+    opts.max_distance = 3;
+    opts.with_alignment = false;
+    EXPECT_TRUE(core::searchGmx(pattern, text, opts).empty());
+}
+
+TEST(GmxSearch, ByteAlphabet)
+{
+    // ASCII search (the paper's "any alphabet size" point): find a word
+    // with one typo in a sentence.
+    const std::string text =
+        "the quick brown fox jumps over the lazy dog and the quikc brown "
+        "cat naps";
+    SearchOptions opts;
+    opts.max_distance = 2;
+    opts.with_alignment = false;
+    const auto hits = core::searchGmxBytes("quick", text, opts);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].distance, 0); // "quick"
+    EXPECT_EQ(hits[0].end, 9u);
+    // Semi-global: the best occurrence in the "quikc" region is the
+    // substring "quik" (one deletion from "quick").
+    EXPECT_EQ(hits[1].distance, 1);
+    // A DNA-coded search of the same strings would collapse the alphabet
+    // to 2 bits and find spurious matches; bytes must not.
+    const auto strict = core::searchGmxBytes("zebra", text, opts);
+    EXPECT_TRUE(strict.empty());
+}
+
+TEST(GmxSearch, AllOccurrencesModeReportsRuns)
+{
+    seq::Generator gen(611);
+    const auto pattern = gen.random(30);
+    const auto pad = gen.random(100);
+    const Sequence text(pad.str() + pattern.str() + pad.str());
+    SearchOptions opts;
+    opts.max_distance = 2;
+    opts.with_alignment = false;
+    opts.best_per_run = false;
+    const auto hits = core::searchGmx(pattern, text, opts);
+    // The run around the exact match contains several end positions
+    // (ending 1-2 characters early/late costs <= 2 edits).
+    EXPECT_GE(hits.size(), 3u);
+}
+
+TEST(GmxSearch, RejectsDegenerateBudget)
+{
+    EXPECT_THROW(
+        core::searchGmx(Sequence("ACG"), Sequence("ACGT"), {3, false, 32,
+                                                            true}),
+        FatalError);
+    EXPECT_THROW(align::myersSearch(Sequence("ACG"), Sequence("ACGT"), 3),
+                 FatalError);
+}
+
+TEST(GmxSearch, TileSizeInvariance)
+{
+    seq::Generator gen(613);
+    const auto pattern = gen.random(70);
+    const auto occ = gen.mutate(pattern, 0.1);
+    const auto pad = gen.random(300);
+    const Sequence text(pad.str() + occ.str() + pad.str());
+    SearchOptions base;
+    base.max_distance = 14;
+    base.with_alignment = false;
+    const auto ref = core::searchGmx(pattern, text, base);
+    for (unsigned t : {4u, 8u, 16u, 64u}) {
+        SearchOptions opts = base;
+        opts.tile = t;
+        const auto hits = core::searchGmx(pattern, text, opts);
+        ASSERT_EQ(hits.size(), ref.size()) << "T=" << t;
+        for (size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].end, ref[i].end) << "T=" << t;
+            EXPECT_EQ(hits[i].distance, ref[i].distance) << "T=" << t;
+        }
+    }
+}
+
+} // namespace
+} // namespace gmx

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Unit tests for the sequence substrate: alphabet coding, sequences,
+ * generators/mutators, datasets, FASTA and pair-file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sequence/alphabet.hh"
+#include "sequence/dataset.hh"
+#include "sequence/fasta.hh"
+#include "sequence/generator.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::seq {
+namespace {
+
+TEST(Alphabet, RoundTrip)
+{
+    for (char c : {'A', 'C', 'G', 'T'})
+        EXPECT_EQ(decodeBase(encodeBase(c)), c);
+    EXPECT_EQ(encodeBase('a'), encodeBase('A'));
+    EXPECT_EQ(decodeBase(encodeBase('N')), 'A'); // non-ACGT normalizes to A
+}
+
+TEST(Alphabet, Complement)
+{
+    EXPECT_EQ(complementCode(encodeBase('A')), encodeBase('T'));
+    EXPECT_EQ(complementCode(encodeBase('C')), encodeBase('G'));
+    EXPECT_EQ(complementCode(encodeBase('G')), encodeBase('C'));
+    EXPECT_EQ(complementCode(encodeBase('T')), encodeBase('A'));
+}
+
+TEST(Sequence, AsciiAndCodesAgree)
+{
+    Sequence s("ACGTacgt");
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_EQ(s.str(), "ACGTACGT"); // normalized to uppercase
+    for (size_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(decodeBase(s.code(i)), s.at(i));
+}
+
+TEST(Sequence, FromCodes)
+{
+    Sequence s(std::vector<u8>{0, 1, 2, 3});
+    EXPECT_EQ(s.str(), "ACGT");
+}
+
+TEST(Sequence, Substr)
+{
+    Sequence s("ACGTACGT");
+    EXPECT_EQ(s.substr(2, 3).str(), "GTA");
+    EXPECT_EQ(s.substr(6, 100).str(), "GT"); // clamped
+    EXPECT_TRUE(s.substr(100, 5).empty());
+}
+
+TEST(Sequence, ReverseComplement)
+{
+    Sequence s("AACGT");
+    EXPECT_EQ(s.reverseComplement().str(), "ACGTT");
+    EXPECT_EQ(s.reverseComplement().reverseComplement(), s);
+}
+
+TEST(Generator, RandomSequenceLengthAndAlphabet)
+{
+    Generator gen(1);
+    const Sequence s = gen.random(1000);
+    EXPECT_EQ(s.size(), 1000u);
+    size_t counts[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < s.size(); ++i)
+        ++counts[s.code(i)];
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_GT(counts[c], 150u); // roughly uniform
+}
+
+TEST(Generator, ZeroErrorRateIsIdentity)
+{
+    Generator gen(2);
+    const Sequence s = gen.random(500);
+    EXPECT_EQ(gen.mutate(s, 0.0), s);
+}
+
+TEST(Generator, MutationRateIsRespected)
+{
+    Generator gen(3);
+    const Sequence s = gen.random(20000);
+    const Sequence mut = gen.mutate(s, 0.10);
+    // Length change is bounded (insertions and deletions mostly cancel).
+    EXPECT_NEAR(static_cast<double>(mut.size()), 20000.0, 500.0);
+    // Hamming-style spot check: the sequences must differ substantially.
+    size_t diff = 0;
+    const size_t overlap = std::min(s.size(), mut.size());
+    for (size_t i = 0; i < overlap; ++i)
+        diff += s.at(i) != mut.at(i);
+    EXPECT_GT(diff, 500u);
+}
+
+TEST(Generator, SubstitutionOnlyProfileKeepsLength)
+{
+    Generator gen(4);
+    const Sequence s = gen.random(5000);
+    ErrorProfile subs_only{1.0, 0.0, 0.0};
+    const Sequence mut = gen.mutate(s, 0.2, subs_only);
+    ASSERT_EQ(mut.size(), s.size());
+    size_t diff = 0;
+    for (size_t i = 0; i < s.size(); ++i)
+        diff += s.at(i) != mut.at(i);
+    // Every injected substitution changes the base.
+    EXPECT_NEAR(static_cast<double>(diff), 1000.0, 150.0);
+}
+
+TEST(Generator, PairHasMutatedPattern)
+{
+    Generator gen(5);
+    const SequencePair p = gen.pair(300, 0.05);
+    EXPECT_EQ(p.text.size(), 300u);
+    EXPECT_NEAR(static_cast<double>(p.pattern.size()), 300.0, 40.0);
+}
+
+TEST(Dataset, ShortDatasetsMatchPaperParameters)
+{
+    const auto sets = shortDatasets(3);
+    ASSERT_EQ(sets.size(), 5u);
+    const size_t lens[] = {100, 150, 200, 250, 300};
+    for (size_t i = 0; i < sets.size(); ++i) {
+        EXPECT_EQ(sets[i].length, lens[i]);
+        EXPECT_DOUBLE_EQ(sets[i].error_rate, 0.05);
+        EXPECT_EQ(sets[i].pairs.size(), 3u);
+        for (const auto &p : sets[i].pairs)
+            EXPECT_EQ(p.text.size(), lens[i]);
+    }
+}
+
+TEST(Dataset, LongDatasetsMatchPaperParameters)
+{
+    const auto sets = longDatasets(2);
+    ASSERT_EQ(sets.size(), 10u);
+    for (size_t i = 0; i < sets.size(); ++i) {
+        EXPECT_EQ(sets[i].length, (i + 1) * 1000);
+        EXPECT_DOUBLE_EQ(sets[i].error_rate, 0.15);
+    }
+    const auto capped = longDatasets(2, 43, 4000);
+    EXPECT_EQ(capped.size(), 4u);
+}
+
+TEST(Dataset, Deterministic)
+{
+    const auto a = makeDataset("x", 200, 0.05, 4, 7);
+    const auto b = makeDataset("x", 200, 0.05, 4, 7);
+    ASSERT_EQ(a.pairs.size(), b.pairs.size());
+    for (size_t i = 0; i < a.pairs.size(); ++i) {
+        EXPECT_EQ(a.pairs[i].text, b.pairs[i].text);
+        EXPECT_EQ(a.pairs[i].pattern, b.pairs[i].pattern);
+    }
+}
+
+TEST(Dataset, TotalBases)
+{
+    const auto ds = makeDataset("x", 100, 0.0, 5, 1);
+    EXPECT_EQ(ds.totalTextBases(), 500u);
+    EXPECT_EQ(ds.totalPatternBases(), 500u); // zero error: same length
+}
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<FastaRecord> recs = {
+        {"read1", Sequence("ACGTACGTAC")},
+        {"read2 with description", Sequence(std::string(150, 'G'))},
+    };
+    std::stringstream ss;
+    writeFasta(ss, recs);
+    const auto back = readFasta(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "read1");
+    EXPECT_EQ(back[0].sequence, recs[0].sequence);
+    EXPECT_EQ(back[1].sequence.size(), 150u); // line wrapping reassembled
+}
+
+TEST(Fasta, RejectsDataBeforeHeader)
+{
+    std::stringstream ss("ACGT\n>late\nACGT\n");
+    EXPECT_THROW(readFasta(ss), FatalError);
+}
+
+TEST(SeqPairs, RoundTrip)
+{
+    const auto ds = makeDataset("x", 50, 0.1, 3, 9);
+    std::stringstream ss;
+    writeSeqPairs(ss, ds.pairs);
+    const auto back = readSeqPairs(ss);
+    ASSERT_EQ(back.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(back[i].pattern, ds.pairs[i].pattern);
+        EXPECT_EQ(back[i].text, ds.pairs[i].text);
+    }
+}
+
+TEST(Fastq, RoundTrip)
+{
+    std::vector<FastqRecord> recs = {
+        {"r1", Sequence("ACGT"), "IIII"},
+        {"r2", Sequence("GGGTTT"), "ABCDEF"},
+    };
+    std::stringstream ss;
+    writeFastq(ss, recs);
+    const auto back = readFastq(ss);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "r1");
+    EXPECT_EQ(back[0].sequence.str(), "ACGT");
+    EXPECT_EQ(back[1].quality, "ABCDEF");
+    // Phred+33: 'I' = 40.
+    EXPECT_DOUBLE_EQ(back[0].meanPhred(), 40.0);
+}
+
+TEST(Fastq, RejectsMalformedRecords)
+{
+    {
+        std::stringstream ss("ACGT\n"); // missing '@'
+        EXPECT_THROW(readFastq(ss), FatalError);
+    }
+    {
+        std::stringstream ss("@r1\nACGT\n+\nII\n"); // length mismatch
+        EXPECT_THROW(readFastq(ss), FatalError);
+    }
+    {
+        std::stringstream ss("@r1\nACGT\n"); // truncated
+        EXPECT_THROW(readFastq(ss), FatalError);
+    }
+    {
+        std::stringstream ss("@r1\nACGT\nIIII\nIIII\n"); // missing '+'
+        EXPECT_THROW(readFastq(ss), FatalError);
+    }
+}
+
+TEST(Fasta, FileRoundTrip)
+{
+    const std::string path = "/tmp/gmx_test_roundtrip.fa";
+    {
+        std::ofstream out(path);
+        writeFasta(out, {{"chr1", Sequence(std::string(100, 'A') +
+                                           std::string(50, 'C'))}});
+    }
+    const auto recs = readFastaFile(path);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].sequence.size(), 150u);
+    EXPECT_THROW(readFastaFile("/tmp/does_not_exist_gmx.fa"), FatalError);
+}
+
+TEST(SeqPairs, RejectsMalformedFiles)
+{
+    {
+        std::stringstream ss(">AB\n>CD\n");
+        EXPECT_THROW(readSeqPairs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("<AB\n");
+        EXPECT_THROW(readSeqPairs(ss), FatalError);
+    }
+    {
+        std::stringstream ss(">AB\n");
+        EXPECT_THROW(readSeqPairs(ss), FatalError);
+    }
+    {
+        std::stringstream ss("AB\n");
+        EXPECT_THROW(readSeqPairs(ss), FatalError);
+    }
+}
+
+} // namespace
+} // namespace gmx::seq

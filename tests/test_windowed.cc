@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the windowed driver and Windowed(GenASM-CPU)/Windowed(DP).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "align/windowed.hh"
+#include "common/logging.hh"
+#include "test_util.hh"
+
+namespace gmx::align {
+namespace {
+
+using seq::Sequence;
+
+TEST(Windowed, RejectsBadGeometry)
+{
+    const Sequence p("ACGT"), t("ACGT");
+    auto fn = [](const seq::Sequence &a, const seq::Sequence &b) {
+        return nwAlign(a, b);
+    };
+    EXPECT_THROW(windowedAlign(p, t, {0, 0}, fn), FatalError);
+    EXPECT_THROW(windowedAlign(p, t, {32, 32}, fn), FatalError);
+    EXPECT_THROW(windowedAlign(p, t, {32, 40}, fn), FatalError);
+}
+
+TEST(Windowed, SingleWindowIsExact)
+{
+    // When both sequences fit in one window the result is the window
+    // aligner's exact alignment.
+    seq::Generator gen(101);
+    const auto pair = gen.pair(80, 0.1);
+    const auto res = windowedDpAlign(pair.pattern, pair.text, {96, 32});
+    EXPECT_EQ(res.distance, nwDistance(pair.pattern, pair.text));
+    EXPECT_TRUE(verifyResult(pair.pattern, pair.text, res).ok);
+}
+
+class WindowedGridTest : public ::testing::TestWithParam<test::PairParams>
+{
+};
+
+TEST_P(WindowedGridTest, DpWindowsProduceValidNearOptimalAlignments)
+{
+    const auto pair = test::makePair(GetParam());
+    const auto res = windowedDpAlign(pair.pattern, pair.text, {96, 32});
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    ASSERT_TRUE(check.ok) << check.error;
+    const i64 exact = nwDistance(pair.pattern, pair.text);
+    EXPECT_GE(res.distance, exact); // heuristic never beats optimal
+    // On these workloads the corridor heuristic stays close to optimal.
+    EXPECT_LE(res.distance, exact + std::max<i64>(8, exact / 2));
+}
+
+TEST_P(WindowedGridTest, GenasmCpuProducesValidAlignments)
+{
+    const auto &params = GetParam();
+    if (params.length > 300)
+        return; // Bitap windows are slow by design; keep the suite fast
+    const auto pair = test::makePair(params);
+    const auto res = genasmCpuAlign(pair.pattern, pair.text, {64, 24});
+    const auto check = verifyResult(pair.pattern, pair.text, res);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_GE(res.distance, nwDistance(pair.pattern, pair.text));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowedGridTest, ::testing::ValuesIn(test::standardGrid()),
+    [](const auto &info) { return test::paramName(info.param); });
+
+TEST(Windowed, LowErrorLongSequenceIsNearExact)
+{
+    // The windowed heuristic's home turf: low-error long alignments where
+    // the path hugs the diagonal.
+    seq::Generator gen(103);
+    const auto text = gen.random(2000);
+    const auto pattern = gen.mutate(text, 0.02);
+    const auto res = windowedDpAlign(pattern, text, {96, 32});
+    ASSERT_TRUE(verifyResult(pattern, text, res).ok);
+    const i64 exact = nwDistance(pattern, text);
+    EXPECT_LE(res.distance, exact + exact / 4 + 4);
+}
+
+TEST(Windowed, ExtremeLengthAsymmetry)
+{
+    // One sequence much longer than the other: windows degenerate but the
+    // driver must still terminate with a valid alignment.
+    seq::Generator gen(107);
+    const auto p = gen.random(20);
+    const auto t = gen.random(500);
+    const auto res = windowedDpAlign(p, t, {96, 32});
+    EXPECT_TRUE(verifyResult(p, t, res).ok);
+}
+
+TEST(Windowed, EmptyPattern)
+{
+    const auto res = windowedDpAlign(Sequence(""), Sequence("ACGTA"),
+                                     {96, 32});
+    EXPECT_EQ(res.distance, 5);
+    EXPECT_TRUE(verifyResult(Sequence(""), Sequence("ACGTA"), res).ok);
+}
+
+TEST(Windowed, PaperDsaGeometry)
+{
+    // W=96, O=32: the configuration used for the Fig. 15 DSA comparison.
+    seq::Generator gen(109);
+    const auto pair = gen.pair(1000, 0.15);
+    const auto res = genasmCpuAlign(pair.pattern, pair.text, {96, 32});
+    EXPECT_TRUE(verifyResult(pair.pattern, pair.text, res).ok);
+    EXPECT_GE(res.distance, nwDistance(pair.pattern, pair.text));
+}
+
+} // namespace
+} // namespace gmx::align
