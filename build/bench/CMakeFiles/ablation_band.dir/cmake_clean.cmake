@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_band.dir/ablation_band.cc.o"
+  "CMakeFiles/ablation_band.dir/ablation_band.cc.o.d"
+  "ablation_band"
+  "ablation_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

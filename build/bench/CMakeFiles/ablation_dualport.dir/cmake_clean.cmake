@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dualport.dir/ablation_dualport.cc.o"
+  "CMakeFiles/ablation_dualport.dir/ablation_dualport.cc.o.d"
+  "ablation_dualport"
+  "ablation_dualport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dualport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

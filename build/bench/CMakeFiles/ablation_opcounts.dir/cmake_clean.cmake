@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opcounts.dir/ablation_opcounts.cc.o"
+  "CMakeFiles/ablation_opcounts.dir/ablation_opcounts.cc.o.d"
+  "ablation_opcounts"
+  "ablation_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tilesize.dir/ablation_tilesize.cc.o"
+  "CMakeFiles/ablation_tilesize.dir/ablation_tilesize.cc.o.d"
+  "ablation_tilesize"
+  "ablation_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

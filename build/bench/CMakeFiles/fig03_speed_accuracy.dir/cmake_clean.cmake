@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_speed_accuracy.dir/fig03_speed_accuracy.cc.o"
+  "CMakeFiles/fig03_speed_accuracy.dir/fig03_speed_accuracy.cc.o.d"
+  "fig03_speed_accuracy"
+  "fig03_speed_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_speed_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_strategies.dir/fig04_strategies.cc.o"
+  "CMakeFiles/fig04_strategies.dir/fig04_strategies.cc.o.d"
+  "fig04_strategies"
+  "fig04_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

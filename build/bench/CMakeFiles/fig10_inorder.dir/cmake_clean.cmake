@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_inorder.dir/fig10_inorder.cc.o"
+  "CMakeFiles/fig10_inorder.dir/fig10_inorder.cc.o.d"
+  "fig10_inorder"
+  "fig10_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ooo.dir/fig11_ooo.cc.o"
+  "CMakeFiles/fig11_ooo.dir/fig11_ooo.cc.o.d"
+  "fig11_ooo"
+  "fig11_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

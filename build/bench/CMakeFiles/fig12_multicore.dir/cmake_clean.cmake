@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_multicore.dir/fig12_multicore.cc.o"
+  "CMakeFiles/fig12_multicore.dir/fig12_multicore.cc.o.d"
+  "fig12_multicore"
+  "fig12_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

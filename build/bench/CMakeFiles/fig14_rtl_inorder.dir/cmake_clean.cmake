@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rtl_inorder.dir/fig14_rtl_inorder.cc.o"
+  "CMakeFiles/fig14_rtl_inorder.dir/fig14_rtl_inorder.cc.o.d"
+  "fig14_rtl_inorder"
+  "fig14_rtl_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rtl_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

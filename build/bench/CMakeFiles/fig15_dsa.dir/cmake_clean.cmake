@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_dsa.dir/fig15_dsa.cc.o"
+  "CMakeFiles/fig15_dsa.dir/fig15_dsa.cc.o.d"
+  "fig15_dsa"
+  "fig15_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_1mbp.dir/scale_1mbp.cc.o"
+  "CMakeFiles/scale_1mbp.dir/scale_1mbp.cc.o.d"
+  "scale_1mbp"
+  "scale_1mbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_1mbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_gcups.dir/tab02_gcups.cc.o"
+  "CMakeFiles/tab02_gcups.dir/tab02_gcups.cc.o.d"
+  "tab02_gcups"
+  "tab02_gcups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_gcups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_tool.dir/align_tool.cpp.o"
+  "CMakeFiles/align_tool.dir/align_tool.cpp.o.d"
+  "align_tool"
+  "align_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_gen.cpp" "examples/CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o" "gcc" "examples/CMakeFiles/dataset_gen.dir/dataset_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmx/CMakeFiles/gmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gmx_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/gmx_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

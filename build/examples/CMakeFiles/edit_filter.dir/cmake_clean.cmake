@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_filter.dir/edit_filter.cpp.o"
+  "CMakeFiles/edit_filter.dir/edit_filter.cpp.o.d"
+  "edit_filter"
+  "edit_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_search.dir/fuzzy_search.cpp.o"
+  "CMakeFiles/fuzzy_search.dir/fuzzy_search.cpp.o.d"
+  "fuzzy_search"
+  "fuzzy_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

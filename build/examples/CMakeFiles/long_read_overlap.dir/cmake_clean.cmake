@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_read_overlap.dir/long_read_overlap.cpp.o"
+  "CMakeFiles/long_read_overlap.dir/long_read_overlap.cpp.o.d"
+  "long_read_overlap"
+  "long_read_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_read_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/accuracy.cc" "src/align/CMakeFiles/gmx_align.dir/accuracy.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/accuracy.cc.o.d"
+  "/root/repo/src/align/affine.cc" "src/align/CMakeFiles/gmx_align.dir/affine.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/affine.cc.o.d"
+  "/root/repo/src/align/batch.cc" "src/align/CMakeFiles/gmx_align.dir/batch.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/batch.cc.o.d"
+  "/root/repo/src/align/bitap.cc" "src/align/CMakeFiles/gmx_align.dir/bitap.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/bitap.cc.o.d"
+  "/root/repo/src/align/bpm.cc" "src/align/CMakeFiles/gmx_align.dir/bpm.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/bpm.cc.o.d"
+  "/root/repo/src/align/bpm_banded.cc" "src/align/CMakeFiles/gmx_align.dir/bpm_banded.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/bpm_banded.cc.o.d"
+  "/root/repo/src/align/cigar.cc" "src/align/CMakeFiles/gmx_align.dir/cigar.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/cigar.cc.o.d"
+  "/root/repo/src/align/hirschberg.cc" "src/align/CMakeFiles/gmx_align.dir/hirschberg.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/hirschberg.cc.o.d"
+  "/root/repo/src/align/matrix_view.cc" "src/align/CMakeFiles/gmx_align.dir/matrix_view.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/matrix_view.cc.o.d"
+  "/root/repo/src/align/myers_search.cc" "src/align/CMakeFiles/gmx_align.dir/myers_search.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/myers_search.cc.o.d"
+  "/root/repo/src/align/nw.cc" "src/align/CMakeFiles/gmx_align.dir/nw.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/nw.cc.o.d"
+  "/root/repo/src/align/verify.cc" "src/align/CMakeFiles/gmx_align.dir/verify.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/verify.cc.o.d"
+  "/root/repo/src/align/windowed.cc" "src/align/CMakeFiles/gmx_align.dir/windowed.cc.o" "gcc" "src/align/CMakeFiles/gmx_align.dir/windowed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sequence/CMakeFiles/gmx_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_align.dir/accuracy.cc.o"
+  "CMakeFiles/gmx_align.dir/accuracy.cc.o.d"
+  "CMakeFiles/gmx_align.dir/affine.cc.o"
+  "CMakeFiles/gmx_align.dir/affine.cc.o.d"
+  "CMakeFiles/gmx_align.dir/batch.cc.o"
+  "CMakeFiles/gmx_align.dir/batch.cc.o.d"
+  "CMakeFiles/gmx_align.dir/bitap.cc.o"
+  "CMakeFiles/gmx_align.dir/bitap.cc.o.d"
+  "CMakeFiles/gmx_align.dir/bpm.cc.o"
+  "CMakeFiles/gmx_align.dir/bpm.cc.o.d"
+  "CMakeFiles/gmx_align.dir/bpm_banded.cc.o"
+  "CMakeFiles/gmx_align.dir/bpm_banded.cc.o.d"
+  "CMakeFiles/gmx_align.dir/cigar.cc.o"
+  "CMakeFiles/gmx_align.dir/cigar.cc.o.d"
+  "CMakeFiles/gmx_align.dir/hirschberg.cc.o"
+  "CMakeFiles/gmx_align.dir/hirschberg.cc.o.d"
+  "CMakeFiles/gmx_align.dir/matrix_view.cc.o"
+  "CMakeFiles/gmx_align.dir/matrix_view.cc.o.d"
+  "CMakeFiles/gmx_align.dir/myers_search.cc.o"
+  "CMakeFiles/gmx_align.dir/myers_search.cc.o.d"
+  "CMakeFiles/gmx_align.dir/nw.cc.o"
+  "CMakeFiles/gmx_align.dir/nw.cc.o.d"
+  "CMakeFiles/gmx_align.dir/verify.cc.o"
+  "CMakeFiles/gmx_align.dir/verify.cc.o.d"
+  "CMakeFiles/gmx_align.dir/windowed.cc.o"
+  "CMakeFiles/gmx_align.dir/windowed.cc.o.d"
+  "libgmx_align.a"
+  "libgmx_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_common.dir/logging.cc.o"
+  "CMakeFiles/gmx_common.dir/logging.cc.o.d"
+  "CMakeFiles/gmx_common.dir/table.cc.o"
+  "CMakeFiles/gmx_common.dir/table.cc.o.d"
+  "libgmx_common.a"
+  "libgmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

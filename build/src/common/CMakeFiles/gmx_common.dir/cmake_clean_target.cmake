@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmx_common.a"
+)

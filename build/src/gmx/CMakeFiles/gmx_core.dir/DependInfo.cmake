@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmx/banded.cc" "src/gmx/CMakeFiles/gmx_core.dir/banded.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/banded.cc.o.d"
+  "/root/repo/src/gmx/delta.cc" "src/gmx/CMakeFiles/gmx_core.dir/delta.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/delta.cc.o.d"
+  "/root/repo/src/gmx/full.cc" "src/gmx/CMakeFiles/gmx_core.dir/full.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/full.cc.o.d"
+  "/root/repo/src/gmx/isa.cc" "src/gmx/CMakeFiles/gmx_core.dir/isa.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/isa.cc.o.d"
+  "/root/repo/src/gmx/search.cc" "src/gmx/CMakeFiles/gmx_core.dir/search.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/search.cc.o.d"
+  "/root/repo/src/gmx/tile.cc" "src/gmx/CMakeFiles/gmx_core.dir/tile.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/tile.cc.o.d"
+  "/root/repo/src/gmx/windowed.cc" "src/gmx/CMakeFiles/gmx_core.dir/windowed.cc.o" "gcc" "src/gmx/CMakeFiles/gmx_core.dir/windowed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/gmx_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/gmx_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_core.dir/banded.cc.o"
+  "CMakeFiles/gmx_core.dir/banded.cc.o.d"
+  "CMakeFiles/gmx_core.dir/delta.cc.o"
+  "CMakeFiles/gmx_core.dir/delta.cc.o.d"
+  "CMakeFiles/gmx_core.dir/full.cc.o"
+  "CMakeFiles/gmx_core.dir/full.cc.o.d"
+  "CMakeFiles/gmx_core.dir/isa.cc.o"
+  "CMakeFiles/gmx_core.dir/isa.cc.o.d"
+  "CMakeFiles/gmx_core.dir/search.cc.o"
+  "CMakeFiles/gmx_core.dir/search.cc.o.d"
+  "CMakeFiles/gmx_core.dir/tile.cc.o"
+  "CMakeFiles/gmx_core.dir/tile.cc.o.d"
+  "CMakeFiles/gmx_core.dir/windowed.cc.o"
+  "CMakeFiles/gmx_core.dir/windowed.cc.o.d"
+  "libgmx_core.a"
+  "libgmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/asic.cc" "src/hw/CMakeFiles/gmx_hw.dir/asic.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/asic.cc.o.d"
+  "/root/repo/src/hw/dsa.cc" "src/hw/CMakeFiles/gmx_hw.dir/dsa.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/dsa.cc.o.d"
+  "/root/repo/src/hw/genasm_model.cc" "src/hw/CMakeFiles/gmx_hw.dir/genasm_model.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/genasm_model.cc.o.d"
+  "/root/repo/src/hw/gmx_ac.cc" "src/hw/CMakeFiles/gmx_hw.dir/gmx_ac.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/gmx_ac.cc.o.d"
+  "/root/repo/src/hw/gmx_tb.cc" "src/hw/CMakeFiles/gmx_hw.dir/gmx_tb.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/gmx_tb.cc.o.d"
+  "/root/repo/src/hw/netlist.cc" "src/hw/CMakeFiles/gmx_hw.dir/netlist.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/netlist.cc.o.d"
+  "/root/repo/src/hw/rtl_aligner.cc" "src/hw/CMakeFiles/gmx_hw.dir/rtl_aligner.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/rtl_aligner.cc.o.d"
+  "/root/repo/src/hw/segmentation.cc" "src/hw/CMakeFiles/gmx_hw.dir/segmentation.cc.o" "gcc" "src/hw/CMakeFiles/gmx_hw.dir/segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmx/CMakeFiles/gmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gmx_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/gmx_sequence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

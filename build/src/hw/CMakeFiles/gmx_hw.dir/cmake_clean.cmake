@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_hw.dir/asic.cc.o"
+  "CMakeFiles/gmx_hw.dir/asic.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/dsa.cc.o"
+  "CMakeFiles/gmx_hw.dir/dsa.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/genasm_model.cc.o"
+  "CMakeFiles/gmx_hw.dir/genasm_model.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/gmx_ac.cc.o"
+  "CMakeFiles/gmx_hw.dir/gmx_ac.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/gmx_tb.cc.o"
+  "CMakeFiles/gmx_hw.dir/gmx_tb.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/netlist.cc.o"
+  "CMakeFiles/gmx_hw.dir/netlist.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/rtl_aligner.cc.o"
+  "CMakeFiles/gmx_hw.dir/rtl_aligner.cc.o.d"
+  "CMakeFiles/gmx_hw.dir/segmentation.cc.o"
+  "CMakeFiles/gmx_hw.dir/segmentation.cc.o.d"
+  "libgmx_hw.a"
+  "libgmx_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

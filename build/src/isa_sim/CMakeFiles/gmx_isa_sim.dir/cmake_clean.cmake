@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_isa_sim.dir/assembler.cc.o"
+  "CMakeFiles/gmx_isa_sim.dir/assembler.cc.o.d"
+  "CMakeFiles/gmx_isa_sim.dir/cpu.cc.o"
+  "CMakeFiles/gmx_isa_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/gmx_isa_sim.dir/programs.cc.o"
+  "CMakeFiles/gmx_isa_sim.dir/programs.cc.o.d"
+  "libgmx_isa_sim.a"
+  "libgmx_isa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_isa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sequence/dataset.cc" "src/sequence/CMakeFiles/gmx_sequence.dir/dataset.cc.o" "gcc" "src/sequence/CMakeFiles/gmx_sequence.dir/dataset.cc.o.d"
+  "/root/repo/src/sequence/fasta.cc" "src/sequence/CMakeFiles/gmx_sequence.dir/fasta.cc.o" "gcc" "src/sequence/CMakeFiles/gmx_sequence.dir/fasta.cc.o.d"
+  "/root/repo/src/sequence/generator.cc" "src/sequence/CMakeFiles/gmx_sequence.dir/generator.cc.o" "gcc" "src/sequence/CMakeFiles/gmx_sequence.dir/generator.cc.o.d"
+  "/root/repo/src/sequence/sequence.cc" "src/sequence/CMakeFiles/gmx_sequence.dir/sequence.cc.o" "gcc" "src/sequence/CMakeFiles/gmx_sequence.dir/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

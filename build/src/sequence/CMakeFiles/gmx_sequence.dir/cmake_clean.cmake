@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_sequence.dir/dataset.cc.o"
+  "CMakeFiles/gmx_sequence.dir/dataset.cc.o.d"
+  "CMakeFiles/gmx_sequence.dir/fasta.cc.o"
+  "CMakeFiles/gmx_sequence.dir/fasta.cc.o.d"
+  "CMakeFiles/gmx_sequence.dir/generator.cc.o"
+  "CMakeFiles/gmx_sequence.dir/generator.cc.o.d"
+  "CMakeFiles/gmx_sequence.dir/sequence.cc.o"
+  "CMakeFiles/gmx_sequence.dir/sequence.cc.o.d"
+  "libgmx_sequence.a"
+  "libgmx_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

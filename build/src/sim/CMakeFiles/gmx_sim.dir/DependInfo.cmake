@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/gmx_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/gmx_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/gmx_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/perf.cc" "src/sim/CMakeFiles/gmx_sim.dir/perf.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/perf.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "src/sim/CMakeFiles/gmx_sim.dir/profile.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/profile.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/gmx_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/gmx_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/gmx_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmx/CMakeFiles/gmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/gmx_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/gmx_sequence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

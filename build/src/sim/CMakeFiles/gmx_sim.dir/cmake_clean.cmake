@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmx_sim.dir/cache.cc.o"
+  "CMakeFiles/gmx_sim.dir/cache.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/config.cc.o"
+  "CMakeFiles/gmx_sim.dir/config.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/energy.cc.o"
+  "CMakeFiles/gmx_sim.dir/energy.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/perf.cc.o"
+  "CMakeFiles/gmx_sim.dir/perf.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/profile.cc.o"
+  "CMakeFiles/gmx_sim.dir/profile.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/trace.cc.o"
+  "CMakeFiles/gmx_sim.dir/trace.cc.o.d"
+  "CMakeFiles/gmx_sim.dir/workloads.cc.o"
+  "CMakeFiles/gmx_sim.dir/workloads.cc.o.d"
+  "libgmx_sim.a"
+  "libgmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

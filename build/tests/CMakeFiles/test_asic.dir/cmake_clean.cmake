@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asic.dir/test_asic.cc.o"
+  "CMakeFiles/test_asic.dir/test_asic.cc.o.d"
+  "test_asic"
+  "test_asic.pdb"
+  "test_asic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

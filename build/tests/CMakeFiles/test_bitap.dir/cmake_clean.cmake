@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitap.dir/test_bitap.cc.o"
+  "CMakeFiles/test_bitap.dir/test_bitap.cc.o.d"
+  "test_bitap"
+  "test_bitap.pdb"
+  "test_bitap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpm.dir/test_bpm.cc.o"
+  "CMakeFiles/test_bpm.dir/test_bpm.cc.o.d"
+  "test_bpm"
+  "test_bpm.pdb"
+  "test_bpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

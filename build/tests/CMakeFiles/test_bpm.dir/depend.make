@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bpm.
+# This may be replaced when dependencies are built.

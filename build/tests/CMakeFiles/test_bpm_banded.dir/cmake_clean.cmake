@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpm_banded.dir/test_bpm_banded.cc.o"
+  "CMakeFiles/test_bpm_banded.dir/test_bpm_banded.cc.o.d"
+  "test_bpm_banded"
+  "test_bpm_banded.pdb"
+  "test_bpm_banded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpm_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

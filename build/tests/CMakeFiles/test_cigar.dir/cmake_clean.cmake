@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cigar.dir/test_cigar.cc.o"
+  "CMakeFiles/test_cigar.dir/test_cigar.cc.o.d"
+  "test_cigar"
+  "test_cigar.pdb"
+  "test_cigar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cigar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

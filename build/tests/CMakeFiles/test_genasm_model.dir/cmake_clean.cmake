@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genasm_model.dir/test_genasm_model.cc.o"
+  "CMakeFiles/test_genasm_model.dir/test_genasm_model.cc.o.d"
+  "test_genasm_model"
+  "test_genasm_model.pdb"
+  "test_genasm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genasm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

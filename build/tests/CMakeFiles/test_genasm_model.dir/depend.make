@@ -1,0 +1,2 @@
+# Empty dependencies file for test_genasm_model.
+# This may be replaced when dependencies are built.

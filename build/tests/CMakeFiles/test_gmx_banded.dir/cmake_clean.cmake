@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmx_banded.dir/test_gmx_banded.cc.o"
+  "CMakeFiles/test_gmx_banded.dir/test_gmx_banded.cc.o.d"
+  "test_gmx_banded"
+  "test_gmx_banded.pdb"
+  "test_gmx_banded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmx_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmx_full.dir/test_gmx_full.cc.o"
+  "CMakeFiles/test_gmx_full.dir/test_gmx_full.cc.o.d"
+  "test_gmx_full"
+  "test_gmx_full.pdb"
+  "test_gmx_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmx_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmx_properties.dir/test_gmx_properties.cc.o"
+  "CMakeFiles/test_gmx_properties.dir/test_gmx_properties.cc.o.d"
+  "test_gmx_properties"
+  "test_gmx_properties.pdb"
+  "test_gmx_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmx_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

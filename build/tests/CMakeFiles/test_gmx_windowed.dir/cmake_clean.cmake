@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmx_windowed.dir/test_gmx_windowed.cc.o"
+  "CMakeFiles/test_gmx_windowed.dir/test_gmx_windowed.cc.o.d"
+  "test_gmx_windowed"
+  "test_gmx_windowed.pdb"
+  "test_gmx_windowed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmx_windowed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hirschberg.dir/test_hirschberg.cc.o"
+  "CMakeFiles/test_hirschberg.dir/test_hirschberg.cc.o.d"
+  "test_hirschberg"
+  "test_hirschberg.pdb"
+  "test_hirschberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hirschberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

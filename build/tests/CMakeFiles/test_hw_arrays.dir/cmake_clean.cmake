@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_arrays.dir/test_hw_arrays.cc.o"
+  "CMakeFiles/test_hw_arrays.dir/test_hw_arrays.cc.o.d"
+  "test_hw_arrays"
+  "test_hw_arrays.pdb"
+  "test_hw_arrays[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

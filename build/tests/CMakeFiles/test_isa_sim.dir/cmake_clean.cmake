@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_sim.dir/test_isa_sim.cc.o"
+  "CMakeFiles/test_isa_sim.dir/test_isa_sim.cc.o.d"
+  "test_isa_sim"
+  "test_isa_sim.pdb"
+  "test_isa_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

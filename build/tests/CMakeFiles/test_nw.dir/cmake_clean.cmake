@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nw.dir/test_nw.cc.o"
+  "CMakeFiles/test_nw.dir/test_nw.cc.o.d"
+  "test_nw"
+  "test_nw.pdb"
+  "test_nw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_aligner.dir/test_rtl_aligner.cc.o"
+  "CMakeFiles/test_rtl_aligner.dir/test_rtl_aligner.cc.o.d"
+  "test_rtl_aligner"
+  "test_rtl_aligner.pdb"
+  "test_rtl_aligner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

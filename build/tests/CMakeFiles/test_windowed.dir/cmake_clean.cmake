@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_windowed.dir/test_windowed.cc.o"
+  "CMakeFiles/test_windowed.dir/test_windowed.cc.o.d"
+  "test_windowed"
+  "test_windowed.pdb"
+  "test_windowed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_windowed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
