@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+# Usage:
+#   scripts/tier1.sh                 # plain build + ctest
+#   GMX_SANITIZE=thread scripts/tier1.sh
+#       additionally builds a ThreadSanitizer tree and runs the
+#       concurrency-sensitive tests (engine, pool, batch) under it.
+#   GMX_SANITIZE=address scripts/tier1.sh
+#       same, with AddressSanitizer over the whole suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "${GMX_SANITIZE:-}" == "thread" ]]; then
+    echo "== ThreadSanitizer pass (engine/pool/batch tests) =="
+    cmake -B build-tsan -S . -DGMX_SANITIZE=thread
+    cmake --build build-tsan -j"$(nproc)" \
+        --target test_engine test_batch
+    ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+        -R 'Engine|Pool|Cascade|Batch'
+elif [[ "${GMX_SANITIZE:-}" == "address" ]]; then
+    echo "== AddressSanitizer pass (full suite) =="
+    cmake -B build-asan -S . -DGMX_SANITIZE=address
+    cmake --build build-asan -j"$(nproc)"
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+fi

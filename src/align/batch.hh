@@ -3,10 +3,12 @@
  * Batch alignment with inter-sequence parallelism.
  *
  * The paper's multicore strategy (§7.2): each pair aligns independently,
- * one GMX unit per core. This is the library-level equivalent — a thread
- * pool mapping an aligner function over a batch of pairs. Aligner
- * functions must be thread-safe for distinct inputs (all aligners in
- * this repository are: they share no mutable state).
+ * one GMX unit per core. This is the library-level equivalent — mapping
+ * an aligner function over a batch of pairs on the persistent
+ * engine::sharedPool() work-stealing pool (no per-call thread spawning).
+ * Aligner functions must be thread-safe for distinct inputs (all aligners
+ * in this repository are: they share no mutable state). For streaming
+ * submission with backpressure and cascade routing, use engine::Engine.
  */
 
 #ifndef GMX_ALIGN_BATCH_HH

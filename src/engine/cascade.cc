@@ -1,0 +1,86 @@
+#include "engine/cascade.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "align/bitap.hh"
+#include "gmx/banded.hh"
+#include "gmx/full.hh"
+
+namespace gmx::engine {
+
+i64
+cascadeAutoFilterK(size_t n, size_t m)
+{
+    const i64 longer = static_cast<i64>(std::max(n, m));
+    const i64 skew = std::abs(static_cast<i64>(n) - static_cast<i64>(m));
+    return std::max<i64>({8, longer / 16, skew + 4});
+}
+
+namespace {
+
+/** Full(GMX) tier: always answers. */
+CascadeOutcome
+fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
+         bool want_cigar)
+{
+    CascadeOutcome out;
+    out.tier = Tier::Full;
+    if (want_cigar) {
+        out.result =
+            core::fullGmxAlign(pair.pattern, pair.text, cfg.tile);
+    } else {
+        out.result.distance =
+            core::fullGmxDistance(pair.pattern, pair.text, cfg.tile);
+    }
+    return out;
+}
+
+} // namespace
+
+CascadeOutcome
+cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
+             bool want_cigar)
+{
+    const size_t n = pair.pattern.size();
+    const size_t m = pair.text.size();
+
+    // Degenerate pairs skip the heuristics; Full(GMX) handles them.
+    if (!cfg.enabled || n == 0 || m == 0)
+        return fullTier(pair, cfg, want_cigar);
+
+    // Tier 1 — Bitap filter. When it finds the pair within k, the
+    // distance is exact; distance-only requests are done.
+    const i64 k = cfg.filter_k > 0 ? cfg.filter_k : cascadeAutoFilterK(n, m);
+    const i64 filtered = align::bitapDistance(pair.pattern, pair.text, k);
+    if (filtered != align::kNoAlignment && !want_cigar) {
+        CascadeOutcome out;
+        out.tier = Tier::Filter;
+        out.result.distance = filtered;
+        return out;
+    }
+
+    // Tier 2 — Banded(GMX). A filter hit pins the band to the exact
+    // distance (guaranteed to succeed); a miss tries growing bands.
+    if (filtered != align::kNoAlignment) {
+        auto r = core::bandedGmxAlign(pair.pattern, pair.text,
+                                      std::max<i64>(filtered, 1),
+                                      want_cigar, cfg.tile);
+        if (r.found())
+            return {std::move(r), Tier::Banded};
+    } else {
+        i64 band = 2 * k;
+        for (int attempt = 0; attempt < cfg.band_doublings;
+             ++attempt, band *= 2) {
+            auto r = core::bandedGmxAlign(pair.pattern, pair.text, band,
+                                          want_cigar, cfg.tile);
+            if (r.found())
+                return {std::move(r), Tier::Banded};
+        }
+    }
+
+    // Tier 3 — Full(GMX), the exact fallback.
+    return fullTier(pair, cfg, want_cigar);
+}
+
+} // namespace gmx::engine

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Adaptive cascade dispatcher: route each pair through the cheapest
+ * alignment strategy that can answer it exactly.
+ *
+ * The tiers reuse the paper's §4.1 strategies, cheapest first:
+ *
+ *   1. Filter — Bitap (the GenASM kernel) with a small error budget k.
+ *      Distance-only requests whose distance is <= k finish here; for
+ *      traceback requests a hit still fixes the exact band for tier 2.
+ *   2. Banded(GMX) — the Edlib-style band of tiles. Exact whenever the
+ *      optimal path stays inside the band; the band either comes from the
+ *      filter (known distance => guaranteed hit) or grows by doubling.
+ *   3. Full(GMX) — the whole DP-matrix; always exact, the fallback when
+ *      the pair diverges too much for any band the budget allows.
+ *
+ * Every tier is exact when it answers (Bitap and Banded(GMX) both report
+ * the true edit distance whenever they report success), so the cascade
+ * returns bit-identical distances — and, because Banded(GMX) and
+ * Full(GMX) share the same tile traceback with the same tie-breaking,
+ * identical CIGARs — to running Full(GMX) on every pair.
+ */
+
+#ifndef GMX_ENGINE_CASCADE_HH
+#define GMX_ENGINE_CASCADE_HH
+
+#include "align/types.hh"
+#include "engine/metrics.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::engine {
+
+/** Tuning knobs for the cascade. */
+struct CascadeConfig
+{
+    /** False routes everything straight to Full(GMX). */
+    bool enabled = true;
+
+    /**
+     * Filter error budget; 0 derives it from the pair:
+     * max(8, max(n,m)/16, |n-m| + 4).
+     */
+    i64 filter_k = 0;
+
+    /**
+     * Banded attempts when the filter misses: band budgets 2k, 4k, ...
+     * (band_doublings of them) before escalating to Full(GMX).
+     */
+    int band_doublings = 2;
+
+    /** GMX tile size for the banded and full tiers. */
+    unsigned tile = 32;
+};
+
+/** Result of one cascade routing decision. */
+struct CascadeOutcome
+{
+    align::AlignResult result;
+    Tier tier = Tier::Full; //!< tier that produced the result
+};
+
+/** The filter budget the auto rule would pick for an (n, m) pair. */
+i64 cascadeAutoFilterK(size_t n, size_t m);
+
+/**
+ * Align @p pair through the cascade. With @p want_cigar the result carries
+ * a full traceback (so tier 1 can only pre-filter, never answer); without
+ * it the result is distance-only and may finish at any tier.
+ */
+CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
+                            const CascadeConfig &config, bool want_cigar);
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_CASCADE_HH

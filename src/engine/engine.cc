@@ -1,0 +1,237 @@
+#include "engine/engine.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace gmx::engine {
+
+Engine::Engine(EngineConfig config)
+    : config_(config), pool_(config.workers)
+{
+    if (config_.queue_capacity == 0)
+        GMX_FATAL("Engine: queue_capacity must be nonzero");
+    if (config_.microbatch_max == 0)
+        config_.microbatch_max = 1;
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Engine::~Engine()
+{
+    stop();
+}
+
+std::future<align::AlignResult>
+Engine::submit(seq::SequencePair pair, bool want_cigar)
+{
+    Request req;
+    req.bases = pair.pattern.size() + pair.text.size();
+    req.pair = std::move(pair);
+    req.want_cigar = want_cigar;
+    return enqueue(std::move(req));
+}
+
+std::future<align::AlignResult>
+Engine::submit(seq::SequencePair pair, align::PairAligner aligner)
+{
+    if (!aligner)
+        GMX_FATAL("Engine::submit: empty aligner function");
+    Request req;
+    req.bases = pair.pattern.size() + pair.text.size();
+    req.pair = std::move(pair);
+    req.aligner = std::move(aligner);
+    return enqueue(std::move(req));
+}
+
+std::future<align::AlignResult>
+Engine::enqueue(Request req)
+{
+    req.enqueued = Clock::now();
+    auto future = req.promise.get_future();
+
+    // A shed victim's promise must be failed outside mu_ (promise
+    // internals are not part of the queue's critical section).
+    std::promise<align::AlignResult> shed_victim;
+    bool have_victim = false;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stopping_)
+            throw EngineStoppedError();
+        if (queue_.size() >= config_.queue_capacity) {
+            switch (config_.backpressure) {
+              case Backpressure::Block:
+                queue_not_full_.wait(lk, [this] {
+                    return queue_.size() < config_.queue_capacity ||
+                           stopping_;
+                });
+                if (stopping_)
+                    throw EngineStoppedError();
+                break;
+              case Backpressure::Reject:
+                metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+                throw QueueFullError();
+              case Backpressure::ShedOldest:
+                shed_victim = std::move(queue_.front().promise);
+                queue_.pop_front();
+                have_victim = true;
+                metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+        }
+        queue_.push_back(std::move(req));
+        const u64 depth = queue_.size();
+        metrics_.queue_depth.store(depth, std::memory_order_relaxed);
+        metrics_.notePeak(depth);
+        metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    dispatch_cv_.notify_one();
+    if (have_victim) {
+        shed_victim.set_exception(std::make_exception_ptr(ShedError()));
+        queue_not_full_.notify_one(); // shedding also freed a slot
+    }
+    return future;
+}
+
+void
+Engine::dispatchLoop()
+{
+    for (;;) {
+        // shared_ptr because std::function requires copyable targets and
+        // Request holds a move-only promise.
+        auto batch = std::make_shared<std::vector<Request>>();
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            // Wait for work AND a free dispatch slot: the throttle keeps
+            // pressure in the bounded queue where the policies act on it.
+            dispatch_cv_.wait(lk, [this] {
+                return (!queue_.empty() &&
+                        inflight_tasks_ < maxInflightTasks()) ||
+                       (stopping_ && queue_.empty());
+            });
+            if (queue_.empty()) {
+                // stopping_ and drained: dispatcher's work is done.
+                return;
+            }
+            batch->push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            // Fuse a run of small requests into one pool task.
+            if (isSmall(batch->front())) {
+                while (batch->size() < config_.microbatch_max &&
+                       !queue_.empty() && isSmall(queue_.front())) {
+                    batch->push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+            }
+            inflight_ += batch->size();
+            ++inflight_tasks_;
+            metrics_.queue_depth.store(queue_.size(),
+                                       std::memory_order_relaxed);
+        }
+        queue_not_full_.notify_all();
+        if (batch->size() > 1) {
+            metrics_.microbatches.fetch_add(1, std::memory_order_relaxed);
+            metrics_.batched_pairs.fetch_add(batch->size(),
+                                             std::memory_order_relaxed);
+        }
+        pool_.submit([this, batch] {
+            runRequests(std::move(*batch));
+        });
+    }
+}
+
+void
+Engine::runRequests(std::vector<Request> batch)
+{
+    for (Request &req : batch) {
+        try {
+            align::AlignResult result;
+            if (req.aligner) {
+                result = req.aligner(req.pair);
+            } else {
+                auto outcome =
+                    cascadeAlign(req.pair, config_.cascade, req.want_cigar);
+                metrics_.recordTier(outcome.tier);
+                result = std::move(outcome.result);
+            }
+            const double secs =
+                std::chrono::duration<double>(Clock::now() - req.enqueued)
+                    .count();
+            metrics_.latency.record(secs);
+            metrics_.latency_total_us.fetch_add(
+                secs * 1e6, std::memory_order_relaxed);
+            metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+            req.promise.set_value(std::move(result));
+        } catch (...) {
+            metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+            req.promise.set_exception(std::current_exception());
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        inflight_ -= batch.size();
+        --inflight_tasks_;
+        if (inflight_ == 0 && queue_.empty())
+            idle_.notify_all();
+    }
+    dispatch_cv_.notify_one(); // a dispatch slot just freed up
+}
+
+void
+Engine::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return queue_.empty() && inflight_ == 0; });
+}
+
+void
+Engine::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_ && !dispatcher_.joinable())
+            return; // already stopped
+        stopping_ = true;
+    }
+    // Wake everyone: blocked submitters throw EngineStoppedError, the
+    // dispatcher drains the queue into the pool and exits.
+    dispatch_cv_.notify_all();
+    queue_not_full_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    // Pool shutdown drains every dispatched task, fulfilling all futures.
+    pool_.shutdown();
+}
+
+std::vector<align::AlignResult>
+Engine::alignAll(const std::vector<seq::SequencePair> &pairs,
+                 bool want_cigar)
+{
+    std::vector<std::future<align::AlignResult>> futures;
+    futures.reserve(pairs.size());
+    for (const auto &pair : pairs)
+        futures.push_back(submit(pair, want_cigar));
+    std::vector<align::AlignResult> results;
+    results.reserve(pairs.size());
+    std::exception_ptr first_error;
+    for (auto &f : futures) {
+        try {
+            results.push_back(f.get());
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+            results.emplace_back();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+MetricsSnapshot
+Engine::metrics() const
+{
+    const PoolStats ps = pool_.stats();
+    return metrics_.snapshot(pool_.workerCount(), ps.executed, ps.steals);
+}
+
+} // namespace gmx::engine

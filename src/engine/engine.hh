@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Alignment engine: persistent submission front-end over the
+ * work-stealing pool.
+ *
+ * The pipeline a request flows through:
+ *
+ *   submit() -> bounded MPMC queue -> dispatcher (micro-batching)
+ *            -> work-stealing pool -> cascade or custom aligner
+ *            -> std::future<AlignResult>
+ *
+ * The bounded queue is where backpressure lives: a full queue either
+ * blocks the submitter, rejects the new request, or sheds the oldest
+ * queued one — the three policies a service front-end needs when traffic
+ * exceeds alignment capacity. The dispatcher fuses adjacent small pairs
+ * into micro-batches so that short-read-sized requests amortize one pool
+ * task per batch instead of paying per-pair scheduling cost, mirroring
+ * how the paper's short-sequence workloads keep the GMX unit saturated.
+ */
+
+#ifndef GMX_ENGINE_ENGINE_HH
+#define GMX_ENGINE_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "align/batch.hh"
+#include "align/types.hh"
+#include "engine/cascade.hh"
+#include "engine/metrics.hh"
+#include "engine/pool.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::engine {
+
+/** What submit() does when the request queue is full. */
+enum class Backpressure {
+    Block,     //!< wait until the queue has room (lossless, applies latency)
+    Reject,    //!< throw QueueFullError at the submitter (fail fast)
+    ShedOldest //!< drop the oldest queued request (freshest-first service)
+};
+
+/** Thrown by submit() under the Reject policy when the queue is full. */
+class QueueFullError : public std::runtime_error
+{
+  public:
+    QueueFullError() : std::runtime_error("engine queue full") {}
+};
+
+/** Delivered through a shed request's future under ShedOldest. */
+class ShedError : public std::runtime_error
+{
+  public:
+    ShedError() : std::runtime_error("request shed under backpressure") {}
+};
+
+/** Thrown by submit() after stop(), and delivered to blocked submitters. */
+class EngineStoppedError : public std::runtime_error
+{
+  public:
+    EngineStoppedError() : std::runtime_error("engine is stopped") {}
+};
+
+/** Engine construction parameters. */
+struct EngineConfig
+{
+    /** Pool workers; 0 = one per hardware thread (never zero). */
+    unsigned workers = 0;
+
+    /** Bounded request-queue capacity. */
+    size_t queue_capacity = 1024;
+
+    /** Policy when the queue is full. */
+    Backpressure backpressure = Backpressure::Block;
+
+    /** Max small requests fused into one pool task (1 disables fusing). */
+    size_t microbatch_max = 8;
+
+    /** Pairs with pattern+text bases below this count as "small". */
+    size_t microbatch_bases = 2048;
+
+    /** Routing configuration for cascade-dispatched requests. */
+    CascadeConfig cascade{};
+};
+
+/**
+ * Persistent alignment engine. Safe for concurrent submit() from any
+ * number of threads. Destruction is graceful: every accepted request's
+ * future is fulfilled before the workers join.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig config = {});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Submit one pair for cascade-routed alignment. @p want_cigar asks
+     * for a full traceback (tier 1 then only pre-filters). The future
+     * carries the result or the aligner's exception.
+     */
+    std::future<align::AlignResult> submit(seq::SequencePair pair,
+                                           bool want_cigar = true);
+
+    /** Submit one pair to a caller-chosen aligner (bypasses the cascade). */
+    std::future<align::AlignResult> submit(seq::SequencePair pair,
+                                           align::PairAligner aligner);
+
+    /**
+     * Convenience: submit every pair and wait; results in input order.
+     * The first failed pair's exception (by index) is rethrown.
+     */
+    std::vector<align::AlignResult>
+    alignAll(const std::vector<seq::SequencePair> &pairs,
+             bool want_cigar = true);
+
+    /** Block until the queue is empty and no request is in flight. */
+    void drain();
+
+    /**
+     * Graceful stop: refuse new submissions, finish everything accepted,
+     * join dispatcher and workers. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** Point-in-time metrics (queue, pool, tiers, latency). */
+    MetricsSnapshot metrics() const;
+
+    const EngineConfig &config() const { return config_; }
+    unsigned workerCount() const { return pool_.workerCount(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One queued alignment request. */
+    struct Request
+    {
+        seq::SequencePair pair;
+        align::PairAligner aligner; //!< empty => cascade routing
+        bool want_cigar = true;
+        size_t bases = 0; //!< pattern + text length, for micro-batching
+        Clock::time_point enqueued;
+        std::promise<align::AlignResult> promise;
+    };
+
+    std::future<align::AlignResult> enqueue(Request req);
+    void dispatchLoop();
+    void runRequests(std::vector<Request> batch);
+    bool isSmall(const Request &req) const
+    {
+        return req.bases <= config_.microbatch_bases;
+    }
+
+    EngineConfig config_;
+    EngineMetrics metrics_;
+    WorkStealingPool pool_;
+
+    // Bounded MPMC request queue and its coordination.
+    mutable std::mutex mu_;
+    std::condition_variable dispatch_cv_; //!< wakes the dispatcher
+    std::condition_variable queue_not_full_;
+    std::condition_variable idle_;
+    std::deque<Request> queue_;
+    size_t inflight_ = 0;       //!< requests dispatched, not yet finished
+    size_t inflight_tasks_ = 0; //!< pool tasks dispatched, not yet finished
+    bool stopping_ = false;
+
+    /**
+     * Dispatch throttle: at most 2 outstanding pool tasks per worker.
+     * Without it the dispatcher would drain the bounded queue into the
+     * pool's unbounded deques and backpressure could never engage.
+     */
+    size_t maxInflightTasks() const { return 2 * pool_.workerCount(); }
+
+    std::thread dispatcher_;
+};
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_ENGINE_HH

@@ -1,0 +1,159 @@
+#include "engine/metrics.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace gmx::engine {
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Filter:
+        return "filter";
+      case Tier::Banded:
+        return "banded";
+      case Tier::Full:
+        return "full";
+    }
+    return "?";
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    const double us = seconds * 1e6;
+    size_t bucket = 0;
+    if (us >= 1.0) {
+        bucket = static_cast<size_t>(std::log2(us)) + 1;
+        bucket = std::min(bucket, kBuckets - 1);
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<u64>
+LatencyHistogram::buckets() const
+{
+    std::vector<u64> out(kBuckets);
+    for (size_t b = 0; b < kBuckets; ++b)
+        out[b] = buckets_[b].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+EngineMetrics::notePeak(u64 depth)
+{
+    u64 cur = queue_peak.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !queue_peak.compare_exchange_weak(cur, depth,
+                                             std::memory_order_relaxed)) {
+    }
+}
+
+namespace {
+
+/** Upper edge of histogram bucket b in microseconds. */
+double
+bucketUpperUs(size_t b)
+{
+    return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+}
+
+/** Approximate quantile from the log2 histogram (bucket upper bound). */
+double
+quantileUs(const std::vector<u64> &buckets, u64 total, double q)
+{
+    if (total == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total);
+    double seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        seen += static_cast<double>(buckets[b]);
+        if (seen >= target)
+            return bucketUpperUs(b);
+    }
+    return bucketUpperUs(buckets.size() - 1);
+}
+
+} // namespace
+
+MetricsSnapshot
+EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed,
+                        u64 pool_steals) const
+{
+    MetricsSnapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.completed = completed.load(std::memory_order_relaxed);
+    s.failed = failed.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.shed = shed.load(std::memory_order_relaxed);
+    s.queue_depth = queue_depth.load(std::memory_order_relaxed);
+    s.queue_peak = queue_peak.load(std::memory_order_relaxed);
+    s.microbatches = microbatches.load(std::memory_order_relaxed);
+    s.batched_pairs = batched_pairs.load(std::memory_order_relaxed);
+    s.pool_workers = pool_workers;
+    s.pool_executed = pool_executed;
+    s.pool_steals = pool_steals;
+    for (unsigned t = 0; t < kTierCount; ++t)
+        s.tier_hits[t] = tier_hits[t].load(std::memory_order_relaxed);
+    s.latency_buckets = latency.buckets();
+    for (u64 c : s.latency_buckets)
+        s.latency_count += c;
+    const double total_us = latency_total_us.load(std::memory_order_relaxed);
+    s.latency_mean_us =
+        s.latency_count
+            ? total_us / static_cast<double>(s.latency_count)
+            : 0.0;
+    s.latency_p50_us = quantileUs(s.latency_buckets, s.latency_count, 0.50);
+    s.latency_p99_us = quantileUs(s.latency_buckets, s.latency_count, 0.99);
+    return s;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"submitted\":" << submitted;
+    os << ",\"completed\":" << completed;
+    os << ",\"failed\":" << failed;
+    os << ",\"rejected\":" << rejected;
+    os << ",\"shed\":" << shed;
+    os << ",\"queue_depth\":" << queue_depth;
+    os << ",\"queue_peak\":" << queue_peak;
+    os << ",\"microbatches\":" << microbatches;
+    os << ",\"batched_pairs\":" << batched_pairs;
+    os << ",\"pool\":{";
+    os << "\"workers\":" << pool_workers;
+    os << ",\"executed\":" << pool_executed;
+    os << ",\"steals\":" << pool_steals;
+    os << "}";
+    os << ",\"tiers\":{";
+    for (unsigned t = 0; t < kTierCount; ++t) {
+        if (t)
+            os << ",";
+        os << "\"" << tierName(static_cast<Tier>(t))
+           << "\":" << tier_hits[t];
+    }
+    os << "}";
+    os << ",\"latency_us\":{";
+    os << "\"count\":" << latency_count;
+    os << ",\"mean\":" << latency_mean_us;
+    os << ",\"p50\":" << latency_p50_us;
+    os << ",\"p99\":" << latency_p99_us;
+    os << ",\"log2_buckets\":[";
+    // Trim trailing empty buckets so the array stays readable.
+    size_t last = latency_buckets.size();
+    while (last > 0 && latency_buckets[last - 1] == 0)
+        --last;
+    for (size_t b = 0; b < last; ++b) {
+        if (b)
+            os << ",";
+        os << latency_buckets[b];
+    }
+    os << "]}";
+    os << "}";
+    return os.str();
+}
+
+} // namespace gmx::engine

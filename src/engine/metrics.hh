@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Atomic metrics for the alignment engine.
+ *
+ * The engine is a concurrent pipeline, so every counter here is a plain
+ * relaxed atomic: producers and workers bump them wait-free and a snapshot
+ * reads them without stopping the pipeline. A snapshot is a plain value
+ * struct that can be diffed, printed, or serialized to JSON — the shape a
+ * monitoring scraper would consume in a service deployment.
+ */
+
+#ifndef GMX_ENGINE_METRICS_HH
+#define GMX_ENGINE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gmx::engine {
+
+/**
+ * Cascade tiers, cheapest first. Tier indices are stable: they are used
+ * as array offsets in the metrics and as labels in the JSON snapshot.
+ */
+enum class Tier : unsigned {
+    Filter = 0, //!< Bitap edit-distance filter answered the request
+    Banded = 1, //!< Banded(GMX) inside the band answered it
+    Full = 2,   //!< escalated to Full(GMX)
+};
+
+inline constexpr unsigned kTierCount = 3;
+
+/** Human-readable tier name ("filter" / "banded" / "full"). */
+const char *tierName(Tier t);
+
+/**
+ * Lock-free latency histogram with power-of-two microsecond buckets:
+ * bucket b counts samples in [2^(b-1), 2^b) microseconds (bucket 0 is
+ * [0, 1us)). 32 buckets cover up to ~35 minutes, far beyond any
+ * alignment latency this engine can produce.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr size_t kBuckets = 32;
+
+    void record(double seconds);
+
+    /** Per-bucket counts (relaxed reads; consistent enough for reporting). */
+    std::vector<u64> buckets() const;
+
+  private:
+    std::array<std::atomic<u64>, kBuckets> buckets_{};
+};
+
+/** Point-in-time copy of every engine counter. Plain values, no atomics. */
+struct MetricsSnapshot
+{
+    // Submission front-end.
+    u64 submitted = 0;    //!< requests accepted into the queue
+    u64 completed = 0;    //!< requests whose future was fulfilled with a value
+    u64 failed = 0;       //!< requests whose aligner threw
+    u64 rejected = 0;     //!< requests refused by the Reject policy
+    u64 shed = 0;         //!< queued requests dropped by the ShedOldest policy
+    u64 queue_depth = 0;  //!< current queued (not yet dispatched) requests
+    u64 queue_peak = 0;   //!< high-water mark of queue_depth
+    u64 microbatches = 0; //!< pool tasks that fused >= 2 small requests
+    u64 batched_pairs = 0; //!< requests that rode inside a micro-batch
+
+    // Work-stealing pool.
+    u64 pool_workers = 0;  //!< worker threads
+    u64 pool_executed = 0; //!< tasks executed
+    u64 pool_steals = 0;   //!< tasks obtained by stealing from a sibling
+
+    // Cascade tiers.
+    std::array<u64, kTierCount> tier_hits{}; //!< completions per tier
+
+    // Latency, request submit -> future fulfilled.
+    std::vector<u64> latency_buckets; //!< log2-microsecond histogram
+    u64 latency_count = 0;
+    double latency_mean_us = 0.0;
+    double latency_p50_us = 0.0;
+    double latency_p99_us = 0.0;
+
+    /**
+     * Serialize as a single JSON object (stable key order, no trailing
+     * commas) — the engine's monitoring endpoint in library form.
+     */
+    std::string toJson() const;
+};
+
+/**
+ * The live counters. One instance per Engine; sharable by reference with
+ * the cascade so tier hits land in the same snapshot.
+ */
+class EngineMetrics
+{
+  public:
+    std::atomic<u64> submitted{0};
+    std::atomic<u64> completed{0};
+    std::atomic<u64> failed{0};
+    std::atomic<u64> rejected{0};
+    std::atomic<u64> shed{0};
+    std::atomic<u64> queue_depth{0};
+    std::atomic<u64> queue_peak{0};
+    std::atomic<u64> microbatches{0};
+    std::atomic<u64> batched_pairs{0};
+    std::array<std::atomic<u64>, kTierCount> tier_hits{};
+    LatencyHistogram latency;
+    std::atomic<double> latency_total_us{0.0};
+
+    void recordTier(Tier t)
+    {
+        tier_hits[static_cast<unsigned>(t)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Raise queue_peak to at least @p depth (monotonic CAS loop). */
+    void notePeak(u64 depth);
+
+    /**
+     * Copy everything into a snapshot. Pool numbers are passed in by the
+     * engine, which owns the pool.
+     */
+    MetricsSnapshot snapshot(u64 pool_workers, u64 pool_executed,
+                             u64 pool_steals) const;
+};
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_METRICS_HH

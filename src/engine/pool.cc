@@ -1,0 +1,165 @@
+#include "engine/pool.hh"
+
+#include "common/logging.hh"
+
+namespace gmx::engine {
+
+namespace {
+
+/** Identity of the pool worker running the current thread, if any. */
+struct WorkerIdentity
+{
+    const WorkStealingPool *pool = nullptr;
+    unsigned index = 0;
+};
+
+thread_local WorkerIdentity tl_worker;
+
+} // namespace
+
+unsigned
+WorkStealingPool::resolveWorkers(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkStealingPool::WorkStealingPool(unsigned workers)
+{
+    workers = resolveWorkers(workers);
+    shards_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        shards_.push_back(std::make_unique<Shard>());
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    shutdown();
+}
+
+bool
+WorkStealingPool::onWorkerThread() const
+{
+    return tl_worker.pool == this;
+}
+
+void
+WorkStealingPool::submit(Task task)
+{
+    if (!task)
+        GMX_FATAL("WorkStealingPool::submit: empty task");
+    if (stopping_.load(std::memory_order_acquire))
+        GMX_FATAL("WorkStealingPool::submit: pool is shut down");
+
+    unsigned target;
+    if (tl_worker.pool == this) {
+        target = tl_worker.index; // worker self-submission: keep it local
+    } else {
+        target = rr_.fetch_add(1, std::memory_order_relaxed) %
+                 shards_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(shards_[target]->mu);
+        shards_[target]->tasks.push_back(std::move(task));
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    {
+        // pending_ is bumped under idle_mu_ so a worker that just saw
+        // "no work" in its wait predicate cannot miss this submission.
+        std::lock_guard<std::mutex> lk(idle_mu_);
+        pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    idle_cv_.notify_one();
+}
+
+bool
+WorkStealingPool::tryPop(unsigned self, Task &out)
+{
+    // Own deque first, newest first (LIFO: best cache locality).
+    {
+        Shard &mine = *shards_[self];
+        std::lock_guard<std::mutex> lk(mine.mu);
+        if (!mine.tasks.empty()) {
+            out = std::move(mine.tasks.back());
+            mine.tasks.pop_back();
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // Steal from siblings, oldest first (FIFO end of their deque).
+    const size_t n = shards_.size();
+    for (size_t off = 1; off < n; ++off) {
+        Shard &victim = *shards_[(self + off) % n];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(unsigned self)
+{
+    tl_worker = {this, self};
+    for (;;) {
+        Task task;
+        if (tryPop(self, task)) {
+            task();
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        idle_cv_.wait(lk, [this] {
+            return pending_.load(std::memory_order_relaxed) > 0 ||
+                   stopping_.load(std::memory_order_relaxed);
+        });
+        if (pending_.load(std::memory_order_relaxed) == 0 &&
+            stopping_.load(std::memory_order_relaxed)) {
+            return; // drained and stopping: graceful exit
+        }
+    }
+}
+
+void
+WorkStealingPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(idle_mu_);
+        if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+            // Second caller: threads are already joining/joined.
+        }
+    }
+    idle_cv_.notify_all();
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+PoolStats
+WorkStealingPool::stats() const
+{
+    PoolStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    return s;
+}
+
+WorkStealingPool &
+sharedPool()
+{
+    static WorkStealingPool pool(0);
+    return pool;
+}
+
+} // namespace gmx::engine

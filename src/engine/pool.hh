@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Persistent work-stealing thread pool.
+ *
+ * The paper's multicore scaling model (§7.2) is one independent GMX unit
+ * per core; this pool is the software analogue: N persistent workers, each
+ * with its own deque. The owner pushes and pops at the back (LIFO, cache
+ * warm); an idle worker steals from the front of a sibling's deque (FIFO,
+ * oldest work first) — the classic Blumofe/Leiserson discipline. Deques
+ * are mutex-sharded rather than lock-free: alignment tasks run for
+ * microseconds to milliseconds, so scheduling cost is not the bottleneck
+ * and the simple locking stays ThreadSanitizer-clean by construction.
+ *
+ * Shutdown is graceful: queued tasks are drained before the workers join.
+ */
+
+#ifndef GMX_ENGINE_POOL_HH
+#define GMX_ENGINE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gmx::engine {
+
+/** Counters exported by the pool (all monotonic). */
+struct PoolStats
+{
+    u64 submitted = 0; //!< tasks accepted
+    u64 executed = 0;  //!< tasks run to completion
+    u64 steals = 0;    //!< tasks a worker took from a sibling's deque
+};
+
+/** Fixed-size pool of persistent workers with per-worker deques. */
+class WorkStealingPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p workers threads (0 = one per hardware thread; platforms
+     * reporting zero hardware threads get one worker, never zero).
+     */
+    explicit WorkStealingPool(unsigned workers = 0);
+
+    /** Graceful: drains every queued task, then joins. */
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /**
+     * Enqueue @p task. Called from a worker thread, it lands on that
+     * worker's own deque (LIFO locality); from outside, deques are fed
+     * round-robin. Throws FatalError after shutdown().
+     */
+    void submit(Task task);
+
+    /**
+     * Stop accepting work, drain all queued tasks, join the workers.
+     * Idempotent; also called by the destructor.
+     */
+    void shutdown();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    PoolStats stats() const;
+
+    /**
+     * Resolve a requested worker count: 0 means hardware concurrency,
+     * clamped to at least 1 (std::thread::hardware_concurrency() may
+     * return 0 on exotic platforms).
+     */
+    static unsigned resolveWorkers(unsigned requested);
+
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+  private:
+    /** One worker's deque. Owner pops back; thieves pop front. */
+    struct Shard
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool tryPop(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> threads_;
+
+    // Idle workers sleep on idle_cv_; pending_ counts queued tasks so the
+    // wait predicate never misses a submission.
+    std::mutex idle_mu_;
+    std::condition_variable idle_cv_;
+    std::atomic<size_t> pending_{0};
+    std::atomic<bool> stopping_{false};
+
+    std::atomic<u64> submitted_{0};
+    std::atomic<u64> executed_{0};
+    std::atomic<u64> steals_{0};
+    std::atomic<unsigned> rr_{0};
+};
+
+/**
+ * Process-wide shared pool (one per hardware thread), used by
+ * align::batchAlign and anything else that wants parallelism without
+ * owning threads. Constructed on first use, joined at exit.
+ */
+WorkStealingPool &sharedPool();
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_POOL_HH

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests for the alignment engine subsystem: the work-stealing pool, the
+ * bounded submission queue with its backpressure policies, the adaptive
+ * cascade, micro-batching, metrics, and graceful shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "align/batch.hh"
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "engine/cascade.hh"
+#include "engine/engine.hh"
+#include "engine/pool.hh"
+#include "gmx/full.hh"
+#include "sequence/dataset.hh"
+
+namespace gmx::engine {
+namespace {
+
+using align::AlignResult;
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------- pool
+
+TEST(Pool, ExecutesEverySubmittedTask)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.shutdown();
+    EXPECT_EQ(sum.load(), 5050);
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.submitted, 100u);
+    EXPECT_EQ(stats.executed, 100u);
+}
+
+TEST(Pool, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        WorkStealingPool pool(2);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(milliseconds(1));
+                ran.fetch_add(1);
+            });
+        }
+        // Destructor must finish all 50, not abandon the queue.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(Pool, ResolveWorkersClampsToAtLeastOne)
+{
+    EXPECT_GE(WorkStealingPool::resolveWorkers(0), 1u);
+    EXPECT_EQ(WorkStealingPool::resolveWorkers(7), 7u);
+}
+
+TEST(Pool, RejectsSubmitAfterShutdown)
+{
+    WorkStealingPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] {}), FatalError);
+}
+
+TEST(Pool, StealsWhenOneWorkerIsPinned)
+{
+    // Pin worker deques with a blocker, then flood tasks: with 4 workers
+    // fed round-robin, idle workers must steal from loaded deques.
+    WorkStealingPool pool(4);
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 2; ++i) {
+        pool.submit([&release] {
+            while (!release.load())
+                std::this_thread::sleep_for(milliseconds(1));
+        });
+    }
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    // Wait for the flood to finish while two workers are still blocked.
+    for (int spin = 0; spin < 5000 && ran.load() < 200; ++spin)
+        std::this_thread::sleep_for(milliseconds(1));
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_GT(pool.stats().steals, 0u);
+    release.store(true);
+    pool.shutdown();
+}
+
+// ------------------------------------------------------------- cascade
+
+TEST(Cascade, TiersAgreeWithNwGroundTruth)
+{
+    // Mixed divergence: low error hits the filter band, medium the
+    // banded tier, high escalates to Full(GMX).
+    seq::Generator gen(4242);
+    CascadeConfig cfg;
+    std::array<u64, kTierCount> seen{};
+    for (double err : {0.01, 0.05, 0.12, 0.30, 0.45}) {
+        for (int rep = 0; rep < 4; ++rep) {
+            const auto pair = gen.pair(300, err);
+            const auto outcome = cascadeAlign(pair, cfg, false);
+            EXPECT_EQ(outcome.result.distance,
+                      align::nwDistance(pair.pattern, pair.text))
+                << "err=" << err << " rep=" << rep;
+            ++seen[static_cast<unsigned>(outcome.tier)];
+        }
+    }
+    // The mixed workload must actually exercise the escalation path.
+    EXPECT_GT(seen[static_cast<unsigned>(Tier::Filter)], 0u);
+    EXPECT_GT(seen[static_cast<unsigned>(Tier::Banded)] +
+                  seen[static_cast<unsigned>(Tier::Full)],
+              0u);
+}
+
+TEST(Cascade, CigarsIdenticalToFullGmx)
+{
+    seq::Generator gen(515);
+    CascadeConfig cfg;
+    for (double err : {0.02, 0.10, 0.25}) {
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto pair = gen.pair(260, err);
+            const auto outcome = cascadeAlign(pair, cfg, true);
+            const auto full = core::fullGmxAlign(pair.pattern, pair.text);
+            EXPECT_EQ(outcome.result.distance, full.distance);
+            EXPECT_EQ(outcome.result.cigar, full.cigar)
+                << "tier=" << tierName(outcome.tier) << " err=" << err;
+            const auto check = align::verifyResult(pair.pattern, pair.text,
+                                                   outcome.result);
+            EXPECT_TRUE(check.ok) << check.error;
+        }
+    }
+}
+
+TEST(Cascade, HandlesEmptyAndSkewedPairs)
+{
+    CascadeConfig cfg;
+    seq::SequencePair empty_pattern{seq::Sequence(""),
+                                    seq::Sequence("ACGTACGT")};
+    auto out = cascadeAlign(empty_pattern, cfg, true);
+    EXPECT_EQ(out.result.distance, 8);
+    EXPECT_EQ(out.tier, Tier::Full);
+
+    // Length skew larger than the default budget must still be exact.
+    seq::Generator gen(99);
+    const auto text = gen.random(400);
+    seq::SequencePair skewed{text.substr(0, 120), text};
+    auto skew_out = cascadeAlign(skewed, cfg, false);
+    EXPECT_EQ(skew_out.result.distance,
+              align::nwDistance(skewed.pattern, skewed.text));
+}
+
+TEST(Cascade, DisabledRoutesEverythingFull)
+{
+    seq::Generator gen(7);
+    CascadeConfig cfg;
+    cfg.enabled = false;
+    const auto pair = gen.pair(150, 0.01);
+    EXPECT_EQ(cascadeAlign(pair, cfg, false).tier, Tier::Full);
+}
+
+// -------------------------------------------------------------- engine
+
+TEST(Engine, OrderedResultsUnderConcurrency)
+{
+    const auto ds = seq::makeDataset("eng", 220, 0.08, 40, 2026);
+    EngineConfig cfg;
+    cfg.workers = 4;
+    Engine engine(cfg);
+    const auto results = engine.alignAll(ds.pairs, true);
+    ASSERT_EQ(results.size(), ds.pairs.size());
+    for (size_t i = 0; i < ds.pairs.size(); ++i) {
+        EXPECT_EQ(results[i].distance,
+                  align::nwDistance(ds.pairs[i].pattern, ds.pairs[i].text))
+            << i;
+        EXPECT_TRUE(results[i].has_cigar);
+    }
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.submitted, ds.pairs.size());
+    EXPECT_EQ(snap.completed, ds.pairs.size());
+    EXPECT_EQ(snap.queue_depth, 0u);
+}
+
+TEST(Engine, CustomAlignerAndExceptionPropagation)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    seq::Generator gen(11);
+    const auto pair = gen.pair(100, 0.05);
+
+    auto good = engine.submit(
+        pair, align::PairAligner([](const seq::SequencePair &p) {
+            return core::fullGmxAlign(p.pattern, p.text);
+        }));
+    EXPECT_EQ(good.get().distance,
+              align::nwDistance(pair.pattern, pair.text));
+
+    auto bad = engine.submit(
+        pair, align::PairAligner([](const seq::SequencePair &) -> AlignResult {
+            GMX_FATAL("engine bomb");
+        }));
+    EXPECT_THROW(bad.get(), FatalError);
+    EXPECT_EQ(engine.metrics().failed, 1u);
+}
+
+TEST(Engine, BlockPolicyIsLossless)
+{
+    // Tiny queue + slow aligner: submitters must block, never drop.
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 2;
+    cfg.backpressure = Backpressure::Block;
+    cfg.microbatch_max = 1;
+    Engine engine(cfg);
+    const align::PairAligner slow = [](const seq::SequencePair &) {
+        std::this_thread::sleep_for(milliseconds(2));
+        return AlignResult{0, {}, false};
+    };
+    seq::Generator gen(13);
+    std::vector<std::future<AlignResult>> futures;
+    for (int i = 0; i < 30; ++i)
+        futures.push_back(engine.submit(gen.pair(20, 0.0), slow));
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().distance, 0);
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.completed, 30u);
+    EXPECT_EQ(snap.rejected, 0u);
+    EXPECT_EQ(snap.shed, 0u);
+}
+
+TEST(Engine, RejectPolicyThrowsWhenFull)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.backpressure = Backpressure::Reject;
+    cfg.microbatch_max = 1;
+    Engine engine(cfg);
+
+    // Stall the single worker so the queue genuinely fills.
+    std::atomic<bool> release{false};
+    const align::PairAligner gate = [&release](const seq::SequencePair &) {
+        while (!release.load())
+            std::this_thread::sleep_for(milliseconds(1));
+        return AlignResult{0, {}, false};
+    };
+    seq::Generator gen(17);
+    std::vector<std::future<AlignResult>> accepted;
+    size_t rejections = 0;
+    for (int i = 0; i < 20; ++i) {
+        try {
+            accepted.push_back(engine.submit(gen.pair(20, 0.0), gate));
+        } catch (const QueueFullError &) {
+            ++rejections;
+        }
+    }
+    EXPECT_GT(rejections, 0u);
+    release.store(true);
+    for (auto &f : accepted)
+        EXPECT_EQ(f.get().distance, 0);
+    EXPECT_EQ(engine.metrics().rejected, rejections);
+}
+
+TEST(Engine, ShedOldestDropsTheOldestRequest)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    cfg.backpressure = Backpressure::ShedOldest;
+    cfg.microbatch_max = 1;
+    Engine engine(cfg);
+
+    std::atomic<bool> release{false};
+    const align::PairAligner gate = [&release](const seq::SequencePair &) {
+        while (!release.load())
+            std::this_thread::sleep_for(milliseconds(1));
+        return AlignResult{0, {}, false};
+    };
+    seq::Generator gen(19);
+    std::vector<std::future<AlignResult>> futures;
+    for (int i = 0; i < 12; ++i)
+        futures.push_back(engine.submit(gen.pair(20, 0.0), gate));
+    release.store(true);
+
+    size_t shed = 0, served = 0;
+    bool last_served = false;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        try {
+            futures[i].get();
+            ++served;
+            last_served = i + 1 == futures.size();
+        } catch (const ShedError &) {
+            ++shed;
+        }
+    }
+    EXPECT_GT(shed, 0u);
+    EXPECT_GT(served, 0u);
+    EXPECT_EQ(shed + served, 12u);
+    EXPECT_EQ(engine.metrics().shed, shed);
+    // The newest submission must survive shedding (oldest goes first).
+    EXPECT_TRUE(last_served);
+}
+
+TEST(Engine, MicrobatchesSmallRequests)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.microbatch_max = 8;
+    cfg.microbatch_bases = 4096;
+    Engine engine(cfg);
+    seq::Generator gen(23);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 64; ++i)
+        pairs.push_back(gen.pair(60, 0.05));
+    // Burst-submit, then drain: with a single worker the queue backs up,
+    // so the dispatcher has runs of small requests available to fuse.
+    const auto results = engine.alignAll(pairs, false);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        EXPECT_EQ(results[i].distance,
+                  align::nwDistance(pairs[i].pattern, pairs[i].text));
+    }
+    const auto snap = engine.metrics();
+    EXPECT_GT(snap.microbatches, 0u);
+    EXPECT_GT(snap.batched_pairs, snap.microbatches);
+}
+
+TEST(Engine, GracefulStopFulfillsInFlightWork)
+{
+    std::vector<std::future<AlignResult>> futures;
+    const auto ds = seq::makeDataset("stop", 200, 0.10, 24, 31);
+    {
+        EngineConfig cfg;
+        cfg.workers = 2;
+        Engine engine(cfg);
+        for (const auto &pair : ds.pairs)
+            futures.push_back(engine.submit(pair, true));
+        // Destructor stops the engine with most requests still queued.
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        const auto res = futures[i].get(); // must not hang or throw
+        EXPECT_EQ(res.distance,
+                  align::nwDistance(ds.pairs[i].pattern, ds.pairs[i].text));
+    }
+}
+
+TEST(Engine, SubmitAfterStopThrows)
+{
+    Engine engine(EngineConfig{});
+    engine.stop();
+    seq::Generator gen(37);
+    EXPECT_THROW(engine.submit(gen.pair(50, 0.0), true),
+                 EngineStoppedError);
+}
+
+TEST(Engine, MetricsSnapshotSerializesToJson)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    seq::Generator gen(41);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 10; ++i)
+        pairs.push_back(gen.pair(120, 0.05));
+    engine.alignAll(pairs, false);
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.completed, 10u);
+    EXPECT_GT(snap.latency_count, 0u);
+    EXPECT_GT(snap.latency_mean_us, 0.0);
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"submitted\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"tiers\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"filter\":"), std::string::npos);
+    EXPECT_NE(json.find("\"steals\":"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+// ------------------------------------------------- batchAlign rewiring
+
+TEST(BatchOnEngine, MatchesGroundTruthAndKeepsOrder)
+{
+    const auto ds = seq::makeDataset("be", 250, 0.08, 30, 47);
+    const align::PairAligner aligner = [](const seq::SequencePair &p) {
+        return core::fullGmxAlign(p.pattern, p.text);
+    };
+    const auto results = align::batchAlign(ds.pairs, aligner, 4);
+    ASSERT_EQ(results.size(), ds.pairs.size());
+    for (size_t i = 0; i < ds.pairs.size(); ++i) {
+        EXPECT_EQ(results[i].distance,
+                  align::nwDistance(ds.pairs[i].pattern, ds.pairs[i].text))
+            << i;
+    }
+}
+
+TEST(BatchOnEngine, NestedBatchDoesNotDeadlock)
+{
+    // batchAlign from inside a pool task: the caller participates in its
+    // own batch, so a saturated shared pool cannot deadlock it.
+    const auto inner_ds = seq::makeDataset("nest", 80, 0.05, 6, 53);
+    const align::PairAligner aligner = [](const seq::SequencePair &p) {
+        return core::fullGmxAlign(p.pattern, p.text);
+    };
+    std::atomic<bool> ok{false};
+    sharedPool().submit([&] {
+        const auto res = align::batchAlign(inner_ds.pairs, aligner, 4);
+        ok.store(res.size() == inner_ds.pairs.size());
+    });
+    for (int spin = 0; spin < 10000 && !ok.load(); ++spin)
+        std::this_thread::sleep_for(milliseconds(1));
+    EXPECT_TRUE(ok.load());
+}
+
+} // namespace
+} // namespace gmx::engine
