@@ -72,11 +72,15 @@ main()
 
     std::printf("Engine throughput sweep: %zu mixed-divergence pairs "
                 "(150bp@0.5%%, 300bp@5%%, 300bp@25%%), cascade routing, "
-                "distance-only\n\n",
+                "distance-only\n"
+                "Every request carries a generous 60 s deadline: the "
+                "robustness plumbing is enabled but unexercised, so these "
+                "rates include its happy-path cost.\n\n",
                 kPairs);
 
     TextTable table({"workers", "queue", "time_s", "pairs/s", "Mbases/s",
-                     "speedup", "steals", "microbatches"});
+                     "speedup", "steals", "microbatches", "shed", "downgr",
+                     "dl_miss"});
 
     engine::MetricsSnapshot last_snapshot;
     for (size_t queue_cap : {64u, 1024u}) {
@@ -89,10 +93,14 @@ main()
             engine::Engine eng(cfg);
 
             Timer timer;
-            std::vector<std::future<align::AlignResult>> futures;
+            std::vector<std::future<engine::Engine::AlignOutcome>> futures;
             futures.reserve(workload.size());
-            for (const auto &pair : workload)
-                futures.push_back(eng.submit(pair, /*want_cigar=*/false));
+            for (const auto &pair : workload) {
+                engine::SubmitOptions opts;
+                opts.want_cigar = false;
+                opts.timeout = std::chrono::seconds(60);
+                futures.push_back(eng.submit(pair, std::move(opts)));
+            }
             for (auto &f : futures)
                 f.get();
             const double secs = timer.seconds();
@@ -109,18 +117,68 @@ main()
                           TextTable::num(static_cast<long long>(
                               snap.pool_steals)),
                           TextTable::num(static_cast<long long>(
-                              snap.microbatches))});
+                              snap.microbatches)),
+                          TextTable::num(static_cast<long long>(snap.shed)),
+                          TextTable::num(static_cast<long long>(
+                              snap.downgraded)),
+                          TextTable::num(static_cast<long long>(
+                              snap.deadline_missed))});
             last_snapshot = snap;
         }
     }
     table.print();
 
-    std::printf("\nMetrics snapshot (last run: 8 workers, queue 1024):\n%s\n",
+    // One overload point: small shedding queue plus a memory budget tight
+    // enough that every Full(GMX) traceback downgrades to Hirschberg, so
+    // the robustness columns are exercised, not just reported. 2 kbp
+    // traceback wants ~131 KB of tile edges; the 96 KB budget admits two
+    // concurrent Hirschberg footprints (~36 KB) instead.
+    {
+        seq::Generator gen(77);
+        std::vector<seq::SequencePair> heavy;
+        for (int i = 0; i < 200; ++i)
+            heavy.push_back(gen.pair(2000, 0.05));
+        engine::EngineConfig cfg;
+        cfg.workers = 2;
+        cfg.queue_capacity = 16;
+        cfg.backpressure = engine::Backpressure::ShedOldest;
+        cfg.microbatch_max = 1;
+        cfg.memory_budget_bytes = 96 * 1024;
+        engine::Engine eng(cfg);
+        std::vector<std::future<engine::Engine::AlignOutcome>> futures;
+        futures.reserve(heavy.size());
+        for (const auto &pair : heavy)
+            futures.push_back(eng.submit(pair, /*want_cigar=*/true));
+        size_t ok = 0, shed = 0, other = 0;
+        for (auto &f : futures) {
+            const auto res = f.get();
+            if (res.ok())
+                ++ok;
+            else if (res.code() == StatusCode::Overloaded)
+                ++shed;
+            else
+                ++other;
+        }
+        const auto snap = eng.metrics();
+        std::printf("\nOverload point (200 x 2 kbp traceback, 2 workers, "
+                    "queue 16, ShedOldest, 96 KB budget):\n"
+                    "  served=%zu shed=%zu other=%zu downgraded=%llu "
+                    "peak_reserved=%llu B (budget %llu B)\n",
+                    ok, shed, other,
+                    static_cast<unsigned long long>(snap.downgraded),
+                    static_cast<unsigned long long>(snap.mem_reserved_peak),
+                    static_cast<unsigned long long>(snap.mem_budget_bytes));
+    }
+
+    std::printf("\nMetrics snapshot (last sweep run: 8 workers, queue "
+                "1024):\n%s\n",
                 last_snapshot.toJson().c_str());
 
-    std::printf("\nTier hits: filter=%llu banded=%llu full=%llu\n",
+    std::printf("\nTier hits: filter=%llu banded=%llu full=%llu "
+                "downgraded=%llu\n",
                 static_cast<unsigned long long>(last_snapshot.tier_hits[0]),
                 static_cast<unsigned long long>(last_snapshot.tier_hits[1]),
-                static_cast<unsigned long long>(last_snapshot.tier_hits[2]));
+                static_cast<unsigned long long>(last_snapshot.tier_hits[2]),
+                static_cast<unsigned long long>(last_snapshot.tier_hits[3]));
     return 0;
 }

@@ -44,14 +44,22 @@ main()
     }
 
     // Stream everything in (distance-only: the filter tier may answer),
-    // then collect through the futures.
-    std::vector<std::future<align::AlignResult>> futures;
+    // then collect through the futures. Futures always deliver a
+    // Result<AlignResult>: a value or a typed Status, never an exception.
+    std::vector<std::future<engine::Engine::AlignOutcome>> futures;
     for (const auto &pair : traffic)
         futures.push_back(eng.submit(pair, /*want_cigar=*/false));
 
     int mismatches = 0;
     for (size_t i = 0; i < traffic.size(); ++i) {
-        const i64 got = futures[i].get().distance;
+        const auto res = futures[i].get();
+        if (!res.ok()) {
+            std::fprintf(stderr, "pair %zu: %s\n", i,
+                         res.status().toString().c_str());
+            ++mismatches;
+            continue;
+        }
+        const i64 got = res->distance;
         const i64 want =
             align::nwDistance(traffic[i].pattern, traffic[i].text);
         if (got != want) {

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite.
+# Tier-1 verification: configure, build, run the full test suite, then
+# run the chaos suite in a fault-injection build.
 #
 # Usage:
-#   scripts/tier1.sh                 # plain build + ctest
+#   scripts/tier1.sh                 # plain build + ctest + chaos leg
 #   GMX_SANITIZE=thread scripts/tier1.sh
-#       additionally builds a ThreadSanitizer tree and runs the
-#       concurrency-sensitive tests (engine, pool, batch) under it.
+#       additionally builds a ThreadSanitizer tree (with fault injection
+#       compiled in) and runs the concurrency-sensitive tests — engine,
+#       pool, cascade, batch, chaos — under it.
 #   GMX_SANITIZE=address scripts/tier1.sh
 #       same, with AddressSanitizer over the whole suite.
+#   GMX_SANITIZE=all scripts/tier1.sh
+#       both sanitizer legs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,14 +19,24 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-if [[ "${GMX_SANITIZE:-}" == "thread" ]]; then
-    echo "== ThreadSanitizer pass (engine/pool/batch tests) =="
-    cmake -B build-tsan -S . -DGMX_SANITIZE=thread
+echo "== Fault-injection pass (chaos suite) =="
+cmake -B build-fault -S . -DGMX_FAULT_INJECTION=ON
+cmake --build build-fault -j"$(nproc)" --target test_chaos test_engine
+ctest --test-dir build-fault --output-on-failure -j"$(nproc)" \
+    -R 'Chaos|Engine'
+
+sanitize="${GMX_SANITIZE:-}"
+
+if [[ "$sanitize" == "thread" || "$sanitize" == "all" ]]; then
+    echo "== ThreadSanitizer pass (engine/pool/batch/chaos tests) =="
+    cmake -B build-tsan -S . -DGMX_SANITIZE=thread -DGMX_FAULT_INJECTION=ON
     cmake --build build-tsan -j"$(nproc)" \
-        --target test_engine test_batch
+        --target test_engine test_batch test_chaos
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-        -R 'Engine|Pool|Cascade|Batch'
-elif [[ "${GMX_SANITIZE:-}" == "address" ]]; then
+        -R 'Engine|Pool|Cascade|Batch|Chaos'
+fi
+
+if [[ "$sanitize" == "address" || "$sanitize" == "all" ]]; then
     echo "== AddressSanitizer pass (full suite) =="
     cmake -B build-asan -S . -DGMX_SANITIZE=address
     cmake --build build-asan -j"$(nproc)"

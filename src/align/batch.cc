@@ -11,6 +11,32 @@
 
 namespace gmx::align {
 
+Status
+validatePair(const seq::SequencePair &pair, const InputLimits &limits)
+{
+    const size_t n = pair.pattern.size();
+    const size_t m = pair.text.size();
+    if (limits.reject_empty && (n == 0 || m == 0))
+        return Status::invalidInput(n == 0 ? "empty pattern sequence"
+                                           : "empty text sequence");
+    if (limits.reject_non_acgt &&
+        (pair.pattern.hadNonAcgt() || pair.text.hadNonAcgt())) {
+        return Status::invalidInput("sequence contains non-ACGT bytes");
+    }
+    if (limits.max_pair_bases != 0 && n + m > limits.max_pair_bases) {
+        return Status::invalidInput(detail::format(
+            "pair of %zu bases exceeds the %zu-base admission limit",
+            n + m, limits.max_pair_bases));
+    }
+    const size_t skew = n > m ? n - m : m - n;
+    if (limits.max_length_skew != 0 && skew > limits.max_length_skew) {
+        return Status::invalidInput(detail::format(
+            "length mismatch of %zu exceeds the %zu-base skew limit", skew,
+            limits.max_length_skew));
+    }
+    return Status();
+}
+
 namespace {
 
 /**
@@ -81,10 +107,21 @@ runBatch(const std::shared_ptr<BatchState> &st)
 
 std::vector<AlignResult>
 batchAlign(const std::vector<seq::SequencePair> &pairs,
-           const PairAligner &aligner, unsigned threads)
+           const PairAligner &aligner, unsigned threads,
+           const InputLimits &limits)
 {
     if (!aligner)
         GMX_FATAL("batchAlign: empty aligner function");
+    // Validate up front: no kernel may see a malformed pair, and the
+    // caller gets a typed status naming the offending index.
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        Status s = validatePair(pairs[i], limits);
+        if (!s.ok()) {
+            throw StatusError(Status(
+                s.code(), detail::format("pair %zu: %s", i,
+                                         s.message().c_str())));
+        }
+    }
     // resolveWorkers clamps hardware_concurrency() == 0 to one worker.
     threads = engine::WorkStealingPool::resolveWorkers(threads);
     threads = std::min<unsigned>(

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "align/types.hh"
+#include "common/status.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
@@ -26,13 +27,39 @@ namespace gmx::align {
 using PairAligner = std::function<AlignResult(const seq::SequencePair &)>;
 
 /**
+ * Admission limits applied to every pair before a kernel sees it.
+ * Shared by align::batchAlign and engine::Engine::submit, so the whole
+ * pipeline rejects hostile inputs with a typed InvalidInput status
+ * instead of handing them to a quadratic kernel. Zero means "no limit".
+ */
+struct InputLimits
+{
+    /** Reject pairs where either sequence is empty. */
+    bool reject_empty = true;
+
+    /** Reject sequences built from bytes outside ACGT/acgt. */
+    bool reject_non_acgt = false;
+
+    /** Max pattern + text bases per pair (0 = unlimited). */
+    size_t max_pair_bases = 0;
+
+    /** Max |pattern length - text length| (0 = unlimited). */
+    size_t max_length_skew = 0;
+};
+
+/** Ok, or InvalidInput naming the first violated limit. */
+Status validatePair(const seq::SequencePair &pair, const InputLimits &limits);
+
+/**
  * Align every pair of @p pairs with @p aligner on @p threads workers
  * (0 = one per hardware thread). Results are returned in input order;
- * exceptions from workers are rethrown on the calling thread.
+ * exceptions from workers are rethrown on the calling thread. Every pair
+ * is validated against @p limits up front; the first invalid pair makes
+ * the whole call throw StatusError(InvalidInput) before any work runs.
  */
 std::vector<AlignResult> batchAlign(
     const std::vector<seq::SequencePair> &pairs, const PairAligner &aligner,
-    unsigned threads = 0);
+    unsigned threads = 0, const InputLimits &limits = {});
 
 } // namespace gmx::align
 

@@ -58,8 +58,10 @@ class StateHistory
  */
 i64
 bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-         StateHistory *hist, KernelCounts *counts)
+         StateHistory *hist, KernelCounts *counts,
+         const CancelToken &cancel = {})
 {
+    CancelGate gate(cancel);
     const size_t n = pattern.size();
     const size_t m = text.size();
     const size_t words = (n + 63) / 64;
@@ -85,6 +87,7 @@ bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     }
 
     for (size_t j = 1; j <= m; ++j) {
+        gate.check();
         const u8 c = text.code(j - 1);
         const u64 *eqc = eq[c].data();
         for (size_t d = 0; d <= kk; ++d) {
@@ -141,7 +144,7 @@ bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
 
 i64
 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-              KernelCounts *counts)
+              KernelCounts *counts, const CancelToken &cancel)
 {
     if (k < 0)
         GMX_FATAL("bitapDistance: negative error bound");
@@ -149,7 +152,7 @@ bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         return static_cast<i64>(text.size()) <= k
                    ? static_cast<i64>(text.size())
                    : kNoAlignment;
-    return bitapRun(pattern, text, k, nullptr, counts);
+    return bitapRun(pattern, text, k, nullptr, counts, cancel);
 }
 
 AlignResult

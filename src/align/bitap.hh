@@ -16,16 +16,20 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
 /**
  * Edit distance via Bitap with at most @p k errors; kNoAlignment when the
- * distance exceeds k. O(k * n/w) working memory.
+ * distance exceeds k. O(k * n/w) working memory. Polls @p cancel every K
+ * text columns (the cascade's filter tier runs this on arbitrarily large
+ * pairs, so it must be interruptible like the DP kernels).
  */
 i64 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                  i64 k, KernelCounts *counts = nullptr);
+                  i64 k, KernelCounts *counts = nullptr,
+                  const CancelToken &cancel = {});
 
 /**
  * Full Bitap alignment with traceback tolerating at most @p k errors.

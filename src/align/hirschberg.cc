@@ -16,7 +16,7 @@ namespace {
 std::vector<i64>
 lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
         const seq::Sequence &text, size_t t0, size_t t1, bool reversed,
-        KernelCounts *counts)
+        KernelCounts *counts, CancelGate &gate)
 {
     const size_t n = p1 - p0;
     const size_t m = t1 - t0;
@@ -24,6 +24,7 @@ lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
     for (size_t j = 0; j <= m; ++j)
         row[j] = static_cast<i64>(j);
     for (size_t i = 1; i <= n; ++i) {
+        gate.check();
         i64 diag = row[0];
         row[0] = static_cast<i64>(i);
         const char pc = reversed ? pattern.at(p1 - i)
@@ -50,7 +51,7 @@ lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
 void
 solve(const seq::Sequence &pattern, size_t p0, size_t p1,
       const seq::Sequence &text, size_t t0, size_t t1,
-      std::vector<Op> &ops, KernelCounts *counts)
+      std::vector<Op> &ops, KernelCounts *counts, CancelGate &gate)
 {
     const size_t n = p1 - p0;
     const size_t m = t1 - t0;
@@ -75,8 +76,10 @@ solve(const seq::Sequence &pattern, size_t p0, size_t p1,
     // Split the pattern in half; find the text split minimizing the sum
     // of the forward top half and the backward bottom half.
     const size_t mid = p0 + n / 2;
-    const auto fwd = lastRow(pattern, p0, mid, text, t0, t1, false, counts);
-    const auto bwd = lastRow(pattern, mid, p1, text, t0, t1, true, counts);
+    const auto fwd =
+        lastRow(pattern, p0, mid, text, t0, t1, false, counts, gate);
+    const auto bwd =
+        lastRow(pattern, mid, p1, text, t0, t1, true, counts, gate);
     size_t best_j = 0;
     i64 best = kNoAlignment;
     for (size_t j = 0; j <= m; ++j) {
@@ -86,19 +89,21 @@ solve(const seq::Sequence &pattern, size_t p0, size_t p1,
             best_j = j;
         }
     }
-    solve(pattern, p0, mid, text, t0, t0 + best_j, ops, counts);
-    solve(pattern, mid, p1, text, t0 + best_j, t1, ops, counts);
+    solve(pattern, p0, mid, text, t0, t0 + best_j, ops, counts, gate);
+    solve(pattern, mid, p1, text, t0 + best_j, t1, ops, counts, gate);
 }
 
 } // namespace
 
 AlignResult
 hirschbergAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                KernelCounts *counts)
+                KernelCounts *counts, const CancelToken &cancel)
 {
+    CancelGate gate(cancel);
     std::vector<Op> ops;
     ops.reserve(pattern.size() + text.size());
-    solve(pattern, 0, pattern.size(), text, 0, text.size(), ops, counts);
+    solve(pattern, 0, pattern.size(), text, 0, text.size(), ops, counts,
+          gate);
 
     AlignResult res;
     res.cigar = Cigar(std::move(ops));

@@ -15,17 +15,21 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
 /**
  * Optimal global alignment with Hirschberg's algorithm. Equivalent in
- * distance to nwAlign but uses only two DP rows at any time.
+ * distance to nwAlign but uses only two DP rows at any time — the
+ * memory-frugal traceback the engine downgrades to when the budget gate
+ * refuses a Full(GMX) edge matrix. Polls @p cancel every K DP rows.
  */
 AlignResult hirschbergAlign(const seq::Sequence &pattern,
                             const seq::Sequence &text,
-                            KernelCounts *counts = nullptr);
+                            KernelCounts *counts = nullptr,
+                            const CancelToken &cancel = {});
 
 } // namespace gmx::align
 

@@ -8,7 +8,8 @@
 namespace gmx::align {
 
 i64
-nwDistance(const seq::Sequence &pattern, const seq::Sequence &text)
+nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+           const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -24,7 +25,9 @@ nwDistance(const seq::Sequence &pattern, const seq::Sequence &text)
     for (size_t j = 0; j <= width; ++j)
         row[j] = static_cast<i64>(j);
 
+    CancelGate gate(cancel);
     for (size_t i = 1; i <= rows.size(); ++i) {
+        gate.check();
         i64 diag = row[0]; // D[i-1][0]
         row[0] = static_cast<i64>(i);
         for (size_t j = 1; j <= width; ++j) {
@@ -51,7 +54,8 @@ enum Dir : u8
 } // namespace
 
 AlignResult
-nwAlign(const seq::Sequence &pattern, const seq::Sequence &text)
+nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+        const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -65,7 +69,9 @@ nwAlign(const seq::Sequence &pattern, const seq::Sequence &text)
         dir[j] = kLeft;
     }
 
+    CancelGate gate(cancel);
     for (size_t i = 1; i <= n; ++i) {
+        gate.check();
         i64 diag = row[0];
         row[0] = static_cast<i64>(i);
         dir[i * stride] = kUp;

@@ -15,19 +15,26 @@
 #define GMX_ALIGN_NW_HH
 
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
-/** Edit distance only; O(min(n,m)) memory, O(nm) time. */
-i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text);
+/**
+ * Edit distance only; O(min(n,m)) memory, O(nm) time. Both NW entry
+ * points poll @p cancel every K rows (CancelGate) and unwind with
+ * StatusError when it requests a stop; the default token is free.
+ */
+i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+               const CancelToken &cancel = {});
 
 /**
  * Full alignment with traceback; stores an (n+1) x (m+1) direction matrix,
  * so memory is O(nm) bytes. Intended for moderate lengths (the quadratic
  * footprint is precisely the scalability limitation the paper describes).
  */
-AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text);
+AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                    const CancelToken &cancel = {});
 
 /**
  * Compute one full row of the DP-matrix (row @p i of distances, m+1 wide).

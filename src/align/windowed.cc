@@ -10,12 +10,17 @@ namespace gmx::align {
 
 AlignResult
 windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-              const WindowedParams &params, const WindowAligner &window_fn)
+              const WindowedParams &params, const WindowAligner &window_fn,
+              const CancelToken &cancel)
 {
     const size_t W = params.window;
     const size_t O = params.overlap;
     if (W == 0 || O >= W)
         GMX_FATAL("windowedAlign: invalid geometry W=%zu O=%zu", W, O);
+
+    // One poll per window: window work is bounded by W^2, so an active
+    // token is consulted at a granularity far below the deadline budget.
+    CancelGate gate(cancel, /*interval=*/1);
 
     // Remaining (unaligned) prefix lengths of each sequence. Windows are
     // anchored at the bottom-right of the remaining region.
@@ -27,6 +32,7 @@ windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     ops.reserve(pattern.size() + text.size());
 
     while (ri > 0 || rj > 0) {
+        gate.check();
         const size_t wp = std::min(W, ri);
         const size_t wt = std::min(W, rj);
         const bool final_window = (wp == ri && wt == rj);

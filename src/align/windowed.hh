@@ -21,6 +21,7 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
@@ -42,11 +43,14 @@ using WindowAligner = std::function<AlignResult(const seq::Sequence &,
 /**
  * Run the windowed driver over @p pattern / @p text with @p window_fn
  * aligning each window. Throws FatalError when overlap >= window.
+ * Polls @p cancel once per window (each window is O(W^2) bounded work)
+ * and unwinds with StatusError when it requests a stop.
  */
 AlignResult windowedAlign(const seq::Sequence &pattern,
                           const seq::Sequence &text,
                           const WindowedParams &params,
-                          const WindowAligner &window_fn);
+                          const WindowAligner &window_fn,
+                          const CancelToken &cancel = {});
 
 /** Windowed(GenASM-CPU): Bitap-based windows, the paper's CPU baseline. */
 AlignResult genasmCpuAlign(const seq::Sequence &pattern,

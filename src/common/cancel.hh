@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines for long-running kernels.
+ *
+ * Full(GMX) traceback and the NW baseline are quadratic in sequence
+ * length: one adversarial megabase pair can pin a worker for minutes.
+ * CancelToken makes every unbounded kernel loop interruptible: the token
+ * carries an optional shared cancel flag (set by CancelSource::cancel())
+ * and an optional deadline; kernels poll it every K tiles/rows through a
+ * CancelGate, which throws StatusError (Cancelled or DeadlineExceeded) so
+ * the loop unwinds promptly instead of running to completion.
+ *
+ * Cost discipline: an inactive token (no flag, no deadline — the default
+ * argument every direct caller gets) reduces CancelGate::check() to a
+ * single predictable branch, so kernels pay nothing when nobody asked for
+ * bounds. An active token costs one atomic load and/or one steady_clock
+ * read per K iterations.
+ */
+
+#ifndef GMX_COMMON_CANCEL_HH
+#define GMX_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.hh"
+
+namespace gmx {
+
+/**
+ * Observer half of cancellation: cheap to copy, safe to share across
+ * threads. Obtain from a CancelSource (cancellable), withDeadline()
+ * (bounded), or default-construct (never stops anything).
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    /** True when polling this token can ever request a stop. */
+    bool active() const
+    {
+        return flag_ != nullptr || deadline_ != Clock::time_point::max();
+    }
+
+    bool cancelled() const
+    {
+        return flag_ && flag_->load(std::memory_order_acquire);
+    }
+
+    bool hasDeadline() const
+    {
+        return deadline_ != Clock::time_point::max();
+    }
+
+    Clock::time_point deadline() const { return deadline_; }
+
+    bool expired() const
+    {
+        return hasDeadline() && Clock::now() >= deadline_;
+    }
+
+    /** Ok, Cancelled, or DeadlineExceeded. Cancel wins ties. */
+    Status check() const
+    {
+        if (cancelled())
+            return Status::cancelled("request cancelled by caller");
+        if (expired())
+            return Status::deadlineExceeded("request deadline passed");
+        return Status();
+    }
+
+    /** Throws StatusError when the token requests a stop. */
+    void throwIfStopped() const
+    {
+        Status s = check();
+        if (!s.ok())
+            throw StatusError(std::move(s));
+    }
+
+    /** This token further bounded by @p d (the earlier deadline wins). */
+    CancelToken withDeadline(Clock::time_point d) const
+    {
+        CancelToken t = *this;
+        if (d < t.deadline_)
+            t.deadline_ = d;
+        return t;
+    }
+
+    CancelToken withTimeout(Clock::duration timeout) const
+    {
+        return withDeadline(Clock::now() + timeout);
+    }
+
+  private:
+    friend class CancelSource;
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+    Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/** Owner half: create, hand out tokens, cancel() when the work is moot. */
+class CancelSource
+{
+  public:
+    CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void cancel() { flag_->store(true, std::memory_order_release); }
+    bool cancelled() const
+    {
+        return flag_->load(std::memory_order_acquire);
+    }
+
+    CancelToken token() const
+    {
+        CancelToken t;
+        t.flag_ = flag_;
+        return t;
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/**
+ * Amortized polling helper for kernel loops: check() is a branch and an
+ * increment on most calls and consults the token every @p interval calls.
+ * Kernels call it once per tile/row, so an active token is polled every
+ * K tiles — tens of microseconds of work — which keeps cancellation
+ * latency far below the 50 ms budget while adding <2% overhead.
+ */
+class CancelGate
+{
+  public:
+    static constexpr unsigned kDefaultInterval = 64;
+
+    explicit CancelGate(const CancelToken &token,
+                        unsigned interval = kDefaultInterval)
+        : token_(token), interval_(token.active() ? interval : 0)
+    {}
+
+    /** Throws StatusError(Cancelled | DeadlineExceeded) when due. */
+    void check()
+    {
+        if (interval_ == 0)
+            return; // inactive token: kernels pay one branch
+        if (++count_ < interval_)
+            return;
+        count_ = 0;
+        token_.throwIfStopped();
+    }
+
+  private:
+    const CancelToken &token_;
+    unsigned interval_;
+    unsigned count_ = 0;
+};
+
+} // namespace gmx
+
+#endif // GMX_COMMON_CANCEL_HH

@@ -1,0 +1,40 @@
+#include "common/status.hh"
+
+namespace gmx {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::InvalidInput:
+        return "INVALID_INPUT";
+      case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case StatusCode::Cancelled:
+        return "CANCELLED";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::Overloaded:
+        return "OVERLOADED";
+      case StatusCode::EngineStopped:
+        return "ENGINE_STOPPED";
+      case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace gmx

@@ -1,0 +1,85 @@
+#include "engine/budget.hh"
+
+#include <algorithm>
+
+namespace gmx::engine {
+
+namespace {
+
+size_t
+tilesAcross(size_t bases, unsigned tile)
+{
+    return (bases + tile - 1) / tile;
+}
+
+} // namespace
+
+size_t
+fullGmxTracebackBytes(size_t n, size_t m, unsigned tile)
+{
+    if (n == 0 || m == 0)
+        return n + m; // trivial boundary CIGAR only
+    // Edge matrix: rows * cols tile-edge records; plus the backwards op
+    // buffer of the traceback (one byte per op, at most n + m ops).
+    return tilesAcross(n, tile) * tilesAcross(m, tile) * kTileEdgeBytes +
+           (n + m);
+}
+
+size_t
+distanceOnlyBytes(size_t n, size_t m, unsigned tile)
+{
+    // Full(GMX) distance keeps one tile-row of right edges; the banded
+    // tier keeps two band rows. Both are O(longer-side / T) edges.
+    const size_t rows = 3 * tilesAcross(std::max(n, m), tile) * kTileEdgeBytes;
+    // The cascade's Bitap filter dominates for large pairs: two column
+    // sets of (k+1) vectors of ceil(n/64) words, with the auto budget
+    // k = max(8, longer/16). Mirror that closed form here.
+    const size_t k = std::max<size_t>(8, std::max(n, m) / 16) + 1;
+    const size_t filter = 2 * k * ((n + 63) / 64) * sizeof(u64);
+    return rows + filter;
+}
+
+size_t
+hirschbergBytes(size_t n, size_t m)
+{
+    // Two i64 DP rows over the text per recursion level (levels share the
+    // buffers' peak), plus the op buffer.
+    return 2 * (std::min(n, m) + 1) * sizeof(i64) + (n + m);
+}
+
+size_t
+nwTracebackBytes(size_t n, size_t m)
+{
+    return (n + 1) * (m + 1); // one direction byte per DP cell
+}
+
+bool
+MemoryBudget::tryReserve(size_t bytes)
+{
+    if (!enabled())
+        return true;
+    size_t cur = reserved_.load(std::memory_order_relaxed);
+    do {
+        if (cur + bytes > limit_ || cur + bytes < cur)
+            return false;
+    } while (!reserved_.compare_exchange_weak(cur, cur + bytes,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+    // Monotonic peak (racy CAS max; relaxed is fine for a statistic).
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (cur + bytes > peak &&
+           !peak_.compare_exchange_weak(peak, cur + bytes,
+                                        std::memory_order_relaxed)) {
+    }
+    return true;
+}
+
+void
+MemoryBudget::release(size_t bytes)
+{
+    if (!enabled())
+        return;
+    reserved_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+} // namespace gmx::engine

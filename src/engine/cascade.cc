@@ -22,16 +22,16 @@ namespace {
 /** Full(GMX) tier: always answers. */
 CascadeOutcome
 fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
-         bool want_cigar)
+         bool want_cigar, const CancelToken &cancel)
 {
     CascadeOutcome out;
     out.tier = Tier::Full;
     if (want_cigar) {
-        out.result =
-            core::fullGmxAlign(pair.pattern, pair.text, cfg.tile);
+        out.result = core::fullGmxAlign(pair.pattern, pair.text, cfg.tile,
+                                        nullptr, cancel);
     } else {
-        out.result.distance =
-            core::fullGmxDistance(pair.pattern, pair.text, cfg.tile);
+        out.result.distance = core::fullGmxDistance(
+            pair.pattern, pair.text, cfg.tile, nullptr, cancel);
     }
     return out;
 }
@@ -40,19 +40,20 @@ fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
 
 CascadeOutcome
 cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
-             bool want_cigar)
+             bool want_cigar, const CancelToken &cancel)
 {
     const size_t n = pair.pattern.size();
     const size_t m = pair.text.size();
 
     // Degenerate pairs skip the heuristics; Full(GMX) handles them.
     if (!cfg.enabled || n == 0 || m == 0)
-        return fullTier(pair, cfg, want_cigar);
+        return fullTier(pair, cfg, want_cigar, cancel);
 
     // Tier 1 — Bitap filter. When it finds the pair within k, the
     // distance is exact; distance-only requests are done.
     const i64 k = cfg.filter_k > 0 ? cfg.filter_k : cascadeAutoFilterK(n, m);
-    const i64 filtered = align::bitapDistance(pair.pattern, pair.text, k);
+    const i64 filtered =
+        align::bitapDistance(pair.pattern, pair.text, k, nullptr, cancel);
     if (filtered != align::kNoAlignment && !want_cigar) {
         CascadeOutcome out;
         out.tier = Tier::Filter;
@@ -65,7 +66,8 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     if (filtered != align::kNoAlignment) {
         auto r = core::bandedGmxAlign(pair.pattern, pair.text,
                                       std::max<i64>(filtered, 1),
-                                      want_cigar, cfg.tile);
+                                      want_cigar, cfg.tile, nullptr,
+                                      /*enforce_bound=*/true, cancel);
         if (r.found())
             return {std::move(r), Tier::Banded};
     } else {
@@ -73,14 +75,15 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
         for (int attempt = 0; attempt < cfg.band_doublings;
              ++attempt, band *= 2) {
             auto r = core::bandedGmxAlign(pair.pattern, pair.text, band,
-                                          want_cigar, cfg.tile);
+                                          want_cigar, cfg.tile, nullptr,
+                                          /*enforce_bound=*/true, cancel);
             if (r.found())
                 return {std::move(r), Tier::Banded};
         }
     }
 
     // Tier 3 — Full(GMX), the exact fallback.
-    return fullTier(pair, cfg, want_cigar);
+    return fullTier(pair, cfg, want_cigar, cancel);
 }
 
 } // namespace gmx::engine

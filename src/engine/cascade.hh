@@ -25,6 +25,7 @@
 #define GMX_ENGINE_CASCADE_HH
 
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "engine/metrics.hh"
 #include "sequence/sequence.hh"
 
@@ -66,9 +67,14 @@ i64 cascadeAutoFilterK(size_t n, size_t m);
  * Align @p pair through the cascade. With @p want_cigar the result carries
  * a full traceback (so tier 1 can only pre-filter, never answer); without
  * it the result is distance-only and may finish at any tier.
+ *
+ * @p cancel is threaded into the banded and full tiers, whose inner loops
+ * poll it every K tiles; a cancelled or expired request unwinds with
+ * StatusError instead of running its tier to completion.
  */
 CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
-                            const CascadeConfig &config, bool want_cigar);
+                            const CascadeConfig &config, bool want_cigar,
+                            const CancelToken &cancel = {});
 
 } // namespace gmx::engine
 

@@ -1,13 +1,32 @@
 #include "engine/engine.hh"
 
+#include <new>
+#include <stdexcept>
 #include <utility>
 
+#include "align/hirschberg.hh"
 #include "common/logging.hh"
+#include "engine/faults.hh"
 
 namespace gmx::engine {
 
+namespace {
+
+/** A future already fulfilled with @p status (rejections skip the queue). */
+std::future<Engine::AlignOutcome>
+readyFuture(Status status)
+{
+    std::promise<Engine::AlignOutcome> p;
+    auto f = p.get_future();
+    p.set_value(Engine::AlignOutcome(std::move(status)));
+    return f;
+}
+
+} // namespace
+
 Engine::Engine(EngineConfig config)
-    : config_(config), pool_(config.workers)
+    : config_(config), budget_(config.memory_budget_bytes),
+      pool_(config.workers)
 {
     if (config_.queue_capacity == 0)
         GMX_FATAL("Engine: queue_capacity must be nonzero");
@@ -21,60 +40,103 @@ Engine::~Engine()
     stop();
 }
 
-std::future<align::AlignResult>
-Engine::submit(seq::SequencePair pair, bool want_cigar)
+std::future<Engine::AlignOutcome>
+Engine::submit(seq::SequencePair pair, SubmitOptions options)
 {
+    // Validation runs on the submitter's thread, before the queue: a
+    // malformed pair never costs a queue slot or a worker.
+    if (Status s = align::validatePair(pair, config_.limits); !s.ok()) {
+        metrics_.invalid.fetch_add(1, std::memory_order_relaxed);
+        return readyFuture(std::move(s));
+    }
+
     Request req;
     req.bases = pair.pattern.size() + pair.text.size();
+    req.want_cigar = options.want_cigar;
+    req.aligner = std::move(options.aligner);
+    req.cancel = options.timeout.count() > 0
+                     ? options.cancel.withTimeout(options.timeout)
+                     : options.cancel;
+    if (options.estimated_bytes != 0) {
+        req.estimated_bytes = options.estimated_bytes;
+    } else if (!req.aligner) {
+        // Worst-case cascade footprint: traceback requests may escalate
+        // to the Full(GMX) edge matrix; distance-only ones stay in
+        // rolling tile rows. Custom aligners are exempt unless declared.
+        const size_t n = pair.pattern.size();
+        const size_t m = pair.text.size();
+        req.estimated_bytes =
+            req.want_cigar
+                ? fullGmxTracebackBytes(n, m, config_.cascade.tile)
+                : distanceOnlyBytes(n, m, config_.cascade.tile);
+    }
     req.pair = std::move(pair);
-    req.want_cigar = want_cigar;
     return enqueue(std::move(req));
 }
 
-std::future<align::AlignResult>
+std::future<Engine::AlignOutcome>
+Engine::submit(seq::SequencePair pair, bool want_cigar)
+{
+    SubmitOptions options;
+    options.want_cigar = want_cigar;
+    return submit(std::move(pair), std::move(options));
+}
+
+std::future<Engine::AlignOutcome>
 Engine::submit(seq::SequencePair pair, align::PairAligner aligner)
 {
     if (!aligner)
         GMX_FATAL("Engine::submit: empty aligner function");
-    Request req;
-    req.bases = pair.pattern.size() + pair.text.size();
-    req.pair = std::move(pair);
-    req.aligner = std::move(aligner);
-    return enqueue(std::move(req));
+    SubmitOptions options;
+    options.aligner = std::move(aligner);
+    return submit(std::move(pair), std::move(options));
 }
 
-std::future<align::AlignResult>
+std::future<Engine::AlignOutcome>
 Engine::enqueue(Request req)
 {
     req.enqueued = Clock::now();
     auto future = req.promise.get_future();
 
-    // A shed victim's promise must be failed outside mu_ (promise
+    // A shed victim's promise must be fulfilled outside mu_ (promise
     // internals are not part of the queue's critical section).
-    std::promise<align::AlignResult> shed_victim;
+    std::promise<AlignOutcome> shed_victim;
     bool have_victim = false;
     {
         std::unique_lock<std::mutex> lk(mu_);
-        if (stopping_)
-            throw EngineStoppedError();
-        if (queue_.size() >= config_.queue_capacity) {
+        if (stopping_) {
+            metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+            return readyFuture(
+                Status::engineStopped("submit after Engine::stop()"));
+        }
+        const bool full =
+            queue_.size() >= config_.queue_capacity ||
+            GMX_INJECT_FAULT(faults::Point::QueueFull);
+        if (full) {
             switch (config_.backpressure) {
               case Backpressure::Block:
                 queue_not_full_.wait(lk, [this] {
                     return queue_.size() < config_.queue_capacity ||
                            stopping_;
                 });
-                if (stopping_)
-                    throw EngineStoppedError();
+                if (stopping_) {
+                    metrics_.rejected.fetch_add(1,
+                                                std::memory_order_relaxed);
+                    return readyFuture(Status::engineStopped(
+                        "engine stopped while awaiting queue room"));
+                }
                 break;
               case Backpressure::Reject:
                 metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
-                throw QueueFullError();
+                return readyFuture(
+                    Status::overloaded("queue full (Reject policy)"));
               case Backpressure::ShedOldest:
-                shed_victim = std::move(queue_.front().promise);
-                queue_.pop_front();
-                have_victim = true;
-                metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+                if (!queue_.empty()) {
+                    shed_victim = std::move(queue_.front().promise);
+                    queue_.pop_front();
+                    have_victim = true;
+                    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+                }
                 break;
             }
         }
@@ -86,7 +148,8 @@ Engine::enqueue(Request req)
     }
     dispatch_cv_.notify_one();
     if (have_victim) {
-        shed_victim.set_exception(std::make_exception_ptr(ShedError()));
+        shed_victim.set_value(AlignOutcome(
+            Status::overloaded("shed under ShedOldest backpressure")));
         queue_not_full_.notify_one(); // shedding also freed a slot
     }
     return future;
@@ -133,9 +196,78 @@ Engine::dispatchLoop()
             metrics_.batched_pairs.fetch_add(batch->size(),
                                              std::memory_order_relaxed);
         }
-        pool_.submit([this, batch] {
+        if (!pool_.trySubmit([this, batch] {
+                runRequests(std::move(*batch));
+            })) {
+            // Pool already shut down (tear-down race): run inline so
+            // every accepted future is still fulfilled.
             runRequests(std::move(*batch));
-        });
+        }
+    }
+}
+
+Engine::AlignOutcome
+Engine::runOne(Request &req)
+{
+    // Fast-fail before any work: an expired or cancelled request costs
+    // microseconds here instead of a quadratic kernel run.
+    if (Status s = req.cancel.check(); !s.ok())
+        return AlignOutcome(std::move(s));
+
+    // Memory-budget admission. The reservation is held for the whole
+    // kernel call and released by RAII whichever way we leave.
+    MemoryReservation reservation;
+    bool downgrade = false;
+    if (budget_.enabled() && req.estimated_bytes > 0) {
+        if (budget_.tryReserve(req.estimated_bytes)) {
+            reservation = MemoryReservation(&budget_, req.estimated_bytes);
+        } else if (config_.downgrade_under_pressure && !req.aligner &&
+                   req.want_cigar) {
+            const size_t frugal = hirschbergBytes(req.pair.pattern.size(),
+                                                  req.pair.text.size());
+            if (!budget_.tryReserve(frugal))
+                return AlignOutcome(Status::resourceExhausted(
+                    "memory budget exhausted (even for downgraded "
+                    "traceback)"));
+            reservation = MemoryReservation(&budget_, frugal);
+            downgrade = true;
+        } else {
+            return AlignOutcome(Status::resourceExhausted(
+                "estimated footprint exceeds the memory budget"));
+        }
+    }
+
+    try {
+        if (GMX_INJECT_FAULT(faults::Point::AllocFail))
+            throw std::bad_alloc();
+        if (GMX_INJECT_FAULT(faults::Point::TaskError))
+            throw std::runtime_error("injected spurious task error");
+        align::AlignResult result;
+        if (req.aligner) {
+            result = req.aligner(req.pair);
+        } else if (downgrade) {
+            result = align::hirschbergAlign(req.pair.pattern, req.pair.text,
+                                            nullptr, req.cancel);
+            metrics_.recordTier(Tier::Downgraded, reservation.bytes());
+            metrics_.downgraded.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            auto outcome = cascadeAlign(req.pair, config_.cascade,
+                                        req.want_cigar, req.cancel);
+            metrics_.recordTier(outcome.tier, reservation.bytes());
+            result = std::move(outcome.result);
+        }
+        return AlignOutcome(std::move(result));
+    } catch (const StatusError &e) {
+        return AlignOutcome(e.status());
+    } catch (const std::bad_alloc &) {
+        return AlignOutcome(
+            Status::resourceExhausted("allocation failed mid-request"));
+    } catch (const FatalError &e) {
+        return AlignOutcome(Status::invalidInput(e.what()));
+    } catch (const std::exception &e) {
+        return AlignOutcome(Status::internal(e.what()));
+    } catch (...) {
+        return AlignOutcome(Status::internal("unknown aligner failure"));
     }
 }
 
@@ -143,28 +275,34 @@ void
 Engine::runRequests(std::vector<Request> batch)
 {
     for (Request &req : batch) {
-        try {
-            align::AlignResult result;
-            if (req.aligner) {
-                result = req.aligner(req.pair);
-            } else {
-                auto outcome =
-                    cascadeAlign(req.pair, config_.cascade, req.want_cigar);
-                metrics_.recordTier(outcome.tier);
-                result = std::move(outcome.result);
-            }
+        AlignOutcome outcome = runOne(req);
+        if (outcome.ok()) {
             const double secs =
                 std::chrono::duration<double>(Clock::now() - req.enqueued)
                     .count();
             metrics_.latency.record(secs);
-            metrics_.latency_total_us.fetch_add(
-                secs * 1e6, std::memory_order_relaxed);
+            metrics_.latency_total_us.fetch_add(secs * 1e6,
+                                                std::memory_order_relaxed);
             metrics_.completed.fetch_add(1, std::memory_order_relaxed);
-            req.promise.set_value(std::move(result));
-        } catch (...) {
+        } else {
             metrics_.failed.fetch_add(1, std::memory_order_relaxed);
-            req.promise.set_exception(std::current_exception());
+            switch (outcome.status().code()) {
+              case StatusCode::DeadlineExceeded:
+                metrics_.deadline_missed.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+              case StatusCode::Cancelled:
+                metrics_.cancelled.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case StatusCode::ResourceExhausted:
+                metrics_.resource_rejected.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+              default:
+                break;
+            }
         }
+        req.promise.set_value(std::move(outcome));
     }
     {
         std::lock_guard<std::mutex> lk(mu_);
@@ -192,7 +330,7 @@ Engine::stop()
             return; // already stopped
         stopping_ = true;
     }
-    // Wake everyone: blocked submitters throw EngineStoppedError, the
+    // Wake everyone: blocked submitters get EngineStopped Results, the
     // dispatcher drains the queue into the pool and exits.
     dispatch_cv_.notify_all();
     queue_not_full_.notify_all();
@@ -202,28 +340,18 @@ Engine::stop()
     pool_.shutdown();
 }
 
-std::vector<align::AlignResult>
+std::vector<Engine::AlignOutcome>
 Engine::alignAll(const std::vector<seq::SequencePair> &pairs,
                  bool want_cigar)
 {
-    std::vector<std::future<align::AlignResult>> futures;
+    std::vector<std::future<AlignOutcome>> futures;
     futures.reserve(pairs.size());
     for (const auto &pair : pairs)
         futures.push_back(submit(pair, want_cigar));
-    std::vector<align::AlignResult> results;
+    std::vector<AlignOutcome> results;
     results.reserve(pairs.size());
-    std::exception_ptr first_error;
-    for (auto &f : futures) {
-        try {
-            results.push_back(f.get());
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
-            results.emplace_back();
-        }
-    }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    for (auto &f : futures)
+        results.push_back(f.get());
     return results;
 }
 
@@ -231,7 +359,9 @@ MetricsSnapshot
 Engine::metrics() const
 {
     const PoolStats ps = pool_.stats();
-    return metrics_.snapshot(pool_.workerCount(), ps.executed, ps.steals);
+    return metrics_.snapshot(pool_.workerCount(), ps.executed, ps.steals,
+                             budget_.limit(), budget_.reserved(),
+                             budget_.peak());
 }
 
 } // namespace gmx::engine

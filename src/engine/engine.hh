@@ -5,9 +5,24 @@
  *
  * The pipeline a request flows through:
  *
- *   submit() -> bounded MPMC queue -> dispatcher (micro-batching)
- *            -> work-stealing pool -> cascade or custom aligner
- *            -> std::future<AlignResult>
+ *   submit() -> validation -> bounded MPMC queue -> dispatcher
+ *            -> work-stealing pool -> admission (deadline, memory budget)
+ *            -> cascade or custom aligner -> std::future<Result<AlignResult>>
+ *
+ * Error idiom: futures are ALWAYS fulfilled with a value — a
+ * gmx::Result<AlignResult> carrying either the alignment or a typed
+ * Status — never with an exception. Exceptions exist only inside the
+ * pipeline (StatusError unwinds kernel loops on cancellation) and are
+ * converted to Status exactly once, at the request boundary. Callers
+ * branch on Status codes instead of catching a zoo of exception types:
+ *
+ *   InvalidInput      — rejected by validation before any work
+ *   Overloaded        — refused (Reject) or shed (ShedOldest) under load
+ *   EngineStopped     — submitted after stop()
+ *   DeadlineExceeded  — per-request deadline passed (before or mid-kernel)
+ *   Cancelled         — caller's CancelSource fired
+ *   ResourceExhausted — memory-budget admission failed (and no downgrade)
+ *   Internal          — unexpected aligner failure
  *
  * The bounded queue is where backpressure lives: a full queue either
  * blocks the submitter, rejects the new request, or sheds the oldest
@@ -32,6 +47,9 @@
 
 #include "align/batch.hh"
 #include "align/types.hh"
+#include "common/cancel.hh"
+#include "common/status.hh"
+#include "engine/budget.hh"
 #include "engine/cascade.hh"
 #include "engine/metrics.hh"
 #include "engine/pool.hh"
@@ -42,29 +60,8 @@ namespace gmx::engine {
 /** What submit() does when the request queue is full. */
 enum class Backpressure {
     Block,     //!< wait until the queue has room (lossless, applies latency)
-    Reject,    //!< throw QueueFullError at the submitter (fail fast)
+    Reject,    //!< fail the new request with Overloaded (fail fast)
     ShedOldest //!< drop the oldest queued request (freshest-first service)
-};
-
-/** Thrown by submit() under the Reject policy when the queue is full. */
-class QueueFullError : public std::runtime_error
-{
-  public:
-    QueueFullError() : std::runtime_error("engine queue full") {}
-};
-
-/** Delivered through a shed request's future under ShedOldest. */
-class ShedError : public std::runtime_error
-{
-  public:
-    ShedError() : std::runtime_error("request shed under backpressure") {}
-};
-
-/** Thrown by submit() after stop(), and delivered to blocked submitters. */
-class EngineStoppedError : public std::runtime_error
-{
-  public:
-    EngineStoppedError() : std::runtime_error("engine is stopped") {}
 };
 
 /** Engine construction parameters. */
@@ -87,6 +84,49 @@ struct EngineConfig
 
     /** Routing configuration for cascade-dispatched requests. */
     CascadeConfig cascade{};
+
+    /** Input validation applied to every submitted pair. */
+    align::InputLimits limits{};
+
+    /**
+     * Cap on the sum of estimated footprints of in-flight requests
+     * (0 = unlimited). Requests that do not fit are downgraded to a
+     * memory-frugal traceback or failed with ResourceExhausted.
+     */
+    size_t memory_budget_bytes = 0;
+
+    /**
+     * Under budget pressure, divert cascade traceback requests to
+     * Hirschberg (exact, O(min(n,m)) memory) instead of failing them.
+     */
+    bool downgrade_under_pressure = true;
+};
+
+/** Per-request options for Engine::submit. */
+struct SubmitOptions
+{
+    /** Ask for a full traceback (tier 1 then only pre-filters). */
+    bool want_cigar = true;
+
+    /**
+     * Per-request deadline, measured from submit() (0 = none). On expiry
+     * the request fails with DeadlineExceeded — before dispatch if it is
+     * still queued, or mid-kernel via the cooperative cancel gate.
+     */
+    std::chrono::nanoseconds timeout{0};
+
+    /** Cooperative cancellation; combine with timeout freely. */
+    CancelToken cancel{};
+
+    /**
+     * Caller-declared footprint for the memory budget (0 = the engine
+     * estimates from sequence lengths; custom aligners estimate as 0,
+     * i.e. exempt, unless declared here).
+     */
+    size_t estimated_bytes = 0;
+
+    /** Caller-chosen aligner; empty routes through the cascade. */
+    align::PairAligner aligner{};
 };
 
 /**
@@ -97,6 +137,8 @@ struct EngineConfig
 class Engine
 {
   public:
+    using AlignOutcome = Result<align::AlignResult>;
+
     explicit Engine(EngineConfig config = {});
     ~Engine();
 
@@ -104,22 +146,27 @@ class Engine
     Engine &operator=(const Engine &) = delete;
 
     /**
-     * Submit one pair for cascade-routed alignment. @p want_cigar asks
-     * for a full traceback (tier 1 then only pre-filters). The future
-     * carries the result or the aligner's exception.
+     * Submit one pair. The future is always fulfilled with a Result —
+     * a value or a typed Status, never an exception. Rejections
+     * (validation, stopped, Reject-policy overload) return an
+     * already-ready future without touching the queue.
      */
-    std::future<align::AlignResult> submit(seq::SequencePair pair,
-                                           bool want_cigar = true);
+    std::future<AlignOutcome> submit(seq::SequencePair pair,
+                                     SubmitOptions options = {});
 
-    /** Submit one pair to a caller-chosen aligner (bypasses the cascade). */
-    std::future<align::AlignResult> submit(seq::SequencePair pair,
-                                           align::PairAligner aligner);
+    /** Convenience: cascade routing with just the traceback choice. */
+    std::future<AlignOutcome> submit(seq::SequencePair pair,
+                                     bool want_cigar);
+
+    /** Convenience: caller-chosen aligner (bypasses the cascade). */
+    std::future<AlignOutcome> submit(seq::SequencePair pair,
+                                     align::PairAligner aligner);
 
     /**
-     * Convenience: submit every pair and wait; results in input order.
-     * The first failed pair's exception (by index) is rethrown.
+     * Convenience: submit every pair and wait; Results in input order.
+     * Per-pair failures stay in their slot; nothing is thrown.
      */
-    std::vector<align::AlignResult>
+    std::vector<AlignOutcome>
     alignAll(const std::vector<seq::SequencePair> &pairs,
              bool want_cigar = true);
 
@@ -132,7 +179,7 @@ class Engine
      */
     void stop();
 
-    /** Point-in-time metrics (queue, pool, tiers, latency). */
+    /** Point-in-time metrics (queue, pool, tiers, budget, latency). */
     MetricsSnapshot metrics() const;
 
     const EngineConfig &config() const { return config_; }
@@ -148,13 +195,17 @@ class Engine
         align::PairAligner aligner; //!< empty => cascade routing
         bool want_cigar = true;
         size_t bases = 0; //!< pattern + text length, for micro-batching
+        size_t estimated_bytes = 0; //!< footprint for the budget gate
+        CancelToken cancel;         //!< user token + deadline, if any
         Clock::time_point enqueued;
-        std::promise<align::AlignResult> promise;
+        std::promise<AlignOutcome> promise;
     };
 
-    std::future<align::AlignResult> enqueue(Request req);
+    std::future<AlignOutcome> enqueue(Request req);
     void dispatchLoop();
     void runRequests(std::vector<Request> batch);
+    /** Admission + kernel for one request; never throws. */
+    AlignOutcome runOne(Request &req);
     bool isSmall(const Request &req) const
     {
         return req.bases <= config_.microbatch_bases;
@@ -162,6 +213,7 @@ class Engine
 
     EngineConfig config_;
     EngineMetrics metrics_;
+    MemoryBudget budget_;
     WorkStealingPool pool_;
 
     // Bounded MPMC request queue and its coordination.

@@ -1,0 +1,115 @@
+#include "engine/faults.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace gmx::engine::faults {
+
+namespace {
+
+/** Global harness state; tests arm/disarm around each chaos scenario. */
+struct State
+{
+    std::atomic<bool> armed{false};
+    Plan plan; //!< written only while disarmed
+    std::array<std::atomic<u64>, kPointCount> calls{};
+    std::array<std::atomic<u64>, kPointCount> injected{};
+};
+
+State g_state;
+
+/** splitmix64: the standard 64-bit finalizer-style mixer. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+pointName(Point p)
+{
+    switch (p) {
+      case Point::AllocFail:
+        return "alloc_fail";
+      case Point::WorkerStall:
+        return "worker_stall";
+      case Point::QueueFull:
+        return "queue_full";
+      case Point::TaskError:
+        return "task_error";
+    }
+    return "?";
+}
+
+void
+arm(const Plan &plan)
+{
+    disarm();
+    g_state.plan = plan;
+    for (unsigned i = 0; i < kPointCount; ++i) {
+        g_state.calls[i].store(0, std::memory_order_relaxed);
+        g_state.injected[i].store(0, std::memory_order_relaxed);
+    }
+    g_state.armed.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    g_state.armed.store(false, std::memory_order_release);
+}
+
+bool
+armed()
+{
+    return g_state.armed.load(std::memory_order_acquire);
+}
+
+bool
+shouldInject(Point p)
+{
+    if (!g_state.armed.load(std::memory_order_acquire))
+        return false;
+    const unsigned idx = static_cast<unsigned>(p);
+    const double prob = g_state.plan.probability[idx];
+    if (prob <= 0.0)
+        return false;
+    const u64 n = g_state.calls[idx].fetch_add(1, std::memory_order_relaxed);
+    // Decision n at point p is a pure function of (seed, p, n).
+    const u64 h =
+        mix64(g_state.plan.seed ^ mix64((u64{idx} << 32) ^ n));
+    const bool inject =
+        prob >= 1.0 ||
+        static_cast<double>(h) < prob * static_cast<double>(~u64{0});
+    if (inject)
+        g_state.injected[idx].fetch_add(1, std::memory_order_relaxed);
+    return inject;
+}
+
+void
+maybeStall()
+{
+    if (shouldInject(Point::WorkerStall))
+        std::this_thread::sleep_for(g_state.plan.stall_duration);
+}
+
+u64
+callCount(Point p)
+{
+    return g_state.calls[static_cast<unsigned>(p)].load(
+        std::memory_order_relaxed);
+}
+
+u64
+injectedCount(Point p)
+{
+    return g_state.injected[static_cast<unsigned>(p)].load(
+        std::memory_order_relaxed);
+}
+
+} // namespace gmx::engine::faults

@@ -15,6 +15,8 @@ tierName(Tier t)
         return "banded";
       case Tier::Full:
         return "full";
+      case Tier::Downgraded:
+        return "downgraded";
     }
     return "?";
 }
@@ -41,13 +43,19 @@ LatencyHistogram::buckets() const
 }
 
 void
+EngineMetrics::noteMax(std::atomic<u64> &slot, u64 value)
+{
+    u64 cur = slot.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !slot.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
 EngineMetrics::notePeak(u64 depth)
 {
-    u64 cur = queue_peak.load(std::memory_order_relaxed);
-    while (depth > cur &&
-           !queue_peak.compare_exchange_weak(cur, depth,
-                                             std::memory_order_relaxed)) {
-    }
+    noteMax(queue_peak, depth);
 }
 
 namespace {
@@ -78,8 +86,9 @@ quantileUs(const std::vector<u64> &buckets, u64 total, double q)
 } // namespace
 
 MetricsSnapshot
-EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed,
-                        u64 pool_steals) const
+EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
+                        u64 mem_budget_bytes, u64 mem_reserved_bytes,
+                        u64 mem_reserved_peak) const
 {
     MetricsSnapshot s;
     s.submitted = submitted.load(std::memory_order_relaxed);
@@ -87,15 +96,26 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed,
     s.failed = failed.load(std::memory_order_relaxed);
     s.rejected = rejected.load(std::memory_order_relaxed);
     s.shed = shed.load(std::memory_order_relaxed);
+    s.invalid = invalid.load(std::memory_order_relaxed);
     s.queue_depth = queue_depth.load(std::memory_order_relaxed);
     s.queue_peak = queue_peak.load(std::memory_order_relaxed);
     s.microbatches = microbatches.load(std::memory_order_relaxed);
     s.batched_pairs = batched_pairs.load(std::memory_order_relaxed);
+    s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
+    s.cancelled = cancelled.load(std::memory_order_relaxed);
+    s.downgraded = downgraded.load(std::memory_order_relaxed);
+    s.resource_rejected = resource_rejected.load(std::memory_order_relaxed);
+    s.mem_budget_bytes = mem_budget_bytes;
+    s.mem_reserved_bytes = mem_reserved_bytes;
+    s.mem_reserved_peak = mem_reserved_peak;
     s.pool_workers = pool_workers;
     s.pool_executed = pool_executed;
     s.pool_steals = pool_steals;
-    for (unsigned t = 0; t < kTierCount; ++t)
+    for (unsigned t = 0; t < kTierCount; ++t) {
         s.tier_hits[t] = tier_hits[t].load(std::memory_order_relaxed);
+        s.tier_peak_bytes[t] =
+            tier_peak_bytes[t].load(std::memory_order_relaxed);
+    }
     s.latency_buckets = latency.buckets();
     for (u64 c : s.latency_buckets)
         s.latency_count += c;
@@ -119,10 +139,20 @@ MetricsSnapshot::toJson() const
     os << ",\"failed\":" << failed;
     os << ",\"rejected\":" << rejected;
     os << ",\"shed\":" << shed;
+    os << ",\"invalid\":" << invalid;
     os << ",\"queue_depth\":" << queue_depth;
     os << ",\"queue_peak\":" << queue_peak;
     os << ",\"microbatches\":" << microbatches;
     os << ",\"batched_pairs\":" << batched_pairs;
+    os << ",\"deadline_missed\":" << deadline_missed;
+    os << ",\"cancelled\":" << cancelled;
+    os << ",\"downgraded\":" << downgraded;
+    os << ",\"resource_rejected\":" << resource_rejected;
+    os << ",\"memory\":{";
+    os << "\"budget\":" << mem_budget_bytes;
+    os << ",\"reserved\":" << mem_reserved_bytes;
+    os << ",\"reserved_peak\":" << mem_reserved_peak;
+    os << "}";
     os << ",\"pool\":{";
     os << "\"workers\":" << pool_workers;
     os << ",\"executed\":" << pool_executed;
@@ -132,8 +162,9 @@ MetricsSnapshot::toJson() const
     for (unsigned t = 0; t < kTierCount; ++t) {
         if (t)
             os << ",";
-        os << "\"" << tierName(static_cast<Tier>(t))
-           << "\":" << tier_hits[t];
+        os << "\"" << tierName(static_cast<Tier>(t)) << "\":{"
+           << "\"hits\":" << tier_hits[t]
+           << ",\"peak_bytes\":" << tier_peak_bytes[t] << "}";
     }
     os << "}";
     os << ",\"latency_us\":{";

@@ -24,16 +24,19 @@ namespace gmx::engine {
 /**
  * Cascade tiers, cheapest first. Tier indices are stable: they are used
  * as array offsets in the metrics and as labels in the JSON snapshot.
+ * Downgraded is not a routing tier: it marks requests the memory-budget
+ * admission gate diverted from Full(GMX) traceback to Hirschberg.
  */
 enum class Tier : unsigned {
-    Filter = 0, //!< Bitap edit-distance filter answered the request
-    Banded = 1, //!< Banded(GMX) inside the band answered it
-    Full = 2,   //!< escalated to Full(GMX)
+    Filter = 0,     //!< Bitap edit-distance filter answered the request
+    Banded = 1,     //!< Banded(GMX) inside the band answered it
+    Full = 2,       //!< escalated to Full(GMX)
+    Downgraded = 3, //!< budget pressure: Hirschberg fallback answered it
 };
 
-inline constexpr unsigned kTierCount = 3;
+inline constexpr unsigned kTierCount = 4;
 
-/** Human-readable tier name ("filter" / "banded" / "full"). */
+/** Human-readable tier name ("filter" / "banded" / "full" / "downgraded"). */
 const char *tierName(Tier t);
 
 /**
@@ -61,14 +64,24 @@ struct MetricsSnapshot
 {
     // Submission front-end.
     u64 submitted = 0;    //!< requests accepted into the queue
-    u64 completed = 0;    //!< requests whose future was fulfilled with a value
-    u64 failed = 0;       //!< requests whose aligner threw
+    u64 completed = 0;    //!< requests whose future carried an ok Result
+    u64 failed = 0;       //!< requests whose future carried a failed Result
     u64 rejected = 0;     //!< requests refused by the Reject policy
     u64 shed = 0;         //!< queued requests dropped by the ShedOldest policy
+    u64 invalid = 0;      //!< requests refused by input validation
     u64 queue_depth = 0;  //!< current queued (not yet dispatched) requests
     u64 queue_peak = 0;   //!< high-water mark of queue_depth
     u64 microbatches = 0; //!< pool tasks that fused >= 2 small requests
     u64 batched_pairs = 0; //!< requests that rode inside a micro-batch
+
+    // Robustness: deadline / cancel / memory-budget outcomes.
+    u64 deadline_missed = 0;   //!< requests failed with DeadlineExceeded
+    u64 cancelled = 0;         //!< requests failed with Cancelled
+    u64 downgraded = 0;        //!< budget pressure: Hirschberg fallback
+    u64 resource_rejected = 0; //!< failed with ResourceExhausted
+    u64 mem_budget_bytes = 0;  //!< configured budget (0 = unlimited)
+    u64 mem_reserved_bytes = 0; //!< currently reserved estimates
+    u64 mem_reserved_peak = 0;  //!< high-water mark of reserved estimates
 
     // Work-stealing pool.
     u64 pool_workers = 0;  //!< worker threads
@@ -77,6 +90,7 @@ struct MetricsSnapshot
 
     // Cascade tiers.
     std::array<u64, kTierCount> tier_hits{}; //!< completions per tier
+    std::array<u64, kTierCount> tier_peak_bytes{}; //!< max footprint per tier
 
     // Latency, request submit -> future fulfilled.
     std::vector<u64> latency_buckets; //!< log2-microsecond histogram
@@ -104,29 +118,43 @@ class EngineMetrics
     std::atomic<u64> failed{0};
     std::atomic<u64> rejected{0};
     std::atomic<u64> shed{0};
+    std::atomic<u64> invalid{0};
     std::atomic<u64> queue_depth{0};
     std::atomic<u64> queue_peak{0};
     std::atomic<u64> microbatches{0};
     std::atomic<u64> batched_pairs{0};
+    std::atomic<u64> deadline_missed{0};
+    std::atomic<u64> cancelled{0};
+    std::atomic<u64> downgraded{0};
+    std::atomic<u64> resource_rejected{0};
     std::array<std::atomic<u64>, kTierCount> tier_hits{};
+    std::array<std::atomic<u64>, kTierCount> tier_peak_bytes{};
     LatencyHistogram latency;
     std::atomic<double> latency_total_us{0.0};
 
-    void recordTier(Tier t)
+    /** Count a completion at @p t with its reserved footprint estimate. */
+    void recordTier(Tier t, u64 estimated_bytes = 0)
     {
-        tier_hits[static_cast<unsigned>(t)].fetch_add(
-            1, std::memory_order_relaxed);
+        const unsigned i = static_cast<unsigned>(t);
+        tier_hits[i].fetch_add(1, std::memory_order_relaxed);
+        noteMax(tier_peak_bytes[i], estimated_bytes);
     }
 
     /** Raise queue_peak to at least @p depth (monotonic CAS loop). */
     void notePeak(u64 depth);
 
     /**
-     * Copy everything into a snapshot. Pool numbers are passed in by the
-     * engine, which owns the pool.
+     * Copy everything into a snapshot. Pool and budget numbers are
+     * passed in by the engine, which owns both.
      */
     MetricsSnapshot snapshot(u64 pool_workers, u64 pool_executed,
-                             u64 pool_steals) const;
+                             u64 pool_steals, u64 mem_budget_bytes = 0,
+                             u64 mem_reserved_bytes = 0,
+                             u64 mem_reserved_peak = 0) const;
+
+  private:
+    /** Monotonic CAS max. */
+    static void noteMax(std::atomic<u64> &slot, u64 value);
 };
 
 } // namespace gmx::engine

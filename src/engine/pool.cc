@@ -1,6 +1,7 @@
 #include "engine/pool.hh"
 
 #include "common/logging.hh"
+#include "engine/faults.hh"
 
 namespace gmx::engine {
 
@@ -52,8 +53,17 @@ WorkStealingPool::submit(Task task)
 {
     if (!task)
         GMX_FATAL("WorkStealingPool::submit: empty task");
-    if (stopping_.load(std::memory_order_acquire))
+    if (!trySubmit(std::move(task)))
         GMX_FATAL("WorkStealingPool::submit: pool is shut down");
+}
+
+bool
+WorkStealingPool::trySubmit(Task task)
+{
+    if (!task)
+        GMX_FATAL("WorkStealingPool::trySubmit: empty task");
+    if (stopping_.load(std::memory_order_acquire))
+        return false;
 
     unsigned target;
     if (tl_worker.pool == this) {
@@ -74,6 +84,7 @@ WorkStealingPool::submit(Task task)
         pending_.fetch_add(1, std::memory_order_relaxed);
     }
     idle_cv_.notify_one();
+    return true;
 }
 
 bool
@@ -113,6 +124,7 @@ WorkStealingPool::workerLoop(unsigned self)
     for (;;) {
         Task task;
         if (tryPop(self, task)) {
+            GMX_FAULT_STALL();
             task();
             executed_.fetch_add(1, std::memory_order_relaxed);
             continue;

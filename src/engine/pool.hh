@@ -64,6 +64,13 @@ class WorkStealingPool
     void submit(Task task);
 
     /**
+     * Like submit(), but returns false instead of dying when the pool is
+     * already shut down. Lets callers racing with shutdown() surface a
+     * typed status instead of crashing.
+     */
+    bool trySubmit(Task task);
+
+    /**
      * Stop accepting work, drain all queued tasks, join the workers.
      * Idempotent; also called by the destructor.
      */

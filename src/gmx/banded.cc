@@ -54,7 +54,7 @@ struct BandRow
 align::AlignResult
 bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
                bool want_cigar, unsigned tile, KernelCounts *counts,
-               bool enforce_bound)
+               bool enforce_bound, const CancelToken &cancel)
 {
     AlignResult res;
     if (k < 0)
@@ -98,6 +98,7 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         all_rows.resize(gr);
     BandRow prev_row, cur_row;
 
+    CancelGate gate(cancel);
     i64 corner = 0;      // D[ti*t][band_lo(ti)*t] for the current row
     i64 distance = align::kNoAlignment;
 
@@ -115,6 +116,7 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         bool have_next = false;
 
         for (size_t tj = lo; tj <= hi; ++tj) {
+            gate.check();
             const unsigned tt = tile_width(tj);
             unit.csrwText(text.codes().data() + tj * t, tt);
 
@@ -194,6 +196,7 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     unit.csrwPos({TracebackPos::Edge::Bottom, tile_width(tj) - 1});
 
     while (ai > 0 && aj > 0) {
+        gate.check();
         GMX_ASSERT(all_rows[ti].contains(tj),
                    "banded traceback left the band; raise k");
         const unsigned tp = tile_height(ti);
@@ -244,14 +247,16 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
 
 align::AlignResult
 bandedGmxAuto(const seq::Sequence &pattern, const seq::Sequence &text,
-              bool want_cigar, i64 k0, unsigned tile, KernelCounts *counts)
+              bool want_cigar, i64 k0, unsigned tile, KernelCounts *counts,
+              const CancelToken &cancel)
 {
     const i64 limit =
         static_cast<i64>(std::max(pattern.size(), text.size()));
     i64 k = std::max<i64>(k0, 1);
     while (true) {
-        AlignResult res =
-            bandedGmxAlign(pattern, text, k, want_cigar, tile, counts);
+        AlignResult res = bandedGmxAlign(pattern, text, k, want_cigar, tile,
+                                         counts, /*enforce_bound=*/true,
+                                         cancel);
         if (res.found())
             return res;
         if (k >= limit)

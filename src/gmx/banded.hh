@@ -31,19 +31,24 @@ namespace gmx::core {
  *
  * With want_cigar=false only one tile-row of edges is kept, so memory is
  * O(B) — the configuration used for megabase-scale alignment.
+ *
+ * Polls @p cancel every K in-band tiles (CancelGate) and unwinds with
+ * StatusError when it requests a stop; the default token is free.
  */
 align::AlignResult bandedGmxAlign(const seq::Sequence &pattern,
                                   const seq::Sequence &text, i64 k,
                                   bool want_cigar = true, unsigned tile = 32,
                                   align::KernelCounts *counts = nullptr,
-                                  bool enforce_bound = true);
+                                  bool enforce_bound = true,
+                                  const CancelToken &cancel = {});
 
 /** Doubling driver (exact): grows k from @p k0 until the result is found. */
 align::AlignResult bandedGmxAuto(const seq::Sequence &pattern,
                                  const seq::Sequence &text,
                                  bool want_cigar = true, i64 k0 = 64,
                                  unsigned tile = 32,
-                                 align::KernelCounts *counts = nullptr);
+                                 align::KernelCounts *counts = nullptr,
+                                 const CancelToken &cancel = {});
 
 } // namespace gmx::core
 

@@ -82,7 +82,8 @@ trivialEmptyAlign(size_t n, size_t m, bool want_cigar)
 
 i64
 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                unsigned tile, KernelCounts *counts)
+                unsigned tile, KernelCounts *counts,
+                const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -96,12 +97,14 @@ fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
     // tile row) and the bottom edge chain of the current tile column.
     std::vector<DeltaVec> right(g.rows);
 
+    CancelGate gate(cancel);
     i64 distance = static_cast<i64>(n); // D[n][0]
     for (size_t tj = 0; tj < g.cols; ++tj) {
         const unsigned tt = g.tileWidth(tj);
         unit.csrwText(text.codes().data() + tj * g.t, tt);
         DeltaVec dh = DeltaVec::ones(tt); // top boundary of this column
         for (size_t ti = 0; ti < g.rows; ++ti) {
+            gate.check();
             const unsigned tp = g.tileHeight(ti);
             unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
             const DeltaVec dv_in =
@@ -118,7 +121,7 @@ fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
 
 align::AlignResult
 fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-             unsigned tile, KernelCounts *counts)
+             unsigned tile, KernelCounts *counts, const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -134,11 +137,13 @@ fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         return edges[ti * g.cols + tj];
     };
 
+    CancelGate gate(cancel);
     i64 distance = static_cast<i64>(n);
     for (size_t tj = 0; tj < g.cols; ++tj) {
         const unsigned tt = g.tileWidth(tj);
         unit.csrwText(text.codes().data() + tj * g.t, tt);
         for (size_t ti = 0; ti < g.rows; ++ti) {
+            gate.check();
             const unsigned tp = g.tileHeight(ti);
             unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
             const DeltaVec dv_in =
@@ -164,6 +169,7 @@ fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     unit.csrwPos({TracebackPos::Edge::Bottom, g.tileWidth(tj) - 1});
 
     while (ai > 0 && aj > 0) {
+        gate.check();
         const unsigned tp = g.tileHeight(ti);
         const unsigned tt = g.tileWidth(tj);
         unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);

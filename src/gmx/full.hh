@@ -14,6 +14,7 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
+#include "common/cancel.hh"
 #include "gmx/isa.hh"
 #include "sequence/sequence.hh"
 
@@ -26,15 +27,21 @@ struct TileEdges
     DeltaVec h; //!< bottom-edge horizontal deltas (dh_out)
 };
 
-/** Edit distance via Full(GMX); stores one tile-row of edges only. */
+/**
+ * Edit distance via Full(GMX); stores one tile-row of edges only.
+ * Both entry points poll @p cancel every K tiles (CancelGate) and unwind
+ * with StatusError when it requests a stop; the default token is free.
+ */
 i64 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
                     unsigned tile = 32,
-                    align::KernelCounts *counts = nullptr);
+                    align::KernelCounts *counts = nullptr,
+                    const CancelToken &cancel = {});
 
 /** Full alignment with tile-wise traceback (Algorithms 1 + 2). */
 align::AlignResult fullGmxAlign(const seq::Sequence &pattern,
                                 const seq::Sequence &text, unsigned tile = 32,
-                                align::KernelCounts *counts = nullptr);
+                                align::KernelCounts *counts = nullptr,
+                                const CancelToken &cancel = {});
 
 } // namespace gmx::core
 

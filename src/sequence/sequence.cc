@@ -9,6 +9,8 @@ Sequence::Sequence(std::string ascii)
 {
     codes_.reserve(ascii_.size());
     for (auto &c : ascii_) {
+        if (!isDnaChar(c))
+            had_non_acgt_ = true;
         const u8 code = encodeBase(c);
         c = decodeBase(code); // normalize case and non-ACGT bytes
         codes_.push_back(code);

@@ -50,11 +50,20 @@ class Sequence
     /** Reverse complement. */
     Sequence reverseComplement() const;
 
+    /**
+     * True when the ASCII constructor had to coerce bytes outside
+     * ACGT/acgt to 'A' (case folding alone does not set this). The
+     * engine's input validation uses it to reject, rather than silently
+     * rewrite, malformed requests.
+     */
+    bool hadNonAcgt() const { return had_non_acgt_; }
+
     bool operator==(const Sequence &o) const { return ascii_ == o.ascii_; }
 
   private:
     std::string ascii_;
     std::vector<u8> codes_;
+    bool had_non_acgt_ = false;
 };
 
 /** A pattern/text pair to align, as produced by the dataset generators. */

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "align/batch.hh"
 #include "align/matrix_view.hh"
 #include "align/nw.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "gmx/full.hh"
 #include "sequence/dataset.hh"
 
@@ -52,6 +55,72 @@ TEST(Batch, PropagatesWorkerExceptions)
     };
     EXPECT_THROW(batchAlign(ds.pairs, bomb, 3), FatalError);
     EXPECT_THROW(batchAlign(ds.pairs, PairAligner(), 3), FatalError);
+}
+
+TEST(Validation, RejectsEmptySequences)
+{
+    InputLimits limits;
+    const seq::SequencePair empty_p{seq::Sequence(""), seq::Sequence("ACGT")};
+    const seq::SequencePair empty_t{seq::Sequence("ACGT"), seq::Sequence("")};
+    EXPECT_EQ(validatePair(empty_p, limits).code(),
+              StatusCode::InvalidInput);
+    EXPECT_EQ(validatePair(empty_t, limits).code(),
+              StatusCode::InvalidInput);
+    limits.reject_empty = false;
+    EXPECT_TRUE(validatePair(empty_p, limits).ok());
+}
+
+TEST(Validation, RejectsNonAcgtOnlyWhenConfigured)
+{
+    const seq::SequencePair dirty{seq::Sequence("ACGTNACGT"),
+                                  seq::Sequence("ACGT")};
+    InputLimits lax;
+    EXPECT_TRUE(validatePair(dirty, lax).ok());
+    InputLimits strict;
+    strict.reject_non_acgt = true;
+    EXPECT_EQ(validatePair(dirty, strict).code(), StatusCode::InvalidInput);
+    // Lower-case ACGT is case folding, not corruption.
+    const seq::SequencePair lower{seq::Sequence("acgt"),
+                                  seq::Sequence("ACGT")};
+    EXPECT_TRUE(validatePair(lower, strict).ok());
+}
+
+TEST(Validation, RejectsOversizedAndSkewedPairs)
+{
+    seq::Generator gen(2029);
+    InputLimits limits;
+    limits.max_pair_bases = 100;
+    EXPECT_EQ(validatePair(gen.pair(80, 0.0), limits).code(),
+              StatusCode::InvalidInput);
+    EXPECT_TRUE(validatePair(gen.pair(40, 0.0), limits).ok());
+
+    InputLimits skew;
+    skew.max_length_skew = 5;
+    const auto text = gen.random(60);
+    const seq::SequencePair skewed{text.substr(0, 30), text};
+    EXPECT_EQ(validatePair(skewed, skew).code(), StatusCode::InvalidInput);
+}
+
+TEST(Validation, BatchAlignRejectsBeforeAnyWorkRuns)
+{
+    std::atomic<int> calls{0};
+    const PairAligner counting = [&calls](const seq::SequencePair &p) {
+        calls.fetch_add(1);
+        return core::fullGmxAlign(p.pattern, p.text);
+    };
+    seq::Generator gen(2031);
+    std::vector<seq::SequencePair> pairs;
+    pairs.push_back(gen.pair(50, 0.05));
+    pairs.push_back({seq::Sequence(""), seq::Sequence("ACGT")});
+    try {
+        batchAlign(pairs, counting, 2);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::InvalidInput);
+        // The message names the offending pair index.
+        EXPECT_NE(e.status().message().find("pair 1"), std::string::npos);
+    }
+    EXPECT_EQ(calls.load(), 0); // validation precedes all alignment work
 }
 
 TEST(MatrixView, RendersPaperFigure1)

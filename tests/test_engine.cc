@@ -2,7 +2,9 @@
  * @file
  * Tests for the alignment engine subsystem: the work-stealing pool, the
  * bounded submission queue with its backpressure policies, the adaptive
- * cascade, micro-batching, metrics, and graceful shutdown.
+ * cascade, micro-batching, metrics, graceful shutdown — and the
+ * robustness layer: typed Status results, input validation, per-request
+ * deadlines, cooperative cancellation, and the memory-budget gate.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +17,8 @@
 #include "align/nw.hh"
 #include "align/verify.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
+#include "engine/budget.hh"
 #include "engine/cascade.hh"
 #include "engine/engine.hh"
 #include "engine/pool.hh"
@@ -25,6 +29,7 @@ namespace gmx::engine {
 namespace {
 
 using align::AlignResult;
+using Outcome = Engine::AlignOutcome;
 using std::chrono::milliseconds;
 
 // ---------------------------------------------------------------- pool
@@ -69,6 +74,14 @@ TEST(Pool, RejectsSubmitAfterShutdown)
     WorkStealingPool pool(1);
     pool.shutdown();
     EXPECT_THROW(pool.submit([] {}), FatalError);
+}
+
+TEST(Pool, TrySubmitReturnsFalseAfterShutdown)
+{
+    WorkStealingPool pool(1);
+    EXPECT_TRUE(pool.trySubmit([] {}));
+    pool.shutdown();
+    EXPECT_FALSE(pool.trySubmit([] {}));
 }
 
 TEST(Pool, StealsWhenOneWorkerIsPinned)
@@ -167,6 +180,20 @@ TEST(Cascade, DisabledRoutesEverythingFull)
     EXPECT_EQ(cascadeAlign(pair, cfg, false).tier, Tier::Full);
 }
 
+TEST(Cascade, ExpiredTokenUnwindsWithDeadlineExceeded)
+{
+    seq::Generator gen(606);
+    const auto pair = gen.pair(4000, 0.35);
+    const CancelToken expired =
+        CancelToken{}.withDeadline(CancelToken::Clock::now());
+    try {
+        cascadeAlign(pair, CascadeConfig{}, true, expired);
+        FAIL() << "expected StatusError";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.status().code(), StatusCode::DeadlineExceeded);
+    }
+}
+
 // -------------------------------------------------------------- engine
 
 TEST(Engine, OrderedResultsUnderConcurrency)
@@ -178,10 +205,11 @@ TEST(Engine, OrderedResultsUnderConcurrency)
     const auto results = engine.alignAll(ds.pairs, true);
     ASSERT_EQ(results.size(), ds.pairs.size());
     for (size_t i = 0; i < ds.pairs.size(); ++i) {
-        EXPECT_EQ(results[i].distance,
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
                   align::nwDistance(ds.pairs[i].pattern, ds.pairs[i].text))
             << i;
-        EXPECT_TRUE(results[i].has_cigar);
+        EXPECT_TRUE(results[i]->has_cigar);
     }
     const auto snap = engine.metrics();
     EXPECT_EQ(snap.submitted, ds.pairs.size());
@@ -189,7 +217,7 @@ TEST(Engine, OrderedResultsUnderConcurrency)
     EXPECT_EQ(snap.queue_depth, 0u);
 }
 
-TEST(Engine, CustomAlignerAndExceptionPropagation)
+TEST(Engine, CustomAlignerAndTypedFailure)
 {
     EngineConfig cfg;
     cfg.workers = 2;
@@ -201,15 +229,27 @@ TEST(Engine, CustomAlignerAndExceptionPropagation)
         pair, align::PairAligner([](const seq::SequencePair &p) {
             return core::fullGmxAlign(p.pattern, p.text);
         }));
-    EXPECT_EQ(good.get().distance,
+    auto good_res = good.get();
+    ASSERT_TRUE(good_res.ok());
+    EXPECT_EQ(good_res->distance,
               align::nwDistance(pair.pattern, pair.text));
 
+    // A FatalError inside an aligner becomes InvalidInput; an arbitrary
+    // exception becomes Internal. Neither ever escapes the future.
     auto bad = engine.submit(
         pair, align::PairAligner([](const seq::SequencePair &) -> AlignResult {
             GMX_FATAL("engine bomb");
         }));
-    EXPECT_THROW(bad.get(), FatalError);
-    EXPECT_EQ(engine.metrics().failed, 1u);
+    auto bad_res = bad.get();
+    ASSERT_FALSE(bad_res.ok());
+    EXPECT_EQ(bad_res.code(), StatusCode::InvalidInput);
+
+    auto ugly = engine.submit(
+        pair, align::PairAligner([](const seq::SequencePair &) -> AlignResult {
+            throw std::runtime_error("spurious");
+        }));
+    EXPECT_EQ(ugly.get().code(), StatusCode::Internal);
+    EXPECT_EQ(engine.metrics().failed, 2u);
 }
 
 TEST(Engine, BlockPolicyIsLossless)
@@ -226,18 +266,21 @@ TEST(Engine, BlockPolicyIsLossless)
         return AlignResult{0, {}, false};
     };
     seq::Generator gen(13);
-    std::vector<std::future<AlignResult>> futures;
+    std::vector<std::future<Outcome>> futures;
     for (int i = 0; i < 30; ++i)
         futures.push_back(engine.submit(gen.pair(20, 0.0), slow));
-    for (auto &f : futures)
-        EXPECT_EQ(f.get().distance, 0);
+    for (auto &f : futures) {
+        auto res = f.get();
+        ASSERT_TRUE(res.ok());
+        EXPECT_EQ(res->distance, 0);
+    }
     const auto snap = engine.metrics();
     EXPECT_EQ(snap.completed, 30u);
     EXPECT_EQ(snap.rejected, 0u);
     EXPECT_EQ(snap.shed, 0u);
 }
 
-TEST(Engine, RejectPolicyThrowsWhenFull)
+TEST(Engine, RejectPolicyFailsFastWithOverloaded)
 {
     EngineConfig cfg;
     cfg.workers = 1;
@@ -254,19 +297,29 @@ TEST(Engine, RejectPolicyThrowsWhenFull)
         return AlignResult{0, {}, false};
     };
     seq::Generator gen(17);
-    std::vector<std::future<AlignResult>> accepted;
+    std::vector<std::future<Outcome>> futures;
     size_t rejections = 0;
     for (int i = 0; i < 20; ++i) {
-        try {
-            accepted.push_back(engine.submit(gen.pair(20, 0.0), gate));
-        } catch (const QueueFullError &) {
-            ++rejections;
+        auto f = engine.submit(gen.pair(20, 0.0), gate);
+        // A rejected request's future is ready immediately.
+        if (f.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+            auto res = f.get();
+            if (!res.ok()) {
+                EXPECT_EQ(res.code(), StatusCode::Overloaded);
+                ++rejections;
+                continue;
+            }
         }
+        futures.push_back(std::move(f));
     }
     EXPECT_GT(rejections, 0u);
     release.store(true);
-    for (auto &f : accepted)
-        EXPECT_EQ(f.get().distance, 0);
+    for (auto &f : futures) {
+        auto res = f.get();
+        ASSERT_TRUE(res.ok());
+        EXPECT_EQ(res->distance, 0);
+    }
     EXPECT_EQ(engine.metrics().rejected, rejections);
 }
 
@@ -286,7 +339,7 @@ TEST(Engine, ShedOldestDropsTheOldestRequest)
         return AlignResult{0, {}, false};
     };
     seq::Generator gen(19);
-    std::vector<std::future<AlignResult>> futures;
+    std::vector<std::future<Outcome>> futures;
     for (int i = 0; i < 12; ++i)
         futures.push_back(engine.submit(gen.pair(20, 0.0), gate));
     release.store(true);
@@ -294,11 +347,12 @@ TEST(Engine, ShedOldestDropsTheOldestRequest)
     size_t shed = 0, served = 0;
     bool last_served = false;
     for (size_t i = 0; i < futures.size(); ++i) {
-        try {
-            futures[i].get();
+        auto res = futures[i].get();
+        if (res.ok()) {
             ++served;
             last_served = i + 1 == futures.size();
-        } catch (const ShedError &) {
+        } else {
+            EXPECT_EQ(res.code(), StatusCode::Overloaded);
             ++shed;
         }
     }
@@ -325,7 +379,8 @@ TEST(Engine, MicrobatchesSmallRequests)
     // so the dispatcher has runs of small requests available to fuse.
     const auto results = engine.alignAll(pairs, false);
     for (size_t i = 0; i < pairs.size(); ++i) {
-        EXPECT_EQ(results[i].distance,
+        ASSERT_TRUE(results[i].ok());
+        EXPECT_EQ(results[i]->distance,
                   align::nwDistance(pairs[i].pattern, pairs[i].text));
     }
     const auto snap = engine.metrics();
@@ -335,7 +390,7 @@ TEST(Engine, MicrobatchesSmallRequests)
 
 TEST(Engine, GracefulStopFulfillsInFlightWork)
 {
-    std::vector<std::future<AlignResult>> futures;
+    std::vector<std::future<Outcome>> futures;
     const auto ds = seq::makeDataset("stop", 200, 0.10, 24, 31);
     {
         EngineConfig cfg;
@@ -347,18 +402,21 @@ TEST(Engine, GracefulStopFulfillsInFlightWork)
     }
     for (size_t i = 0; i < futures.size(); ++i) {
         const auto res = futures[i].get(); // must not hang or throw
-        EXPECT_EQ(res.distance,
+        ASSERT_TRUE(res.ok());
+        EXPECT_EQ(res->distance,
                   align::nwDistance(ds.pairs[i].pattern, ds.pairs[i].text));
     }
 }
 
-TEST(Engine, SubmitAfterStopThrows)
+TEST(Engine, SubmitAfterStopReturnsEngineStopped)
 {
     Engine engine(EngineConfig{});
     engine.stop();
     seq::Generator gen(37);
-    EXPECT_THROW(engine.submit(gen.pair(50, 0.0), true),
-                 EngineStoppedError);
+    auto f = engine.submit(gen.pair(50, 0.0), true);
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().code(), StatusCode::EngineStopped);
 }
 
 TEST(Engine, MetricsSnapshotSerializesToJson)
@@ -380,8 +438,258 @@ TEST(Engine, MetricsSnapshotSerializesToJson)
     EXPECT_NE(json.find("\"tiers\":{"), std::string::npos);
     EXPECT_NE(json.find("\"filter\":"), std::string::npos);
     EXPECT_NE(json.find("\"steals\":"), std::string::npos);
+    EXPECT_NE(json.find("\"deadline_missed\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"memory\":{"), std::string::npos);
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json.back(), '}');
+}
+
+// ----------------------------------------------------- input validation
+
+TEST(EngineValidation, EmptyPatternRejected)
+{
+    Engine engine(EngineConfig{});
+    auto f = engine.submit(
+        seq::SequencePair{seq::Sequence(""), seq::Sequence("ACGT")}, true);
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().code(), StatusCode::InvalidInput);
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.invalid, 1u);
+    EXPECT_EQ(snap.submitted, 0u); // never entered the queue
+}
+
+TEST(EngineValidation, EmptyTextRejected)
+{
+    Engine engine(EngineConfig{});
+    auto f = engine.submit(
+        seq::SequencePair{seq::Sequence("ACGT"), seq::Sequence("")}, true);
+    EXPECT_EQ(f.get().code(), StatusCode::InvalidInput);
+}
+
+TEST(EngineValidation, NonAcgtRejectedWhenConfigured)
+{
+    EngineConfig cfg;
+    cfg.limits.reject_non_acgt = true;
+    Engine engine(cfg);
+    auto bad = engine.submit(
+        seq::SequencePair{seq::Sequence("ACGNNACG"), seq::Sequence("ACGT")},
+        true);
+    auto res = bad.get();
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.code(), StatusCode::InvalidInput);
+    // Clean ACGT (either case) still passes.
+    auto good = engine.submit(
+        seq::SequencePair{seq::Sequence("acgt"), seq::Sequence("ACGT")},
+        true);
+    EXPECT_TRUE(good.get().ok());
+}
+
+TEST(EngineValidation, MaxPairBasesRejected)
+{
+    EngineConfig cfg;
+    cfg.limits.max_pair_bases = 100;
+    Engine engine(cfg);
+    seq::Generator gen(43);
+    auto f = engine.submit(gen.pair(80, 0.0), true); // 160 bases total
+    EXPECT_EQ(f.get().code(), StatusCode::InvalidInput);
+    auto ok = engine.submit(gen.pair(40, 0.0), true);
+    EXPECT_TRUE(ok.get().ok());
+}
+
+TEST(EngineValidation, MaxLengthSkewRejected)
+{
+    EngineConfig cfg;
+    cfg.limits.max_length_skew = 10;
+    Engine engine(cfg);
+    seq::Generator gen(47);
+    const auto text = gen.random(100);
+    auto f = engine.submit(seq::SequencePair{text.substr(0, 50), text},
+                           false);
+    EXPECT_EQ(f.get().code(), StatusCode::InvalidInput);
+}
+
+// ------------------------------------------- deadlines and cancellation
+
+TEST(EngineDeadline, ExpiredDeadlineFailsFastWithoutBlockingSiblings)
+{
+    // Acceptance check: a 100 kbp Full(GMX)-bound pair whose deadline has
+    // already expired must fail in well under 50 ms — never run its
+    // quadratic kernel — while sibling requests complete normally.
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    seq::Generator gen(53);
+    const auto huge = gen.pair(100000, 0.30);
+    std::vector<seq::SequencePair> siblings;
+    for (int i = 0; i < 8; ++i)
+        siblings.push_back(gen.pair(200, 0.05));
+
+    SubmitOptions opts;
+    opts.want_cigar = false;
+    opts.timeout = std::chrono::nanoseconds(1); // expired on arrival
+    const auto t0 = std::chrono::steady_clock::now();
+    auto doomed = engine.submit(huge, std::move(opts));
+    std::vector<std::future<Outcome>> sib;
+    for (const auto &p : siblings)
+        sib.push_back(engine.submit(p, false));
+
+    auto res = doomed.get();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.code(), StatusCode::DeadlineExceeded);
+    EXPECT_LT(elapsed, milliseconds(50));
+
+    for (size_t i = 0; i < sib.size(); ++i) {
+        auto s = sib[i].get();
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(s->distance, align::nwDistance(siblings[i].pattern,
+                                                 siblings[i].text));
+    }
+    EXPECT_EQ(engine.metrics().deadline_missed, 1u);
+}
+
+TEST(EngineDeadline, MidKernelDeadlineUnwindsCooperatively)
+{
+    // A deadline short enough to expire while the kernel is running: the
+    // cancel gate inside the tile loops must unwind the request.
+    EngineConfig cfg;
+    cfg.workers = 1;
+    Engine engine(cfg);
+    seq::Generator gen(59);
+    const auto big = gen.pair(30000, 0.40);
+    SubmitOptions opts;
+    opts.want_cigar = false;
+    opts.timeout = milliseconds(5);
+    auto f = engine.submit(big, std::move(opts));
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().code(), StatusCode::DeadlineExceeded);
+}
+
+TEST(EngineDeadline, GenerousDeadlineDoesNotPerturbResults)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    seq::Generator gen(61);
+    const auto pair = gen.pair(300, 0.10);
+    SubmitOptions opts;
+    opts.timeout = std::chrono::seconds(60);
+    auto f = engine.submit(pair, std::move(opts));
+    auto res = f.get();
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->distance, align::nwDistance(pair.pattern, pair.text));
+    EXPECT_EQ(engine.metrics().deadline_missed, 0u);
+}
+
+TEST(EngineCancel, SourceCancelsQueuedAndRunningRequests)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    Engine engine(cfg);
+    seq::Generator gen(67);
+    CancelSource source;
+
+    // Already-cancelled token: fails fast at dispatch.
+    source.cancel();
+    SubmitOptions pre;
+    pre.want_cigar = false;
+    pre.cancel = source.token();
+    auto f1 = engine.submit(gen.pair(500, 0.10), std::move(pre));
+    EXPECT_EQ(f1.get().code(), StatusCode::Cancelled);
+
+    // Cancel mid-run: a large pair starts, then the source fires.
+    CancelSource mid;
+    SubmitOptions opts;
+    opts.want_cigar = false;
+    opts.cancel = mid.token();
+    auto f2 = engine.submit(gen.pair(50000, 0.35), std::move(opts));
+    std::this_thread::sleep_for(milliseconds(5));
+    mid.cancel();
+    ASSERT_EQ(f2.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    EXPECT_EQ(f2.get().code(), StatusCode::Cancelled);
+    EXPECT_EQ(engine.metrics().cancelled, 2u);
+}
+
+// -------------------------------------------------------- memory budget
+
+TEST(EngineBudget, DowngradesTracebackUnderPressureAndStaysExact)
+{
+    // Full(GMX) traceback on a 3000-bp pair wants ~283 KB of tile edges;
+    // a 160 KB budget refuses that but admits two concurrent Hirschberg
+    // footprints (~54 KB each), so every request downgrades — and stays
+    // exact.
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.memory_budget_bytes = 160 * 1024;
+    Engine engine(cfg);
+    seq::Generator gen(71);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 6; ++i)
+        pairs.push_back(gen.pair(3000, 0.05));
+    const auto results = engine.alignAll(pairs, true);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
+                  align::nwDistance(pairs[i].pattern, pairs[i].text));
+        EXPECT_TRUE(results[i]->has_cigar);
+    }
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.downgraded, pairs.size());
+    EXPECT_EQ(snap.tier_hits[static_cast<unsigned>(Tier::Downgraded)],
+              pairs.size());
+    EXPECT_GT(snap.mem_reserved_peak, 0u);
+    EXPECT_LE(snap.mem_reserved_peak, snap.mem_budget_bytes);
+    EXPECT_EQ(snap.mem_reserved_bytes, 0u); // all reservations released
+}
+
+TEST(EngineBudget, RejectsWithResourceExhaustedWhenDowngradeDisabled)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.memory_budget_bytes = 64 * 1024;
+    cfg.downgrade_under_pressure = false;
+    Engine engine(cfg);
+    seq::Generator gen(73);
+    auto f = engine.submit(gen.pair(3000, 0.05), true);
+    auto res = f.get();
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.code(), StatusCode::ResourceExhausted);
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.resource_rejected, 1u);
+    EXPECT_LE(snap.mem_reserved_peak, snap.mem_budget_bytes);
+}
+
+TEST(EngineBudget, DistanceOnlyRequestsHaveNoDowngradeTier)
+{
+    // Distance-only footprints are already frugal; when even they exceed
+    // a (pathologically small) budget, the request must fail typed.
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.memory_budget_bytes = 1024;
+    Engine engine(cfg);
+    seq::Generator gen(79);
+    auto f = engine.submit(gen.pair(3000, 0.05), false);
+    EXPECT_EQ(f.get().code(), StatusCode::ResourceExhausted);
+    // Small pairs still fit and complete.
+    auto ok = engine.submit(gen.pair(40, 0.0), false);
+    EXPECT_TRUE(ok.get().ok());
+}
+
+TEST(EngineBudget, EstimatorsAreMonotonicAndTileAware)
+{
+    EXPECT_EQ(fullGmxTracebackBytes(0, 100, 32), 100u);
+    // 3000x3000 at T=32: 94*94 tile edges of 32 bytes + ops bytes.
+    EXPECT_EQ(fullGmxTracebackBytes(3000, 3000, 32),
+              94u * 94u * kTileEdgeBytes + 6000u);
+    EXPECT_LT(hirschbergBytes(3000, 3000),
+              fullGmxTracebackBytes(3000, 3000, 32));
+    EXPECT_LT(distanceOnlyBytes(3000, 3000, 32),
+              fullGmxTracebackBytes(3000, 3000, 32));
+    EXPECT_GT(fullGmxTracebackBytes(6000, 6000, 32),
+              fullGmxTracebackBytes(3000, 3000, 32));
 }
 
 // ------------------------------------------------- batchAlign rewiring
