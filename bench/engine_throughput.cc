@@ -21,6 +21,7 @@
 #include "common/table.hh"
 #include "common/timer.hh"
 #include "engine/engine.hh"
+#include "engine/exporter.hh"
 #include "sequence/generator.hh"
 
 using namespace gmx;
@@ -180,5 +181,22 @@ main()
                 static_cast<unsigned long long>(last_snapshot.tier_hits[1]),
                 static_cast<unsigned long long>(last_snapshot.tier_hits[2]),
                 static_cast<unsigned long long>(last_snapshot.tier_hits[3]));
+
+    std::printf("\nPer-tier GCUPS (kernel cells / kernel wall time):\n");
+    for (unsigned t = 0; t < engine::kTierCount; ++t) {
+        const auto &ts = last_snapshot.tiers[t];
+        if (ts.attempts == 0)
+            continue;
+        std::printf("  %-10s attempts=%-6llu cells=%-12llu gcups=%.3f "
+                    "qwait_p99=%.0fus service_p99=%.0fus\n",
+                    engine::tierName(static_cast<engine::Tier>(t)),
+                    static_cast<unsigned long long>(ts.attempts),
+                    static_cast<unsigned long long>(ts.cells), ts.gcups,
+                    ts.queue_wait.p99_us, ts.service.p99_us);
+    }
+
+    // The same snapshot in the format a Prometheus scraper would ingest.
+    std::printf("\n--- OpenMetrics scrape (last sweep run) ---\n%s",
+                engine::renderOpenMetrics(last_snapshot).c_str());
     return 0;
 }

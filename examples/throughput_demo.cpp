@@ -7,7 +7,10 @@
  * Demonstrates:
  *   - streaming submission with futures (no fork-join per batch),
  *   - cascade tier routing (Bitap filter -> Banded(GMX) -> Full(GMX)),
- *   - the JSON metrics snapshot a monitoring scraper would poll.
+ *   - per-tier observability: kernel GCUPS and the queue-wait vs
+ *     service-time latency split,
+ *   - the JSON metrics snapshot and the OpenMetrics text block a
+ *     monitoring scraper would poll.
  *
  * Doubles as an integration test: exits nonzero when any cascade result
  * disagrees with the Full(DP) ground truth or when the tier accounting
@@ -19,6 +22,7 @@
 
 #include "align/nw.hh"
 #include "engine/engine.hh"
+#include "engine/exporter.hh"
 #include "sequence/generator.hh"
 
 using namespace gmx;
@@ -81,7 +85,25 @@ main()
     std::printf("latency: mean %.1fus p50<=%.0fus p99<=%.0fus\n",
                 snap.latency_mean_us, snap.latency_p50_us,
                 snap.latency_p99_us);
+
+    // Per-tier work and the split latency story: how long requests sat in
+    // the queue vs how long the kernels ran, and what the kernels did.
+    std::printf("%-10s %9s %12s %8s %14s %14s\n", "tier", "attempts",
+                "cells", "GCUPS", "queue-wait us", "service us");
+    for (unsigned t = 0; t < engine::kTierCount; ++t) {
+        const auto &ts = snap.tiers[t];
+        if (ts.attempts == 0 && ts.queue_wait.count == 0)
+            continue;
+        std::printf("%-10s %9llu %12llu %8.3f %7.1f (p99) %7.1f (p99)\n",
+                    engine::tierName(static_cast<engine::Tier>(t)),
+                    static_cast<unsigned long long>(ts.attempts),
+                    static_cast<unsigned long long>(ts.cells), ts.gcups,
+                    ts.queue_wait.p99_us, ts.service.p99_us);
+    }
+
     std::printf("metrics: %s\n", snap.toJson().c_str());
+    std::printf("\n--- OpenMetrics scrape ---\n%s",
+                engine::renderOpenMetrics(snap).c_str());
 
     // Acceptance: exact results, all completions accounted to a tier.
     u64 tier_total = 0;

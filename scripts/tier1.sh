@@ -25,6 +25,15 @@ cmake --build build-fault -j"$(nproc)" --target test_chaos test_engine
 ctest --test-dir build-fault --output-on-failure -j"$(nproc)" \
     -R 'Chaos|Engine'
 
+echo "== Observability pass (-Werror build, trace/exporter under TSan) =="
+# New warnings in the observability layer may not land silently, and the
+# lock-free trace ring must stay race-clean: build the observability
+# tests with warnings-as-errors AND ThreadSanitizer, then run them.
+cmake -B build-obs -S . -DGMX_WERROR=ON -DGMX_SANITIZE=thread
+cmake --build build-obs -j"$(nproc)" --target test_observability
+ctest --test-dir build-obs --output-on-failure -j"$(nproc)" \
+    -R 'Observability|TraceRecorder|Exporter|LatencyHistogram|BudgetEstimators|KernelCounts'
+
 sanitize="${GMX_SANITIZE:-}"
 
 if [[ "$sanitize" == "thread" || "$sanitize" == "all" ]]; then

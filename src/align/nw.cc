@@ -9,7 +9,7 @@ namespace gmx::align {
 
 i64
 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-           const CancelToken &cancel)
+           KernelCounts *counts, const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -38,6 +38,15 @@ nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
             diag = up;
         }
     }
+    if (counts) {
+        // Same accounting as Hirschberg's lastRow: 5 scalar ops, two
+        // reads and one write per DP cell.
+        const u64 cells = static_cast<u64>(n) * m;
+        counts->cells += cells;
+        counts->alu += 5 * cells;
+        counts->loads += 2 * cells;
+        counts->stores += cells;
+    }
     return row[width];
 }
 
@@ -55,7 +64,7 @@ enum Dir : u8
 
 AlignResult
 nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-        const CancelToken &cancel)
+        KernelCounts *counts, const CancelToken &cancel)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -136,6 +145,13 @@ nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    if (counts) {
+        const u64 cells = static_cast<u64>(n) * m;
+        counts->cells += cells;
+        counts->alu += 5 * cells;
+        counts->loads += 2 * cells + res.cigar.size(); // DP + traceback
+        counts->stores += 2 * cells;                   // row + direction
+    }
     return res;
 }
 

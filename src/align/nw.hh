@@ -14,6 +14,7 @@
 #ifndef GMX_ALIGN_NW_HH
 #define GMX_ALIGN_NW_HH
 
+#include "align/bpm.hh"
 #include "align/types.hh"
 #include "common/cancel.hh"
 #include "sequence/sequence.hh"
@@ -24,8 +25,11 @@ namespace gmx::align {
  * Edit distance only; O(min(n,m)) memory, O(nm) time. Both NW entry
  * points poll @p cancel every K rows (CancelGate) and unwind with
  * StatusError when it requests a stop; the default token is free.
+ * @p counts, when non-null, accumulates the kernel's dynamic work
+ * (cells, ALU ops, loads, stores) like every other aligner here.
  */
 i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+               KernelCounts *counts = nullptr,
                const CancelToken &cancel = {});
 
 /**
@@ -34,6 +38,7 @@ i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
  * footprint is precisely the scalability limitation the paper describes).
  */
 AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                    KernelCounts *counts = nullptr,
                     const CancelToken &cancel = {});
 
 /**

@@ -32,9 +32,10 @@ distanceOnlyBytes(size_t n, size_t m, unsigned tile)
     // tier keeps two band rows. Both are O(longer-side / T) edges.
     const size_t rows = 3 * tilesAcross(std::max(n, m), tile) * kTileEdgeBytes;
     // The cascade's Bitap filter dominates for large pairs: two column
-    // sets of (k+1) vectors of ceil(n/64) words, with the auto budget
-    // k = max(8, longer/16). Mirror that closed form here.
-    const size_t k = std::max<size_t>(8, std::max(n, m) / 16) + 1;
+    // sets of (k+1) vectors of ceil(n/64) words, sized with the same
+    // cascadeAutoFilterK the routing will use (budget.hh holds the one
+    // shared closed form, skew term included).
+    const size_t k = static_cast<size_t>(cascadeAutoFilterK(n, m)) + 1;
     const size_t filter = 2 * k * ((n + 63) / 64) * sizeof(u64);
     return rows + filter;
 }
@@ -42,9 +43,11 @@ distanceOnlyBytes(size_t n, size_t m, unsigned tile)
 size_t
 hirschbergBytes(size_t n, size_t m)
 {
-    // Two i64 DP rows over the text per recursion level (levels share the
-    // buffers' peak), plus the op buffer.
-    return 2 * (std::min(n, m) + 1) * sizeof(i64) + (n + m);
+    // Two i64 DP rows per recursion level (levels share the buffers'
+    // peak), plus the op buffer. The rows span the TEXT — lastRow in
+    // hirschberg.cc allocates row(m + 1) whichever side is shorter — so
+    // a short-pattern/long-text pair still costs O(m) bytes.
+    return 2 * (m + 1) * sizeof(i64) + (n + m);
 }
 
 size_t

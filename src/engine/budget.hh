@@ -19,6 +19,7 @@
 #ifndef GMX_ENGINE_BUDGET_HH
 #define GMX_ENGINE_BUDGET_HH
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/types.hh"
@@ -27,6 +28,24 @@ namespace gmx::engine {
 
 /** Bytes of one stored tile edge (TileEdges: two DeltaVec of two u64). */
 inline constexpr size_t kTileEdgeBytes = 32;
+
+/**
+ * The cascade's auto filter budget for an (n, m) pair:
+ * max(8, longer/16, skew + 4). The skew term guarantees the Bitap filter
+ * can ever reach the opposite corner (|n-m| edits are unavoidable).
+ *
+ * Defined here, next to the footprint estimators, because the
+ * distance-only estimate sizes the filter's (k+1) state vectors from the
+ * same k the cascade will actually run with — one closed form, shared by
+ * admission and routing, so the two cannot drift.
+ */
+inline i64
+cascadeAutoFilterK(size_t n, size_t m)
+{
+    const i64 longer = static_cast<i64>(std::max(n, m));
+    const i64 skew = static_cast<i64>(n > m ? n - m : m - n);
+    return std::max<i64>({8, longer / 16, skew + 4});
+}
 
 /** Full(GMX) traceback footprint: the whole tile-edge matrix plus ops. */
 size_t fullGmxTracebackBytes(size_t n, size_t m, unsigned tile);

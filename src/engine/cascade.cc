@@ -1,38 +1,43 @@
 #include "engine/cascade.hh"
 
 #include <algorithm>
-#include <cstdlib>
+#include <utility>
 
 #include "align/bitap.hh"
+#include "common/timer.hh"
 #include "gmx/banded.hh"
 #include "gmx/full.hh"
 
 namespace gmx::engine {
 
-i64
-cascadeAutoFilterK(size_t n, size_t m)
-{
-    const i64 longer = static_cast<i64>(std::max(n, m));
-    const i64 skew = std::abs(static_cast<i64>(n) - static_cast<i64>(m));
-    return std::max<i64>({8, longer / 16, skew + 4});
-}
-
 namespace {
+
+/** Charge one finished kernel invocation to the outcome's work log. */
+void
+noteAttempt(CascadeOutcome &out, Tier tier, const align::KernelCounts &c,
+            const Timer &timer)
+{
+    out.counts += c;
+    out.attempts.push_back({tier, c.cells, timer.seconds() * 1e6, false});
+}
 
 /** Full(GMX) tier: always answers. */
 CascadeOutcome
 fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
-         bool want_cigar, const CancelToken &cancel)
+         bool want_cigar, const CancelToken &cancel, CascadeOutcome out)
 {
-    CascadeOutcome out;
     out.tier = Tier::Full;
+    align::KernelCounts c;
+    Timer timer;
     if (want_cigar) {
         out.result = core::fullGmxAlign(pair.pattern, pair.text, cfg.tile,
-                                        nullptr, cancel);
+                                        &c, cancel);
     } else {
         out.result.distance = core::fullGmxDistance(
-            pair.pattern, pair.text, cfg.tile, nullptr, cancel);
+            pair.pattern, pair.text, cfg.tile, &c, cancel);
     }
+    noteAttempt(out, Tier::Full, c, timer);
+    out.attempts.back().answered = true;
     return out;
 }
 
@@ -44,46 +49,67 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
 {
     const size_t n = pair.pattern.size();
     const size_t m = pair.text.size();
+    CascadeOutcome out;
 
     // Degenerate pairs skip the heuristics; Full(GMX) handles them.
     if (!cfg.enabled || n == 0 || m == 0)
-        return fullTier(pair, cfg, want_cigar, cancel);
+        return fullTier(pair, cfg, want_cigar, cancel, std::move(out));
 
     // Tier 1 — Bitap filter. When it finds the pair within k, the
     // distance is exact; distance-only requests are done.
     const i64 k = cfg.filter_k > 0 ? cfg.filter_k : cascadeAutoFilterK(n, m);
-    const i64 filtered =
-        align::bitapDistance(pair.pattern, pair.text, k, nullptr, cancel);
+    i64 filtered;
+    {
+        align::KernelCounts c;
+        Timer timer;
+        filtered =
+            align::bitapDistance(pair.pattern, pair.text, k, &c, cancel);
+        noteAttempt(out, Tier::Filter, c, timer);
+    }
     if (filtered != align::kNoAlignment && !want_cigar) {
-        CascadeOutcome out;
         out.tier = Tier::Filter;
         out.result.distance = filtered;
+        out.attempts.back().answered = true;
         return out;
     }
 
     // Tier 2 — Banded(GMX). A filter hit pins the band to the exact
     // distance (guaranteed to succeed); a miss tries growing bands.
     if (filtered != align::kNoAlignment) {
+        align::KernelCounts c;
+        Timer timer;
         auto r = core::bandedGmxAlign(pair.pattern, pair.text,
                                       std::max<i64>(filtered, 1),
-                                      want_cigar, cfg.tile, nullptr,
+                                      want_cigar, cfg.tile, &c,
                                       /*enforce_bound=*/true, cancel);
-        if (r.found())
-            return {std::move(r), Tier::Banded};
+        noteAttempt(out, Tier::Banded, c, timer);
+        if (r.found()) {
+            out.tier = Tier::Banded;
+            out.result = std::move(r);
+            out.attempts.back().answered = true;
+            return out;
+        }
     } else {
         i64 band = 2 * k;
         for (int attempt = 0; attempt < cfg.band_doublings;
              ++attempt, band *= 2) {
+            align::KernelCounts c;
+            Timer timer;
             auto r = core::bandedGmxAlign(pair.pattern, pair.text, band,
-                                          want_cigar, cfg.tile, nullptr,
+                                          want_cigar, cfg.tile, &c,
                                           /*enforce_bound=*/true, cancel);
-            if (r.found())
-                return {std::move(r), Tier::Banded};
+            noteAttempt(out, Tier::Banded, c, timer);
+            if (r.found()) {
+                out.tier = Tier::Banded;
+                out.result = std::move(r);
+                out.attempts.back().answered = true;
+                return out;
+            }
         }
     }
 
     // Tier 3 — Full(GMX), the exact fallback.
-    return fullTier(pair, cfg, want_cigar, cancel);
+    return fullTier(pair, cfg, want_cigar, cancel, std::move(out));
 }
 
 } // namespace gmx::engine

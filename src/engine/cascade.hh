@@ -24,8 +24,12 @@
 #ifndef GMX_ENGINE_CASCADE_HH
 #define GMX_ENGINE_CASCADE_HH
 
+#include <vector>
+
+#include "align/bpm.hh"
 #include "align/types.hh"
 #include "common/cancel.hh"
+#include "engine/budget.hh" // cascadeAutoFilterK: shared with admission
 #include "engine/metrics.hh"
 #include "sequence/sequence.hh"
 
@@ -53,15 +57,33 @@ struct CascadeConfig
     unsigned tile = 32;
 };
 
+/**
+ * One kernel invocation inside a cascade run: which tier ran, how much
+ * work it did, and how long it took. A request that escalates records
+ * one attempt per tier tried (a missed banded doubling is its own
+ * attempt), so per-tier work accounting attributes cells to the tier
+ * that actually computed them, not to the tier that finally answered.
+ */
+struct CascadeAttempt
+{
+    Tier tier = Tier::Full;
+    u64 cells = 0;       //!< DP cells this attempt computed
+    double micros = 0.0; //!< wall-clock time of the attempt
+    bool answered = false; //!< true on the attempt that produced the result
+};
+
 /** Result of one cascade routing decision. */
 struct CascadeOutcome
 {
     align::AlignResult result;
     Tier tier = Tier::Full; //!< tier that produced the result
-};
 
-/** The filter budget the auto rule would pick for an (n, m) pair. */
-i64 cascadeAutoFilterK(size_t n, size_t m);
+    /** Total dynamic work across every attempt (cells, ops, GMX instrs). */
+    align::KernelCounts counts;
+
+    /** Kernel invocations in execution order; the last one answered. */
+    std::vector<CascadeAttempt> attempts;
+};
 
 /**
  * Align @p pair through the cascade. With @p want_cigar the result carries

@@ -1,11 +1,13 @@
 #include "engine/engine.hh"
 
+#include <algorithm>
 #include <new>
 #include <stdexcept>
 #include <utility>
 
 #include "align/hirschberg.hh"
 #include "common/logging.hh"
+#include "common/timer.hh"
 #include "engine/faults.hh"
 
 namespace gmx::engine {
@@ -26,6 +28,7 @@ readyFuture(Status status)
 
 Engine::Engine(EngineConfig config)
     : config_(config), budget_(config.memory_budget_bytes),
+      trace_(config.trace_capacity, config.trace_sample_every),
       pool_(config.workers)
 {
     if (config_.queue_capacity == 0)
@@ -96,12 +99,14 @@ std::future<Engine::AlignOutcome>
 Engine::enqueue(Request req)
 {
     req.enqueued = Clock::now();
+    req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     auto future = req.promise.get_future();
 
     // A shed victim's promise must be fulfilled outside mu_ (promise
     // internals are not part of the queue's critical section).
     std::promise<AlignOutcome> shed_victim;
     bool have_victim = false;
+    u64 victim_id = 0;
     {
         std::unique_lock<std::mutex> lk(mu_);
         if (stopping_) {
@@ -133,6 +138,7 @@ Engine::enqueue(Request req)
               case Backpressure::ShedOldest:
                 if (!queue_.empty()) {
                     shed_victim = std::move(queue_.front().promise);
+                    victim_id = queue_.front().id;
                     queue_.pop_front();
                     have_victim = true;
                     metrics_.shed.fetch_add(1, std::memory_order_relaxed);
@@ -140,6 +146,11 @@ Engine::enqueue(Request req)
                 break;
             }
         }
+        // Record Enqueue under the lock so a traced request's spans can
+        // never appear dispatch-before-enqueue in the ring.
+        if (trace_.sampled(req.id))
+            trace_.record(req.id, TraceEvent::Enqueue,
+                          trace_.toUs(req.enqueued));
         queue_.push_back(std::move(req));
         const u64 depth = queue_.size();
         metrics_.queue_depth.store(depth, std::memory_order_relaxed);
@@ -148,6 +159,9 @@ Engine::enqueue(Request req)
     }
     dispatch_cv_.notify_one();
     if (have_victim) {
+        if (trace_.sampled(victim_id))
+            trace_.record(victim_id, TraceEvent::Complete, trace_.nowUs(),
+                          StatusCode::Overloaded);
         shed_victim.set_value(AlignOutcome(
             Status::overloaded("shed under ShedOldest backpressure")));
         queue_not_full_.notify_one(); // shedding also freed a slot
@@ -206,13 +220,15 @@ Engine::dispatchLoop()
     }
 }
 
-Engine::AlignOutcome
+Engine::Served
 Engine::runOne(Request &req)
 {
+    const bool traced = trace_.sampled(req.id);
+
     // Fast-fail before any work: an expired or cancelled request costs
     // microseconds here instead of a quadratic kernel run.
     if (Status s = req.cancel.check(); !s.ok())
-        return AlignOutcome(std::move(s));
+        return Served(AlignOutcome(std::move(s)));
 
     // Memory-budget admission. The reservation is held for the whole
     // kernel call and released by RAII whichever way we leave.
@@ -225,17 +241,29 @@ Engine::runOne(Request &req)
                    req.want_cigar) {
             const size_t frugal = hirschbergBytes(req.pair.pattern.size(),
                                                   req.pair.text.size());
-            if (!budget_.tryReserve(frugal))
-                return AlignOutcome(Status::resourceExhausted(
+            if (!budget_.tryReserve(frugal)) {
+                if (traced)
+                    trace_.record(req.id, TraceEvent::Admission,
+                                  trace_.nowUs(),
+                                  StatusCode::ResourceExhausted);
+                return Served(AlignOutcome(Status::resourceExhausted(
                     "memory budget exhausted (even for downgraded "
-                    "traceback)"));
+                    "traceback)")));
+            }
             reservation = MemoryReservation(&budget_, frugal);
             downgrade = true;
         } else {
-            return AlignOutcome(Status::resourceExhausted(
-                "estimated footprint exceeds the memory budget"));
+            if (traced)
+                trace_.record(req.id, TraceEvent::Admission, trace_.nowUs(),
+                              StatusCode::ResourceExhausted);
+            return Served(AlignOutcome(Status::resourceExhausted(
+                "estimated footprint exceeds the memory budget")));
         }
     }
+    const i64 admitted_us = trace_.nowUs();
+    if (traced)
+        trace_.record(req.id, TraceEvent::Admission, admitted_us,
+                      StatusCode::Ok, reservation.bytes());
 
     try {
         if (GMX_INJECT_FAULT(faults::Point::AllocFail))
@@ -243,31 +271,45 @@ Engine::runOne(Request &req)
         if (GMX_INJECT_FAULT(faults::Point::TaskError))
             throw std::runtime_error("injected spurious task error");
         align::AlignResult result;
+        Served served(AlignOutcome(align::AlignResult{}));
+        served.reserved_bytes = reservation.bytes();
+        served.admitted_us = admitted_us;
         if (req.aligner) {
             result = req.aligner(req.pair);
         } else if (downgrade) {
+            align::KernelCounts counts;
+            Timer timer;
             result = align::hirschbergAlign(req.pair.pattern, req.pair.text,
-                                            nullptr, req.cancel);
-            metrics_.recordTier(Tier::Downgraded, reservation.bytes());
+                                            &counts, req.cancel);
+            served.tiered = true;
+            served.tier = Tier::Downgraded;
+            served.cells = counts.cells;
+            served.attempts.push_back({Tier::Downgraded, counts.cells,
+                                       timer.seconds() * 1e6, true});
             metrics_.downgraded.fetch_add(1, std::memory_order_relaxed);
         } else {
             auto outcome = cascadeAlign(req.pair, config_.cascade,
                                         req.want_cigar, req.cancel);
-            metrics_.recordTier(outcome.tier, reservation.bytes());
+            served.tiered = true;
+            served.tier = outcome.tier;
+            served.cells = outcome.counts.cells;
+            served.attempts = std::move(outcome.attempts);
             result = std::move(outcome.result);
         }
-        return AlignOutcome(std::move(result));
+        served.outcome = AlignOutcome(std::move(result));
+        return served;
     } catch (const StatusError &e) {
-        return AlignOutcome(e.status());
+        return Served(AlignOutcome(e.status()));
     } catch (const std::bad_alloc &) {
-        return AlignOutcome(
-            Status::resourceExhausted("allocation failed mid-request"));
+        return Served(AlignOutcome(
+            Status::resourceExhausted("allocation failed mid-request")));
     } catch (const FatalError &e) {
-        return AlignOutcome(Status::invalidInput(e.what()));
+        return Served(AlignOutcome(Status::invalidInput(e.what())));
     } catch (const std::exception &e) {
-        return AlignOutcome(Status::internal(e.what()));
+        return Served(AlignOutcome(Status::internal(e.what())));
     } catch (...) {
-        return AlignOutcome(Status::internal("unknown aligner failure"));
+        return Served(
+            AlignOutcome(Status::internal("unknown aligner failure")));
     }
 }
 
@@ -275,15 +317,34 @@ void
 Engine::runRequests(std::vector<Request> batch)
 {
     for (Request &req : batch) {
-        AlignOutcome outcome = runOne(req);
+        req.dispatched = Clock::now();
+        const bool traced = trace_.sampled(req.id);
+        if (traced)
+            trace_.record(req.id, TraceEvent::Dispatch,
+                          trace_.toUs(req.dispatched));
+
+        Served served = runOne(req);
+
+        const Clock::time_point done = Clock::now();
+        const double queue_wait_s =
+            std::chrono::duration<double>(req.dispatched - req.enqueued)
+                .count();
+        const double service_s =
+            std::chrono::duration<double>(done - req.dispatched).count();
+        const double total_s =
+            std::chrono::duration<double>(done - req.enqueued).count();
+
+        AlignOutcome &outcome = served.outcome;
         if (outcome.ok()) {
-            const double secs =
-                std::chrono::duration<double>(Clock::now() - req.enqueued)
-                    .count();
-            metrics_.latency.record(secs);
-            metrics_.latency_total_us.fetch_add(secs * 1e6,
-                                                std::memory_order_relaxed);
+            metrics_.latency.record(total_s);
             metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+            if (served.tiered) {
+                metrics_.recordTier(served.tier, served.reserved_bytes);
+                metrics_.recordTimings(served.tier, queue_wait_s,
+                                       service_s);
+                for (const CascadeAttempt &a : served.attempts)
+                    metrics_.recordAttempt(a.tier, a.cells, a.micros);
+            }
         } else {
             metrics_.failed.fetch_add(1, std::memory_order_relaxed);
             switch (outcome.status().code()) {
@@ -302,6 +363,50 @@ Engine::runRequests(std::vector<Request> batch)
                 break;
             }
         }
+
+        if (traced) {
+            // Tier-attempt spans get timestamps reconstructed backwards
+            // from completion (each attempt's measured duration), clamped
+            // into [admission, done] so rounding can never make the dumped
+            // timeline run backwards.
+            const i64 done_us = trace_.toUs(done);
+            double total_us = 0;
+            for (const CascadeAttempt &a : served.attempts)
+                total_us += a.micros;
+            i64 t_us = std::max(served.admitted_us,
+                                done_us - static_cast<i64>(total_us));
+            for (const CascadeAttempt &a : served.attempts) {
+                trace_.recordTier(req.id, TraceEvent::TierAttempt, t_us,
+                                  a.tier, StatusCode::Ok, a.cells);
+                t_us = std::min(t_us + static_cast<i64>(a.micros), done_us);
+            }
+            if (served.tiered)
+                trace_.recordTier(req.id, TraceEvent::Complete,
+                                  trace_.toUs(done), served.tier,
+                                  outcome.ok() ? StatusCode::Ok
+                                               : outcome.status().code(),
+                                  served.cells);
+            else
+                trace_.record(req.id, TraceEvent::Complete,
+                              trace_.toUs(done),
+                              outcome.ok() ? StatusCode::Ok
+                                           : outcome.status().code(),
+                              served.cells);
+        }
+
+        const auto threshold = config_.slow_request_threshold;
+        if (threshold.count() > 0 &&
+            total_s >= std::chrono::duration<double>(threshold).count()) {
+            GMX_WARN("slow request id=%llu total=%.0fus queue_wait=%.0fus "
+                     "service=%.0fus tier=%s status=%s",
+                     static_cast<unsigned long long>(req.id),
+                     total_s * 1e6, queue_wait_s * 1e6, service_s * 1e6,
+                     served.tiered ? tierName(served.tier) : "none",
+                     statusCodeName(outcome.ok()
+                                        ? StatusCode::Ok
+                                        : outcome.status().code()));
+        }
+
         req.promise.set_value(std::move(outcome));
     }
     {

@@ -53,6 +53,7 @@
 #include "engine/cascade.hh"
 #include "engine/metrics.hh"
 #include "engine/pool.hh"
+#include "engine/trace.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::engine {
@@ -100,6 +101,27 @@ struct EngineConfig
      * Hirschberg (exact, O(min(n,m)) memory) instead of failing them.
      */
     bool downgrade_under_pressure = true;
+
+    /**
+     * Span-ring capacity of the per-request trace recorder (0 disables
+     * tracing). Each traced request records ~5 spans, so the default
+     * keeps the last few hundred requests inspectable.
+     */
+    size_t trace_capacity = 2048;
+
+    /**
+     * Trace every Nth request (deterministic: request ids are monotonic
+     * and a request is traced iff id % N == 0). 1 traces everything;
+     * raise it on hot services to bound tracing cost. 0 disables.
+     */
+    u64 trace_sample_every = 1;
+
+    /**
+     * Requests whose end-to-end latency meets this threshold emit one
+     * warn-level log line (id, queue-wait/service split, tier, outcome)
+     * via common/logging. 0 disables the slow-request log.
+     */
+    std::chrono::nanoseconds slow_request_threshold{0};
 };
 
 /** Per-request options for Engine::submit. */
@@ -182,6 +204,9 @@ class Engine
     /** Point-in-time metrics (queue, pool, tiers, budget, latency). */
     MetricsSnapshot metrics() const;
 
+    /** The per-request span recorder (dump with trace().toJson()). */
+    const TraceRecorder &trace() const { return trace_; }
+
     const EngineConfig &config() const { return config_; }
     unsigned workerCount() const { return pool_.workerCount(); }
 
@@ -194,18 +219,39 @@ class Engine
         seq::SequencePair pair;
         align::PairAligner aligner; //!< empty => cascade routing
         bool want_cigar = true;
+        u64 id = 0;       //!< monotonic request id (tracing & slow log)
         size_t bases = 0; //!< pattern + text length, for micro-batching
         size_t estimated_bytes = 0; //!< footprint for the budget gate
         CancelToken cancel;         //!< user token + deadline, if any
         Clock::time_point enqueued;
+        Clock::time_point dispatched; //!< worker pickup (service start)
         std::promise<AlignOutcome> promise;
+    };
+
+    /**
+     * Everything runOne learns about one request beyond the outcome:
+     * which tier answered (when cascade/downgrade routing ran), the
+     * kernel work done, and the per-attempt breakdown for tracing and
+     * per-tier work attribution.
+     */
+    struct Served
+    {
+        AlignOutcome outcome;
+        bool tiered = false; //!< tier/cells/attempts are meaningful
+        Tier tier = Tier::Full;
+        u64 cells = 0;
+        u64 reserved_bytes = 0;
+        i64 admitted_us = 0; //!< trace time of the Admission span
+        std::vector<CascadeAttempt> attempts;
+
+        explicit Served(AlignOutcome o) : outcome(std::move(o)) {}
     };
 
     std::future<AlignOutcome> enqueue(Request req);
     void dispatchLoop();
     void runRequests(std::vector<Request> batch);
     /** Admission + kernel for one request; never throws. */
-    AlignOutcome runOne(Request &req);
+    Served runOne(Request &req);
     bool isSmall(const Request &req) const
     {
         return req.bases <= config_.microbatch_bases;
@@ -214,6 +260,8 @@ class Engine
     EngineConfig config_;
     EngineMetrics metrics_;
     MemoryBudget budget_;
+    TraceRecorder trace_; //!< before pool_: workers record during teardown
+    std::atomic<u64> next_id_{1};
     WorkStealingPool pool_;
 
     // Bounded MPMC request queue and its coordination.

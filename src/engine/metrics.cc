@@ -24,13 +24,24 @@ tierName(Tier t)
 void
 LatencyHistogram::record(double seconds)
 {
-    const double us = seconds * 1e6;
-    size_t bucket = 0;
-    if (us >= 1.0) {
+    double us = seconds * 1e6;
+    // Clamp garbage before std::log2 / the size_t cast see it: NaN and
+    // negative samples (stepped clocks) land in bucket 0 as 0us, +inf
+    // and oversized samples (fault-injected stalls) in the last bucket
+    // at its lower edge. kMaxUs = 2^(kBuckets-2) is that edge.
+    constexpr double kMaxUs = 1ull << (kBuckets - 2);
+    size_t bucket;
+    if (std::isnan(us) || us < 1.0) {
+        bucket = 0;
+        us = std::isnan(us) || us < 0.0 ? 0.0 : us;
+    } else if (us >= kMaxUs) {
+        bucket = kBuckets - 1;
+        us = kMaxUs;
+    } else {
         bucket = static_cast<size_t>(std::log2(us)) + 1;
-        bucket = std::min(bucket, kBuckets - 1);
     }
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
 }
 
 std::vector<u64>
@@ -83,6 +94,21 @@ quantileUs(const std::vector<u64> &buckets, u64 total, double q)
     return bucketUpperUs(buckets.size() - 1);
 }
 
+/** Summarize one live histogram into plain values. */
+LatencySummary
+summarize(const LatencyHistogram &h)
+{
+    LatencySummary s;
+    s.buckets = h.buckets();
+    for (u64 c : s.buckets)
+        s.count += c;
+    s.sum_us = h.sumUs();
+    s.mean_us = s.count ? s.sum_us / static_cast<double>(s.count) : 0.0;
+    s.p50_us = quantileUs(s.buckets, s.count, 0.50);
+    s.p99_us = quantileUs(s.buckets, s.count, 0.99);
+    return s;
+}
+
 } // namespace
 
 MetricsSnapshot
@@ -115,19 +141,37 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
         s.tier_hits[t] = tier_hits[t].load(std::memory_order_relaxed);
         s.tier_peak_bytes[t] =
             tier_peak_bytes[t].load(std::memory_order_relaxed);
+        MetricsSnapshot::TierStats &ts = s.tiers[t];
+        ts.attempts = tier_attempts[t].load(std::memory_order_relaxed);
+        ts.cells = tier_cells[t].load(std::memory_order_relaxed);
+        ts.work_us = tier_work_us[t].load(std::memory_order_relaxed);
+        // GCUPS = 1e9 cells/s; cells per microsecond is 1e6 cells/s.
+        ts.gcups = ts.work_us > 0.0
+                       ? static_cast<double>(ts.cells) / ts.work_us / 1e3
+                       : 0.0;
+        ts.queue_wait = summarize(queue_wait[t]);
+        ts.service = summarize(service[t]);
     }
-    s.latency_buckets = latency.buckets();
-    for (u64 c : s.latency_buckets)
-        s.latency_count += c;
-    const double total_us = latency_total_us.load(std::memory_order_relaxed);
-    s.latency_mean_us =
-        s.latency_count
-            ? total_us / static_cast<double>(s.latency_count)
-            : 0.0;
-    s.latency_p50_us = quantileUs(s.latency_buckets, s.latency_count, 0.50);
-    s.latency_p99_us = quantileUs(s.latency_buckets, s.latency_count, 0.99);
+    const LatencySummary total = summarize(latency);
+    s.latency_buckets = total.buckets;
+    s.latency_count = total.count;
+    s.latency_mean_us = total.mean_us;
+    s.latency_p50_us = total.p50_us;
+    s.latency_p99_us = total.p99_us;
     return s;
 }
+
+namespace {
+
+/** Emit {"count":..,"mean":..,"p50":..,"p99":..} for one summary. */
+void
+jsonSummary(std::ostringstream &os, const LatencySummary &s)
+{
+    os << "{\"count\":" << s.count << ",\"mean\":" << s.mean_us
+       << ",\"p50\":" << s.p50_us << ",\"p99\":" << s.p99_us << "}";
+}
+
+} // namespace
 
 std::string
 MetricsSnapshot::toJson() const
@@ -162,9 +206,19 @@ MetricsSnapshot::toJson() const
     for (unsigned t = 0; t < kTierCount; ++t) {
         if (t)
             os << ",";
+        const TierStats &ts = tiers[t];
         os << "\"" << tierName(static_cast<Tier>(t)) << "\":{"
            << "\"hits\":" << tier_hits[t]
-           << ",\"peak_bytes\":" << tier_peak_bytes[t] << "}";
+           << ",\"peak_bytes\":" << tier_peak_bytes[t]
+           << ",\"attempts\":" << ts.attempts
+           << ",\"cells\":" << ts.cells
+           << ",\"work_us\":" << ts.work_us
+           << ",\"gcups\":" << ts.gcups
+           << ",\"queue_wait_us\":";
+        jsonSummary(os, ts.queue_wait);
+        os << ",\"service_us\":";
+        jsonSummary(os, ts.service);
+        os << "}";
     }
     os << "}";
     os << ",\"latency_us\":{";

@@ -44,6 +44,13 @@ const char *tierName(Tier t);
  * bucket b counts samples in [2^(b-1), 2^b) microseconds (bucket 0 is
  * [0, 1us)). 32 buckets cover up to ~35 minutes, far beyond any
  * alignment latency this engine can produce.
+ *
+ * record() is robust to garbage durations: a stepped clock or a
+ * fault-injected stall can hand it a negative, NaN, or infinite value,
+ * and feeding any of those to std::log2 (or casting the result) is
+ * undefined. Negative and NaN samples clamp to bucket 0, oversized and
+ * +inf samples to the last bucket; the running sum is clamped the same
+ * way so mean latency stays finite.
  */
 class LatencyHistogram
 {
@@ -55,8 +62,26 @@ class LatencyHistogram
     /** Per-bucket counts (relaxed reads; consistent enough for reporting). */
     std::vector<u64> buckets() const;
 
+    /** Sum of recorded (clamped) samples in microseconds. */
+    double sumUs() const
+    {
+        return sum_us_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::array<std::atomic<u64>, kBuckets> buckets_{};
+    std::atomic<double> sum_us_{0.0};
+};
+
+/** Summary of one latency histogram, in microseconds. */
+struct LatencySummary
+{
+    std::vector<u64> buckets; //!< log2-microsecond histogram
+    u64 count = 0;
+    double sum_us = 0.0;
+    double mean_us = 0.0;
+    double p50_us = 0.0; //!< bucket-upper-bound approximation
+    double p99_us = 0.0;
 };
 
 /** Point-in-time copy of every engine counter. Plain values, no atomics. */
@@ -91,6 +116,26 @@ struct MetricsSnapshot
     // Cascade tiers.
     std::array<u64, kTierCount> tier_hits{}; //!< completions per tier
     std::array<u64, kTierCount> tier_peak_bytes{}; //!< max footprint per tier
+
+    /**
+     * Per-tier observability: kernel work accounting and the split
+     * latency story. Work (attempts/cells/work_us, hence gcups) is
+     * attributed per kernel invocation — a request that tries the band
+     * and escalates charges the banded tier for the failed attempt —
+     * while the queue-wait/service histograms are request-level and
+     * keyed by the tier that answered.
+     */
+    struct TierStats
+    {
+        u64 attempts = 0;   //!< kernel invocations routed at this tier
+        u64 cells = 0;      //!< DP cells computed by those invocations
+        double work_us = 0; //!< wall-clock microseconds spent in them
+        double gcups = 0;   //!< cells / work time, in 1e9 cells/s
+
+        LatencySummary queue_wait; //!< enqueue -> worker pickup
+        LatencySummary service;    //!< worker pickup -> result ready
+    };
+    std::array<TierStats, kTierCount> tiers{};
 
     // Latency, request submit -> future fulfilled.
     std::vector<u64> latency_buckets; //!< log2-microsecond histogram
@@ -129,8 +174,12 @@ class EngineMetrics
     std::atomic<u64> resource_rejected{0};
     std::array<std::atomic<u64>, kTierCount> tier_hits{};
     std::array<std::atomic<u64>, kTierCount> tier_peak_bytes{};
+    std::array<std::atomic<u64>, kTierCount> tier_attempts{};
+    std::array<std::atomic<u64>, kTierCount> tier_cells{};
+    std::array<std::atomic<double>, kTierCount> tier_work_us{};
+    std::array<LatencyHistogram, kTierCount> queue_wait{};
+    std::array<LatencyHistogram, kTierCount> service{};
     LatencyHistogram latency;
-    std::atomic<double> latency_total_us{0.0};
 
     /** Count a completion at @p t with its reserved footprint estimate. */
     void recordTier(Tier t, u64 estimated_bytes = 0)
@@ -138,6 +187,23 @@ class EngineMetrics
         const unsigned i = static_cast<unsigned>(t);
         tier_hits[i].fetch_add(1, std::memory_order_relaxed);
         noteMax(tier_peak_bytes[i], estimated_bytes);
+    }
+
+    /** Charge one kernel invocation's work to tier @p t. */
+    void recordAttempt(Tier t, u64 cells, double micros)
+    {
+        const unsigned i = static_cast<unsigned>(t);
+        tier_attempts[i].fetch_add(1, std::memory_order_relaxed);
+        tier_cells[i].fetch_add(cells, std::memory_order_relaxed);
+        tier_work_us[i].fetch_add(micros, std::memory_order_relaxed);
+    }
+
+    /** Record the split latency of a request answered by tier @p t. */
+    void recordTimings(Tier t, double queue_wait_s, double service_s)
+    {
+        const unsigned i = static_cast<unsigned>(t);
+        queue_wait[i].record(queue_wait_s);
+        service[i].record(service_s);
     }
 
     /** Raise queue_peak to at least @p depth (monotonic CAS loop). */

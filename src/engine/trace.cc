@@ -1,0 +1,128 @@
+#include "engine/trace.hh"
+
+#include <sstream>
+
+namespace gmx::engine {
+
+const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::Enqueue:
+        return "enqueue";
+      case TraceEvent::Dispatch:
+        return "dispatch";
+      case TraceEvent::Admission:
+        return "admission";
+      case TraceEvent::TierAttempt:
+        return "tier_attempt";
+      case TraceEvent::Complete:
+        return "complete";
+    }
+    return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity, u64 sample_every)
+    : capacity_(capacity), sample_every_(sample_every),
+      epoch_(Clock::now()), slots_(capacity)
+{
+}
+
+u64
+TraceRecorder::packMeta(TraceEvent event, bool has_tier, Tier tier,
+                        StatusCode code)
+{
+    // Byte 0: event, byte 1: tier (0xff = none), byte 2: status code.
+    const u64 tier_byte =
+        has_tier ? static_cast<u64>(tier) : u64{0xff};
+    return static_cast<u64>(event) | (tier_byte << 8) |
+           (static_cast<u64>(code) << 16);
+}
+
+void
+TraceRecorder::record(u64 id, TraceEvent event, i64 t_us, StatusCode code,
+                      u64 detail)
+{
+    push(id, event, t_us, /*has_tier=*/false, Tier::Full, code, detail);
+}
+
+void
+TraceRecorder::recordTier(u64 id, TraceEvent event, i64 t_us, Tier tier,
+                          StatusCode code, u64 detail)
+{
+    push(id, event, t_us, /*has_tier=*/true, tier, code, detail);
+}
+
+void
+TraceRecorder::push(u64 id, TraceEvent event, i64 t_us, bool has_tier,
+                    Tier tier, StatusCode code, u64 detail)
+{
+    if (!enabled())
+        return;
+    const u64 ticket = head_.fetch_add(1, std::memory_order_acq_rel);
+    Slot &slot = slots_[ticket % capacity_];
+    slot.seq.store(2 * ticket + 1, std::memory_order_release);
+    slot.id.store(id, std::memory_order_relaxed);
+    slot.meta.store(packMeta(event, has_tier, tier, code),
+                    std::memory_order_relaxed);
+    slot.time.store(static_cast<u64>(t_us), std::memory_order_relaxed);
+    slot.detail.store(detail, std::memory_order_relaxed);
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<TraceSpan>
+TraceRecorder::spans() const
+{
+    std::vector<TraceSpan> out;
+    if (!enabled())
+        return out;
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 first = head > capacity_ ? head - capacity_ : 0;
+    out.reserve(static_cast<size_t>(head - first));
+    for (u64 ticket = first; ticket < head; ++ticket) {
+        const Slot &slot = slots_[ticket % capacity_];
+        if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2)
+            continue; // being written, or already overwritten
+        TraceSpan span;
+        span.id = slot.id.load(std::memory_order_relaxed);
+        const u64 meta = slot.meta.load(std::memory_order_relaxed);
+        span.t_us =
+            static_cast<i64>(slot.time.load(std::memory_order_relaxed));
+        span.detail = slot.detail.load(std::memory_order_relaxed);
+        // Re-check: if a writer lapped us mid-read the fields are torn.
+        if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2)
+            continue;
+        span.event = static_cast<TraceEvent>(meta & 0xff);
+        const u64 tier_byte = (meta >> 8) & 0xff;
+        span.has_tier = tier_byte != 0xff;
+        span.tier = span.has_tier ? static_cast<Tier>(tier_byte)
+                                  : Tier::Full;
+        span.code = static_cast<StatusCode>((meta >> 16) & 0xff);
+        out.push_back(span);
+    }
+    return out;
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    const auto all = spans();
+    std::ostringstream os;
+    os << "{\"recorded\":" << recorded() << ",\"dropped\":" << dropped()
+       << ",\"spans\":[";
+    for (size_t i = 0; i < all.size(); ++i) {
+        const TraceSpan &s = all[i];
+        if (i)
+            os << ",";
+        os << "{\"id\":" << s.id << ",\"event\":\""
+           << traceEventName(s.event) << "\"";
+        if (s.has_tier)
+            os << ",\"tier\":\"" << tierName(s.tier) << "\"";
+        os << ",\"code\":\"" << statusCodeName(s.code) << "\""
+           << ",\"t_us\":" << s.t_us << ",\"detail\":" << s.detail << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace gmx::engine

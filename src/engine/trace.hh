@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-request tracing for the alignment engine.
+ *
+ * A traced request leaves a timeline of spans — enqueue, dispatch
+ * (worker pickup), admission (memory-budget decision), one span per
+ * cascade tier attempt, and completion with its outcome — each stamped
+ * with a steady-clock microsecond offset from the recorder's epoch.
+ * Spans land in a fixed-size lock-free ring buffer: writers claim a slot
+ * with one fetch_add and publish it with a seqlock-style sequence word,
+ * so recording never blocks a worker and a reader never observes a
+ * half-written span (torn slots are skipped, overwritten ones counted
+ * as dropped). Every slot field is a relaxed atomic, which keeps the
+ * ring ThreadSanitizer-clean by construction.
+ *
+ * Sampling is deterministic: request ids are assigned from a monotonic
+ * counter and a request is traced iff id % sample_every == 0, so a
+ * replayed workload traces the same requests.
+ */
+
+#ifndef GMX_ENGINE_TRACE_HH
+#define GMX_ENGINE_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "engine/metrics.hh"
+
+namespace gmx::engine {
+
+/** Lifecycle points a traced request passes through, in pipeline order. */
+enum class TraceEvent : u8 {
+    Enqueue = 0,  //!< accepted into the bounded queue
+    Dispatch,     //!< a pool worker picked the request up
+    Admission,    //!< memory-budget decision (detail = reserved bytes)
+    TierAttempt,  //!< one cascade kernel invocation (detail = cells)
+    Complete,     //!< future fulfilled (code = outcome, detail = cells)
+};
+
+/** Stable lower-case event name ("enqueue", "dispatch", ...). */
+const char *traceEventName(TraceEvent e);
+
+/** One decoded span from the ring. */
+struct TraceSpan
+{
+    u64 id = 0;              //!< request id (monotonic from 1)
+    TraceEvent event = TraceEvent::Enqueue;
+    bool has_tier = false;   //!< tier field is meaningful
+    Tier tier = Tier::Full;
+    StatusCode code = StatusCode::Ok;
+    u64 detail = 0;          //!< event-specific payload (bytes, cells)
+    i64 t_us = 0;            //!< microseconds since the recorder's epoch
+};
+
+/**
+ * Fixed-capacity lock-free span ring. One instance per Engine; capacity
+ * 0 disables recording entirely (record() becomes a cheap early-out).
+ */
+class TraceRecorder
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit TraceRecorder(size_t capacity = 1024, u64 sample_every = 1);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    bool enabled() const { return capacity_ != 0 && sample_every_ != 0; }
+
+    /** Whether request @p id is in the deterministic sample. */
+    bool sampled(u64 id) const
+    {
+        return enabled() && id % sample_every_ == 0;
+    }
+
+    /** Microseconds from the recorder's epoch to @p tp. */
+    i64 toUs(Clock::time_point tp) const
+    {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   tp - epoch_)
+            .count();
+    }
+
+    /** Microseconds from the recorder's epoch to now. */
+    i64 nowUs() const { return toUs(Clock::now()); }
+
+    /**
+     * Append one span. Wait-free: one fetch_add to claim a slot, relaxed
+     * stores to fill it, release stores on the sequence word to publish.
+     */
+    void record(u64 id, TraceEvent event, i64 t_us,
+                StatusCode code = StatusCode::Ok, u64 detail = 0);
+
+    /** Append one span carrying a tier (TierAttempt / Complete). */
+    void recordTier(u64 id, TraceEvent event, i64 t_us, Tier tier,
+                    StatusCode code = StatusCode::Ok, u64 detail = 0);
+
+    /**
+     * Decode the live ring, oldest surviving span first. Slots being
+     * written or already overwritten while decoding are skipped, so a
+     * concurrent dump is safe but may omit in-flight spans.
+     */
+    std::vector<TraceSpan> spans() const;
+
+    /** Spans ever recorded (including those the ring has overwritten). */
+    u64 recorded() const { return head_.load(std::memory_order_acquire); }
+
+    /** Spans lost to ring wrap-around. */
+    u64 dropped() const
+    {
+        const u64 head = recorded();
+        return head > capacity_ ? head - capacity_ : 0;
+    }
+
+    /**
+     * Dump as one JSON object: {"recorded":N,"dropped":N,"spans":[...]}
+     * with each span carrying id/event/tier/code/t_us/detail.
+     */
+    std::string toJson() const;
+
+  private:
+    /** Packed event|tier|code byte layout for the meta word. */
+    static u64 packMeta(TraceEvent event, bool has_tier, Tier tier,
+                        StatusCode code);
+
+    /** Common slot-claim/publish path behind both record overloads. */
+    void push(u64 id, TraceEvent event, i64 t_us, bool has_tier, Tier tier,
+              StatusCode code, u64 detail);
+
+    struct Slot
+    {
+        // seq == 2*ticket+1 while being written, 2*ticket+2 once
+        // published; a reader accepts a slot only when seq matches its
+        // ticket's published value before and after the field reads.
+        std::atomic<u64> seq{0};
+        std::atomic<u64> id{0};
+        std::atomic<u64> meta{0};
+        std::atomic<u64> time{0};
+        std::atomic<u64> detail{0};
+    };
+
+    size_t capacity_;
+    u64 sample_every_;
+    Clock::time_point epoch_;
+    std::vector<Slot> slots_;
+    std::atomic<u64> head_{0};
+};
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_TRACE_HH

@@ -18,7 +18,9 @@
 #include "align/nw.hh"
 #include "common/status.hh"
 #include "engine/engine.hh"
+#include "engine/exporter.hh"
 #include "engine/faults.hh"
+#include "engine/trace.hh"
 #include "sequence/dataset.hh"
 
 namespace gmx::engine {
@@ -204,6 +206,27 @@ TEST_F(Chaos, SeededStormHundredIterationsNoDeadlockNoLeakedFutures)
                       done.submitted)
                 << "seed=" << seed;
             (void)snap;
+
+            // The trace tells the same story as the counters: every
+            // accepted request leaves exactly one Enqueue and exactly one
+            // Complete span, whichever fault path it died on.
+            u64 enq = 0, complete = 0;
+            for (const auto &s : engine.trace().spans()) {
+                if (s.event == TraceEvent::Enqueue)
+                    ++enq;
+                else if (s.event == TraceEvent::Complete)
+                    ++complete;
+            }
+            EXPECT_EQ(engine.trace().dropped(), 0u) << "seed=" << seed;
+            EXPECT_EQ(enq, done.submitted) << "seed=" << seed;
+            EXPECT_EQ(complete, done.submitted) << "seed=" << seed;
+
+            // And the exporter renders it all without tripping over any
+            // fault-injected counter mix.
+            const std::string text = renderOpenMetrics(done);
+            ASSERT_GE(text.size(), 6u);
+            EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n")
+                << "seed=" << seed;
             // Engine destructor: graceful stop under armed faults.
         }
         for (size_t i = 0; i < futures.size(); ++i) {

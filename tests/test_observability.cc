@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Observability-layer tests: the trace recorder, kernel-work counters,
+ * split latency histograms, the OpenMetrics exporter — and the two
+ * memory-estimator regressions that motivated this layer (a budget gate
+ * is only as good as its closed forms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "align/nw.hh"
+#include "common/status.hh"
+#include "engine/budget.hh"
+#include "engine/engine.hh"
+#include "engine/exporter.hh"
+#include "engine/metrics.hh"
+#include "engine/trace.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::engine {
+namespace {
+
+using Outcome = Engine::AlignOutcome;
+
+// ---------------------------------------------------------------------------
+// Budget-estimator regressions.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetEstimators, HirschbergBytesCoverTextRowsWhenPatternIsShort)
+{
+    // Regression: the estimator used to size the DP rows over
+    // min(n, m) + 1, but hirschberg.cc's lastRow always allocates
+    // row(m + 1) over the TEXT. A short-pattern/long-text pair was
+    // under-estimated by orders of magnitude, so the budget gate admitted
+    // requests whose real footprint blew the cap.
+    const size_t n = 10;      // pattern
+    const size_t m = 100'000; // text
+    const size_t rows = 2 * (m + 1) * sizeof(i64); // what the kernel allocates
+    EXPECT_GE(hirschbergBytes(n, m), rows);
+
+    // And it may not balloon either: rows + O(n + m) op buffer.
+    EXPECT_LE(hirschbergBytes(n, m), rows + 2 * (n + m));
+
+    // Symmetric shape must still be covered.
+    EXPECT_GE(hirschbergBytes(m, m), 2 * (m + 1) * sizeof(i64));
+}
+
+TEST(BudgetEstimators, CascadeAutoFilterKKeepsTheSkewTerm)
+{
+    // The closed form is max(8, longer/16, skew + 4); all three regimes.
+    EXPECT_EQ(cascadeAutoFilterK(100, 100), 8);       // small, balanced
+    EXPECT_EQ(cascadeAutoFilterK(3200, 3200), 200);   // longer/16 wins
+    EXPECT_EQ(cascadeAutoFilterK(100, 2000), 1904);   // skew + 4 wins
+    EXPECT_EQ(cascadeAutoFilterK(2000, 100), 1904);   // symmetric in skew
+}
+
+TEST(BudgetEstimators, DistanceOnlyBytesSizeFilterFromTheSharedClosedForm)
+{
+    // Regression: the estimator used max(8, longer/16) for the Bitap
+    // filter budget and dropped the skew + 4 term the cascade actually
+    // routes with, so skewed pairs under-reserved the filter's (k+1)
+    // state vectors.
+    const size_t n = 256, m = 8192;
+    const unsigned tile = 32;
+    const size_t k =
+        static_cast<size_t>(cascadeAutoFilterK(n, m)) + 1; // 7940 + 1
+    const size_t filter = 2 * k * ((n + 63) / 64) * sizeof(u64);
+    EXPECT_GE(distanceOnlyBytes(n, m, tile), filter);
+
+    // The pre-fix closed form dropped the skew term: k would have been
+    // max(8, 8192/16) + 1 = 513, an order of magnitude under what the
+    // cascade actually allocates for this pair.
+    const size_t k_noskew = std::max<size_t>(8, m / 16) + 1;
+    const size_t filter_noskew = 2 * k_noskew * ((n + 63) / 64) * sizeof(u64);
+    EXPECT_GT(filter, 10 * filter_noskew);
+    EXPECT_GT(distanceOnlyBytes(n, m, tile), filter_noskew);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram robustness.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, ClampsNonFiniteAndNegativeDurations)
+{
+    LatencyHistogram h;
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(-1.0);
+    h.record(std::numeric_limits<double>::infinity());
+    h.record(1e9); // ~31 years, far past the last bucket
+    h.record(0.001); // 1000 us, a sane sample
+
+    const auto buckets = h.buckets();
+    u64 total = 0;
+    for (u64 b : buckets)
+        total += b;
+    EXPECT_EQ(total, 5u) << "every sample lands in exactly one bucket";
+
+    // NaN and negative clamp to bucket 0; inf and oversized to the last.
+    EXPECT_EQ(buckets.front(), 2u);
+    EXPECT_EQ(buckets.back(), 2u);
+
+    // The running sum stays finite (clamped samples contribute their
+    // clamped value).
+    EXPECT_TRUE(std::isfinite(h.sumUs()));
+    EXPECT_GE(h.sumUs(), 1000.0);
+}
+
+TEST(LatencyHistogram, BucketsArePowersOfTwoMicroseconds)
+{
+    LatencyHistogram h;
+    h.record(0.5e-6);  // 0.5 us -> bucket 0: [0, 1us)
+    h.record(1.5e-6);  // 1.5 us -> bucket 1: [1, 2us)
+    h.record(3e-6);    // 3 us   -> bucket 2: [2, 4us)
+    h.record(1000e-6); // 1000us -> bucket 10: [512, 1024us)
+    const auto b = h.buckets();
+    EXPECT_EQ(b[0], 1u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 1u);
+    EXPECT_EQ(b[10], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// NW kernel counters (the one aligner that predated KernelCounts).
+// ---------------------------------------------------------------------------
+
+TEST(KernelCounts, NwDistanceAndAlignChargeCells)
+{
+    seq::Generator gen(7);
+    const auto pair = gen.pair(100, 0.05);
+    const u64 expect =
+        static_cast<u64>(pair.pattern.size()) * pair.text.size();
+
+    align::KernelCounts c;
+    align::nwDistance(pair.pattern, pair.text, &c);
+    EXPECT_EQ(c.cells, expect);
+    EXPECT_GT(c.alu, 0u);
+
+    align::KernelCounts ca;
+    const auto res = align::nwAlign(pair.pattern, pair.text, &ca);
+    EXPECT_EQ(ca.cells, expect);
+    EXPECT_TRUE(res.has_cigar);
+    EXPECT_GT(ca.stores, ca.cells) << "traceback stores the direction matrix";
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, DeterministicSampling)
+{
+    TraceRecorder every(16, 1);
+    EXPECT_TRUE(every.sampled(1));
+    EXPECT_TRUE(every.sampled(2));
+
+    TraceRecorder third(16, 3);
+    EXPECT_FALSE(third.sampled(1));
+    EXPECT_FALSE(third.sampled(2));
+    EXPECT_TRUE(third.sampled(3));
+    EXPECT_TRUE(third.sampled(6));
+
+    TraceRecorder off(0, 1);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_FALSE(off.sampled(1));
+    off.record(1, TraceEvent::Enqueue, 0); // must be a harmless no-op
+    EXPECT_EQ(off.recorded(), 0u);
+}
+
+TEST(TraceRecorder, RingWrapKeepsTheNewestSpansAndCountsDrops)
+{
+    TraceRecorder ring(4, 1);
+    for (u64 i = 1; i <= 10; ++i)
+        ring.record(i, TraceEvent::Enqueue, static_cast<i64>(i));
+    EXPECT_EQ(ring.recorded(), 10u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    const auto spans = ring.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest surviving first: ids 7..10.
+    for (size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].id, 7 + i);
+}
+
+TEST(TraceRecorder, SpansRoundTripTierCodeAndDetail)
+{
+    TraceRecorder ring(8, 1);
+    ring.record(5, TraceEvent::Enqueue, 100);
+    ring.recordTier(5, TraceEvent::TierAttempt, 200, Tier::Banded,
+                    StatusCode::Ok, 4096);
+    ring.recordTier(5, TraceEvent::Complete, 300, Tier::Banded,
+                    StatusCode::DeadlineExceeded, 4096);
+
+    const auto spans = ring.spans();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].event, TraceEvent::Enqueue);
+    EXPECT_FALSE(spans[0].has_tier);
+    EXPECT_EQ(spans[1].event, TraceEvent::TierAttempt);
+    ASSERT_TRUE(spans[1].has_tier);
+    EXPECT_EQ(spans[1].tier, Tier::Banded);
+    EXPECT_EQ(spans[1].detail, 4096u);
+    EXPECT_EQ(spans[2].code, StatusCode::DeadlineExceeded);
+    EXPECT_EQ(spans[2].t_us, 300);
+
+    const std::string json = ring.toJson();
+    EXPECT_NE(json.find("\"recorded\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"tier\":\"banded\""), std::string::npos);
+    EXPECT_NE(json.find("\"code\":\"DEADLINE_EXCEEDED\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: engine traffic leaves ordered spans and reconciled counters.
+// ---------------------------------------------------------------------------
+
+/** Index of a lifecycle event in pipeline order. */
+int
+eventRank(TraceEvent e)
+{
+    return static_cast<int>(e);
+}
+
+TEST(EngineObservability, SpansArriveInPipelineOrderPerRequest)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.trace_capacity = 4096;
+    cfg.trace_sample_every = 1;
+    Engine engine(cfg);
+
+    seq::Generator gen(31);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 12; ++i)
+        pairs.push_back(gen.pair(200, 0.05));
+    const auto results = engine.alignAll(pairs, true);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+
+    std::map<u64, std::vector<TraceSpan>> by_id;
+    for (const auto &s : engine.trace().spans())
+        by_id[s.id].push_back(s);
+    ASSERT_EQ(by_id.size(), pairs.size());
+
+    for (const auto &[id, spans] : by_id) {
+        // Every traced request walks the full pipeline: enqueue, dispatch,
+        // admission, at least one tier attempt, completion.
+        ASSERT_GE(spans.size(), 5u) << "request " << id;
+        EXPECT_EQ(spans.front().event, TraceEvent::Enqueue);
+        EXPECT_EQ(spans.back().event, TraceEvent::Complete);
+        EXPECT_EQ(spans.back().code, StatusCode::Ok);
+        for (size_t i = 1; i < spans.size(); ++i) {
+            EXPECT_LE(eventRank(spans[i - 1].event), eventRank(spans[i].event))
+                << "request " << id << " span " << i;
+            EXPECT_LE(spans[i - 1].t_us, spans[i].t_us)
+                << "request " << id << " span " << i
+                << ": timestamps must be monotonic";
+        }
+        // Tier attempts carry the cells they computed.
+        for (const auto &s : spans) {
+            if (s.event == TraceEvent::TierAttempt) {
+                EXPECT_TRUE(s.has_tier);
+                EXPECT_GT(s.detail, 0u) << "attempt with zero cells";
+            }
+        }
+    }
+}
+
+TEST(EngineObservability, SamplingTracesEveryNthRequestOnly)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.trace_sample_every = 4;
+    Engine engine(cfg);
+
+    seq::Generator gen(37);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 16; ++i)
+        pairs.push_back(gen.pair(100, 0.02));
+    engine.alignAll(pairs, false);
+
+    for (const auto &s : engine.trace().spans())
+        EXPECT_EQ(s.id % 4, 0u) << "unsampled request leaked into the ring";
+    EXPECT_GT(engine.trace().recorded(), 0u);
+}
+
+TEST(EngineObservability, CountersReconcileAndTiersAccountTheWork)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+
+    seq::Generator gen(41);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 20; ++i)
+        pairs.push_back(gen.pair(300, i % 2 ? 0.02 : 0.25));
+    const auto results = engine.alignAll(pairs, true);
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok());
+
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.submitted, pairs.size());
+    EXPECT_EQ(snap.completed + snap.failed + snap.shed, snap.submitted);
+    EXPECT_EQ(snap.completed, pairs.size());
+
+    u64 hits = 0, attempts = 0, cells = 0, qwait = 0, service = 0;
+    double work_us = 0;
+    for (const auto &t : snap.tiers) {
+        attempts += t.attempts;
+        cells += t.cells;
+        work_us += t.work_us;
+        qwait += t.queue_wait.count;
+        service += t.service.count;
+    }
+    for (u64 h : snap.tier_hits)
+        hits += h;
+
+    // Every cascade-routed completion lands in exactly one tier, and its
+    // split timings land with it.
+    EXPECT_EQ(hits, snap.completed);
+    EXPECT_EQ(qwait, snap.completed);
+    EXPECT_EQ(service, snap.completed);
+    EXPECT_EQ(snap.latency_count, snap.completed);
+
+    // Escalations charge their failed attempts: attempts >= completions,
+    // and real kernel work was accounted.
+    EXPECT_GE(attempts, snap.completed);
+    EXPECT_GT(cells, 0u);
+    EXPECT_GT(work_us, 0.0);
+    for (const auto &t : snap.tiers) {
+        if (t.work_us > 0) {
+            EXPECT_NEAR(t.gcups, t.cells / t.work_us / 1e3,
+                        1e-9 + t.gcups * 1e-9);
+        }
+    }
+}
+
+TEST(EngineObservability, ShedRequestsAreCountedExactlyOnceAndTraced)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 1;
+    cfg.backpressure = Backpressure::ShedOldest;
+    cfg.microbatch_max = 1;
+    Engine engine(cfg);
+
+    // A gate the aligner blocks on, so the queue genuinely backs up.
+    auto release = std::make_shared<std::promise<void>>();
+    std::shared_future<void> gate = release->get_future().share();
+    align::PairAligner blocker = [gate](const seq::SequencePair &) {
+        gate.wait();
+        align::AlignResult r;
+        r.distance = 0;
+        return r;
+    };
+
+    seq::Generator gen(43);
+    std::vector<std::future<Outcome>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(engine.submit(gen.pair(64, 0.0), blocker));
+    release->set_value();
+    engine.drain();
+
+    u64 overloaded = 0, ok = 0;
+    for (auto &f : futures) {
+        auto res = f.get();
+        if (res.ok())
+            ++ok;
+        else if (res.code() == StatusCode::Overloaded)
+            ++overloaded;
+    }
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.submitted, 8u);
+    EXPECT_EQ(snap.shed, overloaded);
+    EXPECT_EQ(snap.completed, ok);
+    // The reconciliation invariant: everything accepted is accounted for
+    // exactly once.
+    EXPECT_EQ(snap.completed + snap.failed + snap.shed, snap.submitted);
+
+    // Every shed victim still gets a Complete span with the Overloaded
+    // code — its timeline ends, it does not just vanish from the trace.
+    u64 shed_spans = 0;
+    for (const auto &s : engine.trace().spans())
+        if (s.event == TraceEvent::Complete &&
+            s.code == StatusCode::Overloaded)
+            ++shed_spans;
+    EXPECT_EQ(shed_spans, snap.shed);
+}
+
+TEST(EngineObservability, SlowRequestThresholdLogsOneWarnLine)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.slow_request_threshold = std::chrono::nanoseconds(1); // everything
+    Engine engine(cfg);
+
+    seq::Generator gen(47);
+    testing::internal::CaptureStderr();
+    auto f = engine.submit(gen.pair(100, 0.05), false);
+    ASSERT_TRUE(f.get().ok());
+    engine.drain();
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("slow request"), std::string::npos) << err;
+    EXPECT_NE(err.find("queue_wait="), std::string::npos);
+    EXPECT_NE(err.find("service="), std::string::npos);
+    EXPECT_NE(err.find("tier="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics exporter.
+// ---------------------------------------------------------------------------
+
+/** Extract the value of a single-sample series like "name 12". */
+double
+seriesValue(const std::string &text, const std::string &name)
+{
+    const auto pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << "missing series " << name;
+    if (pos == std::string::npos)
+        return -1;
+    return std::stod(text.substr(pos + name.size() + 2));
+}
+
+TEST(Exporter, RendersValidOpenMetricsText)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    seq::Generator gen(53);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 10; ++i)
+        pairs.push_back(gen.pair(150, 0.05));
+    engine.alignAll(pairs, true);
+
+    const auto snap = engine.metrics();
+    const std::string text = renderOpenMetrics(snap);
+
+    // Structural requirements of the OpenMetrics text format.
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    EXPECT_NE(text.find("# TYPE gmx_requests_submitted counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE gmx_request_latency_seconds histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\"}"), std::string::npos);
+    EXPECT_NE(text.find("gmx_tier_gcups{tier=\"banded\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("gmx_queue_wait_seconds_bucket{tier=\""),
+              std::string::npos);
+
+    // Values round-trip from the snapshot.
+    EXPECT_EQ(seriesValue(text, "gmx_requests_submitted_total"),
+              static_cast<double>(snap.submitted));
+    EXPECT_EQ(seriesValue(text, "gmx_requests_completed_total"),
+              static_cast<double>(snap.completed));
+    EXPECT_EQ(seriesValue(text, "gmx_pool_workers"),
+              static_cast<double>(snap.pool_workers));
+
+    // Histogram buckets are cumulative: the +Inf bucket of the request
+    // latency histogram equals its _count.
+    const auto inf = text.find(
+        "gmx_request_latency_seconds_bucket{le=\"+Inf\"} ");
+    ASSERT_NE(inf, std::string::npos);
+    const u64 inf_count = std::stoull(
+        text.substr(inf + std::string("gmx_request_latency_seconds_bucket"
+                                      "{le=\"+Inf\"} ")
+                              .size()));
+    EXPECT_EQ(inf_count, snap.latency_count);
+
+    // Every line is either a comment or "name[{labels}] value".
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#')
+            continue;
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    }
+}
+
+TEST(Exporter, EmptyEngineStillRendersCompleteFamilies)
+{
+    EngineConfig cfg;
+    cfg.workers = 1;
+    Engine engine(cfg);
+    const std::string text = renderOpenMetrics(engine.metrics());
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    EXPECT_EQ(seriesValue(text, "gmx_requests_submitted_total"), 0.0);
+    // All-zero histograms still emit their +Inf bucket, sum and count.
+    EXPECT_NE(text.find("gmx_request_latency_seconds_bucket{le=\"+Inf\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("gmx_request_latency_seconds_count 0"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gmx::engine
