@@ -11,22 +11,40 @@
  *
  * Runs argument-free. Speedup is relative to the 1-worker row of the same
  * queue capacity; on machines with fewer hardware threads than the row's
- * worker count, speedup saturates at the hardware.
+ * worker count, speedup saturates at the hardware. With `--serve <port>`
+ * (0 = ephemeral) it finishes the sweep, re-runs the workload on a fresh
+ * engine, and serves that engine's /metrics, /vars, /trace and /healthz
+ * until SIGINT/SIGTERM, so a scraper can be pointed at a benchmark run.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.hh"
 #include "common/timer.hh"
 #include "engine/engine.hh"
 #include "engine/exporter.hh"
+#include "engine/server.hh"
 #include "sequence/generator.hh"
 
 using namespace gmx;
 
 namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
 
 /**
  * Mixed-divergence workload: one third short reads at low error (filter
@@ -64,8 +82,18 @@ totalBases(const std::vector<seq::SequencePair> &pairs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int serve_port = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+            serve_port = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--serve <port>]\n", argv[0]);
+            return 2;
+        }
+    }
+
     const size_t kPairs = 1200;
     const auto workload = makeWorkload(kPairs, 20230711);
     const double mbases =
@@ -198,5 +226,38 @@ main()
     // The same snapshot in the format a Prometheus scraper would ingest.
     std::printf("\n--- OpenMetrics scrape (last sweep run) ---\n%s",
                 engine::renderOpenMetrics(last_snapshot).c_str());
+
+    // Scrape mode: replay the workload on a fresh engine and serve its
+    // live observability surfaces until a signal arrives.
+    if (serve_port >= 0) {
+        engine::EngineConfig cfg;
+        cfg.workers = 4;
+        cfg.slow_request_threshold = std::chrono::milliseconds(5);
+        engine::Engine eng(cfg);
+        for (const auto &pair : workload) {
+            engine::SubmitOptions opts;
+            opts.want_cigar = false;
+            (void)eng.submit(pair, std::move(opts));
+        }
+        eng.drain();
+        engine::ServerConfig scfg;
+        scfg.port = static_cast<u16>(serve_port);
+        engine::MetricsServer server(eng, scfg);
+        if (Status s = server.start(); !s.ok()) {
+            std::fprintf(stderr, "serve failed: %s\n",
+                         s.toString().c_str());
+            return 1;
+        }
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::printf("serving on http://127.0.0.1:%u "
+                    "(/metrics /vars /trace /healthz); "
+                    "SIGINT/SIGTERM to stop\n",
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        server.stop();
+    }
     return 0;
 }

@@ -15,27 +15,66 @@
  * Doubles as an integration test: exits nonzero when any cascade result
  * disagrees with the Full(DP) ground truth or when the tier accounting
  * does not add up.
+ *
+ * With `--serve <port>` (0 = ephemeral) the demo keeps the engine alive
+ * after the workload and serves /metrics, /vars, /trace and /healthz
+ * over HTTP until SIGINT/SIGTERM — the smallest possible "monitored
+ * alignment service":
+ *
+ *   ./throughput_demo --serve 9100 &
+ *   curl localhost:9100/metrics
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "align/nw.hh"
 #include "engine/engine.hh"
 #include "engine/exporter.hh"
+#include "engine/server.hh"
 #include "sequence/generator.hh"
 
 using namespace gmx;
 
-int
-main()
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
 {
+    g_stop.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int serve_port = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+            serve_port = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--serve <port>]\n", argv[0]);
+            return 2;
+        }
+    }
     // A service-shaped engine: persistent workers, bounded queue,
     // blocking backpressure, cascade routing.
     engine::EngineConfig cfg;
     cfg.workers = 4;
     cfg.queue_capacity = 256;
     cfg.backpressure = engine::Backpressure::Block;
+    // Anything beyond 5 ms is a slow request: populates the /trace
+    // slow-request exemplar lanes when serving.
+    cfg.slow_request_threshold = std::chrono::milliseconds(5);
     engine::Engine eng(cfg);
 
     // Mixed traffic: mostly near-identical short reads, some moderately
@@ -121,5 +160,30 @@ main()
         return 1;
     }
     std::printf("OK\n");
+
+    // Scrape mode: keep the engine alive and serve its observability
+    // surfaces until a signal arrives.
+    if (serve_port >= 0) {
+        engine::ServerConfig scfg;
+        scfg.port = static_cast<u16>(serve_port);
+        engine::MetricsServer server(eng, scfg);
+        if (Status s = server.start(); !s.ok()) {
+            std::fprintf(stderr, "serve failed: %s\n",
+                         s.toString().c_str());
+            return 1;
+        }
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::printf("serving on http://127.0.0.1:%u "
+                    "(/metrics /vars /trace /healthz); "
+                    "SIGINT/SIGTERM to stop\n",
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        while (!g_stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        server.stop();
+        std::printf("scrape server stopped after %llu responses\n",
+                    static_cast<unsigned long long>(server.served()));
+    }
     return 0;
 }

@@ -29,10 +29,46 @@ echo "== Observability pass (-Werror build, trace/exporter under TSan) =="
 # New warnings in the observability layer may not land silently, and the
 # lock-free trace ring must stay race-clean: build the observability
 # tests with warnings-as-errors AND ThreadSanitizer, then run them.
+# test_trace hosts the TraceRecorder multi-writer wrap stress, so it
+# rides in this leg too.
 cmake -B build-obs -S . -DGMX_WERROR=ON -DGMX_SANITIZE=thread
-cmake --build build-obs -j"$(nproc)" --target test_observability
+cmake --build build-obs -j"$(nproc)" --target test_observability test_trace
 ctest --test-dir build-obs --output-on-failure -j"$(nproc)" \
     -R 'Observability|TraceRecorder|Exporter|LatencyHistogram|BudgetEstimators|KernelCounts'
+
+echo "== Scrape-server pass (-Werror + ASan, live curl smoke) =="
+# The metrics server owns threads and fds; AddressSanitizer turns a leak
+# on any path — including graceful shutdown with in-flight connections —
+# into a test failure. The curl smoke drives the real demo end to end.
+cmake -B build-server -S . -DGMX_WERROR=ON -DGMX_SANITIZE=address
+cmake --build build-server -j"$(nproc)" --target test_server throughput_demo
+ctest --test-dir build-server --output-on-failure -j"$(nproc)" \
+    -R 'MetricsServer'
+serve_log="$(mktemp)"
+build-server/examples/throughput_demo --serve 0 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's|.*serving on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' \
+        "$serve_log")"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "throughput_demo exited before serving:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+[[ -n "$port" ]] || { echo "no serve port in demo output" >&2; exit 1; }
+curl -fsS "http://127.0.0.1:$port/healthz" | grep -q '^ok$'
+curl -fsS "http://127.0.0.1:$port/metrics" | tail -1 | grep -q '^# EOF$'
+curl -fsS "http://127.0.0.1:$port/vars" | grep -q '"completed":'
+kill "$serve_pid"
+wait "$serve_pid"
+trap - EXIT
+rm -f "$serve_log"
+echo "scrape smoke OK (port $port)"
 
 sanitize="${GMX_SANITIZE:-}"
 

@@ -405,6 +405,17 @@ Engine::runRequests(std::vector<Request> batch)
                      statusCodeName(outcome.ok()
                                         ? StatusCode::Ok
                                         : outcome.status().code()));
+            SlowExemplar ex;
+            ex.id = req.id;
+            ex.has_tier = served.tiered;
+            ex.tier = served.tier;
+            ex.code =
+                outcome.ok() ? StatusCode::Ok : outcome.status().code();
+            ex.total_us = total_s * 1e6;
+            ex.queue_wait_us = queue_wait_s * 1e6;
+            ex.service_us = service_s * 1e6;
+            ex.completed_us = trace_.toUs(done);
+            slow_.note(ex);
         }
 
         req.promise.set_value(std::move(outcome));

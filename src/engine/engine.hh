@@ -207,6 +207,13 @@ class Engine
     /** The per-request span recorder (dump with trace().toJson()). */
     const TraceRecorder &trace() const { return trace_; }
 
+    /**
+     * Rolling slow-request exemplars, keyed by answering tier. Populated
+     * whenever a request meets config().slow_request_threshold (the same
+     * condition as the warn log); served by MetricsServer under /trace.
+     */
+    const SlowRequestStore &slowRequests() const { return slow_; }
+
     const EngineConfig &config() const { return config_; }
     unsigned workerCount() const { return pool_.workerCount(); }
 
@@ -261,6 +268,7 @@ class Engine
     EngineMetrics metrics_;
     MemoryBudget budget_;
     TraceRecorder trace_; //!< before pool_: workers record during teardown
+    SlowRequestStore slow_;
     std::atomic<u64> next_id_{1};
     WorkStealingPool pool_;
 

@@ -1,6 +1,5 @@
 #include "engine/exporter.hh"
 
-#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -8,12 +7,15 @@ namespace gmx::engine {
 
 namespace {
 
-/** Upper edge of log2-microsecond bucket b, in seconds. */
+/**
+ * Upper edge of log2-microsecond bucket b, in seconds. Thin wrapper over
+ * the shared latencyBucketUpperUs so exported `le` labels can never
+ * drift from the snapshot's quantile edges.
+ */
 double
 bucketUpperSeconds(size_t b)
 {
-    const double us = b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
-    return us * 1e-6;
+    return latencyBucketUpperUs(b) * 1e-6;
 }
 
 /** Shortest round-trippable decimal for a double ("0.001", "1.5e-05"). */
@@ -137,9 +139,7 @@ renderOpenMetrics(const MetricsSnapshot &snap)
     // Latency histograms: end-to-end, then the queue-wait/service split.
     os << "# TYPE gmx_request_latency_seconds histogram\n";
     histogramSeries(os, "gmx_request_latency_seconds", nullptr,
-                    snap.latency_buckets,
-                    snap.latency_mean_us *
-                        static_cast<double>(snap.latency_count),
+                    snap.latency_buckets, snap.latency_sum_us,
                     snap.latency_count);
     os << "# TYPE gmx_queue_wait_seconds histogram\n";
     for (unsigned t = 0; t < kTierCount; ++t) {

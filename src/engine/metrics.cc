@@ -71,13 +71,6 @@ EngineMetrics::notePeak(u64 depth)
 
 namespace {
 
-/** Upper edge of histogram bucket b in microseconds. */
-double
-bucketUpperUs(size_t b)
-{
-    return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
-}
-
 /** Approximate quantile from the log2 histogram (bucket upper bound). */
 double
 quantileUs(const std::vector<u64> &buckets, u64 total, double q)
@@ -89,9 +82,9 @@ quantileUs(const std::vector<u64> &buckets, u64 total, double q)
     for (size_t b = 0; b < buckets.size(); ++b) {
         seen += static_cast<double>(buckets[b]);
         if (seen >= target)
-            return bucketUpperUs(b);
+            return latencyBucketUpperUs(b);
     }
-    return bucketUpperUs(buckets.size() - 1);
+    return latencyBucketUpperUs(buckets.size() - 1);
 }
 
 /** Summarize one live histogram into plain values. */
@@ -155,6 +148,7 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
     const LatencySummary total = summarize(latency);
     s.latency_buckets = total.buckets;
     s.latency_count = total.count;
+    s.latency_sum_us = total.sum_us;
     s.latency_mean_us = total.mean_us;
     s.latency_p50_us = total.p50_us;
     s.latency_p99_us = total.p99_us;
@@ -163,12 +157,13 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
 
 namespace {
 
-/** Emit {"count":..,"mean":..,"p50":..,"p99":..} for one summary. */
+/** Emit {"count":..,"sum":..,"mean":..,"p50":..,"p99":..} for a summary. */
 void
 jsonSummary(std::ostringstream &os, const LatencySummary &s)
 {
-    os << "{\"count\":" << s.count << ",\"mean\":" << s.mean_us
-       << ",\"p50\":" << s.p50_us << ",\"p99\":" << s.p99_us << "}";
+    os << "{\"count\":" << s.count << ",\"sum\":" << s.sum_us
+       << ",\"mean\":" << s.mean_us << ",\"p50\":" << s.p50_us
+       << ",\"p99\":" << s.p99_us << "}";
 }
 
 } // namespace
@@ -223,6 +218,7 @@ MetricsSnapshot::toJson() const
     os << "}";
     os << ",\"latency_us\":{";
     os << "\"count\":" << latency_count;
+    os << ",\"sum\":" << latency_sum_us;
     os << ",\"mean\":" << latency_mean_us;
     os << ",\"p50\":" << latency_p50_us;
     os << ",\"p99\":" << latency_p99_us;

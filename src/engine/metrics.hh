@@ -14,6 +14,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,19 @@ inline constexpr unsigned kTierCount = 4;
 
 /** Human-readable tier name ("filter" / "banded" / "full" / "downgraded"). */
 const char *tierName(Tier t);
+
+/**
+ * Upper edge of log2-microsecond latency bucket @p b, in microseconds
+ * (bucket 0 is [0, 1us), bucket b>0 is [2^(b-1), 2^b) us). The ONE
+ * definition of the bucket-edge function: the snapshot's quantile
+ * approximation and the OpenMetrics exporter's `le` labels both use it,
+ * so a reported p99 and the scraped bucket it falls in cannot drift.
+ */
+inline double
+latencyBucketUpperUs(size_t b)
+{
+    return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+}
 
 /**
  * Lock-free latency histogram with power-of-two microsecond buckets:
@@ -140,6 +154,7 @@ struct MetricsSnapshot
     // Latency, request submit -> future fulfilled.
     std::vector<u64> latency_buckets; //!< log2-microsecond histogram
     u64 latency_count = 0;
+    double latency_sum_us = 0.0; //!< true running sum, not mean * count
     double latency_mean_us = 0.0;
     double latency_p50_us = 0.0;
     double latency_p99_us = 0.0;

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * HTTP/1.1 scrape server for the engine's observability surfaces.
+ *
+ * PR 3 made the engine inspectable through library calls
+ * (MetricsSnapshot::toJson, renderOpenMetrics, TraceRecorder::toJson);
+ * this server puts those behind a real socket so a deployed engine can
+ * be monitored the way any production service is: a Prometheus scraper
+ * polls /metrics, a dashboard reads /vars, an operator chasing one slow
+ * request hits /trace?id=N, and an orchestrator health-checks /healthz.
+ *
+ * Endpoints (GET only; anything else is 405):
+ *
+ *   /metrics      OpenMetrics text (renderOpenMetrics of a live snapshot)
+ *   /vars         the same snapshot as JSON (MetricsSnapshot::toJson)
+ *   /trace        span ring + slow-request exemplars, one JSON object
+ *   /trace?id=N   one request's span timeline (404 when not in the ring)
+ *   /healthz      200 "ok" liveness probe
+ *
+ * Deliberately dependency-free and blocking: one accept-loop thread
+ * multiplexes the TCP listener, the optional unix-domain listener, and a
+ * self-pipe via poll(); accepted connections are handed to a small fixed
+ * pool of handler threads over a mutex+cv queue. Robustness is the
+ * point, not throughput — a scrape endpoint serves a handful of pollers:
+ *
+ *   - hard cap on concurrent connections (503 beyond it, never queued
+ *     unboundedly),
+ *   - per-connection SO_RCVTIMEO/SO_SNDTIMEO deadlines, so a slow or
+ *     dead client can stall a handler for at most io_timeout (408),
+ *   - request-line + header size cap (431),
+ *   - one request per connection ("Connection: close"), no keep-alive
+ *     state machine to get wrong,
+ *   - graceful stop(): the self-pipe unblocks poll(), handlers drain the
+ *     accepted-connection queue, and every thread is joined before
+ *     stop() returns — no leaked fds or threads under ASan.
+ *
+ * Fault-injection integration (GMX_FAULT_INJECTION builds): QueueFull
+ * forces the connection cap (503), TaskError fails a /metrics render
+ * (500), and WorkerStall sleeps a handler mid-request, so test_chaos
+ * can storm the scrape path with the same seeded harness as the engine.
+ */
+
+#ifndef GMX_ENGINE_SERVER_HH
+#define GMX_ENGINE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace gmx::engine {
+
+class Engine;
+
+/** MetricsServer construction parameters. */
+struct ServerConfig
+{
+    /** TCP bind address. */
+    std::string host = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (read it back via port()). */
+    u16 port = 0;
+
+    /** Also listen on this unix-domain socket path (empty = TCP only). */
+    std::string unix_path{};
+
+    /** Handler pool size (>= 1; each handler serves one connection). */
+    unsigned handler_threads = 2;
+
+    /**
+     * Hard cap on concurrent accepted connections (queued + in-flight).
+     * Connections beyond it are answered 503 and closed immediately.
+     */
+    unsigned max_connections = 32;
+
+    /** Per-connection read/write deadline (SO_RCVTIMEO / SO_SNDTIMEO). */
+    std::chrono::milliseconds io_timeout{2000};
+
+    /** Request line + headers cap; longer requests are answered 431. */
+    size_t max_request_bytes = 8192;
+};
+
+/**
+ * Blocking-socket HTTP/1.1 scrape server over one Engine. Start it next
+ * to the engine, point a scraper at it, stop() (or destroy) to shut
+ * down; stop is graceful and idempotent. The referenced engine must
+ * outlive the server.
+ */
+class MetricsServer
+{
+  public:
+    explicit MetricsServer(const Engine &engine, ServerConfig config = {});
+    ~MetricsServer();
+
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept loop + handler pool. Returns a
+     * typed error (and holds no resources) when a socket call fails —
+     * e.g. the port is taken or the unix path is not bindable.
+     */
+    Status start();
+
+    /**
+     * Graceful shutdown: unblock the accept loop via the self-pipe,
+     * serve every already-accepted connection, join all threads, close
+     * all sockets. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /** Bound TCP port (resolves port 0); 0 before start(). */
+    u16 port() const { return bound_port_; }
+
+    /** Responses written (any status), and connections refused with 503. */
+    u64 served() const { return served_.load(std::memory_order_relaxed); }
+    u64 refused() const { return refused_.load(std::memory_order_relaxed); }
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    /** One parsed request line. */
+    struct RequestLine
+    {
+        std::string method;
+        std::string path;  //!< target before '?'
+        std::string query; //!< target after '?' (no '?')
+    };
+
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+
+    /** Read until the blank line; returns false to drop with no reply. */
+    bool readRequest(int fd, std::string &raw, int &error_status);
+    /** Route a parsed request to a body + content type. */
+    int route(const RequestLine &req, std::string &body,
+              std::string &content_type) const;
+    static bool parseRequestLine(const std::string &raw, RequestLine &out);
+    void respond(int fd, int status, const std::string &content_type,
+                 const std::string &body);
+    static void closeFd(int &fd);
+
+    const Engine &engine_;
+    ServerConfig config_;
+
+    int tcp_fd_ = -1;
+    int unix_fd_ = -1;
+    int wake_fd_[2] = {-1, -1}; //!< self-pipe: stop() -> accept poll()
+    u16 bound_port_ = 0;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<unsigned> active_{0}; //!< queued + in-flight connections
+    std::atomic<u64> served_{0};
+    std::atomic<u64> refused_{0};
+
+    std::mutex mu_;
+    std::condition_variable conn_cv_;
+    std::deque<int> conn_queue_; //!< accepted fds awaiting a handler
+
+    std::thread acceptor_;
+    std::vector<std::thread> handlers_;
+};
+
+} // namespace gmx::engine
+
+#endif // GMX_ENGINE_SERVER_HH

@@ -61,7 +61,20 @@ TraceRecorder::push(u64 id, TraceEvent event, i64 t_us, bool has_tier,
         return;
     const u64 ticket = head_.fetch_add(1, std::memory_order_acq_rel);
     Slot &slot = slots_[ticket % capacity_];
-    slot.seq.store(2 * ticket + 1, std::memory_order_release);
+    // Claim the slot: its sequence must still be the previous lap's
+    // published value (0 on the first lap). An unconditional store here
+    // would let a writer that was descheduled for a whole ring lap stamp
+    // its stale seq over a newer ticket's claim; the two writers' field
+    // stores could then interleave, and a reader double-checking seq
+    // would accept the torn mixture as a valid span. If the slot has
+    // moved on, drop this span instead.
+    u64 expected = ticket >= capacity_ ? 2 * (ticket - capacity_) + 2 : 0;
+    if (!slot.seq.compare_exchange_strong(expected, 2 * ticket + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        lost_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     slot.id.store(id, std::memory_order_relaxed);
     slot.meta.store(packMeta(event, has_tier, tier, code),
                     std::memory_order_relaxed);
@@ -103,6 +116,32 @@ TraceRecorder::spans() const
     return out;
 }
 
+std::vector<TraceSpan>
+TraceRecorder::spansFor(u64 id) const
+{
+    std::vector<TraceSpan> out;
+    for (const TraceSpan &s : spans())
+        if (s.id == id)
+            out.push_back(s);
+    return out;
+}
+
+namespace {
+
+/** Emit one span object; shared by the full dump and the id lookup. */
+void
+spanJson(std::ostringstream &os, const TraceSpan &s)
+{
+    os << "{\"id\":" << s.id << ",\"event\":\"" << traceEventName(s.event)
+       << "\"";
+    if (s.has_tier)
+        os << ",\"tier\":\"" << tierName(s.tier) << "\"";
+    os << ",\"code\":\"" << statusCodeName(s.code) << "\""
+       << ",\"t_us\":" << s.t_us << ",\"detail\":" << s.detail << "}";
+}
+
+} // namespace
+
 std::string
 TraceRecorder::toJson() const
 {
@@ -111,17 +150,89 @@ TraceRecorder::toJson() const
     os << "{\"recorded\":" << recorded() << ",\"dropped\":" << dropped()
        << ",\"spans\":[";
     for (size_t i = 0; i < all.size(); ++i) {
-        const TraceSpan &s = all[i];
         if (i)
             os << ",";
-        os << "{\"id\":" << s.id << ",\"event\":\""
-           << traceEventName(s.event) << "\"";
-        if (s.has_tier)
-            os << ",\"tier\":\"" << tierName(s.tier) << "\"";
-        os << ",\"code\":\"" << statusCodeName(s.code) << "\""
-           << ",\"t_us\":" << s.t_us << ",\"detail\":" << s.detail << "}";
+        spanJson(os, all[i]);
     }
     os << "]}";
+    return os.str();
+}
+
+std::string
+TraceRecorder::jsonFor(u64 id) const
+{
+    const auto mine = spansFor(id);
+    std::ostringstream os;
+    os << "{\"id\":" << id
+       << ",\"found\":" << (mine.empty() ? "false" : "true")
+       << ",\"spans\":[";
+    for (size_t i = 0; i < mine.size(); ++i) {
+        if (i)
+            os << ",";
+        spanJson(os, mine[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+const char *
+SlowRequestStore::laneName(unsigned lane)
+{
+    return lane < kTierCount ? tierName(static_cast<Tier>(lane)) : "none";
+}
+
+void
+SlowRequestStore::note(const SlowExemplar &e)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++noted_;
+    auto &lane = lanes_[laneOf(e)];
+    lane.push_back(e);
+    if (lane.size() > kPerLane)
+        lane.pop_front();
+}
+
+u64
+SlowRequestStore::noted() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return noted_;
+}
+
+std::vector<SlowExemplar>
+SlowRequestStore::lane(unsigned lane) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return {lanes_[lane].begin(), lanes_[lane].end()};
+}
+
+std::string
+SlowRequestStore::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ostringstream os;
+    os << "{\"noted\":" << noted_ << ",\"by_tier\":{";
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+        if (lane)
+            os << ",";
+        os << "\"" << laneName(lane) << "\":[";
+        bool first = true;
+        for (const SlowExemplar &e : lanes_[lane]) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"id\":" << e.id;
+            if (e.has_tier)
+                os << ",\"tier\":\"" << tierName(e.tier) << "\"";
+            os << ",\"code\":\"" << statusCodeName(e.code) << "\""
+               << ",\"total_us\":" << e.total_us
+               << ",\"queue_wait_us\":" << e.queue_wait_us
+               << ",\"service_us\":" << e.service_us
+               << ",\"completed_us\":" << e.completed_us << "}";
+        }
+        os << "]";
+    }
+    os << "}}";
     return os.str();
 }
 

@@ -6,9 +6,14 @@
  * (worker pickup), admission (memory-budget decision), one span per
  * cascade tier attempt, and completion with its outcome — each stamped
  * with a steady-clock microsecond offset from the recorder's epoch.
- * Spans land in a fixed-size lock-free ring buffer: writers claim a slot
- * with one fetch_add and publish it with a seqlock-style sequence word,
- * so recording never blocks a worker and a reader never observes a
+ * Spans land in a fixed-size lock-free ring buffer: writers take a
+ * ticket with one fetch_add, then CLAIM their slot with a CAS on its
+ * seqlock-style sequence word — the CAS succeeds only while the slot
+ * still holds the previous lap's published value, so a writer that was
+ * descheduled long enough to be lapped can never store stale sequence
+ * state over a newer ticket's slot (it drops its span instead, counted
+ * in dropped()). Publication is the usual seqlock odd/even dance, so
+ * recording never blocks a worker and a reader never observes a
  * half-written span (torn slots are skipped, overwritten ones counted
  * as dropped). Every slot field is a relaxed atomic, which keeps the
  * ring ThreadSanitizer-clean by construction.
@@ -21,8 +26,11 @@
 #ifndef GMX_ENGINE_TRACE_HH
 #define GMX_ENGINE_TRACE_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,8 +98,10 @@ class TraceRecorder
     i64 nowUs() const { return toUs(Clock::now()); }
 
     /**
-     * Append one span. Wait-free: one fetch_add to claim a slot, relaxed
-     * stores to fill it, release stores on the sequence word to publish.
+     * Append one span. Lock-free: one fetch_add for a ticket, one CAS to
+     * claim the ticket's slot (a lapped writer drops its span instead of
+     * corrupting a newer one), relaxed stores to fill it, one release
+     * store on the sequence word to publish.
      */
     void record(u64 id, TraceEvent event, i64 t_us,
                 StatusCode code = StatusCode::Ok, u64 detail = 0);
@@ -107,14 +117,25 @@ class TraceRecorder
      */
     std::vector<TraceSpan> spans() const;
 
+    /**
+     * Per-request lookup: the surviving spans of request @p id, in ring
+     * (i.e. pipeline) order. Empty when the request was never sampled or
+     * its spans have been overwritten.
+     */
+    std::vector<TraceSpan> spansFor(u64 id) const;
+
     /** Spans ever recorded (including those the ring has overwritten). */
     u64 recorded() const { return head_.load(std::memory_order_acquire); }
 
-    /** Spans lost to ring wrap-around. */
+    /**
+     * Spans lost: overwritten by ring wrap-around, plus the (rare) spans
+     * a lapped writer dropped because its slot had already moved on.
+     */
     u64 dropped() const
     {
         const u64 head = recorded();
-        return head > capacity_ ? head - capacity_ : 0;
+        return (head > capacity_ ? head - capacity_ : 0) +
+               lost_.load(std::memory_order_relaxed);
     }
 
     /**
@@ -122,6 +143,13 @@ class TraceRecorder
      * with each span carrying id/event/tier/code/t_us/detail.
      */
     std::string toJson() const;
+
+    /**
+     * One request's timeline as JSON:
+     * {"id":N,"found":bool,"spans":[...]}. found is false when no span
+     * of the request survives in the ring.
+     */
+    std::string jsonFor(u64 id) const;
 
   private:
     /** Packed event|tier|code byte layout for the meta word. */
@@ -135,8 +163,10 @@ class TraceRecorder
     struct Slot
     {
         // seq == 2*ticket+1 while being written, 2*ticket+2 once
-        // published; a reader accepts a slot only when seq matches its
-        // ticket's published value before and after the field reads.
+        // published; a writer owns the slot only after CASing seq from
+        // the previous lap's published value, and a reader accepts a
+        // slot only when seq matches its ticket's published value before
+        // and after the field reads.
         std::atomic<u64> seq{0};
         std::atomic<u64> id{0};
         std::atomic<u64> meta{0};
@@ -149,6 +179,66 @@ class TraceRecorder
     Clock::time_point epoch_;
     std::vector<Slot> slots_;
     std::atomic<u64> head_{0};
+    std::atomic<u64> lost_{0}; //!< spans dropped by a failed slot claim
+};
+
+/** One slow-request exemplar; times are recorder-epoch microseconds. */
+struct SlowExemplar
+{
+    u64 id = 0;
+    bool has_tier = false; //!< tier is meaningful (request was routed)
+    Tier tier = Tier::Full;
+    StatusCode code = StatusCode::Ok;
+    double total_us = 0.0;
+    double queue_wait_us = 0.0;
+    double service_us = 0.0;
+    i64 completed_us = 0; //!< when the request finished (epoch offset)
+};
+
+/**
+ * Rolling slow-request exemplar store, keyed by answering tier (plus a
+ * "none" lane for requests that finished without tier routing — custom
+ * aligners and admission-stage failures). Each lane keeps the most
+ * recent kPerLane exemplars, so "show me a recent slow full-tier
+ * request" is a lookup, not a scan of the span ring. Mutex-guarded:
+ * it is touched only on the slow path (requests beyond the engine's
+ * slow_request_threshold), never per-request.
+ */
+class SlowRequestStore
+{
+  public:
+    static constexpr size_t kPerLane = 4;
+    static constexpr unsigned kLanes = kTierCount + 1; //!< + "none" lane
+
+    /** Lane index an exemplar lands in. */
+    static unsigned laneOf(const SlowExemplar &e)
+    {
+        return e.has_tier ? static_cast<unsigned>(e.tier) : kTierCount;
+    }
+
+    /** Stable lane name ("filter".."downgraded", "none"). */
+    static const char *laneName(unsigned lane);
+
+    /** Record one exemplar, evicting the lane's oldest beyond kPerLane. */
+    void note(const SlowExemplar &e);
+
+    /** Exemplars ever noted (across all lanes, including evicted). */
+    u64 noted() const;
+
+    /** Snapshot of one lane, oldest first. */
+    std::vector<SlowExemplar> lane(unsigned lane) const;
+
+    /**
+     * Dump as {"noted":N,"by_tier":{"filter":[...],...,"none":[...]}}
+     * with each exemplar carrying id/tier/code/total_us/queue_wait_us/
+     * service_us/completed_us.
+     */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mu_;
+    u64 noted_ = 0;
+    std::array<std::deque<SlowExemplar>, kLanes> lanes_{};
 };
 
 } // namespace gmx::engine

@@ -12,7 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "align/nw.hh"
@@ -20,8 +25,10 @@
 #include "engine/engine.hh"
 #include "engine/exporter.hh"
 #include "engine/faults.hh"
+#include "engine/server.hh"
 #include "engine/trace.hh"
 #include "sequence/dataset.hh"
+#include "test_http_util.hh"
 
 namespace gmx::engine {
 namespace {
@@ -249,6 +256,142 @@ TEST_F(Chaos, SeededStormHundredIterationsNoDeadlockNoLeakedFutures)
             }
         }
     }
+}
+
+/**
+ * Structural check of one /metrics body: ends with the OpenMetrics EOF
+ * marker, the request-latency buckets are cumulative (non-decreasing),
+ * and the +Inf bucket equals _count. Returns a failure description, or
+ * empty when the scrape is well-formed.
+ */
+std::string
+checkScrapeBody(const std::string &body)
+{
+    if (body.size() < 6 || body.substr(body.size() - 6) != "# EOF\n")
+        return "missing '# EOF' trailer";
+
+    u64 prev = 0;
+    u64 inf = 0;
+    bool saw_inf = false;
+    std::istringstream lines(body);
+    std::string line;
+    const std::string bucket_prefix = "gmx_request_latency_seconds_bucket{";
+    while (std::getline(lines, line)) {
+        if (line.compare(0, bucket_prefix.size(), bucket_prefix) != 0)
+            continue;
+        const auto space = line.rfind(' ');
+        if (space == std::string::npos)
+            return "bucket line without a value: " + line;
+        const u64 v = std::stoull(line.substr(space + 1));
+        if (v < prev)
+            return "buckets not cumulative: " + line;
+        prev = v;
+        if (line.find("le=\"+Inf\"") != std::string::npos) {
+            inf = v;
+            saw_inf = true;
+        }
+    }
+    if (!saw_inf)
+        return "no +Inf bucket";
+
+    const std::string count_key = "\ngmx_request_latency_seconds_count ";
+    const auto cpos = body.find(count_key);
+    if (cpos == std::string::npos)
+        return "no _count series";
+    const u64 count = std::stoull(body.substr(cpos + count_key.size()));
+    if (inf != count)
+        return "+Inf bucket " + std::to_string(inf) + " != _count " +
+               std::to_string(count);
+    return {};
+}
+
+TEST_F(Chaos, ScrapeStormKeepsMetricsParseableUnderFaults)
+{
+    // Satellite acceptance: storm /metrics while seeded faults hit both
+    // the engine (task errors, stalls, spurious queue-full) and the
+    // server (the same QueueFull point forces 503s at accept, TaskError
+    // forces 500s on render). Whatever mix a seed draws, every 200
+    // response must be a complete, internally consistent OpenMetrics
+    // document — a scraper never sees a torn or truncated exposition.
+    seq::Generator gen(431);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 16; ++i)
+        pairs.push_back(gen.pair(90, 0.08));
+
+    u64 scrapes_ok = 0, scrapes_refused = 0, scrapes_errored = 0;
+    for (u64 seed = 1; seed <= 12; ++seed) {
+        EngineConfig cfg;
+        cfg.workers = 2;
+        cfg.queue_capacity = 8;
+        cfg.backpressure = Backpressure::ShedOldest;
+        Engine engine(cfg);
+
+        ServerConfig scfg;
+        scfg.port = 0;
+        scfg.handler_threads = 2;
+        MetricsServer server(engine, scfg);
+        ASSERT_TRUE(server.start().ok()) << "seed=" << seed;
+        const u16 port = server.port();
+
+        // Arm AFTER the server is up so start() itself is clean; the
+        // accept loop and handlers then run armed.
+        faults::Plan plan;
+        plan.seed = seed;
+        plan.with(faults::Point::TaskError, 0.15)
+            .with(faults::Point::QueueFull, 0.20)
+            .with(faults::Point::WorkerStall, 0.10);
+        plan.stall_duration = std::chrono::microseconds(200);
+        faults::arm(plan);
+
+        std::atomic<bool> done{false};
+        std::vector<std::string> failures;
+        std::thread scraper([&] {
+            while (!done.load()) {
+                const auto r = gmx::test::httpGet(port, "/metrics");
+                if (r.status == 200) {
+                    const std::string why = checkScrapeBody(r.body);
+                    if (!why.empty())
+                        failures.push_back(why);
+                    ++scrapes_ok;
+                } else if (r.status == 503) {
+                    ++scrapes_refused; // connection cap or injected
+                } else if (r.status == 500) {
+                    ++scrapes_errored; // injected render failure
+                } else {
+                    failures.push_back("unexpected status " +
+                                       std::to_string(r.status));
+                }
+            }
+        });
+
+        std::vector<std::future<Outcome>> futures;
+        for (const auto &pair : pairs)
+            futures.push_back(engine.submit(pair, false));
+        for (auto &f : futures)
+            (void)mustGet(f);
+
+        done.store(true);
+        scraper.join();
+        faults::disarm();
+
+        for (const auto &why : failures)
+            ADD_FAILURE() << "seed=" << seed << ": " << why;
+
+        // One disarmed scrape per seed: the final document reconciles
+        // with the engine's own snapshot.
+        const auto r = gmx::test::httpGet(port, "/metrics");
+        ASSERT_EQ(r.status, 200) << "seed=" << seed;
+        EXPECT_EQ(checkScrapeBody(r.body), "") << "seed=" << seed;
+        server.stop();
+    }
+
+    // The storm exercised the well-formed path; refusals and injected
+    // errors are expected but must not be the whole story.
+    EXPECT_GT(scrapes_ok, 0u);
+    std::printf("scrape storm: ok=%llu refused=%llu errored=%llu\n",
+                static_cast<unsigned long long>(scrapes_ok),
+                static_cast<unsigned long long>(scrapes_refused),
+                static_cast<unsigned long long>(scrapes_errored));
 }
 
 } // namespace

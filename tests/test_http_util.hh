@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.0-style client for the MetricsServer tests:
+ * connect, send one GET, read to EOF. Deliberately dependency-free so
+ * the tests exercise the server over real sockets, exactly as a scraper
+ * would.
+ */
+
+#ifndef GMX_TESTS_TEST_HTTP_UTIL_HH
+#define GMX_TESTS_TEST_HTTP_UTIL_HH
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace gmx::test {
+
+/** Parsed-enough response: status code plus the full raw text. */
+struct HttpResponse
+{
+    int status = -1;   //!< -1: connect/read failure
+    std::string raw;   //!< status line + headers + body
+    std::string body;  //!< bytes after the blank line
+};
+
+/** Set a receive/send deadline so a test can never hang on a socket. */
+inline void
+setClientDeadline(int fd, int seconds)
+{
+    timeval tv{};
+    tv.tv_sec = seconds;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/** Connect to 127.0.0.1:port; -1 on failure. */
+inline int
+connectTcp(unsigned short port, int deadline_seconds = 10)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    setClientDeadline(fd, deadline_seconds);
+    return fd;
+}
+
+/** Connect to a unix-domain socket path; -1 on failure. */
+inline int
+connectUnix(const std::string &path, int deadline_seconds = 10)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    setClientDeadline(fd, deadline_seconds);
+    return fd;
+}
+
+/** Send raw bytes, tolerating partial writes. False on error. */
+inline bool
+sendRaw(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+/** Read until the peer closes (Connection: close responses). */
+inline std::string
+recvAll(int fd)
+{
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            out.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return out; // 0: clean close; <0: timeout or reset — either ends it
+    }
+}
+
+/** Split a raw response into status code and body. */
+inline HttpResponse
+parseResponse(std::string raw)
+{
+    HttpResponse r;
+    r.raw = std::move(raw);
+    if (r.raw.compare(0, 9, "HTTP/1.1 ") == 0 && r.raw.size() >= 12)
+        r.status = std::stoi(r.raw.substr(9, 3));
+    const size_t blank = r.raw.find("\r\n\r\n");
+    if (blank != std::string::npos)
+        r.body = r.raw.substr(blank + 4);
+    return r;
+}
+
+/** One whole GET request against 127.0.0.1:port. */
+inline HttpResponse
+httpGet(unsigned short port, const std::string &target,
+        const std::string &method = "GET")
+{
+    HttpResponse r;
+    const int fd = connectTcp(port);
+    if (fd < 0)
+        return r;
+    sendRaw(fd, method + " " + target + " HTTP/1.1\r\n"
+                "Host: localhost\r\nConnection: close\r\n\r\n");
+    r = parseResponse(recvAll(fd));
+    ::close(fd);
+    return r;
+}
+
+/** One whole GET request over a unix-domain socket. */
+inline HttpResponse
+httpGetUnix(const std::string &path, const std::string &target)
+{
+    HttpResponse r;
+    const int fd = connectUnix(path);
+    if (fd < 0)
+        return r;
+    sendRaw(fd, "GET " + target + " HTTP/1.1\r\n"
+                "Host: localhost\r\nConnection: close\r\n\r\n");
+    r = parseResponse(recvAll(fd));
+    ::close(fd);
+    return r;
+}
+
+} // namespace gmx::test
+
+#endif // GMX_TESTS_TEST_HTTP_UTIL_HH

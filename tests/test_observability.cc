@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <limits>
 #include <map>
@@ -482,6 +483,51 @@ TEST(Exporter, RendersValidOpenMetricsText)
         ASSERT_NE(space, std::string::npos) << line;
         EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
     }
+}
+
+TEST(Exporter, LatencySumIsExportedExactlyNotReconstructed)
+{
+    // Regression: the exporter used to reconstruct `_sum` as
+    // mean_us * count. The division-then-multiplication round-trip is
+    // lossy, and these three samples are chosen so the loss crosses a
+    // %.9g rendering boundary — the reconstruction prints a different
+    // string than the true sum, so this test fails against the old code.
+    EngineMetrics m;
+    const double samples_s[] = {5.0000005e-6, 3e-7, 1e-4};
+    double expect_us = 0.0;
+    for (double s : samples_s) {
+        m.latency.record(s);
+        expect_us += s * 1e6; // the same fp operations record() performs
+    }
+
+    // The histogram and the snapshot both carry the exact running sum.
+    EXPECT_EQ(m.latency.sumUs(), expect_us);
+    const auto snap = m.snapshot(/*pool_workers=*/1, 0, 0);
+    EXPECT_EQ(snap.latency_sum_us, expect_us);
+    EXPECT_EQ(snap.latency_count, 3u);
+
+    // The old reconstruction provably differs from the true sum, both as
+    // doubles and — the part a scraper sees — at the exporter's %.9g.
+    const double recon_us =
+        snap.latency_mean_us * static_cast<double>(snap.latency_count);
+    EXPECT_NE(recon_us, expect_us);
+    const auto fmt9 = [](double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9g", v);
+        return std::string(buf);
+    };
+    ASSERT_NE(fmt9(expect_us * 1e-6), fmt9(recon_us * 1e-6))
+        << "samples no longer discriminate sum from mean*count";
+
+    const std::string text = renderOpenMetrics(snap);
+    EXPECT_NE(text.find("gmx_request_latency_seconds_sum " +
+                        fmt9(expect_us * 1e-6) + "\n"),
+              std::string::npos)
+        << text;
+    EXPECT_EQ(text.find("gmx_request_latency_seconds_sum " +
+                        fmt9(recon_us * 1e-6) + "\n"),
+              std::string::npos)
+        << "exporter still reconstructs _sum from the mean";
 }
 
 TEST(Exporter, EmptyEngineStillRendersCompleteFamilies)

@@ -1,11 +1,19 @@
 /**
  * @file
  * Validation of the analytic traffic classifier against the real cache
- * simulator via trace replay (the DESIGN.md §4 validation promise).
+ * simulator via trace replay (the DESIGN.md §4 validation promise), plus
+ * concurrency stress for the engine's TraceRecorder span ring — the two
+ * "trace" subsystems share a binary so the ring stress runs under the
+ * ThreadSanitizer tier-1 leg alongside the replay checks.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "engine/trace.hh"
 #include "sequence/dataset.hh"
 #include "sim/trace.hh"
 #include "sim/workloads.hh"
@@ -99,3 +107,129 @@ TEST(TraceReplay, RtlConfigUsesLlcOnly)
 
 } // namespace
 } // namespace gmx::sim
+
+namespace gmx::engine {
+namespace {
+
+/**
+ * Regression for the slot-claim race: with an unconditional seq store, a
+ * writer descheduled long enough to be lapped would stamp its stale
+ * "writing" sequence over a newer ticket's slot, and a reader could then
+ * accept a span whose fields mix two writers. The CAS claim makes that
+ * impossible: every decoded span must be internally consistent. The
+ * tiny ring plus many writers maximises lapping; TSan (tier-1 obs leg)
+ * checks the ordering discipline while the assertions check integrity.
+ */
+TEST(TraceRecorderStress, MultiWriterWrapNeverTearsASpan)
+{
+    constexpr size_t kCapacity = 8; // tiny: constant lapping
+    constexpr unsigned kWriters = 4;
+    constexpr u64 kPerWriter = 20000;
+    constexpr u64 kMagic = 0x9e3779b97f4a7c15ull;
+
+    TraceRecorder rec(kCapacity, /*sample_every=*/1);
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (u64 i = 0; i < kPerWriter; ++i) {
+                // id encodes (writer, iteration); detail is a keyed hash
+                // of id, so a torn slot (fields from two writers) cannot
+                // satisfy detail == id ^ kMagic.
+                const u64 id = (static_cast<u64>(w + 1) << 32) | i;
+                rec.record(id, TraceEvent::Enqueue,
+                           static_cast<i64>(i), StatusCode::Ok,
+                           id ^ kMagic);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto &t : writers)
+        t.join();
+
+    // Every push either landed or was counted as a claim-failure drop.
+    // dropped() sums the wrap estimate (total - capacity) with the CAS
+    // claim failures, so it is at least the wrap estimate and at most
+    // one extra count per push.
+    const u64 total = static_cast<u64>(kWriters) * kPerWriter;
+    EXPECT_EQ(rec.recorded(), total);
+    EXPECT_GE(rec.dropped(), total - kCapacity);
+    EXPECT_LE(rec.dropped(), 2 * total);
+
+    // Whatever survives must be whole: id/detail pair intact, writer id
+    // in range, iteration in range, time matching the iteration.
+    const auto spans = rec.spans();
+    EXPECT_LE(spans.size(), kCapacity);
+    for (const auto &s : spans) {
+        EXPECT_EQ(s.detail, s.id ^ kMagic)
+            << "torn span: id=" << s.id << " detail=" << s.detail;
+        const u64 writer = s.id >> 32;
+        const u64 iter = s.id & 0xffffffffull;
+        EXPECT_GE(writer, 1u);
+        EXPECT_LE(writer, kWriters);
+        EXPECT_LT(iter, kPerWriter);
+        EXPECT_EQ(s.t_us, static_cast<i64>(iter));
+        EXPECT_EQ(s.event, TraceEvent::Enqueue);
+    }
+}
+
+/** Single-writer wrap: exact survivors, ids in order, none torn. */
+TEST(TraceRecorderStress, SingleWriterWrapKeepsNewestSpans)
+{
+    constexpr size_t kCapacity = 8;
+    TraceRecorder rec(kCapacity, 1);
+    constexpr u64 kPushes = 100;
+    for (u64 i = 1; i <= kPushes; ++i)
+        rec.record(i, TraceEvent::Enqueue, static_cast<i64>(i));
+
+    EXPECT_EQ(rec.recorded(), kPushes);
+    EXPECT_EQ(rec.dropped(), kPushes - kCapacity);
+
+    const auto spans = rec.spans();
+    ASSERT_EQ(spans.size(), kCapacity);
+    // Oldest surviving span first: 93, 94, ..., 100.
+    for (size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].id, kPushes - kCapacity + 1 + i);
+
+    // Per-request lookup round-trips through the ring.
+    const auto hit = rec.spansFor(kPushes);
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_EQ(hit[0].id, kPushes);
+    EXPECT_TRUE(rec.spansFor(1).empty()); // overwritten long ago
+    EXPECT_NE(rec.jsonFor(kPushes).find("\"found\":true"),
+              std::string::npos);
+    EXPECT_NE(rec.jsonFor(1).find("\"found\":false"), std::string::npos);
+}
+
+/** Concurrent readers during the writer storm decode without tearing. */
+TEST(TraceRecorderStress, ConcurrentReadersSeeOnlyWholeSpans)
+{
+    constexpr size_t kCapacity = 16;
+    constexpr u64 kMagic = 0xabcdef0123456789ull;
+    TraceRecorder rec(kCapacity, 1);
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        u64 i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            ++i;
+            rec.record(i, TraceEvent::Dispatch, static_cast<i64>(i),
+                       StatusCode::Ok, i ^ kMagic);
+        }
+    });
+
+    for (int round = 0; round < 200; ++round) {
+        for (const auto &s : rec.spans()) {
+            ASSERT_EQ(s.detail, s.id ^ kMagic);
+            ASSERT_EQ(s.t_us, static_cast<i64>(s.id));
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+}
+
+} // namespace
+} // namespace gmx::engine
