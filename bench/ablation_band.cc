@@ -69,13 +69,14 @@ main()
     const double full_cells = 3000.0 * 3000.0;
     for (i64 k : {64, 128, 256, 512, 1024, 2048}) {
         align::KernelCounts counts;
+        KernelContext ctx(CancelToken{}, &counts);
         size_t found = 0, exact_hits = 0;
         double err_sum = 0;
         for (size_t i = 0; i < ds.pairs.size(); ++i) {
             const auto res = core::bandedGmxAlign(
                 ds.pairs[i].pattern, ds.pairs[i].text, k,
-                /*want_cigar=*/false, 32, &counts,
-                /*enforce_bound=*/false);
+                /*want_cigar=*/false, 32,
+                /*enforce_bound=*/false, ctx);
             if (!res.found())
                 continue;
             ++found;

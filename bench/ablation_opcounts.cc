@@ -59,7 +59,8 @@ main()
     }
     {
         KernelCounts c;
-        bpmDistance(pair.pattern, pair.text, &c);
+        KernelContext ctx(CancelToken{}, &c);
+        bpmDistance(pair.pattern, pair.text, ctx);
         measured.addRow({"Full(BPM)",
                          TextTable::num(static_cast<double>(
                                             c.instructions()) /
@@ -69,8 +70,9 @@ main()
     }
     {
         KernelCounts c;
+        KernelContext ctx(CancelToken{}, &c);
         const i64 d = nwDistance(pair.pattern, pair.text);
-        bitapDistance(pair.pattern, pair.text, d, &c);
+        bitapDistance(pair.pattern, pair.text, d, ctx);
         measured.addRow({"Bitap (k=d)",
                          TextTable::num(static_cast<double>(
                                             c.instructions()) /
@@ -80,7 +82,8 @@ main()
     }
     {
         KernelCounts c;
-        core::fullGmxDistance(pair.pattern, pair.text, T, &c);
+        KernelContext ctx(CancelToken{}, &c);
+        core::fullGmxDistance(pair.pattern, pair.text, T, ctx);
         measured.addRow({"Full(GMX)",
                          TextTable::num(static_cast<double>(
                                             c.instructions()) /

@@ -34,7 +34,8 @@ main()
         const auto ac = hw::GmxAcArray(t).stats();
         const auto tb = hw::GmxTbArray(t).stats();
         align::KernelCounts counts;
-        core::fullGmxDistance(pair.pattern, pair.text, t, &counts);
+        KernelContext ctx(CancelToken{}, &counts);
+        core::fullGmxDistance(pair.pattern, pair.text, t, ctx);
         const double gcups = hw::gmxPeakGcups(t, 1.0);
         table.addRow({std::to_string(t),
                       TextTable::num(static_cast<long long>(ac.gates +

@@ -72,12 +72,13 @@ main()
                      "exact fraction"});
     for (const auto &g : geoms) {
         align::KernelCounts counts;
+        KernelContext ctx(CancelToken{}, &counts);
         double err_sum = 0;
         size_t exact_hits = 0;
         for (size_t i = 0; i < ds.pairs.size(); ++i) {
             const auto res = core::windowedGmxAlign(
                 ds.pairs[i].pattern, ds.pairs[i].text, 32, {g.w, g.o},
-                &counts);
+                ctx);
             err_sum += static_cast<double>(res.distance - exact[i]);
             exact_hits += res.distance == exact[i];
         }

@@ -55,15 +55,17 @@ main()
     }
     {
         align::KernelCounts c;
-        const auto res = core::fullGmxAlign(pair.pattern, pair.text, 32, &c);
+        KernelContext ctx(CancelToken{}, &c);
+        const auto res = core::fullGmxAlign(pair.pattern, pair.text, 32, ctx);
         // Edge matrix: 2T elements per tile (T right + T bottom).
         const double tiles = (n / 32) * (m / 32);
         add_row("Full(GMX)", c, tiles * 64, res.distance);
     }
     {
         align::KernelCounts c;
+        KernelContext ctx(CancelToken{}, &c);
         const auto res =
-            core::bandedGmxAuto(pair.pattern, pair.text, true, 64, 32, &c);
+            core::bandedGmxAuto(pair.pattern, pair.text, true, 64, 32, ctx);
         const double band_tiles =
             (n / 32) * (2.0 * (static_cast<double>(res.distance) / 32 + 2) +
                         1);
@@ -71,8 +73,9 @@ main()
     }
     {
         align::KernelCounts c;
+        KernelContext ctx(CancelToken{}, &c);
         const auto res = core::windowedGmxAlign(pair.pattern, pair.text, 32,
-                                                {96, 32}, &c);
+                                                {96, 32}, ctx);
         // Windowed keeps one window of edges (registers) + the CIGAR.
         add_row("Windowed(GMX)", c, 9 * 64, res.distance);
     }

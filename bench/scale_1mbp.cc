@@ -50,9 +50,10 @@ main()
     // Windowed(GMX), W=96 O=32.
     {
         align::KernelCounts counts;
+        KernelContext ctx(CancelToken{}, &counts);
         Timer t;
         const auto res = core::windowedGmxAlign(pair.pattern, pair.text, 32,
-                                                {96, 32}, &counts);
+                                                {96, 32}, ctx);
         std::printf("\nWindowed(GMX): emulated in %.1fs, heuristic "
                     "distance %lld\n",
                     t.seconds(), static_cast<long long>(res.distance));
@@ -77,10 +78,11 @@ main()
     {
         const i64 band_k = 4 * 1024;
         align::KernelCounts counts;
+        KernelContext ctx(CancelToken{}, &counts);
         Timer t;
         const auto res = core::bandedGmxAlign(
             pair.pattern, pair.text, band_k, /*want_cigar=*/false, 32,
-            &counts, /*enforce_bound=*/false);
+            /*enforce_bound=*/false, ctx);
         std::printf("\nBanded(GMX) k=%lld: emulated in %.1fs, banded "
                     "distance %lld\n",
                     static_cast<long long>(band_k), t.seconds(),

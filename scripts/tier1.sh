@@ -70,6 +70,18 @@ trap - EXIT
 rm -f "$serve_log"
 echo "scrape smoke OK (port $port)"
 
+echo "== UBSan pass (kernel registry + arena + engine tests) =="
+# The KernelContext refactor routes every kernel's scratch through the
+# bump arena; UndefinedBehaviorSanitizer (no-recover) guards the pointer
+# arithmetic, alignment casts, and 64-bit shift tricks on those paths.
+cmake -B build-ubsan -S . -DGMX_SANITIZE=undefined
+cmake --build build-ubsan -j"$(nproc)" --target \
+    test_registry test_arena test_nw test_bpm test_bpm_banded test_bitap \
+    test_hirschberg test_gmx_full test_gmx_banded test_gmx_windowed \
+    test_engine
+ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
+    -R 'Registry|ScratchArena|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|Engine|Cascade|Pool|Batch'
+
 sanitize="${GMX_SANITIZE:-}"
 
 if [[ "$sanitize" == "thread" || "$sanitize" == "all" ]]; then

@@ -1,6 +1,7 @@
 #include "align/bitap.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "common/logging.hh"
 #include "sequence/alphabet.hh"
@@ -21,13 +22,13 @@ shiftLeft(const u64 *src, u64 *dst, size_t words, bool shift_in)
     }
 }
 
-/** Bitap S-vector history: S[j][d] as contiguous word spans. */
+/** Bitap S-vector history: S[j][d] as contiguous word spans (arena). */
 class StateHistory
 {
   public:
-    StateHistory(size_t m, size_t kmax, size_t words)
+    StateHistory(size_t m, size_t kmax, size_t words, ScratchArena &arena)
         : kmax_(kmax), words_(words),
-          data_((m + 1) * (kmax + 1) * words, 0)
+          data_(arena.rowsUninit<u64>((m + 1) * (kmax + 1) * words))
     {}
 
     u64 *vec(size_t j, size_t d)
@@ -49,76 +50,77 @@ class StateHistory
   private:
     size_t kmax_;
     size_t words_;
-    std::vector<u64> data_;
+    std::span<u64> data_;
 };
 
 /**
  * Run the Bitap recurrence, filling @p hist (if non-null) with all S
  * vectors. Returns the distance at (n, m) or kNoAlignment if > k.
+ * Leaves the context in the kernel phase (callers that trace back keep
+ * charging it; everyone ends with donePhases()).
  */
 i64
 bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-         StateHistory *hist, KernelCounts *counts,
-         const CancelToken &cancel = {})
+         StateHistory *hist, KernelContext &ctx)
 {
-    CancelGate gate(cancel);
     const size_t n = pattern.size();
     const size_t m = text.size();
     const size_t words = (n + 63) / 64;
     const size_t kk = static_cast<size_t>(k);
 
+    ctx.beginSetup();
     // Per-symbol pattern match masks.
-    std::vector<std::vector<u64>> eq(
-        seq::kDnaSymbols, std::vector<u64>(words, 0));
+    std::span<u64> eq = ctx.arena().rows<u64>(seq::kDnaSymbols * words);
     for (size_t i = 0; i < n; ++i)
-        eq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+        eq[pattern.code(i) * words + (i >> 6)] |= u64{1} << (i & 63);
 
-    // S[d] for the current and previous column.
-    std::vector<std::vector<u64>> cur(kk + 1, std::vector<u64>(words, 0));
-    std::vector<std::vector<u64>> prev(kk + 1, std::vector<u64>(words, 0));
-    std::vector<u64> tmp(words);
+    // S[d] for the current and previous column, (kk+1) x words each.
+    std::span<u64> cur = ctx.arena().rows<u64>((kk + 1) * words);
+    std::span<u64> prev = ctx.arena().rows<u64>((kk + 1) * words);
+    std::span<u64> tmp = ctx.arena().rowsUninit<u64>(words);
 
     // Column 0: bit i set iff i+1 <= d.
     for (size_t d = 0; d <= kk; ++d) {
         for (size_t i = 0; i < std::min(d, n); ++i)
-            prev[d][i >> 6] |= u64{1} << (i & 63);
+            prev[d * words + (i >> 6)] |= u64{1} << (i & 63);
         if (hist)
-            std::copy(prev[d].begin(), prev[d].end(), hist->vec(0, d));
+            std::copy_n(&prev[d * words], words, hist->vec(0, d));
     }
 
+    KernelCounts *counts = ctx.countsSink();
+    ctx.beginKernel();
     for (size_t j = 1; j <= m; ++j) {
-        gate.check();
+        ctx.poll();
         const u8 c = text.code(j - 1);
-        const u64 *eqc = eq[c].data();
+        const u64 *eqc = &eq[size_t{c} * words];
         for (size_t d = 0; d <= kk; ++d) {
-            u64 *out = cur[d].data();
+            u64 *out = &cur[d * words];
 
             // match: (S_prev[d] << 1 | (j-1 <= d)) & Eq
-            shiftLeft(prev[d].data(), tmp.data(), words,
-                      j - 1 <= d);
+            shiftLeft(&prev[d * words], tmp.data(), words, j - 1 <= d);
             for (size_t w = 0; w < words; ++w)
                 out[w] = tmp[w] & eqc[w];
 
             if (d > 0) {
                 // substitution: S_prev[d-1] << 1 | (j-1 <= d-1)
-                shiftLeft(prev[d - 1].data(), tmp.data(), words,
+                shiftLeft(&prev[(d - 1) * words], tmp.data(), words,
                           j - 1 <= d - 1);
                 for (size_t w = 0; w < words; ++w)
                     out[w] |= tmp[w];
                 // deletion (consume text): S_prev[d-1], unshifted
-                const u64 *del = prev[d - 1].data();
+                const u64 *del = &prev[(d - 1) * words];
                 for (size_t w = 0; w < words; ++w)
                     out[w] |= del[w];
                 // insertion (consume pattern): S_cur[d-1] << 1 | (j <= d-1)
-                shiftLeft(cur[d - 1].data(), tmp.data(), words,
+                shiftLeft(&cur[(d - 1) * words], tmp.data(), words,
                           j <= d - 1);
                 for (size_t w = 0; w < words; ++w)
                     out[w] |= tmp[w];
             }
             if (hist)
-                std::copy(cur[d].begin(), cur[d].end(), hist->vec(j, d));
+                std::copy_n(out, words, hist->vec(j, d));
         }
-        cur.swap(prev);
+        std::swap(cur, prev);
         if (counts) {
             counts->alu += 7 * (kk + 1) * words;
             counts->loads += 4 * (kk + 1) * words;
@@ -134,7 +136,7 @@ bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
             return static_cast<i64>(m) <= static_cast<i64>(d)
                        ? static_cast<i64>(m)
                        : kNoAlignment;
-        if ((prev[d][(n - 1) >> 6] >> ((n - 1) & 63)) & 1)
+        if ((prev[d * words + ((n - 1) >> 6)] >> ((n - 1) & 63)) & 1)
             return static_cast<i64>(d);
     }
     return kNoAlignment;
@@ -144,7 +146,7 @@ bitapRun(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
 
 i64
 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-              KernelCounts *counts, const CancelToken &cancel)
+              KernelContext &ctx)
 {
     if (k < 0)
         GMX_FATAL("bitapDistance: negative error bound");
@@ -152,12 +154,22 @@ bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         return static_cast<i64>(text.size()) <= k
                    ? static_cast<i64>(text.size())
                    : kNoAlignment;
-    return bitapRun(pattern, text, k, nullptr, counts, cancel);
+    ScratchArena::Frame frame(ctx.arena());
+    const i64 dist = bitapRun(pattern, text, k, nullptr, ctx);
+    ctx.donePhases();
+    return dist;
+}
+
+i64
+bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text, i64 k)
+{
+    KernelContext ctx;
+    return bitapDistance(pattern, text, k, ctx);
 }
 
 AlignResult
 bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-           KernelCounts *counts)
+           KernelContext &ctx)
 {
     AlignResult res;
     if (k < 0)
@@ -175,11 +187,15 @@ bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         return res;
     }
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     const size_t words = (n + 63) / 64;
-    StateHistory hist(m, static_cast<size_t>(k), words);
-    const i64 dist = bitapRun(pattern, text, k, &hist, counts);
-    if (dist == kNoAlignment)
+    StateHistory hist(m, static_cast<size_t>(k), words, ctx.arena());
+    const i64 dist = bitapRun(pattern, text, k, &hist, ctx);
+    if (dist == kNoAlignment) {
+        ctx.donePhases();
         return res;
+    }
 
     res.distance = dist;
     res.has_cigar = true;
@@ -200,6 +216,7 @@ bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     size_t i = n, j = m;
     i64 d = dist;
     while (i > 0 || j > 0) {
+        ctx.poll();
         if (i > 0 && j > 0 && pattern.at(i - 1) == text.at(j - 1) &&
             reachable(i - 1, j - 1, d)) {
             ops.push_back(Op::Match);
@@ -225,23 +242,38 @@ bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    ctx.donePhases();
     return res;
 }
 
 AlignResult
+bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k)
+{
+    KernelContext ctx;
+    return bitapAlign(pattern, text, k, ctx);
+}
+
+AlignResult
 bitapAlignAuto(const seq::Sequence &pattern, const seq::Sequence &text, i64 k0,
-               KernelCounts *counts)
+               KernelContext &ctx)
 {
     const i64 limit =
         static_cast<i64>(pattern.size() + text.size());
     i64 k = std::max<i64>(k0, 1);
     while (true) {
-        AlignResult res = bitapAlign(pattern, text, k, counts);
+        AlignResult res = bitapAlign(pattern, text, k, ctx);
         if (res.found())
             return res;
         GMX_ASSERT(k < limit);
         k = std::min(limit, k * 2);
     }
+}
+
+AlignResult
+bitapAlignAuto(const seq::Sequence &pattern, const seq::Sequence &text, i64 k0)
+{
+    KernelContext ctx;
+    return bitapAlignAuto(pattern, text, k0, ctx);
 }
 
 } // namespace gmx::align

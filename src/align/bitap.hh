@@ -14,34 +14,39 @@
 #ifndef GMX_ALIGN_BITAP_HH
 #define GMX_ALIGN_BITAP_HH
 
-#include "align/bpm.hh"
 #include "align/types.hh"
-#include "common/cancel.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
 /**
  * Edit distance via Bitap with at most @p k errors; kNoAlignment when the
- * distance exceeds k. O(k * n/w) working memory. Polls @p cancel every K
- * text columns (the cascade's filter tier runs this on arbitrarily large
- * pairs, so it must be interruptible like the DP kernels).
+ * distance exceeds k. O(k * n/w) working memory, from the context arena.
+ * Polls the context every K text columns (the cascade's filter tier runs
+ * this on arbitrarily large pairs, so it must be interruptible like the
+ * DP kernels).
  */
 i64 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                  i64 k, KernelCounts *counts = nullptr,
-                  const CancelToken &cancel = {});
+                  i64 k, KernelContext &ctx);
+i64 bitapDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                  i64 k);
 
 /**
  * Full Bitap alignment with traceback tolerating at most @p k errors.
  * Stores the complete S[d][j] history: (k+1) * m * ceil(n/64) words.
  */
 AlignResult bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                       i64 k, KernelCounts *counts = nullptr);
+                       i64 k, KernelContext &ctx);
+AlignResult bitapAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                       i64 k);
 
 /** Doubling driver: grows k until the alignment is found (always succeeds). */
 AlignResult bitapAlignAuto(const seq::Sequence &pattern,
-                           const seq::Sequence &text, i64 k0 = 8,
-                           KernelCounts *counts = nullptr);
+                           const seq::Sequence &text, i64 k0,
+                           KernelContext &ctx);
+AlignResult bitapAlignAuto(const seq::Sequence &pattern,
+                           const seq::Sequence &text, i64 k0 = 8);
 
 } // namespace gmx::align
 

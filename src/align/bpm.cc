@@ -1,6 +1,8 @@
 #include "align/bpm.hh"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "common/logging.hh"
 #include "sequence/alphabet.hh"
@@ -16,14 +18,16 @@ struct Block
     u64 mv = 0;       // -1 vertical deltas
 };
 
-/** Build the per-symbol pattern-match masks, one word list per symbol. */
-std::vector<std::vector<u64>>
-buildPeq(const seq::Sequence &pattern, size_t num_blocks)
+/**
+ * Build the per-symbol pattern-match masks into arena scratch: one flat
+ * kDnaSymbols x num_blocks word table (symbol-major).
+ */
+std::span<u64>
+buildPeq(const seq::Sequence &pattern, size_t num_blocks, ScratchArena &arena)
 {
-    std::vector<std::vector<u64>> peq(
-        seq::kDnaSymbols, std::vector<u64>(num_blocks, 0));
+    std::span<u64> peq = arena.rows<u64>(seq::kDnaSymbols * num_blocks);
     for (size_t i = 0; i < pattern.size(); ++i)
-        peq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+        peq[pattern.code(i) * num_blocks + (i >> 6)] |= u64{1} << (i & 63);
     return peq;
 }
 
@@ -70,7 +74,7 @@ constexpr u64 kBlockAlu = 17;
 
 i64
 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-            KernelCounts *counts)
+            KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -79,9 +83,13 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
     if (m == 0)
         return static_cast<i64>(n);
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     const size_t num_blocks = (n + 63) / 64;
-    const auto peq = buildPeq(pattern, num_blocks);
-    std::vector<Block> blocks(num_blocks);
+    const std::span<u64> peq = buildPeq(pattern, num_blocks, ctx.arena());
+    std::span<Block> blocks = ctx.arena().rows<Block>(num_blocks);
+    for (Block &b : blocks)
+        b = Block{};
 
     // Score tracked at the bottom cell of the last block. The last block's
     // top bits beyond the pattern are harmless: their eq masks are zero, so
@@ -89,11 +97,15 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
     const size_t last_row_bit = (n - 1) & 63;
     i64 score = static_cast<i64>(n);
 
+    KernelCounts *counts = ctx.countsSink();
+    ctx.beginKernel();
     for (size_t j = 0; j < m; ++j) {
+        ctx.poll();
         const u8 c = text.code(j);
+        const u64 *pe = &peq[size_t{c} * num_blocks];
         int hin = 1; // Delta h entering row 0 is +1 (top row D[0][j] = j)
         for (size_t b = 0; b < num_blocks; ++b) {
-            const int hout = blockStep(blocks[b], peq[c][b], hin);
+            const int hout = blockStep(blocks[b], pe[b], hin);
             // When the pattern fills the last block exactly, hout at the
             // last block is the horizontal delta of the true last row, so
             // the score can be tracked incrementally. Otherwise the final
@@ -112,8 +124,10 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
     if (counts)
         counts->cells += static_cast<u64>(n) * m;
 
-    if (last_row_bit == 63)
+    if (last_row_bit == 63) {
+        ctx.donePhases();
         return score;
+    }
 
     // Pattern length is not a multiple of 64: reconstruct D[n][m] from the
     // final vertical deltas: D[i][m] = m at i=0 plus the prefix sum.
@@ -126,12 +140,20 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
         else if (blocks[b].mv & bit)
             --value;
     }
+    ctx.donePhases();
     return value;
+}
+
+i64
+bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return bpmDistance(pattern, text, ctx);
 }
 
 AlignResult
 bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-         KernelCounts *counts)
+         KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -145,20 +167,28 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         return res;
     }
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     const size_t num_blocks = (n + 63) / 64;
-    const auto peq = buildPeq(pattern, num_blocks);
-    std::vector<Block> blocks(num_blocks);
+    const std::span<u64> peq = buildPeq(pattern, num_blocks, ctx.arena());
+    std::span<Block> blocks = ctx.arena().rows<Block>(num_blocks);
+    for (Block &b : blocks)
+        b = Block{};
 
     // Column history: Pv/Mv words for every column 1..m.
     // This is the paper's 4*n*m-bit Full(BPM) footprint.
-    std::vector<u64> hist_pv(num_blocks * m);
-    std::vector<u64> hist_mv(num_blocks * m);
+    std::span<u64> hist_pv = ctx.arena().rowsUninit<u64>(num_blocks * m);
+    std::span<u64> hist_mv = ctx.arena().rowsUninit<u64>(num_blocks * m);
 
+    KernelCounts *counts = ctx.countsSink();
+    ctx.beginKernel();
     for (size_t j = 0; j < m; ++j) {
+        ctx.poll();
         const u8 c = text.code(j);
+        const u64 *pe = &peq[size_t{c} * num_blocks];
         int hin = 1;
         for (size_t b = 0; b < num_blocks; ++b) {
-            hin = blockStep(blocks[b], peq[c][b], hin);
+            hin = blockStep(blocks[b], pe[b], hin);
             hist_pv[j * num_blocks + b] = blocks[b].pv;
             hist_mv[j * num_blocks + b] = blocks[b].mv;
         }
@@ -173,8 +203,7 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
 
     // Column value reconstruction: D[0..n][j] by prefix sum of stored
     // vertical deltas (column j is 1-based here; column 0 is 0..n).
-    auto column_values = [&](size_t j, std::vector<i64> &out) {
-        out.resize(n + 1);
+    auto column_values = [&](size_t j, std::span<i64> out) {
         out[0] = static_cast<i64>(j);
         if (j == 0) {
             for (size_t i = 0; i <= n; ++i)
@@ -195,7 +224,8 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         }
     };
 
-    std::vector<i64> col_j, col_prev;
+    std::span<i64> col_j = ctx.arena().rowsUninit<i64>(n + 1);
+    std::span<i64> col_prev = ctx.arena().rowsUninit<i64>(n + 1);
     column_values(m, col_j);
     res.distance = col_j[n];
     res.has_cigar = true;
@@ -207,6 +237,7 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     size_t i = n, j = m;
     bool have_prev = false;
     while (i > 0 || j > 0) {
+        ctx.poll();
         if (j == 0) {
             ops.push_back(Op::Insertion);
             --i;
@@ -226,12 +257,12 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
             ops.push_back(Op::Match);
             --i;
             --j;
-            col_j.swap(col_prev);
+            std::swap(col_j, col_prev);
             have_prev = false;
         } else if (col_j[i] == col_prev[i] + 1) {
             ops.push_back(Op::Deletion);
             --j;
-            col_j.swap(col_prev);
+            std::swap(col_j, col_prev);
             have_prev = false;
         } else if (col_j[i] == col_j[i - 1] + 1) {
             ops.push_back(Op::Insertion);
@@ -242,13 +273,21 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
             ops.push_back(Op::Mismatch);
             --i;
             --j;
-            col_j.swap(col_prev);
+            std::swap(col_j, col_prev);
             have_prev = false;
         }
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    ctx.donePhases();
     return res;
+}
+
+AlignResult
+bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return bpmAlign(pattern, text, ctx);
 }
 
 } // namespace gmx::align

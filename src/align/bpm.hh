@@ -13,50 +13,22 @@
 #ifndef GMX_ALIGN_BPM_HH
 #define GMX_ALIGN_BPM_HH
 
-#include <vector>
-
 #include "align/types.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
 /**
- * Per-kernel dynamic work counters, filled by aligners that support cost
- * accounting. Counts are exact loop-trip-derived values, not samples.
+ * KernelCounts moved to kernel/counts.hh (namespace gmx) so the shared
+ * KernelContext can carry it; the old gmx::align spelling stays valid.
  */
-struct KernelCounts
-{
-    u64 cells = 0;      //!< DP-elements logically computed
-    u64 alu = 0;        //!< scalar ALU/bitwise instructions
-    u64 loads = 0;      //!< 8-byte memory reads
-    u64 stores = 0;     //!< 8-byte memory writes
-    u64 gmx_ac = 0;     //!< gmx.v/gmx.h instructions
-    u64 gmx_tb = 0;     //!< gmx.tb instructions
-    u64 csr = 0;        //!< CSR read/write instructions
-
-    void
-    operator+=(const KernelCounts &o)
-    {
-        cells += o.cells;
-        alu += o.alu;
-        loads += o.loads;
-        stores += o.stores;
-        gmx_ac += o.gmx_ac;
-        gmx_tb += o.gmx_tb;
-        csr += o.csr;
-    }
-
-    /** Total dynamic instruction count. */
-    u64
-    instructions() const
-    {
-        return alu + loads + stores + gmx_ac + gmx_tb + csr;
-    }
-};
+using KernelCounts = gmx::KernelCounts;
 
 /** Distance only; O(n/w) working memory. */
 i64 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                KernelCounts *counts = nullptr);
+                KernelContext &ctx);
+i64 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text);
 
 /**
  * Full alignment: stores the Pv/Mv column history (4*n*m bits) and walks
@@ -64,7 +36,8 @@ i64 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
  * the stored deltas, visiting O(path length) columns.
  */
 AlignResult bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                     KernelCounts *counts = nullptr);
+                     KernelContext &ctx);
+AlignResult bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text);
 
 } // namespace gmx::align
 

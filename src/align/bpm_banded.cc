@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "common/logging.hh"
 #include "sequence/alphabet.hh"
@@ -64,7 +65,7 @@ struct ColumnRecord
 
 AlignResult
 bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-               i64 k, bool want_cigar, KernelCounts *counts)
+               i64 k, bool want_cigar, KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -86,6 +87,8 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         return res;
     }
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     const size_t num_blocks = (n + 63) / 64;
     // Band width in blocks: enough rows for k errors on both sides of the
     // diagonal plus two blocks of slack for block-granularity effects.
@@ -94,27 +97,32 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     const size_t W = std::min(num_blocks, (want_rows + 63) / 64 + 2);
 
     // Per-symbol match masks for every block (precomputed, like Edlib).
-    std::vector<std::vector<u64>> peq(
-        seq::kDnaSymbols, std::vector<u64>(num_blocks, 0));
+    std::span<u64> peq =
+        ctx.arena().rows<u64>(seq::kDnaSymbols * num_blocks);
     for (size_t i = 0; i < n; ++i)
-        peq[pattern.code(i)][i >> 6] |= u64{1} << (i & 63);
+        peq[pattern.code(i) * num_blocks + (i >> 6)] |= u64{1} << (i & 63);
 
-    std::vector<Block> band(W);
+    std::span<Block> band = ctx.arena().rowsUninit<Block>(W);
+    for (Block &b : band)
+        b = Block{};
     size_t bf = 0;       // first band block
     i64 vtop = 0;        // D[bf*64][j] (row above the band's first row)
 
     // History for traceback.
-    std::vector<u64> hist_pv, hist_mv;
-    std::vector<ColumnRecord> hist_col;
+    std::span<u64> hist_pv, hist_mv;
+    std::span<ColumnRecord> hist_col;
     if (want_cigar) {
-        hist_pv.resize(W * m);
-        hist_mv.resize(W * m);
-        hist_col.resize(m);
+        hist_pv = ctx.arena().rowsUninit<u64>(W * m);
+        hist_mv = ctx.arena().rowsUninit<u64>(W * m);
+        hist_col = ctx.arena().rowsUninit<ColumnRecord>(m);
     }
 
     const size_t bf_max = num_blocks - W;
+    KernelCounts *counts = ctx.countsSink();
 
+    ctx.beginKernel();
     for (size_t j = 1; j <= m; ++j) {
+        ctx.poll();
         // Band placement: any path with <= k edits satisfies |i - j| <= k,
         // so anchoring the band top at row j - k - 1 (block-rounded down)
         // keeps the whole reachable corridor inside the band; W includes
@@ -138,9 +146,10 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         }
 
         const u8 c = text.code(j - 1);
+        const u64 *pe = &peq[size_t{c} * num_blocks];
         int hin = 1; // Ukkonen envelope above the band (exact at row 0)
         for (size_t w = 0; w < W; ++w)
-            hin = blockStep(band[w], peq[c][bf + w], hin);
+            hin = blockStep(band[w], pe[bf + w], hin);
         vtop += 1; // the envelope row advances one column: its value is +1
 
         if (want_cigar) {
@@ -171,12 +180,16 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         else if (band[w].mv & bit)
             --value;
     }
-    if (value > k)
+    if (value > k) {
+        ctx.donePhases();
         return res; // outside the guaranteed-exact region
+    }
 
     res.distance = value;
-    if (!want_cigar)
+    if (!want_cigar) {
+        ctx.donePhases();
         return res;
+    }
     res.has_cigar = true;
 
     // ---- Traceback over the stored band history ----
@@ -186,10 +199,10 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     {
         size_t row_lo = 0;          // first row with a valid value
         size_t row_hi = 0;          // last row with a valid value
-        std::vector<i64> values;    // indexed by absolute row
+        std::span<i64> values;      // indexed by absolute row
     };
     auto reconstruct = [&](size_t j, Col &col) {
-        col.values.assign(n + 1, kInvalid);
+        std::fill(col.values.begin(), col.values.end(), kInvalid);
         if (j == 0) {
             col.row_lo = 0;
             col.row_hi = n;
@@ -216,7 +229,8 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
         }
     };
 
-    Col col_j, col_prev;
+    Col col_j{0, 0, ctx.arena().rowsUninit<i64>(n + 1)};
+    Col col_prev{0, 0, ctx.arena().rowsUninit<i64>(n + 1)};
     reconstruct(m, col_j);
     GMX_ASSERT(col_j.values[n] == res.distance);
 
@@ -229,6 +243,7 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
                                                     : kInvalid;
     };
     while (i > 0 || j > 0) {
+        ctx.poll();
         if (j == 0) {
             ops.push_back(Op::Insertion);
             --i;
@@ -276,19 +291,27 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    ctx.donePhases();
     return res;
 }
 
 AlignResult
+bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+               bool want_cigar)
+{
+    KernelContext ctx;
+    return bpmBandedAlign(pattern, text, k, want_cigar, ctx);
+}
+
+AlignResult
 edlibAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-           bool want_cigar, i64 k0, KernelCounts *counts)
+           bool want_cigar, i64 k0, KernelContext &ctx)
 {
     const i64 limit =
         static_cast<i64>(std::max(pattern.size(), text.size()));
     i64 k = std::max<i64>(k0, 1);
     while (true) {
-        AlignResult res =
-            bpmBandedAlign(pattern, text, k, want_cigar, counts);
+        AlignResult res = bpmBandedAlign(pattern, text, k, want_cigar, ctx);
         if (res.found())
             return res;
         if (k >= limit) {
@@ -299,12 +322,26 @@ edlibAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
 }
 
+AlignResult
+edlibAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+           bool want_cigar, i64 k0)
+{
+    KernelContext ctx;
+    return edlibAlign(pattern, text, want_cigar, k0, ctx);
+}
+
 i64
 edlibDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-              KernelCounts *counts)
+              KernelContext &ctx)
 {
-    return edlibAlign(pattern, text, /*want_cigar=*/false, 64, counts)
-        .distance;
+    return edlibAlign(pattern, text, /*want_cigar=*/false, 64, ctx).distance;
+}
+
+i64
+edlibDistance(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return edlibDistance(pattern, text, ctx);
 }
 
 } // namespace gmx::align

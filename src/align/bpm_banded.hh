@@ -19,6 +19,7 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
@@ -29,23 +30,29 @@ namespace gmx::align {
  * Returns distance = kNoAlignment when the distance found inside the band
  * exceeds @p k (the alignment may or may not exist at a higher k).
  * When @p want_cigar is false only the distance is computed (O(B) memory).
+ * All band state and traceback history come from the context's arena,
+ * behind a frame — the k-doubling driver retries without growing scratch.
  */
 AlignResult bpmBandedAlign(const seq::Sequence &pattern,
+                           const seq::Sequence &text, i64 k, bool want_cigar,
+                           KernelContext &ctx);
+AlignResult bpmBandedAlign(const seq::Sequence &pattern,
                            const seq::Sequence &text, i64 k,
-                           bool want_cigar = true,
-                           KernelCounts *counts = nullptr);
+                           bool want_cigar = true);
 
 /**
  * Edlib-style driver: doubles k (starting from @p k0) until the alignment
  * is found. Always succeeds (k grows to max(n, m) in the worst case).
  */
 AlignResult edlibAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                       bool want_cigar = true, i64 k0 = 64,
-                       KernelCounts *counts = nullptr);
+                       bool want_cigar, i64 k0, KernelContext &ctx);
+AlignResult edlibAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                       bool want_cigar = true, i64 k0 = 64);
 
 /** Distance-only convenience wrapper around edlibAlign. */
 i64 edlibDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                  KernelCounts *counts = nullptr);
+                  KernelContext &ctx);
+i64 edlibDistance(const seq::Sequence &pattern, const seq::Sequence &text);
 
 } // namespace gmx::align
 

@@ -1,6 +1,7 @@
 #include "align/hirschberg.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "align/nw.hh"
 #include "common/logging.hh"
@@ -11,20 +12,21 @@ namespace {
 
 /**
  * Last DP row of aligning @p pattern[p0, p1) against @p text[t0, t1),
- * optionally on the reversed sequences. Output is (t1 - t0 + 1) wide.
+ * optionally on the reversed sequences. Output is (t1 - t0 + 1) wide and
+ * lives in the context's arena — the caller's frame reclaims it.
  */
-std::vector<i64>
+std::span<i64>
 lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
         const seq::Sequence &text, size_t t0, size_t t1, bool reversed,
-        KernelCounts *counts, CancelGate &gate)
+        KernelContext &ctx)
 {
     const size_t n = p1 - p0;
     const size_t m = t1 - t0;
-    std::vector<i64> row(m + 1);
+    std::span<i64> row = ctx.arena().rowsUninit<i64>(m + 1);
     for (size_t j = 0; j <= m; ++j)
         row[j] = static_cast<i64>(j);
     for (size_t i = 1; i <= n; ++i) {
-        gate.check();
+        ctx.poll();
         i64 diag = row[0];
         row[0] = static_cast<i64>(i);
         const char pc = reversed ? pattern.at(p1 - i)
@@ -38,7 +40,7 @@ lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
             diag = up;
         }
     }
-    if (counts) {
+    if (KernelCounts *counts = ctx.countsSink()) {
         counts->cells += static_cast<u64>(n) * m;
         counts->alu += 5 * static_cast<u64>(n) * m;
         counts->loads += 2 * static_cast<u64>(n) * m;
@@ -51,7 +53,7 @@ lastRow(const seq::Sequence &pattern, size_t p0, size_t p1,
 void
 solve(const seq::Sequence &pattern, size_t p0, size_t p1,
       const seq::Sequence &text, size_t t0, size_t t1,
-      std::vector<Op> &ops, KernelCounts *counts, CancelGate &gate)
+      std::vector<Op> &ops, KernelContext &ctx)
 {
     const size_t n = p1 - p0;
     const size_t m = t1 - t0;
@@ -64,46 +66,55 @@ solve(const seq::Sequence &pattern, size_t p0, size_t p1,
         return;
     }
     if (n <= 2 || m <= 2) {
-        // Small base case: plain quadratic traceback on the slice.
-        const auto sub = nwAlign(pattern.substr(p0, n), text.substr(t0, m));
-        ops.insert(ops.end(), sub.cigar.ops().begin(),
-                   sub.cigar.ops().end());
-        if (counts)
+        // Small base case: plain quadratic traceback on the slice. Runs
+        // on a sub-context sharing the arena and cancel token but not
+        // the counts sink: the base-case accounting below (cells only)
+        // predates the context refactor and stays bit-identical.
+        KernelContext sub(ctx.cancel(), nullptr, &ctx.arena());
+        const auto sub_res =
+            nwAlign(pattern.substr(p0, n), text.substr(t0, m), sub);
+        ops.insert(ops.end(), sub_res.cigar.ops().begin(),
+                   sub_res.cigar.ops().end());
+        if (KernelCounts *counts = ctx.countsSink())
             counts->cells += static_cast<u64>(n) * m;
         return;
     }
 
     // Split the pattern in half; find the text split minimizing the sum
-    // of the forward top half and the backward bottom half.
+    // of the forward top half and the backward bottom half. The frame
+    // reclaims both rows before recursing, keeping peak scratch O(m)
+    // instead of O(m * depth).
     const size_t mid = p0 + n / 2;
-    const auto fwd =
-        lastRow(pattern, p0, mid, text, t0, t1, false, counts, gate);
-    const auto bwd =
-        lastRow(pattern, mid, p1, text, t0, t1, true, counts, gate);
     size_t best_j = 0;
-    i64 best = kNoAlignment;
-    for (size_t j = 0; j <= m; ++j) {
-        const i64 total = fwd[j] + bwd[m - j];
-        if (total < best) {
-            best = total;
-            best_j = j;
+    {
+        ScratchArena::Frame frame(ctx.arena());
+        const auto fwd = lastRow(pattern, p0, mid, text, t0, t1, false, ctx);
+        const auto bwd = lastRow(pattern, mid, p1, text, t0, t1, true, ctx);
+        i64 best = kNoAlignment;
+        for (size_t j = 0; j <= m; ++j) {
+            const i64 total = fwd[j] + bwd[m - j];
+            if (total < best) {
+                best = total;
+                best_j = j;
+            }
         }
     }
-    solve(pattern, p0, mid, text, t0, t0 + best_j, ops, counts, gate);
-    solve(pattern, mid, p1, text, t0 + best_j, t1, ops, counts, gate);
+    solve(pattern, p0, mid, text, t0, t0 + best_j, ops, ctx);
+    solve(pattern, mid, p1, text, t0 + best_j, t1, ops, ctx);
 }
 
 } // namespace
 
 AlignResult
 hirschbergAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                KernelCounts *counts, const CancelToken &cancel)
+                KernelContext &ctx)
 {
-    CancelGate gate(cancel);
+    ctx.beginSetup();
     std::vector<Op> ops;
     ops.reserve(pattern.size() + text.size());
-    solve(pattern, 0, pattern.size(), text, 0, text.size(), ops, counts,
-          gate);
+    ctx.beginKernel();
+    ScratchArena::Frame frame(ctx.arena());
+    solve(pattern, 0, pattern.size(), text, 0, text.size(), ops, ctx);
 
     AlignResult res;
     res.cigar = Cigar(std::move(ops));
@@ -132,7 +143,15 @@ hirschbergAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     GMX_ASSERT(i == pattern.size() && j == text.size(),
                "Hirschberg alignment does not consume both sequences");
+    ctx.donePhases();
     return res;
+}
+
+AlignResult
+hirschbergAlign(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return hirschbergAlign(pattern, text, ctx);
 }
 
 } // namespace gmx::align

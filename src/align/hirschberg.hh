@@ -13,9 +13,8 @@
 #ifndef GMX_ALIGN_HIRSCHBERG_HH
 #define GMX_ALIGN_HIRSCHBERG_HH
 
-#include "align/bpm.hh"
 #include "align/types.hh"
-#include "common/cancel.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
@@ -24,12 +23,15 @@ namespace gmx::align {
  * Optimal global alignment with Hirschberg's algorithm. Equivalent in
  * distance to nwAlign but uses only two DP rows at any time — the
  * memory-frugal traceback the engine downgrades to when the budget gate
- * refuses a Full(GMX) edge matrix. Polls @p cancel every K DP rows.
+ * refuses a Full(GMX) edge matrix. DP rows live in the context's arena
+ * behind per-subproblem frames, so peak scratch stays O(m) even though
+ * the recursion revisits the arena; cancellation is polled through the
+ * context every K DP rows.
  */
 AlignResult hirschbergAlign(const seq::Sequence &pattern,
-                            const seq::Sequence &text,
-                            KernelCounts *counts = nullptr,
-                            const CancelToken &cancel = {});
+                            const seq::Sequence &text, KernelContext &ctx);
+AlignResult hirschbergAlign(const seq::Sequence &pattern,
+                            const seq::Sequence &text);
 
 } // namespace gmx::align
 

@@ -1,6 +1,7 @@
 #include "align/nw.hh"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/logging.hh"
@@ -9,7 +10,7 @@ namespace gmx::align {
 
 i64
 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-           KernelCounts *counts, const CancelToken &cancel)
+           KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
@@ -21,13 +22,15 @@ nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
     const seq::Sequence &cols = swap ? pattern : text;   // inner row
     const size_t width = cols.size();
 
-    std::vector<i64> row(width + 1);
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
+    std::span<i64> row = ctx.arena().rowsUninit<i64>(width + 1);
     for (size_t j = 0; j <= width; ++j)
         row[j] = static_cast<i64>(j);
 
-    CancelGate gate(cancel);
+    ctx.beginKernel();
     for (size_t i = 1; i <= rows.size(); ++i) {
-        gate.check();
+        ctx.poll();
         i64 diag = row[0]; // D[i-1][0]
         row[0] = static_cast<i64>(i);
         for (size_t j = 1; j <= width; ++j) {
@@ -38,7 +41,7 @@ nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
             diag = up;
         }
     }
-    if (counts) {
+    if (KernelCounts *counts = ctx.countsSink()) {
         // Same accounting as Hirschberg's lastRow: 5 scalar ops, two
         // reads and one write per DP cell.
         const u64 cells = static_cast<u64>(n) * m;
@@ -47,7 +50,16 @@ nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
         counts->loads += 2 * cells;
         counts->stores += cells;
     }
-    return row[width];
+    const i64 dist = row[width];
+    ctx.donePhases();
+    return dist;
+}
+
+i64
+nwDistance(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return nwDistance(pattern, text, ctx);
 }
 
 namespace {
@@ -64,23 +76,25 @@ enum Dir : u8
 
 AlignResult
 nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-        KernelCounts *counts, const CancelToken &cancel)
+        KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
     const size_t stride = m + 1;
 
-    std::vector<u8> dir((n + 1) * stride);
-    std::vector<i64> row(m + 1);
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
+    std::span<u8> dir = ctx.arena().rowsUninit<u8>((n + 1) * stride);
+    std::span<i64> row = ctx.arena().rowsUninit<i64>(m + 1);
 
     for (size_t j = 0; j <= m; ++j) {
         row[j] = static_cast<i64>(j);
         dir[j] = kLeft;
     }
 
-    CancelGate gate(cancel);
+    ctx.beginKernel();
     for (size_t i = 1; i <= n; ++i) {
-        gate.check();
+        ctx.poll();
         i64 diag = row[0];
         row[0] = static_cast<i64>(i);
         dir[i * stride] = kUp;
@@ -145,14 +159,22 @@ nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
-    if (counts) {
+    if (KernelCounts *counts = ctx.countsSink()) {
         const u64 cells = static_cast<u64>(n) * m;
         counts->cells += cells;
         counts->alu += 5 * cells;
         counts->loads += 2 * cells + res.cigar.size(); // DP + traceback
         counts->stores += 2 * cells;                   // row + direction
     }
+    ctx.donePhases();
     return res;
+}
+
+AlignResult
+nwAlign(const seq::Sequence &pattern, const seq::Sequence &text)
+{
+    KernelContext ctx;
+    return nwAlign(pattern, text, ctx);
 }
 
 std::vector<i64>

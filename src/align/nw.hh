@@ -9,37 +9,39 @@
  *   D[i][j] = min(D[i-1][j] + 1, D[i][j-1] + 1, D[i-1][j-1] + eq(i,j))
  *
  * with eq(i,j) = 0 when pattern[i-1] == text[j-1], else 1.
+ *
+ * Both entry points take a KernelContext (kernel/context.hh): the
+ * context's amortized poll() bounds runaway pairs, its KernelCounts sink
+ * accumulates dynamic work, and all DP rows / the direction matrix come
+ * from its ScratchArena. The two-argument overloads build a throwaway
+ * default context for standalone callers.
  */
 
 #ifndef GMX_ALIGN_NW_HH
 #define GMX_ALIGN_NW_HH
 
-#include "align/bpm.hh"
+#include <vector>
+
 #include "align/types.hh"
-#include "common/cancel.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
 
-/**
- * Edit distance only; O(min(n,m)) memory, O(nm) time. Both NW entry
- * points poll @p cancel every K rows (CancelGate) and unwind with
- * StatusError when it requests a stop; the default token is free.
- * @p counts, when non-null, accumulates the kernel's dynamic work
- * (cells, ALU ops, loads, stores) like every other aligner here.
- */
+/** Edit distance only; O(min(n,m)) scratch, O(nm) time. */
 i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-               KernelCounts *counts = nullptr,
-               const CancelToken &cancel = {});
+               KernelContext &ctx);
+i64 nwDistance(const seq::Sequence &pattern, const seq::Sequence &text);
 
 /**
- * Full alignment with traceback; stores an (n+1) x (m+1) direction matrix,
- * so memory is O(nm) bytes. Intended for moderate lengths (the quadratic
- * footprint is precisely the scalability limitation the paper describes).
+ * Full alignment with traceback; scratch is an (n+1) x (m+1) direction
+ * matrix, so memory is O(nm) bytes. Intended for moderate lengths (the
+ * quadratic footprint is precisely the scalability limitation the paper
+ * describes).
  */
 AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                    KernelCounts *counts = nullptr,
-                    const CancelToken &cancel = {});
+                    KernelContext &ctx);
+AlignResult nwAlign(const seq::Sequence &pattern, const seq::Sequence &text);
 
 /**
  * Compute one full row of the DP-matrix (row @p i of distances, m+1 wide).

@@ -11,16 +11,12 @@ namespace gmx::align {
 AlignResult
 windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
               const WindowedParams &params, const WindowAligner &window_fn,
-              const CancelToken &cancel)
+              KernelContext &ctx)
 {
     const size_t W = params.window;
     const size_t O = params.overlap;
     if (W == 0 || O >= W)
         GMX_FATAL("windowedAlign: invalid geometry W=%zu O=%zu", W, O);
-
-    // One poll per window: window work is bounded by W^2, so an active
-    // token is consulted at a granularity far below the deadline budget.
-    CancelGate gate(cancel, /*interval=*/1);
 
     // Remaining (unaligned) prefix lengths of each sequence. Windows are
     // anchored at the bottom-right of the remaining region.
@@ -32,7 +28,10 @@ windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     ops.reserve(pattern.size() + text.size());
 
     while (ri > 0 || rj > 0) {
-        gate.check();
+        // One check per window: window work is bounded by W^2, so an
+        // active token is consulted at a granularity far below the
+        // deadline budget.
+        ctx.checkNow();
         const size_t wp = std::min(W, ri);
         const size_t wt = std::min(W, rj);
         const bool final_window = (wp == ri && wt == rj);
@@ -82,8 +81,16 @@ windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
 }
 
 AlignResult
+windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+              const WindowedParams &params, const WindowAligner &window_fn)
+{
+    KernelContext ctx;
+    return windowedAlign(pattern, text, params, window_fn, ctx);
+}
+
+AlignResult
 genasmCpuAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-               const WindowedParams &params, KernelCounts *counts)
+               const WindowedParams &params, KernelContext &ctx)
 {
     // Faithful to the GenASM algorithm: the hardware supports (and pays
     // for) the full error budget of a window, k = max(wp, wt), rather
@@ -92,32 +99,54 @@ genasmCpuAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     // algorithm not designed to be executed on a CPU".
     return windowedAlign(
         pattern, text, params,
-        [counts](const seq::Sequence &p, const seq::Sequence &t) {
+        [&ctx](const seq::Sequence &p, const seq::Sequence &t) {
             const i64 k =
                 static_cast<i64>(std::max(p.size(), t.size()));
-            AlignResult res = bitapAlign(p, t, k, counts);
+            AlignResult res = bitapAlign(p, t, k, ctx);
             GMX_ASSERT(res.found(),
                        "window distance cannot exceed max(wp, wt)");
             return res;
-        });
+        },
+        ctx);
+}
+
+AlignResult
+genasmCpuAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+               const WindowedParams &params)
+{
+    KernelContext ctx;
+    return genasmCpuAlign(pattern, text, params, ctx);
 }
 
 AlignResult
 windowedDpAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-                const WindowedParams &params, KernelCounts *counts)
+                const WindowedParams &params, KernelContext &ctx)
 {
     return windowedAlign(
         pattern, text, params,
-        [counts](const seq::Sequence &p, const seq::Sequence &t) {
-            AlignResult res = nwAlign(p, t);
-            if (counts) {
+        [&ctx](const seq::Sequence &p, const seq::Sequence &t) {
+            // The window kernel shares the arena and cancel token but not
+            // the counts sink: windowed DP work has always been charged
+            // with the (W+1)^2 closed form below, not NW's n*m.
+            KernelContext sub(ctx.cancel(), nullptr, &ctx.arena());
+            AlignResult res = nwAlign(p, t, sub);
+            if (KernelCounts *counts = ctx.countsSink()) {
                 counts->cells += (p.size() + 1) * (t.size() + 1);
                 counts->alu += 5 * (p.size() + 1) * (t.size() + 1);
                 counts->loads += 2 * (p.size() + 1) * (t.size() + 1);
                 counts->stores += (p.size() + 1) * (t.size() + 1);
             }
             return res;
-        });
+        },
+        ctx);
+}
+
+AlignResult
+windowedDpAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                const WindowedParams &params)
+{
+    KernelContext ctx;
+    return windowedDpAlign(pattern, text, params, ctx);
 }
 
 } // namespace gmx::align

@@ -19,9 +19,8 @@
 
 #include <functional>
 
-#include "align/bpm.hh"
 #include "align/types.hh"
-#include "common/cancel.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::align {
@@ -43,26 +42,35 @@ using WindowAligner = std::function<AlignResult(const seq::Sequence &,
 /**
  * Run the windowed driver over @p pattern / @p text with @p window_fn
  * aligning each window. Throws FatalError when overlap >= window.
- * Polls @p cancel once per window (each window is O(W^2) bounded work)
- * and unwinds with StatusError when it requests a stop.
+ * Checks the context's token once per window (each window is O(W^2)
+ * bounded work) and unwinds with StatusError when it requests a stop;
+ * window kernels share the context's arena, so per-window scratch is
+ * reused across the whole traversal.
  */
 AlignResult windowedAlign(const seq::Sequence &pattern,
                           const seq::Sequence &text,
                           const WindowedParams &params,
-                          const WindowAligner &window_fn,
-                          const CancelToken &cancel = {});
+                          const WindowAligner &window_fn, KernelContext &ctx);
+AlignResult windowedAlign(const seq::Sequence &pattern,
+                          const seq::Sequence &text,
+                          const WindowedParams &params,
+                          const WindowAligner &window_fn);
 
 /** Windowed(GenASM-CPU): Bitap-based windows, the paper's CPU baseline. */
 AlignResult genasmCpuAlign(const seq::Sequence &pattern,
                            const seq::Sequence &text,
-                           const WindowedParams &params = WindowedParams(),
-                           KernelCounts *counts = nullptr);
+                           const WindowedParams &params, KernelContext &ctx);
+AlignResult genasmCpuAlign(const seq::Sequence &pattern,
+                           const seq::Sequence &text,
+                           const WindowedParams &params = WindowedParams());
 
 /** Windowed(DP): scalar NW windows (Darwin GACT's software equivalent). */
 AlignResult windowedDpAlign(const seq::Sequence &pattern,
                             const seq::Sequence &text,
-                            const WindowedParams &params = WindowedParams(),
-                            KernelCounts *counts = nullptr);
+                            const WindowedParams &params, KernelContext &ctx);
+AlignResult windowedDpAlign(const seq::Sequence &pattern,
+                            const seq::Sequence &text,
+                            const WindowedParams &params = WindowedParams());
 
 } // namespace gmx::align
 

@@ -29,6 +29,16 @@
 namespace gmx {
 
 /**
+ * How many kernel iterations (rows, tiles, or windows-worth of tiles)
+ * pass between consultations of an active CancelToken. One shared
+ * constant so every kernel — NW, Hirschberg, BPM, banded BPM, Bitap,
+ * and the three GMX strategies — amortizes polling identically: a poll
+ * every 64 rows is tens of microseconds of work between checks, far
+ * below the 50 ms cancellation-latency budget, at <2% overhead.
+ */
+inline constexpr unsigned kCancelPollStride = 64;
+
+/**
  * Observer half of cancellation: cheap to copy, safe to share across
  * threads. Obtain from a CancelSource (cancellable), withDeadline()
  * (bounded), or default-construct (never stops anything).
@@ -135,7 +145,7 @@ class CancelSource
 class CancelGate
 {
   public:
-    static constexpr unsigned kDefaultInterval = 64;
+    static constexpr unsigned kDefaultInterval = kCancelPollStride;
 
     explicit CancelGate(const CancelToken &token,
                         unsigned interval = kDefaultInterval)

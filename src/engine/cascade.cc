@@ -3,40 +3,49 @@
 #include <algorithm>
 #include <utility>
 
-#include "align/bitap.hh"
 #include "common/timer.hh"
-#include "gmx/banded.hh"
-#include "gmx/full.hh"
+#include "kernel/registry.hh"
 
 namespace gmx::engine {
 
 namespace {
 
-/** Charge one finished kernel invocation to the outcome's work log. */
-void
-noteAttempt(CascadeOutcome &out, Tier tier, const align::KernelCounts &c,
-            const Timer &timer)
+/**
+ * One planned kernel invocation. The cascade policy (what to try next,
+ * when an answer is final) stays here; everything kernel-specific lives
+ * behind the registry descriptor.
+ */
+struct TierPlan
 {
-    out.counts += c;
-    out.attempts.push_back({tier, c.cells, timer.seconds() * 1e6, false});
+    Tier tier;
+    const kernel::AlignerDescriptor *desc;
+    kernel::KernelParams params;
+};
+
+/** Run one planned invocation and charge it to the outcome's work log. */
+align::AlignResult
+runTier(CascadeOutcome &out, const TierPlan &plan,
+        const seq::SequencePair &pair, const CancelToken &cancel,
+        ScratchArena &arena)
+{
+    KernelCounts counts;
+    KernelContext ctx(cancel, &counts, &arena);
+    Timer timer;
+    align::AlignResult r = plan.desc->run(pair, plan.params, ctx);
+    const KernelContext::Phases phases = ctx.takePhases();
+    out.counts += counts;
+    out.attempts.push_back({plan.tier, counts.cells, timer.seconds() * 1e6,
+                            false, static_cast<double>(phases.setup_us),
+                            static_cast<double>(phases.kernel_us)});
+    return r;
 }
 
-/** Full(GMX) tier: always answers. */
+/** Mark the last attempt as the one that answered. */
 CascadeOutcome
-fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
-         bool want_cigar, const CancelToken &cancel, CascadeOutcome out)
+answered(CascadeOutcome out, Tier tier, align::AlignResult result)
 {
-    out.tier = Tier::Full;
-    align::KernelCounts c;
-    Timer timer;
-    if (want_cigar) {
-        out.result = core::fullGmxAlign(pair.pattern, pair.text, cfg.tile,
-                                        &c, cancel);
-    } else {
-        out.result.distance = core::fullGmxDistance(
-            pair.pattern, pair.text, cfg.tile, &c, cancel);
-    }
-    noteAttempt(out, Tier::Full, c, timer);
+    out.tier = tier;
+    out.result = std::move(result);
     out.attempts.back().answered = true;
     return out;
 }
@@ -45,71 +54,73 @@ fullTier(const seq::SequencePair &pair, const CascadeConfig &cfg,
 
 CascadeOutcome
 cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
-             bool want_cigar, const CancelToken &cancel)
+             bool want_cigar, const CancelToken &cancel, ScratchArena &arena)
 {
+    const auto &registry = kernel::AlignerRegistry::instance();
     const size_t n = pair.pattern.size();
     const size_t m = pair.text.size();
     CascadeOutcome out;
 
-    // Degenerate pairs skip the heuristics; Full(GMX) handles them.
-    if (!cfg.enabled || n == 0 || m == 0)
-        return fullTier(pair, cfg, want_cigar, cancel, std::move(out));
+    const kernel::AlignerDescriptor &full =
+        registry.require(cfg.full_kernel);
+    kernel::KernelParams full_params;
+    full_params.want_cigar = want_cigar;
+    full_params.tile = cfg.tile;
 
-    // Tier 1 — Bitap filter. When it finds the pair within k, the
-    // distance is exact; distance-only requests are done.
+    // Degenerate pairs skip the heuristics; the full tier handles them.
+    if (!cfg.enabled || n == 0 || m == 0) {
+        align::AlignResult r =
+            runTier(out, {Tier::Full, &full, full_params}, pair, cancel,
+                    arena);
+        return answered(std::move(out), Tier::Full, std::move(r));
+    }
+
+    // Tier 1 — distance-only filter. When it finds the pair within k,
+    // the distance is exact; distance-only requests are done.
     const i64 k = cfg.filter_k > 0 ? cfg.filter_k : cascadeAutoFilterK(n, m);
-    i64 filtered;
-    {
-        align::KernelCounts c;
-        Timer timer;
-        filtered =
-            align::bitapDistance(pair.pattern, pair.text, k, &c, cancel);
-        noteAttempt(out, Tier::Filter, c, timer);
-    }
-    if (filtered != align::kNoAlignment && !want_cigar) {
-        out.tier = Tier::Filter;
-        out.result.distance = filtered;
-        out.attempts.back().answered = true;
-        return out;
+    kernel::KernelParams filter_params;
+    filter_params.want_cigar = false;
+    filter_params.k = k;
+    filter_params.tile = cfg.tile;
+    const align::AlignResult filtered =
+        runTier(out, {Tier::Filter, &registry.require(cfg.filter_kernel),
+                      filter_params},
+                pair, cancel, arena);
+    if (filtered.found() && !want_cigar)
+        return answered(std::move(out), Tier::Filter, filtered);
+
+    // Tier 2 — banded. A filter hit pins the band to the exact distance
+    // (guaranteed to succeed); a miss tries growing bands.
+    const kernel::AlignerDescriptor &banded =
+        registry.require(cfg.banded_kernel);
+    kernel::KernelParams band_params;
+    band_params.want_cigar = want_cigar;
+    band_params.tile = cfg.tile;
+    band_params.enforce_bound = true;
+    const int band_attempts = filtered.found() ? 1 : cfg.band_doublings;
+    i64 band = filtered.found() ? std::max<i64>(filtered.distance, 1)
+                                : 2 * k;
+    for (int attempt = 0; attempt < band_attempts; ++attempt, band *= 2) {
+        band_params.k = band;
+        align::AlignResult r = runTier(
+            out, {Tier::Banded, &banded, band_params}, pair, cancel, arena);
+        if (r.found())
+            return answered(std::move(out), Tier::Banded, std::move(r));
     }
 
-    // Tier 2 — Banded(GMX). A filter hit pins the band to the exact
-    // distance (guaranteed to succeed); a miss tries growing bands.
-    if (filtered != align::kNoAlignment) {
-        align::KernelCounts c;
-        Timer timer;
-        auto r = core::bandedGmxAlign(pair.pattern, pair.text,
-                                      std::max<i64>(filtered, 1),
-                                      want_cigar, cfg.tile, &c,
-                                      /*enforce_bound=*/true, cancel);
-        noteAttempt(out, Tier::Banded, c, timer);
-        if (r.found()) {
-            out.tier = Tier::Banded;
-            out.result = std::move(r);
-            out.attempts.back().answered = true;
-            return out;
-        }
-    } else {
-        i64 band = 2 * k;
-        for (int attempt = 0; attempt < cfg.band_doublings;
-             ++attempt, band *= 2) {
-            align::KernelCounts c;
-            Timer timer;
-            auto r = core::bandedGmxAlign(pair.pattern, pair.text, band,
-                                          want_cigar, cfg.tile, &c,
-                                          /*enforce_bound=*/true, cancel);
-            noteAttempt(out, Tier::Banded, c, timer);
-            if (r.found()) {
-                out.tier = Tier::Banded;
-                out.result = std::move(r);
-                out.attempts.back().answered = true;
-                return out;
-            }
-        }
-    }
+    // Tier 3 — the exact fallback, always answers.
+    align::AlignResult r =
+        runTier(out, {Tier::Full, &full, full_params}, pair, cancel, arena);
+    return answered(std::move(out), Tier::Full, std::move(r));
+}
 
-    // Tier 3 — Full(GMX), the exact fallback.
-    return fullTier(pair, cfg, want_cigar, cancel, std::move(out));
+CascadeOutcome
+cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
+             bool want_cigar, const CancelToken &cancel)
+{
+    thread_local ScratchArena arena;
+    arena.reset();
+    return cascadeAlign(pair, cfg, want_cigar, cancel, arena);
 }
 
 } // namespace gmx::engine

@@ -26,19 +26,25 @@
 
 #include <vector>
 
-#include "align/bpm.hh"
 #include "align/types.hh"
 #include "common/cancel.hh"
 #include "engine/budget.hh" // cascadeAutoFilterK: shared with admission
 #include "engine/metrics.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::engine {
 
-/** Tuning knobs for the cascade. */
+/**
+ * Tuning knobs for the cascade. The tier kernels are registry names
+ * (kernel::AlignerRegistry), so the tier list is data: swapping the
+ * filter to "bpm-banded" or the exact tiers to a future kernel is a
+ * config edit, not a dispatcher rewrite. Each named kernel must be
+ * exact and, for the banded tier, banded.
+ */
 struct CascadeConfig
 {
-    /** False routes everything straight to Full(GMX). */
+    /** False routes everything straight to the full tier. */
     bool enabled = true;
 
     /**
@@ -49,12 +55,16 @@ struct CascadeConfig
 
     /**
      * Banded attempts when the filter misses: band budgets 2k, 4k, ...
-     * (band_doublings of them) before escalating to Full(GMX).
+     * (band_doublings of them) before escalating to the full tier.
      */
     int band_doublings = 2;
 
     /** GMX tile size for the banded and full tiers. */
     unsigned tile = 32;
+
+    const char *filter_kernel = "bitap";     //!< tier 1 (distance-only)
+    const char *banded_kernel = "gmx-banded"; //!< tier 2 (exact in band)
+    const char *full_kernel = "gmx-full";     //!< tier 3 (always answers)
 };
 
 /**
@@ -70,6 +80,15 @@ struct CascadeAttempt
     u64 cells = 0;       //!< DP cells this attempt computed
     double micros = 0.0; //!< wall-clock time of the attempt
     bool answered = false; //!< true on the attempt that produced the result
+
+    /**
+     * Phase split of micros as attributed by the kernel itself: setup is
+     * mask/grid building and scratch carving, kernel is the DP loop plus
+     * traceback. GCUPS reported per tier divides cells by kernel time
+     * only, so tile-build overhead can no longer inflate or dilute it.
+     */
+    double setup_us = 0.0;
+    double kernel_us = 0.0;
 };
 
 /** Result of one cascade routing decision. */
@@ -79,7 +98,7 @@ struct CascadeOutcome
     Tier tier = Tier::Full; //!< tier that produced the result
 
     /** Total dynamic work across every attempt (cells, ops, GMX instrs). */
-    align::KernelCounts counts;
+    KernelCounts counts;
 
     /** Kernel invocations in execution order; the last one answered. */
     std::vector<CascadeAttempt> attempts;
@@ -97,6 +116,16 @@ struct CascadeOutcome
 CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
                             const CascadeConfig &config, bool want_cigar,
                             const CancelToken &cancel = {});
+
+/**
+ * Same, drawing every tier's scratch from @p arena (not reset here: the
+ * owner resets once per request and reads peakBytes() afterwards). The
+ * four-argument overload uses a thread-local arena, so standalone
+ * callers still skip per-call heap traffic after warmup.
+ */
+CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
+                            const CascadeConfig &config, bool want_cigar,
+                            const CancelToken &cancel, ScratchArena &arena);
 
 } // namespace gmx::engine
 

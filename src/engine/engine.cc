@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/timer.hh"
 #include "engine/faults.hh"
+#include "kernel/registry.hh"
 
 namespace gmx::engine {
 
@@ -63,15 +64,33 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
     if (options.estimated_bytes != 0) {
         req.estimated_bytes = options.estimated_bytes;
     } else if (!req.aligner) {
-        // Worst-case cascade footprint: traceback requests may escalate
-        // to the Full(GMX) edge matrix; distance-only ones stay in
-        // rolling tile rows. Custom aligners are exempt unless declared.
+        // Worst-case cascade footprint. Tier kernels run back to back on
+        // one arena and each rewinds its frame, so the request's peak is
+        // the max over the tiers it can visit: the full-DP escalation
+        // target (traceback requests pay the full edge matrix) and the
+        // distance-only filter at the k the routing will pick. Custom
+        // aligners are exempt unless declared.
+        const auto &reg = kernel::AlignerRegistry::instance();
         const size_t n = pair.pattern.size();
-        const size_t m = pair.text.size();
+        const size_t mm = pair.text.size();
+        kernel::KernelParams params;
+        params.want_cigar = req.want_cigar;
+        params.tile = config_.cascade.tile;
         req.estimated_bytes =
-            req.want_cigar
-                ? fullGmxTracebackBytes(n, m, config_.cascade.tile)
-                : distanceOnlyBytes(n, m, config_.cascade.tile);
+            reg.require(config_.cascade.full_kernel)
+                .scratch_bytes(n, mm, params);
+        if (config_.cascade.enabled) {
+            kernel::KernelParams fparams;
+            fparams.want_cigar = false;
+            fparams.tile = config_.cascade.tile;
+            fparams.k = config_.cascade.filter_k > 0
+                            ? config_.cascade.filter_k
+                            : engine::cascadeAutoFilterK(n, mm);
+            req.estimated_bytes = std::max(
+                req.estimated_bytes,
+                reg.require(config_.cascade.filter_kernel)
+                    .scratch_bytes(n, mm, fparams));
+        }
     }
     req.pair = std::move(pair);
     return enqueue(std::move(req));
@@ -239,8 +258,11 @@ Engine::runOne(Request &req)
             reservation = MemoryReservation(&budget_, req.estimated_bytes);
         } else if (config_.downgrade_under_pressure && !req.aligner &&
                    req.want_cigar) {
-            const size_t frugal = hirschbergBytes(req.pair.pattern.size(),
-                                                  req.pair.text.size());
+            const size_t frugal =
+                kernel::AlignerRegistry::instance()
+                    .require("hirschberg")
+                    .scratch_bytes(req.pair.pattern.size(),
+                                   req.pair.text.size(), {});
             if (!budget_.tryReserve(frugal)) {
                 if (traced)
                     trace_.record(req.id, TraceEvent::Admission,
@@ -274,28 +296,39 @@ Engine::runOne(Request &req)
         Served served(AlignOutcome(align::AlignResult{}));
         served.reserved_bytes = reservation.bytes();
         served.admitted_us = admitted_us;
+        // Per-worker scratch: kernels bump-allocate their DP rows and
+        // tile buffers here, so a warmed worker serves requests with
+        // zero heap allocations on the hot path. Reset keeps the block
+        // (coalesced to the high-water mark), not the contents.
+        thread_local ScratchArena arena;
+        arena.reset();
         if (req.aligner) {
             result = req.aligner(req.pair);
         } else if (downgrade) {
-            align::KernelCounts counts;
+            KernelCounts counts;
+            KernelContext ctx(req.cancel, &counts, &arena);
             Timer timer;
             result = align::hirschbergAlign(req.pair.pattern, req.pair.text,
-                                            &counts, req.cancel);
+                                            ctx);
+            const KernelContext::Phases phases = ctx.takePhases();
             served.tiered = true;
             served.tier = Tier::Downgraded;
             served.cells = counts.cells;
-            served.attempts.push_back({Tier::Downgraded, counts.cells,
-                                       timer.seconds() * 1e6, true});
+            served.attempts.push_back(
+                {Tier::Downgraded, counts.cells, timer.seconds() * 1e6,
+                 true, static_cast<double>(phases.setup_us),
+                 static_cast<double>(phases.kernel_us)});
             metrics_.downgraded.fetch_add(1, std::memory_order_relaxed);
         } else {
             auto outcome = cascadeAlign(req.pair, config_.cascade,
-                                        req.want_cigar, req.cancel);
+                                        req.want_cigar, req.cancel, arena);
             served.tiered = true;
             served.tier = outcome.tier;
             served.cells = outcome.counts.cells;
             served.attempts = std::move(outcome.attempts);
             result = std::move(outcome.result);
         }
+        served.arena_peak_bytes = arena.peakBytes();
         served.outcome = AlignOutcome(std::move(result));
         return served;
     } catch (const StatusError &e) {
@@ -342,8 +375,10 @@ Engine::runRequests(std::vector<Request> batch)
                 metrics_.recordTier(served.tier, served.reserved_bytes);
                 metrics_.recordTimings(served.tier, queue_wait_s,
                                        service_s);
+                metrics_.noteArenaPeak(served.arena_peak_bytes);
                 for (const CascadeAttempt &a : served.attempts)
-                    metrics_.recordAttempt(a.tier, a.cells, a.micros);
+                    metrics_.recordAttempt(a.tier, a.cells, a.micros,
+                                           a.setup_us, a.kernel_us);
             }
         } else {
             metrics_.failed.fetch_add(1, std::memory_order_relaxed);

@@ -248,6 +248,7 @@ class Engine
         Tier tier = Tier::Full;
         u64 cells = 0;
         u64 reserved_bytes = 0;
+        u64 arena_peak_bytes = 0; //!< worker scratch high-water this request
         i64 admitted_us = 0; //!< trace time of the Admission span
         std::vector<CascadeAttempt> attempts;
 

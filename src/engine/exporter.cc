@@ -109,6 +109,8 @@ renderOpenMetrics(const MetricsSnapshot &snap)
           static_cast<double>(snap.mem_reserved_bytes));
     gauge(os, "gmx_memory_reserved_peak_bytes",
           static_cast<double>(snap.mem_reserved_peak));
+    gauge(os, "gmx_arena_peak_bytes",
+          static_cast<double>(snap.arena_peak_bytes));
 
     // Per-tier counters and gauges, one family per quantity.
     os << "# TYPE gmx_tier_completed counter\n";
@@ -131,6 +133,19 @@ renderOpenMetrics(const MetricsSnapshot &snap)
         os << "gmx_tier_peak_bytes{tier=\""
            << tierName(static_cast<Tier>(t)) << "\"} "
            << snap.tier_peak_bytes[t] << "\n";
+    // Seconds of kernel work split by phase: setup is mask/grid building
+    // and scratch carving, kernel is the DP loop plus traceback. The
+    // gcups gauge below divides cells by the kernel phase only.
+    os << "# TYPE gmx_tier_setup_seconds counter\n";
+    for (unsigned t = 0; t < kTierCount; ++t)
+        os << "gmx_tier_setup_seconds_total{tier=\""
+           << tierName(static_cast<Tier>(t)) << "\"} "
+           << num(snap.tiers[t].setup_us * 1e-6) << "\n";
+    os << "# TYPE gmx_tier_kernel_seconds counter\n";
+    for (unsigned t = 0; t < kTierCount; ++t)
+        os << "gmx_tier_kernel_seconds_total{tier=\""
+           << tierName(static_cast<Tier>(t)) << "\"} "
+           << num(snap.tiers[t].kernel_us * 1e-6) << "\n";
     os << "# TYPE gmx_tier_gcups gauge\n";
     for (unsigned t = 0; t < kTierCount; ++t)
         os << "gmx_tier_gcups{tier=\"" << tierName(static_cast<Tier>(t))

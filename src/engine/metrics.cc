@@ -127,6 +127,7 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
     s.mem_budget_bytes = mem_budget_bytes;
     s.mem_reserved_bytes = mem_reserved_bytes;
     s.mem_reserved_peak = mem_reserved_peak;
+    s.arena_peak_bytes = arena_peak_bytes.load(std::memory_order_relaxed);
     s.pool_workers = pool_workers;
     s.pool_executed = pool_executed;
     s.pool_steals = pool_steals;
@@ -138,9 +139,13 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
         ts.attempts = tier_attempts[t].load(std::memory_order_relaxed);
         ts.cells = tier_cells[t].load(std::memory_order_relaxed);
         ts.work_us = tier_work_us[t].load(std::memory_order_relaxed);
+        ts.setup_us = tier_setup_us[t].load(std::memory_order_relaxed);
+        ts.kernel_us = tier_kernel_us[t].load(std::memory_order_relaxed);
         // GCUPS = 1e9 cells/s; cells per microsecond is 1e6 cells/s.
-        ts.gcups = ts.work_us > 0.0
-                       ? static_cast<double>(ts.cells) / ts.work_us / 1e3
+        // Pure-kernel time only: setup (mask/grid building, scratch
+        // carving) is reported separately instead of diluting this.
+        ts.gcups = ts.kernel_us > 0.0
+                       ? static_cast<double>(ts.cells) / ts.kernel_us / 1e3
                        : 0.0;
         ts.queue_wait = summarize(queue_wait[t]);
         ts.service = summarize(service[t]);
@@ -191,6 +196,7 @@ MetricsSnapshot::toJson() const
     os << "\"budget\":" << mem_budget_bytes;
     os << ",\"reserved\":" << mem_reserved_bytes;
     os << ",\"reserved_peak\":" << mem_reserved_peak;
+    os << ",\"arena_peak\":" << arena_peak_bytes;
     os << "}";
     os << ",\"pool\":{";
     os << "\"workers\":" << pool_workers;
@@ -208,6 +214,8 @@ MetricsSnapshot::toJson() const
            << ",\"attempts\":" << ts.attempts
            << ",\"cells\":" << ts.cells
            << ",\"work_us\":" << ts.work_us
+           << ",\"setup_us\":" << ts.setup_us
+           << ",\"kernel_us\":" << ts.kernel_us
            << ",\"gcups\":" << ts.gcups
            << ",\"queue_wait_us\":";
         jsonSummary(os, ts.queue_wait);

@@ -121,6 +121,7 @@ struct MetricsSnapshot
     u64 mem_budget_bytes = 0;  //!< configured budget (0 = unlimited)
     u64 mem_reserved_bytes = 0; //!< currently reserved estimates
     u64 mem_reserved_peak = 0;  //!< high-water mark of reserved estimates
+    u64 arena_peak_bytes = 0;   //!< max per-worker scratch-arena footprint
 
     // Work-stealing pool.
     u64 pool_workers = 0;  //!< worker threads
@@ -144,7 +145,21 @@ struct MetricsSnapshot
         u64 attempts = 0;   //!< kernel invocations routed at this tier
         u64 cells = 0;      //!< DP cells computed by those invocations
         double work_us = 0; //!< wall-clock microseconds spent in them
-        double gcups = 0;   //!< cells / work time, in 1e9 cells/s
+
+        /**
+         * Phase split of work_us, as attributed by the kernels: setup is
+         * mask/grid building and scratch carving, kernel is the DP loop
+         * plus traceback.
+         */
+        double setup_us = 0;
+        double kernel_us = 0;
+
+        /**
+         * cells / kernel time, in 1e9 cells/s. Computed from kernel_us
+         * only, so setup overhead shows up as a setup_us/work_us ratio
+         * instead of silently diluting throughput.
+         */
+        double gcups = 0;
 
         LatencySummary queue_wait; //!< enqueue -> worker pickup
         LatencySummary service;    //!< worker pickup -> result ready
@@ -192,6 +207,9 @@ class EngineMetrics
     std::array<std::atomic<u64>, kTierCount> tier_attempts{};
     std::array<std::atomic<u64>, kTierCount> tier_cells{};
     std::array<std::atomic<double>, kTierCount> tier_work_us{};
+    std::array<std::atomic<double>, kTierCount> tier_setup_us{};
+    std::array<std::atomic<double>, kTierCount> tier_kernel_us{};
+    std::atomic<u64> arena_peak_bytes{0};
     std::array<LatencyHistogram, kTierCount> queue_wait{};
     std::array<LatencyHistogram, kTierCount> service{};
     LatencyHistogram latency;
@@ -204,14 +222,23 @@ class EngineMetrics
         noteMax(tier_peak_bytes[i], estimated_bytes);
     }
 
-    /** Charge one kernel invocation's work to tier @p t. */
-    void recordAttempt(Tier t, u64 cells, double micros)
+    /**
+     * Charge one kernel invocation's work to tier @p t, with the
+     * setup/kernel phase split the kernel attributed itself.
+     */
+    void recordAttempt(Tier t, u64 cells, double micros,
+                       double setup_us = 0.0, double kernel_us = 0.0)
     {
         const unsigned i = static_cast<unsigned>(t);
         tier_attempts[i].fetch_add(1, std::memory_order_relaxed);
         tier_cells[i].fetch_add(cells, std::memory_order_relaxed);
         tier_work_us[i].fetch_add(micros, std::memory_order_relaxed);
+        tier_setup_us[i].fetch_add(setup_us, std::memory_order_relaxed);
+        tier_kernel_us[i].fetch_add(kernel_us, std::memory_order_relaxed);
     }
+
+    /** Raise the worker scratch-arena high-water mark to @p bytes. */
+    void noteArenaPeak(u64 bytes) { noteMax(arena_peak_bytes, bytes); }
 
     /** Record the split latency of a request answered by tier @p t. */
     void recordTimings(Tier t, double queue_wait_s, double service_s)

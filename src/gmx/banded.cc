@@ -1,6 +1,7 @@
 #include "gmx/banded.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "common/logging.hh"
 
@@ -9,7 +10,6 @@ namespace gmx::core {
 namespace {
 
 using align::AlignResult;
-using align::KernelCounts;
 using align::Op;
 
 void
@@ -22,11 +22,16 @@ foldUnitCounts(KernelCounts *counts, const GmxInstrCounts &unit)
     counts->csr += unit.csr_read + unit.csr_write;
 }
 
-/** Band-local tile-edge storage: one row of tiles per pattern tile-row. */
+/**
+ * Band-local tile-edge storage: one row of tiles per pattern tile-row,
+ * viewing arena-backed storage. Rows used to copy their tiles into a
+ * per-row std::vector (two allocations plus a copy per tile row); the
+ * spans write each row's edges in place exactly once.
+ */
 struct BandRow
 {
     size_t lo = 0; //!< first tile column in the band for this row
-    std::vector<TileEdges> tiles;
+    std::span<TileEdges> tiles;
 
     bool
     contains(size_t tj) const
@@ -53,8 +58,8 @@ struct BandRow
 
 align::AlignResult
 bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
-               bool want_cigar, unsigned tile, KernelCounts *counts,
-               bool enforce_bound, const CancelToken &cancel)
+               bool want_cigar, unsigned tile, bool enforce_bound,
+               KernelContext &ctx)
 {
     AlignResult res;
     if (k < 0)
@@ -74,7 +79,10 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         return res;
     }
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     GmxUnit unit(tile);
+    KernelCounts *counts = ctx.countsSink();
     const unsigned t = tile;
     const size_t gr = (n + t - 1) / t;
     const size_t gc = (m + t - 1) / t;
@@ -91,24 +99,39 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     auto band_lo = [&](size_t ti) { return ti > bt ? ti - bt : 0; };
     auto band_hi = [&](size_t ti) { return std::min(gc - 1, ti + bt); };
 
-    // Row storage: all rows when a traceback is wanted, otherwise only the
-    // previous row (O(band) memory, the megabase configuration).
-    std::vector<BandRow> all_rows;
-    if (want_cigar)
-        all_rows.resize(gr);
-    BandRow prev_row, cur_row;
+    // Row storage: all rows when a traceback is wanted (each row's slice
+    // carved from the arena up front and written in place), otherwise two
+    // rolling rows of the maximum band width (O(band) memory, the
+    // megabase configuration).
+    std::span<BandRow> all_rows;
+    std::span<TileEdges> roll_cur, roll_prev;
+    if (want_cigar) {
+        all_rows = ctx.arena().rowsUninit<BandRow>(gr);
+        for (size_t ti = 0; ti < gr; ++ti) {
+            const size_t lo = band_lo(ti);
+            all_rows[ti] = BandRow{
+                lo, ctx.arena().rowsUninit<TileEdges>(band_hi(ti) - lo + 1)};
+        }
+    } else {
+        const size_t max_w = std::min(gc, 2 * bt + 1);
+        roll_cur = ctx.arena().rowsUninit<TileEdges>(max_w);
+        roll_prev = ctx.arena().rowsUninit<TileEdges>(max_w);
+    }
 
-    CancelGate gate(cancel);
+    BandRow prev_row, cur_row;
     i64 corner = 0;      // D[ti*t][band_lo(ti)*t] for the current row
     i64 distance = align::kNoAlignment;
 
+    ctx.beginKernel();
     for (size_t ti = 0; ti < gr; ++ti) {
         const unsigned tp = tile_height(ti);
         unit.csrwPattern(pattern.codes().data() + ti * t, tp);
         const size_t lo = band_lo(ti);
         const size_t hi = band_hi(ti);
-        cur_row.lo = lo;
-        cur_row.tiles.assign(hi - lo + 1, TileEdges());
+        if (want_cigar)
+            cur_row = all_rows[ti];
+        else
+            cur_row = BandRow{lo, roll_cur.first(hi - lo + 1)};
 
         i64 corner_run = corner;     // D[ti*t][tj*t] while sweeping
         i64 corner_next = 0;         // corner for row ti+1
@@ -116,7 +139,7 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
         bool have_next = false;
 
         for (size_t tj = lo; tj <= hi; ++tj) {
-            gate.check();
+            ctx.poll();
             const unsigned tt = tile_width(tj);
             unit.csrwText(text.codes().data() + tj * t, tt);
 
@@ -159,20 +182,21 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
                        "next row's band start must be inside this band");
             corner = corner_next;
         }
-        if (want_cigar)
-            all_rows[ti] = cur_row;
-        prev_row.lo = cur_row.lo;
-        prev_row.tiles.swap(cur_row.tiles);
+        prev_row = cur_row;
+        if (!want_cigar)
+            std::swap(roll_cur, roll_prev);
     }
 
     GMX_ASSERT(distance != align::kNoAlignment);
     if (enforce_bound && distance > k) {
         foldUnitCounts(counts, unit.counts());
+        ctx.donePhases();
         return res; // band verdict: may exist only at a larger k
     }
     res.distance = distance;
     if (!want_cigar) {
         foldUnitCounts(counts, unit.counts());
+        ctx.donePhases();
         return res;
     }
     res.has_cigar = true;
@@ -196,7 +220,7 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     unit.csrwPos({TracebackPos::Edge::Bottom, tile_width(tj) - 1});
 
     while (ai > 0 && aj > 0) {
-        gate.check();
+        ctx.poll();
         GMX_ASSERT(all_rows[ti].contains(tj),
                    "banded traceback left the band; raise k");
         const unsigned tp = tile_height(ti);
@@ -242,27 +266,43 @@ bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
     std::reverse(ops.begin(), ops.end());
     res.cigar = align::Cigar(std::move(ops));
     foldUnitCounts(counts, unit.counts());
+    ctx.donePhases();
     return res;
 }
 
 align::AlignResult
+bandedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text, i64 k,
+               bool want_cigar, unsigned tile, bool enforce_bound)
+{
+    KernelContext ctx;
+    return bandedGmxAlign(pattern, text, k, want_cigar, tile, enforce_bound,
+                          ctx);
+}
+
+align::AlignResult
 bandedGmxAuto(const seq::Sequence &pattern, const seq::Sequence &text,
-              bool want_cigar, i64 k0, unsigned tile, KernelCounts *counts,
-              const CancelToken &cancel)
+              bool want_cigar, i64 k0, unsigned tile, KernelContext &ctx)
 {
     const i64 limit =
         static_cast<i64>(std::max(pattern.size(), text.size()));
     i64 k = std::max<i64>(k0, 1);
     while (true) {
         AlignResult res = bandedGmxAlign(pattern, text, k, want_cigar, tile,
-                                         counts, /*enforce_bound=*/true,
-                                         cancel);
+                                         /*enforce_bound=*/true, ctx);
         if (res.found())
             return res;
         if (k >= limit)
             GMX_PANIC("bandedGmxAuto failed with a full-width band");
         k = std::min(limit, k * 2);
     }
+}
+
+align::AlignResult
+bandedGmxAuto(const seq::Sequence &pattern, const seq::Sequence &text,
+              bool want_cigar, i64 k0, unsigned tile)
+{
+    KernelContext ctx;
+    return bandedGmxAuto(pattern, text, want_cigar, k0, tile, ctx);
 }
 
 } // namespace gmx::core

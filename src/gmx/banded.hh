@@ -15,6 +15,7 @@
 
 #include "align/types.hh"
 #include "gmx/full.hh"
+#include "kernel/context.hh"
 
 namespace gmx::core {
 
@@ -32,23 +33,28 @@ namespace gmx::core {
  * With want_cigar=false only one tile-row of edges is kept, so memory is
  * O(B) — the configuration used for megabase-scale alignment.
  *
- * Polls @p cancel every K in-band tiles (CancelGate) and unwinds with
- * StatusError when it requests a stop; the default token is free.
+ * All band-row edge storage comes from the context's arena behind a
+ * frame (the k-doubling driver retries without growing scratch); the
+ * context is polled every K in-band tiles and unwinds with StatusError
+ * when it requests a stop.
  */
 align::AlignResult bandedGmxAlign(const seq::Sequence &pattern,
                                   const seq::Sequence &text, i64 k,
+                                  bool want_cigar, unsigned tile,
+                                  bool enforce_bound, KernelContext &ctx);
+align::AlignResult bandedGmxAlign(const seq::Sequence &pattern,
+                                  const seq::Sequence &text, i64 k,
                                   bool want_cigar = true, unsigned tile = 32,
-                                  align::KernelCounts *counts = nullptr,
-                                  bool enforce_bound = true,
-                                  const CancelToken &cancel = {});
+                                  bool enforce_bound = true);
 
 /** Doubling driver (exact): grows k from @p k0 until the result is found. */
 align::AlignResult bandedGmxAuto(const seq::Sequence &pattern,
+                                 const seq::Sequence &text, bool want_cigar,
+                                 i64 k0, unsigned tile, KernelContext &ctx);
+align::AlignResult bandedGmxAuto(const seq::Sequence &pattern,
                                  const seq::Sequence &text,
                                  bool want_cigar = true, i64 k0 = 64,
-                                 unsigned tile = 32,
-                                 align::KernelCounts *counts = nullptr,
-                                 const CancelToken &cancel = {});
+                                 unsigned tile = 32);
 
 } // namespace gmx::core
 

@@ -1,6 +1,7 @@
 #include "gmx/full.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "common/logging.hh"
 
@@ -9,7 +10,6 @@ namespace gmx::core {
 namespace {
 
 using align::AlignResult;
-using align::KernelCounts;
 using align::Op;
 
 /** Tile-grid geometry for an n x m matrix at tile size T. */
@@ -82,29 +82,31 @@ trivialEmptyAlign(size_t n, size_t m, bool want_cigar)
 
 i64
 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                unsigned tile, KernelCounts *counts,
-                const CancelToken &cancel)
+                unsigned tile, KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
     if (n == 0 || m == 0)
         return static_cast<i64>(n + m);
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     GmxUnit unit(tile);
     const Grid g(n, m, tile);
+    KernelCounts *counts = ctx.countsSink();
 
     // Rolling storage: right edges of the previous tile column (one per
     // tile row) and the bottom edge chain of the current tile column.
-    std::vector<DeltaVec> right(g.rows);
+    std::span<DeltaVec> right = ctx.arena().rowsUninit<DeltaVec>(g.rows);
 
-    CancelGate gate(cancel);
+    ctx.beginKernel();
     i64 distance = static_cast<i64>(n); // D[n][0]
     for (size_t tj = 0; tj < g.cols; ++tj) {
         const unsigned tt = g.tileWidth(tj);
         unit.csrwText(text.codes().data() + tj * g.t, tt);
         DeltaVec dh = DeltaVec::ones(tt); // top boundary of this column
         for (size_t ti = 0; ti < g.rows; ++ti) {
-            gate.check();
+            ctx.poll();
             const unsigned tp = g.tileHeight(ti);
             unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
             const DeltaVec dv_in =
@@ -116,34 +118,47 @@ fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
         distance += dh.sum(tt); // bottom-row horizontal deltas
     }
     foldUnitCounts(counts, unit.counts());
+    ctx.donePhases();
     return distance;
+}
+
+i64
+fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                unsigned tile)
+{
+    KernelContext ctx;
+    return fullGmxDistance(pattern, text, tile, ctx);
 }
 
 align::AlignResult
 fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-             unsigned tile, KernelCounts *counts, const CancelToken &cancel)
+             unsigned tile, KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
     if (n == 0 || m == 0)
         return trivialEmptyAlign(n, m, true);
 
+    ctx.beginSetup();
+    ScratchArena::Frame frame(ctx.arena());
     GmxUnit unit(tile);
     const Grid g(n, m, tile);
+    KernelCounts *counts = ctx.countsSink();
 
     // The edge matrix M (Algorithm 1): per-tile output edge vectors.
-    std::vector<TileEdges> edges(g.rows * g.cols);
+    std::span<TileEdges> edges =
+        ctx.arena().rowsUninit<TileEdges>(g.rows * g.cols);
     auto at = [&](size_t ti, size_t tj) -> TileEdges & {
         return edges[ti * g.cols + tj];
     };
 
-    CancelGate gate(cancel);
+    ctx.beginKernel();
     i64 distance = static_cast<i64>(n);
     for (size_t tj = 0; tj < g.cols; ++tj) {
         const unsigned tt = g.tileWidth(tj);
         unit.csrwText(text.codes().data() + tj * g.t, tt);
         for (size_t ti = 0; ti < g.rows; ++ti) {
-            gate.check();
+            ctx.poll();
             const unsigned tp = g.tileHeight(ti);
             unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
             const DeltaVec dv_in =
@@ -169,7 +184,7 @@ fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     unit.csrwPos({TracebackPos::Edge::Bottom, g.tileWidth(tj) - 1});
 
     while (ai > 0 && aj > 0) {
-        gate.check();
+        ctx.poll();
         const unsigned tp = g.tileHeight(ti);
         const unsigned tt = g.tileWidth(tj);
         unit.csrwPattern(pattern.codes().data() + ti * g.t, tp);
@@ -217,7 +232,16 @@ fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     std::reverse(ops.begin(), ops.end());
     res.cigar = align::Cigar(std::move(ops));
     foldUnitCounts(counts, unit.counts());
+    ctx.donePhases();
     return res;
+}
+
+align::AlignResult
+fullGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+             unsigned tile)
+{
+    KernelContext ctx;
+    return fullGmxAlign(pattern, text, tile, ctx);
 }
 
 } // namespace gmx::core

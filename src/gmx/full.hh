@@ -14,8 +14,8 @@
 
 #include "align/bpm.hh"
 #include "align/types.hh"
-#include "common/cancel.hh"
 #include "gmx/isa.hh"
+#include "kernel/context.hh"
 #include "sequence/sequence.hh"
 
 namespace gmx::core {
@@ -29,19 +29,21 @@ struct TileEdges
 
 /**
  * Edit distance via Full(GMX); stores one tile-row of edges only.
- * Both entry points poll @p cancel every K tiles (CancelGate) and unwind
- * with StatusError when it requests a stop; the default token is free.
+ * Both entry points draw edge storage from the context's arena, poll it
+ * every K tiles, and attribute CSR/tile-grid setup vs tile-loop time to
+ * its phase timers; the context-free overloads are for standalone use.
  */
 i64 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
-                    unsigned tile = 32,
-                    align::KernelCounts *counts = nullptr,
-                    const CancelToken &cancel = {});
+                    unsigned tile, KernelContext &ctx);
+i64 fullGmxDistance(const seq::Sequence &pattern, const seq::Sequence &text,
+                    unsigned tile = 32);
 
 /** Full alignment with tile-wise traceback (Algorithms 1 + 2). */
 align::AlignResult fullGmxAlign(const seq::Sequence &pattern,
-                                const seq::Sequence &text, unsigned tile = 32,
-                                align::KernelCounts *counts = nullptr,
-                                const CancelToken &cancel = {});
+                                const seq::Sequence &text, unsigned tile,
+                                KernelContext &ctx);
+align::AlignResult fullGmxAlign(const seq::Sequence &pattern,
+                                const seq::Sequence &text, unsigned tile = 32);
 
 } // namespace gmx::core
 

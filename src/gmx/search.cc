@@ -207,7 +207,8 @@ searchImpl(const u8 *pattern, size_t n, const u8 *text, size_t m,
                 std::vector<u8>(pattern, pattern + n));
             const seq::Sequence w_seq(
                 std::vector<u8>(text + o.begin, text + o.end));
-            const auto res = fullGmxAlign(p_seq, w_seq, opts.tile, counts);
+            KernelContext ctx(CancelToken{}, counts);
+            const auto res = fullGmxAlign(p_seq, w_seq, opts.tile, ctx);
             GMX_ASSERT(res.distance == o.distance);
             o.cigar = res.cigar;
         }

@@ -5,13 +5,22 @@ namespace gmx::core {
 align::AlignResult
 windowedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
                  unsigned tile, const align::WindowedParams &params,
-                 align::KernelCounts *counts)
+                 KernelContext &ctx)
 {
     return align::windowedAlign(
         pattern, text, params,
-        [tile, counts](const seq::Sequence &p, const seq::Sequence &t) {
-            return fullGmxAlign(p, t, tile, counts);
-        });
+        [tile, &ctx](const seq::Sequence &p, const seq::Sequence &t) {
+            return fullGmxAlign(p, t, tile, ctx);
+        },
+        ctx);
+}
+
+align::AlignResult
+windowedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+                 unsigned tile, const align::WindowedParams &params)
+{
+    KernelContext ctx;
+    return windowedGmxAlign(pattern, text, tile, params, ctx);
 }
 
 } // namespace gmx::core

@@ -20,11 +20,13 @@ namespace gmx::core {
  * Windowed alignment with GMX-tile windows. @p params defaults to the
  * paper's W = 3T, O = T geometry for the given tile size.
  */
+align::AlignResult windowedGmxAlign(const seq::Sequence &pattern,
+                                    const seq::Sequence &text, unsigned tile,
+                                    const align::WindowedParams &params,
+                                    KernelContext &ctx);
 align::AlignResult windowedGmxAlign(
     const seq::Sequence &pattern, const seq::Sequence &text,
-    unsigned tile = 32,
-    const align::WindowedParams &params = {96, 32},
-    align::KernelCounts *counts = nullptr);
+    unsigned tile = 32, const align::WindowedParams &params = {96, 32});
 
 } // namespace gmx::core
 

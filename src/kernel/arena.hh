@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ScratchArena: a per-worker bump allocator for kernel DP rows and tile
+ * buffers.
+ *
+ * Every exact kernel used to allocate its hot-path working memory with
+ * fresh std::vectors per call — one or more malloc/free round-trips per
+ * aligned pair, which dominates allocator traffic on the short-pair hot
+ * path (Scrooge-style reuse is where CPU aligners win throughput). The
+ * arena replaces those with pointer bumps into worker-owned blocks:
+ *
+ *  - rows<T>(n) / rowsUninit<T>(n) hand out typed std::span<T> views,
+ *    16-byte aligned, valid until the next reset() or enclosing Frame
+ *    rewind. T must be trivially destructible (no destructors run).
+ *  - reset() rewinds to empty between requests and coalesces multiple
+ *    growth blocks into ONE block sized to the high-water mark, so a
+ *    steady-state workload reuses identical pointers with zero upstream
+ *    allocations per request (see blockAllocs()).
+ *  - Frame is an RAII checkpoint for recursive kernels (Hirschberg) and
+ *    k-doubling drivers: allocations made inside the frame are rewound
+ *    when it closes, keeping peak usage O(row) instead of O(recursion).
+ *  - peakBytes() is the high-water mark since construction; the engine
+ *    reports it to the memory-budget layer and tests hold it against the
+ *    admission estimators.
+ *
+ * Under AddressSanitizer, rewound and reset regions are re-poisoned, so
+ * a kernel handle that outlives its reset() trips ASan immediately —
+ * the arena regression suite has a leg for exactly that.
+ */
+
+#ifndef GMX_KERNEL_ARENA_HH
+#define GMX_KERNEL_ARENA_HH
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hh"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GMX_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GMX_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef GMX_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define GMX_ARENA_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define GMX_ARENA_UNPOISON(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define GMX_ARENA_POISON(addr, size) ((void)0)
+#define GMX_ARENA_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace gmx {
+
+class ScratchArena
+{
+  public:
+    /** Every handout is aligned to this; sizes round up to it too. */
+    static constexpr size_t kAlign = 16;
+
+    ScratchArena() = default;
+    explicit ScratchArena(size_t initial_bytes)
+    {
+        if (initial_bytes > 0)
+            addBlock(roundUp(initial_bytes));
+    }
+
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** Zero-filled typed rows, valid until reset()/frame rewind. */
+    template <typename T> std::span<T> rows(size_t n)
+    {
+        std::span<T> s = rowsUninit<T>(n);
+        std::memset(static_cast<void *>(s.data()), 0, n * sizeof(T));
+        return s;
+    }
+
+    /** Uninitialized rows for kernels that overwrite every element. */
+    template <typename T> std::span<T> rowsUninit(size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory never runs destructors");
+        static_assert(alignof(T) <= kAlign, "over-aligned scratch type");
+        void *p = bump(n * sizeof(T));
+        return {static_cast<T *>(p), n};
+    }
+
+    /**
+     * Rewind to empty. If the last request spilled into growth blocks,
+     * coalesce into one block sized to the high-water mark so the next
+     * identical request bump-allocates the exact same pointers with no
+     * upstream allocation.
+     */
+    void reset()
+    {
+        if (blocks_.size() > 1 ||
+            (!blocks_.empty() && blocks_[0].size < peak_)) {
+            blocks_.clear();
+            addBlock(roundUp(peak_));
+        }
+        for (Block &b : blocks_) {
+            b.used = 0;
+            GMX_ARENA_POISON(b.data.get(), b.size);
+        }
+        live_ = 0;
+    }
+
+    /** Bytes currently handed out (including alignment padding). */
+    size_t liveBytes() const { return live_; }
+    /** High-water mark of liveBytes() since construction. */
+    size_t peakBytes() const { return peak_; }
+    /** Upstream (operator new) block allocations since construction. */
+    u64 blockAllocs() const { return block_allocs_; }
+
+    /**
+     * RAII checkpoint: allocations made after construction are rewound
+     * when the frame closes. Used by recursive kernels so scratch from a
+     * finished subproblem is reclaimed before the next one runs.
+     * peakBytes() still reflects the true high-water mark.
+     */
+    class Frame
+    {
+      public:
+        explicit Frame(ScratchArena &a)
+            : arena_(a), block_(a.blocks_.empty() ? 0 : a.blocks_.size() - 1),
+              used_(a.blocks_.empty() ? 0 : a.blocks_.back().used),
+              live_(a.live_)
+        {}
+
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+        ~Frame() { arena_.rewind(block_, used_, live_); }
+
+      private:
+        ScratchArena &arena_;
+        size_t block_;
+        size_t used_;
+        size_t live_;
+    };
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    static constexpr size_t kMinBlock = 4096;
+
+    static size_t roundUp(size_t n)
+    {
+        return (n + (kAlign - 1)) & ~(kAlign - 1);
+    }
+
+    void addBlock(size_t bytes)
+    {
+        Block b;
+        b.size = bytes < kMinBlock ? kMinBlock : bytes;
+        b.data = std::make_unique<std::byte[]>(b.size);
+        ++block_allocs_;
+        GMX_ARENA_POISON(b.data.get(), b.size);
+        blocks_.push_back(std::move(b));
+    }
+
+    void *bump(size_t bytes)
+    {
+        bytes = roundUp(bytes);
+        if (blocks_.empty() || blocks_.back().used + bytes >
+                                   blocks_.back().size) {
+            // Grow geometrically so a request that outgrows its block
+            // settles in O(log peak) upstream allocations, all merged
+            // into one block by the next reset().
+            size_t grow = blocks_.empty() ? kMinBlock : blocks_.back().size * 2;
+            addBlock(grow < bytes ? bytes : grow);
+        }
+        Block &b = blocks_.back();
+        std::byte *p = b.data.get() + b.used;
+        b.used += bytes;
+        live_ += bytes;
+        if (live_ > peak_)
+            peak_ = live_;
+        GMX_ARENA_UNPOISON(p, bytes);
+        return p;
+    }
+
+    void rewind(size_t block, size_t used, size_t live)
+    {
+        if (blocks_.empty())
+            return;
+        for (size_t i = blocks_.size() - 1; i > block; --i) {
+            GMX_ARENA_POISON(blocks_[i].data.get(), blocks_[i].size);
+            blocks_[i].used = 0;
+        }
+        Block &b = blocks_[block];
+        if (b.used > used)
+            GMX_ARENA_POISON(b.data.get() + used, b.used - used);
+        b.used = used;
+        live_ = live;
+    }
+
+    std::vector<Block> blocks_;
+    size_t live_ = 0;
+    size_t peak_ = 0;
+    u64 block_allocs_ = 0;
+};
+
+} // namespace gmx
+
+#endif // GMX_KERNEL_ARENA_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * KernelContext: the one argument every exact alignment kernel takes.
+ *
+ * PRs 1–4 threaded each engine concern — CancelGate, KernelCounts,
+ * deadlines, scratch memory — through kernel signatures one at a time,
+ * leaving eight divergent (gate, counts, ...) parameter tails. The
+ * context bundles them:
+ *
+ *  - cancellation: poll() is the shared amortized gate (one branch per
+ *    call, token consulted every kCancelPollStride calls); checkNow()
+ *    consults immediately for coarse-grained loops (one call per
+ *    window).
+ *  - counts: addCounts()/countsSink() feed an optional KernelCounts.
+ *  - scratch: arena() is the per-worker ScratchArena; a context built
+ *    without one lazily owns a private arena so standalone callers
+ *    (tests, benches, examples) need no setup.
+ *  - phase timers: kernels bracket their work with beginSetup() /
+ *    beginKernel() / donePhases(); the engine reads takePhases() after
+ *    each attempt to report setup vs pure-kernel time separately and to
+ *    compute GCUPS from kernel time only.
+ *
+ * Contexts are cheap, single-threaded, and per-request: build one per
+ * alignment (or reuse across a cascade's attempts), never share across
+ * threads.
+ */
+
+#ifndef GMX_KERNEL_CONTEXT_HH
+#define GMX_KERNEL_CONTEXT_HH
+
+#include <chrono>
+#include <memory>
+
+#include "common/cancel.hh"
+#include "kernel/arena.hh"
+#include "kernel/counts.hh"
+
+namespace gmx {
+
+class KernelContext
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    KernelContext() = default;
+
+    explicit KernelContext(CancelToken cancel, KernelCounts *counts = nullptr,
+                           ScratchArena *arena = nullptr)
+        : cancel_(std::move(cancel)), counts_(counts), arena_(arena),
+          stride_(cancel_.active() ? kCancelPollStride : 0)
+    {}
+
+    KernelContext(const KernelContext &) = delete;
+    KernelContext &operator=(const KernelContext &) = delete;
+
+    // ------------------------------------------------------ cancellation
+
+    const CancelToken &cancel() const { return cancel_; }
+
+    /**
+     * Amortized cancellation poll: call once per row/tile. Costs one
+     * branch when the token is inactive; consults the token every
+     * kCancelPollStride calls otherwise. Throws StatusError(Cancelled |
+     * DeadlineExceeded) when a stop was requested.
+     */
+    void poll()
+    {
+        if (stride_ == 0)
+            return;
+        if (++polls_ < stride_)
+            return;
+        polls_ = 0;
+        cancel_.throwIfStopped();
+    }
+
+    /** Immediate check, for loops whose iterations are already coarse. */
+    void checkNow() const { cancel_.throwIfStopped(); }
+
+    // ------------------------------------------------------------ counts
+
+    /** Destination for work counters; may be null (counting disabled). */
+    KernelCounts *countsSink() const { return counts_; }
+
+    void addCounts(const KernelCounts &c)
+    {
+        if (counts_)
+            *counts_ += c;
+    }
+
+    // ------------------------------------------------------------ scratch
+
+    /** Per-worker scratch arena; lazily owned when none was injected. */
+    ScratchArena &arena()
+    {
+        if (arena_)
+            return *arena_;
+        if (!owned_arena_)
+            owned_arena_ = std::make_unique<ScratchArena>();
+        return *owned_arena_;
+    }
+
+    // ------------------------------------------------------ phase timers
+
+    struct Phases
+    {
+        i64 setup_us = 0;  //!< mask/peq/tile-grid build + allocation
+        i64 kernel_us = 0; //!< DP loop + traceback proper
+    };
+
+    /** Start (or switch to) the setup phase. */
+    void beginSetup() { switchPhase(Phase::Setup); }
+    /** Switch to the pure-kernel phase (DP loop + traceback). */
+    void beginKernel() { switchPhase(Phase::Kernel); }
+    /** Stop the running phase timer (kernel epilogue). */
+    void donePhases() { switchPhase(Phase::None); }
+
+    /**
+     * Accumulated phase times since the last take, rounded to whole
+     * microseconds. Stops any running phase. The engine calls this once
+     * per cascade attempt; nested kernels (windowed → full, Hirschberg →
+     * NW) simply accumulate into the same totals.
+     */
+    Phases takePhases()
+    {
+        switchPhase(Phase::None);
+        Phases p{setup_ns_ / 1000, kernel_ns_ / 1000};
+        setup_ns_ = 0;
+        kernel_ns_ = 0;
+        return p;
+    }
+
+  private:
+    enum class Phase { None, Setup, Kernel };
+
+    void switchPhase(Phase next)
+    {
+        const Clock::time_point now = Clock::now();
+        if (phase_ != Phase::None) {
+            const i64 ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               now - phase_start_)
+                               .count();
+            (phase_ == Phase::Setup ? setup_ns_ : kernel_ns_) += ns;
+        }
+        phase_ = next;
+        phase_start_ = now;
+    }
+
+    CancelToken cancel_;
+    KernelCounts *counts_ = nullptr;
+    ScratchArena *arena_ = nullptr;
+    std::unique_ptr<ScratchArena> owned_arena_;
+    unsigned stride_ = 0;
+    unsigned polls_ = 0;
+
+    Phase phase_ = Phase::None;
+    Clock::time_point phase_start_{};
+    i64 setup_ns_ = 0;
+    i64 kernel_ns_ = 0;
+};
+
+} // namespace gmx
+
+#endif // GMX_KERNEL_CONTEXT_HH

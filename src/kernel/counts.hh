@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-kernel dynamic work counters.
+ *
+ * Every aligner that supports cost accounting fills one of these with
+ * exact loop-trip-derived values (not samples). The struct used to live
+ * in align/bpm.hh as gmx::align::KernelCounts; it moved here so the
+ * KernelContext (kernel/context.hh) — which every kernel now takes —
+ * can carry it without the context layer depending on a specific
+ * aligner. align/bpm.hh re-exports the old name as an alias.
+ */
+
+#ifndef GMX_KERNEL_COUNTS_HH
+#define GMX_KERNEL_COUNTS_HH
+
+#include "common/types.hh"
+
+namespace gmx {
+
+/**
+ * Per-kernel dynamic work counters, filled by aligners that support cost
+ * accounting. Counts are exact loop-trip-derived values, not samples.
+ */
+struct KernelCounts
+{
+    u64 cells = 0;      //!< DP-elements logically computed
+    u64 alu = 0;        //!< scalar ALU/bitwise instructions
+    u64 loads = 0;      //!< 8-byte memory reads
+    u64 stores = 0;     //!< 8-byte memory writes
+    u64 gmx_ac = 0;     //!< gmx.v/gmx.h instructions
+    u64 gmx_tb = 0;     //!< gmx.tb instructions
+    u64 csr = 0;        //!< CSR read/write instructions
+
+    void
+    operator+=(const KernelCounts &o)
+    {
+        cells += o.cells;
+        alu += o.alu;
+        loads += o.loads;
+        stores += o.stores;
+        gmx_ac += o.gmx_ac;
+        gmx_tb += o.gmx_tb;
+        csr += o.csr;
+    }
+
+    /** Total dynamic instruction count. */
+    u64
+    instructions() const
+    {
+        return alu + loads + stores + gmx_ac + gmx_tb + csr;
+    }
+};
+
+} // namespace gmx
+
+#endif // GMX_KERNEL_COUNTS_HH

@@ -70,6 +70,7 @@ profileForDataset(Algo algo, const seq::Dataset &dataset,
     }
 
     align::KernelCounts total;
+    KernelContext ctx(CancelToken{}, &total);
     i64 distance_sum = 0;
     for (size_t s = 0; s < samples; ++s) {
         const auto &pair = dataset.pairs[s];
@@ -77,50 +78,50 @@ profileForDataset(Algo algo, const seq::Dataset &dataset,
           case Algo::FullBpm: {
             const auto res = opts.traceback
                                  ? align::bpmAlign(pair.pattern, pair.text,
-                                                   &total)
+                                                   ctx)
                                  : align::AlignResult{};
             if (!opts.traceback)
                 distance_sum +=
-                    align::bpmDistance(pair.pattern, pair.text, &total);
+                    align::bpmDistance(pair.pattern, pair.text, ctx);
             else
                 distance_sum += res.distance;
             break;
           }
           case Algo::BandedEdlib: {
             const auto res = align::edlibAlign(pair.pattern, pair.text,
-                                               opts.traceback, 64, &total);
+                                               opts.traceback, 64, ctx);
             distance_sum += res.distance;
             break;
           }
           case Algo::WindowedGenasm: {
             const auto res = align::genasmCpuAlign(
                 pair.pattern, pair.text, {opts.window, opts.overlap},
-                &total);
+                ctx);
             distance_sum += res.distance;
             break;
           }
           case Algo::FullGmx: {
             if (opts.traceback) {
                 const auto res = core::fullGmxAlign(pair.pattern, pair.text,
-                                                    opts.tile, &total);
+                                                    opts.tile, ctx);
                 distance_sum += res.distance;
             } else {
                 distance_sum += core::fullGmxDistance(
-                    pair.pattern, pair.text, opts.tile, &total);
+                    pair.pattern, pair.text, opts.tile, ctx);
             }
             break;
           }
           case Algo::BandedGmx: {
             const auto res =
                 core::bandedGmxAuto(pair.pattern, pair.text, opts.traceback,
-                                    64, opts.tile, &total);
+                                    64, opts.tile, ctx);
             distance_sum += res.distance;
             break;
           }
           case Algo::WindowedGmx: {
             const auto res = core::windowedGmxAlign(
                 pair.pattern, pair.text, opts.tile,
-                {opts.window, opts.overlap}, &total);
+                {opts.window, opts.overlap}, ctx);
             distance_sum += res.distance;
             break;
           }

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ScratchArena regression suite: pointer-stable reuse across reset(),
+ * frame rewinds, allocator-traffic accounting, and the contract between
+ * each kernel's measured arena peak and its registry scratch estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "align/nw.hh"
+#include "kernel/arena.hh"
+#include "kernel/registry.hh"
+#include "sequence/generator.hh"
+
+namespace gmx {
+namespace {
+
+TEST(ScratchArena, ResetReusesIdenticalPointersWithNoNewBlocks)
+{
+    ScratchArena arena;
+    // Warm-up request: spans several growth blocks.
+    auto carve = [&arena] {
+        std::vector<void *> ptrs;
+        ptrs.push_back(arena.rowsUninit<i64>(1000).data());
+        ptrs.push_back(arena.rowsUninit<u8>(3000).data());
+        ptrs.push_back(arena.rowsUninit<u64>(5000).data());
+        return ptrs;
+    };
+    carve();
+    // The first reset coalesces the growth blocks into one block sized to
+    // the peak; the request that follows is the steady-state baseline.
+    arena.reset();
+    const auto first = carve();
+    const u64 warm_allocs = arena.blockAllocs();
+    EXPECT_GE(warm_allocs, 1u);
+
+    // Steady state: every identical request reuses the exact same
+    // pointers and performs zero upstream allocations (the property the
+    // engine's short-pair hot path depends on).
+    for (int request = 0; request < 10; ++request) {
+        arena.reset();
+        EXPECT_EQ(arena.liveBytes(), 0u);
+        const auto again = carve();
+        ASSERT_EQ(again.size(), first.size());
+        for (size_t i = 0; i < first.size(); ++i)
+            EXPECT_EQ(again[i], first[i]) << "allocation " << i;
+        EXPECT_EQ(arena.blockAllocs(), warm_allocs);
+    }
+}
+
+TEST(ScratchArena, RowsAreZeroedAndRowsUninitAreWritable)
+{
+    ScratchArena arena;
+    auto dirty = arena.rowsUninit<u64>(256);
+    for (auto &w : dirty)
+        w = ~0ull;
+    arena.reset();
+    // The zeroing variant must scrub whatever the last request left.
+    auto clean = arena.rows<u64>(256);
+    for (u64 w : clean)
+        ASSERT_EQ(w, 0u);
+}
+
+TEST(ScratchArena, FrameRewindReclaimsScratchButKeepsPeak)
+{
+    ScratchArena arena;
+    auto outer = arena.rowsUninit<u64>(100);
+    outer[0] = 42;
+    const size_t live_before = arena.liveBytes();
+    void *inner_ptr = nullptr;
+    {
+        ScratchArena::Frame frame(arena);
+        auto inner = arena.rowsUninit<u64>(10000);
+        inner_ptr = inner.data();
+        EXPECT_GT(arena.liveBytes(), live_before);
+    }
+    EXPECT_EQ(arena.liveBytes(), live_before);
+    EXPECT_EQ(outer[0], 42u); // outer scratch untouched by the rewind
+    EXPECT_GE(arena.peakBytes(), live_before + 10000 * sizeof(u64));
+    // The next draw reuses the rewound region.
+    EXPECT_EQ(arena.rowsUninit<u64>(10000).data(), inner_ptr);
+}
+
+TEST(ScratchArena, KernelPeakStaysWithinRegistryEstimate)
+{
+    // The contract the budget layer admits against: for every registered
+    // kernel, measured arena peak <= scratch_bytes(n, m) (admission never
+    // under-reserves), and the estimate is not wildly conservative
+    // (<= 4x peak + 16 KiB of documented slack for alignment rounding,
+    // partial tiles, and k-doubling retries that rewind).
+    seq::Generator gen(90210);
+    const auto pair = gen.pair(1500, 0.08);
+    const size_t n = pair.pattern.size();
+    const size_t m = pair.text.size();
+
+    for (const kernel::AlignerDescriptor &d :
+         kernel::AlignerRegistry::instance().all()) {
+        for (const bool want_cigar : {true, false}) {
+            if (!want_cigar && !d.supports_distance_only)
+                continue;
+            kernel::KernelParams params;
+            params.want_cigar = want_cigar;
+            if (d.banded)
+                params.k = 256; // generous: true distance ~120
+            ScratchArena arena;
+            KernelContext ctx(CancelToken{}, nullptr, &arena);
+            const auto res = d.run(pair, params, ctx);
+            ASSERT_TRUE(res.found()) << d.name;
+            const size_t peak = arena.peakBytes();
+            const size_t estimate = d.scratch_bytes(n, m, params);
+            EXPECT_GT(peak, 0u) << d.name;
+            EXPECT_LE(peak, estimate)
+                << d.name << " want_cigar=" << want_cigar
+                << ": kernel outgrew its admission estimate";
+            EXPECT_LE(estimate, 4 * peak + 16 * 1024)
+                << d.name << " want_cigar=" << want_cigar
+                << ": estimator is wildly conservative";
+        }
+    }
+}
+
+TEST(ScratchArena, ContextOwnsFallbackArenaForStandaloneCallers)
+{
+    // A default context carries its own arena, so convenience overloads
+    // work with zero setup; counts and result are unaffected.
+    seq::Generator gen(11);
+    const auto pair = gen.pair(200, 0.05);
+    KernelContext ctx;
+    const auto res = align::nwAlign(pair.pattern, pair.text, ctx);
+    EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
+    EXPECT_GT(ctx.arena().peakBytes(), 0u);
+}
+
+#ifdef GMX_ARENA_ASAN
+TEST(ScratchArenaAsanDeathTest, UseAfterResetTripsAsan)
+{
+    // Reset re-poisons the arena's blocks, so a stale span from the
+    // previous request faults immediately instead of silently reading
+    // another request's scratch.
+    EXPECT_DEATH(
+        {
+            ScratchArena arena;
+            auto row = arena.rowsUninit<u64>(64);
+            row[0] = 1;
+            arena.reset();
+            row[1] = 2; // stale handle: poisoned memory
+        },
+        "use-after-poison");
+}
+#endif
+
+} // namespace
+} // namespace gmx

@@ -105,8 +105,10 @@ TEST(Bitap, CountsScaleWithK)
     seq::Generator gen(97);
     const auto pair = gen.pair(60, 0.05);
     KernelCounts k8, k16;
-    bitapDistance(pair.pattern, pair.text, 8, &k8);
-    bitapDistance(pair.pattern, pair.text, 16, &k16);
+    KernelContext ctx8(CancelToken{}, &k8);
+    KernelContext ctx16(CancelToken{}, &k16);
+    bitapDistance(pair.pattern, pair.text, 8, ctx8);
+    bitapDistance(pair.pattern, pair.text, 16, ctx16);
     EXPECT_GT(k16.alu, k8.alu * 3 / 2);
 }
 

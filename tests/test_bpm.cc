@@ -88,7 +88,8 @@ TEST(Bpm, CountsAreAccumulated)
     seq::Generator gen(59);
     const auto pair = gen.pair(200, 0.05);
     KernelCounts counts;
-    bpmDistance(pair.pattern, pair.text, &counts);
+    KernelContext ctx(CancelToken{}, &counts);
+    bpmDistance(pair.pattern, pair.text, ctx);
     // 200x~200 cells; block count = ceil(n/64), ~17 ALU ops per block/char.
     EXPECT_GT(counts.cells, 30000u);
     EXPECT_GT(counts.alu, counts.cells / 64 * 17 / 2);
@@ -97,7 +98,8 @@ TEST(Bpm, CountsAreAccumulated)
     EXPECT_EQ(counts.gmx_ac, 0u);
 
     KernelCounts align_counts;
-    bpmAlign(pair.pattern, pair.text, &align_counts);
+    KernelContext align_ctx(CancelToken{}, &align_counts);
+    bpmAlign(pair.pattern, pair.text, align_ctx);
     // The traceback variant writes the column history: more stores.
     EXPECT_GT(align_counts.stores, counts.stores);
 }

@@ -99,9 +99,11 @@ TEST(BpmBanded, DistanceOnlySkipsHistory)
     seq::Generator gen(73);
     const auto pair = gen.pair(500, 0.1);
     KernelCounts with_tb, without_tb;
-    bpmBandedAlign(pair.pattern, pair.text, 200, true, &with_tb);
+    KernelContext ctx_tb(CancelToken{}, &with_tb);
+    KernelContext ctx_no_tb(CancelToken{}, &without_tb);
+    bpmBandedAlign(pair.pattern, pair.text, 200, true, ctx_tb);
     const auto res =
-        bpmBandedAlign(pair.pattern, pair.text, 200, false, &without_tb);
+        bpmBandedAlign(pair.pattern, pair.text, 200, false, ctx_no_tb);
     ASSERT_TRUE(res.found());
     EXPECT_FALSE(res.has_cigar);
     EXPECT_LT(without_tb.stores, with_tb.stores);

@@ -104,12 +104,14 @@ TEST(BandedGmx, NarrowBandComputesFarFewerCells)
     const auto text = gen.random(4000);
     const auto pattern = gen.mutate(text, 0.01);
     align::KernelCounts banded_counts, full_like;
+    KernelContext banded_ctx(CancelToken{}, &banded_counts);
+    KernelContext full_ctx(CancelToken{}, &full_like);
     const auto res = bandedGmxAlign(pattern, text, 128, false, 32,
-                                    &banded_counts);
+                                    /*enforce_bound=*/true, banded_ctx);
     ASSERT_TRUE(res.found());
     EXPECT_EQ(res.distance, align::nwDistance(pattern, text));
     const auto wide = bandedGmxAlign(pattern, text, 4000, false, 32,
-                                     &full_like);
+                                     /*enforce_bound=*/true, full_ctx);
     ASSERT_TRUE(wide.found());
     EXPECT_LT(banded_counts.cells * 5, full_like.cells);
 }
@@ -123,15 +125,14 @@ TEST(BandedGmx, FixedBandHeuristicNeverBeatsOptimal)
         const auto pair = gen.pair(600, 0.15);
         const i64 exact = align::nwDistance(pair.pattern, pair.text);
         const auto res = bandedGmxAlign(pair.pattern, pair.text, 16, false,
-                                        32, nullptr,
-                                        /*enforce_bound=*/false);
+                                        32, /*enforce_bound=*/false);
         ASSERT_TRUE(res.found());
         EXPECT_GE(res.distance, exact);
     }
     // With a generous band the heuristic is exact.
     const auto pair = gen.pair(400, 0.05);
     const auto res = bandedGmxAlign(pair.pattern, pair.text, 400, false, 32,
-                                    nullptr, /*enforce_bound=*/false);
+                                    /*enforce_bound=*/false);
     EXPECT_EQ(res.distance, align::nwDistance(pair.pattern, pair.text));
 }
 

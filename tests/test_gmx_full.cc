@@ -103,7 +103,8 @@ TEST(FullGmx, InstructionCountsMatchAlgorithm1)
     const auto p = gen.random(320);
     const auto t = gen.random(320);
     align::KernelCounts counts;
-    fullGmxDistance(p, t, 32, &counts);
+    KernelContext ctx(CancelToken{}, &counts);
+    fullGmxDistance(p, t, 32, ctx);
     const u64 tiles = 10 * 10;
     EXPECT_EQ(counts.gmx_ac, 2 * tiles);
     EXPECT_EQ(counts.cells, 320u * 320u);
@@ -112,7 +113,8 @@ TEST(FullGmx, InstructionCountsMatchAlgorithm1)
     EXPECT_EQ(counts.gmx_tb, 0u);
 
     align::KernelCounts tb_counts;
-    fullGmxAlign(p, t, 32, &tb_counts);
+    KernelContext tb_ctx(CancelToken{}, &tb_counts);
+    fullGmxAlign(p, t, 32, tb_ctx);
     EXPECT_GT(tb_counts.gmx_tb, 0u);
     // Tile-wise traceback touches at most the tiles on the path.
     EXPECT_LE(tb_counts.gmx_tb, 2 * 10u + 1);

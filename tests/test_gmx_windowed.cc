@@ -82,8 +82,9 @@ TEST(WindowedGmx, CountsAccumulateGmxInstructions)
     seq::Generator gen(409);
     const auto pair = gen.pair(500, 0.05);
     align::KernelCounts counts;
+    KernelContext ctx(CancelToken{}, &counts);
     const auto res =
-        windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32}, &counts);
+        windowedGmxAlign(pair.pattern, pair.text, 32, {96, 32}, ctx);
     ASSERT_TRUE(res.found());
     EXPECT_GT(counts.gmx_ac, 0u);
     EXPECT_GT(counts.gmx_tb, 0u);

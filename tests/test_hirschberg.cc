@@ -59,7 +59,8 @@ TEST(Hirschberg, ComputeIsRoughlyTwiceTheMatrix)
     seq::Generator gen(1203);
     const auto pair = gen.pair(800, 0.1);
     KernelCounts counts;
-    hirschbergAlign(pair.pattern, pair.text, &counts);
+    KernelContext ctx(CancelToken{}, &counts);
+    hirschbergAlign(pair.pattern, pair.text, ctx);
     const double cells = static_cast<double>(pair.pattern.size()) *
                          static_cast<double>(pair.text.size());
     EXPECT_GT(static_cast<double>(counts.cells), 1.5 * cells);
