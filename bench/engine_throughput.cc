@@ -15,6 +15,15 @@
  * (0 = ephemeral) it finishes the sweep, re-runs the workload on a fresh
  * engine, and serves that engine's /metrics, /vars, /trace and /healthz
  * until SIGINT/SIGTERM, so a scraper can be pointed at a benchmark run.
+ *
+ * `--wire [pairs]` appends a front-door leg: the same workload shape
+ * streamed through an AlignServer over localhost TCP via AlignClient,
+ * so the row prices the whole wire path (framing, socket hops, router,
+ * dedup cache) against the in-process sweep above. The batch runs
+ * twice — cold, then again with the result cache warm — and reports
+ * both rates plus the cache counters. `--wire-hold` then keeps the
+ * align server up until SIGINT/SIGTERM so `examples/align_client` (or
+ * any wire client) can be pointed at a live, pre-warmed server.
  */
 
 #include <algorithm>
@@ -24,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +44,8 @@
 #include "engine/exporter.hh"
 #include "engine/server.hh"
 #include "sequence/generator.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 
 using namespace gmx;
 
@@ -86,14 +98,27 @@ int
 main(int argc, char **argv)
 {
     int serve_port = -1;
+    long wire_pairs = -1;
+    bool wire_hold = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
             serve_port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--wire") == 0) {
+            wire_pairs = 2000;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                wire_pairs = std::atol(argv[++i]);
+        } else if (std::strcmp(argv[i], "--wire-hold") == 0) {
+            wire_hold = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--serve <port>]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--serve <port>] [--wire [pairs]] "
+                         "[--wire-hold]\n",
+                         argv[0]);
             return 2;
         }
     }
+    if (wire_hold && wire_pairs < 0)
+        wire_pairs = 2000;
 
     const size_t kPairs = 1200;
     const auto workload = makeWorkload(kPairs, 20230711);
@@ -308,6 +333,92 @@ main(int argc, char **argv)
     // The same snapshot in the format a Prometheus scraper would ingest.
     std::printf("\n--- OpenMetrics scrape (last sweep run) ---\n%s",
                 engine::renderOpenMetrics(last_snapshot).c_str());
+
+    // Wire mode: the same workload shape through the alignment front
+    // door — AlignServer + AlignClient over localhost TCP — priced
+    // cold and then with the dedup cache warm.
+    if (wire_pairs > 0) {
+        const auto wire_workload =
+            makeWorkload(static_cast<size_t>(wire_pairs), 20230711);
+        const double wire_mbases =
+            static_cast<double>(totalBases(wire_workload)) / 1e6;
+
+        std::vector<std::unique_ptr<engine::Engine>> engines;
+        for (int i = 0; i < 2; ++i) {
+            engine::EngineConfig cfg;
+            cfg.workers = 4;
+            engines.push_back(std::make_unique<engine::Engine>(cfg));
+        }
+        serve::AlignServerConfig scfg;
+        scfg.port = 0;
+        scfg.pending_cap = 4096;
+        serve::AlignServer server({engines[0].get(), engines[1].get()},
+                                  scfg);
+        if (Status s = server.start(); !s.ok()) {
+            std::fprintf(stderr, "wire server failed: %s\n",
+                         s.toString().c_str());
+            return 1;
+        }
+
+        serve::ClientConfig ccfg;
+        ccfg.port = server.port();
+        ccfg.client_id = "bench";
+        ccfg.window = 128;
+        serve::AlignClient client(ccfg);
+        if (Status s = client.connect(); !s.ok()) {
+            std::fprintf(stderr, "wire connect failed: %s\n",
+                         s.toString().c_str());
+            return 1;
+        }
+
+        double cold_s = 0, warm_s = 0;
+        for (int pass = 0; pass < 2; ++pass) {
+            Timer t;
+            const auto results =
+                client.alignBatch(wire_workload, /*want_cigar=*/false);
+            const double secs = t.seconds();
+            size_t ok = 0;
+            for (const auto &r : results)
+                ok += r.ok() ? 1 : 0;
+            if (ok != results.size()) {
+                std::fprintf(stderr, "wire pass %d: %zu/%zu failed\n",
+                             pass, results.size() - ok, results.size());
+                return 1;
+            }
+            (pass == 0 ? cold_s : warm_s) = secs;
+        }
+
+        const auto snap = server.serveSnapshot();
+        std::printf(
+            "\nWire path (%ld pairs over localhost TCP, 2 engines x 4 "
+            "workers, distance-only):\n"
+            "  cold: %8.0f pairs/s  %6.2f Mbases/s\n"
+            "  warm: %8.0f pairs/s  %6.2f Mbases/s  (dedup cache)\n"
+            "  cache: hits=%llu coalesced=%llu misses=%llu "
+            "hit_rate=%.2f  bytes_in=%llu bytes_out=%llu\n",
+            wire_pairs, wire_pairs / cold_s, wire_mbases / cold_s,
+            wire_pairs / warm_s, wire_mbases / warm_s,
+            static_cast<unsigned long long>(snap.cache_hits),
+            static_cast<unsigned long long>(snap.cache_coalesced),
+            static_cast<unsigned long long>(snap.cache_misses),
+            snap.cacheHitRate(),
+            static_cast<unsigned long long>(snap.bytes_in),
+            static_cast<unsigned long long>(snap.bytes_out));
+
+        if (wire_hold) {
+            std::signal(SIGINT, onSignal);
+            std::signal(SIGTERM, onSignal);
+            std::printf("align server holding on 127.0.0.1:%u — try "
+                        "examples/align_client --port %u; "
+                        "SIGINT/SIGTERM to stop\n",
+                        static_cast<unsigned>(server.port()),
+                        static_cast<unsigned>(server.port()));
+            std::fflush(stdout);
+            while (!g_stop.load())
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        server.stop();
+    }
 
     // Scrape mode: replay the workload on a fresh engine and serve its
     // live observability surfaces until a signal arrives.

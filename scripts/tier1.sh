@@ -36,14 +36,31 @@ cmake --build build-obs -j"$(nproc)" --target test_observability test_trace
 ctest --test-dir build-obs --output-on-failure -j"$(nproc)" \
     -R 'Observability|TraceRecorder|Exporter|LatencyHistogram|BudgetEstimators|KernelCounts'
 
+echo "== Front-door pass (-Werror + TSan, serve + chaos storm) =="
+# The alignment server juggles an acceptor, a handler pool, and one
+# writer thread per connection over shared quota/router/cache state:
+# ThreadSanitizer must see the whole serve suite plus the fault-storm
+# leg clean, with warnings-as-errors so new serve code lands warning-
+# free.
+cmake -B build-front -S . -DGMX_WERROR=ON -DGMX_SANITIZE=thread \
+    -DGMX_FAULT_INJECTION=ON
+cmake --build build-front -j"$(nproc)" --target test_serve test_chaos
+ctest --test-dir build-front --output-on-failure -j"$(nproc)" \
+    -R 'ServeProtocol|AlignServer|QuotaRegistry|ShardRouter|Chaos'
+
 echo "== Scrape-server pass (-Werror + ASan, live curl smoke) =="
 # The metrics server owns threads and fds; AddressSanitizer turns a leak
 # on any path — including graceful shutdown with in-flight connections —
-# into a test failure. The curl smoke drives the real demo end to end.
+# into a test failure. The curl smoke drives the real demo end to end,
+# and the serve_demo smoke does the same for the alignment front door
+# (TCP + unix socket + dedup cache + spliced /metrics).
 cmake -B build-server -S . -DGMX_WERROR=ON -DGMX_SANITIZE=address
-cmake --build build-server -j"$(nproc)" --target test_server throughput_demo
+cmake --build build-server -j"$(nproc)" \
+    --target test_server throughput_demo serve_demo
 ctest --test-dir build-server --output-on-failure -j"$(nproc)" \
     -R 'MetricsServer'
+build-server/examples/serve_demo
+echo "serve_demo smoke OK"
 serve_log="$(mktemp)"
 build-server/examples/throughput_demo --serve 0 >"$serve_log" 2>&1 &
 serve_pid=$!

@@ -1,0 +1,313 @@
+#include "common/net.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gmx::net {
+
+Status
+errnoStatus(const char *what)
+{
+    return Status::internal(std::string(what) + ": " +
+                            std::strerror(errno));
+}
+
+void
+setIoDeadlines(int fd, std::chrono::milliseconds timeout)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+IoResult
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return IoResult::Timeout;
+        return IoResult::Error;
+    }
+    return IoResult::Ok;
+}
+
+IoResult
+recvExact(int fd, void *buf, size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, p + off, len - off, 0);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return IoResult::Closed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoResult::Timeout;
+        return IoResult::Error;
+    }
+    return IoResult::Ok;
+}
+
+IoResult
+recvSome(int fd, void *buf, size_t cap, size_t &got)
+{
+    got = 0;
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, cap, 0);
+        if (n > 0) {
+            got = static_cast<size_t>(n);
+            return IoResult::Ok;
+        }
+        if (n == 0)
+            return IoResult::Closed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoResult::Timeout;
+        return IoResult::Error;
+    }
+}
+
+std::string
+recvToEof(int fd)
+{
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        size_t got = 0;
+        if (recvSome(fd, buf, sizeof buf, got) != IoResult::Ok)
+            return out; // close, timeout, or reset — any of them ends it
+        out.append(buf, got);
+    }
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Status
+listenTcp(const std::string &host, u16 port, int &fd, u16 &bound_port)
+{
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return errnoStatus("socket(AF_INET)");
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        closeFd(fd);
+        return Status::invalidInput("listenTcp: bad host \"" + host + "\"");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0) {
+        const Status s = errnoStatus("bind");
+        closeFd(fd);
+        return s;
+    }
+    if (::listen(fd, 64) < 0) {
+        const Status s = errnoStatus("listen");
+        closeFd(fd);
+        return s;
+    }
+    socklen_t len = sizeof addr;
+    bound_port = port;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) == 0)
+        bound_port = ntohs(addr.sin_port);
+    return Status();
+}
+
+Status
+listenUnix(const std::string &path, int &fd)
+{
+    sockaddr_un uaddr{};
+    if (path.size() >= sizeof uaddr.sun_path)
+        return Status::invalidInput("listenUnix: path too long");
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return errnoStatus("socket(AF_UNIX)");
+    uaddr.sun_family = AF_UNIX;
+    std::strncpy(uaddr.sun_path, path.c_str(), sizeof uaddr.sun_path - 1);
+    (void)::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&uaddr), sizeof uaddr) < 0 ||
+        ::listen(fd, 16) < 0) {
+        const Status s = errnoStatus("bind/listen(unix)");
+        closeFd(fd);
+        return s;
+    }
+    return Status();
+}
+
+int
+connectTcp(const std::string &host, u16 port,
+           std::chrono::milliseconds io_timeout)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    setIoDeadlines(fd, io_timeout);
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::chrono::milliseconds io_timeout)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path)
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    setIoDeadlines(fd, io_timeout);
+    return fd;
+}
+
+Status
+SelfPipe::open()
+{
+    if (::pipe(fds) < 0)
+        return errnoStatus("pipe");
+    return Status();
+}
+
+void
+SelfPipe::notify()
+{
+    if (fds[1] >= 0) {
+        const char byte = 1;
+        (void)!::write(fds[1], &byte, 1);
+    }
+}
+
+void
+SelfPipe::close()
+{
+    closeFd(fds[0]);
+    closeFd(fds[1]);
+}
+
+bool
+parseHttpRequestLine(const std::string &raw, HttpRequestLine &out)
+{
+    const size_t eol = raw.find("\r\n");
+    if (eol == std::string::npos)
+        return false;
+    const std::string line = raw.substr(0, eol);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1)
+        return false;
+    if (line.compare(sp2 + 1, 5, "HTTP/") != 0)
+        return false;
+    out.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (target.empty() || target[0] != '/')
+        return false;
+    const size_t q = target.find('?');
+    out.path = target.substr(0, q);
+    out.query = q == std::string::npos ? "" : target.substr(q + 1);
+    return true;
+}
+
+bool
+readHttpRequest(int fd, size_t max_bytes, std::string &raw,
+                int &error_status)
+{
+    char buf[2048];
+    while (raw.find("\r\n\r\n") == std::string::npos) {
+        if (raw.size() > max_bytes) {
+            error_status = 431;
+            return false;
+        }
+        size_t got = 0;
+        switch (recvSome(fd, buf, sizeof buf, got)) {
+          case IoResult::Ok:
+            raw.append(buf, got);
+            continue;
+          case IoResult::Timeout:
+            error_status = 408; // SO_RCVTIMEO expired: slow client
+            return false;
+          case IoResult::Closed:
+          case IoResult::Error:
+            error_status = 0; // drop silently
+            return false;
+        }
+    }
+    if (raw.size() > max_bytes) {
+        error_status = 431;
+        return false;
+    }
+    return true;
+}
+
+const char *
+httpReasonPhrase(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 408:
+        return "Request Timeout";
+      case 431:
+        return "Request Header Fields Too Large";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+} // namespace gmx::net

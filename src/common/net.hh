@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared blocking-socket plumbing for the serving layers.
+ *
+ * Both network front doors in this repository — the HTTP scrape server
+ * (engine/server) and the binary alignment server (serve/server) — are
+ * deliberately dependency-free blocking-socket designs: listeners
+ * multiplexed with a self-pipe through poll(), per-connection
+ * SO_RCVTIMEO/SO_SNDTIMEO deadlines, and careful partial-read/write
+ * loops. This header is the one implementation of that plumbing, so the
+ * two servers (and the test/client side) cannot drift apart on the
+ * subtle parts: EINTR retries, MSG_NOSIGNAL, timeout-vs-close
+ * classification, and unix-path cleanup.
+ *
+ * Everything here is errno-faithful and returns typed gmx::Status (or
+ * an IoResult for the per-call read/write classification); nothing
+ * throws, and nothing allocates beyond the strings it returns.
+ */
+
+#ifndef GMX_COMMON_NET_HH
+#define GMX_COMMON_NET_HH
+
+#include <chrono>
+#include <string>
+
+#include "common/status.hh"
+#include "common/types.hh"
+
+namespace gmx::net {
+
+/** errno-carrying internal Status for a failed socket call. */
+Status errnoStatus(const char *what);
+
+/** Classification of one blocking read/write attempt. */
+enum class IoResult {
+    Ok,      //!< the full transfer completed
+    Timeout, //!< SO_RCVTIMEO / SO_SNDTIMEO expired (slow or dead peer)
+    Closed,  //!< the peer closed the connection cleanly
+    Error,   //!< any other socket error (reset, EPIPE, ...)
+};
+
+/** Apply per-connection read+write deadlines (SO_RCVTIMEO/SO_SNDTIMEO). */
+void setIoDeadlines(int fd, std::chrono::milliseconds timeout);
+
+/**
+ * Write the whole buffer, tolerating partial sends and EINTR. Sends with
+ * MSG_NOSIGNAL so a vanished client produces EPIPE, not SIGPIPE.
+ */
+IoResult sendAll(int fd, const void *data, size_t len);
+
+/**
+ * Read exactly @p len bytes (looping over short reads and EINTR).
+ * Returns Closed when the peer ends the stream before @p len bytes —
+ * including mid-record, which framed protocols must treat as an error.
+ */
+IoResult recvExact(int fd, void *buf, size_t len);
+
+/** Read at most @p cap bytes; @p got receives the count on Ok. */
+IoResult recvSome(int fd, void *buf, size_t cap, size_t &got);
+
+/** Read until the peer closes (one-shot HTTP-style responses). */
+std::string recvToEof(int fd);
+
+/** close(fd) and set it to -1; no-op when already negative. */
+void closeFd(int &fd);
+
+/**
+ * Bind + listen a TCP socket on host:port (port 0 = ephemeral; the
+ * chosen port is written to @p bound_port). On failure the fd is closed
+ * and a typed Status names the failing call.
+ */
+Status listenTcp(const std::string &host, u16 port, int &fd,
+                 u16 &bound_port);
+
+/**
+ * Bind + listen a unix-domain socket, unlinking any stale file at
+ * @p path first (the caller owns unlinking on shutdown).
+ */
+Status listenUnix(const std::string &path, int &fd);
+
+/** Blocking client connect to 127.0.0.1-style host:port; -1 on failure. */
+int connectTcp(const std::string &host, u16 port,
+               std::chrono::milliseconds io_timeout);
+
+/** Blocking client connect to a unix-domain socket path; -1 on failure. */
+int connectUnix(const std::string &path,
+                std::chrono::milliseconds io_timeout);
+
+/**
+ * The self-pipe trick: stop() writes one byte, the accept loop's poll()
+ * wakes on readFd(). Both servers use it for graceful shutdown without
+ * signals or busy-polling.
+ */
+struct SelfPipe
+{
+    int fds[2] = {-1, -1};
+
+    Status open();
+    /** Wake the poll()er; safe from any thread, idempotent. */
+    void notify();
+    void close();
+    int readFd() const { return fds[0]; }
+};
+
+// ---------------------------------------------------------------------
+// Minimal HTTP/1.1 request-side helpers (the scrape server's dialect:
+// one request per connection, GET-only routing done by the caller).
+// ---------------------------------------------------------------------
+
+/** One parsed request line. */
+struct HttpRequestLine
+{
+    std::string method;
+    std::string path;  //!< target before '?'
+    std::string query; //!< target after '?' (no '?')
+};
+
+/** Parse "GET /path?query HTTP/1.1" into its parts; false on garbage. */
+bool parseHttpRequestLine(const std::string &raw, HttpRequestLine &out);
+
+/**
+ * Read an HTTP request (through the blank line) into @p raw. On failure
+ * returns false with @p error_status set to the HTTP code the caller
+ * should answer: 431 (too large), 408 (read deadline expired), or 0
+ * (peer closed / hard error — drop with no reply).
+ */
+bool readHttpRequest(int fd, size_t max_bytes, std::string &raw,
+                     int &error_status);
+
+/** Canonical reason phrase for the status codes the servers emit. */
+const char *httpReasonPhrase(int status);
+
+} // namespace gmx::net
+
+#endif // GMX_COMMON_NET_HH

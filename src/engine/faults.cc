@@ -42,6 +42,12 @@ pointName(Point p)
         return "queue_full";
       case Point::TaskError:
         return "task_error";
+      case Point::AcceptFail:
+        return "accept_fail";
+      case Point::FrameTooLarge:
+        return "frame_too_large";
+      case Point::SlowClient:
+        return "slow_client";
     }
     return "?";
 }
@@ -94,7 +100,13 @@ shouldInject(Point p)
 void
 maybeStall()
 {
-    if (shouldInject(Point::WorkerStall))
+    maybeStallAt(Point::WorkerStall);
+}
+
+void
+maybeStallAt(Point p)
+{
+    if (shouldInject(p))
         std::this_thread::sleep_for(g_state.plan.stall_duration);
 }
 

@@ -25,6 +25,14 @@
  *                 backpressure policy must engage.
  *   TaskError   — a spurious exception from inside a task; the engine
  *                 must surface a typed Internal status, never terminate.
+ *   AcceptFail  — an accepted serve connection fails immediately (as if
+ *                 the client vanished between accept and handshake); the
+ *                 align server must count it and keep accepting.
+ *   FrameTooLarge — the align server's frame-size check trips spuriously;
+ *                 the client must receive a typed protocol error frame.
+ *   SlowClient  — the align server's response writer stalls (a client
+ *                 that stops draining its socket); per-connection
+ *                 in-flight bounds must hold the line.
  */
 
 #ifndef GMX_ENGINE_FAULTS_HH
@@ -42,9 +50,12 @@ enum class Point : unsigned {
     WorkerStall,
     QueueFull,
     TaskError,
+    AcceptFail,
+    FrameTooLarge,
+    SlowClient,
 };
 
-inline constexpr unsigned kPointCount = 4;
+inline constexpr unsigned kPointCount = 7;
 
 /** Human-readable point name ("alloc_fail", ...). */
 const char *pointName(Point p);
@@ -84,6 +95,9 @@ bool shouldInject(Point p);
 /** Sleep for the plan's stall duration iff WorkerStall fires. */
 void maybeStall();
 
+/** Sleep for the plan's stall duration iff @p p fires (SlowClient etc.). */
+void maybeStallAt(Point p);
+
 /** Calls to / injections at @p p since the last arm(). */
 u64 callCount(Point p);
 u64 injectedCount(Point p);
@@ -93,9 +107,11 @@ u64 injectedCount(Point p);
 #ifdef GMX_FAULT_INJECTION
 #define GMX_INJECT_FAULT(point) (::gmx::engine::faults::shouldInject(point))
 #define GMX_FAULT_STALL() (::gmx::engine::faults::maybeStall())
+#define GMX_FAULT_STALL_AT(point) (::gmx::engine::faults::maybeStallAt(point))
 #else
 #define GMX_INJECT_FAULT(point) (false)
 #define GMX_FAULT_STALL() ((void)0)
+#define GMX_FAULT_STALL_AT(point) ((void)0)
 #endif
 
 #endif // GMX_ENGINE_FAULTS_HH

@@ -1,14 +1,10 @@
 #include "engine/server.hh"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <sstream>
 
 #include "engine/engine.hh"
@@ -17,76 +13,6 @@
 #include "engine/trace.hh"
 
 namespace gmx::engine {
-
-namespace {
-
-/** errno-carrying Status for a failed socket call. */
-Status
-sockError(const char *what)
-{
-    return Status::internal(std::string(what) + ": " +
-                            std::strerror(errno));
-}
-
-const char *
-reasonPhrase(int status)
-{
-    switch (status) {
-      case 200:
-        return "OK";
-      case 400:
-        return "Bad Request";
-      case 404:
-        return "Not Found";
-      case 405:
-        return "Method Not Allowed";
-      case 408:
-        return "Request Timeout";
-      case 431:
-        return "Request Header Fields Too Large";
-      case 500:
-        return "Internal Server Error";
-      case 503:
-        return "Service Unavailable";
-    }
-    return "Unknown";
-}
-
-/** Apply the per-connection read/write deadlines. */
-void
-setDeadlines(int fd, std::chrono::milliseconds timeout)
-{
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-}
-
-/**
- * Write the whole buffer, tolerating partial sends and EINTR. Gives up
- * on any other error (including an SO_SNDTIMEO expiry): the client is
- * slow or gone, and a scrape server never blocks on one client forever.
- * MSG_NOSIGNAL: a vanished client must produce EPIPE, not SIGPIPE.
- */
-void
-sendAll(int fd, const char *data, size_t len)
-{
-    size_t off = 0;
-    while (off < len) {
-        const ssize_t n =
-            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return;
-    }
-}
-
-} // namespace
 
 MetricsServer::MetricsServer(const Engine &engine, ServerConfig config)
     : engine_(engine), config_(std::move(config))
@@ -102,15 +28,6 @@ MetricsServer::~MetricsServer()
     stop();
 }
 
-void
-MetricsServer::closeFd(int &fd)
-{
-    if (fd >= 0) {
-        ::close(fd);
-        fd = -1;
-    }
-}
-
 Status
 MetricsServer::start()
 {
@@ -118,69 +35,22 @@ MetricsServer::start()
         return Status::internal("MetricsServer already running");
     stopping_.store(false, std::memory_order_release);
 
-    // TCP listener.
-    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (tcp_fd_ < 0)
-        return sockError("socket(AF_INET)");
-    const int one = 1;
-    (void)::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-        closeFd(tcp_fd_);
-        return Status::invalidInput("MetricsServer: bad host \"" +
-                                    config_.host + "\"");
-    }
-    if (::bind(tcp_fd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-        0) {
-        const Status s = sockError("bind");
-        closeFd(tcp_fd_);
+    if (Status s = net::listenTcp(config_.host, config_.port, tcp_fd_,
+                                  bound_port_);
+        !s.ok())
         return s;
-    }
-    if (::listen(tcp_fd_, 64) < 0) {
-        const Status s = sockError("listen");
-        closeFd(tcp_fd_);
-        return s;
-    }
-    socklen_t len = sizeof addr;
-    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr *>(&addr), &len) ==
-        0)
-        bound_port_ = ntohs(addr.sin_port);
 
-    // Optional unix-domain listener.
     if (!config_.unix_path.empty()) {
-        sockaddr_un uaddr{};
-        if (config_.unix_path.size() >= sizeof uaddr.sun_path) {
-            closeFd(tcp_fd_);
-            return Status::invalidInput(
-                "MetricsServer: unix_path too long");
-        }
-        unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-        if (unix_fd_ < 0) {
-            const Status s = sockError("socket(AF_UNIX)");
-            closeFd(tcp_fd_);
-            return s;
-        }
-        uaddr.sun_family = AF_UNIX;
-        std::strncpy(uaddr.sun_path, config_.unix_path.c_str(),
-                     sizeof uaddr.sun_path - 1);
-        (void)::unlink(config_.unix_path.c_str());
-        if (::bind(unix_fd_, reinterpret_cast<sockaddr *>(&uaddr),
-                   sizeof uaddr) < 0 ||
-            ::listen(unix_fd_, 16) < 0) {
-            const Status s = sockError("bind/listen(unix)");
-            closeFd(unix_fd_);
-            closeFd(tcp_fd_);
+        if (Status s = net::listenUnix(config_.unix_path, unix_fd_);
+            !s.ok()) {
+            net::closeFd(tcp_fd_);
             return s;
         }
     }
 
-    // Self-pipe: stop() writes one byte to unblock the accept poll().
-    if (::pipe(wake_fd_) < 0) {
-        const Status s = sockError("pipe");
-        closeFd(unix_fd_);
-        closeFd(tcp_fd_);
+    if (Status s = wake_.open(); !s.ok()) {
+        net::closeFd(unix_fd_);
+        net::closeFd(tcp_fd_);
         return s;
     }
 
@@ -201,10 +71,7 @@ MetricsServer::stop()
         return;
     if (!running_.load(std::memory_order_acquire))
         return;
-    if (wake_fd_[1] >= 0) {
-        const char byte = 1;
-        (void)!::write(wake_fd_[1], &byte, 1);
-    }
+    wake_.notify();
     conn_cv_.notify_all();
     if (acceptor_.joinable())
         acceptor_.join();
@@ -214,10 +81,9 @@ MetricsServer::stop()
         if (t.joinable())
             t.join();
     handlers_.clear();
-    closeFd(tcp_fd_);
-    closeFd(unix_fd_);
-    closeFd(wake_fd_[0]);
-    closeFd(wake_fd_[1]);
+    net::closeFd(tcp_fd_);
+    net::closeFd(unix_fd_);
+    wake_.close();
     if (!config_.unix_path.empty())
         (void)::unlink(config_.unix_path.c_str());
     bound_port_ = 0;
@@ -230,7 +96,7 @@ MetricsServer::acceptLoop()
     for (;;) {
         pollfd pfds[3];
         nfds_t n = 0;
-        pfds[n++] = {wake_fd_[0], POLLIN, 0};
+        pfds[n++] = {wake_.readFd(), POLLIN, 0};
         pfds[n++] = {tcp_fd_, POLLIN, 0};
         if (unix_fd_ >= 0)
             pfds[n++] = {unix_fd_, POLLIN, 0};
@@ -249,7 +115,7 @@ MetricsServer::acceptLoop()
                 ::accept4(pfds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
             if (conn < 0)
                 continue;
-            setDeadlines(conn, config_.io_timeout);
+            net::setIoDeadlines(conn, config_.io_timeout);
 
             // Connection cap: reserve a slot or answer 503 right here —
             // the queue of accepted connections stays bounded by the
@@ -304,61 +170,8 @@ MetricsServer::handlerLoop()
     }
 }
 
-bool
-MetricsServer::readRequest(int fd, std::string &raw, int &error_status)
-{
-    char buf[2048];
-    while (raw.find("\r\n\r\n") == std::string::npos) {
-        if (raw.size() > config_.max_request_bytes) {
-            error_status = 431;
-            return false;
-        }
-        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-        if (n > 0) {
-            raw.append(buf, static_cast<size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            error_status = 408; // SO_RCVTIMEO expired: slow client
-            return false;
-        }
-        error_status = 0; // peer closed (or hard error): drop silently
-        return false;
-    }
-    if (raw.size() > config_.max_request_bytes) {
-        error_status = 431;
-        return false;
-    }
-    return true;
-}
-
-bool
-MetricsServer::parseRequestLine(const std::string &raw, RequestLine &out)
-{
-    const size_t eol = raw.find("\r\n");
-    if (eol == std::string::npos)
-        return false;
-    const std::string line = raw.substr(0, eol);
-    const size_t sp1 = line.find(' ');
-    const size_t sp2 = line.rfind(' ');
-    if (sp1 == std::string::npos || sp2 == sp1)
-        return false;
-    if (line.compare(sp2 + 1, 5, "HTTP/") != 0)
-        return false;
-    out.method = line.substr(0, sp1);
-    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    if (target.empty() || target[0] != '/')
-        return false;
-    const size_t q = target.find('?');
-    out.path = target.substr(0, q);
-    out.query = q == std::string::npos ? "" : target.substr(q + 1);
-    return true;
-}
-
 int
-MetricsServer::route(const RequestLine &req, std::string &body,
+MetricsServer::route(const net::HttpRequestLine &req, std::string &body,
                      std::string &content_type) const
 {
     content_type = "text/plain; charset=utf-8";
@@ -378,11 +191,24 @@ MetricsServer::route(const RequestLine &req, std::string &body,
         content_type =
             "application/openmetrics-text; version=1.0.0; charset=utf-8";
         body = renderOpenMetrics(engine_.metrics());
+        if (config_.extra_metrics) {
+            // Splice the registered extra families in before the
+            // mandatory trailer so the exposition stays one document.
+            constexpr const char kEof[] = "# EOF\n";
+            if (body.size() >= sizeof kEof - 1)
+                body.resize(body.size() - (sizeof kEof - 1));
+            body += config_.extra_metrics();
+            body += kEof;
+        }
         return 200;
     }
     if (req.path == "/vars") {
         content_type = "application/json; charset=utf-8";
-        body = engine_.metrics().toJson();
+        if (config_.extra_vars)
+            body = "{\"engine\":" + engine_.metrics().toJson() +
+                   ",\"serve\":" + config_.extra_vars() + "}";
+        else
+            body = engine_.metrics().toJson();
         return 200;
     }
     if (req.path == "/trace") {
@@ -422,7 +248,8 @@ MetricsServer::respond(int fd, int status, const std::string &content_type,
                        const std::string &body)
 {
     std::ostringstream os;
-    os << "HTTP/1.1 " << status << " " << reasonPhrase(status) << "\r\n"
+    os << "HTTP/1.1 " << status << " " << net::httpReasonPhrase(status)
+       << "\r\n"
        << "Content-Type: " << content_type << "\r\n"
        << "Content-Length: " << body.size() << "\r\n"
        << "Connection: close\r\n";
@@ -430,7 +257,7 @@ MetricsServer::respond(int fd, int status, const std::string &content_type,
         os << "Allow: GET\r\n";
     os << "\r\n" << body;
     const std::string out = os.str();
-    sendAll(fd, out.data(), out.size());
+    (void)net::sendAll(fd, out.data(), out.size());
     served_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -443,15 +270,16 @@ MetricsServer::handleConnection(int fd)
 
     std::string raw;
     int error_status = 0;
-    if (!readRequest(fd, raw, error_status)) {
+    if (!net::readHttpRequest(fd, config_.max_request_bytes, raw,
+                              error_status)) {
         if (error_status != 0)
             respond(fd, error_status, "text/plain; charset=utf-8",
                     error_status == 431 ? "request too large\n"
                                         : "request timed out\n");
         return;
     }
-    RequestLine req;
-    if (!parseRequestLine(raw, req)) {
+    net::HttpRequestLine req;
+    if (!net::parseHttpRequestLine(raw, req)) {
         respond(fd, 400, "text/plain; charset=utf-8",
                 "malformed request line\n");
         return;

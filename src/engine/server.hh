@@ -47,11 +47,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/net.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 
@@ -85,6 +87,21 @@ struct ServerConfig
 
     /** Request line + headers cap; longer requests are answered 431. */
     size_t max_request_bytes = 8192;
+
+    /**
+     * Extra OpenMetrics families appended to /metrics (before the
+     * trailing `# EOF`). The serving layer registers its per-client /
+     * per-shard / cache families here so one scrape covers the whole
+     * deployment. Must return well-formed family blocks, no `# EOF`.
+     */
+    std::function<std::string()> extra_metrics{};
+
+    /**
+     * Extra JSON appended to /vars. When set, /vars becomes
+     * {"engine":<snapshot>,"serve":<extra>} instead of the bare
+     * snapshot object; the callback must return one JSON value.
+     */
+    std::function<std::string()> extra_vars{};
 };
 
 /**
@@ -128,34 +145,22 @@ class MetricsServer
     const ServerConfig &config() const { return config_; }
 
   private:
-    /** One parsed request line. */
-    struct RequestLine
-    {
-        std::string method;
-        std::string path;  //!< target before '?'
-        std::string query; //!< target after '?' (no '?')
-    };
-
     void acceptLoop();
     void handlerLoop();
     void handleConnection(int fd);
 
-    /** Read until the blank line; returns false to drop with no reply. */
-    bool readRequest(int fd, std::string &raw, int &error_status);
     /** Route a parsed request to a body + content type. */
-    int route(const RequestLine &req, std::string &body,
+    int route(const net::HttpRequestLine &req, std::string &body,
               std::string &content_type) const;
-    static bool parseRequestLine(const std::string &raw, RequestLine &out);
     void respond(int fd, int status, const std::string &content_type,
                  const std::string &body);
-    static void closeFd(int &fd);
 
     const Engine &engine_;
     ServerConfig config_;
 
     int tcp_fd_ = -1;
     int unix_fd_ = -1;
-    int wake_fd_[2] = {-1, -1}; //!< self-pipe: stop() -> accept poll()
+    net::SelfPipe wake_; //!< stop() -> accept poll()
     u16 bound_port_ = 0;
 
     std::atomic<bool> running_{false};

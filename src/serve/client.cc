@@ -1,0 +1,274 @@
+#include "serve/client.hh"
+
+#include "common/net.hh"
+
+namespace gmx::serve {
+
+namespace {
+
+Status
+ioStatus(net::IoResult r, const char *what)
+{
+    switch (r) {
+      case net::IoResult::Ok:
+        return Status();
+      case net::IoResult::Timeout:
+        return Status::deadlineExceeded(std::string(what) + " timed out");
+      case net::IoResult::Closed:
+        return Status::internal(std::string("connection closed during ") +
+                                what);
+      case net::IoResult::Error:
+        break;
+    }
+    return Status::internal(std::string("socket error during ") + what);
+}
+
+} // namespace
+
+Result<align::AlignResult>
+toOutcome(const AlignResponseFrame &resp)
+{
+    if (resp.code != StatusCode::Ok)
+        return Status(resp.code, resp.message);
+    align::AlignResult r;
+    r.distance = resp.distance;
+    if (resp.has_cigar) {
+        // The decoder bounds the bytes; parse defensively anyway so a
+        // hostile server cannot make the client unwind.
+        for (const char c : resp.cigar)
+            if (c != 'M' && c != 'X' && c != 'I' && c != 'D')
+                return Status::internal(
+                    "response cigar contains invalid op");
+        r.cigar = align::Cigar::fromString(resp.cigar);
+        r.has_cigar = true;
+    }
+    return r;
+}
+
+AlignClient::AlignClient(ClientConfig config) : config_(std::move(config))
+{
+    if (config_.window == 0)
+        config_.window = 1;
+}
+
+AlignClient::~AlignClient()
+{
+    close();
+}
+
+void
+AlignClient::close()
+{
+    net::closeFd(fd_);
+    max_frame_bytes_ = 0;
+}
+
+Status
+AlignClient::connect()
+{
+    if (fd_ >= 0)
+        return Status::internal("client already connected");
+    fd_ = config_.unix_path.empty()
+              ? net::connectTcp(config_.host, config_.port,
+                                config_.io_timeout)
+              : net::connectUnix(config_.unix_path, config_.io_timeout);
+    if (fd_ < 0)
+        return Status::internal("connect failed");
+
+    HelloFrame hello;
+    hello.priority = config_.priority;
+    hello.client_id = config_.client_id;
+    if (Status s = sendEncoded(encodeHello(hello)); !s.ok()) {
+        close();
+        return s;
+    }
+    FrameHeader fh;
+    std::string payload;
+    if (Status s = readFrame(fh, payload); !s.ok()) {
+        close();
+        return s;
+    }
+    if (fh.type == FrameType::Error) {
+        // The server refused us (connection cap, bad hello): surface
+        // its typed code.
+        ErrorFrame err;
+        Status s = decodeError(payload.data(), payload.size(), err);
+        close();
+        return s.ok() ? Status(err.code, err.message) : s;
+    }
+    if (fh.type != FrameType::HelloAck) {
+        close();
+        return Status::internal("expected hello_ack from server");
+    }
+    HelloAckFrame ack;
+    if (Status s = decodeHelloAck(payload.data(), payload.size(), ack);
+        !s.ok()) {
+        close();
+        return s;
+    }
+    max_frame_bytes_ = ack.max_frame_bytes;
+    return Status();
+}
+
+Status
+AlignClient::sendEncoded(const std::string &encoded)
+{
+    if (fd_ < 0)
+        return Status::internal("client not connected");
+    return ioStatus(net::sendAll(fd_, encoded.data(), encoded.size()),
+                    "send");
+}
+
+Status
+AlignClient::readFrame(FrameHeader &header, std::string &payload)
+{
+    if (fd_ < 0)
+        return Status::internal("client not connected");
+    char hdr[kHeaderBytes];
+    if (Status s = ioStatus(net::recvExact(fd_, hdr, kHeaderBytes),
+                            "frame header read");
+        !s.ok())
+        return s;
+    const u32 cap =
+        max_frame_bytes_ > 0 ? max_frame_bytes_ : kDefaultMaxFrameBytes;
+    if (Status s = decodeHeader(hdr, kHeaderBytes, cap, header); !s.ok())
+        return s;
+    payload.assign(header.payload_len, '\0');
+    if (header.payload_len > 0) {
+        if (Status s = ioStatus(
+                net::recvExact(fd_, payload.data(), payload.size()),
+                "frame payload read");
+            !s.ok())
+            return s;
+    }
+    return Status();
+}
+
+Status
+AlignClient::sendRequest(const AlignRequestFrame &req)
+{
+    return sendEncoded(encodeAlignRequest(req));
+}
+
+Status
+AlignClient::readResponse(AlignResponseFrame &out)
+{
+    FrameHeader fh;
+    std::string payload;
+    if (Status s = readFrame(fh, payload); !s.ok()) {
+        close();
+        return s;
+    }
+    if (fh.type == FrameType::Error) {
+        ErrorFrame err;
+        Status s = decodeError(payload.data(), payload.size(), err);
+        close();
+        return s.ok() ? Status(err.code, err.message) : s;
+    }
+    if (fh.type != FrameType::AlignResponse) {
+        close();
+        return Status::internal(std::string("unexpected ") +
+                                frameTypeName(fh.type) +
+                                " frame from server");
+    }
+    if (Status s = decodeAlignResponse(payload.data(), payload.size(), out);
+        !s.ok()) {
+        close();
+        return s;
+    }
+    if (out.cache_hit)
+        ++cache_hits_;
+    return Status();
+}
+
+std::vector<Result<align::AlignResult>>
+AlignClient::alignBatch(const std::vector<seq::SequencePair> &pairs,
+                        bool want_cigar, u32 max_edits)
+{
+    std::vector<Result<align::AlignResult>> results;
+    results.reserve(pairs.size());
+    // id -> slot bookkeeping: responses come back in submission order
+    // on one connection, but match by id anyway (the protocol contract).
+    std::vector<bool> answered(pairs.size(), false);
+    results.assign(pairs.size(),
+                   Result<align::AlignResult>(
+                       Status::internal("no response received")));
+
+    size_t sent = 0, received = 0;
+    Status fail;
+    auto read_one = [&]() -> bool {
+        AlignResponseFrame resp;
+        if (Status s = readResponse(resp); !s.ok()) {
+            fail = s;
+            return false;
+        }
+        if (resp.id >= pairs.size() || answered[resp.id]) {
+            fail = Status::internal("response id out of range");
+            close();
+            return false;
+        }
+        answered[resp.id] = true;
+        results[resp.id] = toOutcome(resp);
+        ++received;
+        return true;
+    };
+
+    // Bounded send window: never more than `window` unanswered
+    // requests, so the server's per-connection response bound and the
+    // two socket buffers can't deadlock a large batch.
+    while (received < pairs.size() && fail.ok()) {
+        if (sent < pairs.size() && sent - received < config_.window) {
+            AlignRequestFrame req;
+            req.id = sent;
+            req.max_edits = max_edits;
+            req.want_cigar = want_cigar;
+            req.pattern = pairs[sent].pattern.str();
+            req.text = pairs[sent].text.str();
+            if (Status s = sendRequest(req); !s.ok()) {
+                fail = s;
+                break;
+            }
+            ++sent;
+            continue;
+        }
+        if (!read_one())
+            break;
+    }
+    if (!fail.ok()) {
+        for (size_t i = 0; i < pairs.size(); ++i)
+            if (!answered[i])
+                results[i] = Result<align::AlignResult>(fail);
+    }
+    return results;
+}
+
+Status
+AlignClient::bye()
+{
+    if (fd_ < 0)
+        return Status::internal("client not connected");
+    if (Status s = sendEncoded(encodeBye()); !s.ok()) {
+        close();
+        return s;
+    }
+    // Drain anything still in flight until the ByeAck arrives.
+    for (;;) {
+        FrameHeader fh;
+        std::string payload;
+        if (Status s = readFrame(fh, payload); !s.ok()) {
+            close();
+            return s;
+        }
+        if (fh.type == FrameType::ByeAck) {
+            Status s = decodeEmpty(FrameType::ByeAck, payload.size());
+            close();
+            return s;
+        }
+        if (fh.type != FrameType::AlignResponse) {
+            close();
+            return Status::internal("unexpected frame while closing");
+        }
+    }
+}
+
+} // namespace gmx::serve

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * AlignClient: the library (and CLI backing) side of the serve wire
+ * protocol.
+ *
+ * A thin blocking client over one connection: connect() dials TCP or a
+ * unix socket and runs the Hello/HelloAck handshake; sendRequest /
+ * readResponse expose raw streaming; alignBatch() is the convenience
+ * most callers want — it streams a whole batch with a bounded send
+ * window (interleaving reads so the server's per-connection response
+ * bound can never deadlock a large batch) and returns engine-shaped
+ * Result<AlignResult> values in input order, so remote callers branch
+ * on exactly the Status codes local Engine::submit callers do.
+ */
+
+#ifndef GMX_SERVE_CLIENT_HH
+#define GMX_SERVE_CLIENT_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "align/types.hh"
+#include "common/status.hh"
+#include "sequence/sequence.hh"
+#include "serve/protocol.hh"
+
+namespace gmx::serve {
+
+/** AlignClient construction parameters. */
+struct ClientConfig
+{
+    /** TCP target (used when unix_path is empty). */
+    std::string host = "127.0.0.1";
+    u16 port = 0;
+
+    /** Connect to this unix-domain socket path instead of TCP. */
+    std::string unix_path{};
+
+    /** Client id presented in the Hello (quota/metrics key). */
+    std::string client_id = "client";
+
+    /** Priority class presented in the Hello. */
+    Priority priority = Priority::Normal;
+
+    /** Socket read/write deadline. */
+    std::chrono::milliseconds io_timeout{5000};
+
+    /** Requests in flight per connection before alignBatch reads. */
+    size_t window = 32;
+};
+
+/**
+ * One blocking connection to an AlignServer. Not thread-safe; use one
+ * client per thread. close() (or destruction) drops the connection;
+ * bye() closes politely, draining the server first.
+ */
+class AlignClient
+{
+  public:
+    explicit AlignClient(ClientConfig config = {});
+    ~AlignClient();
+
+    AlignClient(const AlignClient &) = delete;
+    AlignClient &operator=(const AlignClient &) = delete;
+
+    /** Dial and handshake. Typed error on refusal or protocol noise. */
+    Status connect();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Frame cap negotiated in the HelloAck; 0 before connect(). */
+    u32 maxFrameBytes() const { return max_frame_bytes_; }
+
+    /** Stream one request; does not wait for the response. */
+    Status sendRequest(const AlignRequestFrame &req);
+
+    /**
+     * Block for the next response frame. A server Error frame (a
+     * connection-level failure) is surfaced as its typed Status and the
+     * connection is closed.
+     */
+    Status readResponse(AlignResponseFrame &out);
+
+    /**
+     * Align every pair over the wire, results in input order. Failures
+     * stay in their slot as typed Statuses (engine convention); a
+     * connection-level failure fails every not-yet-answered slot.
+     */
+    std::vector<Result<align::AlignResult>>
+    alignBatch(const std::vector<seq::SequencePair> &pairs,
+               bool want_cigar = true, u32 max_edits = 0);
+
+    /** Polite close: Bye, wait for ByeAck, then drop the connection. */
+    Status bye();
+
+    /** Drop the connection immediately. Idempotent. */
+    void close();
+
+    /** Responses so far that the server marked as cache hits. */
+    u64 cacheHits() const { return cache_hits_; }
+
+    const ClientConfig &config() const { return config_; }
+
+  private:
+    /** Read one whole frame (header + payload). */
+    Status readFrame(FrameHeader &header, std::string &payload);
+    Status sendEncoded(const std::string &encoded);
+
+    ClientConfig config_;
+    int fd_ = -1;
+    u32 max_frame_bytes_ = 0;
+    u64 cache_hits_ = 0;
+};
+
+/**
+ * Convert one response into the engine's Result shape: Ok responses
+ * become AlignResult (wire distance -1 back to kNoAlignment, cigar
+ * parsed); non-Ok responses become their typed Status.
+ */
+Result<align::AlignResult> toOutcome(const AlignResponseFrame &resp);
+
+} // namespace gmx::serve
+
+#endif // GMX_SERVE_CLIENT_HH

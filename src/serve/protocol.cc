@@ -1,0 +1,423 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "align/types.hh"
+
+namespace gmx::serve {
+
+namespace {
+
+// -------------------------------------------------------------------
+// Little-endian field writers/readers. Byte-wise on purpose: the wire
+// format must not depend on host endianness or struct layout.
+// -------------------------------------------------------------------
+
+void
+putU16(std::string &out, u16 v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Bounds-checked forward cursor over a payload. */
+class Reader
+{
+  public:
+    Reader(const void *data, size_t len)
+        : p_(static_cast<const u8 *>(data)), len_(len)
+    {}
+
+    size_t remaining() const { return len_ - off_; }
+
+    bool u8At(u8 &v)
+    {
+        if (remaining() < 1)
+            return false;
+        v = p_[off_++];
+        return true;
+    }
+
+    bool u16At(u16 &v)
+    {
+        if (remaining() < 2)
+            return false;
+        v = static_cast<u16>(p_[off_] | (u16{p_[off_ + 1]} << 8));
+        off_ += 2;
+        return true;
+    }
+
+    bool u32At(u32 &v)
+    {
+        if (remaining() < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= u32{p_[off_ + static_cast<size_t>(i)]} << (8 * i);
+        off_ += 4;
+        return true;
+    }
+
+    bool u64At(u64 &v)
+    {
+        if (remaining() < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= u64{p_[off_ + static_cast<size_t>(i)]} << (8 * i);
+        off_ += 8;
+        return true;
+    }
+
+    bool bytesAt(std::string &out, size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        out.assign(reinterpret_cast<const char *>(p_ + off_), n);
+        off_ += n;
+        return true;
+    }
+
+  private:
+    const u8 *p_;
+    size_t len_;
+    size_t off_ = 0;
+};
+
+Status
+truncated(const char *what)
+{
+    return Status::invalidInput(std::string("truncated ") + what +
+                                " frame");
+}
+
+Status
+trailing(const char *what)
+{
+    return Status::invalidInput(std::string(what) +
+                                " frame has trailing bytes");
+}
+
+/** Wrap @p payload in a v1 header for @p type. */
+std::string
+frame(FrameType type, const std::string &payload)
+{
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    putU32(out, kMagic);
+    out.push_back(static_cast<char>(kVersion));
+    out.push_back(static_cast<char>(type));
+    putU16(out, 0); // reserved
+    putU32(out, static_cast<u32>(payload.size()));
+    out += payload;
+    return out;
+}
+
+bool
+validStatusByte(u8 b)
+{
+    return b <= static_cast<u8>(StatusCode::Internal);
+}
+
+} // namespace
+
+bool
+knownFrameType(u8 type)
+{
+    return type >= static_cast<u8>(FrameType::Hello) &&
+           type <= static_cast<u8>(FrameType::ByeAck);
+}
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello:
+        return "hello";
+      case FrameType::HelloAck:
+        return "hello_ack";
+      case FrameType::AlignRequest:
+        return "align_request";
+      case FrameType::AlignResponse:
+        return "align_response";
+      case FrameType::Error:
+        return "error";
+      case FrameType::Bye:
+        return "bye";
+      case FrameType::ByeAck:
+        return "bye_ack";
+    }
+    return "?";
+}
+
+const char *
+priorityName(Priority p)
+{
+    switch (p) {
+      case Priority::Low:
+        return "low";
+      case Priority::Normal:
+        return "normal";
+      case Priority::High:
+        return "high";
+    }
+    return "?";
+}
+
+std::string
+encodeHello(const HelloFrame &f)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(f.priority));
+    payload.append(3, '\0'); // reserved
+    putU32(payload, static_cast<u32>(f.client_id.size()));
+    payload += f.client_id;
+    return frame(FrameType::Hello, payload);
+}
+
+std::string
+encodeHelloAck(const HelloAckFrame &f)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(f.version));
+    payload.append(3, '\0');
+    putU32(payload, f.max_frame_bytes);
+    return frame(FrameType::HelloAck, payload);
+}
+
+std::string
+encodeAlignRequest(const AlignRequestFrame &f)
+{
+    std::string payload;
+    putU64(payload, f.id);
+    putU32(payload, f.max_edits);
+    payload.push_back(f.want_cigar ? 1 : 0);
+    payload.append(3, '\0');
+    putU32(payload, static_cast<u32>(f.pattern.size()));
+    putU32(payload, static_cast<u32>(f.text.size()));
+    payload += f.pattern;
+    payload += f.text;
+    return frame(FrameType::AlignRequest, payload);
+}
+
+std::string
+encodeAlignResponse(const AlignResponseFrame &f)
+{
+    std::string payload;
+    putU64(payload, f.id);
+    payload.push_back(static_cast<char>(f.code));
+    u8 flags = 0;
+    if (f.has_cigar)
+        flags |= 1;
+    if (f.cache_hit)
+        flags |= 2;
+    payload.push_back(static_cast<char>(flags));
+    putU16(payload, 0); // reserved
+    // Distance as two's-complement u64; kNoAlignment travels as -1.
+    const i64 d =
+        f.distance == align::kNoAlignment ? i64{-1} : f.distance;
+    putU64(payload, static_cast<u64>(d));
+    putU32(payload, static_cast<u32>(f.message.size()));
+    putU32(payload, static_cast<u32>(f.cigar.size()));
+    payload += f.message;
+    payload += f.cigar;
+    return frame(FrameType::AlignResponse, payload);
+}
+
+std::string
+encodeError(const ErrorFrame &f)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(f.code));
+    payload.append(3, '\0');
+    putU32(payload, static_cast<u32>(f.message.size()));
+    payload += f.message;
+    return frame(FrameType::Error, payload);
+}
+
+std::string
+encodeBye()
+{
+    return frame(FrameType::Bye, {});
+}
+
+std::string
+encodeByeAck()
+{
+    return frame(FrameType::ByeAck, {});
+}
+
+Status
+decodeHeader(const void *data, size_t len, u32 max_payload,
+             FrameHeader &out)
+{
+    if (len < kHeaderBytes)
+        return truncated("header");
+    Reader r(data, len);
+    u32 magic = 0;
+    u8 version = 0, type = 0;
+    u16 reserved = 0;
+    u32 payload_len = 0;
+    (void)r.u32At(magic);
+    (void)r.u8At(version);
+    (void)r.u8At(type);
+    (void)r.u16At(reserved);
+    (void)r.u32At(payload_len);
+    if (magic != kMagic)
+        return Status::invalidInput("bad frame magic (not a GMX stream)");
+    if (version != kVersion)
+        return Status::invalidInput("unsupported protocol version " +
+                                    std::to_string(version));
+    if (!knownFrameType(type))
+        return Status::invalidInput("unknown frame type " +
+                                    std::to_string(type));
+    if (reserved != 0)
+        return Status::invalidInput("nonzero reserved header bits");
+    if (payload_len > max_payload)
+        return Status::invalidInput(
+            "frame payload " + std::to_string(payload_len) +
+            " exceeds cap " + std::to_string(max_payload));
+    out.version = version;
+    out.type = static_cast<FrameType>(type);
+    out.payload_len = payload_len;
+    return Status();
+}
+
+Status
+decodeHello(const void *data, size_t len, HelloFrame &out)
+{
+    Reader r(data, len);
+    u8 priority = 0;
+    std::string reserved;
+    u32 id_len = 0;
+    if (!r.u8At(priority) || !r.bytesAt(reserved, 3) || !r.u32At(id_len))
+        return truncated("hello");
+    if (priority >= kPriorityCount)
+        return Status::invalidInput("hello priority out of range");
+    if (id_len > kMaxClientIdBytes)
+        return Status::invalidInput("hello client id too long");
+    if (!r.bytesAt(out.client_id, id_len))
+        return truncated("hello");
+    if (r.remaining() != 0)
+        return trailing("hello");
+    out.priority = static_cast<Priority>(priority);
+    return Status();
+}
+
+Status
+decodeHelloAck(const void *data, size_t len, HelloAckFrame &out)
+{
+    Reader r(data, len);
+    std::string reserved;
+    if (!r.u8At(out.version) || !r.bytesAt(reserved, 3) ||
+        !r.u32At(out.max_frame_bytes))
+        return truncated("hello_ack");
+    if (r.remaining() != 0)
+        return trailing("hello_ack");
+    if (out.max_frame_bytes < kHeaderBytes)
+        return Status::invalidInput("hello_ack frame cap too small");
+    return Status();
+}
+
+Status
+decodeAlignRequest(const void *data, size_t len, AlignRequestFrame &out)
+{
+    Reader r(data, len);
+    u8 want_cigar = 0;
+    std::string reserved;
+    u32 pattern_len = 0, text_len = 0;
+    if (!r.u64At(out.id) || !r.u32At(out.max_edits) ||
+        !r.u8At(want_cigar) || !r.bytesAt(reserved, 3) ||
+        !r.u32At(pattern_len) || !r.u32At(text_len))
+        return truncated("align_request");
+    if (want_cigar > 1)
+        return Status::invalidInput("align_request want_cigar not 0/1");
+    if (!r.bytesAt(out.pattern, pattern_len) ||
+        !r.bytesAt(out.text, text_len))
+        return truncated("align_request");
+    if (r.remaining() != 0)
+        return trailing("align_request");
+    out.want_cigar = want_cigar == 1;
+    return Status();
+}
+
+Status
+decodeAlignResponse(const void *data, size_t len, AlignResponseFrame &out)
+{
+    Reader r(data, len);
+    u8 code = 0, flags = 0;
+    u16 reserved = 0;
+    u64 distance = 0;
+    u32 message_len = 0, cigar_len = 0;
+    if (!r.u64At(out.id) || !r.u8At(code) || !r.u8At(flags) ||
+        !r.u16At(reserved) || !r.u64At(distance) ||
+        !r.u32At(message_len) || !r.u32At(cigar_len))
+        return truncated("align_response");
+    if (!validStatusByte(code))
+        return Status::invalidInput("align_response status byte invalid");
+    if (flags & ~u8{3})
+        return Status::invalidInput("align_response unknown flag bits");
+    if (reserved != 0)
+        return Status::invalidInput("align_response reserved bits set");
+    if (message_len > kMaxMessageBytes)
+        return Status::invalidInput("align_response message too long");
+    if (!r.bytesAt(out.message, message_len) ||
+        !r.bytesAt(out.cigar, cigar_len))
+        return truncated("align_response");
+    if (r.remaining() != 0)
+        return trailing("align_response");
+    out.code = static_cast<StatusCode>(code);
+    out.has_cigar = (flags & 1) != 0;
+    out.cache_hit = (flags & 2) != 0;
+    const i64 d = static_cast<i64>(distance);
+    if (d < -1)
+        return Status::invalidInput("align_response negative distance");
+    out.distance = d == -1 ? align::kNoAlignment : d;
+    return Status();
+}
+
+Status
+decodeError(const void *data, size_t len, ErrorFrame &out)
+{
+    Reader r(data, len);
+    u8 code = 0;
+    std::string reserved;
+    u32 message_len = 0;
+    if (!r.u8At(code) || !r.bytesAt(reserved, 3) || !r.u32At(message_len))
+        return truncated("error");
+    if (!validStatusByte(code))
+        return Status::invalidInput("error status byte invalid");
+    if (message_len > kMaxMessageBytes)
+        return Status::invalidInput("error message too long");
+    if (!r.bytesAt(out.message, message_len))
+        return truncated("error");
+    if (r.remaining() != 0)
+        return trailing("error");
+    out.code = static_cast<StatusCode>(code);
+    return Status();
+}
+
+Status
+decodeEmpty(FrameType t, size_t len)
+{
+    if (len != 0)
+        return Status::invalidInput(std::string(frameTypeName(t)) +
+                                    " frame must be empty");
+    return Status();
+}
+
+} // namespace gmx::serve

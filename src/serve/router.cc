@@ -1,0 +1,220 @@
+#include "serve/router.hh"
+
+#include <cassert>
+#include <chrono>
+#include <functional>
+
+namespace gmx::serve {
+
+namespace {
+
+/**
+ * Per-request constant added to a shard's byte load so request count
+ * matters even when every pair is tiny.
+ */
+constexpr u64 kPerRequestWeight = 1024;
+
+bool
+ready(const std::shared_future<engine::Engine::AlignOutcome> &f)
+{
+    return f.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+} // namespace
+
+std::string
+cacheKey(const seq::SequencePair &pair, bool want_cigar, u32 max_edits)
+{
+    // Sequences are normalized ACGT, so '|' cannot collide with content.
+    std::string key;
+    key.reserve(pair.pattern.size() + pair.text.size() + 16);
+    key += pair.pattern.str();
+    key += '|';
+    key += pair.text.str();
+    key += '|';
+    key += std::to_string(max_edits);
+    key += want_cigar ? "|c" : "|d";
+    return key;
+}
+
+ShardRouter::ShardRouter(std::vector<engine::Engine *> engines,
+                         RouterConfig config, ServeMetrics *metrics)
+    : engines_(std::move(engines)), config_(config), metrics_(metrics)
+{
+    assert(!engines_.empty() && "ShardRouter needs at least one engine");
+    assert(metrics_ != nullptr);
+    loads_.reserve(engines_.size());
+    for (size_t i = 0; i < engines_.size(); ++i)
+        loads_.push_back(std::make_unique<ShardLoad>());
+    if (config_.cache_capacity > 0) {
+        const size_t shards = std::max<size_t>(1, config_.cache_shards);
+        per_shard_capacity_ =
+            std::max<size_t>(1, config_.cache_capacity / shards);
+        cache_.reserve(shards);
+        for (size_t i = 0; i < shards; ++i)
+            cache_.push_back(std::make_unique<CacheShard>());
+    }
+}
+
+size_t
+ShardRouter::pickShard(u64 bytes)
+{
+    size_t best = 0;
+    u64 best_score = ~u64{0};
+    for (size_t i = 0; i < loads_.size(); ++i) {
+        const ShardLoad &l = *loads_[i];
+        const u64 score =
+            l.outstanding_bytes.load(std::memory_order_relaxed) +
+            l.outstanding.load(std::memory_order_relaxed) *
+                kPerRequestWeight;
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    ShardLoad &l = *loads_[best];
+    l.routed.fetch_add(1, std::memory_order_relaxed);
+    l.outstanding.fetch_add(1, std::memory_order_relaxed);
+    l.outstanding_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    return best;
+}
+
+ShardRouter::CacheShard &
+ShardRouter::cacheShardFor(const std::string &key)
+{
+    return *cache_[std::hash<std::string>{}(key) % cache_.size()];
+}
+
+Ticket
+ShardRouter::submit(const seq::SequencePair &pair, bool want_cigar,
+                    u32 max_edits)
+{
+    Ticket t;
+    t.bytes = pair.pattern.size() + pair.text.size();
+
+    const bool cached = per_shard_capacity_ > 0;
+    if (cached) {
+        t.key = cacheKey(pair, want_cigar, max_edits);
+        CacheShard &cs = cacheShardFor(t.key);
+        std::unique_lock<std::mutex> lk(cs.mu);
+        auto it = cs.map.find(t.key);
+        if (it != cs.map.end()) {
+            cs.lru.splice(cs.lru.begin(), cs.lru, it->second.lru_it);
+            t.future = it->second.future;
+            lk.unlock();
+            // Ready => a completed result is being reused; not ready =>
+            // we coalesced onto someone else's in-flight computation.
+            if (ready(t.future)) {
+                t.cache_hit = true;
+                metrics_->cache_hits.fetch_add(1,
+                                               std::memory_order_relaxed);
+            } else {
+                t.coalesced = true;
+                metrics_->cache_coalesced.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            t.key.clear(); // non-owners never invalidate
+            return t;
+        }
+        metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+        // Fall through with the lock RELEASED: Engine::submit may block
+        // under Block backpressure and must not stall cache readers.
+    }
+
+    t.owner = true;
+    t.shard = pickShard(t.bytes);
+    t.future = engines_[t.shard]->submit(pair, want_cigar).share();
+
+    if (cached) {
+        CacheShard &cs = cacheShardFor(t.key);
+        std::lock_guard<std::mutex> lk(cs.mu);
+        auto [it, fresh] = cs.map.try_emplace(t.key);
+        if (!fresh) {
+            // A concurrent miss inserted first; keep theirs, run our
+            // duplicate to completion (rare, harmless).
+            t.key.clear();
+            return t;
+        }
+        it->second.future = t.future;
+        it->second.gen =
+            next_gen_.fetch_add(1, std::memory_order_relaxed);
+        cs.lru.push_front(t.key);
+        it->second.lru_it = cs.lru.begin();
+        t.gen = it->second.gen;
+        metrics_->cache_entries.fetch_add(1, std::memory_order_relaxed);
+        if (cs.map.size() > per_shard_capacity_) {
+            const std::string &victim = cs.lru.back();
+            cs.map.erase(victim);
+            cs.lru.pop_back();
+            metrics_->cache_evictions.fetch_add(
+                1, std::memory_order_relaxed);
+            metrics_->cache_entries.fetch_sub(1,
+                                              std::memory_order_relaxed);
+        }
+    }
+    return t;
+}
+
+void
+ShardRouter::complete(const Ticket &ticket, bool ok)
+{
+    if (!ticket.owner)
+        return;
+    ShardLoad &l = *loads_[ticket.shard];
+    l.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    l.outstanding_bytes.fetch_sub(ticket.bytes,
+                                  std::memory_order_relaxed);
+    if (ok || ticket.key.empty())
+        return;
+    // Failed computation: drop the cached future so the failure is not
+    // replayed, but only if the entry is still OUR generation — an
+    // evict-then-reinsert under the same key must survive.
+    CacheShard &cs = cacheShardFor(ticket.key);
+    std::lock_guard<std::mutex> lk(cs.mu);
+    auto it = cs.map.find(ticket.key);
+    if (it == cs.map.end() || it->second.gen != ticket.gen)
+        return;
+    cs.lru.erase(it->second.lru_it);
+    cs.map.erase(it);
+    metrics_->cache_invalidated.fetch_add(1, std::memory_order_relaxed);
+    metrics_->cache_entries.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<ShardStats>
+ShardRouter::shardStats() const
+{
+    std::vector<ShardStats> out;
+    out.reserve(loads_.size());
+    for (const auto &l : loads_) {
+        ShardStats s;
+        s.routed = l->routed.load(std::memory_order_relaxed);
+        s.outstanding = l->outstanding.load(std::memory_order_relaxed);
+        s.outstanding_bytes =
+            l->outstanding_bytes.load(std::memory_order_relaxed);
+        out.push_back(s);
+    }
+    return out;
+}
+
+u64
+ShardRouter::outstanding() const
+{
+    u64 total = 0;
+    for (const auto &l : loads_)
+        total += l->outstanding.load(std::memory_order_relaxed);
+    return total;
+}
+
+size_t
+ShardRouter::cacheEntries() const
+{
+    size_t total = 0;
+    for (const auto &cs : cache_) {
+        std::lock_guard<std::mutex> lk(cs->mu);
+        total += cs->map.size();
+    }
+    return total;
+}
+
+} // namespace gmx::serve

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shard router: balance alignment requests across M engine instances
+ * and dedup identical requests through a sharded LRU result cache.
+ *
+ * Routing is load-based, not hash-based: every request goes to the
+ * shard with the least outstanding work, scored as outstanding bytes
+ * plus a per-request constant (so many tiny requests and one huge one
+ * weigh comparably). Outstanding load is decremented by complete(), so
+ * the score tracks what each engine is actually still chewing on rather
+ * than what was ever sent to it.
+ *
+ * The cache keys on (pattern, text, max_edits, want_cigar) and stores
+ * shared_futures, which buys coalescing for free: a second request for
+ * a key whose computation is still in flight joins the same future
+ * instead of resubmitting. Failed computations must not be served from
+ * the cache, so each entry carries a generation stamp and complete()
+ * erases the entry only if the generation still matches — a concurrent
+ * re-insert under the same key is left alone.
+ *
+ * Lock discipline: no cache-shard lock is ever held across
+ * Engine::submit (which can block under Block backpressure). The miss
+ * path is lookup/unlock/submit/lock/insert; the worst case is two
+ * threads both missing and both submitting, in which case the second
+ * insert loses and one duplicate computation runs — correctness is
+ * unaffected and the window is a few microseconds.
+ */
+
+#ifndef GMX_SERVE_ROUTER_HH
+#define GMX_SERVE_ROUTER_HH
+
+#include <atomic>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "serve/metrics.hh"
+
+namespace gmx::serve {
+
+/** ShardRouter construction parameters. */
+struct RouterConfig
+{
+    /** Total cached results across all cache shards (0 disables). */
+    size_t cache_capacity = 4096;
+
+    /** Cache lock shards; requests hash across them by key. */
+    size_t cache_shards = 8;
+};
+
+/**
+ * One routed request. The future is always fulfilled with a Result
+ * (engine contract); owner tickets MUST be passed to complete() once
+ * the future has been consumed so shard load and cache state settle.
+ */
+struct Ticket
+{
+    std::shared_future<engine::Engine::AlignOutcome> future;
+    size_t shard = 0;      //!< engine index (meaningful when owner)
+    u64 bytes = 0;         //!< pattern+text bytes charged to the shard
+    bool owner = false;    //!< this ticket submitted the computation
+    bool cache_hit = false;  //!< served from a completed cache entry
+    bool coalesced = false;  //!< joined an in-flight computation
+    std::string key;       //!< cache key (set when the owner inserted)
+    u64 gen = 0;           //!< cache entry generation (for invalidation)
+};
+
+/**
+ * Routes requests to the least-loaded of M engines, deduplicating
+ * identical requests through a sharded LRU cache of shared futures.
+ * Thread-safe. Does not own the engines; they must outlive the router.
+ */
+class ShardRouter
+{
+  public:
+    /** @p engines must be non-empty; @p metrics must be non-null. */
+    ShardRouter(std::vector<engine::Engine *> engines, RouterConfig config,
+                ServeMetrics *metrics);
+
+    /**
+     * Route one validated pair. Checks the cache first (hit/coalesce),
+     * else submits to the least-loaded engine and caches the future.
+     */
+    Ticket submit(const seq::SequencePair &pair, bool want_cigar,
+                  u32 max_edits);
+
+    /**
+     * Settle a ticket after its future was consumed. @p ok is whether
+     * the outcome was a value; failed owner computations are evicted
+     * from the cache so a transient Overloaded is not replayed forever.
+     */
+    void complete(const Ticket &ticket, bool ok);
+
+    /** Per-engine routing stats, index-aligned with the engine list. */
+    std::vector<ShardStats> shardStats() const;
+
+    /** Total requests submitted to engines and not yet completed. */
+    u64 outstanding() const;
+
+    /** Current resident cache entries (sums all cache shards). */
+    size_t cacheEntries() const;
+
+    size_t engineCount() const { return engines_.size(); }
+
+  private:
+    /** Load scoreboard for one engine. */
+    struct ShardLoad
+    {
+        std::atomic<u64> routed{0};
+        std::atomic<u64> outstanding{0};
+        std::atomic<u64> outstanding_bytes{0};
+    };
+
+    /** One lock shard of the dedup cache. */
+    struct CacheShard
+    {
+        struct Entry
+        {
+            std::shared_future<engine::Engine::AlignOutcome> future;
+            u64 gen = 0;
+            std::list<std::string>::iterator lru_it;
+        };
+        mutable std::mutex mu;
+        std::unordered_map<std::string, Entry> map;
+        std::list<std::string> lru; //!< front = most recently used
+    };
+
+    size_t pickShard(u64 bytes);
+    CacheShard &cacheShardFor(const std::string &key);
+
+    std::vector<engine::Engine *> engines_;
+    RouterConfig config_;
+    ServeMetrics *metrics_;
+    size_t per_shard_capacity_ = 0; //!< 0 = cache disabled
+    std::vector<std::unique_ptr<ShardLoad>> loads_;
+    std::vector<std::unique_ptr<CacheShard>> cache_;
+    std::atomic<u64> next_gen_{1};
+};
+
+/** Canonical cache key for one request (exposed for tests). */
+std::string cacheKey(const seq::SequencePair &pair, bool want_cigar,
+                     u32 max_edits);
+
+} // namespace gmx::serve
+
+#endif // GMX_SERVE_ROUTER_HH

@@ -1,0 +1,568 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "engine/faults.hh"
+
+namespace gmx::serve {
+
+namespace {
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+capMessage(const std::string &msg)
+{
+    if (msg.size() <= kMaxMessageBytes)
+        return msg;
+    return msg.substr(0, kMaxMessageBytes);
+}
+
+/** An already-encoded AlignResponse carrying a rejection. */
+AlignResponseFrame
+rejection(u64 id, StatusCode code, std::string message)
+{
+    AlignResponseFrame f;
+    f.id = id;
+    f.code = code;
+    f.distance = align::kNoAlignment;
+    f.message = capMessage(std::move(message));
+    return f;
+}
+
+} // namespace
+
+AlignServer::AlignServer(std::vector<engine::Engine *> engines,
+                         AlignServerConfig config)
+    : engines_(std::move(engines)), config_(std::move(config)),
+      quota_(config_.quota),
+      router_(engines_, config_.router, &metrics_)
+{
+    if (config_.handler_threads == 0)
+        config_.handler_threads = 1;
+    if (config_.max_connections == 0)
+        config_.max_connections = 1;
+    if (config_.max_inflight_per_conn == 0)
+        config_.max_inflight_per_conn = 1;
+    if (config_.max_frame_bytes < 64)
+        config_.max_frame_bytes = 64; // room for any fixed-field frame
+}
+
+AlignServer::~AlignServer()
+{
+    stop();
+}
+
+Status
+AlignServer::start()
+{
+    if (running_.load(std::memory_order_acquire))
+        return Status::internal("AlignServer already running");
+    stopping_.store(false, std::memory_order_release);
+
+    if (Status s = net::listenTcp(config_.host, config_.port, tcp_fd_,
+                                  bound_port_);
+        !s.ok())
+        return s;
+
+    if (!config_.unix_path.empty()) {
+        if (Status s = net::listenUnix(config_.unix_path, unix_fd_);
+            !s.ok()) {
+            net::closeFd(tcp_fd_);
+            return s;
+        }
+    }
+
+    if (Status s = wake_.open(); !s.ok()) {
+        net::closeFd(unix_fd_);
+        net::closeFd(tcp_fd_);
+        return s;
+    }
+
+    running_.store(true, std::memory_order_release);
+    handlers_.reserve(config_.handler_threads);
+    for (unsigned i = 0; i < config_.handler_threads; ++i)
+        handlers_.emplace_back([this] { handlerLoop(); });
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return Status();
+}
+
+void
+AlignServer::stop()
+{
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    wake_.notify();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    // Half-close every live connection: readers see EOF and stop taking
+    // new requests; writers still flush every accepted request's
+    // response through the intact write side (graceful drain).
+    {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        for (const int fd : open_conns_)
+            (void)::shutdown(fd, SHUT_RD);
+    }
+    conn_cv_.notify_all();
+    for (std::thread &t : handlers_)
+        if (t.joinable())
+            t.join();
+    handlers_.clear();
+    net::closeFd(tcp_fd_);
+    net::closeFd(unix_fd_);
+    wake_.close();
+    if (!config_.unix_path.empty())
+        (void)::unlink(config_.unix_path.c_str());
+    bound_port_ = 0;
+    running_.store(false, std::memory_order_release);
+}
+
+size_t
+AlignServer::watermark(Priority p) const
+{
+    const size_t cap = config_.pending_cap;
+    size_t mark = cap;
+    if (p == Priority::Low)
+        mark = cap / 2;
+    else if (p == Priority::Normal)
+        mark = cap - cap / 4;
+    return mark == 0 ? 1 : mark;
+}
+
+void
+AlignServer::acceptLoop()
+{
+    for (;;) {
+        pollfd pfds[3];
+        nfds_t n = 0;
+        pfds[n++] = {wake_.readFd(), POLLIN, 0};
+        pfds[n++] = {tcp_fd_, POLLIN, 0};
+        if (unix_fd_ >= 0)
+            pfds[n++] = {unix_fd_, POLLIN, 0};
+        const int rc = ::poll(pfds, n, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (pfds[0].revents != 0)
+            return; // stop() signalled through the self-pipe
+        for (nfds_t i = 1; i < n; ++i) {
+            if ((pfds[i].revents & POLLIN) == 0)
+                continue;
+            const int conn =
+                ::accept4(pfds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+            if (conn < 0)
+                continue;
+            // AcceptFail: the client vanished between accept and
+            // handshake; count it and keep accepting.
+            if (GMX_INJECT_FAULT(engine::faults::Point::AcceptFail)) {
+                metrics_.accept_failures.fetch_add(
+                    1, std::memory_order_relaxed);
+                ::close(conn);
+                continue;
+            }
+            net::setIoDeadlines(conn, config_.io_timeout);
+
+            bool over =
+                GMX_INJECT_FAULT(engine::faults::Point::QueueFull);
+            unsigned cur = active_.load(std::memory_order_relaxed);
+            while (!over) {
+                if (cur >= config_.max_connections) {
+                    over = true;
+                    break;
+                }
+                if (active_.compare_exchange_weak(
+                        cur, cur + 1, std::memory_order_acq_rel))
+                    break;
+            }
+            if (over) {
+                metrics_.connections_refused.fetch_add(
+                    1, std::memory_order_relaxed);
+                const std::string err = encodeError(
+                    {StatusCode::Overloaded, "connection limit reached"});
+                (void)net::sendAll(conn, err.data(), err.size());
+                ::close(conn);
+                continue;
+            }
+            metrics_.connections_accepted.fetch_add(
+                1, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                conn_queue_.push_back(conn);
+            }
+            conn_cv_.notify_one();
+        }
+    }
+}
+
+void
+AlignServer::handlerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            conn_cv_.wait(lk, [this] {
+                return !conn_queue_.empty() ||
+                       stopping_.load(std::memory_order_acquire);
+            });
+            if (conn_queue_.empty())
+                return; // stopping, and every accepted connection served
+            fd = conn_queue_.front();
+            conn_queue_.pop_front();
+        }
+        handleConnection(fd);
+        {
+            // Unregister before close so stop()'s SHUT_RD sweep can
+            // never touch a recycled fd number.
+            std::lock_guard<std::mutex> lk(conns_mu_);
+            open_conns_.erase(fd);
+        }
+        ::close(fd);
+        active_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+bool
+AlignServer::sendFrame(Conn &conn, const std::string &encoded)
+{
+    if (conn.dead.load(std::memory_order_relaxed))
+        return false;
+    // SlowClient: a chaos plan stalls the writer here, modelling a
+    // client that stops draining; the bounded per-connection queue and
+    // the reader's blocking enqueue must hold the line.
+    GMX_FAULT_STALL_AT(engine::faults::Point::SlowClient);
+    if (net::sendAll(conn.fd, encoded.data(), encoded.size()) !=
+        net::IoResult::Ok) {
+        conn.dead.store(true, std::memory_order_relaxed);
+        return false;
+    }
+    metrics_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    metrics_.bytes_out.fetch_add(encoded.size(),
+                                 std::memory_order_relaxed);
+    return true;
+}
+
+void
+AlignServer::enqueue(Conn &conn, Outgoing item)
+{
+    std::unique_lock<std::mutex> lk(conn.mu);
+    // Blocking here is the point: a full queue stops the reader, the
+    // socket receive buffer fills, and TCP pushes back to the client.
+    conn.space_cv.wait(lk, [&] {
+        return conn.out.size() < config_.max_inflight_per_conn;
+    });
+    conn.out.push_back(std::move(item));
+    lk.unlock();
+    conn.data_cv.notify_one();
+}
+
+void
+AlignServer::protocolError(Conn &conn, const Status &error)
+{
+    metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    Outgoing o;
+    o.immediate = true;
+    o.encoded = encodeError({error.code(), capMessage(error.message())});
+    enqueue(conn, std::move(o));
+}
+
+void
+AlignServer::handleRequest(Conn &conn, AlignRequestFrame req)
+{
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.noteClient(conn.client_id, ServeMetrics::ClientEvent::Request);
+
+    // 1. Per-client token bucket.
+    if (!quota_.admit(conn.client_id, monotonicSeconds())) {
+        metrics_.quota_throttled.fetch_add(1, std::memory_order_relaxed);
+        metrics_.noteClient(conn.client_id,
+                            ServeMetrics::ClientEvent::Throttled);
+        Outgoing o;
+        o.immediate = true;
+        o.reject = true;
+        o.encoded = encodeAlignResponse(
+            rejection(req.id, StatusCode::Overloaded,
+                      "client quota exhausted"));
+        enqueue(conn, std::move(o));
+        return;
+    }
+
+    // 2. Priority admission: under load, low watermarks trip first.
+    if (config_.pending_cap > 0) {
+        const u64 pending =
+            metrics_.pending.load(std::memory_order_relaxed);
+        if (pending >= watermark(conn.priority)) {
+            metrics_.shed_by_priority[static_cast<unsigned>(conn.priority)]
+                .fetch_add(1, std::memory_order_relaxed);
+            metrics_.noteClient(conn.client_id,
+                                ServeMetrics::ClientEvent::Shed);
+            Outgoing o;
+            o.immediate = true;
+            o.reject = true;
+            o.encoded = encodeAlignResponse(rejection(
+                req.id, StatusCode::Overloaded,
+                std::string("shed under load (priority ") +
+                    priorityName(conn.priority) + ")"));
+            enqueue(conn, std::move(o));
+            return;
+        }
+    }
+
+    // 3. Validation, before the router so rejects never touch an engine
+    //    or pollute the cache.
+    seq::SequencePair pair{seq::Sequence(std::move(req.pattern)),
+                           seq::Sequence(std::move(req.text))};
+    if (Status v = align::validatePair(pair, config_.limits); !v.ok()) {
+        Outgoing o;
+        o.immediate = true;
+        o.reject = true;
+        o.encoded = encodeAlignResponse(
+            rejection(req.id, v.code(), v.message()));
+        enqueue(conn, std::move(o));
+        return;
+    }
+
+    // 4. Route (cache hit, coalesce, or least-loaded engine).
+    Outgoing o;
+    o.ticket = router_.submit(pair, req.want_cigar, req.max_edits);
+    o.id = req.id;
+    o.max_edits = req.max_edits;
+    const u64 now =
+        metrics_.pending.fetch_add(1, std::memory_order_relaxed) + 1;
+    metrics_.notePendingPeak(now);
+    enqueue(conn, std::move(o));
+}
+
+void
+AlignServer::writerLoop(Conn &conn)
+{
+    for (;;) {
+        Outgoing item;
+        {
+            std::unique_lock<std::mutex> lk(conn.mu);
+            conn.data_cv.wait(lk, [&] {
+                return !conn.out.empty() || conn.closing;
+            });
+            if (conn.out.empty())
+                return; // closing and fully drained
+            item = std::move(conn.out.front());
+            conn.out.pop_front();
+        }
+        conn.space_cv.notify_one();
+
+        if (item.bye) {
+            (void)sendFrame(conn, encodeByeAck());
+            continue;
+        }
+        if (item.immediate) {
+            (void)sendFrame(conn, item.encoded);
+            // Rejections count as responses whether or not the bytes
+            // landed, matching the routed path below.
+            if (item.reject) {
+                metrics_.responses_failed.fetch_add(
+                    1, std::memory_order_relaxed);
+                metrics_.noteClient(conn.client_id,
+                                    ServeMetrics::ClientEvent::Failed);
+            }
+            continue;
+        }
+
+        // A routed request: wait for the engine (futures are always
+        // fulfilled with a Result, even across engine stop()).
+        const engine::Engine::AlignOutcome &outcome =
+            item.ticket.future.get();
+        metrics_.pending.fetch_sub(1, std::memory_order_relaxed);
+        router_.complete(item.ticket, outcome.ok());
+
+        AlignResponseFrame resp;
+        resp.id = item.id;
+        resp.cache_hit =
+            item.ticket.cache_hit || item.ticket.coalesced;
+        if (outcome.ok()) {
+            const align::AlignResult &r = outcome.value();
+            i64 d = r.distance;
+            bool has_cigar = r.has_cigar;
+            // max_edits is a post-filter: the cascade computes the true
+            // distance; beyond the client's budget it becomes not-found.
+            if (item.max_edits > 0 && d != align::kNoAlignment &&
+                d > static_cast<i64>(item.max_edits)) {
+                d = align::kNoAlignment;
+                has_cigar = false;
+            }
+            resp.code = StatusCode::Ok;
+            resp.distance = d;
+            resp.has_cigar = has_cigar && d != align::kNoAlignment;
+            if (resp.has_cigar)
+                resp.cigar = r.cigar.str();
+            metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+            metrics_.noteClient(conn.client_id,
+                                ServeMetrics::ClientEvent::Completed);
+        } else {
+            resp.code = outcome.status().code();
+            resp.distance = align::kNoAlignment;
+            resp.message = capMessage(outcome.status().message());
+            metrics_.responses_failed.fetch_add(1,
+                                                std::memory_order_relaxed);
+            metrics_.noteClient(conn.client_id,
+                                ServeMetrics::ClientEvent::Failed);
+        }
+        (void)sendFrame(conn, encodeAlignResponse(resp));
+    }
+}
+
+void
+AlignServer::readerLoop(Conn &conn)
+{
+    for (;;) {
+        char hdr[kHeaderBytes];
+        size_t got = 0;
+        // One-byte probe first: a timeout here means an idle (not slow)
+        // client with nothing consumed, so the stream stays in sync and
+        // the reader gets a periodic stopping_ check.
+        net::IoResult r = net::recvSome(conn.fd, hdr, 1, got);
+        if (r == net::IoResult::Timeout) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            continue;
+        }
+        if (r != net::IoResult::Ok || got == 0)
+            return; // peer closed (or stop()'s SHUT_RD), or hard error
+        r = net::recvExact(conn.fd, hdr + 1, kHeaderBytes - 1);
+        if (r != net::IoResult::Ok) {
+            protocolError(conn,
+                          Status::invalidInput("truncated frame header"));
+            return;
+        }
+
+        FrameHeader fh;
+        Status hs =
+            decodeHeader(hdr, kHeaderBytes, config_.max_frame_bytes, fh);
+        if (hs.ok() &&
+            GMX_INJECT_FAULT(engine::faults::Point::FrameTooLarge))
+            hs = Status::invalidInput(
+                "frame payload exceeds cap (injected)");
+        if (!hs.ok()) {
+            protocolError(conn, hs);
+            return;
+        }
+        std::string payload(fh.payload_len, '\0');
+        if (fh.payload_len > 0) {
+            r = net::recvExact(conn.fd, payload.data(), payload.size());
+            if (r != net::IoResult::Ok) {
+                protocolError(
+                    conn, Status::invalidInput("truncated frame payload"));
+                return;
+            }
+        }
+        metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
+        metrics_.bytes_in.fetch_add(kHeaderBytes + payload.size(),
+                                    std::memory_order_relaxed);
+
+        switch (fh.type) {
+          case FrameType::AlignRequest: {
+            AlignRequestFrame req;
+            if (Status s = decodeAlignRequest(payload.data(),
+                                              payload.size(), req);
+                !s.ok()) {
+                protocolError(conn, s);
+                return;
+            }
+            handleRequest(conn, std::move(req));
+            break;
+          }
+          case FrameType::Bye: {
+            if (Status s = decodeEmpty(FrameType::Bye, payload.size());
+                !s.ok()) {
+                protocolError(conn, s);
+                return;
+            }
+            Outgoing o;
+            o.bye = true;
+            enqueue(conn, std::move(o));
+            return; // drain + ByeAck, then the connection closes
+          }
+          default:
+            protocolError(
+                conn, Status::invalidInput(
+                          std::string("unexpected ") +
+                          frameTypeName(fh.type) + " frame from client"));
+            return;
+        }
+    }
+}
+
+void
+AlignServer::handleConnection(int fd)
+{
+    Conn conn;
+    conn.fd = fd;
+    {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        open_conns_.insert(fd);
+    }
+
+    // Synchronous handshake: the first frame must be a Hello, answered
+    // with a HelloAck, before the writer exists — so direct sends here
+    // cannot interleave with response frames.
+    char hdr[kHeaderBytes];
+    if (net::recvExact(fd, hdr, kHeaderBytes) != net::IoResult::Ok) {
+        metrics_.accept_failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    FrameHeader fh;
+    Status hs = decodeHeader(hdr, kHeaderBytes, config_.max_frame_bytes, fh);
+    if (hs.ok() && fh.type != FrameType::Hello)
+        hs = Status::invalidInput("expected hello as the first frame");
+    std::string payload;
+    HelloFrame hello;
+    if (hs.ok()) {
+        payload.resize(fh.payload_len);
+        if (fh.payload_len > 0 &&
+            net::recvExact(fd, payload.data(), payload.size()) !=
+                net::IoResult::Ok)
+            hs = Status::invalidInput("truncated hello frame");
+    }
+    if (hs.ok())
+        hs = decodeHello(payload.data(), payload.size(), hello);
+    if (!hs.ok()) {
+        metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        const std::string err =
+            encodeError({hs.code(), capMessage(hs.message())});
+        (void)net::sendAll(fd, err.data(), err.size());
+        return;
+    }
+    metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    metrics_.bytes_in.fetch_add(kHeaderBytes + payload.size(),
+                                std::memory_order_relaxed);
+    conn.client_id =
+        hello.client_id.empty() ? "anonymous" : hello.client_id;
+    conn.priority = hello.priority;
+    if (!sendFrame(conn, encodeHelloAck(
+                             {kVersion, config_.max_frame_bytes})))
+        return;
+
+    std::thread writer([this, &conn] { writerLoop(conn); });
+    readerLoop(conn);
+    {
+        std::lock_guard<std::mutex> lk(conn.mu);
+        conn.closing = true;
+    }
+    conn.data_cv.notify_all();
+    writer.join();
+}
+
+} // namespace gmx::serve

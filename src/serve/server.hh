@@ -1,0 +1,245 @@
+/**
+ * @file
+ * AlignServer: the binary alignment-serving front door.
+ *
+ * PR 4/5 made the engine a service in-process (bounded queue,
+ * backpressure, metrics, scrape server); this server puts the
+ * submission API itself behind a socket, speaking the serve/protocol
+ * wire format, so a remote client can stream batches of pairs and read
+ * typed results back. It composes the pieces of this subsystem:
+ *
+ *   accept -> Hello handshake (client id + priority)
+ *          -> per-request quota check        (serve/quota)
+ *          -> priority admission watermark   (shed low first)
+ *          -> validation                     (align::validatePair)
+ *          -> shard routing + dedup cache    (serve/router)
+ *          -> engine submit                  (engine/engine)
+ *          -> response writer                (in submission order)
+ *
+ * Threading mirrors MetricsServer's proven shape: one acceptor thread
+ * multiplexes the TCP listener, the optional unix listener, and a
+ * self-pipe via poll(); accepted connections go to a fixed handler
+ * pool. A handler owns one connection for its lifetime: it reads and
+ * validates frames (the reader), while a per-connection writer thread
+ * drains a BOUNDED queue of outgoing responses. The bound is the
+ * backpressure contract: when a client streams requests faster than
+ * its responses drain, the reader blocks on the full queue, stops
+ * reading, and the kernel's TCP window pushes back to the client — the
+ * server never buffers unboundedly for a slow consumer.
+ *
+ * Overload semantics, in the order a request meets them:
+ *   1. connection cap     -> Error frame (Overloaded), connection closed
+ *   2. client token bucket -> AlignResponse(Overloaded) for that request
+ *   3. pending watermark  -> AlignResponse(Overloaded); Low sheds at 1/2
+ *      of pending_cap, Normal at 3/4, High only at the full cap — so
+ *      under sustained overload low-priority traffic sheds first
+ *
+ * Graceful shutdown: stop() half-closes (SHUT_RD) every open
+ * connection, so readers stop accepting new requests immediately while
+ * every already-accepted request still completes and its response is
+ * written before the connection closes. No fd, thread, or pending
+ * future outlives stop().
+ *
+ * Fault injection (GMX_FAULT_INJECTION builds): AcceptFail drops a
+ * connection between accept and handshake, FrameTooLarge trips the
+ * frame-size check spuriously, SlowClient stalls the response writer;
+ * QueueFull forces the connection cap, as in MetricsServer.
+ */
+
+#ifndef GMX_SERVE_SERVER_HH
+#define GMX_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/batch.hh"
+#include "common/net.hh"
+#include "common/status.hh"
+#include "engine/engine.hh"
+#include "serve/metrics.hh"
+#include "serve/protocol.hh"
+#include "serve/quota.hh"
+#include "serve/router.hh"
+
+namespace gmx::serve {
+
+/** AlignServer construction parameters. */
+struct AlignServerConfig
+{
+    /** TCP bind address. */
+    std::string host = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (read it back via port()). */
+    u16 port = 0;
+
+    /** Also listen on this unix-domain socket path (empty = TCP only). */
+    std::string unix_path{};
+
+    /** Handler pool size; each handler serves one connection at a time. */
+    unsigned handler_threads = 4;
+
+    /** Hard cap on concurrent accepted connections. */
+    unsigned max_connections = 64;
+
+    /** Per-connection socket read/write deadline. */
+    std::chrono::milliseconds io_timeout{5000};
+
+    /** Cap on one frame's payload; larger frames are a protocol error. */
+    u32 max_frame_bytes = kDefaultMaxFrameBytes;
+
+    /**
+     * Bound on responses queued per connection (requests read but not
+     * yet answered). A full queue blocks the reader — TCP backpressure.
+     */
+    size_t max_inflight_per_conn = 64;
+
+    /**
+     * Serve-level pending cap for priority shedding (0 disables).
+     * Priority p is admitted while pending < watermark(p): Low at
+     * pending_cap/2, Normal at 3*pending_cap/4, High at pending_cap.
+     */
+    size_t pending_cap = 256;
+
+    /** Input validation applied before a request reaches the router. */
+    align::InputLimits limits{};
+
+    /** Per-client admission quotas (disabled by default). */
+    QuotaConfig quota{};
+
+    /** Shard routing + dedup cache parameters. */
+    RouterConfig router{};
+};
+
+/**
+ * Blocking-socket alignment server over one or more engines. The
+ * engines must outlive the server; stop() (or destruction) is graceful
+ * and idempotent.
+ */
+class AlignServer
+{
+  public:
+    AlignServer(std::vector<engine::Engine *> engines,
+                AlignServerConfig config = {});
+    ~AlignServer();
+
+    AlignServer(const AlignServer &) = delete;
+    AlignServer &operator=(const AlignServer &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + handler pool. */
+    Status start();
+
+    /** Graceful shutdown; see the file comment. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /** Bound TCP port (resolves port 0); 0 before start(). */
+    u16 port() const { return bound_port_; }
+
+    /** Point-in-time serve counters, with live shard stats merged in. */
+    ServeSnapshot serveSnapshot() const
+    {
+        return metrics_.snapshot(router_.shardStats());
+    }
+
+    /** The live counters (tests poll these without snapshot cost). */
+    const ServeMetrics &metrics() const { return metrics_; }
+
+    const ShardRouter &router() const { return router_; }
+    const AlignServerConfig &config() const { return config_; }
+
+  private:
+    /** One queued outgoing item; writer consumes in FIFO order. */
+    struct Outgoing
+    {
+        bool bye = false;      //!< send ByeAck, then the writer exits
+        bool immediate = false; //!< encoded is ready (rejection path)
+        /**
+         * The immediate frame is an AlignResponse rejection and must be
+         * counted as a response, keeping the ledger `requests ==
+         * responses_ok + responses_failed` exact. Protocol Error frames
+         * (immediate but not reject) answer no request and count only
+         * under protocol_errors.
+         */
+        bool reject = false;
+        std::string encoded;
+        Ticket ticket; //!< router ticket (when !immediate && !bye)
+        u64 id = 0;
+        u32 max_edits = 0;
+    };
+
+    /** Shared reader/writer state for one live connection. */
+    struct Conn
+    {
+        int fd = -1;
+        std::string client_id;
+        Priority priority = Priority::Normal;
+
+        std::mutex mu;
+        std::condition_variable space_cv; //!< reader waits: queue full
+        std::condition_variable data_cv;  //!< writer waits: queue empty
+        std::deque<Outgoing> out;
+        bool closing = false; //!< no more items will be queued
+
+        /** A send failed: stop writing, keep draining tickets. */
+        std::atomic<bool> dead{false};
+    };
+
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(int fd);
+    void readerLoop(Conn &conn);
+    void writerLoop(Conn &conn);
+
+    /** Queue one item, blocking while the connection's queue is full. */
+    void enqueue(Conn &conn, Outgoing item);
+
+    /** Handle one decoded AlignRequest (quota/shed/validate/route). */
+    void handleRequest(Conn &conn, AlignRequestFrame req);
+
+    /** Send one encoded frame, with frame/byte accounting. */
+    bool sendFrame(Conn &conn, const std::string &encoded);
+
+    /** Protocol failure: count it, best-effort Error frame. */
+    void protocolError(Conn &conn, const Status &error);
+
+    /** Admission watermark for @p p (see pending_cap). */
+    size_t watermark(Priority p) const;
+
+    std::vector<engine::Engine *> engines_;
+    AlignServerConfig config_;
+    mutable ServeMetrics metrics_;
+    QuotaRegistry quota_;
+    ShardRouter router_;
+
+    int tcp_fd_ = -1;
+    int unix_fd_ = -1;
+    net::SelfPipe wake_;
+    u16 bound_port_ = 0;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<unsigned> active_{0};
+
+    std::mutex mu_;
+    std::condition_variable conn_cv_;
+    std::deque<int> conn_queue_; //!< accepted fds awaiting a handler
+
+    std::mutex conns_mu_;
+    std::set<int> open_conns_; //!< live fds, for stop()'s SHUT_RD sweep
+
+    std::thread acceptor_;
+    std::vector<std::thread> handlers_;
+};
+
+} // namespace gmx::serve
+
+#endif // GMX_SERVE_SERVER_HH

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -28,6 +29,9 @@
 #include "engine/server.hh"
 #include "engine/trace.hh"
 #include "sequence/dataset.hh"
+#include "serve/client.hh"
+#include "serve/metrics.hh"
+#include "serve/server.hh"
 #include "test_http_util.hh"
 
 namespace gmx::engine {
@@ -392,6 +396,188 @@ TEST_F(Chaos, ScrapeStormKeepsMetricsParseableUnderFaults)
                 static_cast<unsigned long long>(scrapes_ok),
                 static_cast<unsigned long long>(scrapes_refused),
                 static_cast<unsigned long long>(scrapes_errored));
+}
+
+TEST_F(Chaos, AlignServerStormShedsButNeverWedges)
+{
+    // Satellite acceptance: hammer the alignment front door while the
+    // harness injects accept failures, oversized-frame verdicts, slow
+    // client sends, worker stalls, spurious queue-full, and task errors
+    // — and a scraper reads /metrics (engine families + spliced
+    // gmx_serve_* families) the whole time. Clients may be refused,
+    // throttled, shed, or cut off mid-batch; every outcome must be a
+    // typed Status, the exposition must never tear, and once the storm
+    // passes the same server must serve correct alignments again.
+    seq::Generator gen(977);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 8; ++i)
+        pairs.push_back(gen.pair(80, 0.05));
+
+    std::vector<std::unique_ptr<Engine>> engines;
+    for (int e = 0; e < 2; ++e) {
+        EngineConfig cfg;
+        cfg.workers = 2;
+        cfg.queue_capacity = 16;
+        cfg.backpressure = Backpressure::Reject;
+        engines.push_back(std::make_unique<Engine>(cfg));
+    }
+
+    serve::AlignServerConfig acfg;
+    acfg.port = 0;
+    acfg.handler_threads = 4;
+    acfg.max_connections = 16;
+    acfg.pending_cap = 8; // small on purpose: the storm should shed
+    acfg.io_timeout = std::chrono::milliseconds(2000);
+    acfg.quota.tokens_per_sec = 400;
+    acfg.quota.burst = 16;
+    serve::AlignServer aserver({engines[0].get(), engines[1].get()},
+                               acfg);
+    ASSERT_TRUE(aserver.start().ok());
+
+    ServerConfig scfg;
+    scfg.port = 0;
+    scfg.handler_threads = 2;
+    scfg.extra_metrics = [&aserver] {
+        return serve::renderServeOpenMetrics(aserver.serveSnapshot());
+    };
+    MetricsServer mserver(*engines[0], scfg);
+    ASSERT_TRUE(mserver.start().ok());
+
+    // Arm after both servers are up so start() itself is clean.
+    faults::Plan plan;
+    plan.seed = 53;
+    plan.with(faults::Point::AcceptFail, 0.25)
+        .with(faults::Point::FrameTooLarge, 0.02)
+        .with(faults::Point::SlowClient, 0.25)
+        .with(faults::Point::WorkerStall, 0.25)
+        .with(faults::Point::QueueFull, 0.10)
+        .with(faults::Point::TaskError, 0.10);
+    plan.stall_duration = std::chrono::microseconds(300);
+    faults::arm(plan);
+
+    std::atomic<bool> done{false};
+    std::atomic<u64> batch_ok{0}, batch_failed{0}, connects_failed{0};
+    std::vector<std::string> scrape_failures;
+
+    std::thread scraper([&] {
+        bool saw_serve_family = false;
+        while (!done.load()) {
+            const auto r = gmx::test::httpGet(mserver.port(), "/metrics");
+            if (r.status == 200) {
+                const std::string why = checkScrapeBody(r.body);
+                if (!why.empty())
+                    scrape_failures.push_back(why);
+                if (r.body.find("gmx_serve_requests_total") !=
+                    std::string::npos)
+                    saw_serve_family = true;
+            } else if (r.status != 503 && r.status != 500) {
+                scrape_failures.push_back("unexpected status " +
+                                          std::to_string(r.status));
+            }
+        }
+        if (!saw_serve_family)
+            scrape_failures.push_back(
+                "no 200 scrape carried gmx_serve_requests_total");
+    });
+
+    const serve::Priority prios[3] = {serve::Priority::Low,
+                                      serve::Priority::Normal,
+                                      serve::Priority::High};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&, t] {
+            for (int round = 0; round < 30; ++round) {
+                serve::ClientConfig ccfg;
+                ccfg.port = aserver.port();
+                ccfg.client_id = "storm-" + std::to_string(t);
+                ccfg.priority = prios[t];
+                ccfg.io_timeout = std::chrono::milliseconds(4000);
+                serve::AlignClient client(ccfg);
+                if (!client.connect().ok()) {
+                    // Refused at the cap, accept-failed, or cut off
+                    // mid-handshake — all legitimate under the storm.
+                    ++connects_failed;
+                    continue;
+                }
+                const auto results =
+                    client.alignBatch(pairs, (round % 2) == 0);
+                for (const auto &res : results) {
+                    if (res.ok())
+                        ++batch_ok;
+                    else
+                        ++batch_failed;
+                }
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    done.store(true);
+    scraper.join();
+    faults::disarm();
+
+    for (const auto &why : scrape_failures)
+        ADD_FAILURE() << why;
+
+    // The storm must actually have exercised the serve fault points.
+    EXPECT_GT(faults::injectedCount(faults::Point::AcceptFail), 0u);
+    EXPECT_GT(faults::injectedCount(faults::Point::SlowClient), 0u);
+    EXPECT_GT(batch_ok.load() + batch_failed.load() +
+                  connects_failed.load(),
+              0u);
+
+    // Quiesce: writers drain every queued response even for dead
+    // connections, so pending settles to zero and the ledger closes —
+    // every received request produced exactly one response.
+    serve::ServeSnapshot snap;
+    for (int i = 0; i < 1000; ++i) {
+        snap = aserver.serveSnapshot();
+        if (snap.pending == 0 &&
+            snap.requests == snap.responses_ok + snap.responses_failed)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(snap.pending, 0u);
+    EXPECT_EQ(snap.requests, snap.responses_ok + snap.responses_failed);
+    EXPECT_GT(snap.frames_in, 0u);
+
+    // Disarmed, the same server answers correctly: the storm shed load,
+    // it did not corrupt state.
+    serve::ClientConfig ccfg;
+    ccfg.port = aserver.port();
+    ccfg.client_id = "after-the-storm";
+    // High priority: a full-cap batch at Normal could legitimately trip
+    // the 3/4 admission watermark; High admits up to the whole cap.
+    ccfg.priority = serve::Priority::High;
+    serve::AlignClient after(ccfg);
+    ASSERT_TRUE(after.connect().ok());
+    const auto results = after.alignBatch(pairs, true);
+    ASSERT_EQ(results.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
+                  align::nwDistance(pairs[i].pattern, pairs[i].text));
+    }
+
+    // One final disarmed scrape renders both metric namespaces whole.
+    const auto r = gmx::test::httpGet(mserver.port(), "/metrics");
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(checkScrapeBody(r.body), "");
+    EXPECT_NE(r.body.find("gmx_serve_requests_total"), std::string::npos);
+
+    std::printf("align storm: ok=%llu failed=%llu connects_failed=%llu "
+                "shed=%llu throttled=%llu refused=%llu proto_errors=%llu\n",
+                static_cast<unsigned long long>(batch_ok.load()),
+                static_cast<unsigned long long>(batch_failed.load()),
+                static_cast<unsigned long long>(connects_failed.load()),
+                static_cast<unsigned long long>(
+                    snap.shed_by_priority[0] + snap.shed_by_priority[1] +
+                    snap.shed_by_priority[2]),
+                static_cast<unsigned long long>(snap.quota_throttled),
+                static_cast<unsigned long long>(snap.connections_refused),
+                static_cast<unsigned long long>(snap.protocol_errors));
+    mserver.stop();
+    aserver.stop();
 }
 
 } // namespace

@@ -1,23 +1,22 @@
 /**
  * @file
  * Minimal blocking HTTP/1.0-style client for the MetricsServer tests:
- * connect, send one GET, read to EOF. Deliberately dependency-free so
- * the tests exercise the server over real sockets, exactly as a scraper
- * would.
+ * connect, send one GET, read to EOF. The socket mechanics (connect,
+ * deadlines, partial-write send, read-to-EOF) come from common/net.hh —
+ * the same single implementation the servers use — so the tests
+ * exercise the production plumbing over real sockets, exactly as a
+ * scraper would.
  */
 
 #ifndef GMX_TESTS_TEST_HTTP_UTIL_HH
 #define GMX_TESTS_TEST_HTTP_UTIL_HH
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
+#include <chrono>
 #include <string>
+
+#include "common/net.hh"
 
 namespace gmx::test {
 
@@ -33,86 +32,37 @@ struct HttpResponse
 inline void
 setClientDeadline(int fd, int seconds)
 {
-    timeval tv{};
-    tv.tv_sec = seconds;
-    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    net::setIoDeadlines(fd, std::chrono::seconds(seconds));
 }
 
 /** Connect to 127.0.0.1:port; -1 on failure. */
 inline int
 connectTcp(unsigned short port, int deadline_seconds = 10)
 {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0)
-        return -1;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-        0) {
-        ::close(fd);
-        return -1;
-    }
-    setClientDeadline(fd, deadline_seconds);
-    return fd;
+    return net::connectTcp("127.0.0.1", port,
+                           std::chrono::seconds(deadline_seconds));
 }
 
 /** Connect to a unix-domain socket path; -1 on failure. */
 inline int
 connectUnix(const std::string &path, int deadline_seconds = 10)
 {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0)
-        return -1;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-        0) {
-        ::close(fd);
-        return -1;
-    }
-    setClientDeadline(fd, deadline_seconds);
-    return fd;
+    return net::connectUnix(path, std::chrono::seconds(deadline_seconds));
 }
 
 /** Send raw bytes, tolerating partial writes. False on error. */
 inline bool
 sendRaw(int fd, const std::string &data)
 {
-    size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                                 MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
+    return net::sendAll(fd, data.data(), data.size()) ==
+           net::IoResult::Ok;
 }
 
 /** Read until the peer closes (Connection: close responses). */
 inline std::string
 recvAll(int fd)
 {
-    std::string out;
-    char buf[4096];
-    for (;;) {
-        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-        if (n > 0) {
-            out.append(buf, static_cast<size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return out; // 0: clean close; <0: timeout or reset — either ends it
-    }
+    return net::recvToEof(fd);
 }
 
 /** Split a raw response into status code and body. */

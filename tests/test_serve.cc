@@ -1,0 +1,854 @@
+/**
+ * @file
+ * AlignServer tests over real sockets: protocol round-trips, TCP and
+ * unix-socket batch correctness against nwAlign, the dedup cache
+ * (hits, coalescing, fewer engine submissions than wire requests),
+ * per-client quotas, priority shed ordering under a deterministically
+ * blocked engine, graceful shutdown with a batch in flight, and
+ * protocol-error handling. Runs under TSan in scripts/tier1.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "align/nw.hh"
+#include "common/net.hh"
+#include "engine/engine.hh"
+#include "sequence/generator.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/quota.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+
+namespace gmx::serve {
+namespace {
+
+/** Poll @p cond up to ~2s; true when it became true. */
+bool
+eventually(const std::function<bool()> &cond)
+{
+    for (int i = 0; i < 400; ++i) {
+        if (cond())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return cond();
+}
+
+/** Engines + started server with test-friendly defaults. */
+struct Harness
+{
+    explicit Harness(AlignServerConfig scfg = {}, unsigned num_engines = 1,
+                     engine::EngineConfig ecfg = {})
+    {
+        if (ecfg.workers == 0)
+            ecfg.workers = 2;
+        for (unsigned i = 0; i < num_engines; ++i)
+            engines.push_back(std::make_unique<engine::Engine>(ecfg));
+        std::vector<engine::Engine *> raw;
+        for (auto &e : engines)
+            raw.push_back(e.get());
+        scfg.port = 0; // always ephemeral in tests
+        server = std::make_unique<AlignServer>(raw, scfg);
+        const Status s = server->start();
+        EXPECT_TRUE(s.ok()) << s.toString();
+    }
+
+    ClientConfig clientConfig(const std::string &id = "test",
+                              Priority prio = Priority::Normal) const
+    {
+        ClientConfig c;
+        c.port = server->port();
+        c.client_id = id;
+        c.priority = prio;
+        return c;
+    }
+
+    std::vector<std::unique_ptr<engine::Engine>> engines;
+    std::unique_ptr<AlignServer> server;
+};
+
+// -------------------------------------------------------------------
+// Protocol round-trips.
+// -------------------------------------------------------------------
+
+TEST(ServeProtocol, EveryFrameTypeRoundTrips)
+{
+    {
+        HelloFrame in{Priority::High, "mapper-7"};
+        const std::string wire = encodeHello(in);
+        FrameHeader h;
+        ASSERT_TRUE(decodeHeader(wire.data(), wire.size(),
+                                 kDefaultMaxFrameBytes, h)
+                        .ok());
+        EXPECT_EQ(h.type, FrameType::Hello);
+        HelloFrame out;
+        ASSERT_TRUE(decodeHello(wire.data() + kHeaderBytes, h.payload_len,
+                                out)
+                        .ok());
+        EXPECT_EQ(out.priority, Priority::High);
+        EXPECT_EQ(out.client_id, "mapper-7");
+    }
+    {
+        HelloAckFrame in{kVersion, 65536};
+        const std::string wire = encodeHelloAck(in);
+        HelloAckFrame out;
+        ASSERT_TRUE(decodeHelloAck(wire.data() + kHeaderBytes,
+                                   wire.size() - kHeaderBytes, out)
+                        .ok());
+        EXPECT_EQ(out.max_frame_bytes, 65536u);
+    }
+    {
+        AlignRequestFrame in;
+        in.id = 42;
+        in.max_edits = 7;
+        in.want_cigar = true;
+        in.pattern = "ACGTACGT";
+        in.text = "ACGGACGT";
+        const std::string wire = encodeAlignRequest(in);
+        AlignRequestFrame out;
+        ASSERT_TRUE(decodeAlignRequest(wire.data() + kHeaderBytes,
+                                       wire.size() - kHeaderBytes, out)
+                        .ok());
+        EXPECT_EQ(out.id, 42u);
+        EXPECT_EQ(out.max_edits, 7u);
+        EXPECT_TRUE(out.want_cigar);
+        EXPECT_EQ(out.pattern, in.pattern);
+        EXPECT_EQ(out.text, in.text);
+    }
+    {
+        AlignResponseFrame in;
+        in.id = 42;
+        in.code = StatusCode::Ok;
+        in.has_cigar = true;
+        in.cache_hit = true;
+        in.distance = 1;
+        in.cigar = "MMMXMMMM";
+        const std::string wire = encodeAlignResponse(in);
+        AlignResponseFrame out;
+        ASSERT_TRUE(decodeAlignResponse(wire.data() + kHeaderBytes,
+                                        wire.size() - kHeaderBytes, out)
+                        .ok());
+        EXPECT_EQ(out.id, 42u);
+        EXPECT_EQ(out.code, StatusCode::Ok);
+        EXPECT_TRUE(out.has_cigar);
+        EXPECT_TRUE(out.cache_hit);
+        EXPECT_EQ(out.distance, 1);
+        EXPECT_EQ(out.cigar, "MMMXMMMM");
+    }
+    {
+        // The no-alignment sentinel survives the -1 wire encoding.
+        AlignResponseFrame in;
+        in.distance = align::kNoAlignment;
+        const std::string wire = encodeAlignResponse(in);
+        AlignResponseFrame out;
+        ASSERT_TRUE(decodeAlignResponse(wire.data() + kHeaderBytes,
+                                        wire.size() - kHeaderBytes, out)
+                        .ok());
+        EXPECT_EQ(out.distance, align::kNoAlignment);
+    }
+    {
+        ErrorFrame in{StatusCode::Overloaded, "go away"};
+        const std::string wire = encodeError(in);
+        ErrorFrame out;
+        ASSERT_TRUE(decodeError(wire.data() + kHeaderBytes,
+                                wire.size() - kHeaderBytes, out)
+                        .ok());
+        EXPECT_EQ(out.code, StatusCode::Overloaded);
+        EXPECT_EQ(out.message, "go away");
+    }
+    EXPECT_TRUE(decodeEmpty(FrameType::Bye,
+                            encodeBye().size() - kHeaderBytes)
+                    .ok());
+    EXPECT_FALSE(decodeEmpty(FrameType::ByeAck, 1).ok());
+}
+
+TEST(ServeProtocol, HeaderRejectsGarbage)
+{
+    const std::string good = encodeBye();
+    FrameHeader h;
+
+    std::string bad = good;
+    bad[0] ^= 0x5a; // magic
+    EXPECT_FALSE(
+        decodeHeader(bad.data(), bad.size(), kDefaultMaxFrameBytes, h).ok());
+
+    bad = good;
+    bad[4] = 9; // version
+    EXPECT_FALSE(
+        decodeHeader(bad.data(), bad.size(), kDefaultMaxFrameBytes, h).ok());
+
+    bad = good;
+    bad[5] = 99; // frame type
+    EXPECT_FALSE(
+        decodeHeader(bad.data(), bad.size(), kDefaultMaxFrameBytes, h).ok());
+
+    bad = good;
+    bad[6] = 1; // reserved bits
+    EXPECT_FALSE(
+        decodeHeader(bad.data(), bad.size(), kDefaultMaxFrameBytes, h).ok());
+
+    // Payload over the negotiated cap.
+    bad = good;
+    bad[8] = static_cast<char>(0xff);
+    bad[9] = static_cast<char>(0xff);
+    EXPECT_FALSE(decodeHeader(bad.data(), bad.size(), 1024, h).ok());
+
+    EXPECT_FALSE(decodeHeader(good.data(), kHeaderBytes - 1,
+                              kDefaultMaxFrameBytes, h)
+                     .ok());
+}
+
+// -------------------------------------------------------------------
+// End-to-end correctness.
+// -------------------------------------------------------------------
+
+TEST(AlignServer, TcpBatchMatchesNwAlign)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("mapper"));
+    ASSERT_TRUE(client.connect().ok());
+    EXPECT_EQ(client.maxFrameBytes(), kDefaultMaxFrameBytes);
+
+    seq::Generator gen(4242);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 24; ++i)
+        pairs.push_back(gen.pair(120 + i, i % 2 ? 0.02 : 0.15));
+
+    const auto results = client.alignBatch(pairs, true);
+    ASSERT_EQ(results.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        const align::AlignResult ref =
+            align::nwAlign(pairs[i].pattern, pairs[i].text);
+        EXPECT_EQ(results[i]->distance, ref.distance) << "pair " << i;
+        ASSERT_TRUE(results[i]->has_cigar);
+        // The cigar must be a genuine traceback for THIS pair: right
+        // lengths, and its op count equals the reported distance.
+        EXPECT_EQ(results[i]->cigar.patternLength(),
+                  pairs[i].pattern.size());
+        EXPECT_EQ(results[i]->cigar.textLength(), pairs[i].text.size());
+        EXPECT_EQ(static_cast<i64>(results[i]->cigar.editDistance()),
+                  results[i]->distance);
+    }
+    EXPECT_TRUE(client.bye().ok());
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.requests, pairs.size());
+    EXPECT_EQ(snap.responses_ok, pairs.size());
+    EXPECT_EQ(snap.responses_failed, 0u);
+    EXPECT_EQ(snap.pending, 0u);
+    ASSERT_EQ(snap.clients.size(), 1u);
+    EXPECT_EQ(snap.clients[0].id, "mapper");
+    EXPECT_EQ(snap.clients[0].completed, pairs.size());
+}
+
+TEST(AlignServer, UnixSocketBatchMatchesNwAlign)
+{
+    AlignServerConfig scfg;
+    scfg.unix_path = "/tmp/gmx_serve_test_" + std::to_string(::getpid()) +
+                     ".sock";
+    Harness h(scfg);
+
+    ClientConfig ccfg;
+    ccfg.unix_path = scfg.unix_path;
+    ccfg.client_id = "unix-mapper";
+    AlignClient client(ccfg);
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(515);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 12; ++i)
+        pairs.push_back(gen.pair(200, 0.08));
+
+    const auto results = client.alignBatch(pairs, false);
+    ASSERT_EQ(results.size(), pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
+                  align::nwAlign(pairs[i].pattern, pairs[i].text).distance);
+        EXPECT_FALSE(results[i]->has_cigar);
+    }
+    EXPECT_TRUE(client.bye().ok());
+    h.server->stop();
+    // stop() unlinked the socket path.
+    EXPECT_NE(::access(scfg.unix_path.c_str(), F_OK), 0);
+}
+
+TEST(AlignServer, MaxEditsIsAPostFilter)
+{
+    Harness h;
+    AlignClient client(h.clientConfig());
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(99);
+    const seq::SequencePair pair = gen.pair(300, 0.2);
+    const i64 truth = align::nwAlign(pair.pattern, pair.text).distance;
+    ASSERT_GT(truth, 1);
+
+    auto strict = client.alignBatch({pair}, true, 1);
+    ASSERT_TRUE(strict[0].ok());
+    EXPECT_FALSE(strict[0]->found());
+    EXPECT_FALSE(strict[0]->has_cigar);
+
+    auto loose =
+        client.alignBatch({pair}, true, static_cast<u32>(truth));
+    ASSERT_TRUE(loose[0].ok());
+    EXPECT_EQ(loose[0]->distance, truth);
+    EXPECT_TRUE(loose[0]->has_cigar);
+}
+
+// -------------------------------------------------------------------
+// Dedup cache.
+// -------------------------------------------------------------------
+
+TEST(AlignServer, HotKeyBurstHitsTheCache)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("hot"));
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(7);
+    const seq::SequencePair hot = gen.pair(400, 0.1);
+    constexpr size_t kRepeats = 16;
+    std::vector<seq::SequencePair> pairs(kRepeats, hot);
+
+    const auto results = client.alignBatch(pairs, true);
+    const i64 truth = align::nwAlign(hot.pattern, hot.text).distance;
+    for (const auto &r : results) {
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r->distance, truth);
+    }
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.requests, kRepeats);
+    EXPECT_GT(snap.cache_hits + snap.cache_coalesced, 0u);
+    EXPECT_GE(snap.cache_entries, 1u);
+    // The point of the cache: far fewer engine submissions than wire
+    // requests (duplicates were answered without kernel work).
+    EXPECT_LT(h.engines[0]->metrics().submitted, kRepeats);
+    EXPECT_GT(client.cacheHits(), 0u);
+}
+
+TEST(AlignServer, DifferentOptionsAreDifferentCacheKeys)
+{
+    Harness h;
+    AlignClient client(h.clientConfig());
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(606);
+    const seq::SequencePair pair = gen.pair(150, 0.05);
+    (void)client.alignBatch({pair}, true, 0);
+    (void)client.alignBatch({pair}, false, 0); // different want_cigar
+    (void)client.alignBatch({pair}, true, 3);  // different max_edits
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.cache_misses, 3u);
+    EXPECT_EQ(snap.cache_entries, 3u);
+}
+
+TEST(AlignServer, ConcurrentDuplicatesCoalesce)
+{
+    // Single worker + a deliberately blocked engine: the first request
+    // for the hot key is guaranteed still in flight when the duplicates
+    // arrive, so they MUST coalesce (join the same future) rather than
+    // resubmit.
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    Harness h({}, 1, ecfg);
+
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    seq::Generator gen(11);
+    const seq::SequencePair blocker_pair = gen.pair(50, 0.0);
+    auto blocked = h.engines[0]->submit(
+        blocker_pair, align::PairAligner([open](const seq::SequencePair &) {
+            open.wait();
+            return align::AlignResult{};
+        }));
+
+    AlignClient client(h.clientConfig("dup"));
+    ASSERT_TRUE(client.connect().ok());
+    const seq::SequencePair hot = gen.pair(200, 0.05);
+    constexpr size_t kRepeats = 8;
+
+    // Stream the duplicates raw (no reads yet — responses can't arrive
+    // while the engine is gated anyway).
+    for (size_t i = 0; i < kRepeats; ++i) {
+        AlignRequestFrame req;
+        req.id = i;
+        req.want_cigar = true;
+        req.pattern = hot.pattern.str();
+        req.text = hot.text.str();
+        ASSERT_TRUE(client.sendRequest(req).ok());
+    }
+    ASSERT_TRUE(eventually([&] {
+        return h.server->metrics().requests.load(std::memory_order_relaxed) ==
+               kRepeats;
+    }));
+
+    const ServeSnapshot mid = h.server->serveSnapshot();
+    EXPECT_EQ(mid.cache_misses, 1u);
+    EXPECT_EQ(mid.cache_hits + mid.cache_coalesced, kRepeats - 1);
+    EXPECT_GT(mid.cache_coalesced, 0u);
+
+    gate.set_value();
+    const i64 truth = align::nwAlign(hot.pattern, hot.text).distance;
+    for (size_t i = 0; i < kRepeats; ++i) {
+        AlignResponseFrame resp;
+        ASSERT_TRUE(client.readResponse(resp).ok());
+        EXPECT_EQ(resp.code, StatusCode::Ok);
+        EXPECT_EQ(resp.distance, truth);
+    }
+    ASSERT_TRUE(blocked.get().ok());
+    // Exactly one engine submission (plus the blocker) for 8 requests.
+    EXPECT_EQ(h.engines[0]->metrics().submitted, 2u);
+}
+
+// -------------------------------------------------------------------
+// Quotas and priority shedding.
+// -------------------------------------------------------------------
+
+TEST(QuotaRegistry, TokenBucketRefillsDeterministically)
+{
+    QuotaConfig qc;
+    qc.tokens_per_sec = 2.0;
+    qc.burst = 3.0;
+    QuotaRegistry quota(qc);
+
+    // A new client spends its full burst, then is throttled.
+    EXPECT_TRUE(quota.admit("a", 100.0));
+    EXPECT_TRUE(quota.admit("a", 100.0));
+    EXPECT_TRUE(quota.admit("a", 100.0));
+    EXPECT_FALSE(quota.admit("a", 100.0));
+    // Half a second refills one token (2/s).
+    EXPECT_TRUE(quota.admit("a", 100.5));
+    EXPECT_FALSE(quota.admit("a", 100.5));
+    // A backwards clock refills nothing (and must not crash).
+    EXPECT_FALSE(quota.admit("a", 99.0));
+    // Refill caps at the burst.
+    EXPECT_TRUE(quota.admit("a", 1000.0));
+    // Other clients have their own bucket.
+    EXPECT_TRUE(quota.admit("b", 1000.0));
+
+    const auto snap = quota.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "a");
+    EXPECT_EQ(snap[0].second.admitted, 5u);
+    EXPECT_EQ(snap[0].second.throttled, 3u);
+
+    // Disabled quotas admit everything.
+    QuotaRegistry off{QuotaConfig{}};
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(off.admit("x", 0.0));
+}
+
+TEST(AlignServer, QuotaThrottlesChattyClient)
+{
+    AlignServerConfig scfg;
+    scfg.quota.tokens_per_sec = 0.001; // effectively no refill in-test
+    scfg.quota.burst = 4;
+    Harness h(scfg);
+
+    AlignClient client(h.clientConfig("chatty"));
+    ASSERT_TRUE(client.connect().ok());
+    seq::Generator gen(13);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 10; ++i)
+        pairs.push_back(gen.pair(100, 0.05));
+
+    const auto results = client.alignBatch(pairs, false);
+    size_t ok = 0, throttled = 0;
+    for (const auto &r : results) {
+        if (r.ok())
+            ++ok;
+        else if (r.status().code() == StatusCode::Overloaded)
+            ++throttled;
+    }
+    EXPECT_EQ(ok, 4u);
+    EXPECT_EQ(throttled, 6u);
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.quota_throttled, 6u);
+    ASSERT_EQ(snap.clients.size(), 1u);
+    EXPECT_EQ(snap.clients[0].throttled, 6u);
+}
+
+TEST(AlignServer, LowPriorityShedsBeforeHigh)
+{
+    // One worker, blocked by a gated custom aligner, makes "pending"
+    // fully deterministic: serve-path requests pile up and cannot
+    // complete until the gate opens.
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    AlignServerConfig scfg;
+    scfg.pending_cap = 4; // watermarks: low 2, normal 3, high 4
+    Harness h(scfg, 1, ecfg);
+
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    seq::Generator gen(17);
+    auto blocked = h.engines[0]->submit(
+        gen.pair(50, 0.0),
+        align::PairAligner([open](const seq::SequencePair &) {
+            open.wait();
+            return align::AlignResult{};
+        }));
+
+    // Fill pending to 3 with distinct requests from a HIGH-priority
+    // filler (its watermark is the full cap, so none of these shed).
+    AlignClient filler(h.clientConfig("filler", Priority::High));
+    ASSERT_TRUE(filler.connect().ok());
+    for (u64 i = 0; i < 3; ++i) {
+        const seq::SequencePair p = gen.pair(80, 0.05);
+        AlignRequestFrame req;
+        req.id = i;
+        req.pattern = p.pattern.str();
+        req.text = p.text.str();
+        ASSERT_TRUE(filler.sendRequest(req).ok());
+    }
+    ASSERT_TRUE(eventually([&] {
+        return h.server->metrics().pending.load(std::memory_order_relaxed) ==
+               3;
+    }));
+
+    // pending=3: >= low watermark (2) and >= normal (3), < high (4).
+    AlignClient low(h.clientConfig("low", Priority::Low));
+    ASSERT_TRUE(low.connect().ok());
+    auto low_res = low.alignBatch({gen.pair(80, 0.05)}, false);
+    ASSERT_FALSE(low_res[0].ok());
+    EXPECT_EQ(low_res[0].status().code(), StatusCode::Overloaded);
+
+    AlignClient normal(h.clientConfig("normal", Priority::Normal));
+    ASSERT_TRUE(normal.connect().ok());
+    auto normal_res = normal.alignBatch({gen.pair(80, 0.05)}, false);
+    ASSERT_FALSE(normal_res[0].ok());
+    EXPECT_EQ(normal_res[0].status().code(), StatusCode::Overloaded);
+
+    // High priority is still admitted at pending=3; release the gate so
+    // its (and the fillers') alignments actually run.
+    AlignClient high(h.clientConfig("vip", Priority::High));
+    ASSERT_TRUE(high.connect().ok());
+    std::thread opener([&] {
+        eventually([&] {
+            return h.server->metrics().pending.load(
+                       std::memory_order_relaxed) == 4;
+        });
+        gate.set_value();
+    });
+    auto high_res = high.alignBatch({gen.pair(80, 0.05)}, false);
+    opener.join();
+    ASSERT_TRUE(high_res[0].ok()) << high_res[0].status().toString();
+    ASSERT_TRUE(blocked.get().ok());
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.shed_by_priority[static_cast<unsigned>(Priority::Low)],
+              1u);
+    EXPECT_EQ(
+        snap.shed_by_priority[static_cast<unsigned>(Priority::Normal)], 1u);
+    EXPECT_EQ(snap.shed_by_priority[static_cast<unsigned>(Priority::High)],
+              0u);
+}
+
+// -------------------------------------------------------------------
+// Shard routing.
+// -------------------------------------------------------------------
+
+TEST(ShardRouter, BalancesByOutstandingLoadAndSettlesOnComplete)
+{
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    engine::Engine e0(ecfg), e1(ecfg);
+    ServeMetrics metrics;
+    RouterConfig rcfg;
+    rcfg.cache_capacity = 0; // isolate routing from dedup
+    ShardRouter router({&e0, &e1}, rcfg, &metrics);
+
+    seq::Generator gen(19);
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 8; ++i)
+        tickets.push_back(router.submit(gen.pair(100, 0.05), false, 0));
+
+    // With equal-sized requests and no completions, the min-load pick
+    // alternates: 4 requests per engine.
+    auto stats = router.shardStats();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].routed, 4u);
+    EXPECT_EQ(stats[1].routed, 4u);
+    EXPECT_EQ(router.outstanding(), 8u);
+
+    for (auto &t : tickets) {
+        ASSERT_TRUE(t.future.get().ok());
+        router.complete(t, true);
+    }
+    EXPECT_EQ(router.outstanding(), 0u);
+    stats = router.shardStats();
+    EXPECT_EQ(stats[0].outstanding_bytes, 0u);
+    EXPECT_EQ(stats[1].outstanding_bytes, 0u);
+}
+
+TEST(AlignServer, MultiEngineServingSpreadsLoad)
+{
+    // Gate every engine's lone worker so no request can complete while
+    // the batch is being routed: outstanding load only grows, and the
+    // least-loaded choice provably balances the shards. (Ungated, a
+    // writer that drains as fast as the reader routes leaves every
+    // decision a tie, which always picks shard 0.)
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    Harness h({}, 3, ecfg);
+
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    seq::Generator gen(23);
+    for (auto &e : h.engines) {
+        (void)e->submit(gen.pair(40, 0.0),
+                        align::PairAligner([open](const seq::SequencePair &) {
+                            open.wait();
+                            return align::AlignResult{};
+                        }));
+    }
+
+    AlignClient client(h.clientConfig());
+    ASSERT_TRUE(client.connect().ok());
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 30; ++i)
+        pairs.push_back(gen.pair(150, 0.1));
+
+    std::thread batch_thread([&] {
+        const auto results = client.alignBatch(pairs, false);
+        for (const auto &r : results)
+            EXPECT_TRUE(r.ok());
+    });
+    // All 30 route while the engines are gated...
+    ASSERT_TRUE(eventually([&] {
+        u64 total = 0;
+        for (const auto &s : h.server->serveSnapshot().shards)
+            total += s.routed;
+        return total == 30;
+    }));
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    gate.set_value();
+    batch_thread.join();
+
+    // ...and with loads frozen during routing, the spread is near-even:
+    // a shard can lag the leaders by at most one request's weight.
+    ASSERT_EQ(snap.shards.size(), 3u);
+    u64 total = 0;
+    for (const auto &s : snap.shards) {
+        EXPECT_GE(s.routed, 9u) << "load spread is lopsided";
+        total += s.routed;
+    }
+    EXPECT_EQ(total, 30u);
+}
+
+// -------------------------------------------------------------------
+// Failure paths and lifecycle.
+// -------------------------------------------------------------------
+
+TEST(AlignServer, ValidationRejectsWithTypedStatusAndKeepsConnection)
+{
+    AlignServerConfig scfg;
+    scfg.limits.reject_non_acgt = true;
+    Harness h(scfg);
+    AlignClient client(h.clientConfig());
+    ASSERT_TRUE(client.connect().ok());
+
+    AlignRequestFrame bad;
+    bad.id = 1;
+    bad.pattern = ""; // empty pattern: InvalidInput
+    bad.text = "ACGT";
+    ASSERT_TRUE(client.sendRequest(bad).ok());
+    AlignResponseFrame resp;
+    ASSERT_TRUE(client.readResponse(resp).ok());
+    EXPECT_EQ(resp.id, 1u);
+    EXPECT_EQ(resp.code, StatusCode::InvalidInput);
+
+    bad.id = 2;
+    bad.pattern = "ACGTNNNN"; // non-ACGT with reject_non_acgt
+    ASSERT_TRUE(client.sendRequest(bad).ok());
+    ASSERT_TRUE(client.readResponse(resp).ok());
+    EXPECT_EQ(resp.id, 2u);
+    EXPECT_EQ(resp.code, StatusCode::InvalidInput);
+
+    // The connection survived request-level rejections.
+    seq::Generator gen(29);
+    auto good = client.alignBatch({gen.pair(100, 0.05)}, false);
+    ASSERT_TRUE(good[0].ok());
+    // And rejects never touched an engine or the cache.
+    EXPECT_EQ(h.engines[0]->metrics().submitted, 1u);
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.responses_failed, 2u);
+    EXPECT_EQ(snap.cache_misses, 1u);
+}
+
+TEST(AlignServer, ProtocolGarbageGetsTypedErrorNeverCrashes)
+{
+    Harness h;
+
+    // Garbage instead of a Hello: typed error, connection closed.
+    {
+        int fd = net::connectTcp("127.0.0.1", h.server->port(),
+                                 std::chrono::milliseconds(2000));
+        ASSERT_GE(fd, 0);
+        const std::string junk = "this is definitely not a gmx frame!!";
+        ASSERT_EQ(net::sendAll(fd, junk.data(), junk.size()),
+                  net::IoResult::Ok);
+        char hdr[kHeaderBytes];
+        ASSERT_EQ(net::recvExact(fd, hdr, kHeaderBytes), net::IoResult::Ok);
+        FrameHeader fh;
+        ASSERT_TRUE(
+            decodeHeader(hdr, kHeaderBytes, kDefaultMaxFrameBytes, fh).ok());
+        EXPECT_EQ(fh.type, FrameType::Error);
+        ::close(fd);
+    }
+
+    // A legal handshake followed by an unexpected frame type.
+    {
+        int fd = net::connectTcp("127.0.0.1", h.server->port(),
+                                 std::chrono::milliseconds(2000));
+        ASSERT_GE(fd, 0);
+        const std::string hello = encodeHello({Priority::Normal, "rogue"});
+        ASSERT_EQ(net::sendAll(fd, hello.data(), hello.size()),
+                  net::IoResult::Ok);
+        char hdr[kHeaderBytes];
+        ASSERT_EQ(net::recvExact(fd, hdr, kHeaderBytes), net::IoResult::Ok);
+        FrameHeader fh;
+        ASSERT_TRUE(
+            decodeHeader(hdr, kHeaderBytes, kDefaultMaxFrameBytes, fh).ok());
+        ASSERT_EQ(fh.type, FrameType::HelloAck);
+        std::string payload(fh.payload_len, '\0');
+        ASSERT_EQ(net::recvExact(fd, payload.data(), payload.size()),
+                  net::IoResult::Ok);
+
+        // A HelloAck is a server->client frame; sending one is illegal.
+        const std::string ack = encodeHelloAck({});
+        ASSERT_EQ(net::sendAll(fd, ack.data(), ack.size()),
+                  net::IoResult::Ok);
+        ASSERT_EQ(net::recvExact(fd, hdr, kHeaderBytes), net::IoResult::Ok);
+        ASSERT_TRUE(
+            decodeHeader(hdr, kHeaderBytes, kDefaultMaxFrameBytes, fh).ok());
+        EXPECT_EQ(fh.type, FrameType::Error);
+        ::close(fd);
+    }
+
+    ASSERT_TRUE(eventually([&] {
+        return h.server->serveSnapshot().protocol_errors >= 2;
+    }));
+
+    // The server is still healthy for well-behaved clients.
+    AlignClient client(h.clientConfig());
+    ASSERT_TRUE(client.connect().ok());
+    seq::Generator gen(31);
+    auto ok = client.alignBatch({gen.pair(100, 0.05)}, false);
+    ASSERT_TRUE(ok[0].ok());
+}
+
+TEST(AlignServer, ConnectionCapRefusesWithTypedError)
+{
+    AlignServerConfig scfg;
+    scfg.max_connections = 1;
+    scfg.handler_threads = 1;
+    Harness h(scfg);
+
+    AlignClient first(h.clientConfig("one"));
+    ASSERT_TRUE(first.connect().ok());
+
+    AlignClient second(h.clientConfig("two"));
+    const Status s = second.connect();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Overloaded);
+    EXPECT_EQ(h.server->serveSnapshot().connections_refused, 1u);
+
+    // Releasing the first slot lets a new client in.
+    EXPECT_TRUE(first.bye().ok());
+    ASSERT_TRUE(eventually(
+        [&] { return second.connected() || second.connect().ok(); }));
+}
+
+TEST(AlignServer, GracefulStopDrainsInFlightBatch)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("drainer"));
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(37);
+    constexpr size_t kBatch = 12;
+    std::vector<seq::SequencePair> pairs;
+    for (size_t i = 0; i < kBatch; ++i) {
+        pairs.push_back(gen.pair(300, 0.1));
+        AlignRequestFrame req;
+        req.id = i;
+        req.want_cigar = false;
+        req.pattern = pairs[i].pattern.str();
+        req.text = pairs[i].text.str();
+        ASSERT_TRUE(client.sendRequest(req).ok());
+    }
+    // Every request is accepted server-side, then stop() races the
+    // engine: all 12 must still be answered before the socket closes.
+    ASSERT_TRUE(eventually([&] {
+        return h.server->metrics().requests.load(
+                   std::memory_order_relaxed) == kBatch;
+    }));
+    std::thread stopper([&] { h.server->stop(); });
+
+    size_t answered = 0;
+    for (size_t i = 0; i < kBatch; ++i) {
+        AlignResponseFrame resp;
+        if (!client.readResponse(resp).ok())
+            break;
+        EXPECT_EQ(resp.code, StatusCode::Ok);
+        EXPECT_EQ(resp.distance,
+                  align::nwAlign(pairs[resp.id].pattern,
+                                 pairs[resp.id].text)
+                      .distance);
+        ++answered;
+    }
+    stopper.join();
+    EXPECT_EQ(answered, kBatch);
+    EXPECT_FALSE(h.server->running());
+    EXPECT_EQ(h.server->serveSnapshot().pending, 0u);
+}
+
+TEST(AlignServer, SnapshotRendersJsonAndOpenMetrics)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("obs"));
+    ASSERT_TRUE(client.connect().ok());
+    seq::Generator gen(41);
+    const seq::SequencePair p = gen.pair(100, 0.05);
+    (void)client.alignBatch({p, p}, false); // one miss, one hit
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"requests\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"clients\":[{\"id\":\"obs\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cache\":{"), std::string::npos);
+
+    const std::string om = renderServeOpenMetrics(snap);
+    EXPECT_NE(om.find("gmx_serve_requests_total 2"), std::string::npos);
+    EXPECT_NE(om.find("gmx_serve_shed_total{priority=\"low\"}"),
+              std::string::npos);
+    EXPECT_NE(om.find("gmx_serve_client_requests_total{client=\"obs\"} 2"),
+              std::string::npos);
+    EXPECT_NE(om.find("gmx_serve_shard_routed_total{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_EQ(om.find("# EOF"), std::string::npos);
+    EXPECT_GT(snap.cacheHitRate(), 0.0);
+}
+
+} // namespace
+} // namespace gmx::serve
