@@ -7,11 +7,16 @@
  *   align_client --port 7070                    # dial 127.0.0.1:7070
  *   align_client --unix /tmp/gmx.sock --pairs 64
  *   align_client --port 7070 --priority low --client mapper-3
+ *   align_client --port 7070 --timeout-ms 50 --retries 5 --backoff-ms 20
  *
  * Pairs are generated locally (seeded, reproducible) so the tool runs
  * against any live server without input files; --seed varies the
  * workload, --dup repeats the first pair to demonstrate the server's
- * result cache (watch cache_hits in the summary).
+ * result cache (watch cache_hits in the summary). --timeout-ms rides
+ * each request as a deadline budget (when the server negotiates the
+ * feature); --retries/--backoff-ms turn on the client's idempotent-safe
+ * retry layer, and each attempt is reported as it lands. The exit code
+ * is non-zero when any pair ultimately fails.
  */
 
 #include <cstdio>
@@ -41,7 +46,12 @@ usage(const char *argv0)
         "  --dup <n>            append n copies of the first pair\n"
         "  --max-edits <k>      report not-found beyond k edits\n"
         "  --seed <s>           workload seed (default 1)\n"
-        "  --no-cigar           distances only\n",
+        "  --no-cigar           distances only\n"
+        "  --timeout-ms <ms>    per-request deadline budget (default none)\n"
+        "  --retries <n>        attempts per pair incl. the first "
+        "(default 1)\n"
+        "  --backoff-ms <ms>    initial retry backoff, doubles with full "
+        "jitter (default 10)\n",
         argv0);
     return 2;
 }
@@ -59,6 +69,7 @@ main(int argc, char **argv)
     u64 seed = 1;
     u32 max_edits = 0;
     bool want_cigar = true;
+    long timeout_ms = 0, retries = 1, backoff_ms = 10;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -95,6 +106,12 @@ main(int argc, char **argv)
             seed = static_cast<u64>(std::atoll(v));
         else if (arg == "--no-cigar")
             want_cigar = false;
+        else if (arg == "--timeout-ms" && (v = next()))
+            timeout_ms = std::atol(v);
+        else if (arg == "--retries" && (v = next()))
+            retries = std::atol(v);
+        else if (arg == "--backoff-ms" && (v = next()))
+            backoff_ms = std::atol(v);
         else
             return usage(argv[0]);
     }
@@ -117,7 +134,29 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const auto results = client.alignBatch(pairs, want_cigar, max_edits);
+    serve::BatchOptions opts;
+    opts.want_cigar = want_cigar;
+    opts.max_edits = max_edits;
+    if (timeout_ms > 0)
+        opts.deadline = std::chrono::milliseconds(timeout_ms);
+    if (retries > 1)
+        opts.retry.max_attempts = static_cast<unsigned>(retries);
+    if (backoff_ms > 0)
+        opts.retry.initial_backoff = std::chrono::milliseconds(backoff_ms);
+    const auto results = client.alignBatch(pairs, opts);
+
+    for (const serve::AttemptLog &a : client.attempts()) {
+        std::fprintf(stderr,
+                     "attempt %u: %zu unresolved in, %zu resolved, "
+                     "%zu transient%s%s%s\n",
+                     a.attempt, a.unresolved, a.resolved, a.retryable,
+                     a.backoff.count() > 0 ? " (backed off)" : "",
+                     a.reconnected ? " (reconnected)" : "",
+                     a.failure.ok()
+                         ? ""
+                         : (" [" + a.failure.toString() + "]").c_str());
+    }
+
     size_t ok = 0, not_found = 0, failed = 0;
     for (size_t i = 0; i < results.size(); ++i) {
         if (!results[i].ok()) {
@@ -137,7 +176,8 @@ main(int argc, char **argv)
                     results[i]->has_cigar ? results[i]->cigar.str().c_str()
                                           : "");
     }
-    client.bye();
+    if (client.connected())
+        client.bye();
 
     std::printf("\n%zu ok, %zu beyond max_edits, %zu failed; "
                 "server reported %llu cache hits this session\n",

@@ -46,7 +46,15 @@ cmake -B build-front -S . -DGMX_WERROR=ON -DGMX_SANITIZE=thread \
     -DGMX_FAULT_INJECTION=ON
 cmake --build build-front -j"$(nproc)" --target test_serve test_chaos
 ctest --test-dir build-front --output-on-failure -j"$(nproc)" \
-    -R 'ServeProtocol|AlignServer|QuotaRegistry|ShardRouter|Chaos'
+    -R 'ServeProtocol|AlignServer|AlignClient|QuotaRegistry|ShardRouter|Chaos'
+
+echo "== Resilience pass (TSan + -Werror: breaker/brownout/watchdog) =="
+# The circuit breaker, brownout EWMA, connection watchdog, and retry
+# layer all cross the reader/writer/watchdog thread boundaries; run
+# them as an explicit leg (same warnings-as-errors TSan tree) so a
+# regression in any one of them is named in the tier-1 output.
+ctest --test-dir build-front --output-on-failure -j"$(nproc)" \
+    -R 'AlignClient|Breaker|Brownout|Watchdog|ClockSkew|Deadline|WedgedShard'
 
 echo "== Scrape-server pass (-Werror + ASan, live curl smoke) =="
 # The metrics server owns threads and fds; AddressSanitizer turns a leak
@@ -56,9 +64,11 @@ echo "== Scrape-server pass (-Werror + ASan, live curl smoke) =="
 # (TCP + unix socket + dedup cache + spliced /metrics).
 cmake -B build-server -S . -DGMX_WERROR=ON -DGMX_SANITIZE=address
 cmake --build build-server -j"$(nproc)" \
-    --target test_server throughput_demo serve_demo
+    --target test_server test_serve throughput_demo serve_demo
+# The partial-batch retry path reconnects and re-buffers per attempt;
+# ASan guards the slot bookkeeping against any use-after-free or leak.
 ctest --test-dir build-server --output-on-failure -j"$(nproc)" \
-    -R 'MetricsServer'
+    -R 'MetricsServer|AlignClient.RetryCompletesPartialBatchAfterThrottle'
 build-server/examples/serve_demo
 echo "serve_demo smoke OK"
 serve_log="$(mktemp)"

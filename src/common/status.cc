@@ -22,6 +22,8 @@ statusCodeName(StatusCode code)
         return "ENGINE_STOPPED";
       case StatusCode::Internal:
         return "INTERNAL";
+      case StatusCode::Unavailable:
+        return "UNAVAILABLE";
     }
     return "?";
 }

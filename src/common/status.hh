@@ -40,6 +40,7 @@ enum class StatusCode : u8 {
     Overloaded,        //!< backpressure: queue full, request rejected or shed
     EngineStopped,     //!< submitted to an engine after stop()
     Internal,          //!< unexpected failure inside an aligner or the engine
+    Unavailable,       //!< every route to a backend is circuit-broken
 };
 
 /** Stable upper-snake name for a code ("DEADLINE_EXCEEDED", ...). */
@@ -91,6 +92,10 @@ class Status
     static Status internal(std::string msg)
     {
         return {StatusCode::Internal, std::move(msg)};
+    }
+    static Status unavailable(std::string msg)
+    {
+        return {StatusCode::Unavailable, std::move(msg)};
     }
 
   private:

@@ -249,6 +249,11 @@ Engine::runOne(Request &req)
     if (Status s = req.cancel.check(); !s.ok())
         return Served(AlignOutcome(std::move(s)));
 
+    // ShardWedge: a chaos plan pins this worker for wedge_duration,
+    // modelling a sick shard; the serve router's circuit breaker must
+    // open on the latency/error window and route around this engine.
+    GMX_FAULT_STALL_AT(faults::Point::ShardWedge);
+
     // Memory-budget admission. The reservation is held for the whole
     // kernel call and released by RAII whichever way we leave.
     MemoryReservation reservation;

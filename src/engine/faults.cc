@@ -48,6 +48,12 @@ pointName(Point p)
         return "frame_too_large";
       case Point::SlowClient:
         return "slow_client";
+      case Point::ShardWedge:
+        return "shard_wedge";
+      case Point::RetryStorm:
+        return "retry_storm";
+      case Point::ClockSkew:
+        return "clock_skew";
     }
     return "?";
 }
@@ -107,7 +113,17 @@ void
 maybeStallAt(Point p)
 {
     if (shouldInject(p))
-        std::this_thread::sleep_for(g_state.plan.stall_duration);
+        std::this_thread::sleep_for(p == Point::ShardWedge
+                                        ? g_state.plan.wedge_duration
+                                        : g_state.plan.stall_duration);
+}
+
+std::chrono::microseconds
+maybeSkew()
+{
+    if (shouldInject(Point::ClockSkew))
+        return g_state.plan.skew;
+    return std::chrono::microseconds{0};
 }
 
 u64

@@ -33,6 +33,16 @@
  *   SlowClient  — the align server's response writer stalls (a client
  *                 that stops draining its socket); per-connection
  *                 in-flight bounds must hold the line.
+ *   ShardWedge  — an engine worker wedges for wedge_duration before the
+ *                 kernel (a sick shard); the router's circuit breaker
+ *                 must open and route around it.
+ *   RetryStorm  — the align client's transport drops a connection at a
+ *                 frame boundary; the retry layer must resubmit only
+ *                 unanswered pairs, and the dedup cache must absorb the
+ *                 duplicates.
+ *   ClockSkew   — the server's monotonic clock reads jump by skew;
+ *                 quota refill and deadline-budget arithmetic must stay
+ *                 sane (no negative budgets, ledger still balances).
  */
 
 #ifndef GMX_ENGINE_FAULTS_HH
@@ -53,9 +63,12 @@ enum class Point : unsigned {
     AcceptFail,
     FrameTooLarge,
     SlowClient,
+    ShardWedge,
+    RetryStorm,
+    ClockSkew,
 };
 
-inline constexpr unsigned kPointCount = 7;
+inline constexpr unsigned kPointCount = 10;
 
 /** Human-readable point name ("alloc_fail", ...). */
 const char *pointName(Point p);
@@ -70,6 +83,12 @@ struct Plan
 
     /** How long an injected WorkerStall sleeps. */
     std::chrono::microseconds stall_duration{2000};
+
+    /** How long an injected ShardWedge pins a worker (sick shard). */
+    std::chrono::microseconds wedge_duration{20000};
+
+    /** Offset an injected ClockSkew adds to monotonic clock reads. */
+    std::chrono::microseconds skew{-3000000};
 
     Plan &with(Point p, double prob)
     {
@@ -95,8 +114,12 @@ bool shouldInject(Point p);
 /** Sleep for the plan's stall duration iff WorkerStall fires. */
 void maybeStall();
 
-/** Sleep for the plan's stall duration iff @p p fires (SlowClient etc.). */
+/** Sleep for the plan's stall duration iff @p p fires (SlowClient etc.).
+ *  ShardWedge sleeps the plan's wedge_duration instead. */
 void maybeStallAt(Point p);
+
+/** The plan's skew iff ClockSkew fires, else zero. */
+std::chrono::microseconds maybeSkew();
 
 /** Calls to / injections at @p p since the last arm(). */
 u64 callCount(Point p);
@@ -108,10 +131,12 @@ u64 injectedCount(Point p);
 #define GMX_INJECT_FAULT(point) (::gmx::engine::faults::shouldInject(point))
 #define GMX_FAULT_STALL() (::gmx::engine::faults::maybeStall())
 #define GMX_FAULT_STALL_AT(point) (::gmx::engine::faults::maybeStallAt(point))
+#define GMX_FAULT_SKEW() (::gmx::engine::faults::maybeSkew())
 #else
 #define GMX_INJECT_FAULT(point) (false)
 #define GMX_FAULT_STALL() ((void)0)
 #define GMX_FAULT_STALL_AT(point) ((void)0)
+#define GMX_FAULT_SKEW() (::std::chrono::microseconds{0})
 #endif
 
 #endif // GMX_ENGINE_FAULTS_HH

@@ -106,8 +106,30 @@ ServeSnapshot::toJson() const
     os << ",\"misses\":" << cache_misses;
     os << ",\"evictions\":" << cache_evictions;
     os << ",\"invalidated\":" << cache_invalidated;
+    os << ",\"drained\":" << cache_drained;
     os << ",\"entries\":" << cache_entries;
     os << ",\"hit_rate\":" << num(cacheHitRate());
+    os << "}";
+    os << ",\"deadline\":{";
+    os << "\"requests\":" << deadline_requests;
+    os << ",\"refused\":" << deadline_refused;
+    os << ",\"budget_us\":" << deadline_budget_us;
+    os << ",\"queue_spent_us\":" << deadline_queue_spent_us;
+    os << "}";
+    os << ",\"resilience\":{";
+    os << "\"breaker_opens\":" << breaker_opens;
+    os << ",\"breaker_rejected\":" << breaker_rejected;
+    os << ",\"brownout_shed\":{";
+    for (unsigned p = 0; p < kPriorityCount; ++p) {
+        if (p)
+            os << ",";
+        os << "\"" << priorityName(static_cast<Priority>(p))
+           << "\":" << brownout_shed[p];
+    }
+    os << "}";
+    os << ",\"brownout_level\":" << brownout_level;
+    os << ",\"queue_wait_ewma_us\":" << queue_wait_ewma_us;
+    os << ",\"watchdog_kills\":" << watchdog_kills;
     os << "}";
     os << ",\"shards\":[";
     for (size_t i = 0; i < shards.size(); ++i) {
@@ -116,7 +138,12 @@ ServeSnapshot::toJson() const
         os << "{\"routed\":" << shards[i].routed
            << ",\"outstanding\":" << shards[i].outstanding
            << ",\"outstanding_bytes\":" << shards[i].outstanding_bytes
-           << "}";
+           << ",\"breaker_state\":"
+           << static_cast<unsigned>(shards[i].breaker_state)
+           << ",\"breaker_opens\":" << shards[i].breaker_opens
+           << ",\"breaker_probes\":" << shards[i].breaker_probes
+           << ",\"window_samples\":" << shards[i].window_samples
+           << ",\"window_fails\":" << shards[i].window_fails << "}";
     }
     os << "]";
     os << ",\"clients\":[";
@@ -168,9 +195,29 @@ renderServeOpenMetrics(const ServeSnapshot &snap)
     counter(os, "gmx_serve_cache_misses", snap.cache_misses);
     counter(os, "gmx_serve_cache_evictions", snap.cache_evictions);
     counter(os, "gmx_serve_cache_invalidated", snap.cache_invalidated);
+    counter(os, "gmx_serve_cache_drained", snap.cache_drained);
     gauge(os, "gmx_serve_cache_entries",
           static_cast<double>(snap.cache_entries));
     gauge(os, "gmx_serve_cache_hit_rate", snap.cacheHitRate());
+
+    counter(os, "gmx_serve_deadline_requests", snap.deadline_requests);
+    counter(os, "gmx_serve_deadline_refused", snap.deadline_refused);
+    counter(os, "gmx_serve_deadline_budget_us", snap.deadline_budget_us);
+    counter(os, "gmx_serve_deadline_queue_spent_us",
+            snap.deadline_queue_spent_us);
+
+    counter(os, "gmx_serve_breaker_opens", snap.breaker_opens);
+    counter(os, "gmx_serve_breaker_rejected", snap.breaker_rejected);
+    os << "# TYPE gmx_serve_brownout_shed counter\n";
+    for (unsigned p = 0; p < kPriorityCount; ++p)
+        os << "gmx_serve_brownout_shed_total{priority=\""
+           << priorityName(static_cast<Priority>(p)) << "\"} "
+           << snap.brownout_shed[p] << "\n";
+    gauge(os, "gmx_serve_brownout_level",
+          static_cast<double>(snap.brownout_level));
+    gauge(os, "gmx_serve_queue_wait_ewma_us",
+          static_cast<double>(snap.queue_wait_ewma_us));
+    counter(os, "gmx_serve_watchdog_kills", snap.watchdog_kills);
 
     os << "# TYPE gmx_serve_shard_routed counter\n";
     for (size_t i = 0; i < snap.shards.size(); ++i)
@@ -184,6 +231,18 @@ renderServeOpenMetrics(const ServeSnapshot &snap)
     for (size_t i = 0; i < snap.shards.size(); ++i)
         os << "gmx_serve_shard_outstanding_bytes{shard=\"" << i << "\"} "
            << snap.shards[i].outstanding_bytes << "\n";
+    os << "# TYPE gmx_serve_shard_breaker_state gauge\n";
+    for (size_t i = 0; i < snap.shards.size(); ++i)
+        os << "gmx_serve_shard_breaker_state{shard=\"" << i << "\"} "
+           << static_cast<unsigned>(snap.shards[i].breaker_state) << "\n";
+    os << "# TYPE gmx_serve_shard_breaker_opens counter\n";
+    for (size_t i = 0; i < snap.shards.size(); ++i)
+        os << "gmx_serve_shard_breaker_opens_total{shard=\"" << i
+           << "\"} " << snap.shards[i].breaker_opens << "\n";
+    os << "# TYPE gmx_serve_shard_breaker_probes counter\n";
+    for (size_t i = 0; i < snap.shards.size(); ++i)
+        os << "gmx_serve_shard_breaker_probes_total{shard=\"" << i
+           << "\"} " << snap.shards[i].breaker_probes << "\n";
 
     os << "# TYPE gmx_serve_client_requests counter\n";
     for (const ClientStats &c : snap.clients)
@@ -216,6 +275,22 @@ ServeMetrics::notePendingPeak(u64 depth)
            !pending_peak.compare_exchange_weak(cur, depth,
                                                std::memory_order_relaxed))
         ;
+}
+
+void
+ServeMetrics::noteQueueWait(u64 wait_us, double alpha)
+{
+    u64 cur = queue_wait_ewma_us.load(std::memory_order_relaxed);
+    for (;;) {
+        const double folded = cur == 0
+                                  ? static_cast<double>(wait_us)
+                                  : static_cast<double>(cur) * (1.0 - alpha) +
+                                        static_cast<double>(wait_us) * alpha;
+        const u64 next = static_cast<u64>(folded + 0.5);
+        if (queue_wait_ewma_us.compare_exchange_weak(
+                cur, next, std::memory_order_relaxed))
+            return;
+    }
 }
 
 void
@@ -271,7 +346,24 @@ ServeMetrics::snapshot(std::vector<ShardStats> shards) const
     s.cache_evictions = cache_evictions.load(std::memory_order_relaxed);
     s.cache_invalidated =
         cache_invalidated.load(std::memory_order_relaxed);
+    s.cache_drained = cache_drained.load(std::memory_order_relaxed);
     s.cache_entries = cache_entries.load(std::memory_order_relaxed);
+    s.deadline_requests =
+        deadline_requests.load(std::memory_order_relaxed);
+    s.deadline_refused = deadline_refused.load(std::memory_order_relaxed);
+    s.deadline_budget_us =
+        deadline_budget_us.load(std::memory_order_relaxed);
+    s.deadline_queue_spent_us =
+        deadline_queue_spent_us.load(std::memory_order_relaxed);
+    s.breaker_opens = breaker_opens.load(std::memory_order_relaxed);
+    s.breaker_rejected = breaker_rejected.load(std::memory_order_relaxed);
+    for (unsigned p = 0; p < kPriorityCount; ++p)
+        s.brownout_shed[p] =
+            brownout_shed[p].load(std::memory_order_relaxed);
+    s.brownout_level = brownout_level.load(std::memory_order_relaxed);
+    s.queue_wait_ewma_us =
+        queue_wait_ewma_us.load(std::memory_order_relaxed);
+    s.watchdog_kills = watchdog_kills.load(std::memory_order_relaxed);
     s.shards = std::move(shards);
     {
         std::lock_guard<std::mutex> lk(clients_mu_);

@@ -31,6 +31,11 @@ struct ShardStats
     u64 routed = 0;            //!< requests ever routed to this shard
     u64 outstanding = 0;       //!< submitted, future not yet consumed
     u64 outstanding_bytes = 0; //!< pattern+text bytes of those requests
+    u8 breaker_state = 0;      //!< BreakerState: 0 closed, 1 open, 2 half
+    u64 breaker_opens = 0;     //!< cumulative breaker trips
+    u64 breaker_probes = 0;    //!< cumulative HalfOpen probes admitted
+    u64 window_samples = 0;    //!< completions in the rolling window
+    u64 window_fails = 0;      //!< failures in the rolling window
 };
 
 /** Point-in-time per-client stats. */
@@ -76,7 +81,22 @@ struct ServeSnapshot
     u64 cache_misses = 0;
     u64 cache_evictions = 0;
     u64 cache_invalidated = 0; //!< failed results dropped from the cache
+    u64 cache_drained = 0;     //!< entries dropped by breaker ejection
     u64 cache_entries = 0;     //!< current resident entries (gauge)
+
+    // Deadline-budget accounting (requests carrying a wire deadline).
+    u64 deadline_requests = 0;       //!< requests that carried a budget
+    u64 deadline_refused = 0;        //!< budget spent before the engine
+    u64 deadline_budget_us = 0;      //!< sum of budgets as received
+    u64 deadline_queue_spent_us = 0; //!< sum spent in serve-side stages
+
+    // Resilience.
+    u64 breaker_opens = 0;    //!< breaker trips across all shards
+    u64 breaker_rejected = 0; //!< Unavailable: every shard open
+    std::array<u64, kPriorityCount> brownout_shed{};
+    u64 brownout_level = 0;      //!< current level (gauge, 0-2)
+    u64 queue_wait_ewma_us = 0;  //!< smoothed response queue wait (gauge)
+    u64 watchdog_kills = 0;      //!< stuck connections force-closed
 
     std::vector<ShardStats> shards;
     std::vector<ClientStats> clients; //!< sorted by client id
@@ -120,10 +140,24 @@ class ServeMetrics
     std::atomic<u64> cache_misses{0};
     std::atomic<u64> cache_evictions{0};
     std::atomic<u64> cache_invalidated{0};
+    std::atomic<u64> cache_drained{0};
     std::atomic<u64> cache_entries{0};
+    std::atomic<u64> deadline_requests{0};
+    std::atomic<u64> deadline_refused{0};
+    std::atomic<u64> deadline_budget_us{0};
+    std::atomic<u64> deadline_queue_spent_us{0};
+    std::atomic<u64> breaker_opens{0};
+    std::atomic<u64> breaker_rejected{0};
+    std::array<std::atomic<u64>, kPriorityCount> brownout_shed{};
+    std::atomic<u64> brownout_level{0};
+    std::atomic<u64> queue_wait_ewma_us{0};
+    std::atomic<u64> watchdog_kills{0};
 
     /** Raise pending_peak to at least @p depth (monotonic CAS). */
     void notePendingPeak(u64 depth);
+
+    /** Fold one observed response queue wait into the EWMA gauge. */
+    void noteQueueWait(u64 wait_us, double alpha);
 
     /** Which per-client counter to bump. */
     enum class ClientEvent { Request, Throttled, Shed, Completed, Failed };

@@ -130,7 +130,7 @@ frame(FrameType type, const std::string &payload)
 bool
 validStatusByte(u8 b)
 {
-    return b <= static_cast<u8>(StatusCode::Internal);
+    return b <= static_cast<u8>(StatusCode::Unavailable);
 }
 
 } // namespace
@@ -183,7 +183,8 @@ encodeHello(const HelloFrame &f)
 {
     std::string payload;
     payload.push_back(static_cast<char>(f.priority));
-    payload.append(3, '\0'); // reserved
+    payload.push_back(static_cast<char>(f.features));
+    payload.append(2, '\0'); // reserved
     putU32(payload, static_cast<u32>(f.client_id.size()));
     payload += f.client_id;
     return frame(FrameType::Hello, payload);
@@ -194,7 +195,8 @@ encodeHelloAck(const HelloAckFrame &f)
 {
     std::string payload;
     payload.push_back(static_cast<char>(f.version));
-    payload.append(3, '\0');
+    payload.push_back(static_cast<char>(f.features));
+    payload.append(2, '\0');
     putU32(payload, f.max_frame_bytes);
     return frame(FrameType::HelloAck, payload);
 }
@@ -206,11 +208,18 @@ encodeAlignRequest(const AlignRequestFrame &f)
     putU64(payload, f.id);
     putU32(payload, f.max_edits);
     payload.push_back(f.want_cigar ? 1 : 0);
-    payload.append(3, '\0');
+    const bool has_deadline = f.deadline_us > 0;
+    payload.push_back(has_deadline ? 1 : 0); // request flags
+    payload.append(2, '\0');
     putU32(payload, static_cast<u32>(f.pattern.size()));
     putU32(payload, static_cast<u32>(f.text.size()));
     payload += f.pattern;
     payload += f.text;
+    // Deadline extension trails the bodies so a v1 decoder (which
+    // demands exact payload consumption) rejects rather than misparses
+    // it; senders gate on the negotiated kFeatureDeadline bit.
+    if (has_deadline)
+        putU64(payload, f.deadline_us);
     return frame(FrameType::AlignRequest, payload);
 }
 
@@ -304,7 +313,11 @@ decodeHello(const void *data, size_t len, HelloFrame &out)
     u8 priority = 0;
     std::string reserved;
     u32 id_len = 0;
-    if (!r.u8At(priority) || !r.bytesAt(reserved, 3) || !r.u32At(id_len))
+    // The features byte is not validated: unknown bits are a FUTURE
+    // peer's offer, masked to kSupportedFeatures at the use site (v1
+    // peers wrote zero here).
+    if (!r.u8At(priority) || !r.u8At(out.features) ||
+        !r.bytesAt(reserved, 2) || !r.u32At(id_len))
         return truncated("hello");
     if (priority >= kPriorityCount)
         return Status::invalidInput("hello priority out of range");
@@ -323,8 +336,8 @@ decodeHelloAck(const void *data, size_t len, HelloAckFrame &out)
 {
     Reader r(data, len);
     std::string reserved;
-    if (!r.u8At(out.version) || !r.bytesAt(reserved, 3) ||
-        !r.u32At(out.max_frame_bytes))
+    if (!r.u8At(out.version) || !r.u8At(out.features) ||
+        !r.bytesAt(reserved, 2) || !r.u32At(out.max_frame_bytes))
         return truncated("hello_ack");
     if (r.remaining() != 0)
         return trailing("hello_ack");
@@ -337,18 +350,29 @@ Status
 decodeAlignRequest(const void *data, size_t len, AlignRequestFrame &out)
 {
     Reader r(data, len);
-    u8 want_cigar = 0;
+    u8 want_cigar = 0, flags = 0;
     std::string reserved;
     u32 pattern_len = 0, text_len = 0;
     if (!r.u64At(out.id) || !r.u32At(out.max_edits) ||
-        !r.u8At(want_cigar) || !r.bytesAt(reserved, 3) ||
-        !r.u32At(pattern_len) || !r.u32At(text_len))
+        !r.u8At(want_cigar) || !r.u8At(flags) ||
+        !r.bytesAt(reserved, 2) || !r.u32At(pattern_len) ||
+        !r.u32At(text_len))
         return truncated("align_request");
     if (want_cigar > 1)
         return Status::invalidInput("align_request want_cigar not 0/1");
+    if (flags & ~u8{1})
+        return Status::invalidInput("align_request unknown flag bits");
     if (!r.bytesAt(out.pattern, pattern_len) ||
         !r.bytesAt(out.text, text_len))
         return truncated("align_request");
+    out.deadline_us = 0;
+    if (flags & 1) {
+        if (!r.u64At(out.deadline_us))
+            return truncated("align_request");
+        if (out.deadline_us == 0)
+            return Status::invalidInput(
+                "align_request deadline flag set with zero budget");
+    }
     if (r.remaining() != 0)
         return trailing("align_request");
     out.want_cigar = want_cigar == 1;

@@ -35,6 +35,17 @@
  * Distance on the wire: -1 encodes "no alignment within the requested
  * max_edits" (align::kNoAlignment is an i64 sentinel that would not
  * survive narrowing); decode maps it back.
+ *
+ * Feature negotiation: Hello and HelloAck each carry a feature bitmask
+ * in what v1 called a reserved byte (v1 peers wrote zeros there, and
+ * v1 decoders read the byte without checking it, so the bit is free).
+ * The client offers its feature set; the server echoes the
+ * intersection with what it supports; both sides then use only echoed
+ * bits. kFeatureDeadline gates the AlignRequest deadline_us extension:
+ * a request whose flags bit 0 is set carries a trailing u64
+ * microsecond budget. The extension is only ever sent to a server
+ * that advertised the feature — a v1 decoder would correctly reject
+ * the trailing bytes — so strict decoders stay strict on both sides.
  */
 
 #ifndef GMX_SERVE_PROTOCOL_HH
@@ -64,6 +75,12 @@ inline constexpr u32 kMaxClientIdBytes = 256;
 
 /** Cap on a response's human-readable status message. */
 inline constexpr u32 kMaxMessageBytes = 4096;
+
+/** Feature bit: AlignRequest frames may carry a deadline_us budget. */
+inline constexpr u8 kFeatureDeadline = 0x01;
+
+/** Every feature bit this build understands. */
+inline constexpr u8 kSupportedFeatures = kFeatureDeadline;
 
 enum class FrameType : u8 {
     Hello = 1,        //!< client -> server: identify + priority class
@@ -104,12 +121,14 @@ struct FrameHeader
 struct HelloFrame
 {
     Priority priority = Priority::Normal;
+    u8 features = 0;       //!< feature bits the client offers
     std::string client_id; //!< empty is allowed (an anonymous client)
 };
 
 struct HelloAckFrame
 {
     u8 version = kVersion;
+    u8 features = 0; //!< offered ∩ supported; client uses only these
     u32 max_frame_bytes = kDefaultMaxFrameBytes;
 };
 
@@ -118,6 +137,13 @@ struct AlignRequestFrame
     u64 id = 0;        //!< client-chosen; echoed in the response
     u32 max_edits = 0; //!< 0 = unbounded; else "within k or not found"
     bool want_cigar = true;
+    /**
+     * Remaining time budget in microseconds (0 = none). A budget, not a
+     * wall-clock instant, so it survives clock skew between peers; each
+     * hop subtracts the time it observed before forwarding the rest.
+     * Only sent when the server advertised kFeatureDeadline.
+     */
+    u64 deadline_us = 0;
     std::string pattern;
     std::string text;
 };

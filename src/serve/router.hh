@@ -24,12 +24,26 @@
  * threads both missing and both submitting, in which case the second
  * insert loses and one duplicate computation runs — correctness is
  * unaffected and the window is a few microseconds.
+ *
+ * Circuit breaking: each shard keeps a rolling window of its last
+ * breaker_window completions; when at least breaker_min_samples have
+ * accumulated and the failure fraction (errors, plus completions
+ * slower than breaker_slow threshold when configured) reaches
+ * breaker_open_ratio, the shard trips Closed→Open: routing skips it
+ * and its dedup-cache entries are drained (a sick shard's results are
+ * suspect, and new traffic must not coalesce onto its in-flight
+ * futures). After breaker_cooldown the shard turns HalfOpen and admits
+ * exactly ONE probe request — success closes the breaker and resets
+ * the window, failure reopens it for another cooldown. When every
+ * shard is open, submit() returns a ready ticket carrying a typed
+ * Unavailable instead of blocking or routing into a known-sick engine.
  */
 
 #ifndef GMX_SERVE_ROUTER_HH
 #define GMX_SERVE_ROUTER_HH
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <list>
 #include <memory>
@@ -51,7 +65,31 @@ struct RouterConfig
 
     /** Cache lock shards; requests hash across them by key. */
     size_t cache_shards = 8;
+
+    /** Rolling completions judged per shard (0 disables the breaker). */
+    size_t breaker_window = 32;
+
+    /** Completions required before the window may trip the breaker. */
+    size_t breaker_min_samples = 8;
+
+    /** Failure fraction of the window that opens the breaker. */
+    double breaker_open_ratio = 0.5;
+
+    /** How long an open breaker waits before admitting one probe. */
+    std::chrono::milliseconds breaker_cooldown{1000};
+
+    /**
+     * Latency leg of shard health: an Ok completion slower than this
+     * still counts as a window failure (0 = errors only).
+     */
+    std::chrono::microseconds breaker_slow{0};
 };
+
+/** Circuit-breaker state of one shard. */
+enum class BreakerState : u8 { Closed = 0, Open = 1, HalfOpen = 2 };
+
+/** Human-readable breaker-state name ("closed" / "open" / "half_open"). */
+const char *breakerStateName(BreakerState s);
 
 /**
  * One routed request. The future is always fulfilled with a Result
@@ -66,6 +104,7 @@ struct Ticket
     bool owner = false;    //!< this ticket submitted the computation
     bool cache_hit = false;  //!< served from a completed cache entry
     bool coalesced = false;  //!< joined an in-flight computation
+    bool probe = false;    //!< the single HalfOpen recovery probe
     std::string key;       //!< cache key (set when the owner inserted)
     u64 gen = 0;           //!< cache entry generation (for invalidation)
 };
@@ -84,20 +123,32 @@ class ShardRouter
 
     /**
      * Route one validated pair. Checks the cache first (hit/coalesce),
-     * else submits to the least-loaded engine and caches the future.
+     * else submits to the least-loaded breaker-eligible engine and
+     * caches the future. @p timeout (0 = none) becomes the engine-side
+     * deadline: expiry fails the request before dispatch if queued, or
+     * mid-kernel via the cooperative cancel gate. When every shard's
+     * breaker is open the returned ticket is already fulfilled with a
+     * typed Unavailable (owner == false; complete() is a no-op).
      */
     Ticket submit(const seq::SequencePair &pair, bool want_cigar,
-                  u32 max_edits);
+                  u32 max_edits,
+                  std::chrono::nanoseconds timeout = {});
 
     /**
-     * Settle a ticket after its future was consumed. @p ok is whether
-     * the outcome was a value; failed owner computations are evicted
-     * from the cache so a transient Overloaded is not replayed forever.
+     * Settle a ticket after its future was consumed. @p code is the
+     * outcome's status; failed owner computations are evicted from the
+     * cache so a transient Overloaded is not replayed forever, and the
+     * shard's breaker window absorbs the verdict (@p service_us feeds
+     * the latency leg; pass 0 to skip it).
      */
-    void complete(const Ticket &ticket, bool ok);
+    void complete(const Ticket &ticket, StatusCode code,
+                  u64 service_us = 0);
 
     /** Per-engine routing stats, index-aligned with the engine list. */
     std::vector<ShardStats> shardStats() const;
+
+    /** Current breaker state of one shard (tests/metrics). */
+    BreakerState breakerState(size_t shard) const;
 
     /** Total requests submitted to engines and not yet completed. */
     u64 outstanding() const;
@@ -123,6 +174,7 @@ class ShardRouter
         {
             std::shared_future<engine::Engine::AlignOutcome> future;
             u64 gen = 0;
+            size_t shard = 0; //!< owning engine (for breaker drains)
             std::list<std::string>::iterator lru_it;
         };
         mutable std::mutex mu;
@@ -130,14 +182,41 @@ class ShardRouter
         std::list<std::string> lru; //!< front = most recently used
     };
 
-    size_t pickShard(u64 bytes);
+    /** Rolling health window + breaker state for one engine. */
+    struct Breaker
+    {
+        mutable std::mutex mu;
+        std::vector<u8> ring;  //!< 1 = failure; breaker_window slots
+        size_t next = 0;       //!< ring cursor
+        size_t samples = 0;
+        size_t fails = 0;
+        BreakerState state = BreakerState::Closed;
+        std::chrono::steady_clock::time_point opened_at{};
+        bool probe_inflight = false;
+        u64 opens = 0;  //!< cumulative Closed/HalfOpen -> Open trips
+        u64 probes = 0; //!< cumulative HalfOpen probes admitted
+    };
+
+    /**
+     * Least-loaded shard whose breaker admits traffic; claims the
+     * HalfOpen probe slot when one is due (sets @p probe). Returns
+     * engines_.size() when every shard is open.
+     */
+    size_t pickShard(u64 bytes, bool &probe);
     CacheShard &cacheShardFor(const std::string &key);
+
+    /** Record one completion verdict; may trip the breaker open. */
+    void noteOutcome(const Ticket &ticket, bool shard_fail);
+
+    /** Drop every cache entry owned by @p shard (breaker ejection). */
+    void drainShardCache(size_t shard);
 
     std::vector<engine::Engine *> engines_;
     RouterConfig config_;
     ServeMetrics *metrics_;
     size_t per_shard_capacity_ = 0; //!< 0 = cache disabled
     std::vector<std::unique_ptr<ShardLoad>> loads_;
+    std::vector<std::unique_ptr<Breaker>> breakers_;
     std::vector<std::unique_ptr<CacheShard>> cache_;
     std::atomic<u64> next_gen_{1};
 };

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 
 #include "engine/faults.hh"
@@ -18,6 +19,15 @@ monotonicSeconds()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+u64
+steadyMicros()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 std::string
@@ -56,6 +66,8 @@ AlignServer::AlignServer(std::vector<engine::Engine *> engines,
         config_.max_inflight_per_conn = 1;
     if (config_.max_frame_bytes < 64)
         config_.max_frame_bytes = 64; // room for any fixed-field frame
+    if (config_.brownout_alpha <= 0.0 || config_.brownout_alpha > 1.0)
+        config_.brownout_alpha = 0.2;
 }
 
 AlignServer::~AlignServer()
@@ -94,6 +106,8 @@ AlignServer::start()
     for (unsigned i = 0; i < config_.handler_threads; ++i)
         handlers_.emplace_back([this] { handlerLoop(); });
     acceptor_ = std::thread([this] { acceptLoop(); });
+    if (config_.watchdog_multiple > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
     return Status();
 }
 
@@ -107,12 +121,15 @@ AlignServer::stop()
     wake_.notify();
     if (acceptor_.joinable())
         acceptor_.join();
+    watchdog_cv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
     // Half-close every live connection: readers see EOF and stop taking
     // new requests; writers still flush every accepted request's
     // response through the intact write side (graceful drain).
     {
         std::lock_guard<std::mutex> lk(conns_mu_);
-        for (const int fd : open_conns_)
+        for (const auto &[fd, conn] : open_conns_)
             (void)::shutdown(fd, SHUT_RD);
     }
     conn_cv_.notify_all();
@@ -259,6 +276,9 @@ AlignServer::sendFrame(Conn &conn, const std::string &encoded)
 void
 AlignServer::enqueue(Conn &conn, Outgoing item)
 {
+    item.accepted = std::chrono::steady_clock::now();
+    conn.inflight.fetch_add(1, std::memory_order_relaxed);
+    conn.last_progress_us.store(steadyMicros(), std::memory_order_relaxed);
     std::unique_lock<std::mutex> lk(conn.mu);
     // Blocking here is the point: a full queue stops the reader, the
     // socket receive buffer fills, and TCP pushes back to the client.
@@ -280,8 +300,24 @@ AlignServer::protocolError(Conn &conn, const Status &error)
     enqueue(conn, std::move(o));
 }
 
+unsigned
+AlignServer::brownoutLevel() const
+{
+    const u64 ewma =
+        metrics_.queue_wait_ewma_us.load(std::memory_order_relaxed);
+    unsigned level = 0;
+    if (config_.brownout_low.count() > 0 &&
+        ewma >= static_cast<u64>(config_.brownout_low.count()))
+        level = 1;
+    if (config_.brownout_normal.count() > 0 &&
+        ewma >= static_cast<u64>(config_.brownout_normal.count()))
+        level = 2;
+    return level;
+}
+
 void
-AlignServer::handleRequest(Conn &conn, AlignRequestFrame req)
+AlignServer::handleRequest(Conn &conn, AlignRequestFrame req,
+                           std::chrono::steady_clock::time_point received)
 {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.noteClient(conn.client_id, ServeMetrics::ClientEvent::Request);
@@ -301,7 +337,29 @@ AlignServer::handleRequest(Conn &conn, AlignRequestFrame req)
         return;
     }
 
-    // 2. Priority admission: under load, low watermarks trip first.
+    // 2. Brownout: when the smoothed queue wait says responses are
+    //    already late, shed by priority BEFORE the hard pending cap —
+    //    a latency-driven soft ramp, Low first, mirroring watermarks.
+    const unsigned level = brownoutLevel();
+    metrics_.brownout_level.store(level, std::memory_order_relaxed);
+    if ((level >= 1 && conn.priority == Priority::Low) ||
+        (level >= 2 && conn.priority == Priority::Normal)) {
+        metrics_.brownout_shed[static_cast<unsigned>(conn.priority)]
+            .fetch_add(1, std::memory_order_relaxed);
+        metrics_.noteClient(conn.client_id,
+                            ServeMetrics::ClientEvent::Shed);
+        Outgoing o;
+        o.immediate = true;
+        o.reject = true;
+        o.encoded = encodeAlignResponse(rejection(
+            req.id, StatusCode::Overloaded,
+            std::string("brownout: queue wait over budget (priority ") +
+                priorityName(conn.priority) + ")"));
+        enqueue(conn, std::move(o));
+        return;
+    }
+
+    // 3. Priority admission: under load, low watermarks trip first.
     if (config_.pending_cap > 0) {
         const u64 pending =
             metrics_.pending.load(std::memory_order_relaxed);
@@ -322,7 +380,7 @@ AlignServer::handleRequest(Conn &conn, AlignRequestFrame req)
         }
     }
 
-    // 3. Validation, before the router so rejects never touch an engine
+    // 4. Validation, before the router so rejects never touch an engine
     //    or pollute the cache.
     seq::SequencePair pair{seq::Sequence(std::move(req.pattern)),
                            seq::Sequence(std::move(req.text))};
@@ -336,9 +394,45 @@ AlignServer::handleRequest(Conn &conn, AlignRequestFrame req)
         return;
     }
 
-    // 4. Route (cache hit, coalesce, or least-loaded engine).
+    // 5. Deadline budget: subtract the serve-side time this request
+    //    already spent; an exhausted budget is refused HERE, before the
+    //    router or an engine sees it (the per-tier counters prove no
+    //    kernel ran). The remainder becomes the engine-side timeout so
+    //    expiry fires queued or mid-kernel via the cancel gate.
+    std::chrono::nanoseconds timeout{0};
+    if (req.deadline_us > 0) {
+        metrics_.deadline_requests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.deadline_budget_us.fetch_add(req.deadline_us,
+                                              std::memory_order_relaxed);
+        auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - received);
+        // ClockSkew: a chaos plan shifts the observed spend, modelling a
+        // peer whose budget was computed against a skewed clock; the
+        // clamp keeps a negative shift from inflating the budget.
+        spent += GMX_FAULT_SKEW();
+        if (spent.count() < 0)
+            spent = std::chrono::microseconds{0};
+        metrics_.deadline_queue_spent_us.fetch_add(
+            static_cast<u64>(spent.count()), std::memory_order_relaxed);
+        if (static_cast<u64>(spent.count()) >= req.deadline_us) {
+            metrics_.deadline_refused.fetch_add(1,
+                                                std::memory_order_relaxed);
+            Outgoing o;
+            o.immediate = true;
+            o.reject = true;
+            o.encoded = encodeAlignResponse(rejection(
+                req.id, StatusCode::DeadlineExceeded,
+                "deadline budget exhausted before dispatch"));
+            enqueue(conn, std::move(o));
+            return;
+        }
+        timeout = std::chrono::microseconds(req.deadline_us) - spent;
+    }
+
+    // 6. Route (cache hit, coalesce, or least-loaded engine).
     Outgoing o;
-    o.ticket = router_.submit(pair, req.want_cigar, req.max_edits);
+    o.ticket =
+        router_.submit(pair, req.want_cigar, req.max_edits, timeout);
     o.id = req.id;
     o.max_edits = req.max_edits;
     const u64 now =
@@ -363,12 +457,12 @@ AlignServer::writerLoop(Conn &conn)
             conn.out.pop_front();
         }
         conn.space_cv.notify_one();
+        conn.last_progress_us.store(steadyMicros(),
+                                    std::memory_order_relaxed);
 
         if (item.bye) {
             (void)sendFrame(conn, encodeByeAck());
-            continue;
-        }
-        if (item.immediate) {
+        } else if (item.immediate) {
             (void)sendFrame(conn, item.encoded);
             // Rejections count as responses whether or not the bytes
             // landed, matching the routed path below.
@@ -378,49 +472,65 @@ AlignServer::writerLoop(Conn &conn)
                 metrics_.noteClient(conn.client_id,
                                     ServeMetrics::ClientEvent::Failed);
             }
-            continue;
-        }
-
-        // A routed request: wait for the engine (futures are always
-        // fulfilled with a Result, even across engine stop()).
-        const engine::Engine::AlignOutcome &outcome =
-            item.ticket.future.get();
-        metrics_.pending.fetch_sub(1, std::memory_order_relaxed);
-        router_.complete(item.ticket, outcome.ok());
-
-        AlignResponseFrame resp;
-        resp.id = item.id;
-        resp.cache_hit =
-            item.ticket.cache_hit || item.ticket.coalesced;
-        if (outcome.ok()) {
-            const align::AlignResult &r = outcome.value();
-            i64 d = r.distance;
-            bool has_cigar = r.has_cigar;
-            // max_edits is a post-filter: the cascade computes the true
-            // distance; beyond the client's budget it becomes not-found.
-            if (item.max_edits > 0 && d != align::kNoAlignment &&
-                d > static_cast<i64>(item.max_edits)) {
-                d = align::kNoAlignment;
-                has_cigar = false;
-            }
-            resp.code = StatusCode::Ok;
-            resp.distance = d;
-            resp.has_cigar = has_cigar && d != align::kNoAlignment;
-            if (resp.has_cigar)
-                resp.cigar = r.cigar.str();
-            metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
-            metrics_.noteClient(conn.client_id,
-                                ServeMetrics::ClientEvent::Completed);
         } else {
-            resp.code = outcome.status().code();
-            resp.distance = align::kNoAlignment;
-            resp.message = capMessage(outcome.status().message());
-            metrics_.responses_failed.fetch_add(1,
+            // A routed request: wait for the engine (futures are always
+            // fulfilled with a Result, even across engine stop()).
+            const engine::Engine::AlignOutcome &outcome =
+                item.ticket.future.get();
+            metrics_.pending.fetch_sub(1, std::memory_order_relaxed);
+            // Admission-to-response-ready time feeds the brownout EWMA
+            // and the breaker's latency leg.
+            const auto waited =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - item.accepted);
+            const u64 waited_us =
+                waited.count() < 0 ? 0 : static_cast<u64>(waited.count());
+            metrics_.noteQueueWait(waited_us, config_.brownout_alpha);
+            router_.complete(item.ticket,
+                             outcome.ok() ? StatusCode::Ok
+                                          : outcome.status().code(),
+                             waited_us);
+
+            AlignResponseFrame resp;
+            resp.id = item.id;
+            resp.cache_hit =
+                item.ticket.cache_hit || item.ticket.coalesced;
+            if (outcome.ok()) {
+                const align::AlignResult &r = outcome.value();
+                i64 d = r.distance;
+                bool has_cigar = r.has_cigar;
+                // max_edits is a post-filter: the cascade computes the
+                // true distance; beyond the client's budget it becomes
+                // not-found.
+                if (item.max_edits > 0 && d != align::kNoAlignment &&
+                    d > static_cast<i64>(item.max_edits)) {
+                    d = align::kNoAlignment;
+                    has_cigar = false;
+                }
+                resp.code = StatusCode::Ok;
+                resp.distance = d;
+                resp.has_cigar = has_cigar && d != align::kNoAlignment;
+                if (resp.has_cigar)
+                    resp.cigar = r.cigar.str();
+                metrics_.responses_ok.fetch_add(1,
                                                 std::memory_order_relaxed);
-            metrics_.noteClient(conn.client_id,
-                                ServeMetrics::ClientEvent::Failed);
+                metrics_.noteClient(conn.client_id,
+                                    ServeMetrics::ClientEvent::Completed);
+            } else {
+                resp.code = outcome.status().code();
+                resp.distance = align::kNoAlignment;
+                resp.message = capMessage(outcome.status().message());
+                metrics_.responses_failed.fetch_add(
+                    1, std::memory_order_relaxed);
+                metrics_.noteClient(conn.client_id,
+                                    ServeMetrics::ClientEvent::Failed);
+            }
+            (void)sendFrame(conn, encodeAlignResponse(resp));
         }
-        (void)sendFrame(conn, encodeAlignResponse(resp));
+
+        conn.last_progress_us.store(steadyMicros(),
+                                    std::memory_order_relaxed);
+        conn.inflight.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -468,8 +578,11 @@ AlignServer::readerLoop(Conn &conn)
                 return;
             }
         }
+        const auto received = std::chrono::steady_clock::now();
         metrics_.frames_in.fetch_add(1, std::memory_order_relaxed);
         metrics_.bytes_in.fetch_add(kHeaderBytes + payload.size(),
+                                    std::memory_order_relaxed);
+        conn.last_progress_us.store(steadyMicros(),
                                     std::memory_order_relaxed);
 
         switch (fh.type) {
@@ -481,7 +594,7 @@ AlignServer::readerLoop(Conn &conn)
                 protocolError(conn, s);
                 return;
             }
-            handleRequest(conn, std::move(req));
+            handleRequest(conn, std::move(req), received);
             break;
           }
           case FrameType::Bye: {
@@ -510,9 +623,10 @@ AlignServer::handleConnection(int fd)
 {
     Conn conn;
     conn.fd = fd;
+    conn.last_progress_us.store(steadyMicros(), std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lk(conns_mu_);
-        open_conns_.insert(fd);
+        open_conns_.emplace(fd, &conn);
     }
 
     // Synchronous handshake: the first frame must be a Hello, answered
@@ -551,8 +665,11 @@ AlignServer::handleConnection(int fd)
     conn.client_id =
         hello.client_id.empty() ? "anonymous" : hello.client_id;
     conn.priority = hello.priority;
-    if (!sendFrame(conn, encodeHelloAck(
-                             {kVersion, config_.max_frame_bytes})))
+    // Echo the intersection of offered and supported feature bits; the
+    // client uses only echoed bits, so a v1 peer (offers 0) sees 0.
+    conn.features = hello.features & kSupportedFeatures;
+    if (!sendFrame(conn, encodeHelloAck({kVersion, conn.features,
+                                         config_.max_frame_bytes})))
         return;
 
     std::thread writer([this, &conn] { writerLoop(conn); });
@@ -563,6 +680,50 @@ AlignServer::handleConnection(int fd)
     }
     conn.data_cv.notify_all();
     writer.join();
+}
+
+void
+AlignServer::watchdogLoop()
+{
+    const u64 limit_us = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            config_.io_timeout)
+            .count() *
+        config_.watchdog_multiple);
+    // Scan at a fraction of the kill threshold so a stuck connection is
+    // caught within ~1.25x the configured limit, worst case.
+    const auto tick = std::max<std::chrono::milliseconds>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            config_.io_timeout * config_.watchdog_multiple / 4),
+        std::chrono::milliseconds{10});
+    std::unique_lock<std::mutex> lk(watchdog_mu_);
+    for (;;) {
+        watchdog_cv_.wait_for(lk, tick, [this] {
+            return stopping_.load(std::memory_order_acquire);
+        });
+        if (stopping_.load(std::memory_order_acquire))
+            return;
+        const u64 now_us = steadyMicros();
+        std::lock_guard<std::mutex> ck(conns_mu_);
+        for (const auto &[fd, conn] : open_conns_) {
+            if (conn->inflight.load(std::memory_order_relaxed) == 0)
+                continue; // idle, not stuck
+            const u64 last =
+                conn->last_progress_us.load(std::memory_order_relaxed);
+            if (now_us - last <= limit_us)
+                continue;
+            if (conn->watchdog_killed.exchange(true,
+                                               std::memory_order_acq_rel))
+                continue; // already shot once
+            // Force-close both directions: the reader sees EOF, the
+            // writer's next send fails, and the drain path still settles
+            // every routed ticket — counted, never silently hung.
+            metrics_.watchdog_kills.fetch_add(1,
+                                              std::memory_order_relaxed);
+            conn->dead.store(true, std::memory_order_relaxed);
+            (void)::shutdown(fd, SHUT_RDWR);
+        }
+    }
 }
 
 } // namespace gmx::serve

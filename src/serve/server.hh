@@ -30,9 +30,28 @@
  * Overload semantics, in the order a request meets them:
  *   1. connection cap     -> Error frame (Overloaded), connection closed
  *   2. client token bucket -> AlignResponse(Overloaded) for that request
- *   3. pending watermark  -> AlignResponse(Overloaded); Low sheds at 1/2
+ *   3. brownout           -> AlignResponse(Overloaded); when the smoothed
+ *      response queue wait (EWMA of admission-to-response-ready time)
+ *      crosses brownout_low, Low traffic sheds; past brownout_normal,
+ *      Normal sheds too — a soft ramp that acts on observed latency
+ *      BEFORE the hard pending cap is anywhere near
+ *   4. pending watermark  -> AlignResponse(Overloaded); Low sheds at 1/2
  *      of pending_cap, Normal at 3/4, High only at the full cap — so
  *      under sustained overload low-priority traffic sheds first
+ *
+ * Deadline propagation: a request carrying a wire deadline budget
+ * (negotiated via kFeatureDeadline) has the server-side time it already
+ * spent subtracted on arrival; an exhausted budget is refused with
+ * DeadlineExceeded before touching the router or an engine, and the
+ * remainder rides into engine::SubmitOptions::timeout so expiry fires
+ * queued (fast-fail) or mid-kernel (cooperative cancel gate).
+ *
+ * Watchdog: when watchdog_multiple > 0, a background thread scans live
+ * connections and force-closes (SHUT_RDWR) any with outstanding work
+ * but no reader/writer progress for watchdog_multiple x io_timeout —
+ * a wedged peer or engine cannot pin a handler thread forever. Kills
+ * are counted (watchdog_kills); the drain path still settles every
+ * routed ticket so the ledger stays balanced.
  *
  * Graceful shutdown: stop() half-closes (SHUT_RD) every open
  * connection, so readers stop accepting new requests immediately while
@@ -53,9 +72,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -107,6 +126,24 @@ struct AlignServerConfig
      * pending_cap/2, Normal at 3*pending_cap/4, High at pending_cap.
      */
     size_t pending_cap = 256;
+
+    /**
+     * Brownout: smoothed queue wait (µs) above which Low-priority
+     * requests are shed (0 disables the level).
+     */
+    std::chrono::microseconds brownout_low{0};
+
+    /** Smoothed queue wait above which Normal sheds too (0 disables). */
+    std::chrono::microseconds brownout_normal{0};
+
+    /** EWMA smoothing factor for queue-wait samples, in (0, 1]. */
+    double brownout_alpha = 0.2;
+
+    /**
+     * Watchdog force-closes a connection with outstanding work but no
+     * progress for watchdog_multiple x io_timeout (0 disables).
+     */
+    unsigned watchdog_multiple = 0;
 
     /** Input validation applied before a request reaches the router. */
     align::InputLimits limits{};
@@ -174,6 +211,8 @@ class AlignServer
         Ticket ticket; //!< router ticket (when !immediate && !bye)
         u64 id = 0;
         u32 max_edits = 0;
+        /** When the item was queued (feeds the queue-wait EWMA). */
+        std::chrono::steady_clock::time_point accepted{};
     };
 
     /** Shared reader/writer state for one live connection. */
@@ -182,6 +221,7 @@ class AlignServer
         int fd = -1;
         std::string client_id;
         Priority priority = Priority::Normal;
+        u8 features = 0; //!< negotiated feature bits (offer ∩ supported)
 
         std::mutex mu;
         std::condition_variable space_cv; //!< reader waits: queue full
@@ -191,6 +231,12 @@ class AlignServer
 
         /** A send failed: stop writing, keep draining tickets. */
         std::atomic<bool> dead{false};
+
+        // Watchdog state: items queued-or-in-flight, and the steady
+        // clock (µs) of the last observable reader/writer progress.
+        std::atomic<u64> inflight{0};
+        std::atomic<u64> last_progress_us{0};
+        std::atomic<bool> watchdog_killed{false};
     };
 
     void acceptLoop();
@@ -198,12 +244,21 @@ class AlignServer
     void handleConnection(int fd);
     void readerLoop(Conn &conn);
     void writerLoop(Conn &conn);
+    void watchdogLoop();
 
     /** Queue one item, blocking while the connection's queue is full. */
     void enqueue(Conn &conn, Outgoing item);
 
-    /** Handle one decoded AlignRequest (quota/shed/validate/route). */
-    void handleRequest(Conn &conn, AlignRequestFrame req);
+    /**
+     * Handle one decoded AlignRequest (quota/brownout/shed/validate/
+     * deadline/route). @p received is when the frame left the socket,
+     * anchoring the deadline-budget spend calculation.
+     */
+    void handleRequest(Conn &conn, AlignRequestFrame req,
+                       std::chrono::steady_clock::time_point received);
+
+    /** Brownout level from the queue-wait EWMA: 0 none, 1 Low, 2 +Normal. */
+    unsigned brownoutLevel() const;
 
     /** Send one encoded frame, with frame/byte accounting. */
     bool sendFrame(Conn &conn, const std::string &encoded);
@@ -234,9 +289,14 @@ class AlignServer
     std::deque<int> conn_queue_; //!< accepted fds awaiting a handler
 
     std::mutex conns_mu_;
-    std::set<int> open_conns_; //!< live fds, for stop()'s SHUT_RD sweep
+    /** Live connections: stop()'s SHUT_RD sweep + the watchdog scan. */
+    std::map<int, Conn *> open_conns_;
+
+    std::mutex watchdog_mu_;
+    std::condition_variable watchdog_cv_;
 
     std::thread acceptor_;
+    std::thread watchdog_;
     std::vector<std::thread> handlers_;
 };
 

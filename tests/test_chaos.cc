@@ -580,5 +580,324 @@ TEST_F(Chaos, AlignServerStormShedsButNeverWedges)
     aserver.stop();
 }
 
+TEST_F(Chaos, WatchdogForceClosesStuckConnections)
+{
+    // A connection whose writer is parked on a response future that
+    // never resolves (the lone dispatch lane is gated shut) makes no
+    // progress while holding inflight work. With watchdog_multiple set,
+    // the watchdog must force-close it instead of letting it squat on a
+    // connection slot forever — and the ledger must still balance once
+    // the gate opens and the writer drains onto the dead socket.
+    EngineConfig cfg;
+    cfg.workers = 1;
+    Engine engine(cfg);
+    serve::AlignServerConfig acfg;
+    acfg.port = 0;
+    acfg.io_timeout = std::chrono::milliseconds(100);
+    acfg.watchdog_multiple = 2; // stuck after 200ms without progress
+    serve::AlignServer server({&engine}, acfg);
+    ASSERT_TRUE(server.start().ok());
+
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    seq::Generator gen(83);
+    auto blocked = engine.submit(
+        gen.pair(40, 0.0),
+        align::PairAligner([open, &started](const seq::SequencePair &) {
+            started.set_value();
+            open.wait();
+            return align::AlignResult{};
+        }));
+    started.get_future().wait();
+
+    serve::ClientConfig ccfg;
+    ccfg.port = server.port();
+    ccfg.client_id = "stuck";
+    serve::AlignClient client(ccfg);
+    ASSERT_TRUE(client.connect().ok());
+    const seq::SequencePair pair = gen.pair(60, 0.05);
+    serve::AlignRequestFrame req;
+    req.id = 1;
+    req.want_cigar = false;
+    req.pattern = pair.pattern.str();
+    req.text = pair.text.str();
+    ASSERT_TRUE(client.sendRequest(req).ok());
+
+    bool killed = false;
+    for (int i = 0; i < 800 && !killed; ++i) {
+        killed = server.serveSnapshot().watchdog_kills >= 1;
+        if (!killed)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(killed) << "watchdog never fired on a stuck connection";
+    // The client side observes the force-close, not a hang.
+    serve::AlignResponseFrame resp;
+    EXPECT_FALSE(client.readResponse(resp).ok());
+
+    gate.set_value();
+    ASSERT_TRUE(mustGet(blocked).ok());
+    serve::ServeSnapshot snap;
+    for (int i = 0; i < 1000; ++i) {
+        snap = server.serveSnapshot();
+        if (snap.pending == 0 &&
+            snap.requests == snap.responses_ok + snap.responses_failed)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(snap.pending, 0u);
+    EXPECT_EQ(snap.requests, snap.responses_ok + snap.responses_failed);
+    EXPECT_GE(snap.watchdog_kills, 1u);
+
+    // The server itself is healthy: a fresh connection aligns fine.
+    serve::AlignClient after(ccfg);
+    ASSERT_TRUE(after.connect().ok());
+    const auto results = after.alignBatch({pair}, false);
+    ASSERT_TRUE(results[0].ok()) << results[0].status().toString();
+    server.stop();
+}
+
+TEST_F(Chaos, ClockSkewRefusesExpiredDeadlinesBeforeAnyKernel)
+{
+    // A +10 s skew on the server's observed pre-submit spend makes every
+    // budget look exhausted on arrival: the request must be refused with
+    // DeadlineExceeded at the door — deadline_refused counts it, and the
+    // engine's submitted counter proves no kernel ever ran.
+    EngineConfig cfg;
+    cfg.workers = 2;
+    Engine engine(cfg);
+    serve::AlignServerConfig acfg;
+    acfg.port = 0;
+    serve::AlignServer server({&engine}, acfg);
+    ASSERT_TRUE(server.start().ok());
+
+    faults::Plan plan;
+    plan.with(faults::Point::ClockSkew, 1.0);
+    plan.skew = std::chrono::microseconds(10000000);
+    faults::arm(plan);
+
+    serve::ClientConfig ccfg;
+    ccfg.port = server.port();
+    ccfg.client_id = "skewed";
+    serve::AlignClient client(ccfg);
+    ASSERT_TRUE(client.connect().ok());
+    seq::Generator gen(89);
+    const seq::SequencePair pair = gen.pair(80, 0.05);
+
+    serve::BatchOptions opts;
+    opts.want_cigar = false;
+    opts.deadline = std::chrono::seconds(1); // far less than the skew
+    const auto refused = client.alignBatch({pair}, opts);
+    ASSERT_FALSE(refused[0].ok());
+    EXPECT_EQ(refused[0].status().code(), StatusCode::DeadlineExceeded);
+
+    serve::ServeSnapshot snap = server.serveSnapshot();
+    EXPECT_EQ(snap.deadline_requests, 1u);
+    EXPECT_EQ(snap.deadline_refused, 1u);
+    EXPECT_EQ(engine.metrics().submitted, 0u)
+        << "an already-expired request reached a kernel";
+
+    // Skew gone, the identical request sails through the same server.
+    faults::disarm();
+    const auto ok = client.alignBatch({pair}, opts);
+    ASSERT_TRUE(ok[0].ok()) << ok[0].status().toString();
+    EXPECT_EQ(ok[0]->distance,
+              align::nwDistance(pair.pattern, pair.text));
+    server.stop();
+}
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define GMX_CHAOS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define GMX_CHAOS_SANITIZED 1
+#endif
+#endif
+
+TEST_F(Chaos, ResilienceStormBreakersOpenRecoverAndLedgersBalance)
+{
+    // Satellite acceptance: 100 seeded iterations of ShardWedge (a sick
+    // shard pins its worker per request), SlowClient (server write
+    // stalls), AcceptFail (refused dials), and RetryStorm (the client's
+    // own transport cut at frame boundaries). Per seed: every pair gets
+    // a typed outcome, the serve ledger closes, and after disarm the
+    // same server serves a fully-correct batch (breakers that opened
+    // must probe shut again). Across the storm: every fault point fired
+    // and at least one breaker actually opened.
+#ifdef GMX_CHAOS_SANITIZED
+    constexpr u64 kSeeds = 20; // sanitizer runs: same shape, less bulk
+#else
+    constexpr u64 kSeeds = 100;
+#endif
+    seq::Generator gen(149);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 6; ++i)
+        pairs.push_back(gen.pair(70, 0.06));
+
+    u64 total_opens = 0, total_shed = 0, storm_failures = 0;
+    u64 wedge_hits = 0, slow_hits = 0, accept_hits = 0, cut_hits = 0;
+    for (u64 seed = 1; seed <= kSeeds; ++seed) {
+        std::vector<std::unique_ptr<Engine>> engines;
+        for (int e = 0; e < 2; ++e) {
+            EngineConfig cfg;
+            cfg.workers = 1;
+            cfg.queue_capacity = 8;
+            cfg.backpressure = Backpressure::Reject;
+            engines.push_back(std::make_unique<Engine>(cfg));
+        }
+        serve::AlignServerConfig acfg;
+        acfg.port = 0;
+        acfg.handler_threads = 2;
+        acfg.io_timeout = std::chrono::milliseconds(1000);
+        acfg.pending_cap = 16;
+        acfg.quota.tokens_per_sec = 5000;
+        acfg.quota.burst = 64;
+        acfg.router.breaker_window = 8;
+        acfg.router.breaker_min_samples = 3;
+        acfg.router.breaker_open_ratio = 0.5;
+        acfg.router.breaker_cooldown = std::chrono::milliseconds(25);
+        acfg.router.breaker_slow = std::chrono::milliseconds(2);
+        serve::AlignServer server(
+            {engines[0].get(), engines[1].get()}, acfg);
+        ASSERT_TRUE(server.start().ok()) << "seed=" << seed;
+
+        faults::Plan plan;
+        plan.seed = seed;
+        plan.with(faults::Point::ShardWedge, 0.15)
+            .with(faults::Point::SlowClient, 0.15)
+            .with(faults::Point::AcceptFail, 0.20)
+            .with(faults::Point::RetryStorm, 0.05);
+        plan.wedge_duration = std::chrono::microseconds(6000);
+        plan.stall_duration = std::chrono::microseconds(500);
+        faults::arm(plan);
+
+        serve::ClientConfig ccfg;
+        ccfg.port = server.port();
+        ccfg.client_id = "storm-" + std::to_string(seed);
+        ccfg.io_timeout = std::chrono::milliseconds(2000);
+        serve::AlignClient client(ccfg);
+        Status dial;
+        for (int tries = 0; tries < 10; ++tries) {
+            dial = client.connect();
+            if (dial.ok())
+                break;
+        }
+        ASSERT_TRUE(dial.ok())
+            << "seed=" << seed << ": " << dial.toString();
+
+        serve::BatchOptions opts;
+        opts.want_cigar = false;
+        opts.retry.max_attempts = 4;
+        opts.retry.initial_backoff = std::chrono::milliseconds(1);
+        opts.retry.max_backoff = std::chrono::milliseconds(4);
+        opts.retry.seed = seed;
+        const auto results = client.alignBatch(pairs, opts);
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            if (results[i].ok()) {
+                EXPECT_EQ(results[i]->distance,
+                          align::nwDistance(pairs[i].pattern,
+                                            pairs[i].text))
+                    << "seed=" << seed << " pair=" << i;
+            } else {
+                ++storm_failures; // legitimate under the storm, but typed
+                const StatusCode c = results[i].status().code();
+                EXPECT_NE(c, StatusCode::InvalidInput)
+                    << "seed=" << seed << " pair=" << i
+                    << ": valid input rejected as malformed";
+            }
+        }
+
+        wedge_hits += faults::injectedCount(faults::Point::ShardWedge);
+        slow_hits += faults::injectedCount(faults::Point::SlowClient);
+        accept_hits += faults::injectedCount(faults::Point::AcceptFail);
+        cut_hits += faults::injectedCount(faults::Point::RetryStorm);
+        faults::disarm();
+
+        // Quiesce: the ledger closes even for connections the storm cut.
+        serve::ServeSnapshot snap;
+        bool balanced = false;
+        for (int i = 0; i < 1000 && !balanced; ++i) {
+            snap = server.serveSnapshot();
+            balanced =
+                snap.pending == 0 &&
+                snap.requests == snap.responses_ok + snap.responses_failed;
+            if (!balanced)
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        EXPECT_TRUE(balanced)
+            << "seed=" << seed << " requests=" << snap.requests
+            << " ok=" << snap.responses_ok
+            << " failed=" << snap.responses_failed
+            << " pending=" << snap.pending;
+        total_opens += snap.breaker_opens;
+        for (const u64 s : snap.brownout_shed)
+            total_shed += s;
+        total_shed += snap.shed_by_priority[0] + snap.shed_by_priority[1] +
+                      snap.shed_by_priority[2];
+
+        // Recovery: past the cooldown, a fresh disarmed client must get
+        // a perfect batch — any opened breaker probes closed again.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        serve::ClientConfig rcfg = ccfg;
+        rcfg.client_id = "recovery-" + std::to_string(seed);
+        serve::AlignClient recovery(rcfg);
+        ASSERT_TRUE(recovery.connect().ok()) << "seed=" << seed;
+        serve::BatchOptions ropts;
+        ropts.want_cigar = false;
+        ropts.retry.max_attempts = 6;
+        ropts.retry.initial_backoff = std::chrono::milliseconds(1);
+        const auto healed = recovery.alignBatch(pairs, ropts);
+        for (size_t i = 0; i < pairs.size(); ++i) {
+            ASSERT_TRUE(healed[i].ok())
+                << "seed=" << seed << " pair=" << i << ": "
+                << healed[i].status().toString();
+            EXPECT_EQ(healed[i]->distance,
+                      align::nwDistance(pairs[i].pattern, pairs[i].text))
+                << "seed=" << seed << " pair=" << i;
+        }
+
+        // Every 10th seed, scrape the spliced exposition and insist it
+        // parses whole.
+        if (seed % 10 == 0) {
+            ServerConfig mcfg;
+            mcfg.port = 0;
+            mcfg.handler_threads = 1;
+            mcfg.extra_metrics = [&server] {
+                return serve::renderServeOpenMetrics(
+                    server.serveSnapshot());
+            };
+            MetricsServer mserver(*engines[0], mcfg);
+            ASSERT_TRUE(mserver.start().ok()) << "seed=" << seed;
+            const auto r = gmx::test::httpGet(mserver.port(), "/metrics");
+            ASSERT_EQ(r.status, 200) << "seed=" << seed;
+            EXPECT_EQ(checkScrapeBody(r.body), "") << "seed=" << seed;
+            EXPECT_NE(r.body.find("gmx_serve_breaker_opens"),
+                      std::string::npos)
+                << "seed=" << seed;
+            mserver.stop();
+        }
+        server.stop();
+    }
+
+    // The storm must actually have exercised every new fault point, and
+    // the wedges must have tripped at least one breaker somewhere.
+    EXPECT_GT(wedge_hits, 0u);
+    EXPECT_GT(slow_hits, 0u);
+    EXPECT_GT(accept_hits, 0u);
+    EXPECT_GT(cut_hits, 0u);
+    EXPECT_GT(total_opens, 0u) << "no breaker ever opened in the storm";
+    std::printf("resilience storm: seeds=%llu opens=%llu shed=%llu "
+                "failures=%llu wedges=%llu slow=%llu accept=%llu "
+                "cuts=%llu\n",
+                static_cast<unsigned long long>(kSeeds),
+                static_cast<unsigned long long>(total_opens),
+                static_cast<unsigned long long>(total_shed),
+                static_cast<unsigned long long>(storm_failures),
+                static_cast<unsigned long long>(wedge_hits),
+                static_cast<unsigned long long>(slow_hits),
+                static_cast<unsigned long long>(accept_hits),
+                static_cast<unsigned long long>(cut_hits));
+}
+
 } // namespace
 } // namespace gmx::engine

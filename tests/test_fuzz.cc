@@ -189,11 +189,14 @@ randomFrame(seq::Generator &gen)
       case 0: {
         serve::HelloFrame f;
         f.priority = static_cast<serve::Priority>(gen.prng().below(3));
+        // Any bit pattern: unknown feature offers must survive decode.
+        f.features = static_cast<u8>(gen.prng().below(256));
         f.client_id = rand_string(serve::kMaxClientIdBytes);
         return serve::encodeHello(f);
       }
       case 1: {
         serve::HelloAckFrame f;
+        f.features = static_cast<u8>(gen.prng().below(256));
         f.max_frame_bytes = static_cast<u32>(
             serve::kHeaderBytes + gen.prng().below(1u << 24));
         return serve::encodeHelloAck(f);
@@ -203,6 +206,10 @@ randomFrame(seq::Generator &gen)
         f.id = gen.prng().next();
         f.max_edits = static_cast<u32>(gen.prng().below(1000));
         f.want_cigar = gen.prng().below(2) == 0;
+        // Half the frames carry a deadline extension (a nonzero budget);
+        // the other half are v1-shaped with no trailing bytes.
+        if (gen.prng().below(2) == 0)
+            f.deadline_us = 1 + gen.prng().next() % (u64{1} << 40);
         f.pattern = rand_string(300);
         f.text = rand_string(300);
         return serve::encodeAlignRequest(f);
@@ -210,7 +217,7 @@ randomFrame(seq::Generator &gen)
       case 3: {
         serve::AlignResponseFrame f;
         f.id = gen.prng().next();
-        f.code = static_cast<StatusCode>(gen.prng().below(8));
+        f.code = static_cast<StatusCode>(gen.prng().below(9));
         f.has_cigar = gen.prng().below(2) == 0;
         f.cache_hit = gen.prng().below(2) == 0;
         f.distance = gen.prng().below(2) == 0
@@ -222,7 +229,7 @@ randomFrame(seq::Generator &gen)
       }
       case 4: {
         serve::ErrorFrame f;
-        f.code = static_cast<StatusCode>(gen.prng().below(8));
+        f.code = static_cast<StatusCode>(gen.prng().below(9));
         f.message = rand_string(64);
         return serve::encodeError(f);
       }
@@ -246,6 +253,7 @@ TEST(Fuzz, ServeProtocolRandomFramesRoundTrip)
     in.id = 0xDEADBEEFCAFEF00Dull;
     in.max_edits = 0xFFFFFFFFu;
     in.want_cigar = false;
+    in.deadline_us = 0xFFFFFFFFFFFFFFFFull;
     in.pattern = std::string(1000, 'G');
     in.text = "A";
     const std::string wire = serve::encodeAlignRequest(in);
@@ -259,6 +267,7 @@ TEST(Fuzz, ServeProtocolRandomFramesRoundTrip)
                     .ok());
     EXPECT_EQ(out.id, in.id);
     EXPECT_EQ(out.max_edits, in.max_edits);
+    EXPECT_EQ(out.deadline_us, in.deadline_us);
     EXPECT_EQ(out.pattern, in.pattern);
     EXPECT_EQ(out.text, in.text);
 }

@@ -340,8 +340,9 @@ TEST(EngineObservability, CountersReconcileAndTiersAccountTheWork)
         // overhead and rounding make it slightly smaller, never larger),
         // and GCUPS is defined over the pure-kernel phase only.
         EXPECT_LE(t.setup_us + t.kernel_us, t.work_us * 1.01 + 1.0);
-        if (t.attempts > 0)
+        if (t.attempts > 0) {
             EXPECT_GT(t.kernel_us, 0.0);
+        }
         if (t.kernel_us > 0) {
             EXPECT_NEAR(t.gcups, t.cells / t.kernel_us / 1e3,
                         1e-9 + t.gcups * 1e-9);

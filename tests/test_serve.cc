@@ -86,7 +86,7 @@ struct Harness
 TEST(ServeProtocol, EveryFrameTypeRoundTrips)
 {
     {
-        HelloFrame in{Priority::High, "mapper-7"};
+        HelloFrame in{Priority::High, kSupportedFeatures, "mapper-7"};
         const std::string wire = encodeHello(in);
         FrameHeader h;
         ASSERT_TRUE(decodeHeader(wire.data(), wire.size(),
@@ -98,15 +98,17 @@ TEST(ServeProtocol, EveryFrameTypeRoundTrips)
                                 out)
                         .ok());
         EXPECT_EQ(out.priority, Priority::High);
+        EXPECT_EQ(out.features, kSupportedFeatures);
         EXPECT_EQ(out.client_id, "mapper-7");
     }
     {
-        HelloAckFrame in{kVersion, 65536};
+        HelloAckFrame in{kVersion, kFeatureDeadline, 65536};
         const std::string wire = encodeHelloAck(in);
         HelloAckFrame out;
         ASSERT_TRUE(decodeHelloAck(wire.data() + kHeaderBytes,
                                    wire.size() - kHeaderBytes, out)
                         .ok());
+        EXPECT_EQ(out.features, kFeatureDeadline);
         EXPECT_EQ(out.max_frame_bytes, 65536u);
     }
     {
@@ -590,7 +592,7 @@ TEST(ShardRouter, BalancesByOutstandingLoadAndSettlesOnComplete)
 
     for (auto &t : tickets) {
         ASSERT_TRUE(t.future.get().ok());
-        router.complete(t, true);
+        router.complete(t, StatusCode::Ok);
     }
     EXPECT_EQ(router.outstanding(), 0u);
     stats = router.shardStats();
@@ -720,7 +722,8 @@ TEST(AlignServer, ProtocolGarbageGetsTypedErrorNeverCrashes)
         int fd = net::connectTcp("127.0.0.1", h.server->port(),
                                  std::chrono::milliseconds(2000));
         ASSERT_GE(fd, 0);
-        const std::string hello = encodeHello({Priority::Normal, "rogue"});
+        const std::string hello =
+            encodeHello({Priority::Normal, 0, "rogue"});
         ASSERT_EQ(net::sendAll(fd, hello.data(), hello.size()),
                   net::IoResult::Ok);
         char hdr[kHeaderBytes];
@@ -848,6 +851,595 @@ TEST(AlignServer, SnapshotRendersJsonAndOpenMetrics)
               std::string::npos);
     EXPECT_EQ(om.find("# EOF"), std::string::npos);
     EXPECT_GT(snap.cacheHitRate(), 0.0);
+}
+
+// -------------------------------------------------------------------
+// Deadline propagation.
+// -------------------------------------------------------------------
+
+TEST(ServeProtocol, DeadlineExtensionRoundTripsAndStaysGated)
+{
+    AlignRequestFrame in;
+    in.id = 9;
+    in.want_cigar = false;
+    in.pattern = "ACGT";
+    in.text = "ACGA";
+
+    // No deadline: no flags set, no trailing bytes — a v1-shaped frame.
+    const std::string plain = encodeAlignRequest(in);
+    AlignRequestFrame out;
+    ASSERT_TRUE(decodeAlignRequest(plain.data() + kHeaderBytes,
+                                   plain.size() - kHeaderBytes, out)
+                    .ok());
+    EXPECT_EQ(out.deadline_us, 0u);
+
+    // With a deadline: exactly one trailing u64, faithfully recovered.
+    in.deadline_us = 1234567;
+    const std::string timed = encodeAlignRequest(in);
+    EXPECT_EQ(timed.size(), plain.size() + 8);
+    ASSERT_TRUE(decodeAlignRequest(timed.data() + kHeaderBytes,
+                                   timed.size() - kHeaderBytes, out)
+                    .ok());
+    EXPECT_EQ(out.deadline_us, 1234567u);
+
+    // Unknown flag bits are a hard reject, not a silent skip.
+    std::string tampered = plain;
+    tampered[kHeaderBytes + 13] = 2;
+    EXPECT_FALSE(decodeAlignRequest(tampered.data() + kHeaderBytes,
+                                    tampered.size() - kHeaderBytes, out)
+                     .ok());
+
+    // Deadline flag with the trailing budget missing: truncated, reject.
+    std::string cut = timed.substr(0, timed.size() - 8);
+    cut[8] = static_cast<char>(cut.size() - kHeaderBytes); // fix len
+    EXPECT_FALSE(decodeAlignRequest(cut.data() + kHeaderBytes,
+                                    cut.size() - kHeaderBytes, out)
+                     .ok());
+}
+
+TEST(AlignServer, DeadlineFeatureIsNegotiated)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("negotiator"));
+    ASSERT_TRUE(client.connect().ok());
+    EXPECT_EQ(client.serverFeatures() & kFeatureDeadline,
+              kFeatureDeadline);
+
+    // A v1-style peer that offers nothing gets nothing echoed, and its
+    // requests still work — the extension never rides uninvited.
+    int fd = net::connectTcp("127.0.0.1", h.server->port(),
+                             std::chrono::milliseconds(2000));
+    ASSERT_GE(fd, 0);
+    const std::string hello = encodeHello({Priority::Normal, 0, "v1"});
+    ASSERT_EQ(net::sendAll(fd, hello.data(), hello.size()),
+              net::IoResult::Ok);
+    char hdr[kHeaderBytes];
+    ASSERT_EQ(net::recvExact(fd, hdr, kHeaderBytes), net::IoResult::Ok);
+    FrameHeader fh;
+    ASSERT_TRUE(
+        decodeHeader(hdr, kHeaderBytes, kDefaultMaxFrameBytes, fh).ok());
+    ASSERT_EQ(fh.type, FrameType::HelloAck);
+    std::string payload(fh.payload_len, '\0');
+    ASSERT_EQ(net::recvExact(fd, payload.data(), payload.size()),
+              net::IoResult::Ok);
+    HelloAckFrame ack;
+    ASSERT_TRUE(decodeHelloAck(payload.data(), payload.size(), ack).ok());
+    EXPECT_EQ(ack.features, 0u);
+    ::close(fd);
+}
+
+TEST(AlignServer, DeadlineCancelsLongKernelMidFlight)
+{
+    // A pair big and noisy enough that the cascade escalates to the
+    // full-matrix tier, where an uninterrupted run takes far longer
+    // than the budget: the response must come back DeadlineExceeded via
+    // the engine's cooperative cancel gate, not hang until completion.
+    Harness h;
+    AlignClient client(h.clientConfig("impatient"));
+    ASSERT_TRUE(client.connect().ok());
+    ASSERT_NE(client.serverFeatures() & kFeatureDeadline, 0);
+
+    seq::Generator gen(271);
+    const seq::SequencePair huge = gen.pair(12000, 0.35);
+
+    BatchOptions opts;
+    opts.want_cigar = false;
+    opts.deadline = std::chrono::milliseconds(100);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = client.alignBatch({huge}, opts);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_FALSE(results[0].ok());
+    EXPECT_EQ(results[0].status().code(), StatusCode::DeadlineExceeded);
+    // The kernel was entered and then stopped early (not refused at the
+    // door, not run to completion).
+    EXPECT_EQ(h.engines[0]->metrics().submitted, 1u);
+    EXPECT_GE(h.engines[0]->metrics().deadline_missed, 1u);
+    EXPECT_LT(elapsed, std::chrono::seconds(30));
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.deadline_requests, 1u);
+    EXPECT_EQ(snap.deadline_refused, 0u);
+    EXPECT_GE(snap.deadline_budget_us, 100000u);
+}
+
+// -------------------------------------------------------------------
+// Client retries.
+// -------------------------------------------------------------------
+
+TEST(AlignClient, RetryCompletesPartialBatchAfterThrottle)
+{
+    // Quota burst 4 with a fast refill: the first attempt resolves 4
+    // pairs and leaves 4 throttled (Overloaded — retryable); backoff
+    // retries must finish the rest without resubmitting resolved slots.
+    AlignServerConfig scfg;
+    scfg.quota.tokens_per_sec = 200.0;
+    scfg.quota.burst = 4;
+    Harness h(scfg);
+
+    AlignClient client(h.clientConfig("retrier"));
+    ASSERT_TRUE(client.connect().ok());
+    seq::Generator gen(43);
+    std::vector<seq::SequencePair> pairs;
+    for (int i = 0; i < 8; ++i)
+        pairs.push_back(gen.pair(80, 0.05));
+
+    BatchOptions opts;
+    opts.want_cigar = false;
+    opts.retry.max_attempts = 20;
+    opts.retry.initial_backoff = std::chrono::milliseconds(20);
+    opts.retry.max_backoff = std::chrono::milliseconds(100);
+    const auto results = client.alignBatch(pairs, opts);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
+                  align::nwAlign(pairs[i].pattern, pairs[i].text).distance);
+    }
+    ASSERT_GE(client.attempts().size(), 2u);
+    EXPECT_EQ(client.attempts()[0].resolved, 4u);
+    EXPECT_EQ(client.attempts()[0].retryable, 4u);
+    size_t resolved_total = 0;
+    for (const AttemptLog &a : client.attempts())
+        resolved_total += a.resolved;
+    EXPECT_EQ(resolved_total, pairs.size());
+}
+
+TEST(AlignClient, InvalidInputIsNeverRetried)
+{
+    Harness h;
+    AlignClient client(h.clientConfig("strict"));
+    ASSERT_TRUE(client.connect().ok());
+
+    seq::Generator gen(47);
+    std::vector<seq::SequencePair> pairs;
+    pairs.push_back(gen.pair(60, 0.05));
+    pairs.push_back({seq::Sequence(""), seq::Sequence("ACGT")});
+
+    BatchOptions opts;
+    opts.want_cigar = false;
+    opts.retry.max_attempts = 5;
+    opts.retry.initial_backoff = std::chrono::milliseconds(1);
+    const auto results = client.alignBatch(pairs, opts);
+    ASSERT_TRUE(results[0].ok());
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].status().code(), StatusCode::InvalidInput);
+    // The malformed pair was final on the first attempt: no retries ran
+    // and the server saw each pair exactly once.
+    EXPECT_EQ(client.attempts().size(), 1u);
+    EXPECT_EQ(h.server->serveSnapshot().requests, pairs.size());
+}
+
+TEST(AlignClient, RetryIdempotencyUnderRandomConnectionCuts)
+{
+    // Fuzz-style: a seeded hook kills the connection at pseudo-random
+    // frame boundaries mid-batch. Every pair must still resolve exactly
+    // once with the correct distance, and the dedup cache must absorb
+    // resubmissions of work the server already did (no duplicate
+    // kernel submissions beyond the unique pair count).
+    Harness h;
+    seq::Generator gen(53);
+    constexpr size_t kPairs = 30;
+    std::vector<seq::SequencePair> pairs;
+    for (size_t i = 0; i < kPairs; ++i)
+        pairs.push_back(gen.pair(90, 0.08));
+
+    ClientConfig ccfg = h.clientConfig("cutter");
+    ccfg.window = 2;
+    // Drop after 4..11 requests on each connection, re-seeded per cut.
+    u64 rng = 0xfeedfacecafebeefull;
+    u64 next_cut = 4 + (rng % 8);
+    ccfg.chaos_drop = [&rng, &next_cut](u64 sent) {
+        if (sent < next_cut)
+            return false;
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        next_cut = 4 + (rng >> 33) % 8;
+        return true;
+    };
+    AlignClient client(ccfg);
+    ASSERT_TRUE(client.connect().ok());
+
+    BatchOptions opts;
+    opts.want_cigar = false;
+    opts.retry.max_attempts = 40;
+    opts.retry.initial_backoff = std::chrono::milliseconds(1);
+    opts.retry.max_backoff = std::chrono::milliseconds(4);
+    const auto results = client.alignBatch(pairs, opts);
+
+    size_t resolved_total = 0, cut_attempts = 0;
+    for (const AttemptLog &a : client.attempts()) {
+        resolved_total += a.resolved;
+        if (!a.failure.ok())
+            ++cut_attempts;
+    }
+    EXPECT_EQ(resolved_total, kPairs) << "a pair resolved != once";
+    EXPECT_GT(cut_attempts, 0u) << "the chaos hook never fired";
+    for (size_t i = 0; i < kPairs; ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().toString();
+        EXPECT_EQ(results[i]->distance,
+                  align::nwAlign(pairs[i].pattern, pairs[i].text).distance);
+    }
+    // Dedup holds the line on duplicate submissions across retries.
+    EXPECT_LE(h.engines[0]->metrics().submitted, kPairs);
+    // Every request the server accepted was answered (ledger balance),
+    // even the ones whose responses died with a cut connection.
+    ASSERT_TRUE(eventually([&] {
+        const ServeSnapshot s = h.server->serveSnapshot();
+        return s.requests > 0 &&
+               s.requests == s.responses_ok + s.responses_failed;
+    }));
+}
+
+// -------------------------------------------------------------------
+// Circuit breaker.
+// -------------------------------------------------------------------
+
+TEST(ShardRouter, BreakerOpensRoutesAroundProbesAndRecovers)
+{
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    engine::Engine e0(ecfg), e1(ecfg);
+    ServeMetrics metrics;
+    RouterConfig rcfg;
+    rcfg.cache_capacity = 0;
+    rcfg.breaker_window = 8;
+    rcfg.breaker_min_samples = 4;
+    rcfg.breaker_open_ratio = 0.5;
+    rcfg.breaker_cooldown = std::chrono::milliseconds(50);
+    ShardRouter router({&e0, &e1}, rcfg, &metrics);
+
+    seq::Generator gen(59);
+    // Fail every completion that landed on shard 0; shard 1 is healthy.
+    // (The breaker judges the codes the caller reports, so the test
+    // drives the window deterministically.)
+    size_t shard0_fails = 0;
+    for (int i = 0; i < 10 && router.breakerState(0) == BreakerState::Closed;
+         ++i) {
+        Ticket t = router.submit(gen.pair(60, 0.05), false, 0);
+        ASSERT_TRUE(t.future.get().ok());
+        if (t.shard == 0) {
+            router.complete(t, StatusCode::Internal);
+            ++shard0_fails;
+        } else {
+            router.complete(t, StatusCode::Ok);
+        }
+    }
+    ASSERT_EQ(router.breakerState(0), BreakerState::Open);
+    ASSERT_GE(shard0_fails, rcfg.breaker_min_samples);
+    EXPECT_GE(metrics.breaker_opens.load(std::memory_order_relaxed), 1u);
+
+    // Open: every submit routes to the healthy shard, none to shard 0.
+    for (int i = 0; i < 6; ++i) {
+        Ticket t = router.submit(gen.pair(60, 0.05), false, 0);
+        EXPECT_EQ(t.shard, 1u);
+        ASSERT_TRUE(t.future.get().ok());
+        router.complete(t, StatusCode::Ok);
+    }
+
+    // After the cooldown, exactly one probe is admitted back to shard 0
+    // while the breaker is half-open; its success closes the breaker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    Ticket probe = router.submit(gen.pair(60, 0.05), false, 0);
+    EXPECT_TRUE(probe.probe);
+    EXPECT_EQ(probe.shard, 0u);
+    EXPECT_EQ(router.breakerState(0), BreakerState::HalfOpen);
+    // While the probe is in flight, shard 0 admits nothing else.
+    Ticket bystander = router.submit(gen.pair(60, 0.05), false, 0);
+    EXPECT_EQ(bystander.shard, 1u);
+    ASSERT_TRUE(bystander.future.get().ok());
+    router.complete(bystander, StatusCode::Ok);
+
+    ASSERT_TRUE(probe.future.get().ok());
+    router.complete(probe, StatusCode::Ok);
+    EXPECT_EQ(router.breakerState(0), BreakerState::Closed);
+
+    const auto stats = router.shardStats();
+    EXPECT_EQ(stats[0].breaker_opens, 1u);
+    EXPECT_EQ(stats[0].breaker_probes, 1u);
+}
+
+TEST(ShardRouter, AllShardsOpenYieldsTypedUnavailable)
+{
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    engine::Engine e0(ecfg);
+    ServeMetrics metrics;
+    RouterConfig rcfg;
+    rcfg.cache_capacity = 0;
+    rcfg.breaker_window = 4;
+    rcfg.breaker_min_samples = 2;
+    rcfg.breaker_open_ratio = 0.5;
+    rcfg.breaker_cooldown = std::chrono::seconds(30); // stays open
+    ShardRouter router({&e0}, rcfg, &metrics);
+
+    seq::Generator gen(61);
+    for (int i = 0; i < 2; ++i) {
+        Ticket t = router.submit(gen.pair(60, 0.05), false, 0);
+        ASSERT_TRUE(t.future.get().ok());
+        router.complete(t, StatusCode::EngineStopped);
+    }
+    ASSERT_EQ(router.breakerState(0), BreakerState::Open);
+
+    Ticket refused = router.submit(gen.pair(60, 0.05), false, 0);
+    EXPECT_FALSE(refused.owner);
+    const auto outcome = refused.future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::Unavailable);
+    EXPECT_GE(metrics.breaker_rejected.load(std::memory_order_relaxed),
+              1u);
+    // complete() on a refused ticket is a harmless no-op.
+    router.complete(refused, StatusCode::Unavailable);
+    EXPECT_EQ(router.outstanding(), 0u);
+}
+
+TEST(ShardRouter, BreakerTripDrainsTheSickShardsCacheEntries)
+{
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    engine::Engine e0(ecfg), e1(ecfg);
+    ServeMetrics metrics;
+    RouterConfig rcfg;
+    rcfg.breaker_window = 4;
+    rcfg.breaker_min_samples = 2;
+    rcfg.breaker_open_ratio = 0.5;
+    rcfg.breaker_cooldown = std::chrono::seconds(30);
+    ShardRouter router({&e0, &e1}, rcfg, &metrics);
+
+    seq::Generator gen(67);
+    // Seed the cache with successful results on both shards.
+    std::vector<Ticket> seeded;
+    std::vector<seq::SequencePair> seeded_pairs;
+    for (int i = 0; i < 6; ++i) {
+        seeded_pairs.push_back(gen.pair(60, 0.05));
+        seeded.push_back(router.submit(seeded_pairs.back(), false, 0));
+    }
+    size_t on_shard0 = 0;
+    for (auto &t : seeded) {
+        ASSERT_TRUE(t.future.get().ok());
+        router.complete(t, StatusCode::Ok);
+        if (t.shard == 0)
+            ++on_shard0;
+    }
+    ASSERT_GT(on_shard0, 0u);
+    ASSERT_EQ(router.cacheEntries(), seeded.size());
+
+    // Trip shard 0: its cached entries must be ejected (a sick shard's
+    // results are suspect), the healthy shard's must survive.
+    for (int i = 0; i < 4 && router.breakerState(0) == BreakerState::Closed;
+         ++i) {
+        Ticket t = router.submit(gen.pair(70, 0.1), false, 0);
+        ASSERT_TRUE(t.future.get().ok());
+        router.complete(t, t.shard == 0 ? StatusCode::Internal
+                                        : StatusCode::Ok);
+    }
+    ASSERT_EQ(router.breakerState(0), BreakerState::Open);
+    EXPECT_GE(metrics.cache_drained.load(std::memory_order_relaxed),
+              on_shard0);
+    EXPECT_LT(router.cacheEntries(), seeded.size() + 4);
+    // A re-request of a drained pair is a miss, not a poisoned hit.
+    const u64 misses_before =
+        metrics.cache_misses.load(std::memory_order_relaxed);
+    Ticket again = router.submit(seeded_pairs[0], false, 0);
+    EXPECT_FALSE(again.cache_hit || again.coalesced ||
+                 metrics.cache_misses.load(std::memory_order_relaxed) ==
+                     misses_before);
+    ASSERT_TRUE(again.future.get().ok());
+    router.complete(again, StatusCode::Ok);
+}
+
+// -------------------------------------------------------------------
+// Brownout.
+// -------------------------------------------------------------------
+
+TEST(AlignServer, BrownoutShedsLowThenNormalOnQueueWait)
+{
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    AlignServerConfig scfg;
+    scfg.brownout_low = std::chrono::milliseconds(20);
+    scfg.brownout_normal = std::chrono::milliseconds(200);
+    scfg.brownout_alpha = 1.0; // EWMA == last sample: deterministic
+    Harness h(scfg, 1, ecfg);
+
+    seq::Generator gen(71);
+    auto slowRequest = [&](std::chrono::milliseconds hold) {
+        // Gate the lone worker, push one High request through it, and
+        // hold the gate long enough that its observed queue wait is at
+        // least `hold` — a deterministic lower bound on the EWMA.
+        std::promise<void> gate;
+        std::shared_future<void> open = gate.get_future().share();
+        std::promise<void> started;
+        auto blocked = h.engines[0]->submit(
+            gen.pair(40, 0.0),
+            align::PairAligner([open, &started](const seq::SequencePair &) {
+                started.set_value();
+                open.wait();
+                return align::AlignResult{};
+            }));
+        // The pool steals in no particular order: only once the blocker
+        // is RUNNING is the vip request guaranteed to wait behind it.
+        started.get_future().wait();
+        AlignClient vip(h.clientConfig("vip", Priority::High));
+        ASSERT_TRUE(vip.connect().ok());
+        std::thread opener([&] {
+            eventually([&] {
+                return h.server->metrics().pending.load(
+                           std::memory_order_relaxed) >= 1;
+            });
+            std::this_thread::sleep_for(hold);
+            gate.set_value();
+        });
+        auto res = vip.alignBatch({gen.pair(60, 0.05)}, false);
+        opener.join();
+        ASSERT_TRUE(res[0].ok()) << res[0].status().toString();
+        ASSERT_TRUE(blocked.get().ok());
+    };
+
+    // Level 0: everything admitted.
+    AlignClient low(h.clientConfig("low", Priority::Low));
+    ASSERT_TRUE(low.connect().ok());
+    ASSERT_TRUE(low.alignBatch({gen.pair(60, 0.05)}, false)[0].ok());
+
+    // One slow response past brownout_low: level 1, Low sheds, Normal
+    // still admitted.
+    slowRequest(std::chrono::milliseconds(40));
+    ASSERT_GE(h.server->metrics().queue_wait_ewma_us.load(
+                  std::memory_order_relaxed),
+              20000u);
+    auto low_res = low.alignBatch({gen.pair(60, 0.05)}, false);
+    ASSERT_FALSE(low_res[0].ok());
+    EXPECT_EQ(low_res[0].status().code(), StatusCode::Overloaded);
+    AlignClient normal(h.clientConfig("norm", Priority::Normal));
+    ASSERT_TRUE(normal.connect().ok());
+    ASSERT_TRUE(normal.alignBatch({gen.pair(60, 0.05)}, false)[0].ok());
+
+    // Past brownout_normal: level 2, Normal sheds too, High still in.
+    slowRequest(std::chrono::milliseconds(250));
+    auto normal_res = normal.alignBatch({gen.pair(60, 0.05)}, false);
+    ASSERT_FALSE(normal_res[0].ok());
+    EXPECT_EQ(normal_res[0].status().code(), StatusCode::Overloaded);
+    AlignClient vip2(h.clientConfig("vip2", Priority::High));
+    ASSERT_TRUE(vip2.connect().ok());
+    ASSERT_TRUE(vip2.alignBatch({gen.pair(60, 0.05)}, false)[0].ok());
+
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_EQ(snap.brownout_shed[static_cast<unsigned>(Priority::Low)],
+              1u);
+    EXPECT_EQ(snap.brownout_shed[static_cast<unsigned>(Priority::Normal)],
+              1u);
+    EXPECT_EQ(snap.brownout_shed[static_cast<unsigned>(Priority::High)],
+              0u);
+    EXPECT_GE(snap.brownout_level, 2u);
+}
+
+// -------------------------------------------------------------------
+// End-to-end: a wedged shard cannot take the service down.
+// -------------------------------------------------------------------
+
+TEST(AlignServer, WedgedShardBreakerOpensAndBatchSurvives)
+{
+    // Shard 0 is force-wedged: its lone worker and its whole (tiny)
+    // queue are pinned by gated jobs, and Reject backpressure makes
+    // every routed request fail fast with Overloaded. The breaker must
+    // open within its rolling window, traffic must fail over to the
+    // healthy shard, and a 1k-request batch must complete with >= 99%
+    // success and zero hangs.
+    engine::EngineConfig ecfg;
+    ecfg.workers = 1;
+    ecfg.queue_capacity = 2;
+    ecfg.backpressure = engine::Backpressure::Reject;
+    AlignServerConfig scfg;
+    scfg.pending_cap = 0; // isolate the breaker from watermark shed
+    scfg.router.cache_capacity = 0;
+    scfg.router.breaker_window = 8;
+    scfg.router.breaker_min_samples = 2;
+    scfg.router.breaker_open_ratio = 0.5;
+    scfg.router.breaker_cooldown = std::chrono::seconds(60); // stays open
+    Harness h(scfg, 2, ecfg);
+
+    // Wedge shard 0. The dispatcher runs up to 2 pool tasks per worker
+    // before throttling, so the wedge is: gated job A running (wait for
+    // its started signal), gated job B dispatched behind it (wait for
+    // the queue to drain), then gated jobs C and D parked in the queue,
+    // filling it. Only then does every routed request bounce — anything
+    // sloppier leaves a queue slot that swallows a client request into
+    // a forever-blocked future.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::promise<void> started;
+    seq::Generator gen(73);
+    std::vector<std::future<engine::Engine::AlignOutcome>> wedged;
+    wedged.push_back(h.engines[0]->submit(
+        gen.pair(40, 0.0),
+        align::PairAligner([open, &started](const seq::SequencePair &) {
+            started.set_value();
+            open.wait();
+            return align::AlignResult{};
+        })));
+    started.get_future().wait();
+    for (int i = 0; i < 3; ++i) {
+        wedged.push_back(h.engines[0]->submit(
+            gen.pair(40, 0.0),
+            align::PairAligner([open](const seq::SequencePair &) {
+                open.wait();
+                return align::AlignResult{};
+            })));
+        if (i == 0)
+            ASSERT_TRUE(eventually([&] {
+                return h.engines[0]->metrics().queue_depth == 0;
+            }));
+    }
+    ASSERT_EQ(h.engines[0]->metrics().queue_depth, 2u);
+
+    constexpr size_t kBatch = 1000;
+    std::vector<seq::SequencePair> pairs;
+    pairs.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i)
+        pairs.push_back(gen.pair(60, 0.05));
+
+    // Window 2: the lone healthy worker (queue cap 2) can always absorb
+    // the in-flight load, so only the wedged shard ever rejects.
+    ClientConfig ccfg = h.clientConfig("survivor");
+    ccfg.window = 2;
+    AlignClient client(ccfg);
+    ASSERT_TRUE(client.connect().ok());
+    BatchOptions opts;
+    opts.want_cigar = false;
+    opts.retry.max_attempts = 4;
+    opts.retry.initial_backoff = std::chrono::milliseconds(1);
+    opts.retry.max_backoff = std::chrono::milliseconds(8);
+    const auto results = client.alignBatch(pairs, opts);
+
+    size_t ok = 0;
+    for (size_t i = 0; i < kBatch; ++i)
+        if (results[i].ok() && results[i]->found())
+            ++ok;
+    EXPECT_GE(ok, (kBatch * 99) / 100)
+        << "too many client-visible failures";
+
+    // Ledger balances once the last in-flight responses are written.
+    const bool balanced = eventually([&] {
+        const ServeSnapshot s = h.server->serveSnapshot();
+        return s.requests == s.responses_ok + s.responses_failed;
+    });
+    {
+        const ServeSnapshot s = h.server->serveSnapshot();
+        ASSERT_TRUE(balanced)
+            << "requests=" << s.requests << " ok=" << s.responses_ok
+            << " failed=" << s.responses_failed << " pending=" << s.pending
+            << " throttled=" << s.quota_throttled;
+    }
+    const ServeSnapshot snap = h.server->serveSnapshot();
+    EXPECT_GE(snap.breaker_opens, 1u);
+    ASSERT_EQ(snap.shards.size(), 2u);
+    EXPECT_EQ(snap.shards[0].breaker_state,
+              static_cast<u8>(BreakerState::Open));
+    // The healthy shard carried (nearly) everything.
+    EXPECT_GE(snap.shards[1].routed, (kBatch * 95) / 100);
+
+    gate.set_value();
+    for (auto &w : wedged)
+        (void)w.get();
 }
 
 } // namespace
