@@ -43,6 +43,19 @@ fmtThroughput(double alignments_per_second)
     return buf;
 }
 
+/**
+ * Kernel-phase GCUPS from a cell count and kernel-phase microseconds.
+ * Returns 0 when the timer read 0 us (sub-microsecond runs on tiny
+ * inputs) instead of inf/nan — every bench GCUPS division goes through
+ * here so zero-duration timers can't poison a table.
+ */
+inline double
+kernelGcups(u64 cells, double kernel_us)
+{
+    return kernel_us > 0.0 ? static_cast<double>(cells) / kernel_us / 1e3
+                           : 0.0;
+}
+
 /** The five short-sequence evaluation sets (small pair counts for speed). */
 inline std::vector<seq::Dataset>
 benchShortDatasets(size_t pairs = 3)

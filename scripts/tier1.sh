@@ -97,17 +97,33 @@ trap - EXIT
 rm -f "$serve_log"
 echo "scrape smoke OK (port $port)"
 
+echo "== SIMD pass (AVX2 kernels: dispatch, bit-identity, forced scalar) =="
+# The -mavx2 leg of the registry: twin bit-identity (bpm-avx2 et al. vs
+# their scalar twins), the runtime dispatcher, the inter-pair batcher,
+# and the estimator contract for the SIMD descriptors — then the same
+# registry/dispatch tests re-run under GMX_FORCE_SCALAR=1 so the env
+# override path (not just the in-process test seam) stays honest. On
+# hosts without AVX2 the SIMD variants skip and the scalar leg still
+# runs.
+ctest --test-dir build --output-on-failure -j"$(nproc)" \
+    -R 'Registry|ScratchArena|Dispatch|Bpm'
+GMX_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j"$(nproc)" \
+    -R 'Registry|Dispatch'
+
 echo "== UBSan pass (kernel registry + arena + engine tests) =="
 # The KernelContext refactor routes every kernel's scratch through the
 # bump arena; UndefinedBehaviorSanitizer (no-recover) guards the pointer
-# arithmetic, alignment casts, and 64-bit shift tricks on those paths.
+# arithmetic, alignment casts, and 64-bit shift tricks on those paths —
+# including the AVX2 TU's lane extracts and emulated 256-bit carries
+# (test_dispatch drives the dispatched and forced-scalar cascades).
 cmake -B build-ubsan -S . -DGMX_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target \
-    test_registry test_arena test_nw test_bpm test_bpm_banded test_bitap \
+    test_registry test_arena test_dispatch test_nw test_bpm \
+    test_bpm_banded test_bitap \
     test_hirschberg test_gmx_full test_gmx_banded test_gmx_windowed \
     test_engine
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
-    -R 'Registry|ScratchArena|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|Engine|Cascade|Pool|Batch'
+    -R 'Registry|ScratchArena|Dispatch|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|Engine|Cascade|Pool|Batch'
 
 sanitize="${GMX_SANITIZE:-}"
 

@@ -1,6 +1,7 @@
 #include "align/bpm.hh"
 
 #include <algorithm>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -9,68 +10,30 @@
 
 namespace gmx::align {
 
-namespace {
-
-/** Per-block Myers state: vertical delta words. */
-struct Block
+std::span<const u64>
+acquirePeq(const seq::Sequence &pattern, size_t stride, KernelContext &ctx)
 {
-    u64 pv = ~u64{0}; // +1 vertical deltas (column 0: all +1)
-    u64 mv = 0;       // -1 vertical deltas
-};
-
-/**
- * Build the per-symbol pattern-match masks into arena scratch: one flat
- * kDnaSymbols x num_blocks word table (symbol-major).
- */
-std::span<u64>
-buildPeq(const seq::Sequence &pattern, size_t num_blocks, ScratchArena &arena)
-{
-    std::span<u64> peq = arena.rows<u64>(seq::kDnaSymbols * num_blocks);
+    GMX_ASSERT(stride * 64 >= pattern.size(),
+               "peq stride too small for pattern");
+    PeqMemo *memo = ctx.peqMemo();
+    const void *key = static_cast<const void *>(pattern.codes().data());
+    if (memo && memo->key == key && memo->n == pattern.size() &&
+        memo->stride == stride) {
+        ++memo->hits;
+        return memo->table;
+    }
+    std::span<u64> peq = ctx.arena().rows<u64>(seq::kDnaSymbols * stride);
     for (size_t i = 0; i < pattern.size(); ++i)
-        peq[pattern.code(i) * num_blocks + (i >> 6)] |= u64{1} << (i & 63);
+        peq[pattern.code(i) * stride + (i >> 6)] |= u64{1} << (i & 63);
+    if (memo) {
+        memo->key = key;
+        memo->n = pattern.size();
+        memo->stride = stride;
+        memo->table = peq;
+        ++memo->builds;
+    }
     return peq;
 }
-
-/**
- * One Myers/Hyyrö block step. @p hin is the horizontal delta entering the
- * block top (-1, 0, +1); returns the horizontal delta leaving the bottom.
- * This is the classic 17-operation kernel the paper references.
- */
-int
-blockStep(Block &b, u64 eq, int hin)
-{
-    const u64 pv = b.pv;
-    const u64 mv = b.mv;
-    if (hin < 0)
-        eq |= 1;
-    const u64 xv = eq | mv;
-    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
-
-    u64 ph = mv | ~(xh | pv);
-    u64 mh = pv & xh;
-
-    int hout = 0;
-    if (ph & (u64{1} << 63))
-        hout = 1;
-    else if (mh & (u64{1} << 63))
-        hout = -1;
-
-    ph <<= 1;
-    mh <<= 1;
-    if (hin < 0)
-        mh |= 1;
-    else if (hin > 0)
-        ph |= 1;
-
-    b.pv = mh | ~(xv | ph);
-    b.mv = ph & xv;
-    return hout;
-}
-
-/** ALU cost of one block step (paper: 17 bit-ops per 64 DP-elements). */
-constexpr u64 kBlockAlu = 17;
-
-} // namespace
 
 i64
 bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
@@ -84,12 +47,19 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
         return static_cast<i64>(n);
 
     ctx.beginSetup();
-    ScratchArena::Frame frame(ctx.arena());
+    // With a memo the peq table is acquired BEFORE the frame opens so it
+    // survives the rewind and the next retry on the same pattern reuses
+    // it; without one it lives inside the frame like any other scratch.
+    std::optional<ScratchArena::Frame> frame;
+    if (!ctx.peqMemo())
+        frame.emplace(ctx.arena());
     const size_t num_blocks = (n + 63) / 64;
-    const std::span<u64> peq = buildPeq(pattern, num_blocks, ctx.arena());
-    std::span<Block> blocks = ctx.arena().rows<Block>(num_blocks);
-    for (Block &b : blocks)
-        b = Block{};
+    const std::span<const u64> peq = acquirePeq(pattern, num_blocks, ctx);
+    if (!frame)
+        frame.emplace(ctx.arena());
+    std::span<BpmBlock> blocks = ctx.arena().rows<BpmBlock>(num_blocks);
+    for (BpmBlock &b : blocks)
+        b = BpmBlock{};
 
     // Score tracked at the bottom cell of the last block. The last block's
     // top bits beyond the pattern are harmless: their eq masks are zero, so
@@ -105,7 +75,7 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
         const u64 *pe = &peq[size_t{c} * num_blocks];
         int hin = 1; // Delta h entering row 0 is +1 (top row D[0][j] = j)
         for (size_t b = 0; b < num_blocks; ++b) {
-            const int hout = blockStep(blocks[b], pe[b], hin);
+            const int hout = bpmBlockStep(blocks[b], pe[b], hin);
             // When the pattern fills the last block exactly, hout at the
             // last block is the horizontal delta of the true last row, so
             // the score can be tracked incrementally. Otherwise the final
@@ -116,7 +86,7 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text,
             hin = hout;
         }
         if (counts) {
-            counts->alu += kBlockAlu * num_blocks + 4;
+            counts->alu += kBpmBlockAlu * num_blocks + 4;
             counts->loads += num_blocks * 3; // peq, pv, mv
             counts->stores += num_blocks * 2;
         }
@@ -152,57 +122,21 @@ bpmDistance(const seq::Sequence &pattern, const seq::Sequence &text)
 }
 
 AlignResult
-bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-         KernelContext &ctx)
+bpmTracebackFromHistory(const seq::Sequence &pattern,
+                        const seq::Sequence &text,
+                        std::span<const u64> hist_pv,
+                        std::span<const u64> hist_mv, size_t stride,
+                        KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
     AlignResult res;
 
-    if (n == 0 || m == 0) {
-        res.distance = static_cast<i64>(n + m);
-        res.cigar.push(Op::Deletion, m);
-        res.cigar.push(Op::Insertion, n);
-        res.has_cigar = true;
-        return res;
-    }
-
-    ctx.beginSetup();
-    ScratchArena::Frame frame(ctx.arena());
-    const size_t num_blocks = (n + 63) / 64;
-    const std::span<u64> peq = buildPeq(pattern, num_blocks, ctx.arena());
-    std::span<Block> blocks = ctx.arena().rows<Block>(num_blocks);
-    for (Block &b : blocks)
-        b = Block{};
-
-    // Column history: Pv/Mv words for every column 1..m.
-    // This is the paper's 4*n*m-bit Full(BPM) footprint.
-    std::span<u64> hist_pv = ctx.arena().rowsUninit<u64>(num_blocks * m);
-    std::span<u64> hist_mv = ctx.arena().rowsUninit<u64>(num_blocks * m);
-
-    KernelCounts *counts = ctx.countsSink();
-    ctx.beginKernel();
-    for (size_t j = 0; j < m; ++j) {
-        ctx.poll();
-        const u8 c = text.code(j);
-        const u64 *pe = &peq[size_t{c} * num_blocks];
-        int hin = 1;
-        for (size_t b = 0; b < num_blocks; ++b) {
-            hin = blockStep(blocks[b], pe[b], hin);
-            hist_pv[j * num_blocks + b] = blocks[b].pv;
-            hist_mv[j * num_blocks + b] = blocks[b].mv;
-        }
-        if (counts) {
-            counts->alu += kBlockAlu * num_blocks + 4;
-            counts->loads += num_blocks * 3;
-            counts->stores += num_blocks * 4; // state + history
-        }
-    }
-    if (counts)
-        counts->cells += static_cast<u64>(n) * m;
-
     // Column value reconstruction: D[0..n][j] by prefix sum of stored
-    // vertical deltas (column j is 1-based here; column 0 is 0..n).
+    // vertical deltas (column j is 1-based here; column 0 is 0..n). Only
+    // the first ceil(n/64) words of each column are consulted, so any
+    // producer whose low words match the scalar kernel's — including the
+    // granule-padded SIMD layouts — yields the identical traceback.
     auto column_values = [&](size_t j, std::span<i64> out) {
         out[0] = static_cast<i64>(j);
         if (j == 0) {
@@ -210,8 +144,8 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
                 out[i] = static_cast<i64>(i);
             return;
         }
-        const u64 *pv = &hist_pv[(j - 1) * num_blocks];
-        const u64 *mv = &hist_mv[(j - 1) * num_blocks];
+        const u64 *pv = &hist_pv[(j - 1) * stride];
+        const u64 *mv = &hist_mv[(j - 1) * stride];
         for (size_t i = 1; i <= n; ++i) {
             const size_t bit = (i - 1) & 63;
             const size_t b = (i - 1) >> 6;
@@ -279,6 +213,65 @@ bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    return res;
+}
+
+AlignResult
+bpmAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+         KernelContext &ctx)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    AlignResult res;
+
+    if (n == 0 || m == 0) {
+        res.distance = static_cast<i64>(n + m);
+        res.cigar.push(Op::Deletion, m);
+        res.cigar.push(Op::Insertion, n);
+        res.has_cigar = true;
+        return res;
+    }
+
+    ctx.beginSetup();
+    std::optional<ScratchArena::Frame> frame;
+    if (!ctx.peqMemo())
+        frame.emplace(ctx.arena());
+    const size_t num_blocks = (n + 63) / 64;
+    const std::span<const u64> peq = acquirePeq(pattern, num_blocks, ctx);
+    if (!frame)
+        frame.emplace(ctx.arena());
+    std::span<BpmBlock> blocks = ctx.arena().rows<BpmBlock>(num_blocks);
+    for (BpmBlock &b : blocks)
+        b = BpmBlock{};
+
+    // Column history: Pv/Mv words for every column 1..m.
+    // This is the paper's 4*n*m-bit Full(BPM) footprint.
+    std::span<u64> hist_pv = ctx.arena().rowsUninit<u64>(num_blocks * m);
+    std::span<u64> hist_mv = ctx.arena().rowsUninit<u64>(num_blocks * m);
+
+    KernelCounts *counts = ctx.countsSink();
+    ctx.beginKernel();
+    for (size_t j = 0; j < m; ++j) {
+        ctx.poll();
+        const u8 c = text.code(j);
+        const u64 *pe = &peq[size_t{c} * num_blocks];
+        int hin = 1;
+        for (size_t b = 0; b < num_blocks; ++b) {
+            hin = bpmBlockStep(blocks[b], pe[b], hin);
+            hist_pv[j * num_blocks + b] = blocks[b].pv;
+            hist_mv[j * num_blocks + b] = blocks[b].mv;
+        }
+        if (counts) {
+            counts->alu += kBpmBlockAlu * num_blocks + 4;
+            counts->loads += num_blocks * 3;
+            counts->stores += num_blocks * 4; // state + history
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(n) * m;
+
+    res = bpmTracebackFromHistory(pattern, text, hist_pv, hist_mv,
+                                  num_blocks, ctx);
     ctx.donePhases();
     return res;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <span>
 
 #include "common/logging.hh"
@@ -14,192 +15,29 @@ namespace {
 
 constexpr i64 kInvalid = std::numeric_limits<i64>::max() / 4;
 
-struct Block
-{
-    u64 pv = ~u64{0};
-    u64 mv = 0;
-};
-
-/** Identical kernel to bpm.cc's blockStep (17-op Myers/Hyyrö block). */
-int
-blockStep(Block &b, u64 eq, int hin)
-{
-    const u64 pv = b.pv;
-    const u64 mv = b.mv;
-    if (hin < 0)
-        eq |= 1;
-    const u64 xv = eq | mv;
-    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
-
-    u64 ph = mv | ~(xh | pv);
-    u64 mh = pv & xh;
-
-    int hout = 0;
-    if (ph & (u64{1} << 63))
-        hout = 1;
-    else if (mh & (u64{1} << 63))
-        hout = -1;
-
-    ph <<= 1;
-    mh <<= 1;
-    if (hin < 0)
-        mh |= 1;
-    else if (hin > 0)
-        ph |= 1;
-
-    b.pv = mh | ~(xv | ph);
-    b.mv = ph & xv;
-    return hout;
-}
-
-constexpr u64 kBlockAlu = 17;
-
-/** Per-column band snapshot kept for the traceback. */
-struct ColumnRecord
-{
-    size_t bf;  //!< first band block index
-    i64 vtop;   //!< D[bf*64][j] after processing the column
-};
-
 } // namespace
 
 AlignResult
-bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
-               i64 k, bool want_cigar, KernelContext &ctx)
+bpmBandedTracebackFromHistory(const seq::Sequence &pattern,
+                              const seq::Sequence &text, size_t W,
+                              std::span<const u64> hist_pv,
+                              std::span<const u64> hist_mv,
+                              std::span<const BpmBandColumn> hist_col,
+                              i64 distance, KernelContext &ctx)
 {
     const size_t n = pattern.size();
     const size_t m = text.size();
     AlignResult res;
-
-    if (k < 0)
-        GMX_FATAL("bpmBandedAlign: negative error bound %lld",
-                  static_cast<long long>(k));
-    if (static_cast<i64>(n > m ? n - m : m - n) > k)
-        return res; // |n - m| alone exceeds the bound
-
-    if (n == 0 || m == 0) {
-        res.distance = static_cast<i64>(n + m);
-        if (want_cigar) {
-            res.cigar.push(Op::Deletion, m);
-            res.cigar.push(Op::Insertion, n);
-            res.has_cigar = true;
-        }
-        return res;
-    }
-
-    ctx.beginSetup();
-    ScratchArena::Frame frame(ctx.arena());
-    const size_t num_blocks = (n + 63) / 64;
-    // Band width in blocks: enough rows for k errors on both sides of the
-    // diagonal plus two blocks of slack for block-granularity effects.
-    const size_t want_rows = static_cast<size_t>(2 * k) +
-                             (n > m ? n - m : m - n) + 1;
-    const size_t W = std::min(num_blocks, (want_rows + 63) / 64 + 2);
-
-    // Per-symbol match masks for every block (precomputed, like Edlib).
-    std::span<u64> peq =
-        ctx.arena().rows<u64>(seq::kDnaSymbols * num_blocks);
-    for (size_t i = 0; i < n; ++i)
-        peq[pattern.code(i) * num_blocks + (i >> 6)] |= u64{1} << (i & 63);
-
-    std::span<Block> band = ctx.arena().rowsUninit<Block>(W);
-    for (Block &b : band)
-        b = Block{};
-    size_t bf = 0;       // first band block
-    i64 vtop = 0;        // D[bf*64][j] (row above the band's first row)
-
-    // History for traceback.
-    std::span<u64> hist_pv, hist_mv;
-    std::span<ColumnRecord> hist_col;
-    if (want_cigar) {
-        hist_pv = ctx.arena().rowsUninit<u64>(W * m);
-        hist_mv = ctx.arena().rowsUninit<u64>(W * m);
-        hist_col = ctx.arena().rowsUninit<ColumnRecord>(m);
-    }
-
-    const size_t bf_max = num_blocks - W;
-    KernelCounts *counts = ctx.countsSink();
-
-    ctx.beginKernel();
-    for (size_t j = 1; j <= m; ++j) {
-        ctx.poll();
-        // Band placement: any path with <= k edits satisfies |i - j| <= k,
-        // so anchoring the band top at row j - k - 1 (block-rounded down)
-        // keeps the whole reachable corridor inside the band; W includes
-        // two blocks of slack to absorb the rounding. bf is monotone in j.
-        i64 target = (static_cast<i64>(j) - k - 1) / 64;
-        target = std::clamp<i64>(target, 0, static_cast<i64>(bf_max));
-        // The last column must see the last block so row n is in band.
-        if (j == m)
-            target = static_cast<i64>(bf_max);
-        while (bf < static_cast<size_t>(target)) {
-            // Drop the top block: fold its vertical deltas into vtop.
-            vtop += static_cast<i64>(__builtin_popcountll(band[0].pv)) -
-                    static_cast<i64>(__builtin_popcountll(band[0].mv));
-            for (size_t w = 0; w + 1 < W; ++w)
-                band[w] = band[w + 1];
-            // New bottom block enters on the Ukkonen envelope (+1 deltas).
-            band[W - 1] = Block();
-            ++bf;
-            if (counts)
-                counts->alu += 8;
-        }
-
-        const u8 c = text.code(j - 1);
-        const u64 *pe = &peq[size_t{c} * num_blocks];
-        int hin = 1; // Ukkonen envelope above the band (exact at row 0)
-        for (size_t w = 0; w < W; ++w)
-            hin = blockStep(band[w], pe[bf + w], hin);
-        vtop += 1; // the envelope row advances one column: its value is +1
-
-        if (want_cigar) {
-            for (size_t w = 0; w < W; ++w) {
-                hist_pv[(j - 1) * W + w] = band[w].pv;
-                hist_mv[(j - 1) * W + w] = band[w].mv;
-            }
-            hist_col[j - 1] = {bf, vtop};
-        }
-        if (counts) {
-            // Band maintenance: placement target, vtop bookkeeping, and
-            // the per-column loop control around the block kernel.
-            counts->alu += kBlockAlu * W + 14;
-            counts->loads += W * 3;
-            counts->stores += W * (want_cigar ? 4u : 2u);
-        }
-    }
-    if (counts)
-        counts->cells += static_cast<u64>(W) * 64 * m;
-
-    // Value at (n, m): vtop + prefix sum of in-band vertical deltas.
-    i64 value = vtop;
-    for (size_t i = bf * 64; i < n; ++i) {
-        const size_t w = (i >> 6) - bf;
-        const u64 bit = u64{1} << (i & 63);
-        if (band[w].pv & bit)
-            ++value;
-        else if (band[w].mv & bit)
-            --value;
-    }
-    if (value > k) {
-        ctx.donePhases();
-        return res; // outside the guaranteed-exact region
-    }
-
-    res.distance = value;
-    if (!want_cigar) {
-        ctx.donePhases();
-        return res;
-    }
+    res.distance = distance;
     res.has_cigar = true;
 
-    // ---- Traceback over the stored band history ----
     // Reconstruct the valid rows of a column: rows [bf*64, min(n, bf*64 +
     // W*64)] with values from vtop + delta prefix sums.
     struct Col
     {
-        size_t row_lo = 0;          // first row with a valid value
-        size_t row_hi = 0;          // last row with a valid value
-        std::span<i64> values;      // indexed by absolute row
+        size_t row_lo = 0;     // first row with a valid value
+        size_t row_hi = 0;     // last row with a valid value
+        std::span<i64> values; // indexed by absolute row
     };
     auto reconstruct = [&](size_t j, Col &col) {
         std::fill(col.values.begin(), col.values.end(), kInvalid);
@@ -210,7 +48,7 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
                 col.values[i] = static_cast<i64>(i);
             return;
         }
-        const ColumnRecord &rec = hist_col[j - 1];
+        const BpmBandColumn &rec = hist_col[j - 1];
         col.row_lo = rec.bf * 64;
         col.row_hi = std::min(n, rec.bf * 64 + W * 64);
         col.values[col.row_lo] = rec.vtop;
@@ -291,6 +129,141 @@ bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     }
     std::reverse(ops.begin(), ops.end());
     res.cigar = Cigar(std::move(ops));
+    return res;
+}
+
+AlignResult
+bpmBandedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
+               i64 k, bool want_cigar, KernelContext &ctx)
+{
+    const size_t n = pattern.size();
+    const size_t m = text.size();
+    AlignResult res;
+
+    if (k < 0)
+        GMX_FATAL("bpmBandedAlign: negative error bound %lld",
+                  static_cast<long long>(k));
+    if (static_cast<i64>(n > m ? n - m : m - n) > k)
+        return res; // |n - m| alone exceeds the bound
+
+    if (n == 0 || m == 0) {
+        res.distance = static_cast<i64>(n + m);
+        if (want_cigar) {
+            res.cigar.push(Op::Deletion, m);
+            res.cigar.push(Op::Insertion, n);
+            res.has_cigar = true;
+        }
+        return res;
+    }
+
+    ctx.beginSetup();
+    std::optional<ScratchArena::Frame> frame;
+    if (!ctx.peqMemo())
+        frame.emplace(ctx.arena());
+    const size_t num_blocks = (n + 63) / 64;
+    // Per-symbol match masks for every block (precomputed, like Edlib);
+    // memoized across k-doubling retries and cascade attempts when the
+    // context carries a PeqMemo.
+    const std::span<const u64> peq = acquirePeq(pattern, num_blocks, ctx);
+    if (!frame)
+        frame.emplace(ctx.arena());
+    // Band width in blocks: enough rows for k errors on both sides of the
+    // diagonal plus two blocks of slack for block-granularity effects.
+    const size_t want_rows = static_cast<size_t>(2 * k) +
+                             (n > m ? n - m : m - n) + 1;
+    const size_t W = std::min(num_blocks, (want_rows + 63) / 64 + 2);
+
+    std::span<BpmBlock> band = ctx.arena().rowsUninit<BpmBlock>(W);
+    for (BpmBlock &b : band)
+        b = BpmBlock{};
+    size_t bf = 0; // first band block
+    i64 vtop = 0;  // D[bf*64][j] (row above the band's first row)
+
+    // History for traceback.
+    std::span<u64> hist_pv, hist_mv;
+    std::span<BpmBandColumn> hist_col;
+    if (want_cigar) {
+        hist_pv = ctx.arena().rowsUninit<u64>(W * m);
+        hist_mv = ctx.arena().rowsUninit<u64>(W * m);
+        hist_col = ctx.arena().rowsUninit<BpmBandColumn>(m);
+    }
+
+    const size_t bf_max = num_blocks - W;
+    KernelCounts *counts = ctx.countsSink();
+
+    ctx.beginKernel();
+    for (size_t j = 1; j <= m; ++j) {
+        ctx.poll();
+        // Band placement: any path with <= k edits satisfies |i - j| <= k,
+        // so anchoring the band top at row j - k - 1 (block-rounded down)
+        // keeps the whole reachable corridor inside the band; W includes
+        // two blocks of slack to absorb the rounding. bf is monotone in j.
+        i64 target = (static_cast<i64>(j) - k - 1) / 64;
+        target = std::clamp<i64>(target, 0, static_cast<i64>(bf_max));
+        // The last column must see the last block so row n is in band.
+        if (j == m)
+            target = static_cast<i64>(bf_max);
+        while (bf < static_cast<size_t>(target)) {
+            // Drop the top block: fold its vertical deltas into vtop.
+            vtop += static_cast<i64>(__builtin_popcountll(band[0].pv)) -
+                    static_cast<i64>(__builtin_popcountll(band[0].mv));
+            for (size_t w = 0; w + 1 < W; ++w)
+                band[w] = band[w + 1];
+            // New bottom block enters on the Ukkonen envelope (+1 deltas).
+            band[W - 1] = BpmBlock();
+            ++bf;
+            if (counts)
+                counts->alu += 8;
+        }
+
+        const u8 c = text.code(j - 1);
+        const u64 *pe = &peq[size_t{c} * num_blocks];
+        int hin = 1; // Ukkonen envelope above the band (exact at row 0)
+        for (size_t w = 0; w < W; ++w)
+            hin = bpmBlockStep(band[w], pe[bf + w], hin);
+        vtop += 1; // the envelope row advances one column: its value is +1
+
+        if (want_cigar) {
+            for (size_t w = 0; w < W; ++w) {
+                hist_pv[(j - 1) * W + w] = band[w].pv;
+                hist_mv[(j - 1) * W + w] = band[w].mv;
+            }
+            hist_col[j - 1] = {bf, vtop};
+        }
+        if (counts) {
+            // Band maintenance: placement target, vtop bookkeeping, and
+            // the per-column loop control around the block kernel.
+            counts->alu += kBpmBlockAlu * W + 14;
+            counts->loads += W * 3;
+            counts->stores += W * (want_cigar ? 4u : 2u);
+        }
+    }
+    if (counts)
+        counts->cells += static_cast<u64>(W) * 64 * m;
+
+    // Value at (n, m): vtop + prefix sum of in-band vertical deltas.
+    i64 value = vtop;
+    for (size_t i = bf * 64; i < n; ++i) {
+        const size_t w = (i >> 6) - bf;
+        const u64 bit = u64{1} << (i & 63);
+        if (band[w].pv & bit)
+            ++value;
+        else if (band[w].mv & bit)
+            --value;
+    }
+    if (value > k) {
+        ctx.donePhases();
+        return res; // outside the guaranteed-exact region
+    }
+
+    res.distance = value;
+    if (!want_cigar) {
+        ctx.donePhases();
+        return res;
+    }
+
+    res = bpmBandedTracebackFromHistory(pattern, text, W, hist_pv, hist_mv,
+                                        hist_col, value, ctx);
     ctx.donePhases();
     return res;
 }

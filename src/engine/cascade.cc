@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/timer.hh"
+#include "kernel/dispatch.hh"
 #include "kernel/registry.hh"
 
 namespace gmx::engine {
@@ -26,10 +27,11 @@ struct TierPlan
 align::AlignResult
 runTier(CascadeOutcome &out, const TierPlan &plan,
         const seq::SequencePair &pair, const CancelToken &cancel,
-        ScratchArena &arena)
+        ScratchArena &arena, PeqMemo &memo)
 {
     KernelCounts counts;
     KernelContext ctx(cancel, &counts, &arena);
+    ctx.setPeqMemo(&memo);
     Timer timer;
     align::AlignResult r = plan.desc->run(pair, plan.params, ctx);
     const KernelContext::Phases phases = ctx.takePhases();
@@ -60,9 +62,13 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     const size_t n = pair.pattern.size();
     const size_t m = pair.text.size();
     CascadeOutcome out;
+    // One Peq memo for the whole cascade: every bit-parallel tier retry on
+    // this pattern (band doublings, tier escalation) reuses the first
+    // attempt's match-mask table instead of rebuilding it.
+    PeqMemo memo;
 
     const kernel::AlignerDescriptor &full =
-        registry.require(cfg.full_kernel);
+        registry.require(kernel::dispatchKernel(cfg.full_kernel));
     kernel::KernelParams full_params;
     full_params.want_cigar = want_cigar;
     full_params.tile = cfg.tile;
@@ -71,7 +77,7 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     if (!cfg.enabled || n == 0 || m == 0) {
         align::AlignResult r =
             runTier(out, {Tier::Full, &full, full_params}, pair, cancel,
-                    arena);
+                    arena, memo);
         return answered(std::move(out), Tier::Full, std::move(r));
     }
 
@@ -83,16 +89,18 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     filter_params.k = k;
     filter_params.tile = cfg.tile;
     const align::AlignResult filtered =
-        runTier(out, {Tier::Filter, &registry.require(cfg.filter_kernel),
-                      filter_params},
-                pair, cancel, arena);
+        runTier(out,
+                {Tier::Filter,
+                 &registry.require(kernel::dispatchKernel(cfg.filter_kernel)),
+                 filter_params},
+                pair, cancel, arena, memo);
     if (filtered.found() && !want_cigar)
         return answered(std::move(out), Tier::Filter, filtered);
 
     // Tier 2 — banded. A filter hit pins the band to the exact distance
     // (guaranteed to succeed); a miss tries growing bands.
     const kernel::AlignerDescriptor &banded =
-        registry.require(cfg.banded_kernel);
+        registry.require(kernel::dispatchKernel(cfg.banded_kernel));
     kernel::KernelParams band_params;
     band_params.want_cigar = want_cigar;
     band_params.tile = cfg.tile;
@@ -102,15 +110,16 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
                                 : 2 * k;
     for (int attempt = 0; attempt < band_attempts; ++attempt, band *= 2) {
         band_params.k = band;
-        align::AlignResult r = runTier(
-            out, {Tier::Banded, &banded, band_params}, pair, cancel, arena);
+        align::AlignResult r =
+            runTier(out, {Tier::Banded, &banded, band_params}, pair, cancel,
+                    arena, memo);
         if (r.found())
             return answered(std::move(out), Tier::Banded, std::move(r));
     }
 
     // Tier 3 — the exact fallback, always answers.
-    align::AlignResult r =
-        runTier(out, {Tier::Full, &full, full_params}, pair, cancel, arena);
+    align::AlignResult r = runTier(out, {Tier::Full, &full, full_params},
+                                   pair, cancel, arena, memo);
     return answered(std::move(out), Tier::Full, std::move(r));
 }
 

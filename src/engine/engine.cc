@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/timer.hh"
 #include "engine/faults.hh"
+#include "kernel/dispatch.hh"
 #include "kernel/registry.hh"
 
 namespace gmx::engine {
@@ -76,8 +77,10 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
         kernel::KernelParams params;
         params.want_cigar = req.want_cigar;
         params.tile = config_.cascade.tile;
+        // Estimate against the variant dispatch will actually run, so a
+        // SIMD build's admission matches its real footprint.
         req.estimated_bytes =
-            reg.require(config_.cascade.full_kernel)
+            reg.require(kernel::dispatchKernel(config_.cascade.full_kernel))
                 .scratch_bytes(n, mm, params);
         if (config_.cascade.enabled) {
             kernel::KernelParams fparams;
@@ -88,7 +91,8 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
                             : engine::cascadeAutoFilterK(n, mm);
             req.estimated_bytes = std::max(
                 req.estimated_bytes,
-                reg.require(config_.cascade.filter_kernel)
+                reg.require(
+                       kernel::dispatchKernel(config_.cascade.filter_kernel))
                     .scratch_bytes(n, mm, fparams));
         }
     }

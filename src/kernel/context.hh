@@ -30,12 +30,36 @@
 
 #include <chrono>
 #include <memory>
+#include <span>
 
 #include "common/cancel.hh"
 #include "kernel/arena.hh"
 #include "kernel/counts.hh"
 
 namespace gmx {
+
+/**
+ * Arena-frame-scoped reuse hook for the Myers Peq match-mask table.
+ *
+ * The cascade retries kernels on the SAME pattern (band doublings, tier
+ * escalation), and each attempt used to rebuild the per-symbol masks from
+ * scratch. A driver that owns retries places one PeqMemo on the context;
+ * align::acquirePeq() then allocates the table OUTSIDE the kernel's arena
+ * frame (so retries' rewinds don't invalidate it) and returns the cached
+ * span whenever the pattern identity, length, and word stride match.
+ *
+ * Lifetime: the memo and its span die with the request — the owner must
+ * not outlive the arena reset, and a fresh memo starts every request.
+ */
+struct PeqMemo
+{
+    const void *key = nullptr;  //!< identity of the pattern's code array
+    size_t n = 0;               //!< pattern length when built
+    size_t stride = 0;          //!< words per symbol row
+    std::span<const u64> table; //!< arena-backed memoized table
+    u64 builds = 0;             //!< tables built through this memo
+    u64 hits = 0;               //!< rebuilds avoided
+};
 
 class KernelContext
 {
@@ -86,6 +110,12 @@ class KernelContext
         if (counts_)
             *counts_ += c;
     }
+
+    // ---------------------------------------------------------- peq memo
+
+    /** Cross-retry Peq cache, or null (no memoization). */
+    PeqMemo *peqMemo() const { return peq_memo_; }
+    void setPeqMemo(PeqMemo *memo) { peq_memo_ = memo; }
 
     // ------------------------------------------------------------ scratch
 
@@ -147,6 +177,7 @@ class KernelContext
 
     CancelToken cancel_;
     KernelCounts *counts_ = nullptr;
+    PeqMemo *peq_memo_ = nullptr;
     ScratchArena *arena_ = nullptr;
     std::unique_ptr<ScratchArena> owned_arena_;
     unsigned stride_ = 0;

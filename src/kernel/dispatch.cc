@@ -1,0 +1,86 @@
+#include "kernel/dispatch.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "kernel/simd/bpm_simd.hh"
+
+namespace gmx::kernel {
+
+namespace {
+
+// Test override: -1 = follow the environment, 0/1 = pinned.
+std::atomic<int> g_force_override{-1};
+
+bool
+envForceScalar()
+{
+    static const bool cached = [] {
+        const char *v = std::getenv("GMX_FORCE_SCALAR");
+        return v && *v && !(v[0] == '0' && v[1] == '\0');
+    }();
+    return cached;
+}
+
+struct TwinPair
+{
+    std::string_view scalar;
+    std::string_view simd;
+};
+
+// Every scalar kernel with a SIMD twin. Both directions resolve through
+// this table so configs may name either variant.
+constexpr TwinPair kTwins[] = {
+    {"bpm", "bpm-avx2"},
+    {"bpm-banded", "bpm-banded-avx2"},
+    {"gmx-full", "gmx-full-avx2"},
+};
+
+} // namespace
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool cached = __builtin_cpu_supports("avx2");
+    return cached;
+#else
+    return false;
+#endif
+}
+
+bool
+forceScalar()
+{
+    const int o = g_force_override.load(std::memory_order_relaxed);
+    if (o >= 0)
+        return o != 0;
+    return envForceScalar();
+}
+
+void
+setForceScalarForTest(int force)
+{
+    g_force_override.store(force, std::memory_order_relaxed);
+}
+
+bool
+simdDispatchEnabled()
+{
+    return simd::builtWithAvx2() && cpuHasAvx2() && !forceScalar();
+}
+
+std::string_view
+dispatchKernel(std::string_view name)
+{
+    const bool want_simd = simdDispatchEnabled();
+    for (const TwinPair &t : kTwins) {
+        if (name == t.scalar)
+            return want_simd ? t.simd : t.scalar;
+        if (name == t.simd)
+            return want_simd ? t.simd : t.scalar;
+    }
+    return name;
+}
+
+} // namespace gmx::kernel

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Runtime kernel dispatch: scalar vs SIMD variant selection.
+ *
+ * Cascade configs name kernels by their scalar registry names ("bpm",
+ * "bpm-banded", "gmx-full"). dispatchKernel() resolves such a name to the
+ * fastest registered variant for this machine: the *-avx2 twin when the
+ * binary carries AVX2 code, the CPU supports it, and GMX_FORCE_SCALAR is
+ * not set — the scalar kernel otherwise (including mapping an explicit
+ * *-avx2 request back down when SIMD is unavailable or forced off).
+ * Because every twin pair shares a bit-identical CIGAR contract, dispatch
+ * is invisible to results — only to throughput.
+ *
+ * GMX_FORCE_SCALAR: any non-empty value other than "0" pins dispatch to
+ * the scalar variants (read once, cached). setForceScalarForTest() is the
+ * in-process override for tests that compare both paths.
+ */
+
+#ifndef GMX_KERNEL_DISPATCH_HH
+#define GMX_KERNEL_DISPATCH_HH
+
+#include <string_view>
+
+namespace gmx::kernel {
+
+/** Runtime CPU support for AVX2 (false on non-x86 builds). */
+bool cpuHasAvx2();
+
+/** GMX_FORCE_SCALAR env override (cached at first call), unless a test
+ *  override is active. */
+bool forceScalar();
+
+/** Test seam: 1 forces scalar, 0 forces SIMD-eligible, -1 re-follows the
+ *  environment variable. */
+void setForceScalarForTest(int force);
+
+/** True when dispatch prefers the *-avx2 registry variants: compiled-in
+ *  AVX2 + runtime CPU support + not forced scalar. */
+bool simdDispatchEnabled();
+
+/** Resolve a configured kernel name to the dispatched variant (see file
+ *  comment). Names without a twin pass through unchanged. The returned
+ *  view aliases a string literal — always valid. */
+std::string_view dispatchKernel(std::string_view name);
+
+} // namespace gmx::kernel
+
+#endif // GMX_KERNEL_DISPATCH_HH

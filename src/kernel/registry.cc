@@ -14,6 +14,7 @@
 #include "gmx/banded.hh"
 #include "gmx/full.hh"
 #include "gmx/windowed.hh"
+#include "kernel/simd/register.hh"
 #include "sequence/alphabet.hh"
 
 namespace gmx::kernel {
@@ -248,10 +249,10 @@ AlignerRegistry::AlignerRegistry()
          true, false, false, true, nullptr,
          runHirschberg, hirschbergScratchBytes});
     add({"bpm", "Myers bit-parallel unbanded edit distance",
-         true, true, false, true, nullptr,
+         true, true, false, true, "bpm-col",
          runBpm, bpmScratchBytes});
     add({"bpm-banded", "Edlib-style block-banded Myers with k-doubling",
-         true, true, true, true, nullptr,
+         true, true, true, true, "edlib-band",
          runBpmBanded, bpmBandedScratchBytes});
     add({"bitap", "GenASM bitap with k+1 state vectors",
          true, true, true, true, nullptr,
@@ -266,6 +267,7 @@ AlignerRegistry::AlignerRegistry()
          true, false, false, /*exact=*/false, nullptr,
          runGmxWindowed, gmxWindowedScratchBytes});
     // clang-format on
+    simd::registerSimdAligners(*this);
 }
 
 AlignerRegistry &

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SIMD (256-bit) backends for the Myers bit-parallel kernels.
+ *
+ * Three entry families, all bit-identical to their scalar twins:
+ *
+ *  - bpmDistanceSimd / bpmAlignSimd: unbanded multi-word Myers where each
+ *    256-bit vector is ONE wide block (4 consecutive 64-row lanes, carries
+ *    rippling across lanes), granules chained through scalar hin/hout
+ *    exactly like the scalar blocked evaluation. The Pv/Mv words the
+ *    traceback consults come out identical to the scalar kernel's, so the
+ *    scalar traceback (align::bpmTracebackFromHistory) is reused and the
+ *    CIGARs match bit for bit.
+ *  - bpmBandedAlignSimd / edlibAlignSimd: the Edlib-style banded kernel
+ *    with the band's block column processed in 4-block granules (scalar
+ *    tail for W % 4), sharing the scalar banded traceback and k-doubling
+ *    schedule.
+ *  - bpmDistanceBatch4: inter-pair batching for short reads — four
+ *    independent patterns packed one per lane, per-lane recurrences with
+ *    NO cross-lane carries. Multi-block patterns chain their blocks
+ *    through per-lane hin/hout bit vectors, so unlike the wide-word
+ *    kernels there is no emulated 256-bit carry on the serial chain;
+ *    this is the throughput-bound formulation that beats the scalar
+ *    kernel on short-read distance screens. Pairs that don't fit fall
+ *    back to the scalar kernel.
+ *
+ * This translation unit is the only one compiled with -mavx2 (when CMake
+ * detects support); callers must consult kernel/dispatch.hh before
+ * reaching these entry points on AVX2 builds.
+ */
+
+#ifndef GMX_KERNEL_SIMD_BPM_SIMD_HH
+#define GMX_KERNEL_SIMD_BPM_SIMD_HH
+
+#include <span>
+
+#include "align/types.hh"
+#include "kernel/context.hh"
+#include "sequence/sequence.hh"
+
+namespace gmx::simd {
+
+/** Whether the SIMD kernel TU was compiled against real AVX2 (vs the
+ *  portable fallback backend). */
+bool builtWithAvx2();
+
+/** Largest per-lane block count / pattern the inter-pair batcher packs. */
+constexpr size_t kBatchMaxBlocks = 8;
+constexpr size_t kBatchMaxPattern = kBatchMaxBlocks * 64;
+
+i64 bpmDistanceSimd(const seq::Sequence &pattern, const seq::Sequence &text,
+                    KernelContext &ctx);
+
+align::AlignResult bpmAlignSimd(const seq::Sequence &pattern,
+                                const seq::Sequence &text,
+                                KernelContext &ctx);
+
+align::AlignResult bpmBandedAlignSimd(const seq::Sequence &pattern,
+                                      const seq::Sequence &text, i64 k,
+                                      bool want_cigar, KernelContext &ctx);
+
+align::AlignResult edlibAlignSimd(const seq::Sequence &pattern,
+                                  const seq::Sequence &text, bool want_cigar,
+                                  i64 k0, KernelContext &ctx);
+
+/**
+ * Edit distances for @p pairs into @p out (same indexing). Groups of four
+ * consecutive pairs whose patterns are 1..kBatchMaxPattern bp (and texts
+ * non-empty) run packed one-per-lane; everything else falls back to the
+ * scalar bpmDistance. Distances equal the scalar kernel's exactly.
+ */
+void bpmDistanceBatch4(std::span<const seq::SequencePair> pairs,
+                       std::span<i64> out, KernelContext &ctx);
+
+} // namespace gmx::simd
+
+#endif // GMX_KERNEL_SIMD_BPM_SIMD_HH

@@ -1,0 +1,146 @@
+#include "kernel/simd/register.hh"
+
+#include <algorithm>
+
+#include "engine/budget.hh"
+#include "gmx/full.hh"
+#include "kernel/dispatch.hh"
+#include "kernel/registry.hh"
+#include "kernel/simd/bpm_simd.hh"
+#include "sequence/alphabet.hh"
+
+namespace gmx::simd {
+
+namespace {
+
+constexpr size_t kWordBits = 64;
+
+size_t
+words64(size_t n)
+{
+    return (n + kWordBits - 1) / kWordBits;
+}
+
+/** Words per column in the padded wide-block layout: four 64-bit lanes
+ *  per 256-bit granule, ceil(n / 256) granules. */
+size_t
+wideStride(size_t n)
+{
+    return 4 * ((n + 255) / 256);
+}
+
+// ---- run adapters ---------------------------------------------------------
+
+align::AlignResult
+runBpmSimd(const seq::SequencePair &pair, const kernel::KernelParams &params,
+           KernelContext &ctx)
+{
+    if (!params.want_cigar) {
+        align::AlignResult res;
+        res.distance = bpmDistanceSimd(pair.pattern, pair.text, ctx);
+        return res;
+    }
+    return bpmAlignSimd(pair.pattern, pair.text, ctx);
+}
+
+align::AlignResult
+runBpmBandedSimd(const seq::SequencePair &pair,
+                 const kernel::KernelParams &params,
+                 KernelContext &ctx)
+{
+    if (params.k >= 0)
+        return bpmBandedAlignSimd(pair.pattern, pair.text, params.k,
+                                  params.want_cigar, ctx);
+    return edlibAlignSimd(pair.pattern, pair.text, params.want_cigar,
+                          /*k0=*/64, ctx);
+}
+
+align::AlignResult
+runGmxFullSimd(const seq::SequencePair &pair,
+               const kernel::KernelParams &params, KernelContext &ctx)
+{
+    // Distance phase on the wide-word kernel (same optimum, ~B/4 block
+    // steps per column); the traceback keeps the scalar tile walk so the
+    // "gmx-tb" CIGAR contract holds bit for bit.
+    if (!params.want_cigar) {
+        align::AlignResult res;
+        res.distance = bpmDistanceSimd(pair.pattern, pair.text, ctx);
+        return res;
+    }
+    return core::fullGmxAlign(pair.pattern, pair.text, params.tile, ctx);
+}
+
+// ---- scratch estimators ---------------------------------------------------
+
+size_t
+bpmAvx2ScratchBytes(size_t n, size_t m, const kernel::KernelParams &params)
+{
+    const size_t s = wideStride(n);
+    // Padded peq + pv/mv granule state (+ history and two traceback value
+    // columns with CIGARs), mirroring bpmScratchBytes at the wide stride.
+    size_t bytes =
+        seq::kDnaSymbols * s * sizeof(u64) + 2 * s * sizeof(u64);
+    if (params.want_cigar)
+        bytes += 2 * s * (m + 1) * sizeof(u64) + 2 * (n + 1) * sizeof(i64);
+    return bytes + 8 * ScratchArena::kAlign;
+}
+
+size_t
+bpmBandedAvx2ScratchBytes(size_t n, size_t m,
+                          const kernel::KernelParams &params)
+{
+    // Same draws as the scalar banded kernel: unpadded peq (shared memo
+    // stride), band state as two W-word spans instead of W BpmBlocks.
+    const size_t b = words64(n);
+    const size_t skew = n > m ? n - m : m - n;
+    const size_t w =
+        params.k >= 0
+            ? std::min(b, (2 * static_cast<size_t>(params.k) + skew + 1 +
+                           kWordBits - 1) /
+                                  kWordBits +
+                              2)
+            : b;
+    size_t bytes = seq::kDnaSymbols * b * sizeof(u64) + w * 2 * sizeof(u64);
+    if (params.want_cigar)
+        bytes += 2 * w * m * sizeof(u64) + m * 2 * sizeof(u64) +
+                 2 * (n + 1) * sizeof(i64);
+    return bytes + 8 * ScratchArena::kAlign;
+}
+
+size_t
+gmxFullAvx2ScratchBytes(size_t n, size_t m,
+                        const kernel::KernelParams &params)
+{
+    if (!params.want_cigar) // wide-word distance kernel footprint
+        return bpmAvx2ScratchBytes(n, m, params);
+    return engine::fullGmxTracebackBytes(n, m, params.tile);
+}
+
+} // namespace
+
+void
+registerSimdAligners(kernel::AlignerRegistry &reg)
+{
+#if defined(GMX_SIMD_AVX2_BUILD)
+    // The kernel TU carries real AVX2 instructions: only expose it on
+    // hardware that can run them.
+    if (!kernel::cpuHasAvx2())
+        return;
+#endif
+    // clang-format off
+    reg.add({"bpm-avx2", "Myers BPM with 256-bit wide blocks (AVX2)",
+             /*traceback=*/true, /*distance_only=*/true, /*banded=*/false,
+             /*exact=*/true, /*cigar_contract=*/"bpm-col",
+             runBpmSimd, bpmAvx2ScratchBytes});
+    reg.add({"bpm-banded-avx2",
+             "banded Myers stepping the band in 4-block AVX2 granules",
+             true, true, true, true, "edlib-band",
+             runBpmBandedSimd, bpmBandedAvx2ScratchBytes});
+    reg.add({"gmx-full-avx2",
+             "gmx-full with the distance phase on the AVX2 wide-word kernel",
+             true, true, false, true, "gmx-tb",
+             runGmxFullSimd, gmxFullAvx2ScratchBytes});
+    // clang-format on
+}
+
+} // namespace gmx::simd

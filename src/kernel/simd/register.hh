@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Registration hook for the SIMD kernel variants.
+ *
+ * Called once from the AlignerRegistry constructor. On AVX2 builds the
+ * "*-avx2" descriptors register only when the CPU actually supports AVX2
+ * (no SIGILL from a name lookup on older machines); on non-AVX2 builds
+ * the portable 4x64-lane fallback backend registers unconditionally —
+ * same entry points, same bit-identical results, scalar-ish speed.
+ */
+
+#ifndef GMX_KERNEL_SIMD_REGISTER_HH
+#define GMX_KERNEL_SIMD_REGISTER_HH
+
+namespace gmx::kernel {
+class AlignerRegistry;
+} // namespace gmx::kernel
+
+namespace gmx::simd {
+
+/** Register bpm-avx2, bpm-banded-avx2, and gmx-full-avx2 into @p reg
+ *  (no-op when the host CPU can't run the compiled-in AVX2 code). */
+void registerSimdAligners(kernel::AlignerRegistry &reg);
+
+} // namespace gmx::simd
+
+#endif // GMX_KERNEL_SIMD_REGISTER_HH

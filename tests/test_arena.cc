@@ -121,6 +121,33 @@ TEST(ScratchArena, KernelPeakStaysWithinRegistryEstimate)
     }
 }
 
+TEST(ScratchArena, KernelEstimatesHoldAtWordBoundarySizes)
+{
+    // Same admission contract at the sizes where padded SIMD layouts
+    // round up hardest: one word, one 256-bit granule, and one row past
+    // the granule. Only the under-reservation direction is checked here —
+    // at tiny n the fixed slack terms legitimately dominate the peak.
+    seq::Generator gen(31337);
+    for (size_t len : {64u, 256u, 257u}) {
+        const auto pair = gen.pair(len, 0.05);
+        for (const kernel::AlignerDescriptor &d :
+             kernel::AlignerRegistry::instance().all()) {
+            kernel::KernelParams params;
+            if (d.banded)
+                params.k = 64;
+            ScratchArena arena;
+            KernelContext ctx(CancelToken{}, nullptr, &arena);
+            const auto res = d.run(pair, params, ctx);
+            ASSERT_TRUE(res.found()) << d.name << " len=" << len;
+            EXPECT_LE(arena.peakBytes(),
+                      d.scratch_bytes(pair.pattern.size(),
+                                      pair.text.size(), params))
+                << d.name << " len=" << len
+                << ": kernel outgrew its admission estimate";
+        }
+    }
+}
+
 TEST(ScratchArena, ContextOwnsFallbackArenaForStandaloneCallers)
 {
     // A default context carries its own arena, so convenience overloads

@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "align/bpm.hh"
 #include "align/nw.hh"
 #include "align/verify.hh"
+#include "kernel/arena.hh"
+#include "kernel/simd/bpm_simd.hh"
 #include "test_util.hh"
 
 namespace gmx::align {
@@ -54,7 +58,8 @@ TEST(Bpm, ExactBlockBoundaryPatterns)
     // Pattern lengths straddling the 64-bit block boundary are the classic
     // failure mode of blocked Myers implementations.
     seq::Generator gen(51);
-    for (size_t n : {63u, 64u, 65u, 127u, 128u, 129u, 191u, 192u, 193u}) {
+    for (size_t n : {63u, 64u, 65u, 127u, 128u, 129u, 191u, 192u, 193u,
+                     255u, 256u, 257u}) {
         const auto p = gen.random(n);
         const auto t = gen.mutate(p, 0.1);
         EXPECT_EQ(bpmDistance(p, t), nwDistance(p, t)) << "n=" << n;
@@ -81,6 +86,69 @@ TEST(Bpm, AsymmetricLengths)
     EXPECT_EQ(bpmDistance(p, t), nwDistance(p, t));
     const auto res = bpmAlign(p, t);
     EXPECT_TRUE(verifyResult(p, t, res).ok);
+}
+
+TEST(Bpm, PeqMemoAvoidsRebuildAcrossRetries)
+{
+    // The cascade retries tiers on the same pattern; a PeqMemo on the
+    // context must serve the second attempt from cache without changing
+    // the answer.
+    seq::Generator gen(61);
+    const auto pair = gen.pair(150, 0.05);
+    PeqMemo memo;
+    ScratchArena arena;
+    KernelContext ctx(CancelToken{}, nullptr, &arena);
+    ctx.setPeqMemo(&memo);
+    const i64 d1 = bpmDistance(pair.pattern, pair.text, ctx);
+    const i64 d2 = bpmDistance(pair.pattern, pair.text, ctx);
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d1, nwDistance(pair.pattern, pair.text));
+    EXPECT_EQ(memo.builds, 1u);
+    EXPECT_GE(memo.hits, 1u);
+
+    // A different pattern invalidates the memo instead of serving stale
+    // masks.
+    const auto other = gen.pair(150, 0.05);
+    EXPECT_EQ(bpmDistance(other.pattern, other.text, ctx),
+              nwDistance(other.pattern, other.text));
+    EXPECT_EQ(memo.builds, 2u);
+}
+
+TEST(Bpm, InterPairBatchMatchesScalarAcrossWidths)
+{
+    // The batched distance path packs four pairs per vector with
+    // per-lane multi-block recurrences; every width class — single
+    // block, block-boundary straddlers, the full kBatchMaxPattern, and
+    // over-long fallback pairs — must reproduce the scalar distances.
+    seq::Generator gen(67);
+    std::vector<seq::SequencePair> pairs;
+    for (size_t n : {1u, 3u, 60u, 63u, 64u, 65u, 127u, 128u, 129u, 150u,
+                     191u, 192u, 193u, 255u, 256u, 257u, 300u, 511u, 512u,
+                     600u})
+        for (double err : {0.05, 0.3})
+            pairs.push_back(gen.pair(n, err));
+    // Mixed-width groups: shuffle so single groups of four span block
+    // counts (the per-block rsh/sel masks must freeze each lane's score
+    // at its own final row, not the widest lane's).
+    std::vector<seq::SequencePair> mixed;
+    for (size_t i = 0; i < pairs.size(); ++i)
+        mixed.push_back(pairs[(i * 13) % pairs.size()]);
+    for (const auto &p : mixed)
+        pairs.push_back(p);
+    // Short texts against wide patterns, and empty-text fallback.
+    pairs.push_back({gen.random(150), gen.random(4)});
+    pairs.push_back({gen.random(300), gen.random(7)});
+    pairs.push_back({gen.random(100), seq::Sequence("")});
+    // Non-multiple-of-four tail exercises the scalar remainder.
+    pairs.push_back(gen.pair(70, 0.1));
+
+    std::vector<i64> out(pairs.size(), -999);
+    KernelContext ctx;
+    simd::bpmDistanceBatch4(pairs, out, ctx);
+    for (size_t i = 0; i < pairs.size(); ++i)
+        EXPECT_EQ(out[i], bpmDistance(pairs[i].pattern, pairs[i].text))
+            << "pair " << i << " n=" << pairs[i].pattern.size()
+            << " m=" << pairs[i].text.size();
 }
 
 TEST(Bpm, CountsAreAccumulated)

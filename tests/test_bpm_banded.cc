@@ -40,6 +40,25 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, BandedGridTest, ::testing::ValuesIn(test::standardGrid()),
     [](const auto &info) { return test::paramName(info.param); });
 
+TEST(BpmBanded, ExactBlockBoundaryPatterns)
+{
+    // Pattern lengths straddling the 64-bit block boundary exercise the
+    // band envelope's first/last-block clamps; permanent regression
+    // corpus for the m=64/128 word-boundary class of bugs.
+    seq::Generator gen(52);
+    for (size_t n : {63u, 64u, 65u, 127u, 128u, 129u, 191u, 192u, 193u,
+                     255u, 256u, 257u}) {
+        const auto p = gen.random(n);
+        const auto t = gen.mutate(p, 0.1);
+        const i64 want = nwDistance(p, t);
+        EXPECT_EQ(edlibDistance(p, t), want) << "n=" << n;
+        const auto res = bpmBandedAlign(p, t, want + 1);
+        ASSERT_TRUE(res.found()) << "n=" << n;
+        EXPECT_EQ(res.distance, want) << "n=" << n;
+        EXPECT_TRUE(verifyResult(p, t, res).ok) << "n=" << n;
+    }
+}
+
 TEST(BpmBanded, SufficientKIsExact)
 {
     seq::Generator gen(61);

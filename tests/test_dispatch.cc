@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Runtime SIMD dispatch tests: name resolution, the GMX_FORCE_SCALAR
+ * test seam, and end-to-end bit-identity of the cascade under dispatched
+ * vs forced-scalar kernel selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "engine/cascade.hh"
+#include "kernel/dispatch.hh"
+#include "kernel/registry.hh"
+#include "kernel/simd/bpm_simd.hh"
+#include "sequence/generator.hh"
+
+namespace gmx::kernel {
+namespace {
+
+/** RAII guard so a failing assertion can't leak the test override. */
+struct ForceScalarGuard
+{
+    explicit ForceScalarGuard(int force) { setForceScalarForTest(force); }
+    ~ForceScalarGuard() { setForceScalarForTest(-1); }
+};
+
+TEST(Dispatch, ForcedScalarPinsEveryTwinToItsScalarName)
+{
+    ForceScalarGuard guard(1);
+    EXPECT_FALSE(simdDispatchEnabled());
+    // Scalar names stay, and explicit *-avx2 requests map back down.
+    for (const char *name : {"bpm", "bpm-banded", "gmx-full"})
+        EXPECT_EQ(dispatchKernel(name), std::string_view(name));
+    EXPECT_EQ(dispatchKernel("bpm-avx2"), "bpm");
+    EXPECT_EQ(dispatchKernel("bpm-banded-avx2"), "bpm-banded");
+    EXPECT_EQ(dispatchKernel("gmx-full-avx2"), "gmx-full");
+    // Names without a twin pass through untouched.
+    EXPECT_EQ(dispatchKernel("nw"), "nw");
+    EXPECT_EQ(dispatchKernel("bitap"), "bitap");
+    EXPECT_EQ(dispatchKernel("no-such-kernel"), "no-such-kernel");
+}
+
+TEST(Dispatch, SimdEligibleResolvesTwinsBothWays)
+{
+    ForceScalarGuard guard(0);
+    if (!simdDispatchEnabled())
+        GTEST_SKIP() << "no AVX2 in this build/CPU";
+    // Eligibility implies the variants really are registered.
+    const auto &reg = AlignerRegistry::instance();
+    ASSERT_NE(reg.find("bpm-avx2"), nullptr);
+    EXPECT_EQ(dispatchKernel("bpm"), "bpm-avx2");
+    EXPECT_EQ(dispatchKernel("bpm-banded"), "bpm-banded-avx2");
+    EXPECT_EQ(dispatchKernel("gmx-full"), "gmx-full-avx2");
+    // Explicit SIMD names are honoured as-is.
+    EXPECT_EQ(dispatchKernel("gmx-full-avx2"), "gmx-full-avx2");
+    // Untwinned kernels never get rewritten.
+    EXPECT_EQ(dispatchKernel("hirschberg"), "hirschberg");
+}
+
+TEST(Dispatch, DispatchedNamesAlwaysResolveInRegistry)
+{
+    // Whatever dispatch picks must be runnable — under both overrides.
+    const auto &reg = AlignerRegistry::instance();
+    for (const int force : {0, 1}) {
+        ForceScalarGuard guard(force);
+        for (const char *name : {"bpm", "bpm-banded", "gmx-full",
+                                 "bpm-avx2", "gmx-full-avx2"}) {
+            const std::string_view resolved = dispatchKernel(name);
+            EXPECT_NE(reg.find(resolved), nullptr)
+                << name << " -> " << resolved << " force=" << force;
+        }
+    }
+}
+
+TEST(Dispatch, CascadeIsBitIdenticalUnderForcedScalar)
+{
+    // The acceptance property: GMX_FORCE_SCALAR=1 must be invisible in
+    // results — same distances, byte-identical CIGARs — across pairs
+    // that exercise all three tiers.
+    seq::Generator gen(20250807);
+    std::vector<seq::SequencePair> pairs;
+    for (double err : {0.01, 0.1, 0.4})
+        for (size_t len : {40u, 150u, 300u, 800u})
+            pairs.push_back(gen.pair(len, err));
+
+    engine::CascadeConfig config;
+    for (const auto &pair : pairs) {
+        for (const bool want_cigar : {false, true}) {
+            setForceScalarForTest(0);
+            const auto dispatched =
+                engine::cascadeAlign(pair, config, want_cigar);
+            setForceScalarForTest(1);
+            const auto scalar =
+                engine::cascadeAlign(pair, config, want_cigar);
+            setForceScalarForTest(-1);
+            EXPECT_EQ(dispatched.result.distance, scalar.result.distance)
+                << "n=" << pair.pattern.size();
+            ASSERT_EQ(dispatched.result.has_cigar, scalar.result.has_cigar);
+            if (scalar.result.has_cigar) {
+                EXPECT_EQ(dispatched.result.cigar.str(),
+                          scalar.result.cigar.str())
+                    << "n=" << pair.pattern.size();
+            }
+        }
+    }
+}
+
+TEST(Dispatch, ReportsConsistentCapabilityBits)
+{
+    // simdDispatchEnabled() is the conjunction of its three inputs.
+    ForceScalarGuard guard(-1);
+    const bool expect = simd::builtWithAvx2() && cpuHasAvx2() &&
+                        !forceScalar();
+    EXPECT_EQ(simdDispatchEnabled(), expect);
+}
+
+} // namespace
+} // namespace gmx::kernel

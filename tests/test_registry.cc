@@ -33,8 +33,11 @@ corpus()
 {
     std::vector<seq::SequencePair> pairs;
     seq::Generator gen(20240817);
+    // Lengths straddle the 64-bit word boundaries (64/65, 128/129) and
+    // the 256-bit SIMD granule boundary (256/257) so every kernel's
+    // block-chaining seams are exercised.
     for (double err : {0.0, 0.01, 0.1, 0.3})
-        for (size_t len : {1u, 7u, 64u, 65u, 300u})
+        for (size_t len : {1u, 7u, 64u, 65u, 128u, 129u, 256u, 257u, 300u})
             pairs.push_back(gen.pair(len, err));
 
     auto add = [&pairs](const char *p, const char *t) {
@@ -129,6 +132,58 @@ TEST(Registry, SharedCigarContractsProduceIdenticalCigars)
                         << members[0]->name
                         << " n=" << pair.pattern.size()
                         << " m=" << pair.text.size();
+            }
+        }
+    }
+}
+
+TEST(Registry, Avx2VariantsMatchScalarTwinBitExactly)
+{
+    // The dispatcher substitutes *-avx2 names for their scalar twins, so
+    // the swap must be invisible: same distances, byte-identical CIGARs,
+    // on implicit and explicit error bounds alike.
+    const auto &reg = AlignerRegistry::instance();
+    struct Twin
+    {
+        const char *scalar;
+        const char *simd;
+    };
+    for (const Twin t : {Twin{"bpm", "bpm-avx2"},
+                         Twin{"bpm-banded", "bpm-banded-avx2"},
+                         Twin{"gmx-full", "gmx-full-avx2"}}) {
+        const AlignerDescriptor *s = reg.find(t.scalar);
+        const AlignerDescriptor *v = reg.find(t.simd);
+        ASSERT_NE(s, nullptr) << t.scalar;
+        if (!v)
+            GTEST_SKIP() << "AVX2 build without AVX2 host; SIMD "
+                            "variants not registered";
+        for (const auto &pair : corpus()) {
+            for (const bool want_cigar : {false, true}) {
+                for (const i64 k : {i64{-1}, i64{8}}) {
+                    if (k >= 0 && !v->banded)
+                        continue;
+                    KernelParams params;
+                    params.want_cigar = want_cigar;
+                    params.k = k;
+                    params.enforce_bound = k >= 0;
+                    KernelContext sctx, vctx;
+                    const auto sres = s->run(pair, params, sctx);
+                    const auto vres = v->run(pair, params, vctx);
+                    ASSERT_EQ(vres.found(), sres.found())
+                        << t.simd << " n=" << pair.pattern.size()
+                        << " m=" << pair.text.size() << " k=" << k;
+                    if (!sres.found())
+                        continue;
+                    EXPECT_EQ(vres.distance, sres.distance)
+                        << t.simd << " n=" << pair.pattern.size()
+                        << " m=" << pair.text.size() << " k=" << k;
+                    ASSERT_EQ(vres.has_cigar, sres.has_cigar) << t.simd;
+                    if (sres.has_cigar) {
+                        EXPECT_EQ(vres.cigar.str(), sres.cigar.str())
+                            << t.simd << " n=" << pair.pattern.size()
+                            << " m=" << pair.text.size() << " k=" << k;
+                    }
+                }
             }
         }
     }
