@@ -110,6 +110,17 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" \
 GMX_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -j"$(nproc)" \
     -R 'Registry|Dispatch'
 
+echo "== Engine batch pass (lane-packed filter tier, both dispatch modes) =="
+# The engine-level batcher integration: end-to-end bit-identity of the
+# packed filter tier vs the forced-scalar cascade, deterministic lane
+# packing/occupancy, per-lane deadlines, and the head-of-line fusion
+# fix — run with dispatch enabled AND under GMX_FORCE_SCALAR=1 (the
+# packing-sensitive tests skip themselves when packing is off by design;
+# the differential ones must still pass bit-identically).
+ctest --test-dir build --output-on-failure -j"$(nproc)" -R 'EngineBatch'
+GMX_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure \
+    -j"$(nproc)" -R 'EngineBatch'
+
 echo "== UBSan pass (kernel registry + arena + engine tests) =="
 # The KernelContext refactor routes every kernel's scratch through the
 # bump arena; UndefinedBehaviorSanitizer (no-recover) guards the pointer
@@ -121,7 +132,7 @@ cmake --build build-ubsan -j"$(nproc)" --target \
     test_registry test_arena test_dispatch test_nw test_bpm \
     test_bpm_banded test_bitap \
     test_hirschberg test_gmx_full test_gmx_banded test_gmx_windowed \
-    test_engine
+    test_engine test_engine_batch
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
     -R 'Registry|ScratchArena|Dispatch|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|Engine|Cascade|Pool|Batch'
 
@@ -131,7 +142,7 @@ if [[ "$sanitize" == "thread" || "$sanitize" == "all" ]]; then
     echo "== ThreadSanitizer pass (engine/pool/batch/chaos tests) =="
     cmake -B build-tsan -S . -DGMX_SANITIZE=thread -DGMX_FAULT_INJECTION=ON
     cmake --build build-tsan -j"$(nproc)" \
-        --target test_engine test_batch test_chaos
+        --target test_engine test_engine_batch test_batch test_chaos
     ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
         -R 'Engine|Pool|Cascade|Batch|Chaos'
 fi

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/logging.hh"
 #include "common/timer.hh"
 #include "kernel/dispatch.hh"
 #include "kernel/registry.hh"
+#include "kernel/simd/bpm_simd.hh"
 
 namespace gmx::engine {
 
@@ -52,6 +54,54 @@ answered(CascadeOutcome out, Tier tier, align::AlignResult result)
     return out;
 }
 
+/**
+ * Everything after the filter tier: the ONE banded/full continuation,
+ * shared by cascadeAlign (filter ran inline) and
+ * cascadeContinueAfterFilter (filter ran in a packed batch), so the two
+ * paths cannot drift. @p out already carries the filter attempt.
+ */
+CascadeOutcome
+finishAfterFilter(CascadeOutcome out, const seq::SequencePair &pair,
+                  const CascadeConfig &cfg, bool want_cigar,
+                  const CancelToken &cancel, ScratchArena &arena,
+                  PeqMemo &memo, const align::AlignResult &filtered, i64 k)
+{
+    if (filtered.found() && !want_cigar)
+        return answered(std::move(out), Tier::Filter, filtered);
+
+    const auto &registry = kernel::AlignerRegistry::instance();
+
+    // Tier 2 — banded. A filter hit pins the band to the exact distance
+    // (guaranteed to succeed); a miss tries growing bands.
+    const kernel::AlignerDescriptor &banded =
+        registry.require(kernel::dispatchKernel(cfg.banded_kernel));
+    kernel::KernelParams band_params;
+    band_params.want_cigar = want_cigar;
+    band_params.tile = cfg.tile;
+    band_params.enforce_bound = true;
+    const int band_attempts = filtered.found() ? 1 : cfg.band_doublings;
+    i64 band = filtered.found() ? std::max<i64>(filtered.distance, 1)
+                                : 2 * k;
+    for (int attempt = 0; attempt < band_attempts; ++attempt, band *= 2) {
+        band_params.k = band;
+        align::AlignResult r =
+            runTier(out, {Tier::Banded, &banded, band_params}, pair, cancel,
+                    arena, memo);
+        if (r.found())
+            return answered(std::move(out), Tier::Banded, std::move(r));
+    }
+
+    // Tier 3 — the exact fallback, always answers.
+    const kernel::AlignerDescriptor &full =
+        registry.require(kernel::dispatchKernel(cfg.full_kernel));
+    kernel::KernelParams full_params;
+    full_params.want_cigar = want_cigar;
+    full_params.tile = cfg.tile;
+    align::AlignResult r = runTier(out, {Tier::Full, &full, full_params},
+                                   pair, cancel, arena, memo);
+    return answered(std::move(out), Tier::Full, std::move(r));
+}
+
 } // namespace
 
 CascadeOutcome
@@ -83,7 +133,7 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
 
     // Tier 1 — distance-only filter. When it finds the pair within k,
     // the distance is exact; distance-only requests are done.
-    const i64 k = cfg.filter_k > 0 ? cfg.filter_k : cascadeAutoFilterK(n, m);
+    const i64 k = cascadeFilterK(cfg, n, m);
     kernel::KernelParams filter_params;
     filter_params.want_cigar = false;
     filter_params.k = k;
@@ -94,33 +144,8 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
                  &registry.require(kernel::dispatchKernel(cfg.filter_kernel)),
                  filter_params},
                 pair, cancel, arena, memo);
-    if (filtered.found() && !want_cigar)
-        return answered(std::move(out), Tier::Filter, filtered);
-
-    // Tier 2 — banded. A filter hit pins the band to the exact distance
-    // (guaranteed to succeed); a miss tries growing bands.
-    const kernel::AlignerDescriptor &banded =
-        registry.require(kernel::dispatchKernel(cfg.banded_kernel));
-    kernel::KernelParams band_params;
-    band_params.want_cigar = want_cigar;
-    band_params.tile = cfg.tile;
-    band_params.enforce_bound = true;
-    const int band_attempts = filtered.found() ? 1 : cfg.band_doublings;
-    i64 band = filtered.found() ? std::max<i64>(filtered.distance, 1)
-                                : 2 * k;
-    for (int attempt = 0; attempt < band_attempts; ++attempt, band *= 2) {
-        band_params.k = band;
-        align::AlignResult r =
-            runTier(out, {Tier::Banded, &banded, band_params}, pair, cancel,
-                    arena, memo);
-        if (r.found())
-            return answered(std::move(out), Tier::Banded, std::move(r));
-    }
-
-    // Tier 3 — the exact fallback, always answers.
-    align::AlignResult r = runTier(out, {Tier::Full, &full, full_params},
-                                   pair, cancel, arena, memo);
-    return answered(std::move(out), Tier::Full, std::move(r));
+    return finishAfterFilter(std::move(out), pair, cfg, want_cigar, cancel,
+                             arena, memo, filtered, k);
 }
 
 CascadeOutcome
@@ -130,6 +155,66 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     thread_local ScratchArena arena;
     arena.reset();
     return cascadeAlign(pair, cfg, want_cigar, cancel, arena);
+}
+
+void
+cascadeFilterBatch(std::span<FilterLane> lanes, const CascadeConfig &cfg,
+                   ScratchArena &arena)
+{
+    GMX_ASSERT(lanes.size() >= 1 && lanes.size() <= simd::kBatchLanes,
+               "cascadeFilterBatch: 1..4 lanes per group");
+    simd::BatchLane bl[simd::kBatchLanes];
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        bl[i].pair = lanes[i].pair;
+        bl[i].cancel = lanes[i].cancel;
+    }
+    KernelContext ctx(CancelToken{}, nullptr, &arena);
+    Timer timer;
+    simd::bpmDistanceBatchLanes({bl, lanes.size()}, ctx);
+    const KernelContext::Phases phases = ctx.takePhases();
+    // The group shares one kernel invocation; each lane's attempt carries
+    // an even share of the wall/phase time (its cells are its own), so
+    // summing attempts across fused requests reproduces the group totals.
+    const double share = 1.0 / static_cast<double>(lanes.size());
+    const double micros = timer.seconds() * 1e6 * share;
+    const double setup_us = static_cast<double>(phases.setup_us) * share;
+    const double kernel_us = static_cast<double>(phases.kernel_us) * share;
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        FilterLane &lane = lanes[i];
+        lane.status = bl[i].status;
+        lane.counts = bl[i].counts;
+        if (lane.status.ok()) {
+            const i64 k = cascadeFilterK(cfg, lane.pair->pattern.size(),
+                                         lane.pair->text.size());
+            // The scalar filter's contract: found with the exact distance
+            // iff d <= k. The batch kernel knows the exact distance even
+            // past k, but reporting it would diverge the continuation
+            // from the scalar cascade — a miss stays a miss.
+            if (bl[i].distance <= k)
+                lane.filtered.distance = bl[i].distance;
+        }
+        lane.attempt = {Tier::Filter, lane.counts.cells, micros, false,
+                        setup_us, kernel_us};
+    }
+}
+
+CascadeOutcome
+cascadeContinueAfterFilter(const seq::SequencePair &pair,
+                           const CascadeConfig &cfg, bool want_cigar,
+                           const CancelToken &cancel, ScratchArena &arena,
+                           const FilterLane &lane)
+{
+    CascadeOutcome out;
+    out.counts = lane.counts;
+    out.attempts.push_back(lane.attempt);
+    // Fresh memo: the filter batch built its masks in lane-packed layout,
+    // so the banded/full tiers rebuild theirs exactly as the scalar
+    // cascade's later tiers would after a bitap filter.
+    PeqMemo memo;
+    const i64 k = cascadeFilterK(cfg, pair.pattern.size(),
+                                 pair.text.size());
+    return finishAfterFilter(std::move(out), pair, cfg, want_cigar, cancel,
+                             arena, memo, lane.filtered, k);
 }
 
 } // namespace gmx::engine

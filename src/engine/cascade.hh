@@ -24,6 +24,7 @@
 #ifndef GMX_ENGINE_CASCADE_HH
 #define GMX_ENGINE_CASCADE_HH
 
+#include <span>
 #include <vector>
 
 #include "align/types.hh"
@@ -126,6 +127,65 @@ CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
 CascadeOutcome cascadeAlign(const seq::SequencePair &pair,
                             const CascadeConfig &config, bool want_cigar,
                             const CancelToken &cancel, ScratchArena &arena);
+
+/** The effective filter budget the cascade runs with for an n x m pair:
+ *  the configured filter_k, or the auto policy when it is 0. One
+ *  definition, shared by routing, admission, and the engine's lane
+ *  packer (a packed group's hit/miss decisions must use the same k the
+ *  scalar cascade would have). */
+inline i64
+cascadeFilterK(const CascadeConfig &config, size_t n, size_t m)
+{
+    return config.filter_k > 0 ? config.filter_k
+                               : cascadeAutoFilterK(n, m);
+}
+
+/**
+ * One request's slot in a batched filter-tier run. The engine's lane
+ * packer fills pair/cancel, cascadeFilterBatch() fills the outputs: the
+ * filter verdict exactly as the scalar filter tier would have produced
+ * it (found with the exact distance iff distance <= k, not-found
+ * otherwise — the batch kernel's exact distance on a miss is discarded
+ * so the continuation mirrors the scalar cascade attempt for attempt),
+ * plus the per-lane work record to seed the request's outcome with.
+ */
+struct FilterLane
+{
+    const seq::SequencePair *pair = nullptr;
+    CancelToken cancel{};
+
+    // Outputs.
+    Status status{};              //!< Cancelled / DeadlineExceeded
+    align::AlignResult filtered;  //!< scalar-identical filter verdict
+    CascadeAttempt attempt;       //!< this lane's Filter-tier attempt
+    KernelCounts counts;          //!< this lane's own kernel work
+};
+
+/**
+ * Run the cascade's filter tier for up to four requests as one packed
+ * kernel invocation (simd::bpmDistanceBatchLanes), producing per-lane
+ * verdicts bit-identical to the scalar "bitap" filter: both compute the
+ * exact distance and apply the same d <= k decision, so a packed request
+ * continues through banded/full exactly as if it had run alone. Requires
+ * every lane to satisfy simd::batchLaneFits and the config's filter
+ * kernel to be the default "bitap" (the engine's packer checks both).
+ */
+void cascadeFilterBatch(std::span<FilterLane> lanes,
+                        const CascadeConfig &config, ScratchArena &arena);
+
+/**
+ * Resume one request's cascade after its filter tier ran in a batch:
+ * seeds the outcome with the lane's filter attempt/counts, then runs the
+ * unchanged banded/full continuation (filter hit + no cigar -> done; hit
+ * + cigar -> pinned band; miss -> band doublings then full). Requires a
+ * non-degenerate pair (the packer never batches empty sequences).
+ */
+CascadeOutcome cascadeContinueAfterFilter(const seq::SequencePair &pair,
+                                          const CascadeConfig &config,
+                                          bool want_cigar,
+                                          const CancelToken &cancel,
+                                          ScratchArena &arena,
+                                          const FilterLane &lane);
 
 } // namespace gmx::engine
 

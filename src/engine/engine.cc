@@ -1,8 +1,10 @@
 #include "engine/engine.hh"
 
 #include <algorithm>
+#include <array>
 #include <new>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "align/hirschberg.hh"
@@ -11,6 +13,7 @@
 #include "engine/faults.hh"
 #include "kernel/dispatch.hh"
 #include "kernel/registry.hh"
+#include "kernel/simd/bpm_simd.hh"
 
 namespace gmx::engine {
 
@@ -86,9 +89,7 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
             kernel::KernelParams fparams;
             fparams.want_cigar = false;
             fparams.tile = config_.cascade.tile;
-            fparams.k = config_.cascade.filter_k > 0
-                            ? config_.cascade.filter_k
-                            : engine::cascadeAutoFilterK(n, mm);
+            fparams.k = cascadeFilterK(config_.cascade, n, mm);
             req.estimated_bytes = std::max(
                 req.estimated_bytes,
                 reg.require(
@@ -214,13 +215,15 @@ Engine::dispatchLoop()
             }
             batch->push_back(std::move(queue_.front()));
             queue_.pop_front();
-            // Fuse a run of small requests into one pool task.
-            if (isSmall(batch->front())) {
-                while (batch->size() < config_.microbatch_max &&
-                       !queue_.empty() && isSmall(queue_.front())) {
-                    batch->push_back(std::move(queue_.front()));
-                    queue_.pop_front();
-                }
+            // Fuse the run of small requests behind the head into one
+            // pool task. The head itself may be large: a lone large head
+            // must not suppress fusing the smalls queued right behind it
+            // (head-of-line fusion miss), and taking the run in queue
+            // order keeps sizes unreordered.
+            while (batch->size() < config_.microbatch_max &&
+                   !queue_.empty() && isSmall(queue_.front())) {
+                batch->push_back(std::move(queue_.front()));
+                queue_.pop_front();
             }
             inflight_ += batch->size();
             ++inflight_tasks_;
@@ -243,10 +246,34 @@ Engine::dispatchLoop()
     }
 }
 
+namespace {
+
+/**
+ * Per-worker scratch: kernels bump-allocate their DP rows and tile
+ * buffers here, so a warmed worker serves requests with zero heap
+ * allocations on the hot path. Shared by the lane packer and runOne —
+ * both run on the same worker thread, never concurrently.
+ */
+ScratchArena &
+workerArena()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace
+
 Engine::Served
-Engine::runOne(Request &req)
+Engine::runOne(Request &req, const FilterPrefill *pre)
 {
     const bool traced = trace_.sampled(req.id);
+    const bool prefilled = pre != nullptr && pre->ran;
+
+    // A lane the packer ran whose deadline expired (or token fired)
+    // while fused siblings shared the kernel: fast-fail with the lane's
+    // own status instead of re-running anything.
+    if (prefilled && !pre->status.ok())
+        return Served(AlignOutcome(pre->status));
 
     // Fast-fail before any work: an expired or cancelled request costs
     // microseconds here instead of a quadratic kernel run.
@@ -258,11 +285,17 @@ Engine::runOne(Request &req)
     // open on the latency/error window and route around this engine.
     GMX_FAULT_STALL_AT(faults::Point::ShardWedge);
 
+    // A packed filter hit is already the final answer (distance-only by
+    // eligibility): its scratch was covered by the group's single
+    // reservation, so reserving the per-request estimate here again
+    // would double-count the fused batch against the budget.
+    const bool prefilter_hit = prefilled && pre->filtered.found();
+
     // Memory-budget admission. The reservation is held for the whole
     // kernel call and released by RAII whichever way we leave.
     MemoryReservation reservation;
     bool downgrade = false;
-    if (budget_.enabled() && req.estimated_bytes > 0) {
+    if (!prefilter_hit && budget_.enabled() && req.estimated_bytes > 0) {
         if (budget_.tryReserve(req.estimated_bytes)) {
             reservation = MemoryReservation(&budget_, req.estimated_bytes);
         } else if (config_.downgrade_under_pressure && !req.aligner &&
@@ -294,7 +327,9 @@ Engine::runOne(Request &req)
     const i64 admitted_us = trace_.nowUs();
     if (traced)
         trace_.record(req.id, TraceEvent::Admission, admitted_us,
-                      StatusCode::Ok, reservation.bytes());
+                      StatusCode::Ok,
+                      prefilter_hit ? pre->reserved_share
+                                    : reservation.bytes());
 
     try {
         if (GMX_INJECT_FAULT(faults::Point::AllocFail))
@@ -303,13 +338,12 @@ Engine::runOne(Request &req)
             throw std::runtime_error("injected spurious task error");
         align::AlignResult result;
         Served served(AlignOutcome(align::AlignResult{}));
-        served.reserved_bytes = reservation.bytes();
+        served.reserved_bytes =
+            prefilter_hit ? pre->reserved_share : reservation.bytes();
         served.admitted_us = admitted_us;
-        // Per-worker scratch: kernels bump-allocate their DP rows and
-        // tile buffers here, so a warmed worker serves requests with
-        // zero heap allocations on the hot path. Reset keeps the block
-        // (coalesced to the high-water mark), not the contents.
-        thread_local ScratchArena arena;
+        // Reset keeps the block (coalesced to the high-water mark), not
+        // the contents.
+        ScratchArena &arena = workerArena();
         arena.reset();
         if (req.aligner) {
             result = req.aligner(req.pair);
@@ -329,8 +363,24 @@ Engine::runOne(Request &req)
                  static_cast<double>(phases.kernel_us)});
             metrics_.downgraded.fetch_add(1, std::memory_order_relaxed);
         } else {
-            auto outcome = cascadeAlign(req.pair, config_.cascade,
-                                        req.want_cigar, req.cancel, arena);
+            CascadeOutcome outcome;
+            if (prefilled) {
+                // The filter tier already ran in a packed group; seed
+                // the outcome with this lane's attempt and continue
+                // through the unchanged banded/full tiers (a hit with
+                // no cigar wanted returns immediately).
+                FilterLane lane;
+                lane.pair = &req.pair;
+                lane.filtered = pre->filtered;
+                lane.attempt = pre->attempt;
+                lane.counts = pre->counts;
+                outcome = cascadeContinueAfterFilter(
+                    req.pair, config_.cascade, req.want_cigar, req.cancel,
+                    arena, lane);
+            } else {
+                outcome = cascadeAlign(req.pair, config_.cascade,
+                                       req.want_cigar, req.cancel, arena);
+            }
             served.tiered = true;
             served.tier = outcome.tier;
             served.cells = outcome.counts.cells;
@@ -355,17 +405,132 @@ Engine::runOne(Request &req)
     }
 }
 
+bool
+Engine::filterBatchingActive() const
+{
+    switch (config_.filter_batching) {
+      case FilterBatching::Off:
+        return false;
+      case FilterBatching::On:
+        // The explicit arm for tests/benches: pack even on the portable
+        // vector backend. GMX_FORCE_SCALAR still wins — "scalar" must
+        // mean the per-request scalar cascade, full stop.
+        return !kernel::forceScalar();
+      case FilterBatching::Auto:
+        return kernel::batchDispatchEnabled();
+    }
+    return false;
+}
+
+bool
+Engine::batchFilterEligible(const Request &req) const
+{
+    // Lane compatibility rules (DESIGN.md §4k): cascade-routed,
+    // distance-only (a cigar request's filter never answers, so packing
+    // buys nothing and the memo-reuse path is better), pattern within
+    // the batcher's width cap, and the default "bitap" filter kernel —
+    // the one whose found-iff-d<=k contract the batch kernel reproduces
+    // bit for bit. The effective k policy is engine-wide config, so
+    // packed lanes are k-compatible by construction (each lane still
+    // applies its own pair-derived k to the exact distance).
+    return !req.aligner && !req.want_cigar && config_.cascade.enabled &&
+           std::string_view(config_.cascade.filter_kernel) == "bitap" &&
+           simd::batchLaneFits(req.pair);
+}
+
+void
+Engine::runFilterGroups(std::vector<Request> &batch,
+                        std::vector<FilterPrefill> &pre)
+{
+    std::vector<size_t> eligible;
+    eligible.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        if (batchFilterEligible(batch[i]))
+            eligible.push_back(i);
+
+    ScratchArena &arena = workerArena();
+    for (size_t at = 0; at < eligible.size();) {
+        const size_t take =
+            std::min(simd::kBatchLanes, eligible.size() - at);
+        // The runOne deadline pre-check, extended into the packer: a
+        // request whose deadline expired while earlier groups (or the
+        // queue) ran must not occupy a lane — runOne fast-fails it from
+        // its unengaged prefill slot instead.
+        std::array<size_t, simd::kBatchLanes> live{};
+        size_t cnt = 0;
+        for (size_t j = 0; j < take; ++j) {
+            const size_t idx = eligible[at + j];
+            if (batch[idx].cancel.check().ok())
+                live[cnt++] = idx;
+        }
+        at += take;
+        if (cnt < 2)
+            continue; // singleton: the plain cascade path is the same work
+
+        // One reservation for the whole group: the packed filter shares
+        // one scratch block, so per-lane filter reservations would
+        // double-count the batch. If even the group grant doesn't fit,
+        // skip packing — each lane then takes its own admission gate.
+        size_t max_pattern = 0;
+        for (size_t j = 0; j < cnt; ++j)
+            max_pattern = std::max(max_pattern,
+                                   batch[live[j]].pair.pattern.size());
+        const size_t group_bytes = simd::bpmBatchScratchBytes(max_pattern);
+        MemoryReservation group_grant;
+        if (budget_.enabled()) {
+            if (!budget_.tryReserve(group_bytes))
+                continue;
+            group_grant = MemoryReservation(&budget_, group_bytes);
+        }
+
+        arena.reset();
+        std::array<FilterLane, simd::kBatchLanes> lanes{};
+        for (size_t j = 0; j < cnt; ++j) {
+            lanes[j].pair = &batch[live[j]].pair;
+            lanes[j].cancel = batch[live[j]].cancel;
+        }
+        cascadeFilterBatch({lanes.data(), cnt}, config_.cascade, arena);
+        metrics_.recordFilterBatch(cnt);
+        metrics_.noteArenaPeak(arena.peakBytes());
+
+        for (size_t j = 0; j < cnt; ++j) {
+            FilterPrefill &p = pre[live[j]];
+            p.ran = true;
+            p.status = lanes[j].status;
+            p.filtered = lanes[j].filtered;
+            p.attempt = lanes[j].attempt;
+            p.counts = lanes[j].counts;
+            p.reserved_share = group_grant.bytes() / cnt;
+        }
+        // group_grant releases here: misses re-enter the normal
+        // per-request admission for their banded/full continuation.
+    }
+}
+
 void
 Engine::runRequests(std::vector<Request> batch)
 {
+    // Stamp worker pickup for the whole fused task up front: the lane
+    // packer may run a request's filter tier before its runOne turn, and
+    // a traced request's Dispatch span must precede that work.
     for (Request &req : batch) {
         req.dispatched = Clock::now();
-        const bool traced = trace_.sampled(req.id);
-        if (traced)
+        if (trace_.sampled(req.id))
             trace_.record(req.id, TraceEvent::Dispatch,
                           trace_.toUs(req.dispatched));
+    }
 
-        Served served = runOne(req);
+    // Lane-pack compatible fused requests and run their filter tiers as
+    // packed groups before the per-request loop.
+    std::vector<FilterPrefill> pre(batch.size());
+    if (batch.size() >= 2 && filterBatchingActive())
+        runFilterGroups(batch, pre);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        Request &req = batch[i];
+        const bool traced = trace_.sampled(req.id);
+
+        Served served = runOne(req, &pre[i]);
 
         const Clock::time_point done = Clock::now();
         const double queue_wait_s =

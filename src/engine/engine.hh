@@ -65,6 +65,18 @@ enum class Backpressure {
     ShedOldest //!< drop the oldest queued request (freshest-first service)
 };
 
+/**
+ * When the engine lane-packs fused distance-only requests through the
+ * 4-lane SIMD filter batcher (kernel/simd bpmDistanceBatchLanes).
+ * Results are bit-identical either way — packing only changes
+ * throughput — and GMX_FORCE_SCALAR=1 disables every mode.
+ */
+enum class FilterBatching {
+    Auto, //!< follow runtime dispatch: pack on real AVX2 hosts only
+    On,   //!< pack even on the portable vector backend (tests, benches)
+    Off,  //!< always run the per-request scalar cascade
+};
+
 /** Engine construction parameters. */
 struct EngineConfig
 {
@@ -82,6 +94,9 @@ struct EngineConfig
 
     /** Pairs with pattern+text bases below this count as "small". */
     size_t microbatch_bases = 2048;
+
+    /** Lane-packing policy for fused distance-only requests. */
+    FilterBatching filter_batching = FilterBatching::Auto;
 
     /** Routing configuration for cascade-dispatched requests. */
     CascadeConfig cascade{};
@@ -255,11 +270,38 @@ class Engine
         explicit Served(AlignOutcome o) : outcome(std::move(o)) {}
     };
 
+    /**
+     * What the lane packer already did for one fused request before its
+     * runOne turn: the filter tier ran inside a packed group, producing
+     * either a lane failure (deadline/cancel while siblings ran) or the
+     * scalar-identical filter verdict plus the lane's own attempt record
+     * and work counts to seed the cascade continuation with.
+     */
+    struct FilterPrefill
+    {
+        bool ran = false; //!< filter tier already ran in a packed group
+        Status status{};  //!< lane failure (Cancelled/DeadlineExceeded)
+        align::AlignResult filtered;
+        CascadeAttempt attempt;
+        KernelCounts counts;
+        u64 reserved_share = 0; //!< this lane's share of the group grant
+    };
+
     std::future<AlignOutcome> enqueue(Request req);
     void dispatchLoop();
     void runRequests(std::vector<Request> batch);
-    /** Admission + kernel for one request; never throws. */
-    Served runOne(Request &req);
+    /** Admission + kernel for one request; never throws. @p pre carries
+     *  the lane packer's filter-tier result when the request rode in a
+     *  packed group (null/un-ran otherwise). */
+    Served runOne(Request &req, const FilterPrefill *pre);
+    /** Whether this engine lane-packs right now (config + dispatch). */
+    bool filterBatchingActive() const;
+    /** Whether @p req can ride a packed filter group at all. */
+    bool batchFilterEligible(const Request &req) const;
+    /** Pack eligible requests of @p batch into lane groups, run their
+     *  filter tiers batched, and record the results into @p pre. */
+    void runFilterGroups(std::vector<Request> &batch,
+                         std::vector<FilterPrefill> &pre);
     bool isSmall(const Request &req) const
     {
         return req.bases <= config_.microbatch_bases;

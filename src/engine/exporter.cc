@@ -96,6 +96,13 @@ renderOpenMetrics(const MetricsSnapshot &snap)
     counter(os, "gmx_requests_resource_rejected", snap.resource_rejected);
     counter(os, "gmx_microbatches", snap.microbatches);
     counter(os, "gmx_batched_pairs", snap.batched_pairs);
+    counter(os, "gmx_filter_batches", snap.filter_batches);
+    counter(os, "gmx_filter_batched_pairs", snap.filter_batched_pairs);
+    // Lane-occupancy breakdown of the packed filter groups.
+    os << "# TYPE gmx_filter_batch_groups counter\n";
+    for (size_t l = 0; l < snap.filter_batch_lanes.size(); ++l)
+        os << "gmx_filter_batch_groups_total{lanes=\"" << (l + 1)
+           << "\"} " << snap.filter_batch_lanes[l] << "\n";
     counter(os, "gmx_pool_tasks_executed", snap.pool_executed);
     counter(os, "gmx_pool_steals", snap.pool_steals);
 

@@ -120,6 +120,12 @@ EngineMetrics::snapshot(u64 pool_workers, u64 pool_executed, u64 pool_steals,
     s.queue_peak = queue_peak.load(std::memory_order_relaxed);
     s.microbatches = microbatches.load(std::memory_order_relaxed);
     s.batched_pairs = batched_pairs.load(std::memory_order_relaxed);
+    s.filter_batches = filter_batches.load(std::memory_order_relaxed);
+    s.filter_batched_pairs =
+        filter_batched_pairs.load(std::memory_order_relaxed);
+    for (size_t l = 0; l < s.filter_batch_lanes.size(); ++l)
+        s.filter_batch_lanes[l] =
+            filter_batch_lanes[l].load(std::memory_order_relaxed);
     s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
     s.cancelled = cancelled.load(std::memory_order_relaxed);
     s.downgraded = downgraded.load(std::memory_order_relaxed);
@@ -188,6 +194,12 @@ MetricsSnapshot::toJson() const
     os << ",\"queue_peak\":" << queue_peak;
     os << ",\"microbatches\":" << microbatches;
     os << ",\"batched_pairs\":" << batched_pairs;
+    os << ",\"filter_batches\":" << filter_batches;
+    os << ",\"filter_batched_pairs\":" << filter_batched_pairs;
+    os << ",\"filter_batch_lanes\":[";
+    for (size_t l = 0; l < filter_batch_lanes.size(); ++l)
+        os << (l ? "," : "") << filter_batch_lanes[l];
+    os << "]";
     os << ",\"deadline_missed\":" << deadline_missed;
     os << ",\"cancelled\":" << cancelled;
     os << ",\"downgraded\":" << downgraded;

@@ -113,6 +113,17 @@ struct MetricsSnapshot
     u64 microbatches = 0; //!< pool tasks that fused >= 2 small requests
     u64 batched_pairs = 0; //!< requests that rode inside a micro-batch
 
+    /**
+     * Lane-packed filter-tier groups: how often the engine ran the
+     * cascade's filter through the 4-lane SIMD batcher, how many
+     * requests rode in those groups, and the occupancy histogram
+     * (filter_batch_lanes[l] = groups that ran with l+1 lanes filled —
+     * partial tails land in the lower slots).
+     */
+    u64 filter_batches = 0;
+    u64 filter_batched_pairs = 0;
+    std::array<u64, 4> filter_batch_lanes{};
+
     // Robustness: deadline / cancel / memory-budget outcomes.
     u64 deadline_missed = 0;   //!< requests failed with DeadlineExceeded
     u64 cancelled = 0;         //!< requests failed with Cancelled
@@ -198,6 +209,19 @@ class EngineMetrics
     std::atomic<u64> queue_peak{0};
     std::atomic<u64> microbatches{0};
     std::atomic<u64> batched_pairs{0};
+    std::atomic<u64> filter_batches{0};
+    std::atomic<u64> filter_batched_pairs{0};
+    std::array<std::atomic<u64>, 4> filter_batch_lanes{};
+
+    /** Count one lane-packed filter group that ran with @p lanes lanes. */
+    void recordFilterBatch(size_t lanes)
+    {
+        filter_batches.fetch_add(1, std::memory_order_relaxed);
+        filter_batched_pairs.fetch_add(lanes, std::memory_order_relaxed);
+        if (lanes >= 1 && lanes <= filter_batch_lanes.size())
+            filter_batch_lanes[lanes - 1].fetch_add(
+                1, std::memory_order_relaxed);
+    }
     std::atomic<u64> deadline_missed{0};
     std::atomic<u64> cancelled{0};
     std::atomic<u64> downgraded{0};

@@ -145,6 +145,18 @@ class KernelContext
     void donePhases() { switchPhase(Phase::None); }
 
     /**
+     * Fold a nested sub-context's phase totals into this context. Group
+     * kernels that run per-lane sub-contexts (the inter-pair batcher's
+     * scalar-fallback lanes) report their lanes' time here so the outer
+     * caller still sees one setup/kernel split for the whole call.
+     */
+    void addPhases(Phases p)
+    {
+        setup_ns_ += p.setup_us * 1000;
+        kernel_ns_ += p.kernel_us * 1000;
+    }
+
+    /**
      * Accumulated phase times since the last take, rounded to whole
      * microseconds. Stops any running phase. The engine calls this once
      * per cascade attempt; nested kernels (windowed → full, Hirschberg →

@@ -70,6 +70,12 @@ simdDispatchEnabled()
     return simd::builtWithAvx2() && cpuHasAvx2() && !forceScalar();
 }
 
+bool
+batchDispatchEnabled()
+{
+    return simdDispatchEnabled();
+}
+
 std::string_view
 dispatchKernel(std::string_view name)
 {

@@ -38,6 +38,13 @@ void setForceScalarForTest(int force);
  *  AVX2 + runtime CPU support + not forced scalar. */
 bool simdDispatchEnabled();
 
+/** True when the engine should lane-pack distance batches through the
+ *  inter-pair batcher by default (EngineConfig FilterBatching::Auto).
+ *  Same conjunction as simdDispatchEnabled(): the portable vector
+ *  backend is correct but loses to the scalar kernel, so Auto only packs
+ *  on real AVX2; tests force packing on with FilterBatching::On. */
+bool batchDispatchEnabled();
+
 /** Resolve a configured kernel name to the dispatched variant (see file
  *  comment). Names without a twin pass through unchanged. The returned
  *  view aliases a string literal — always valid. */

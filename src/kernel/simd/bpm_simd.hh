@@ -48,6 +48,10 @@ bool builtWithAvx2();
 constexpr size_t kBatchMaxBlocks = 8;
 constexpr size_t kBatchMaxPattern = kBatchMaxBlocks * 64;
 
+/** Pairs per packed group (one per 64-bit vector lane). Mirrored here so
+ *  engine-side packers don't need the vector vocabulary header. */
+constexpr size_t kBatchLanes = 4;
+
 i64 bpmDistanceSimd(const seq::Sequence &pattern, const seq::Sequence &text,
                     KernelContext &ctx);
 
@@ -63,11 +67,63 @@ align::AlignResult edlibAlignSimd(const seq::Sequence &pattern,
                                   const seq::Sequence &text, bool want_cigar,
                                   i64 k0, KernelContext &ctx);
 
+/** True when @p pair fits a batch lane (pattern 1..kBatchMaxPattern bp,
+ *  text non-empty); everything else takes the scalar fallback. */
+bool batchLaneFits(const seq::SequencePair &pair);
+
+/**
+ * One request's slot in a packed distance batch: the inputs it brings
+ * (pair, its own cancel token) and the per-lane outputs the group call
+ * fills. Giving every lane its own token and counts is what lets fused
+ * engine requests keep per-request deadline semantics and per-request
+ * work attribution through a shared kernel invocation.
+ */
+struct BatchLane
+{
+    const seq::SequencePair *pair = nullptr;
+    CancelToken cancel{}; //!< per-lane deadline/cancel, polled every
+                          //!< kCancelPollStride columns
+
+    // Outputs.
+    i64 distance = align::kNoAlignment; //!< exact distance when status ok
+    Status status{};                    //!< Cancelled / DeadlineExceeded
+    KernelCounts counts{};              //!< this lane's own work
+};
+
+/**
+ * Edit distances for @p lanes with per-lane KernelContext semantics.
+ * Groups of four consecutive batchable lanes (batchLaneFits) run packed
+ * one-per-lane; leftovers and oversize lanes fall back to the scalar
+ * bpmDistance one lane at a time. Distances equal the scalar kernel's
+ * exactly.
+ *
+ * Per-lane semantics: each lane's token is polled inside the packed
+ * column loop; a stopped lane records its Status and is masked out of
+ * the score accumulator while its siblings run to completion. Work is
+ * attributed to each lane's own counts (cells are exact: that lane's
+ * pattern rows times the columns it consumed before finishing or being
+ * stopped). @p ctx supplies the scratch arena, the setup/kernel phase
+ * timers, and an optional aggregate counts sink; its own cancel token
+ * is NOT consulted — cancellation is per lane.
+ */
+void bpmDistanceBatchLanes(std::span<BatchLane> lanes, KernelContext &ctx);
+
+/**
+ * Scratch-arena footprint bound for one bpmDistanceBatchLanes group whose
+ * largest pattern is @p max_pattern bp. Packed quads keep all state in
+ * registers/stack; the bound covers the scalar-fallback lanes, which
+ * rewind their frames between lanes so the group peak is one lane's
+ * worth. The engine reserves this once per group instead of per lane.
+ */
+size_t bpmBatchScratchBytes(size_t max_pattern);
+
 /**
  * Edit distances for @p pairs into @p out (same indexing). Groups of four
  * consecutive pairs whose patterns are 1..kBatchMaxPattern bp (and texts
  * non-empty) run packed one-per-lane; everything else falls back to the
  * scalar bpmDistance. Distances equal the scalar kernel's exactly.
+ * Convenience wrapper over bpmDistanceBatchLanes with every lane sharing
+ * @p ctx's token and counts sink; throws StatusError if the token stops.
  */
 void bpmDistanceBatch4(std::span<const seq::SequencePair> pairs,
                        std::span<i64> out, KernelContext &ctx);

@@ -9,9 +9,11 @@
 
 #include <vector>
 
+#include "align/bpm.hh"
 #include "align/nw.hh"
 #include "kernel/arena.hh"
 #include "kernel/registry.hh"
+#include "kernel/simd/bpm_simd.hh"
 #include "sequence/generator.hh"
 
 namespace gmx {
@@ -145,6 +147,67 @@ TEST(ScratchArena, KernelEstimatesHoldAtWordBoundarySizes)
                 << d.name << " len=" << len
                 << ": kernel outgrew its admission estimate";
         }
+    }
+}
+
+TEST(ScratchArena, BatchEntryEstimateCoversGroupPeak)
+{
+    // The engine reserves bpmBatchScratchBytes(max_pattern) ONCE for a
+    // whole packed group (per-lane reservations would double-count the
+    // shared scratch). The admission contract for that entry point: the
+    // group's measured arena peak never exceeds the single estimate, and
+    // the estimate is not grossly padded (est <= 4*peak + 16 KiB).
+    seq::Generator gen(1212);
+    std::vector<seq::SequencePair> pairs;
+    size_t max_pattern = 0;
+    for (size_t len : {300u, 64u, 257u, 150u}) {
+        pairs.push_back(gen.pair(len, 0.05));
+        max_pattern = std::max(max_pattern, pairs.back().pattern.size());
+    }
+
+    auto run_lanes = [](std::vector<seq::SequencePair> &ps,
+                        ScratchArena &arena) {
+        std::vector<simd::BatchLane> lanes(ps.size());
+        for (size_t i = 0; i < ps.size(); ++i)
+            lanes[i].pair = &ps[i];
+        KernelContext ctx(CancelToken{}, nullptr, &arena);
+        simd::bpmDistanceBatchLanes({lanes.data(), lanes.size()}, ctx);
+        return lanes;
+    };
+
+    // Full quad: the packed path keeps lane state in registers/stack, so
+    // a zero arena peak is legal — the estimate's fixed slack term keeps
+    // the upper-bound check meaningful without demanding arena traffic.
+    {
+        ScratchArena arena;
+        const auto lanes = run_lanes(pairs, arena);
+        const size_t est = simd::bpmBatchScratchBytes(max_pattern);
+        EXPECT_GE(est, arena.peakBytes());
+        EXPECT_LE(est, 4 * arena.peakBytes() + 16 * 1024);
+        for (size_t i = 0; i < lanes.size(); ++i) {
+            ASSERT_TRUE(lanes[i].status.ok()) << i;
+            KernelContext scalar;
+            EXPECT_EQ(lanes[i].distance,
+                      align::bpmDistance(pairs[i].pattern, pairs[i].text,
+                                         scalar))
+                << i;
+        }
+    }
+
+    // 3-lane partial tail: the scalar fallback lanes do carve arena
+    // frames; they rewind between lanes so the group peak is one lane's
+    // worth, still under the same single-group estimate.
+    {
+        std::vector<seq::SequencePair> tail(pairs.begin(),
+                                            pairs.begin() + 3);
+        ScratchArena arena;
+        const auto lanes = run_lanes(tail, arena);
+        EXPECT_GT(arena.peakBytes(), 0u);
+        const size_t est = simd::bpmBatchScratchBytes(max_pattern);
+        EXPECT_GE(est, arena.peakBytes());
+        EXPECT_LE(est, 4 * arena.peakBytes() + 16 * 1024);
+        for (size_t i = 0; i < lanes.size(); ++i)
+            ASSERT_TRUE(lanes[i].status.ok()) << i;
     }
 }
 

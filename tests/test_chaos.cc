@@ -198,6 +198,9 @@ TEST_F(Chaos, SeededStormHundredIterationsNoDeadlockNoLeakedFutures)
         cfg.backpressure = (seed % 2) ? Backpressure::ShedOldest
                                       : Backpressure::Reject;
         cfg.microbatch_max = 4;
+        // Storm with lane packing armed: packed filter groups must keep
+        // the completed/failed/shed ledger exact under injected faults.
+        cfg.filter_batching = FilterBatching::On;
         std::vector<std::future<Outcome>> futures;
         {
             Engine engine(cfg);
