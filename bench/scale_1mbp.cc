@@ -5,30 +5,48 @@
  * alignments/s and Windowed(GMX) at ~374 alignments/s (1.58x the GenASM
  * accelerator); Full(GMX) is excluded (it would need >10 GB on a 1 GB
  * SoC) — we print its projected footprint to confirm.
+ *
+ * This bench also exercises the streaming tier end to end: the streamed
+ * Windowed(GMX) traversal must report the bit-identical distance to the
+ * monolithic aligner at no throughput loss (its live memory is O(window)
+ * instead of O(n + m)), and one engine must serve a long-class pair and
+ * 150 bp short reads under a single memory budget. `--smoke` runs the
+ * same legs on a 64 kbp pair with hard pass/fail checks for CI.
  */
 
-#include "align/bpm.hh"
+#include <cstring>
+
+#include "align/nw.hh"
 #include "bench_util.hh"
 #include "common/timer.hh"
+#include "engine/engine.hh"
 #include "gmx/banded.hh"
 #include "gmx/windowed.hh"
 #include "hw/dsa.hh"
+#include "sequence/generator.hh"
 #include "sim/perf.hh"
 #include "sim/profile.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace gmx;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
 
     gmx::bench::banner(
         "Section 7.4: 1 Mbp scalability (RTL-InOrder core)",
         "Banded(GMX) ~20 alignments/s; Windowed(GMX) ~374 alignments/s, "
         "1.58x the GenASM accelerator; Full(GMX) excluded (>10 GB)");
 
-    std::printf("\nGenerating the 1 Mbp @ 15%% error pair...\n");
-    const seq::Dataset ds = seq::megabaseDataset(1);
-    const auto &pair = ds.pairs[0];
+    const size_t length = smoke ? 64 * 1024 : 1000000;
+    std::printf("\nGenerating the %zu bp @ 15%% error pair%s...\n", length,
+                smoke ? " (--smoke)" : "");
+    seq::Generator gen(46);
+    const auto pair = gen.pair(length, 0.15);
     const size_t n = pair.pattern.size();
     const size_t m = pair.text.size();
     std::printf("pattern %zu bp, text %zu bp\n", n, m);
@@ -36,6 +54,7 @@ main()
     const sim::CoreConfig core = sim::CoreConfig::rtlInOrder();
     const sim::MemSystemConfig mem = sim::MemSystemConfig::rtlLike();
     TextTable table({"configuration", "model align/s", "paper align/s"});
+    int failures = 0;
 
     // Full(GMX) footprint check (the reason the paper excludes it).
     {
@@ -43,22 +62,26 @@ main()
                              (static_cast<double>(m) / 32.0);
         std::printf("\nFull(GMX) tile-edge matrix would need %.1f GB "
                     "(paper: >10 GB with the DP baselines far larger) — "
-                    "excluded.\n",
-                    32.0 * tiles / 1e9);
+                    "excluded. Streamed Windowed(GMX) reserves %zu bytes.\n",
+                    32.0 * tiles / 1e9,
+                    engine::windowedStreamBytes(96, 32));
     }
 
-    // Windowed(GMX), W=96 O=32.
+    // Monolithic Windowed(GMX), W=96 O=32: the O(n + m) baseline.
+    i64 mono_distance = 0;
+    double mono_seconds = 0;
     {
         align::KernelCounts counts;
         KernelContext ctx(CancelToken{}, &counts);
         Timer t;
         const auto res = core::windowedGmxAlign(pair.pattern, pair.text, 32,
                                                 {96, 32}, ctx);
-        std::printf("\nWindowed(GMX): emulated in %.1fs, heuristic "
-                    "distance %lld\n",
-                    t.seconds(), static_cast<long long>(res.distance));
-        const auto profile =
-            sim::windowedGmxProfile(n, m, 96, 32, counts);
+        mono_seconds = t.seconds();
+        mono_distance = res.distance;
+        std::printf("\nWindowed(GMX) monolithic: emulated in %.1fs, "
+                    "heuristic distance %lld\n",
+                    mono_seconds, static_cast<long long>(mono_distance));
+        const auto profile = sim::windowedGmxProfile(n, m, 96, 32, counts);
         const double aps =
             sim::evaluate(profile, core, mem).alignments_per_second;
         table.addRow({"Windowed(GMX) W=96 O=32",
@@ -73,9 +96,100 @@ main()
                     aps / gen_aps);
     }
 
-    // Banded(GMX) with a fixed band budget (distance-only, rolling
-    // storage — the megabase configuration).
+    // Streamed Windowed(GMX): identical traversal, O(window) live state.
     {
+        u64 runs = 0;
+        ScratchArena arena;
+        KernelContext ctx(CancelToken{}, nullptr, &arena);
+        Timer t;
+        const i64 streamed_distance = core::windowedGmxStream(
+            pair.pattern, pair.text, 32, {96, 32},
+            [&runs](align::Op, u64) { ++runs; }, ctx);
+        const double streamed_seconds = t.seconds();
+        const double ratio = mono_seconds / streamed_seconds;
+        std::printf("\nWindowed(GMX) streamed: emulated in %.1fs "
+                    "(%.2fx monolithic throughput), distance %lld, "
+                    "%llu CIGAR runs, arena peak %zu bytes "
+                    "(length-independent)\n",
+                    streamed_seconds, ratio,
+                    static_cast<long long>(streamed_distance),
+                    static_cast<unsigned long long>(runs),
+                    arena.peakBytes());
+        if (streamed_distance != mono_distance) {
+            std::printf("FAIL: streamed distance %lld != monolithic %lld\n",
+                        static_cast<long long>(streamed_distance),
+                        static_cast<long long>(mono_distance));
+            ++failures;
+        }
+        // Streaming must not cost throughput (generous floor for timer
+        // noise on the smoke-sized run).
+        if (smoke && ratio < 0.7) {
+            std::printf("FAIL: streamed throughput ratio %.2f < 0.7\n",
+                        ratio);
+            ++failures;
+        }
+        if (arena.peakBytes() > engine::windowedStreamBytes(96, 32)) {
+            std::printf("FAIL: streamed arena peak %zu exceeds the "
+                        "O(window) reservation %zu\n",
+                        arena.peakBytes(),
+                        engine::windowedStreamBytes(96, 32));
+            ++failures;
+        }
+    }
+
+    // Mixed traffic: one engine, one budget, the long-class pair riding
+    // with 150 bp short reads — the serving story the streamed tier buys.
+    {
+        engine::EngineConfig cfg;
+        cfg.cascade.long_threshold = 32 * 1024;
+        cfg.memory_budget_bytes = 64 * 1024 * 1024;
+        engine::Engine eng(cfg);
+
+        std::vector<seq::SequencePair> shorts;
+        for (int i = 0; i < 64; ++i)
+            shorts.push_back(gen.pair(150, 0.005));
+
+        Timer t;
+        auto long_f = eng.submit(pair, /*want_cigar=*/false);
+        std::vector<std::future<engine::Engine::AlignOutcome>> fs;
+        for (const auto &p : shorts)
+            fs.push_back(eng.submit(p, /*want_cigar=*/false));
+
+        auto long_res = long_f.get();
+        size_t short_ok = 0;
+        for (size_t i = 0; i < fs.size(); ++i) {
+            auto r = fs[i].get();
+            if (r.ok() && r->distance == align::nwDistance(
+                              shorts[i].pattern, shorts[i].text))
+                ++short_ok;
+        }
+        const auto snap = eng.metrics();
+        const u64 streamed_hits =
+            snap.tier_hits[static_cast<unsigned>(engine::Tier::Streamed)];
+        std::printf("\nMixed engine run (%.1fs): long-class %s "
+                    "(distance %lld), %zu/%zu short reads exact, "
+                    "streamed tier hits %llu, budget peak %llu bytes\n",
+                    t.seconds(), long_res.ok() ? "served" : "FAILED",
+                    long_res.ok()
+                        ? static_cast<long long>(long_res->distance)
+                        : -1LL,
+                    short_ok, shorts.size(),
+                    static_cast<unsigned long long>(streamed_hits),
+                    static_cast<unsigned long long>(snap.mem_reserved_peak));
+        if (!long_res.ok() || long_res->distance != mono_distance ||
+            short_ok != shorts.size() || streamed_hits != 1) {
+            std::printf("FAIL: mixed engine leg (long ok=%d, short %zu/%zu, "
+                        "streamed hits %llu)\n",
+                        long_res.ok() ? 1 : 0, short_ok, shorts.size(),
+                        static_cast<unsigned long long>(streamed_hits));
+            ++failures;
+        }
+    }
+
+    // Banded(GMX) with a fixed band budget (distance-only, rolling
+    // storage — the megabase configuration). Skipped in smoke: the wide
+    // band dominates CI wall-clock without adding coverage.
+    if (!smoke) {
         const i64 band_k = 4 * 1024;
         align::KernelCounts counts;
         KernelContext ctx(CancelToken{}, &counts);
@@ -97,5 +211,11 @@ main()
 
     std::printf("\n");
     table.print();
+    if (failures) {
+        std::printf("\n%d smoke check(s) FAILED\n", failures);
+        return 1;
+    }
+    if (smoke)
+        std::printf("\nsmoke checks passed\n");
     return 0;
 }

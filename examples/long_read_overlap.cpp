@@ -4,17 +4,20 @@
  * use case (de-novo assembly's overlap step).
  *
  * Noisy ONT/PacBio-like long reads are sampled along a genome so that
- * consecutive reads overlap. For each candidate pair, the suffix of one
- * read is aligned against the prefix of the next with Windowed(GMX)
- * (constant-memory, megabase-capable), and the overlap is accepted when
- * the alignment identity clears a threshold.
+ * consecutive reads overlap. Candidate suffix/prefix pairs are submitted
+ * to the alignment engine with per-request deadlines; the engine's
+ * length-class router sends them to the streaming Windowed(GMX) tier
+ * (O(window) memory, megabase-capable), and each overlap is accepted
+ * when the returned alignment verifies, spans the expected coordinates,
+ * and clears an identity threshold.
  */
 
 #include <cstdio>
+#include <future>
 #include <vector>
 
 #include "align/verify.hh"
-#include "gmx/windowed.hh"
+#include "engine/engine.hh"
 #include "sequence/generator.hh"
 
 namespace {
@@ -34,28 +37,29 @@ struct Overlap
     size_t length = 0;
 };
 
+/**
+ * Judge one engine outcome as an overlap: the alignment must have
+ * succeeded, its CIGAR must verify against the submitted suffix/prefix
+ * and consume both of them end to end (the coordinate self-check), and
+ * the identity must clear the threshold.
+ */
 Overlap
-computeOverlap(const seq::Sequence &a, const seq::Sequence &b,
-               size_t expected)
+judge(const seq::Sequence &suffix, const seq::Sequence &prefix,
+      const engine::Engine::AlignOutcome &outcome)
 {
-    // Align a's suffix against b's prefix over the expected overlap span
-    // (the candidate pair's sampling geometry makes the regions
-    // correspond; the windowed corridor absorbs the indel drift).
-    const size_t span = std::min(expected, a.size());
-    const seq::Sequence suffix = a.substr(a.size() - span, span);
-    const seq::Sequence prefix = b.substr(0, span);
-
-    // Long noisy reads accumulate indel drift; use a wider window
-    // (W = 6T, O = 2T) so the corridor tracks it, as the DSA windowed
-    // implementations do for long reads.
-    const auto res = core::windowedGmxAlign(suffix, prefix, 32, {192, 64});
-    const auto check = align::verifyCigar(suffix, prefix, res.cigar);
     Overlap ov;
+    if (!outcome.ok())
+        return ov;
+    const auto &res = *outcome;
+    const auto check = align::verifyCigar(suffix, prefix, res.cigar);
     if (!check.ok)
         return ov;
+    if (res.cigar.patternLength() != suffix.size() ||
+        res.cigar.textLength() != prefix.size())
+        return ov; // partial/misplaced alignment: not a usable overlap
     const size_t matches = res.cigar.size() - res.cigar.editDistance();
     ov.identity = static_cast<double>(matches) / res.cigar.size();
-    ov.length = span;
+    ov.length = suffix.size();
     ov.accepted = ov.identity >= kMinIdentity;
     return ov;
 }
@@ -83,10 +87,41 @@ main()
                 "overlap)\n\n",
                 reads.size(), kReadLength - kStride);
 
+    // One engine serves every candidate. Long noisy reads accumulate
+    // indel drift, so the long tier runs a wider window (W = 6T, O = 2T)
+    // as the DSA windowed implementations do; the threshold is set below
+    // the overlap span so every candidate routes to the streamed tier.
+    engine::EngineConfig cfg;
+    cfg.cascade.long_threshold = 2048;
+    cfg.cascade.long_window = 192;
+    cfg.cascade.long_overlap = 64;
+    engine::Engine eng(cfg);
+
+    const size_t span = kReadLength - kStride;
+    auto submitOverlap = [&](const seq::Sequence &a, const seq::Sequence &b) {
+        const size_t take = std::min(span, a.size());
+        seq::SequencePair pair{a.substr(a.size() - take, take),
+                               b.substr(0, take)};
+        engine::SubmitOptions opts;
+        opts.want_cigar = true;
+        opts.timeout = std::chrono::seconds(10); // overlap SLA
+        return eng.submit(std::move(pair), std::move(opts));
+    };
+
+    // Submit every candidate up front; the engine pipelines them across
+    // its workers. Futures resolve in any order; results keep the index.
+    std::vector<std::future<engine::Engine::AlignOutcome>> futures;
+    for (size_t r = 0; r + 1 < reads.size(); ++r)
+        futures.push_back(submitOverlap(reads[r], reads[r + 1]));
+    auto control_future = submitOverlap(reads.front(), reads.back());
+
     size_t accepted = 0;
     for (size_t r = 0; r + 1 < reads.size(); ++r) {
-        const Overlap ov = computeOverlap(reads[r], reads[r + 1],
-                                          kReadLength - kStride);
+        const size_t take = std::min(span, reads[r].size());
+        const seq::Sequence suffix =
+            reads[r].substr(reads[r].size() - take, take);
+        const seq::Sequence prefix = reads[r + 1].substr(0, take);
+        const Overlap ov = judge(suffix, prefix, futures[r].get());
         std::printf("reads %2zu-%2zu: identity %.3f over %5zu bp -> %s\n",
                     r, r + 1, ov.identity, ov.length,
                     ov.accepted ? "overlap" : "reject");
@@ -94,15 +129,29 @@ main()
     }
 
     // Negative control: a far-apart pair must be rejected.
-    const Overlap control =
-        computeOverlap(reads.front(), reads.back(),
-                       kReadLength - kStride);
-    std::printf("control %zu-%zu (disjoint loci): identity %.3f -> %s\n",
-                size_t{0}, reads.size() - 1, control.identity,
-                control.accepted ? "overlap (WRONG)" : "reject");
+    {
+        const size_t take = std::min(span, reads.front().size());
+        const seq::Sequence suffix =
+            reads.front().substr(reads.front().size() - take, take);
+        const seq::Sequence prefix = reads.back().substr(0, take);
+        const Overlap control = judge(suffix, prefix, control_future.get());
+        const size_t pairs = reads.size() - 1;
+        std::printf("control %zu-%zu (disjoint loci): identity %.3f -> %s\n",
+                    size_t{0}, reads.size() - 1, control.identity,
+                    control.accepted ? "overlap (WRONG)" : "reject");
 
-    const size_t pairs = reads.size() - 1;
-    std::printf("\naccepted %zu / %zu true overlaps; control rejected: %s\n",
-                accepted, pairs, control.accepted ? "no" : "yes");
-    return (accepted == pairs && !control.accepted) ? 0 : 1;
+        // Engine-side acceptance: every candidate must have ridden the
+        // streamed long-read tier, with nothing rejected or downgraded.
+        const auto snap = eng.metrics();
+        const u64 streamed = snap.tier_hits[static_cast<unsigned>(
+            engine::Tier::Streamed)];
+        std::printf("\naccepted %zu / %zu true overlaps; control rejected: "
+                    "%s; streamed tier served %llu/%zu requests\n",
+                    accepted, pairs, control.accepted ? "no" : "yes",
+                    static_cast<unsigned long long>(streamed), pairs + 1);
+        const bool ok = accepted == pairs && !control.accepted &&
+                        streamed == pairs + 1 && snap.invalid == 0 &&
+                        snap.deadline_missed == 0;
+        return ok ? 0 : 1;
+    }
 }

@@ -132,9 +132,27 @@ cmake --build build-ubsan -j"$(nproc)" --target \
     test_registry test_arena test_dispatch test_nw test_bpm \
     test_bpm_banded test_bitap \
     test_hirschberg test_gmx_full test_gmx_banded test_gmx_windowed \
-    test_engine test_engine_batch
+    test_windowed_stream test_engine test_engine_batch
 ctest --test-dir build-ubsan --output-on-failure -j"$(nproc)" \
-    -R 'Registry|ScratchArena|Dispatch|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|Engine|Cascade|Pool|Batch'
+    -R 'Registry|ScratchArena|Dispatch|Nw|Bpm|Bitap|Hirschberg|FullGmx|BandedGmx|WindowedGmx|WindowedStream|Engine|Cascade|Pool|Batch'
+
+echo "== Long-read pass (ASan streamed equivalence + 1 Mbp smoke) =="
+# The streaming windowed tier owns a reentrant stepper with per-window
+# arena rewinds: AddressSanitizer must see the streamed-vs-monolithic
+# equivalence corpus and the O(window) arena contract clean, and the
+# scale bench's --smoke mode drives the full mixed-traffic serving story
+# (1 long pair + 150 bp shorts under one budget) with hard pass/fail
+# checks.
+cmake -B build-longread -S . -DGMX_SANITIZE=address
+cmake --build build-longread -j"$(nproc)" \
+    --target test_windowed_stream test_arena long_read_overlap
+ctest --test-dir build-longread --output-on-failure -j"$(nproc)" \
+    -R 'WindowedStream|ScratchArena'
+build-longread/examples/long_read_overlap >/dev/null
+echo "long_read_overlap smoke OK"
+cmake --build build -j"$(nproc)" --target scale_1mbp
+build/bench/scale_1mbp --smoke
+echo "scale_1mbp smoke OK"
 
 sanitize="${GMX_SANITIZE:-}"
 

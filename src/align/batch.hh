@@ -27,6 +27,18 @@ namespace gmx::align {
 using PairAligner = std::function<AlignResult(const seq::SequencePair &)>;
 
 /**
+ * Admission class of a pair. Short pairs run the exact cascade under
+ * the short-class limits; Long pairs run a streaming O(window) kernel,
+ * so the length-sensitive short limits (max_pair_bases, skew) do not
+ * apply to them — only the long class's own cap does. The router
+ * (engine::lengthClassFor) decides the class; validation honours it.
+ */
+enum class LengthClass {
+    Short,
+    Long,
+};
+
+/**
  * Admission limits applied to every pair before a kernel sees it.
  * Shared by align::batchAlign and engine::Engine::submit, so the whole
  * pipeline rejects hostile inputs with a typed InvalidInput status
@@ -45,10 +57,29 @@ struct InputLimits
 
     /** Max |pattern length - text length| (0 = unlimited). */
     size_t max_length_skew = 0;
+
+    /**
+     * Max pattern + text bases for a Long-class pair (0 = unlimited).
+     * Separate from max_pair_bases because the long class's streaming
+     * kernel holds O(window) state: the cap guards wall-clock and
+     * result-frame size, not memory, so it can sit orders of magnitude
+     * above the short-class limit.
+     */
+    size_t max_long_pair_bases = 0;
 };
 
 /** Ok, or InvalidInput naming the first violated limit. */
 Status validatePair(const seq::SequencePair &pair, const InputLimits &limits);
+
+/**
+ * Class-aware validation: Short applies the full short-class limit set
+ * (identical to the two-argument overload); Long applies reject_empty,
+ * reject_non_acgt, and max_long_pair_bases only — a Long pair is by
+ * definition past the short length limits, and skew between a read and
+ * a reference window is routine at Mbp scale.
+ */
+Status validatePair(const seq::SequencePair &pair, const InputLimits &limits,
+                    LengthClass klass);
 
 /**
  * Align every pair of @p pairs with @p aligner on @p threads workers

@@ -1,6 +1,7 @@
 #include "align/windowed.hh"
 
 #include <algorithm>
+#include <string_view>
 
 #include "align/bitap.hh"
 #include "align/nw.hh"
@@ -8,71 +9,151 @@
 
 namespace gmx::align {
 
+WindowStepper::WindowStepper(const seq::Sequence &pattern,
+                             const seq::Sequence &text,
+                             const WindowedParams &params,
+                             const WindowAligner &window_fn,
+                             KernelContext &ctx)
+    : pattern_(pattern), text_(text), params_(params), window_fn_(window_fn),
+      ctx_(ctx), ri_(pattern.size()), rj_(text.size())
+{
+    if (params_.window == 0 || params_.overlap >= params_.window)
+        GMX_FATAL("windowedAlign: invalid geometry W=%zu O=%zu",
+                  params_.window, params_.overlap);
+    // A window commits at most wp + wt <= 2W ops, so at most 2W runs can
+    // seal in one step (plus the pending run carried over the seam).
+    emit_.reserve(2 * params_.window + 1);
+}
+
+void
+WindowStepper::pushOp(Op op, u64 len)
+{
+    committed_ += len;
+    if (op != Op::Match)
+        distance_ += len;
+    if (pending_len_ > 0 && pending_op_ == op) {
+        pending_len_ += len;
+        return;
+    }
+    flushPending();
+    pending_op_ = op;
+    pending_len_ = len;
+}
+
+void
+WindowStepper::flushPending()
+{
+    if (pending_len_ > 0) {
+        emit_.push_back({pending_op_, pending_len_});
+        pending_len_ = 0;
+    }
+}
+
+void
+WindowStepper::step()
+{
+    GMX_ASSERT(!done(), "WindowStepper::step past the final window");
+    emit_.clear();
+    // One check per window: window work is bounded by W^2, so an active
+    // token is consulted at a granularity far below the deadline budget.
+    ctx_.checkNow();
+
+    const size_t W = params_.window;
+    const size_t O = params_.overlap;
+    const size_t wp = std::min(W, ri_);
+    const size_t wt = std::min(W, rj_);
+    const bool final_window = (wp == ri_ && wt == rj_);
+    ++windows_;
+
+    // DENT-style discard of converged windows: byte-identical square
+    // chunks have exactly one optimal window alignment — the all-match
+    // diagonal (any other path costs > 0) — so commit it directly and
+    // never build the window's DP state. A non-final identical window is
+    // necessarily W x W (a smaller square window would be final), so the
+    // overlap holdback commits exactly W - O matches, precisely what the
+    // commit walk below would accept from an all-match CIGAR.
+    if (params_.converged_fast_path && wp == wt && wp > 0) {
+        const std::string_view p(pattern_.str());
+        const std::string_view t(text_.str());
+        if (p.substr(ri_ - wp, wp) == t.substr(rj_ - wt, wt)) {
+            const size_t commit = final_window ? wp : wp - O;
+            pushOp(Op::Match, commit);
+            ri_ -= commit;
+            rj_ -= commit;
+            ++fast_windows_;
+            if (final_window)
+                flushPending();
+            return;
+        }
+    }
+
+    AlignResult win;
+    {
+        // The window kernel's scratch dies with this frame: the arena
+        // rewinds to its pre-window mark, so the traversal's peak is one
+        // window's footprint regardless of sequence length.
+        ScratchArena::Frame frame(ctx_.arena());
+        const seq::Sequence sub_p = pattern_.substr(ri_ - wp, wp);
+        const seq::Sequence sub_t = text_.substr(rj_ - wt, wt);
+        win = window_fn_(sub_p, sub_t);
+    }
+    GMX_ASSERT(win.found() && win.has_cigar,
+               "window aligner must return a full CIGAR");
+
+    const auto &wops = win.cigar.ops();
+    // Walk the window path from its bottom-right corner.
+    size_t wi = wp; // window-relative pattern rows still ahead
+    size_t wj = wt;
+    size_t accepted = 0;
+    for (size_t k = wops.size(); k-- > 0;) {
+        if (!final_window) {
+            // Stop committing once the path enters the overlap region
+            // (within O of the window's top-left edge on either axis).
+            const bool in_overlap = (wi <= O) || (wj <= O);
+            if (in_overlap && accepted > 0)
+                break;
+        }
+        const Op op = wops[k];
+        pushOp(op, 1);
+        ++accepted;
+        if (op != Op::Deletion)
+            --wi;
+        if (op != Op::Insertion)
+            --wj;
+    }
+    GMX_ASSERT(accepted > 0, "windowed driver made no progress");
+    ri_ -= (wp - wi);
+    rj_ -= (wt - wj);
+    if (final_window) {
+        GMX_ASSERT(ri_ == 0 && rj_ == 0);
+        flushPending();
+    }
+}
+
 AlignResult
 windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
               const WindowedParams &params, const WindowAligner &window_fn,
               KernelContext &ctx)
 {
-    const size_t W = params.window;
-    const size_t O = params.overlap;
-    if (W == 0 || O >= W)
-        GMX_FATAL("windowedAlign: invalid geometry W=%zu O=%zu", W, O);
+    WindowStepper stepper(pattern, text, params, window_fn, ctx);
 
-    // Remaining (unaligned) prefix lengths of each sequence. Windows are
-    // anchored at the bottom-right of the remaining region.
-    size_t ri = pattern.size();
-    size_t rj = text.size();
-
-    // Ops are collected back-to-front and reversed at the end.
-    std::vector<Op> ops;
-    ops.reserve(pattern.size() + text.size());
-
-    while (ri > 0 || rj > 0) {
-        // One check per window: window work is bounded by W^2, so an
-        // active token is consulted at a granularity far below the
-        // deadline budget.
-        ctx.checkNow();
-        const size_t wp = std::min(W, ri);
-        const size_t wt = std::min(W, rj);
-        const bool final_window = (wp == ri && wt == rj);
-
-        const seq::Sequence sub_p = pattern.substr(ri - wp, wp);
-        const seq::Sequence sub_t = text.substr(rj - wt, wt);
-        AlignResult win = window_fn(sub_p, sub_t);
-        GMX_ASSERT(win.found() && win.has_cigar,
-                   "window aligner must return a full CIGAR");
-
-        const auto &wops = win.cigar.ops();
-        // Walk the window path from its bottom-right corner.
-        size_t wi = wp; // window-relative pattern rows still ahead
-        size_t wj = wt;
-        size_t accepted = 0;
-        for (size_t k = wops.size(); k-- > 0;) {
-            if (!final_window) {
-                // Stop committing once the path enters the overlap region
-                // (within O of the window's top-left edge on either axis).
-                const bool in_overlap = (wi <= O) || (wj <= O);
-                if (in_overlap && accepted > 0)
-                    break;
-            }
-            const Op op = wops[k];
-            ops.push_back(op);
-            ++accepted;
-            if (op != Op::Deletion)
-                --wi;
-            if (op != Op::Insertion)
-                --wj;
-        }
-        GMX_ASSERT(accepted > 0, "windowed driver made no progress");
-        ri -= (wp - wi);
-        rj -= (wt - wj);
-        if (final_window) {
-            GMX_ASSERT(ri == 0 && rj == 0);
-            break;
-        }
+    // Sealed runs arrive in reverse commit order; collect them, then
+    // expand last-to-first into the forward op vector. Ops within a run
+    // are identical, so this reproduces the pre-stepper push-then-reverse
+    // op order bit for bit.
+    std::vector<CigarRun> rev;
+    rev.reserve(64);
+    while (!stepper.done()) {
+        stepper.step();
+        const auto sealed = stepper.runs();
+        rev.insert(rev.end(), sealed.begin(), sealed.end());
     }
 
-    std::reverse(ops.begin(), ops.end());
+    std::vector<Op> ops;
+    ops.reserve(stepper.committedOps());
+    for (size_t i = rev.size(); i-- > 0;)
+        ops.insert(ops.end(), static_cast<size_t>(rev[i].len), rev[i].op);
+
     AlignResult res;
     res.cigar = Cigar(std::move(ops));
     res.distance = static_cast<i64>(res.cigar.editDistance());
@@ -86,6 +167,21 @@ windowedAlign(const seq::Sequence &pattern, const seq::Sequence &text,
 {
     KernelContext ctx;
     return windowedAlign(pattern, text, params, window_fn, ctx);
+}
+
+i64
+windowedStream(const seq::Sequence &pattern, const seq::Sequence &text,
+               const WindowedParams &params, const WindowAligner &window_fn,
+               const CigarRunSink &sink, KernelContext &ctx)
+{
+    WindowStepper stepper(pattern, text, params, window_fn, ctx);
+    while (!stepper.done()) {
+        stepper.step();
+        if (sink)
+            for (const CigarRun &run : stepper.runs())
+                sink(run.op, run.len);
+    }
+    return static_cast<i64>(stepper.distance());
 }
 
 AlignResult

@@ -9,6 +9,18 @@
  * callback, so the same driver implements Windowed(GenASM-CPU) (Bitap
  * windows), Windowed(DP) and Windowed(GMX) (tile windows).
  *
+ * The traversal is implemented by WindowStepper, a reentrant one-window-
+ * at-a-time state machine with O(window) live state: each step() aligns
+ * one window inside a ScratchArena::Frame (the window's DP/bitvector
+ * scratch dies with the step), commits the accepted ops as run-length
+ * CIGAR records into a bounded emit buffer, and discards windows whose
+ * chunks already converged (byte-identical => the all-match diagonal is
+ * the unique optimal path) without building any window state — the
+ * Scrooge DENT idea applied to the windowed heuristic. windowedAlign()
+ * is a thin wrapper that drains the stepper into a materialized CIGAR;
+ * windowedStream() drains it into a caller sink so arbitrarily long
+ * pairs never materialize an O(n + m) op vector.
+ *
  * Windowed alignment is a heuristic: the committed path is a valid
  * alignment, but its cost can exceed the optimal edit distance when the
  * optimal path leaves the window corridor.
@@ -18,6 +30,8 @@
 #define GMX_ALIGN_WINDOWED_HH
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "align/types.hh"
 #include "kernel/context.hh"
@@ -30,6 +44,17 @@ struct WindowedParams
 {
     size_t window = 96;  //!< W: window side length
     size_t overlap = 32; //!< O: overlap between consecutive windows
+
+    /**
+     * DENT-style discard of converged windows: when a square window's
+     * pattern and text chunks are byte-identical, the unique optimal
+     * window alignment is the all-match diagonal (any other path costs
+     * more), so the stepper commits it directly and never builds the
+     * window's DP state. Results are bit-identical either way — the
+     * flag exists so tests can prove that, and so pathological
+     * benchmarks can measure the window kernel alone.
+     */
+    bool converged_fast_path = true;
 };
 
 /**
@@ -39,13 +64,94 @@ struct WindowedParams
 using WindowAligner = std::function<AlignResult(const seq::Sequence &,
                                                 const seq::Sequence &)>;
 
+/** One run-length CIGAR record emitted by the streaming windowed path. */
+struct CigarRun
+{
+    Op op = Op::Match;
+    u64 len = 0;
+};
+
+/**
+ * Consumes CIGAR runs in reverse commit order (end of the alignment
+ * first, mirroring the bottom-right-to-top-left window traversal). Runs
+ * are seam-coalesced: consecutive calls never carry the same op, so the
+ * stream is the canonical run-length form of the reversed CIGAR.
+ */
+using CigarRunSink = std::function<void(Op op, u64 len)>;
+
+/**
+ * Reentrant windowed traversal over one pair: owns only the current
+ * window's bookkeeping plus a bounded (<= 2W + 1 runs) emit buffer, so
+ * total live state is O(window) regardless of sequence length. The
+ * referenced pattern/text/window_fn/ctx must outlive the stepper.
+ *
+ * Throws FatalError on invalid geometry (overlap >= window). step()
+ * checks the context's cancel token once per window (each window is
+ * O(W^2) bounded work) and unwinds with StatusError when it requests a
+ * stop; the window kernel's scratch is drawn from the context's arena
+ * inside a per-window Frame, so the traversal's arena peak is one
+ * window's footprint.
+ */
+class WindowStepper
+{
+  public:
+    WindowStepper(const seq::Sequence &pattern, const seq::Sequence &text,
+                  const WindowedParams &params,
+                  const WindowAligner &window_fn, KernelContext &ctx);
+
+    /** True once every base of both sequences has been committed. */
+    bool done() const { return ri_ == 0 && rj_ == 0; }
+
+    /**
+     * Align and commit one window; refills runs() with the runs this
+     * step completed. A run that may still extend across the next seam
+     * is withheld until an op change (or the final window) seals it, so
+     * some steps legally emit zero runs.
+     */
+    void step();
+
+    /** Runs sealed by the last step(), in reverse commit order. */
+    std::span<const CigarRun> runs() const { return emit_; }
+
+    /** Committed edit distance so far (X + I + D ops). */
+    u64 distance() const { return distance_; }
+
+    /** Total committed ops so far (sizes the materialized CIGAR). */
+    u64 committedOps() const { return committed_; }
+
+    u64 windows() const { return windows_; }
+
+    /** Windows discarded by the converged fast path. */
+    u64 fastWindows() const { return fast_windows_; }
+
+  private:
+    void pushOp(Op op, u64 len);
+    void flushPending();
+
+    const seq::Sequence &pattern_;
+    const seq::Sequence &text_;
+    WindowedParams params_;
+    const WindowAligner &window_fn_;
+    KernelContext &ctx_;
+
+    size_t ri_; //!< remaining (uncommitted) pattern prefix length
+    size_t rj_; //!< remaining text prefix length
+
+    std::vector<CigarRun> emit_; //!< runs sealed by the current step
+    Op pending_op_ = Op::Match;  //!< run still open across the seam
+    u64 pending_len_ = 0;
+
+    u64 distance_ = 0;
+    u64 committed_ = 0;
+    u64 windows_ = 0;
+    u64 fast_windows_ = 0;
+};
+
 /**
  * Run the windowed driver over @p pattern / @p text with @p window_fn
- * aligning each window. Throws FatalError when overlap >= window.
- * Checks the context's token once per window (each window is O(W^2)
- * bounded work) and unwinds with StatusError when it requests a stop;
- * window kernels share the context's arena, so per-window scratch is
- * reused across the whole traversal.
+ * aligning each window, materializing the full forward CIGAR. Exactly
+ * equivalent to draining a WindowStepper (it is one); kept as the
+ * convenience entry point for callers that want an AlignResult.
  */
 AlignResult windowedAlign(const seq::Sequence &pattern,
                           const seq::Sequence &text,
@@ -55,6 +161,18 @@ AlignResult windowedAlign(const seq::Sequence &pattern,
                           const seq::Sequence &text,
                           const WindowedParams &params,
                           const WindowAligner &window_fn);
+
+/**
+ * Streaming form: drive the stepper to completion, handing every sealed
+ * run to @p sink (reverse commit order, seam-coalesced; see
+ * CigarRunSink) and returning the heuristic distance. With a null sink
+ * this is the distance-only mode: nothing of O(n + m) is ever
+ * materialized — live memory is the stepper's O(window) state.
+ */
+i64 windowedStream(const seq::Sequence &pattern, const seq::Sequence &text,
+                   const WindowedParams &params,
+                   const WindowAligner &window_fn, const CigarRunSink &sink,
+                   KernelContext &ctx);
 
 /** Windowed(GenASM-CPU): Bitap-based windows, the paper's CPU baseline. */
 AlignResult genasmCpuAlign(const seq::Sequence &pattern,

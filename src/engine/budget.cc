@@ -56,6 +56,18 @@ nwTracebackBytes(size_t n, size_t m)
     return (n + 1) * (m + 1); // one direction byte per DP cell
 }
 
+size_t
+windowedStreamBytes(size_t window, unsigned tile)
+{
+    // One window's Full(GMX) traceback (W x W edge matrix + 2W ops),
+    // the two window substrings the stepper slices per step, and the
+    // sealed-run emit buffer (2W + 1 runs of 16 bytes). The window
+    // kernel's scratch dies with each step's arena frame, so this is
+    // the traversal's peak no matter how long the pair is.
+    return fullGmxTracebackBytes(window, window, tile) + 2 * window +
+           (2 * window + 1) * 16 + 1024;
+}
+
 bool
 MemoryBudget::tryReserve(size_t bytes)
 {

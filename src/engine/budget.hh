@@ -60,6 +60,15 @@ size_t hirschbergBytes(size_t n, size_t m);
 size_t nwTracebackBytes(size_t n, size_t m);
 
 /**
+ * Streaming Windowed(GMX) footprint: one W x W Full(GMX) window (edge
+ * matrix + window ops + window substrings) plus the stepper's bounded
+ * run buffer. Deliberately independent of the pair lengths — this is
+ * the closed form that lets the budget admit a 1 Mbp pair against the
+ * same reservation as a 10 kbp one.
+ */
+size_t windowedStreamBytes(size_t window, unsigned tile);
+
+/**
  * Concurrent byte-budget. tryReserve() admits a request only when the
  * total of outstanding reservations stays within the limit; a limit of 0
  * disables the gate. Lock-free (single CAS loop), so it sits on the

@@ -117,6 +117,23 @@ cascadeAlign(const seq::SequencePair &pair, const CascadeConfig &cfg,
     // attempt's match-mask table instead of rebuilding it.
     PeqMemo memo;
 
+    // Long length class: the streaming windowed tier answers alone, in
+    // O(window) memory. No filter or band attempt precedes it — the
+    // short-class tiers all materialize O(n) state or worse, which is
+    // exactly what this route exists to avoid.
+    if (lengthClassFor(cfg, n, m) == align::LengthClass::Long) {
+        const kernel::AlignerDescriptor &stream =
+            registry.require(kernel::dispatchKernel(cfg.long_kernel));
+        kernel::KernelParams sp;
+        sp.want_cigar = want_cigar;
+        sp.tile = cfg.tile;
+        sp.window = cfg.long_window;
+        sp.overlap = cfg.long_overlap;
+        align::AlignResult r = runTier(out, {Tier::Streamed, &stream, sp},
+                                       pair, cancel, arena, memo);
+        return answered(std::move(out), Tier::Streamed, std::move(r));
+    }
+
     const kernel::AlignerDescriptor &full =
         registry.require(kernel::dispatchKernel(cfg.full_kernel));
     kernel::KernelParams full_params;

@@ -24,9 +24,11 @@
 #ifndef GMX_ENGINE_CASCADE_HH
 #define GMX_ENGINE_CASCADE_HH
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
+#include "align/batch.hh" // LengthClass: routing decision shared with submit
 #include "align/types.hh"
 #include "common/cancel.hh"
 #include "engine/budget.hh" // cascadeAutoFilterK: shared with admission
@@ -66,7 +68,33 @@ struct CascadeConfig
     const char *filter_kernel = "bitap";     //!< tier 1 (distance-only)
     const char *banded_kernel = "gmx-banded"; //!< tier 2 (exact in band)
     const char *full_kernel = "gmx-full";     //!< tier 3 (always answers)
+
+    /**
+     * Length-class routing: pairs whose longer side reaches
+     * long_threshold bypass the exact cascade and run the streaming
+     * windowed tier (Tier::Streamed) in O(window) memory. 0 disables
+     * the long class (every pair is Short). The streamed tier is a
+     * heuristic — distances are near-exact upper bounds, not optima —
+     * which is the trade that makes Mbp-scale pairs servable at all:
+     * Full(GMX) traceback on a 1 Mbp pair wants ~31 GB of tile edges.
+     */
+    size_t long_threshold = 64 * 1024;
+    const char *long_kernel = "gmx-windowed-stream"; //!< streamed tier
+    size_t long_window = 96; //!< window geometry for the streamed tier
+    size_t long_overlap = 32;
 };
+
+/** Which route an (n, m) pair takes under @p config. Degenerate pairs
+ *  stay Short: the full tier handles them without window machinery. */
+inline align::LengthClass
+lengthClassFor(const CascadeConfig &config, size_t n, size_t m)
+{
+    const bool is_long = config.enabled && n > 0 && m > 0 &&
+                         config.long_threshold > 0 &&
+                         config.long_kernel != nullptr &&
+                         std::max(n, m) >= config.long_threshold;
+    return is_long ? align::LengthClass::Long : align::LengthClass::Short;
+}
 
 /**
  * One kernel invocation inside a cascade run: which tier ran, how much

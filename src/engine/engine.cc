@@ -51,15 +51,37 @@ Engine::~Engine()
 std::future<Engine::AlignOutcome>
 Engine::submit(seq::SequencePair pair, SubmitOptions options)
 {
+    const size_t n = pair.pattern.size();
+    const size_t mm = pair.text.size();
+    // Length-class routing decision, made once at the submit boundary and
+    // carried on the request: custom aligners always count as Short (the
+    // cascade router never sees them), everything else follows the
+    // cascade's long_threshold.
+    const align::LengthClass klass =
+        options.aligner ? align::LengthClass::Short
+                        : lengthClassFor(config_.cascade, n, mm);
+
     // Validation runs on the submitter's thread, before the queue: a
     // malformed pair never costs a queue slot or a worker.
-    if (Status s = align::validatePair(pair, config_.limits); !s.ok()) {
+    if (Status s = align::validatePair(pair, config_.limits, klass);
+        !s.ok()) {
         metrics_.invalid.fetch_add(1, std::memory_order_relaxed);
         return readyFuture(std::move(s));
     }
+    // Per-kernel length caps: every kernel this request's route can visit
+    // must accept the pair, so a non-streaming kernel rejects Mbp-scale
+    // inputs with a typed InvalidInput here instead of blowing the budget
+    // gate (or allocating quadratic state) mid-flight.
+    if (!options.aligner) {
+        if (Status s = checkRouteLengths(klass, n, mm); !s.ok()) {
+            metrics_.invalid.fetch_add(1, std::memory_order_relaxed);
+            return readyFuture(std::move(s));
+        }
+    }
 
     Request req;
-    req.bases = pair.pattern.size() + pair.text.size();
+    req.klass = klass;
+    req.bases = n + mm;
     req.want_cigar = options.want_cigar;
     req.aligner = std::move(options.aligner);
     req.cancel = options.timeout.count() > 0
@@ -67,6 +89,20 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
                      : options.cancel;
     if (options.estimated_bytes != 0) {
         req.estimated_bytes = options.estimated_bytes;
+    } else if (!req.aligner && klass == align::LengthClass::Long) {
+        // The streamed tier's footprint is the window geometry's, not the
+        // pair's: the estimator ignores n and m, so a 1 Mbp pair reserves
+        // the same O(window) bytes as a 100 kbp one. This is what lets a
+        // default budget admit long-class traffic at all.
+        const auto &reg = kernel::AlignerRegistry::instance();
+        kernel::KernelParams params;
+        params.want_cigar = req.want_cigar;
+        params.tile = config_.cascade.tile;
+        params.window = config_.cascade.long_window;
+        params.overlap = config_.cascade.long_overlap;
+        req.estimated_bytes =
+            reg.require(kernel::dispatchKernel(config_.cascade.long_kernel))
+                .scratch_bytes(n, mm, params);
     } else if (!req.aligner) {
         // Worst-case cascade footprint. Tier kernels run back to back on
         // one arena and each rewinds its frame, so the request's peak is
@@ -75,8 +111,6 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
         // distance-only filter at the k the routing will pick. Custom
         // aligners are exempt unless declared.
         const auto &reg = kernel::AlignerRegistry::instance();
-        const size_t n = pair.pattern.size();
-        const size_t mm = pair.text.size();
         kernel::KernelParams params;
         params.want_cigar = req.want_cigar;
         params.tile = config_.cascade.tile;
@@ -99,6 +133,34 @@ Engine::submit(seq::SequencePair pair, SubmitOptions options)
     }
     req.pair = std::move(pair);
     return enqueue(std::move(req));
+}
+
+Status
+Engine::checkRouteLengths(align::LengthClass klass, size_t n, size_t m) const
+{
+    const auto &reg = kernel::AlignerRegistry::instance();
+    const CascadeConfig &cc = config_.cascade;
+    if (klass == align::LengthClass::Long) {
+        return kernel::checkKernelLength(
+            reg.require(kernel::dispatchKernel(cc.long_kernel)), n, m);
+    }
+    // Short class: the full tier can always be reached; the filter and
+    // banded tiers only when the cascade is on.
+    if (Status s = kernel::checkKernelLength(
+            reg.require(kernel::dispatchKernel(cc.full_kernel)), n, m);
+        !s.ok())
+        return s;
+    if (cc.enabled) {
+        if (Status s = kernel::checkKernelLength(
+                reg.require(kernel::dispatchKernel(cc.filter_kernel)), n, m);
+            !s.ok())
+            return s;
+        if (Status s = kernel::checkKernelLength(
+                reg.require(kernel::dispatchKernel(cc.banded_kernel)), n, m);
+            !s.ok())
+            return s;
+    }
+    return Status();
 }
 
 std::future<Engine::AlignOutcome>
@@ -299,7 +361,12 @@ Engine::runOne(Request &req, const FilterPrefill *pre)
         if (budget_.tryReserve(req.estimated_bytes)) {
             reservation = MemoryReservation(&budget_, req.estimated_bytes);
         } else if (config_.downgrade_under_pressure && !req.aligner &&
-                   req.want_cigar) {
+                   req.want_cigar &&
+                   req.klass == align::LengthClass::Short) {
+            // Long-class requests never downgrade: Hirschberg is O(m)
+            // memory and O(n*m) time, both ruinous at Mbp scale, and
+            // the streamed tier's O(window) reservation is already the
+            // frugal option.
             const size_t frugal =
                 kernel::AlignerRegistry::instance()
                     .require("hirschberg")
@@ -433,7 +500,9 @@ Engine::batchFilterEligible(const Request &req) const
     // bit for bit. The effective k policy is engine-wide config, so
     // packed lanes are k-compatible by construction (each lane still
     // applies its own pair-derived k to the exact distance).
-    return !req.aligner && !req.want_cigar && config_.cascade.enabled &&
+    return !req.aligner && !req.want_cigar &&
+           req.klass == align::LengthClass::Short &&
+           config_.cascade.enabled &&
            std::string_view(config_.cascade.filter_kernel) == "bitap" &&
            simd::batchLaneFits(req.pair);
 }

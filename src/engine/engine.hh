@@ -241,6 +241,10 @@ class Engine
         seq::SequencePair pair;
         align::PairAligner aligner; //!< empty => cascade routing
         bool want_cigar = true;
+        /** Routing decision made at submit: Long requests run the
+         *  streamed tier and are exempt from short-class machinery
+         *  (micro-batch lane packing, Hirschberg downgrade). */
+        align::LengthClass klass = align::LengthClass::Short;
         u64 id = 0;       //!< monotonic request id (tracing & slow log)
         size_t bases = 0; //!< pattern + text length, for micro-batching
         size_t estimated_bytes = 0; //!< footprint for the budget gate
@@ -294,6 +298,10 @@ class Engine
      *  the lane packer's filter-tier result when the request rode in a
      *  packed group (null/un-ran otherwise). */
     Served runOne(Request &req, const FilterPrefill *pre);
+    /** Per-kernel max_len enforcement over every kernel @p klass's route
+     *  can visit; Ok or a typed InvalidInput naming the kernel. */
+    Status checkRouteLengths(align::LengthClass klass, size_t n,
+                             size_t m) const;
     /** Whether this engine lane-packs right now (config + dispatch). */
     bool filterBatchingActive() const;
     /** Whether @p req can ride a packed filter group at all. */

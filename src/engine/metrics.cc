@@ -17,6 +17,8 @@ tierName(Tier t)
         return "full";
       case Tier::Downgraded:
         return "downgraded";
+      case Tier::Streamed:
+        return "streamed";
     }
     return "?";
 }

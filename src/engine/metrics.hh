@@ -33,11 +33,12 @@ enum class Tier : unsigned {
     Banded = 1,     //!< Banded(GMX) inside the band answered it
     Full = 2,       //!< escalated to Full(GMX)
     Downgraded = 3, //!< budget pressure: Hirschberg fallback answered it
+    Streamed = 4,   //!< long length class: streaming Windowed(GMX) tier
 };
 
-inline constexpr unsigned kTierCount = 4;
+inline constexpr unsigned kTierCount = 5;
 
-/** Human-readable tier name ("filter" / "banded" / "full" / "downgraded"). */
+/** Human-readable tier name ("filter" / "banded" / ... / "streamed"). */
 const char *tierName(Tier t);
 
 /**

@@ -23,4 +23,17 @@ windowedGmxAlign(const seq::Sequence &pattern, const seq::Sequence &text,
     return windowedGmxAlign(pattern, text, tile, params, ctx);
 }
 
+i64
+windowedGmxStream(const seq::Sequence &pattern, const seq::Sequence &text,
+                  unsigned tile, const align::WindowedParams &params,
+                  const align::CigarRunSink &sink, KernelContext &ctx)
+{
+    return align::windowedStream(
+        pattern, text, params,
+        [tile, &ctx](const seq::Sequence &p, const seq::Sequence &t) {
+            return fullGmxAlign(p, t, tile, ctx);
+        },
+        sink, ctx);
+}
+
 } // namespace gmx::core

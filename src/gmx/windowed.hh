@@ -6,6 +6,12 @@
  * The default geometry follows the paper: W = 3T and O = T, i.e. each
  * window is a 3x3 block of tiles and successive windows overlap by one
  * tile. The DSA comparison of §7.4 uses W = 96, O = 32 with T = 32.
+ *
+ * Two entry points share one align::WindowStepper traversal:
+ * windowedGmxAlign materializes the full CIGAR (bit-identical to the
+ * pre-stepper monolithic implementation), windowedGmxStream hands
+ * seam-coalesced CIGAR runs to a sink — O(window) live memory for
+ * arbitrarily long pairs, the GACT-X streaming-tiles mode.
  */
 
 #ifndef GMX_GMX_WINDOWED_HH
@@ -27,6 +33,19 @@ align::AlignResult windowedGmxAlign(const seq::Sequence &pattern,
 align::AlignResult windowedGmxAlign(
     const seq::Sequence &pattern, const seq::Sequence &text,
     unsigned tile = 32, const align::WindowedParams &params = {96, 32});
+
+/**
+ * Streaming Windowed(GMX): drive the window traversal handing every
+ * sealed CIGAR run to @p sink (reverse commit order, seam-coalesced; a
+ * null sink streams distance-only) and return the heuristic distance.
+ * Identical committed path — hence bit-identical distance and, run for
+ * run, the same canonical CIGAR — as windowedGmxAlign; the difference
+ * is purely that nothing O(n + m) is ever materialized here.
+ */
+i64 windowedGmxStream(const seq::Sequence &pattern,
+                      const seq::Sequence &text, unsigned tile,
+                      const align::WindowedParams &params,
+                      const align::CigarRunSink &sink, KernelContext &ctx);
 
 } // namespace gmx::core
 

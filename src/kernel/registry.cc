@@ -122,6 +122,25 @@ runGmxWindowed(const seq::SequencePair &pair, const KernelParams &params,
                                   {params.window, params.overlap}, ctx);
 }
 
+align::AlignResult
+runGmxWindowedStream(const seq::SequencePair &pair,
+                     const KernelParams &params, KernelContext &ctx)
+{
+    if (!params.want_cigar) {
+        // True streaming mode: the run stream is discarded, so nothing
+        // O(n + m) — not even a heap ops vector — is materialized.
+        align::AlignResult res;
+        res.distance = core::windowedGmxStream(
+            pair.pattern, pair.text, params.tile,
+            {params.window, params.overlap}, nullptr, ctx);
+        return res;
+    }
+    // A requested CIGAR must be materialized, but the arena footprint is
+    // still one window: the stepper's committed runs live on the heap.
+    return core::windowedGmxAlign(pair.pattern, pair.text, params.tile,
+                                  {params.window, params.overlap}, ctx);
+}
+
 // ---- scratch estimators ---------------------------------------------------
 //
 // Closed-form mirrors of each kernel's arena draws, used for budget
@@ -236,6 +255,27 @@ gmxWindowedScratchBytes(size_t n, size_t m, const KernelParams &params)
                                          params.tile);
 }
 
+size_t
+gmxWindowedStreamScratchBytes(size_t, size_t, const KernelParams &params)
+{
+    // Length-independent by construction: the stepper holds one W x W
+    // window of Full(GMX) state at a time and rewinds it per window; the
+    // bounded run buffer and any caller-requested CIGAR live on the
+    // heap, not the arena. The n/m parameters are deliberately ignored —
+    // that IS the contract the streamed-tier admission relies on.
+    return engine::windowedStreamBytes(params.window, params.tile);
+}
+
+// Per-kernel admission length caps (largest max(n, m) accepted; 0 =
+// unlimited). Chosen where each kernel's state stops being a sane
+// single-request footprint: quadratic-traceback kernels first, then the
+// bit-parallel/tiled kernels whose per-column state is linear but whose
+// traceback history is O(n * m / w). The windowed drivers stream and
+// stay uncapped; Hirschberg is O(min(n, m)) memory and stays uncapped.
+constexpr size_t kCapQuadratic = 128 * 1024;
+constexpr size_t kCapLinearState = 256 * 1024;
+constexpr size_t kCapBanded = 512 * 1024;
+
 } // namespace
 
 AlignerRegistry::AlignerRegistry()
@@ -244,30 +284,49 @@ AlignerRegistry::AlignerRegistry()
     add({"nw", "scalar Needleman-Wunsch reference (full DP matrix)",
          /*traceback=*/true, /*distance_only=*/true, /*banded=*/false,
          /*exact=*/true, /*cigar_contract=*/"nw-diag-del-ins",
-         runNw, nwScratchBytes});
+         runNw, nwScratchBytes, /*streaming=*/false, kCapQuadratic});
     add({"hirschberg", "divide-and-conquer NW in O(min(n,m)) memory",
          true, false, false, true, nullptr,
-         runHirschberg, hirschbergScratchBytes});
+         runHirschberg, hirschbergScratchBytes, false, /*max_len=*/0});
     add({"bpm", "Myers bit-parallel unbanded edit distance",
          true, true, false, true, "bpm-col",
-         runBpm, bpmScratchBytes});
+         runBpm, bpmScratchBytes, false, kCapLinearState});
     add({"bpm-banded", "Edlib-style block-banded Myers with k-doubling",
          true, true, true, true, "edlib-band",
-         runBpmBanded, bpmBandedScratchBytes});
+         runBpmBanded, bpmBandedScratchBytes, false, kCapBanded});
     add({"bitap", "GenASM bitap with k+1 state vectors",
          true, true, true, true, nullptr,
-         runBitap, bitapScratchBytes});
+         runBitap, bitapScratchBytes, false, kCapLinearState});
     add({"gmx-full", "tile-wise GMX DP over the full grid",
          true, true, false, true, "gmx-tb",
-         runGmxFull, gmxFullScratchBytes});
+         runGmxFull, gmxFullScratchBytes, false, kCapLinearState});
     add({"gmx-banded", "GMX tiles restricted to a Ukkonen tile band",
          true, true, true, true, "gmx-tb",
-         runGmxBanded, gmxBandedScratchBytes});
+         runGmxBanded, gmxBandedScratchBytes, false, kCapBanded});
     add({"gmx-windowed", "Darwin-style overlapping windows of GMX tiles",
          true, false, false, /*exact=*/false, nullptr,
-         runGmxWindowed, gmxWindowedScratchBytes});
+         runGmxWindowed, gmxWindowedScratchBytes, false, /*max_len=*/0});
+    add({"gmx-windowed-stream",
+         "streaming windowed GMX: O(window) memory for Mbp-scale pairs",
+         true, true, false, /*exact=*/false, nullptr,
+         runGmxWindowedStream, gmxWindowedStreamScratchBytes,
+         /*streaming=*/true, /*max_len=*/0});
     // clang-format on
     simd::registerSimdAligners(*this);
+}
+
+Status
+checkKernelLength(const AlignerDescriptor &d, size_t n, size_t m)
+{
+    if (d.max_len == 0)
+        return Status();
+    const size_t longer = std::max(n, m);
+    if (longer <= d.max_len)
+        return Status();
+    return Status::invalidInput(detail::format(
+        "kernel '%s' caps pair length at %zu bases (got %zu); route "
+        "long pairs to a streaming kernel",
+        d.name, d.max_len, longer));
 }
 
 AlignerRegistry &

@@ -73,7 +73,29 @@ struct AlignerDescriptor
      * rounding, ops buffers).
      */
     size_t (*scratch_bytes)(size_t n, size_t m, const KernelParams &params);
+
+    /**
+     * True when the kernel streams the pair through bounded state: its
+     * scratch footprint depends on the window geometry, not on n or m
+     * (scratch_bytes ignores the pair lengths), so the engine can admit
+     * arbitrarily long pairs against a fixed O(window) reservation.
+     */
+    bool streaming = false;
+
+    /**
+     * Largest max(n, m) the kernel accepts (0 = unlimited). The engine
+     * enforces this at submit with a typed InvalidInput, so a
+     * non-streaming kernel rejects Mbp-scale inputs up front instead of
+     * blowing the budget gate (or allocating quadratic state) later.
+     */
+    size_t max_len = 0;
 };
+
+/**
+ * Ok, or InvalidInput naming the kernel and its cap when max(n, m)
+ * exceeds @p d's max_len. Kernels with max_len == 0 accept any length.
+ */
+Status checkKernelLength(const AlignerDescriptor &d, size_t n, size_t m);
 
 /** Process-wide kernel table. Built-ins register on first use. */
 class AlignerRegistry

@@ -131,15 +131,18 @@ registerSimdAligners(kernel::AlignerRegistry &reg)
     reg.add({"bpm-avx2", "Myers BPM with 256-bit wide blocks (AVX2)",
              /*traceback=*/true, /*distance_only=*/true, /*banded=*/false,
              /*exact=*/true, /*cigar_contract=*/"bpm-col",
-             runBpmSimd, bpmAvx2ScratchBytes});
+             runBpmSimd, bpmAvx2ScratchBytes,
+             /*streaming=*/false, /*max_len=*/256 * 1024});
     reg.add({"bpm-banded-avx2",
              "banded Myers stepping the band in 4-block AVX2 granules",
              true, true, true, true, "edlib-band",
-             runBpmBandedSimd, bpmBandedAvx2ScratchBytes});
+             runBpmBandedSimd, bpmBandedAvx2ScratchBytes,
+             /*streaming=*/false, /*max_len=*/512 * 1024});
     reg.add({"gmx-full-avx2",
              "gmx-full with the distance phase on the AVX2 wide-word kernel",
              true, true, false, true, "gmx-tb",
-             runGmxFullSimd, gmxFullAvx2ScratchBytes});
+             runGmxFullSimd, gmxFullAvx2ScratchBytes,
+             /*streaming=*/false, /*max_len=*/256 * 1024});
     // clang-format on
 }
 

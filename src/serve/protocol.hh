@@ -67,8 +67,14 @@ inline constexpr u8 kVersion = 1;
 /** Fixed frame-header size in bytes. */
 inline constexpr size_t kHeaderBytes = 12;
 
-/** Default cap on one frame's payload (requests and responses alike). */
-inline constexpr u32 kDefaultMaxFrameBytes = 1u << 20;
+/**
+ * Default cap on one frame's payload (requests and responses alike).
+ * Sized for long-read traffic: a 1 Mbp + 3 Mbp window request is ~4 MB
+ * of sequence bytes, and its CIGAR response is about one byte per op,
+ * so 8 MiB admits the long length class with headroom while still
+ * bounding a hostile frame to well under the per-connection budget.
+ */
+inline constexpr u32 kDefaultMaxFrameBytes = 8u << 20;
 
 /** Cap on a Hello client-id string. */
 inline constexpr u32 kMaxClientIdBytes = 256;

@@ -384,7 +384,17 @@ AlignServer::handleRequest(Conn &conn, AlignRequestFrame req,
     //    or pollute the cache.
     seq::SequencePair pair{seq::Sequence(std::move(req.pattern)),
                            seq::Sequence(std::move(req.text))};
-    if (Status v = align::validatePair(pair, config_.limits); !v.ok()) {
+    // Class-aware validation: long-read pairs are judged by the long
+    // class's own cap, not the short-class length/skew limits (the
+    // engine's streamed tier serves them in O(window) memory).
+    const align::LengthClass klass =
+        config_.long_read_threshold > 0 &&
+                std::max(pair.pattern.size(), pair.text.size()) >=
+                    config_.long_read_threshold
+            ? align::LengthClass::Long
+            : align::LengthClass::Short;
+    if (Status v = align::validatePair(pair, config_.limits, klass);
+        !v.ok()) {
         Outgoing o;
         o.immediate = true;
         o.reject = true;

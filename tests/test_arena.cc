@@ -150,6 +150,40 @@ TEST(ScratchArena, KernelEstimatesHoldAtWordBoundarySizes)
     }
 }
 
+TEST(ScratchArena, StreamedWindowedPeakIsLengthIndependent)
+{
+    // The O(window) contract the long length class is built on: the
+    // streaming windowed kernel's measured arena peak must be the same
+    // for a 10 kbp, 100 kbp, and 1 Mbp pair — one window's footprint,
+    // rewound per step — and stay under its length-blind estimator.
+    // Low error keeps the run fast (byte-identical windows take the
+    // converged fast path) while still forcing real window frames.
+    const kernel::AlignerDescriptor &d =
+        kernel::AlignerRegistry::instance().require("gmx-windowed-stream");
+    kernel::KernelParams params;
+    params.want_cigar = false;
+    std::vector<size_t> peaks;
+    for (const size_t len : {10'000u, 100'000u, 1'000'000u}) {
+        seq::Generator gen(777); // same seed: shared error structure
+        const auto pair = gen.pair(len, 0.001);
+        ScratchArena arena;
+        KernelContext ctx(CancelToken{}, nullptr, &arena);
+        const auto res = d.run(pair, params, ctx);
+        ASSERT_TRUE(res.found()) << len;
+        EXPECT_GT(res.distance, 0) << len;
+        peaks.push_back(arena.peakBytes());
+        EXPECT_GT(peaks.back(), 0u) << len;
+        EXPECT_LE(peaks.back(),
+                  d.scratch_bytes(pair.pattern.size(), pair.text.size(),
+                                  params))
+            << len;
+    }
+    EXPECT_EQ(peaks[0], peaks[1])
+        << "streamed peak grew from 10 kbp to 100 kbp";
+    EXPECT_EQ(peaks[1], peaks[2])
+        << "streamed peak grew from 100 kbp to 1 Mbp";
+}
+
 TEST(ScratchArena, BatchEntryEstimateCoversGroupPeak)
 {
     // The engine reserves bpmBatchScratchBytes(max_pattern) ONCE for a

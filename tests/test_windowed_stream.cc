@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Streaming Windowed(GMX) suite: the WindowStepper's O(window) traversal
+ * must be bit-identical to the monolithic windowedGmxAlign — same
+ * distance, same canonical CIGAR, seam runs coalesced — and the engine
+ * must route long-class pairs to the streamed tier under the same
+ * default memory budget that serves short-read traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "align/nw.hh"
+#include "align/verify.hh"
+#include "common/logging.hh"
+#include "engine/engine.hh"
+#include "gmx/windowed.hh"
+#include "kernel/registry.hh"
+#include "sequence/generator.hh"
+
+namespace gmx {
+namespace {
+
+using align::CigarRun;
+using align::Op;
+
+/** Drain windowedGmxStream into the collected reverse-order run list. */
+std::vector<CigarRun>
+streamRuns(const seq::SequencePair &pair, const align::WindowedParams &params,
+           i64 *distance_out = nullptr)
+{
+    std::vector<CigarRun> runs;
+    KernelContext ctx;
+    const i64 d = core::windowedGmxStream(
+        pair.pattern, pair.text, 32, params,
+        [&runs](Op op, u64 len) { runs.push_back({op, len}); }, ctx);
+    if (distance_out)
+        *distance_out = d;
+    return runs;
+}
+
+/** Expand reverse-commit-order runs into a forward CIGAR. */
+align::Cigar
+expandRuns(const std::vector<CigarRun> &runs)
+{
+    std::vector<Op> ops;
+    for (size_t i = runs.size(); i-- > 0;)
+        ops.insert(ops.end(), static_cast<size_t>(runs[i].len), runs[i].op);
+    return align::Cigar(std::move(ops));
+}
+
+/** Structural-variant pair: a deletion block and an insertion block on
+ *  top of point errors, the long-read shapes that stress window seams. */
+seq::SequencePair
+structuralPair(seq::Generator &gen, size_t len, size_t sv)
+{
+    const seq::Sequence text = gen.random(len);
+    std::string p = text.str();
+    p.erase(len / 3, sv); // deletion of sv bases
+    std::string ins;
+    for (size_t i = 0; i < sv / 2; ++i)
+        ins.push_back("ACGT"[gen.prng().below(4)]);
+    p.insert(p.size() / 2, ins); // unrelated insertion
+    return {seq::Sequence(std::move(p)), text};
+}
+
+// ------------------------------------------------- core equivalence
+
+TEST(WindowedStream, BitIdenticalToMonolithicOverRandomCorpus)
+{
+    // Lengths straddle the window geometry's seams: W-1 / W / W+1 and
+    // 2W-O +/- 1 are exactly where the boundary run-splitting bug the
+    // seam coalescing fixes would appear.
+    seq::Generator gen(9001);
+    const align::WindowedParams params{96, 32};
+    for (const size_t len : {95u, 96u, 97u, 159u, 160u, 161u, 500u, 1337u}) {
+        for (const double err : {0.0, 0.05, 0.15}) {
+            const auto pair = gen.pair(len, err);
+            const auto mono =
+                core::windowedGmxAlign(pair.pattern, pair.text, 32, params);
+            i64 streamed_distance = -1;
+            const auto runs = streamRuns(pair, params, &streamed_distance);
+            EXPECT_EQ(streamed_distance, mono.distance)
+                << "len=" << len << " err=" << err;
+            EXPECT_EQ(expandRuns(runs).str(), mono.cigar.str())
+                << "len=" << len << " err=" << err;
+        }
+    }
+}
+
+TEST(WindowedStream, BitIdenticalOnStructuralVariants)
+{
+    seq::Generator gen(9002);
+    const align::WindowedParams params{96, 32};
+    for (const size_t sv : {40u, 96u, 200u}) {
+        const auto pair = structuralPair(gen, 3000, sv);
+        const auto mono =
+            core::windowedGmxAlign(pair.pattern, pair.text, 32, params);
+        i64 streamed_distance = -1;
+        const auto runs = streamRuns(pair, params, &streamed_distance);
+        EXPECT_EQ(streamed_distance, mono.distance) << "sv=" << sv;
+        EXPECT_EQ(expandRuns(runs).str(), mono.cigar.str()) << "sv=" << sv;
+        const auto v =
+            align::verifyResult(pair.pattern, pair.text, mono);
+        EXPECT_TRUE(v.ok) << v.error;
+    }
+}
+
+TEST(WindowedStream, SeamRunsAreCoalesced)
+{
+    // The canonical-CIGAR property: no two adjacent sealed runs carry
+    // the same op, so a match run crossing a window boundary streams as
+    // one run instead of a split 3M + 5M.
+    seq::Generator gen(9003);
+    const align::WindowedParams params{96, 32};
+    for (const double err : {0.0, 0.02, 0.15}) {
+        const auto pair = gen.pair(2000, err);
+        const auto runs = streamRuns(pair, params);
+        ASSERT_FALSE(runs.empty());
+        for (size_t i = 1; i < runs.size(); ++i)
+            EXPECT_NE(runs[i].op, runs[i - 1].op)
+                << "err=" << err << " adjacent runs " << i - 1 << "," << i
+                << " share an op: seam not coalesced";
+        for (const CigarRun &run : runs)
+            EXPECT_GT(run.len, 0u);
+    }
+}
+
+TEST(WindowedStream, PerfectMatchStreamsAsOneRunAtExactSeamLengths)
+{
+    // A perfect match of exactly 2W - O spans two full windows whose
+    // commit boundary falls mid-run; the holdback must merge them.
+    seq::Generator gen(9004);
+    const align::WindowedParams params{96, 32};
+    for (const size_t len : {160u, 96u, 224u}) {
+        const seq::Sequence text = gen.random(len);
+        const seq::SequencePair pair{text, text};
+        i64 d = -1;
+        const auto runs = streamRuns(pair, params, &d);
+        EXPECT_EQ(d, 0);
+        ASSERT_EQ(runs.size(), 1u) << "len=" << len;
+        EXPECT_EQ(runs[0].op, Op::Match);
+        EXPECT_EQ(runs[0].len, len);
+    }
+}
+
+TEST(WindowedStream, ConvergedFastPathIsBitIdenticalToDisabled)
+{
+    // DENT-style discard of byte-identical windows must be a pure
+    // shortcut: identical distance and CIGAR with the flag on or off.
+    seq::Generator gen(9005);
+    for (const double err : {0.0, 0.005, 0.08}) {
+        const auto pair = gen.pair(4000, err);
+        align::WindowedParams on{96, 32};
+        on.converged_fast_path = true;
+        align::WindowedParams off{96, 32};
+        off.converged_fast_path = false;
+        const auto fast =
+            core::windowedGmxAlign(pair.pattern, pair.text, 32, on);
+        const auto slow =
+            core::windowedGmxAlign(pair.pattern, pair.text, 32, off);
+        EXPECT_EQ(fast.distance, slow.distance) << "err=" << err;
+        EXPECT_EQ(fast.cigar.str(), slow.cigar.str()) << "err=" << err;
+    }
+}
+
+TEST(WindowedStream, StepperExposesProgressAndDiscardsConvergedWindows)
+{
+    seq::Generator gen(9006);
+    const auto pair = gen.pair(4000, 0.01);
+    align::WindowedParams params{96, 32};
+    KernelContext ctx;
+    const align::WindowAligner window_fn =
+        [&ctx](const seq::Sequence &p, const seq::Sequence &t) {
+            return core::fullGmxAlign(p, t, 32, ctx);
+        };
+    align::WindowStepper stepper(pair.pattern, pair.text, params, window_fn,
+                                 ctx);
+    EXPECT_FALSE(stepper.done());
+    u64 sealed_ops = 0;
+    while (!stepper.done()) {
+        stepper.step();
+        for (const CigarRun &run : stepper.runs())
+            sealed_ops += run.len;
+    }
+    // Every committed op was sealed (final flush included), progress
+    // covered both sequences, and at 1% error most windows are
+    // byte-identical — the fast path must be doing real work.
+    EXPECT_EQ(sealed_ops, stepper.committedOps());
+    EXPECT_GE(stepper.committedOps(),
+              std::max(pair.pattern.size(), pair.text.size()));
+    EXPECT_GT(stepper.windows(), 4000u / 96u);
+    EXPECT_GT(stepper.fastWindows(), 0u);
+    EXPECT_LT(stepper.fastWindows(), stepper.windows());
+    const auto mono =
+        core::windowedGmxAlign(pair.pattern, pair.text, 32, params);
+    EXPECT_EQ(static_cast<i64>(stepper.distance()), mono.distance);
+}
+
+TEST(WindowedStream, NullSinkStreamsDistanceOnly)
+{
+    seq::Generator gen(9007);
+    const auto pair = gen.pair(2500, 0.1);
+    const align::WindowedParams params{96, 32};
+    KernelContext ctx;
+    const i64 d = core::windowedGmxStream(pair.pattern, pair.text, 32,
+                                          params, nullptr, ctx);
+    EXPECT_EQ(
+        d, core::windowedGmxAlign(pair.pattern, pair.text, 32, params)
+               .distance);
+}
+
+TEST(WindowedStream, InvalidGeometryIsFatal)
+{
+    seq::Generator gen(9008);
+    const auto pair = gen.pair(100, 0.05);
+    EXPECT_THROW(
+        core::windowedGmxAlign(pair.pattern, pair.text, 32, {0, 0}),
+        FatalError);
+    EXPECT_THROW(
+        core::windowedGmxAlign(pair.pattern, pair.text, 32, {32, 32}),
+        FatalError);
+}
+
+// ----------------------------------------------- length-class validation
+
+TEST(WindowedStream, ValidatePairHonoursLengthClass)
+{
+    seq::Generator gen(9009);
+    const auto pair = gen.pair(2000, 0.02);
+    align::InputLimits limits;
+    limits.max_pair_bases = 1000;
+    limits.max_length_skew = 1; // hostile to long reads on purpose
+    // Short class: both short limits bind.
+    EXPECT_EQ(align::validatePair(pair, limits).code(),
+              StatusCode::InvalidInput);
+    // Long class: exempt from the short length/skew limits.
+    EXPECT_TRUE(
+        align::validatePair(pair, limits, align::LengthClass::Long).ok());
+    // ... but bound by its own cap.
+    limits.max_long_pair_bases = 3000;
+    EXPECT_EQ(align::validatePair(pair, limits, align::LengthClass::Long)
+                  .code(),
+              StatusCode::InvalidInput);
+}
+
+TEST(WindowedStream, KernelLengthCapsRejectOversizedPairs)
+{
+    const auto &reg = kernel::AlignerRegistry::instance();
+    const auto &full = reg.require("gmx-full");
+    ASSERT_GT(full.max_len, 0u);
+    EXPECT_FALSE(full.streaming);
+    EXPECT_TRUE(kernel::checkKernelLength(full, 1000, 1000).ok());
+    EXPECT_EQ(kernel::checkKernelLength(full, full.max_len + 1, 10).code(),
+              StatusCode::InvalidInput);
+
+    const auto &stream = reg.require("gmx-windowed-stream");
+    EXPECT_TRUE(stream.streaming);
+    EXPECT_EQ(stream.max_len, 0u);
+    EXPECT_TRUE(
+        kernel::checkKernelLength(stream, 10'000'000, 10'000'000).ok());
+    // The streaming contract: the estimator ignores the pair lengths.
+    kernel::KernelParams params;
+    EXPECT_EQ(stream.scratch_bytes(10'000, 10'000, params),
+              stream.scratch_bytes(1'000'000, 1'000'000, params));
+}
+
+// ----------------------------------------------------- engine routing
+
+using engine::Engine;
+using engine::EngineConfig;
+using engine::Tier;
+
+TEST(WindowedStreamEngine, LongClassRoutesToStreamedTier)
+{
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.cascade.long_threshold = 2048;
+    Engine engine(cfg);
+    seq::Generator gen(9101);
+    const auto pair = gen.pair(4000, 0.1);
+
+    auto f = engine.submit(pair, /*want_cigar=*/true);
+    auto res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status().message();
+    // Bit-identical to the monolithic windowed aligner at the cascade's
+    // long geometry.
+    const auto mono = core::windowedGmxAlign(
+        pair.pattern, pair.text, cfg.cascade.tile,
+        {cfg.cascade.long_window, cfg.cascade.long_overlap});
+    EXPECT_EQ(res->distance, mono.distance);
+    EXPECT_EQ(res->cigar.str(), mono.cigar.str());
+
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.tier_hits[static_cast<unsigned>(Tier::Streamed)], 1u);
+}
+
+TEST(WindowedStreamEngine, MixedTrafficServedUnderOneBudget)
+{
+    // The acceptance scenario: one engine, one default-sized memory
+    // budget, 150 bp short reads and a long-class pair in flight
+    // together. The long pair's O(window) reservation must admit it
+    // where a Full(GMX) estimate would have demanded gigabytes.
+    EngineConfig cfg;
+    cfg.workers = 2;
+    cfg.cascade.long_threshold = 2048;
+    cfg.memory_budget_bytes = 2 * 1024 * 1024;
+    Engine engine(cfg);
+    seq::Generator gen(9102);
+
+    const auto long_pair = gen.pair(50000, 0.02);
+    std::vector<seq::SequencePair> shorts;
+    for (int i = 0; i < 16; ++i)
+        shorts.push_back(gen.pair(150, 0.05));
+
+    auto long_f = engine.submit(long_pair, /*want_cigar=*/true);
+    std::vector<std::future<Engine::AlignOutcome>> short_fs;
+    for (const auto &p : shorts)
+        short_fs.push_back(engine.submit(p, /*want_cigar=*/false));
+
+    auto long_res = long_f.get();
+    ASSERT_TRUE(long_res.ok()) << long_res.status().message();
+    const auto mono = core::windowedGmxAlign(
+        long_pair.pattern, long_pair.text, cfg.cascade.tile,
+        {cfg.cascade.long_window, cfg.cascade.long_overlap});
+    EXPECT_EQ(long_res->distance, mono.distance);
+    EXPECT_EQ(long_res->cigar.str(), mono.cigar.str());
+
+    for (size_t i = 0; i < short_fs.size(); ++i) {
+        auto s = short_fs[i].get();
+        ASSERT_TRUE(s.ok()) << i;
+        EXPECT_EQ(s->distance, align::nwDistance(shorts[i].pattern,
+                                                 shorts[i].text));
+    }
+
+    const auto snap = engine.metrics();
+    EXPECT_EQ(snap.tier_hits[static_cast<unsigned>(Tier::Streamed)], 1u);
+    EXPECT_EQ(snap.resource_rejected, 0u);
+    EXPECT_EQ(snap.downgraded, 0u);
+}
+
+TEST(WindowedStreamEngine, LongPairsBypassShortLimitsAtSubmit)
+{
+    EngineConfig cfg;
+    cfg.cascade.long_threshold = 2048;
+    cfg.limits.max_pair_bases = 4096; // binds short-class pairs only
+    Engine engine(cfg);
+    seq::Generator gen(9103);
+
+    // 6000-base pair, over the short cap but routed long: admitted.
+    auto ok = engine.submit(gen.pair(3000, 0.05), /*want_cigar=*/false);
+    EXPECT_TRUE(ok.get().ok());
+
+    // Same engine with the long class off: the same pair is short-class
+    // and the cap fires.
+    EngineConfig strict = cfg;
+    strict.cascade.long_threshold = 0;
+    Engine strict_engine(strict);
+    auto rejected =
+        strict_engine.submit(gen.pair(3000, 0.05), /*want_cigar=*/false);
+    EXPECT_EQ(rejected.get().code(), StatusCode::InvalidInput);
+}
+
+TEST(WindowedStreamEngine, NonStreamingRouteRejectsOversizedPairsTyped)
+{
+    // With the long class disabled, an Mbp-scale pair is short-class and
+    // must be refused up front by the route's per-kernel length caps —
+    // a typed InvalidInput, not a budget blowup or a quadratic kernel.
+    EngineConfig cfg;
+    cfg.cascade.long_threshold = 0;
+    Engine engine(cfg);
+    seq::Generator gen(9104);
+    const seq::Sequence big = gen.random(300000);
+
+    auto f = engine.submit(seq::SequencePair{big, big},
+                           /*want_cigar=*/false);
+    auto res = f.get();
+    EXPECT_EQ(res.code(), StatusCode::InvalidInput);
+    EXPECT_EQ(engine.metrics().invalid, 1u);
+
+    // The same pair with long-class routing on is admitted and served.
+    EngineConfig routed;
+    routed.cascade.long_threshold = 64 * 1024;
+    Engine long_engine(routed);
+    auto ok = long_engine.submit(seq::SequencePair{big, big},
+                                 /*want_cigar=*/false);
+    auto served = ok.get();
+    ASSERT_TRUE(served.ok()) << served.status().message();
+    EXPECT_EQ(served->distance, 0);
+}
+
+} // namespace
+} // namespace gmx
